@@ -1,0 +1,25 @@
+"""Shared reporting helper for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures or the §3.4 results
+narrative.  Timing goes through pytest-benchmark; the *reproduced content*
+(the rows/series the paper reports) is written to
+``benchmarks/out/<experiment>.txt`` so it survives pytest's output capture
+and can be diffed run-to-run.  EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_report(experiment: str, lines: list[str]) -> pathlib.Path:
+    """Write (and echo) the reproduction report for one experiment."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{experiment}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(f"\n--- {experiment} ---")
+    print(text)
+    return path

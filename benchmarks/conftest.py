@@ -1,0 +1,7 @@
+"""Benchmark collection support: make the local ``_report`` helper
+importable regardless of pytest's rootdir/import mode."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

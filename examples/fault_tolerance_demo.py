@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""NTCP fault tolerance, demonstrated mechanism by mechanism (paper §2.1).
+
+Shows the three layers that together produce the MOST §3.4 behaviour:
+
+1. at-most-once semantics: a lost response + client retry never re-moves
+   a specimen (and what goes wrong with the dedup ablated away);
+2. proposal negotiation: a facility limit rejects an unsafe step before
+   anything moves;
+3. coordinator policies: the naive coordinator dies on a long outage, the
+   fault-tolerant one rides it out — same network, same faults.
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+import numpy as np
+
+from repro.control import ShoreWesternController, ShoreWesternPlugin, \
+    SimulationPlugin, make_displacement_actions
+from repro.coordinator import (
+    FaultTolerantFaultPolicy,
+    NaiveFaultPolicy,
+    SimulationCoordinator,
+    SiteBinding,
+)
+from repro.core import NTCPClient, NTCPServer
+from repro.net import FaultInjector, Network, RpcClient
+from repro.ogsi import ServiceContainer
+from repro.sim import Kernel
+from repro.structural import (
+    BilinearSpring,
+    GroundMotion,
+    LinearSubstructure,
+    PhysicalSpecimen,
+    StructuralModel,
+)
+from repro.structural.specimen import Actuator, Sensor
+
+
+def demo_at_most_once() -> None:
+    print("[1] at-most-once under a lost response")
+    for dedup in (True, False):
+        kernel = Kernel()
+        net = Network(kernel, seed=0)
+        net.add_host("coord")
+        net.add_host("lab")
+        net.connect("coord", "lab", latency=0.01)
+        container = ServiceContainer(net, "lab")
+        specimen = PhysicalSpecimen(
+            "column", BilinearSpring(k=1e6, fy=5e3, alpha=0.1),
+            actuator=Actuator(max_stroke=1.0, tracking_std=0.0),
+            lvdt=Sensor(), load_cell=Sensor(), seed=0)
+        controller = ShoreWesternController({0: specimen})
+        server = NTCPServer("ntcp-lab", ShoreWesternPlugin(controller),
+                            at_most_once=dedup)
+        handle = container.deploy(server)
+        client = NTCPClient(RpcClient(net, "coord", default_timeout=5.0),
+                            timeout=5.0, retries=3)
+        faults = FaultInjector(net)
+
+        def go():
+            yield from client.propose(handle, "step-1",
+                                      make_displacement_actions({0: 0.01}))
+            # lose the execute response: the client must retransmit
+            faults.drop_matching(
+                lambda m: m.src == "lab" and m.port.startswith("rpc-reply"),
+                count=1)
+            result = yield from client.execute(handle, "step-1",
+                                               timeout=5.0)
+            return result
+
+        kernel.run(until=kernel.process(go()))
+        mode = "at-most-once (NTCP)" if dedup else "at-least-once (ablated)"
+        print(f"    {mode}: specimen moved {len(specimen.history)} time(s), "
+              f"{client.rpc.stats.retries} retransmission(s)")
+    print("    -> 'the client can re-send the request without any danger "
+          "of the same\n       action being executed twice' — only with "
+          "the dedup layer in place.\n")
+
+
+def demo_negotiation() -> None:
+    print("[2] proposal negotiation stops unsafe commands before motion")
+    kernel = Kernel()
+    net = Network(kernel, seed=0)
+    net.add_host("coord")
+    net.add_host("lab")
+    net.connect("coord", "lab", latency=0.01)
+    container = ServiceContainer(net, "lab")
+    specimen = PhysicalSpecimen(
+        "column", BilinearSpring(k=1e6, fy=5e3),
+        actuator=Actuator(max_stroke=0.02, tracking_std=0.0),
+        lvdt=Sensor(), load_cell=Sensor(), seed=0)
+    server = NTCPServer("ntcp-lab", ShoreWesternPlugin(
+        ShoreWesternController({0: specimen})))
+    handle = container.deploy(server)
+    client = NTCPClient(RpcClient(net, "coord", default_timeout=5.0))
+
+    def go():
+        verdict = yield from client.propose(
+            handle, "too-far", make_displacement_actions({0: 0.5}))
+        return verdict
+
+    verdict = kernel.run(until=kernel.process(go()))
+    print(f"    50 cm command on a 2 cm rig: proposal {verdict['state']}")
+    print(f"    specimen motions: {len(specimen.history)} "
+          "(the rejection happened during negotiation)\n")
+
+
+def demo_policies() -> None:
+    print("[3] naive vs fault-tolerant coordinator through a 90 s outage")
+    rows = []
+    for policy, label in ((NaiveFaultPolicy(), "naive (public MOST)"),
+                          (FaultTolerantFaultPolicy(max_attempts=8,
+                                                    backoff=20.0),
+                           "fault-tolerant")):
+        kernel = Kernel()
+        net = Network(kernel, seed=0)
+        net.add_host("coord")
+        handles = {}
+        for name, k in (("uiuc", 60.0), ("cu", 40.0)):
+            net.add_host(name)
+            net.connect("coord", name, latency=0.02)
+            c = ServiceContainer(net, name)
+            server = NTCPServer(f"ntcp-{name}", SimulationPlugin(
+                LinearSubstructure(name, [[k]], [0]), compute_time=0.2))
+            handles[name] = c.deploy(server)
+        FaultInjector(net).schedule_outage("coord", "cu", start=20.0,
+                                           duration=90.0)
+        model = StructuralModel(mass=[[2.0]], stiffness=[[100.0]],
+                                damping=[[1.0]])
+        motion = GroundMotion(dt=0.02,
+                              accel=np.sin(np.arange(200) * 0.1))
+        client = NTCPClient(RpcClient(net, "coord", default_timeout=5.0,
+                                      default_retries=2),
+                            timeout=5.0, retries=2)
+        coord = SimulationCoordinator(
+            run_id="demo", client=client, model=model, motion=motion,
+            sites=[SiteBinding(n, handles[n], [0]) for n in handles],
+            fault_policy=policy, execution_timeout=10.0)
+        result = kernel.run(until=kernel.process(coord.run()))
+        rows.append((label, result))
+        status = ("completed" if result.completed else
+                  f"aborted at step {result.aborted_at_step}")
+        print(f"    {label:<22} {result.steps_completed:>4}/"
+              f"{result.target_steps} steps  {status}")
+    naive, ft = rows[0][1], rows[1][1]
+    n = naive.steps_completed
+    same = np.allclose(naive.displacement_history()[:n],
+                       ft.displacement_history()[:n])
+    print(f"    identical physics up to the abort: {same}")
+    print("    -> same protocol, same faults; only the coordinator's use "
+          "of NTCP's\n       fault-tolerance features differs (the paper's "
+          "§3.4 lesson).")
+
+
+def main() -> None:
+    demo_at_most_once()
+    demo_negotiation()
+    demo_policies()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The paper's §5 "Ongoing Work", executed (all four planned experiments).
+
+Runs the soil-structure interaction test (RPI/UIUC/Lehigh/NCSA), the UCLA
+four-story field test, the UC Davis centrifuge robot-arm soil survey, and
+the Minnesota six-DOF quasi-static loading protocol — all on the same
+NEESgrid framework, which is exactly the generality claim of §5/§6.
+
+Run:  python examples/followon_experiments.py
+"""
+
+import numpy as np
+
+from repro.followon import (
+    FieldTestConfig,
+    SoilStructureConfig,
+    run_field_test,
+    run_robot_survey,
+    run_six_dof_loading,
+    run_soil_structure_experiment,
+)
+
+
+def main() -> None:
+    print("=" * 74)
+    print("[1/4] RPI + UIUC + Lehigh + NCSA: soil-structure interaction "
+          "(CD-36)")
+    result, rig = run_soil_structure_experiment(
+        SoilStructureConfig(n_steps=150))
+    d = result.displacement_history()
+    print(f"  completed {result.steps_completed} steps across 4 sites "
+          f"(3 DOF: soil + 2 piers)")
+    print(f"  peak drifts [mm]: soil {1e3 * np.max(np.abs(d[:, 0])):.1f}, "
+          f"UIUC pier {1e3 * np.max(np.abs(d[:, 1])):.1f}, "
+          f"Lehigh pier {1e3 * np.max(np.abs(d[:, 2])):.1f}")
+    print(f"  centrifuge executed {rig.centrifuge.moves} model-scale moves "
+          f"at 1/{rig.config.centrifuge_scale:.0f} scale")
+
+    print("\n[2/4] UCLA: four-story building field test")
+    report = run_field_test(FieldTestConfig())
+    print(f"  wireless array: {report.samples_received}/"
+          f"{report.samples_sent} samples received "
+          f"({100 * report.wifi_loss_fraction:.0f}% 802.11 loss)")
+    print(f"  mobile command center archived "
+          f"{report.files_archived_locally} blocks; "
+          f"{report.files_uploaded_via_satellite} uploaded via satellite "
+          f"({report.upload_duration:.0f} s of link time)")
+    print(f"  building: peak roof drift "
+          f"{1e3 * report.peak_roof_drift:.2f} mm, response peak at "
+          f"{report.fundamental_frequency_hz:.2f} Hz")
+
+    print("\n[3/4] UC Davis: centrifuge robot arm + bender elements")
+    survey, env = run_robot_survey(shake_intensity=0.9, n_piles=3)
+    for tag in ("initial", "after-shaking", "after-improvement"):
+        vs = survey["phases"][tag]
+        mean_vs = np.mean(list(vs.values()))
+        print(f"  shear-wave velocity ({tag:<18}): {mean_vs:6.1f} m/s")
+    print(f"  penetrometer tip resistance: "
+          f"{survey['phases']['cpt-initial']['tip_resistance'] / 1e6:.2f} -> "
+          f"{survey['phases']['cpt-final']['tip_resistance'] / 1e6:.2f} MPa")
+    print(f"  tool changes through NTCP: "
+          f"{env.server.plugin.arm.tool_changes}")
+
+    print("\n[4/4] Minnesota: six-DOF quasi-static loading with stills")
+    records, env6 = run_six_dof_loading(n_poses=8, capture_every=2)
+    final_loads = records[-1]["loads"][0]
+    print(f"  {len(records)} poses applied; final pose loads: "
+          f"Fx={final_loads['x'] / 1e6:.2f} MN, "
+          f"Mz={final_loads['rz'] / 1e3:.0f} kN·m")
+    stills = sum(len(r["images"]) for r in records)
+    print(f"  {stills} still images captured as data records "
+          "(framework-triggered)")
+    print("\nAll four §5 experiments ran on the unmodified NEESgrid "
+          "framework —\nonly plugins and action vocabularies changed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Mini-MOST: the tabletop rig, with and without hardware (paper §3.5).
+
+Runs the single-beam stepper-motor emulation twice — once with the
+(simulated) physical beam, once with the beam "replaced by a first-order
+kinetic simulator" for hardware-free testing — using the *same coordinator
+code*, and compares the responses.
+
+Run:  python examples/mini_most_demo.py
+"""
+
+import numpy as np
+
+from repro.mini_most import BeamProperties, MiniMOSTConfig, run_mini_most
+
+
+def main() -> None:
+    beam = BeamProperties()
+    print("Mini-MOST tabletop rig")
+    print(f"  beam: {beam.length:.1f} m x {100 * beam.width:.0f} cm, "
+          f"tip stiffness {beam.stiffness:.0f} N/m, "
+          f"f_n = {beam.natural_frequency / (2 * np.pi):.2f} Hz")
+    # Modest shaking: the kinetic simulator's lagging restoring force
+    # yields visibly larger drifts, which must still fit the stepper travel.
+    config = MiniMOSTConfig(n_steps=300, pga=0.3)
+    print(f"  stepper: {1e6 * config.step_size:.0f} um/step at "
+          f"{config.step_rate:.0f} steps/s, travel +/-"
+          f"{1e3 * config.max_travel:.0f} mm")
+
+    print("\n[1/2] with the (simulated) physical beam ...")
+    hw_result, hw_dep = run_mini_most(config)
+    print(f"  {hw_result.steps_completed} steps, "
+          f"{hw_dep.motor.total_steps_moved} motor steps moved, "
+          f"{float(np.mean(hw_result.step_durations())) * 1e3:.0f} ms/step")
+
+    print("[2/2] beam replaced by the first-order kinetic simulator ...")
+    kin_result, _ = run_mini_most(config, use_kinetic_simulator=True)
+    print(f"  {kin_result.steps_completed} steps")
+
+    d_hw = hw_result.displacement_history().ravel()
+    d_kin = kin_result.displacement_history().ravel()
+    n = min(len(d_hw), len(d_kin))
+    corr = float(np.corrcoef(d_hw[:n], d_kin[:n])[0, 1])
+    print("\ncomparison (same coordinator code, constants unchanged):")
+    print(f"  peak tip displacement  hardware {1e3 * np.max(np.abs(d_hw)):.2f} mm"
+          f" | kinetic {1e3 * np.max(np.abs(d_kin)):.2f} mm")
+    print(f"  response correlation   {corr:.3f}")
+    print("  -> the kinetic simulator is a drop-in stand-in for the rig, "
+          "as the paper used it\n     'for testing when the actual hardware "
+          "is not available'.")
+
+    # DAQ artifacts, as in the single-PC LabVIEW setup
+    print(f"\nDAQ deposited {len(hw_dep.staging)} file(s); channels: "
+          f"{sorted(hw_dep.staging.get(hw_dep.staging.names()[0]).rows[0][1])}")
+
+
+if __name__ == "__main__":
+    main()

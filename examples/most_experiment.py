@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The MOST experiment, end to end (paper §3).
+
+Reproduces the July 30, 2003 Multi-Site Online Simulation Test at reduced
+length (pass ``--full`` for all 1,500 steps): the incremental development
+path (simulation-only rehearsal first), the dry run, the public run with
+its premature exit at the scaled equivalent of step 1493, and the
+fault-tolerant counterfactual.  Prints a §3.4-style results table.
+
+Run:  python examples/most_experiment.py [--full]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.most import (
+    MOSTConfig,
+    run_dry_run,
+    run_public_experiment,
+    run_simulation_only,
+    run_with_fault_tolerance,
+)
+
+
+def hours(seconds: float) -> str:
+    return f"{seconds / 3600.0:.2f} h"
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    config = MOSTConfig() if full else MOSTConfig().scaled(150)
+    print(f"MOST reproduction: {config.n_steps} steps, dt={config.dt}s, "
+          f"frame T={2 * np.pi / np.sqrt(config.k_total / config.mass):.2f}s")
+    print("=" * 78)
+
+    print("\n[1/4] distributed simulation-only rehearsal ...")
+    sim = run_simulation_only(config)
+    print(f"      completed {sim.result.steps_completed}/"
+          f"{sim.result.target_steps} steps in "
+          f"{hours(sim.result.wall_duration)} of simulated wall time")
+
+    print("\n[2/4] hybrid dry run (UIUC + CU physical, NCSA numerical) ...")
+    dry = run_dry_run(config)
+    r = dry.result
+    print(f"      completed {r.steps_completed}/{r.target_steps} steps, "
+          f"{hours(r.wall_duration)}, "
+          f"{float(np.mean(r.step_durations())):.1f} s/step")
+    print(f"      peak drift {1e3 * r.summary()['peak_displacement']:.1f} mm,"
+          f" {dry.files_ingested} data files archived to the repository")
+
+    print("\n[3/4] public experiment (observers + network faults) ...")
+    pub = run_public_experiment(config)
+    r = pub.result
+    status = ("ran to completion" if r.completed else
+              f"exited prematurely at step {r.aborted_at_step} "
+              f"(out of {r.target_steps})")
+    print(f"      {status}")
+    print(f"      NTCP masked transient failures: "
+          f"{pub.ntcp_retries} retransmissions")
+    print(f"      {pub.chef_peak_online} remote participants logged on via "
+          f"CHEF; {pub.stream_samples_pushed} NSDS samples streamed")
+
+    print("\n[4/4] counterfactual: fault-tolerant coordinator, same faults ...")
+    ft = run_with_fault_tolerance(config)
+    r = ft.result
+    print(f"      completed {r.steps_completed}/{r.target_steps} steps with "
+          f"{r.recoveries} step-level recoveries "
+          f"(+{ft.ntcp_retries} NTCP retransmissions)")
+
+    # ---- the paper's de-facto results table -----------------------------------
+    print("\n" + "=" * 78)
+    print(f"{'run':<22}{'steps':>12}{'completed':>11}{'recoveries':>12}"
+          f"{'wall':>10}")
+    print("-" * 78)
+    for name, rep in (("simulation-only", sim), ("dry run", dry),
+                      ("public", pub), ("fault-tolerant", ft)):
+        rr = rep.result
+        print(f"{name:<22}{rr.steps_completed:>7}/{rr.target_steps:<6}"
+              f"{str(rr.completed):>9}{rr.recoveries + rep.ntcp_retries:>12}"
+              f"{hours(rr.wall_duration):>10}")
+    print("\npaper §3.4: dry run 1500/1500 (~5.5 h); public run exited at "
+          "step 1493/1500 (>5 h)\nafter recovering from several transient "
+          "network failures; >130 remote participants.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which require ``bdist_wheel``) fail.  This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+``setup.py develop``, which works everywhere.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — NEESgrid/MOST reproduction (HPDC-13, 2004).
+
+A from-scratch implementation of the paper's full stack: the NTCP
+teleoperation protocol (:mod:`repro.core`), the OGSI/GSI grid substrate
+(:mod:`repro.ogsi`, :mod:`repro.gsi`), the simulated wide-area network
+(:mod:`repro.net`, :mod:`repro.sim`), the structural/pseudo-dynamic
+numerics and specimen rigs (:mod:`repro.structural`), the site control
+plugins (:mod:`repro.control`), the data systems (:mod:`repro.daq`,
+:mod:`repro.nsds`, :mod:`repro.repository`), the observation/collaboration
+layer (:mod:`repro.telepresence`, :mod:`repro.chef`), the MS-PSDS
+coordinator (:mod:`repro.coordinator`), and the assembled experiments
+(:mod:`repro.most`, :mod:`repro.mini_most`).
+
+Start with :func:`repro.most.run_dry_run` or ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim", "net", "gsi", "ogsi", "structural", "core", "control",
+    "daq", "nsds", "repository", "telepresence", "chef",
+    "coordinator", "most", "mini_most", "util", "testing",
+]

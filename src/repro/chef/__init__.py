@@ -1,0 +1,20 @@
+"""CHEF collaboration framework (paper §3, Figure 8).
+
+Remote MOST participants "logged in to MOST via a NEESgrid specific
+collaboration interface built using the CHEF collaboration framework",
+which provided chat, a message board, an electronic notebook, and data
+viewers with VCR controls and a clickable timeline.  This package rebuilds
+that environment:
+
+* :class:`~repro.chef.worksite.ChefWorksite` — the portal service: login
+  sessions, chat, message board, notebook;
+* :class:`~repro.chef.dataviewer.DataViewer` — the client-side viewer:
+  time-series and hysteresis views fed by NSDS, with
+  play/pause/rewind/fast-forward and timeline seeking, and saveable view
+  arrangements.
+"""
+
+from repro.chef.worksite import ChefWorksite
+from repro.chef.dataviewer import DataViewer, HysteresisView, TimeSeriesView
+
+__all__ = ["ChefWorksite", "DataViewer", "TimeSeriesView", "HysteresisView"]

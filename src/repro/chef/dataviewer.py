@@ -1,0 +1,202 @@
+"""The CHEF data viewer (paper Figure 8).
+
+"These viewers provided near real-time visualization of the structure
+response, time series data from a sensor, as well as hysteresis plots...
+a set of VCR buttons allows users to play, pause, rewind, and fast-forward
+the data viewer, while at the bottom a clickable timeline allows users to
+see the state of the Data Viewer at any given time point."
+
+The viewer is a client-side tool: it accumulates NSDS samples into
+time-indexed series and renders *views* at a movable cursor.  Rendering is
+headless — a render is a dict of the values a GUI would draw — which keeps
+the semantics testable.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.nsds.stream import StreamSample
+from repro.util.errors import ConfigurationError
+
+
+class _Series:
+    """A time-indexed series kept sorted by sample time."""
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def add(self, time: float, value: float) -> None:
+        idx = bisect.bisect(self.times, time)
+        self.times.insert(idx, time)
+        self.values.insert(idx, value)
+
+    def value_at(self, time: float) -> float | None:
+        """Most recent value at or before ``time`` (step interpolation)."""
+        idx = bisect.bisect_right(self.times, time)
+        return self.values[idx - 1] if idx else None
+
+    def window(self, start: float, end: float) -> list[tuple[float, float]]:
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_right(self.times, end)
+        return list(zip(self.times[lo:hi], self.values[lo:hi]))
+
+    @property
+    def t_min(self) -> float:
+        return self.times[0] if self.times else 0.0
+
+    @property
+    def t_max(self) -> float:
+        return self.times[-1] if self.times else 0.0
+
+
+@dataclass(frozen=True)
+class TimeSeriesView:
+    """One channel against time over a trailing window."""
+
+    channel: str
+    window: float = 30.0
+
+    def render(self, series: dict[str, _Series], cursor: float) -> dict[str, Any]:
+        s = series.get(self.channel, _Series())
+        return {"type": "time-series", "channel": self.channel,
+                "cursor": cursor,
+                "points": s.window(cursor - self.window, cursor),
+                "current": s.value_at(cursor)}
+
+
+@dataclass(frozen=True)
+class HysteresisView:
+    """One channel against another (classically force vs displacement)."""
+
+    x_channel: str
+    y_channel: str
+    window: float = 1e18
+
+    def render(self, series: dict[str, _Series], cursor: float) -> dict[str, Any]:
+        sx = series.get(self.x_channel, _Series())
+        sy = series.get(self.y_channel, _Series())
+        xs = sx.window(cursor - self.window, cursor)
+        points = []
+        for t, x in xs:
+            y = sy.value_at(t)
+            if y is not None:
+                points.append((x, y))
+        return {"type": "hysteresis", "x": self.x_channel,
+                "y": self.y_channel, "cursor": cursor, "points": points}
+
+
+@dataclass
+class _Arrangement:
+    name: str
+    views: list = field(default_factory=list)
+
+
+class DataViewer:
+    """Headless data viewer with VCR transport controls.
+
+    Feed it with :meth:`on_sample` (plug into an
+    :class:`~repro.nsds.NSDSReceiver` callback).  ``mode`` is one of
+    ``live`` (cursor pinned to newest data), ``paused``, ``play``,
+    ``rewind``, ``fast-forward``; :meth:`advance` moves the cursor by a
+    wall-clock delta according to the mode.  Arrangements of views can be
+    saved and recalled by name, as in Figure 8.
+    """
+
+    #: cursor speed multipliers per mode
+    SPEEDS = {"play": 1.0, "rewind": -4.0, "fast-forward": 4.0,
+              "paused": 0.0}
+
+    def __init__(self) -> None:
+        self.series: dict[str, _Series] = {}
+        self.mode = "live"
+        self.cursor = 0.0
+        self.views: list = []
+        self.arrangements: dict[str, _Arrangement] = {}
+
+    # -- data in ----------------------------------------------------------
+    def on_sample(self, sample: StreamSample) -> None:
+        self.series.setdefault(sample.channel, _Series()).add(
+            sample.time, sample.value)
+        if self.mode == "live":
+            self.cursor = max(self.cursor, sample.time)
+
+    def load_archive(self, rows) -> int:
+        """Load archived DAQ rows ``(time, {channel: value})`` for playback.
+
+        This is the §3 post-hoc path: "the combined data could be
+        visualized using the CHEF-based data viewer" after download from
+        the repository.  Returns the number of samples loaded; the viewer
+        is left paused at the start of the archive for VCR playback.
+        """
+        count = 0
+        for time, channels in rows:
+            for channel, value in channels.items():
+                self.series.setdefault(channel, _Series()).add(
+                    float(time), float(value))
+                count += 1
+        if count:
+            self.cursor = self.extent()[0]
+            self.mode = "paused"
+        return count
+
+    # -- transport controls --------------------------------------------------
+    def play(self) -> None:
+        self.mode = "play"
+
+    def pause(self) -> None:
+        self.mode = "paused"
+
+    def rewind(self) -> None:
+        self.mode = "rewind"
+
+    def fast_forward(self) -> None:
+        self.mode = "fast-forward"
+
+    def go_live(self) -> None:
+        self.mode = "live"
+        self.cursor = self.extent()[1]
+
+    def seek(self, time: float) -> None:
+        """The clickable timeline: jump the cursor (pauses playback)."""
+        lo, hi = self.extent()
+        self.cursor = max(lo, min(hi, time))
+        self.mode = "paused"
+
+    def advance(self, dt: float) -> None:
+        """Advance playback by ``dt`` seconds of viewer (wall) time."""
+        if self.mode == "live":
+            return
+        speed = self.SPEEDS[self.mode]
+        lo, hi = self.extent()
+        self.cursor = max(lo, min(hi, self.cursor + speed * dt))
+
+    def extent(self) -> tuple[float, float]:
+        """Timeline extent across all series."""
+        if not self.series:
+            return (0.0, 0.0)
+        return (min(s.t_min for s in self.series.values()),
+                max(s.t_max for s in self.series.values()))
+
+    # -- views and arrangements ------------------------------------------------
+    def add_view(self, view) -> None:
+        self.views.append(view)
+
+    def render(self) -> list[dict[str, Any]]:
+        """Render every view at the current cursor."""
+        return [v.render(self.series, self.cursor) for v in self.views]
+
+    def save_arrangement(self, name: str) -> None:
+        if not self.views:
+            raise ConfigurationError("no views to save")
+        self.arrangements[name] = _Arrangement(name=name,
+                                               views=list(self.views))
+
+    def load_arrangement(self, name: str) -> None:
+        arr = self.arrangements.get(name)
+        if arr is None:
+            raise ConfigurationError(f"no saved arrangement {name!r}")
+        self.views = list(arr.views)

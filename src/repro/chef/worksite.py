@@ -1,0 +1,130 @@
+"""The CHEF worksite service: sessions, chat, message board, notebook."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ogsi.service import GridService
+from repro.util.errors import ProtocolError, SecurityError
+
+
+@dataclass
+class _Session:
+    token: str
+    user: str
+    logged_in_at: float
+
+
+@dataclass
+class _Thread:
+    thread_id: int
+    title: str
+    author: str
+    posts: list[dict] = field(default_factory=list)
+
+
+class ChefWorksite(GridService):
+    """One experiment's collaboration worksite.
+
+    Operations (all require a session token from ``login``): ``chatPost``,
+    ``chatHistory``, ``boardCreateThread``, ``boardReply``, ``boardThreads``,
+    ``notebookAdd``, ``notebookEntries``, ``whoIsOnline``, ``logout``.
+
+    During MOST "over 130 remote participants logged on"; ``peak_online``
+    tracks the analogous number here.
+    """
+
+    def __init__(self, service_id: str = "chef-most"):
+        super().__init__(service_id)
+        self._sessions: dict[str, _Session] = {}
+        self._token_counter = 0
+        self.chat: list[dict] = []
+        self.threads: dict[int, _Thread] = {}
+        self._thread_counter = 0
+        self.notebook: list[dict] = []
+        self.peak_online = 0
+        self.total_logins = 0
+
+    def on_attach(self) -> None:
+        self.service_data.set("online", 0)
+        for op in ("login", "logout", "chatPost", "chatHistory",
+                   "boardCreateThread", "boardReply", "boardThreads",
+                   "notebookAdd", "notebookEntries", "whoIsOnline"):
+            self.expose(op, getattr(self, f"_op_{op}"))
+
+    # -- sessions ------------------------------------------------------------
+    def _op_login(self, caller, user: str):
+        self._token_counter += 1
+        token = f"chef-session-{self._token_counter}"
+        self._sessions[token] = _Session(token=token, user=user,
+                                         logged_in_at=self.kernel.now)
+        self.total_logins += 1
+        self.peak_online = max(self.peak_online, len(self._sessions))
+        self.service_data.set("online", len(self._sessions))
+        self.emit("user.login", user=user)
+        return token
+
+    def _op_logout(self, caller, token: str):
+        session = self._sessions.pop(token, None)
+        self.service_data.set("online", len(self._sessions))
+        return session is not None
+
+    def _session(self, token: str) -> _Session:
+        session = self._sessions.get(token)
+        if session is None:
+            raise SecurityError("invalid or expired CHEF session token")
+        return session
+
+    def _op_whoIsOnline(self, caller, token: str):
+        self._session(token)
+        return sorted({s.user for s in self._sessions.values()})
+
+    # -- chat --------------------------------------------------------------------
+    def _op_chatPost(self, caller, token: str, text: str):
+        session = self._session(token)
+        entry = {"time": self.kernel.now, "user": session.user, "text": text}
+        self.chat.append(entry)
+        return len(self.chat)
+
+    def _op_chatHistory(self, caller, token: str, since: float = 0.0):
+        self._session(token)
+        return [dict(e) for e in self.chat if e["time"] >= since]
+
+    # -- message board -------------------------------------------------------------
+    def _op_boardCreateThread(self, caller, token: str, title: str,
+                              text: str):
+        session = self._session(token)
+        self._thread_counter += 1
+        thread = _Thread(thread_id=self._thread_counter, title=title,
+                         author=session.user)
+        thread.posts.append({"time": self.kernel.now, "user": session.user,
+                             "text": text})
+        self.threads[thread.thread_id] = thread
+        return thread.thread_id
+
+    def _op_boardReply(self, caller, token: str, thread_id: int, text: str):
+        session = self._session(token)
+        thread = self.threads.get(thread_id)
+        if thread is None:
+            raise ProtocolError(f"no message-board thread {thread_id}")
+        thread.posts.append({"time": self.kernel.now, "user": session.user,
+                             "text": text})
+        return len(thread.posts)
+
+    def _op_boardThreads(self, caller, token: str):
+        self._session(token)
+        return [{"thread_id": t.thread_id, "title": t.title,
+                 "author": t.author, "posts": len(t.posts)}
+                for t in self.threads.values()]
+
+    # -- electronic notebook ----------------------------------------------------------
+    def _op_notebookAdd(self, caller, token: str, title: str, body: str):
+        session = self._session(token)
+        entry = {"time": self.kernel.now, "user": session.user,
+                 "title": title, "body": body}
+        self.notebook.append(entry)
+        return len(self.notebook)
+
+    def _op_notebookEntries(self, caller, token: str):
+        self._session(token)
+        return [dict(e) for e in self.notebook]

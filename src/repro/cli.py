@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands map to the experiments a user most often wants to replay:
+
+* ``most`` — run a MOST scenario (dry/public/ft/sim-only) and print the
+  §3.4-style summary row;
+* ``mini-most`` — run the tabletop rig (optionally on the kinetic
+  simulator);
+* ``followon`` — run one of the §5 experiments;
+* ``info`` — print the library's subsystem inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_most(args: argparse.Namespace) -> int:
+    from repro.most import (
+        MOSTConfig,
+        run_dry_run,
+        run_public_experiment,
+        run_simulation_only,
+        run_with_fault_tolerance,
+    )
+
+    runners = {"dry": run_dry_run, "public": run_public_experiment,
+               "ft": run_with_fault_tolerance,
+               "sim-only": run_simulation_only}
+    config = MOSTConfig()
+    if args.steps != 1500:
+        config = config.scaled(args.steps)
+    report = runners[args.scenario](config)
+    r = report.result
+    status = ("completed" if r.completed
+              else f"exited prematurely at step {r.aborted_at_step}")
+    print(f"MOST {args.scenario}: {r.steps_completed}/{r.target_steps} "
+          f"steps, {status}")
+    print(f"  simulated wall time : {r.wall_duration / 3600:.2f} h "
+          f"({float(np.mean(r.step_durations())) if r.steps else 0:.1f} "
+          "s/step)")
+    print(f"  NTCP retransmissions: {report.ntcp_retries}; "
+          f"step-level recoveries: {r.recoveries}")
+    if report.chef_peak_online:
+        print(f"  remote participants : {report.chef_peak_online}")
+    print(f"  data files archived : {report.files_ingested}")
+    if args.plot and r.steps:
+        from repro.viz import sparkline
+
+        print("  roof drift          : "
+              + sparkline(r.displacement_history().ravel(), width=60))
+    return 0 if (r.completed or args.scenario == "public") else 1
+
+
+def _cmd_mini_most(args: argparse.Namespace) -> int:
+    from repro.mini_most import MiniMOSTConfig, run_mini_most
+
+    config = MiniMOSTConfig(n_steps=args.steps)
+    result, dep = run_mini_most(
+        config, use_kinetic_simulator=args.kinetic)
+    mode = "kinetic simulator" if args.kinetic else "stepper rig"
+    print(f"Mini-MOST ({mode}): {result.steps_completed}/"
+          f"{result.target_steps} steps")
+    print(f"  peak tip displacement: "
+          f"{1e3 * result.summary()['peak_displacement']:.2f} mm")
+    if not args.kinetic:
+        print(f"  motor steps moved    : {dep.motor.total_steps_moved}")
+    if args.plot and result.steps:
+        from repro.viz import sparkline
+
+        print("  tip displacement     : "
+              + sparkline(result.displacement_history().ravel(), width=60))
+    return 0 if result.completed else 1
+
+
+def _cmd_followon(args: argparse.Namespace) -> int:
+    if args.experiment == "soil-structure":
+        from repro.followon import SoilStructureConfig, \
+            run_soil_structure_experiment
+
+        result, rig = run_soil_structure_experiment(
+            SoilStructureConfig(n_steps=args.steps))
+        print(f"soil-structure (CD-36): {result.steps_completed} steps, "
+              f"completed={result.completed}")
+        return 0 if result.completed else 1
+    if args.experiment == "field-test":
+        from repro.followon import FieldTestConfig, run_field_test
+
+        rep = run_field_test(FieldTestConfig())
+        print(f"UCLA field test: {rep.samples_received}/{rep.samples_sent} "
+              f"samples ({100 * rep.wifi_loss_fraction:.0f}% wifi loss), "
+              f"{rep.files_uploaded_via_satellite} files via satellite")
+        return 0
+    if args.experiment == "robot":
+        from repro.followon import run_robot_survey
+
+        survey, _ = run_robot_survey()
+        for tag in ("initial", "after-shaking", "after-improvement"):
+            vs = float(np.mean(list(survey["phases"][tag].values())))
+            print(f"  Vs {tag:<18}: {vs:6.1f} m/s")
+        return 0
+    from repro.followon import run_six_dof_loading
+
+    records, _ = run_six_dof_loading()
+    stills = sum(len(r["images"]) for r in records)
+    print(f"six-DOF: {len(records)} poses, {stills} stills captured")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — NEESgrid/MOST reproduction "
+          "(HPDC-13, 2004)")
+    inventory = [
+        ("repro.sim", "discrete-event kernel"),
+        ("repro.net", "simulated WAN + RPC + fault injection"),
+        ("repro.gsi", "GSI security: CA, proxies, gridmap, CAS"),
+        ("repro.ogsi", "OGSI container: SDEs, soft state, notifications"),
+        ("repro.structural", "PSD numerics, specimens, ground motions"),
+        ("repro.core", "NTCP (the paper's contribution)"),
+        ("repro.control", "site plugins: Shore-Western/MPlugin/xPC/LabVIEW"),
+        ("repro.daq / nsds / repository", "data acquisition -> streaming "
+         "-> archive"),
+        ("repro.telepresence / chef", "cameras, referral, portal, viewers"),
+        ("repro.coordinator / most / mini_most", "MS-PSDS + experiments"),
+        ("repro.followon", "the four §5 planned experiments"),
+    ]
+    for module, what in inventory:
+        print(f"  {module:<36} {what}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NEESgrid/MOST reproduction — distributed hybrid "
+                    "earthquake engineering experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_most = sub.add_parser("most", help="run a MOST scenario (§3.4)")
+    p_most.add_argument("scenario",
+                        choices=["dry", "public", "ft", "sim-only"])
+    p_most.add_argument("--steps", type=int, default=1500,
+                        help="record length (default: the paper's 1500)")
+    p_most.add_argument("--plot", action="store_true",
+                        help="sparkline the response")
+    p_most.set_defaults(fn=_cmd_most)
+
+    p_mini = sub.add_parser("mini-most", help="run Mini-MOST (§3.5)")
+    p_mini.add_argument("--steps", type=int, default=200)
+    p_mini.add_argument("--kinetic", action="store_true",
+                        help="replace the beam with the kinetic simulator")
+    p_mini.add_argument("--plot", action="store_true")
+    p_mini.set_defaults(fn=_cmd_mini_most)
+
+    p_follow = sub.add_parser("followon",
+                              help="run a §5 follow-on experiment")
+    p_follow.add_argument("experiment",
+                          choices=["soil-structure", "field-test",
+                                   "robot", "six-dof"])
+    p_follow.add_argument("--steps", type=int, default=150)
+    p_follow.set_defaults(fn=_cmd_followon)
+
+    p_info = sub.add_parser("info", help="library inventory")
+    p_info.set_defaults(fn=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

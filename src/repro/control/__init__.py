@@ -1,0 +1,51 @@
+"""Concrete NTCP control plugins (paper Figures 2 and 9).
+
+Each plugin maps NTCP ``set-displacement`` actions onto a different local
+control system, reproducing the MOST configuration:
+
+* :class:`SimulationPlugin` — a numerical substructure evaluated directly
+  (the all-simulation rehearsal mode MOST was developed with);
+* :class:`ShoreWesternPlugin` — speaks a framed text protocol to a
+  simulated Shore-Western servo-hydraulic controller (the UIUC back-end);
+* :class:`MPlugin` + :class:`MatlabBackend` — the buffered, poll-based
+  NCSA configuration ("the plugin buffered requests and implemented a
+  separate service... the Matlab simulation would then poll that service");
+* :class:`MPlugin` + :class:`XPCBackend` — the CU configuration: "the same
+  plugin code used by NCSA", but the backend forwards to a simulated
+  real-time xPC target driving servo-hydraulics;
+* :class:`LabVIEWPlugin` — the Mini-MOST stepper-motor back-end;
+* :class:`HumanApprovalPlugin` — wraps any plugin so a human approves each
+  action (used during initial testing at UIUC, §4).
+"""
+
+from repro.control.actions import displacement_targets, make_displacement_actions
+from repro.control.sim_plugin import SimulationPlugin
+from repro.control.shore_western import ShoreWesternController, ShoreWesternPlugin
+from repro.control.mplugin import (
+    BackendService,
+    MatlabBackend,
+    MPlugin,
+    PollBackend,
+    RemotePollBackend,
+)
+from repro.control.xpc import XPCBackend, XPCTarget
+from repro.control.labview import LabVIEWPlugin, StepperMotor
+from repro.control.approval import HumanApprovalPlugin
+
+__all__ = [
+    "displacement_targets",
+    "make_displacement_actions",
+    "SimulationPlugin",
+    "ShoreWesternPlugin",
+    "ShoreWesternController",
+    "MPlugin",
+    "PollBackend",
+    "MatlabBackend",
+    "BackendService",
+    "RemotePollBackend",
+    "XPCBackend",
+    "XPCTarget",
+    "LabVIEWPlugin",
+    "StepperMotor",
+    "HumanApprovalPlugin",
+]

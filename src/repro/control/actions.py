@@ -1,0 +1,42 @@
+"""Helpers for the ``set-displacement`` action vocabulary used by MOST."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.messages import Action
+from repro.util.errors import ProtocolError
+
+SET_DISPLACEMENT = "set-displacement"
+
+
+def make_displacement_actions(targets: dict[int, float]) -> list[Action]:
+    """Build one action per (local DOF, displacement) pair.
+
+    >>> [a.kind for a in make_displacement_actions({0: 0.01})]
+    ['set-displacement']
+    """
+    return [Action(kind=SET_DISPLACEMENT,
+                   params={"dof": int(dof), "value": float(value)})
+            for dof, value in sorted(targets.items())]
+
+
+def displacement_targets(actions) -> dict[int, float]:
+    """Parse actions back into ``{dof: displacement}``; validates kinds."""
+    targets: dict[int, float] = {}
+    for action in actions:
+        if action.kind != SET_DISPLACEMENT:
+            raise ProtocolError(
+                f"unsupported action kind {action.kind!r} "
+                f"(this plugin only understands {SET_DISPLACEMENT!r})")
+        params = action.params
+        if "dof" not in params or "value" not in params:
+            raise ProtocolError(f"malformed set-displacement params: {params!r}")
+        dof = int(params["dof"])
+        if dof in targets:
+            raise ProtocolError(f"duplicate target for DOF {dof}")
+        value = float(params["value"])
+        if not np.isfinite(value):
+            raise ProtocolError(f"non-finite displacement for DOF {dof}")
+        targets[dof] = value
+    return targets

@@ -1,0 +1,60 @@
+"""Human-in-the-loop approval wrapper.
+
+Paper §4: operational procedures at UIUC included "running a plugin/backend
+system that required a human to approve each action (used only during
+initial testing)".  :class:`HumanApprovalPlugin` wraps any plugin: proposal
+review additionally waits for a (simulated) operator, who may veto.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.messages import Proposal
+from repro.core.plugin import ControlPlugin
+from repro.util.errors import PolicyViolation
+
+
+class HumanApprovalPlugin(ControlPlugin):
+    """Wraps ``inner``; a human approves every proposal before acceptance.
+
+    ``decide`` maps a proposal to True (approve) / False (veto);
+    ``decision_time`` is how long the operator takes (simulation seconds).
+    Execution and cancellation delegate to the inner plugin unchanged.
+    """
+
+    plugin_type = "human-approval"
+
+    def __init__(self, inner: ControlPlugin, *,
+                 decide: Callable[[Proposal], bool] | None = None,
+                 decision_time: float = 5.0):
+        super().__init__(policy=inner.policy)
+        self.inner = inner
+        self.decide = decide if decide is not None else (lambda p: True)
+        self.decision_time = decision_time
+        self.approved = 0
+        self.vetoed = 0
+
+    def attach(self, kernel, site: str) -> None:
+        super().attach(kernel, site)
+        self.inner.attach(kernel, site)
+
+    def review(self, proposal: Proposal):
+        # Inner review runs first (cheap checks fail before bothering the
+        # operator); it may itself be timed.
+        inner_review = self.inner.review(proposal)
+        if hasattr(inner_review, "send"):
+            yield from inner_review
+        yield self.kernel.timeout(self.decision_time)
+        if not self.decide(proposal):
+            self.vetoed += 1
+            raise PolicyViolation(
+                f"operator vetoed transaction {proposal.transaction!r}")
+        self.approved += 1
+
+    def execute(self, proposal: Proposal):
+        readings = yield from self.inner.execute(proposal)
+        return readings
+
+    def cancel(self, proposal: Proposal) -> None:
+        self.inner.cancel(proposal)

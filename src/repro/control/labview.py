@@ -1,0 +1,112 @@
+"""LabVIEW plugin and stepper motor for Mini-MOST.
+
+"Other than scale differences, the main software change was a new NTCP
+plugin to communicate with LabVIEW."  Mini-MOST drives a tabletop beam with
+a stepper motor, so motion is *quantized* to whole steps and proceeds at the
+motor's step rate — both visible in the readings this plugin returns.
+"""
+
+from __future__ import annotations
+
+from repro.control.actions import displacement_targets
+from repro.core.messages import Proposal
+from repro.core.plugin import ControlPlugin
+from repro.core.policy import SitePolicy
+from repro.util.errors import PolicyViolation, ProtocolError
+
+
+class StepperMotor:
+    """An open-loop stepper: position quantized to ``step_size`` metres.
+
+    ``step_rate`` is steps/second; travel time is step count / rate.  The
+    24 lb through-hole stepper of Mini-MOST moved a 1 m × 10 cm beam, with
+    millimetre-ish resolution at tabletop scale.
+    """
+
+    def __init__(self, *, step_size: float = 5e-5, step_rate: float = 400.0,
+                 max_travel: float = 0.02):
+        if min(step_size, step_rate, max_travel) <= 0:
+            raise ValueError("stepper parameters must be positive")
+        self.step_size = step_size
+        self.step_rate = step_rate
+        self.max_travel = max_travel
+        self.position_steps = 0
+        self.total_steps_moved = 0
+
+    @property
+    def position(self) -> float:
+        return self.position_steps * self.step_size
+
+    def quantize(self, target: float) -> int:
+        """Target position in whole steps."""
+        return int(round(target / self.step_size))
+
+    def check(self, target: float) -> None:
+        if abs(target) > self.max_travel:
+            raise PolicyViolation(
+                f"target {target:+.5f} m exceeds stepper travel "
+                f"±{self.max_travel:.5f} m",
+                parameter="displacement", limit=self.max_travel,
+                requested=target)
+
+    def plan_move(self, target: float) -> tuple[int, float]:
+        """``(steps_to_move, travel_time)`` for a move to ``target``."""
+        self.check(target)
+        steps = self.quantize(target) - self.position_steps
+        return steps, abs(steps) / self.step_rate
+
+    def commit_move(self, steps: int) -> float:
+        """Apply a planned move; returns the new position [m]."""
+        self.position_steps += steps
+        self.total_steps_moved += abs(steps)
+        return self.position
+
+
+class LabVIEWPlugin(ControlPlugin):
+    """NTCP plugin for the Mini-MOST LabVIEW control/DAQ stack.
+
+    ``rig`` maps local DOF → ``(StepperMotor, element)`` where ``element``
+    supplies the beam's true force-displacement law (the strain-gauged
+    1 m × 10 cm beam is essentially linear at these amplitudes).  Readings
+    include the quantized achieved displacement — the visible signature of
+    stepper control compared to MOST's servo-hydraulics.
+    """
+
+    plugin_type = "labview"
+
+    def __init__(self, rig: dict[int, tuple[StepperMotor, object]], *,
+                 daq_read_time: float = 0.05,
+                 policy: SitePolicy | None = None):
+        super().__init__(policy=policy)
+        self.rig = dict(rig)
+        self.daq_read_time = daq_read_time
+
+    def review(self, proposal: Proposal) -> None:
+        self.policy.check(proposal.actions)
+        for dof, value in displacement_targets(proposal.actions).items():
+            entry = self.rig.get(dof)
+            if entry is None:
+                raise PolicyViolation(f"no stepper on dof {dof}",
+                                      parameter="dof", requested=float(dof))
+            motor, _ = entry
+            motor.check(value)
+
+    def execute(self, proposal: Proposal):
+        readings = {"displacements": {}, "forces": {}, "steps": {},
+                    "settle_time": 0.0}
+        for dof, value in displacement_targets(proposal.actions).items():
+            entry = self.rig.get(dof)
+            if entry is None:
+                raise ProtocolError(f"no stepper on dof {dof}")
+            motor, element = entry
+            steps, travel_time = motor.plan_move(value)
+            if travel_time > 0:
+                yield self.kernel.timeout(travel_time)
+            achieved = motor.commit_move(steps)
+            if self.daq_read_time > 0:
+                yield self.kernel.timeout(self.daq_read_time)
+            readings["displacements"][dof] = achieved
+            readings["forces"][dof] = float(element.force(achieved))
+            readings["steps"][dof] = steps
+            readings["settle_time"] += travel_time + self.daq_read_time
+        return readings

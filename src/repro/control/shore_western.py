@@ -1,0 +1,124 @@
+"""Simulated Shore-Western servo-hydraulic controller + its NTCP plugin.
+
+At UIUC, "the NTCP server was configured to use a plugin that communicated,
+via a simple TCP/IP protocol, with a Shore-Western control system, which in
+turn controlled the UIUC servo-hydraulics."  We reproduce both halves: a
+controller that accepts a small framed text command language and drives a
+:class:`~repro.structural.specimen.PhysicalSpecimen`, and a plugin that
+formats/parses those frames.  The wire format is exercised for real — the
+plugin only communicates through strings — so framing bugs are testable.
+"""
+
+from __future__ import annotations
+
+from repro.control.actions import displacement_targets
+from repro.core.messages import Proposal
+from repro.core.plugin import ControlPlugin
+from repro.core.policy import SitePolicy
+from repro.structural.specimen import PhysicalSpecimen
+from repro.util.errors import PolicyViolation, ProtocolError
+
+
+class ShoreWesternController:
+    """The site control system: command frames in, response frames out.
+
+    Command language (one frame per line, space-separated)::
+
+        CHECK <dof> <value>   -> "OK" | "ERR <reason>"
+        MOVE <dof> <value>    -> "DONE <achieved> <force> <strain> <settle>"
+        STATUS                -> "READY <n_moves>"
+        HALT                  -> "HALTED"
+
+    ``MOVE`` blocks (in simulation time, charged by the plugin) for the
+    actuator settle time included in its response.
+    """
+
+    def __init__(self, specimens: dict[int, PhysicalSpecimen]):
+        self.specimens = dict(specimens)
+        self.moves = 0
+        self.halted = False
+
+    def handle(self, frame: str) -> str:
+        """Process one command frame; never raises (errors become ERR)."""
+        parts = frame.strip().split()
+        if not parts:
+            return "ERR empty frame"
+        verb = parts[0].upper()
+        try:
+            if verb == "STATUS":
+                return f"READY {self.moves}"
+            if verb == "HALT":
+                self.halted = True
+                return "HALTED"
+            if verb in ("CHECK", "MOVE"):
+                if len(parts) != 3:
+                    return f"ERR {verb} needs <dof> <value>"
+                dof, value = int(parts[1]), float(parts[2])
+                specimen = self.specimens.get(dof)
+                if specimen is None:
+                    return f"ERR no actuator on dof {dof}"
+                if verb == "CHECK":
+                    specimen.check(value)
+                    return "OK"
+                if self.halted:
+                    return "ERR controller halted"
+                m = specimen.apply(value)
+                self.moves += 1
+                return (f"DONE {m.achieved:.9e} {m.force:.9e} "
+                        f"{m.strain:.9e} {m.settle_time:.6f}")
+            return f"ERR unknown verb {verb}"
+        except PolicyViolation as exc:
+            return f"ERR limit {exc}"
+        except ValueError as exc:
+            return f"ERR bad arguments: {exc}"
+
+
+class ShoreWesternPlugin(ControlPlugin):
+    """NTCP plugin speaking the framed protocol to the controller.
+
+    Proposal review sends ``CHECK`` frames (negotiation reaches the real
+    control system, so facility limits configured on the controller — not
+    just the NTCP policy — can reject).  Execution sends ``MOVE`` frames
+    and charges each response's settle time to the simulation clock.
+    """
+
+    plugin_type = "shore-western"
+
+    def __init__(self, controller: ShoreWesternController, *,
+                 link_delay: float = 0.002,
+                 policy: SitePolicy | None = None):
+        super().__init__(policy=policy)
+        self.controller = controller
+        self.link_delay = link_delay  # local TCP hop to the control rack
+
+    def review(self, proposal: Proposal) -> None:
+        self.policy.check(proposal.actions)
+        for dof, value in displacement_targets(proposal.actions).items():
+            response = self.controller.handle(f"CHECK {dof} {value!r}")
+            if response != "OK":
+                raise PolicyViolation(
+                    f"controller refused dof {dof}: {response}",
+                    parameter="displacement", requested=value)
+
+    def execute(self, proposal: Proposal):
+        readings = {"displacements": {}, "forces": {}, "strains": {},
+                    "settle_time": 0.0}
+        for dof, value in displacement_targets(proposal.actions).items():
+            if self.link_delay > 0:
+                yield self.kernel.timeout(self.link_delay)
+            response = self.controller.handle(f"MOVE {dof} {value!r}")
+            parts = response.split()
+            if parts[0] != "DONE":
+                raise ProtocolError(
+                    f"Shore-Western MOVE failed on dof {dof}: {response}")
+            achieved, force, strain, settle = map(float, parts[1:])
+            yield self.kernel.timeout(settle)
+            readings["displacements"][dof] = achieved
+            readings["forces"][dof] = force
+            readings["strains"][dof] = strain
+            readings["settle_time"] += settle
+        return readings
+
+    def cancel(self, proposal: Proposal) -> None:
+        """On abandon: halt the controller so no further motion occurs."""
+        self.controller.handle("HALT")

@@ -1,0 +1,55 @@
+"""Pure-simulation control plugin.
+
+"It allows us to first test hybrid experiments with purely simulation
+components and then seamlessly replace the simulation components with
+physical simulations" — this plugin is the first half of that sentence: it
+evaluates a numerical substructure directly, optionally charging a
+configurable compute time to the simulation clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.control.actions import displacement_targets
+from repro.core.messages import Proposal
+from repro.core.plugin import ControlPlugin
+from repro.core.policy import SitePolicy
+
+
+class SimulationPlugin(ControlPlugin):
+    """Evaluates a substructure's restoring force numerically.
+
+    ``substructure`` is anything with ``dof_indices`` and
+    ``restoring(d_local) -> forces`` (see
+    :class:`repro.structural.substructure.LinearSubstructure`).  DOF numbers
+    in the actions are *local* substructure indices (0..len-1).
+    """
+
+    plugin_type = "simulation"
+
+    def __init__(self, substructure, *, compute_time: float = 0.05,
+                 policy: SitePolicy | None = None):
+        super().__init__(policy=policy)
+        self.substructure = substructure
+        self.compute_time = compute_time
+        self.steps_executed = 0
+
+    def execute(self, proposal: Proposal):
+        targets = displacement_targets(proposal.actions)
+        n = len(self.substructure.dof_indices)
+        d_local = np.zeros(n)
+        for dof, value in targets.items():
+            d_local[dof] = value
+        if self.compute_time > 0:
+            yield self.kernel.timeout(self.compute_time)
+        forces = np.atleast_1d(self.substructure.restoring(d_local))
+        self.steps_executed += 1
+        readings: dict[str, Any] = {
+            "displacements": {dof: float(d_local[dof]) for dof in targets},
+            "forces": {dof: float(forces[dof]) for dof in targets},
+            "settle_time": self.compute_time,
+        }
+        return readings

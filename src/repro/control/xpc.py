@@ -1,0 +1,61 @@
+"""The CU configuration: MPlugin + Matlab xPC real-time target.
+
+"The CU NTCP server was configured to use the same plugin code used by NCSA;
+however, instead of processing requests by performing computations, the CU
+Matlab application used Matlab's xPC feature to communicate with a target
+machine running Matlab's real-time operating system, which would in turn
+control the servo-hydraulics at CU."
+
+:class:`XPCTarget` is the real-time target driving a physical specimen;
+:class:`XPCBackend` is the Matlab application bridging the MPlugin poll
+service to the target.
+"""
+
+from __future__ import annotations
+
+from repro.control.mplugin import MPlugin, PollBackend
+from repro.structural.specimen import PhysicalSpecimen
+
+
+class XPCTarget:
+    """The real-time target machine: deterministic command → motion → data.
+
+    ``comm_latency`` models the host↔target link; the target applies the
+    commanded displacement through the specimen's actuator and reports the
+    measurement.
+    """
+
+    def __init__(self, specimens: dict[int, PhysicalSpecimen], *,
+                 comm_latency: float = 0.005):
+        self.specimens = dict(specimens)
+        self.comm_latency = comm_latency
+        self.commands = 0
+
+    def command(self, dof: int, value: float):
+        """Measurement for one displacement command (kernel-free)."""
+        specimen = self.specimens[dof]
+        self.commands += 1
+        return specimen.apply(value)
+
+
+class XPCBackend(PollBackend):
+    """Matlab application: polls the MPlugin, drives the xPC target."""
+
+    def __init__(self, plugin: MPlugin, target: XPCTarget, *,
+                 poll_interval: float = 0.1):
+        super().__init__(plugin, poll_interval=poll_interval)
+        self.target = target
+
+    def process_request(self, targets: dict[int, float]):
+        readings = {"displacements": {}, "forces": {}, "strains": {},
+                    "settle_time": 0.0}
+        for dof, value in sorted(targets.items()):
+            # host -> target command, then actuator settle, then data back
+            yield self.kernel.timeout(self.target.comm_latency)
+            m = self.target.command(dof, value)
+            yield self.kernel.timeout(m.settle_time + self.target.comm_latency)
+            readings["displacements"][dof] = m.achieved
+            readings["forces"][dof] = m.force
+            readings["strains"][dof] = m.strain
+            readings["settle_time"] += m.settle_time
+        return readings

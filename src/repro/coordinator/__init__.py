@@ -1,0 +1,42 @@
+"""The simulation coordinator (paper §3, Figure 5).
+
+"A Simulation Coordinator provides overall management of the experiment.
+This component repeatedly issues a set of NTCP proposals based on current
+simulation state, collects information about the resulting state of all the
+substructures, and, based on that resulting state, computes the next set of
+NTCP commands to send.  The coordinator also handles exceptions such as
+lost network connections or invalid responses."
+
+* :class:`~repro.coordinator.mspsds.SimulationCoordinator` — the MS-PSDS
+  stepping loop over NTCP;
+* :class:`~repro.coordinator.mspsds.SiteBinding` — one substructure's
+  NTCP handle and DOF mapping;
+* :mod:`~repro.coordinator.fault_policy` — how failures are handled:
+  :class:`NaiveFaultPolicy` reproduces the public MOST run (the coordinator
+  "had not been coded to take advantage of all the fault-tolerance
+  features"), :class:`FaultTolerantFaultPolicy` retries steps through
+  transient failures.
+"""
+
+from repro.coordinator.fault_policy import (
+    FaultPolicy,
+    FaultTolerantFaultPolicy,
+    NaiveFaultPolicy,
+)
+from repro.coordinator.records import ExperimentResult, StepRecord
+from repro.coordinator.mspsds import SimulationCoordinator, SiteBinding
+from repro.coordinator.toolbox import NTCPToolbox
+from repro.coordinator.realtime import RealTimeCoordinator, RealTimeStats
+
+__all__ = [
+    "RealTimeCoordinator",
+    "RealTimeStats",
+    "SimulationCoordinator",
+    "SiteBinding",
+    "NTCPToolbox",
+    "FaultPolicy",
+    "NaiveFaultPolicy",
+    "FaultTolerantFaultPolicy",
+    "StepRecord",
+    "ExperimentResult",
+]

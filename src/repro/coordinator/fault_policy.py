@@ -1,0 +1,69 @@
+"""Coordinator fault-handling policies.
+
+The MOST postmortem (§3.4) is precisely a tale of two policies: NTCP's
+retries masked "several transient network failures throughout the day", but
+"the simulation coordinator had not been coded to take advantage of all the
+fault-tolerance features, and a final network error caused the simulation to
+terminate prematurely" at step 1493/1500.  The dry run — and a coordinator
+using :class:`FaultTolerantFaultPolicy` — completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the coordinator should do about a step-level failure."""
+
+    action: str  # "retry" | "abort"
+    delay: float = 0.0  # back-off before retrying
+
+
+class FaultPolicy:
+    """Decides, per failed step attempt, whether to retry or abort."""
+
+    name = "abstract"
+
+    def decide(self, *, step: int, attempt: int, site: str,
+               error: BaseException) -> FaultDecision:
+        raise NotImplementedError
+
+
+class NaiveFaultPolicy(FaultPolicy):
+    """Abort on the first step-level failure.
+
+    This is the public-run MOST coordinator: RPC-level retransmission (in
+    the NTCP client) still masks very short glitches, but any failure that
+    survives to the coordinator kills the experiment.
+    """
+
+    name = "naive"
+
+    def decide(self, *, step, attempt, site, error) -> FaultDecision:
+        return FaultDecision(action="abort")
+
+
+class FaultTolerantFaultPolicy(FaultPolicy):
+    """Retry failed steps with back-off, up to ``max_attempts`` per step.
+
+    Retrying is safe because transaction names are reused: NTCP's
+    at-most-once semantics make a re-proposed/re-executed step idempotent.
+    """
+
+    name = "fault-tolerant"
+
+    def __init__(self, *, max_attempts: int = 10, backoff: float = 5.0,
+                 backoff_factor: float = 2.0, max_backoff: float = 120.0):
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.max_backoff = max_backoff
+
+    def decide(self, *, step, attempt, site, error) -> FaultDecision:
+        if attempt >= self.max_attempts:
+            return FaultDecision(action="abort")
+        delay = min(self.backoff * self.backoff_factor ** (attempt - 1),
+                    self.max_backoff)
+        return FaultDecision(action="retry", delay=delay)

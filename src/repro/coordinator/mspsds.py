@@ -1,0 +1,294 @@
+"""The MS-PSDS stepping loop over NTCP.
+
+Per time step the coordinator (paper Figure 5 / §3):
+
+1. computes the next displacement from the central-difference
+   pseudo-dynamic integrator (force data feeds the computational model,
+   "the correct displacements were calculated and sent to the ... test
+   sites");
+2. *proposes* one transaction per site, so every site can veto before
+   anything moves;
+3. *executes* all transactions in parallel and collects measured forces;
+4. assembles the global restoring force and commits the step.
+
+Failures surface here as exceptions from the NTCP client; the configured
+:class:`~repro.coordinator.fault_policy.FaultPolicy` decides retry vs
+abort.  Retries reuse the same transaction names, so NTCP's at-most-once
+semantics guarantee no step is ever applied twice to a physical specimen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.coordinator.fault_policy import FaultPolicy, NaiveFaultPolicy
+from repro.coordinator.records import ExperimentResult, StepRecord
+from repro.core.client import NTCPClient
+from repro.control.actions import make_displacement_actions
+from repro.net.rpc import RpcError
+from repro.ogsi.handle import GridServiceHandle
+from repro.structural.ground_motion import GroundMotion
+from repro.structural.integrators import CentralDifferencePSD
+from repro.structural.model import StructuralModel
+from repro.util.errors import ConfigurationError, ProtocolError, ReproError
+
+
+class SiteBinding:
+    """One substructure site: its NTCP handle and global-DOF mapping.
+
+    ``dof_indices[local] = global`` — the site receives displacements for
+    its local DOFs and returns forces on them.
+    """
+
+    def __init__(self, name: str, handle: GridServiceHandle, dof_indices=(0,)):
+        self.name = name
+        self.handle = handle
+        self.dof_indices = np.asarray(dof_indices, dtype=int)
+
+
+class SimulationCoordinator:
+    """Drives a distributed hybrid experiment to completion.
+
+    Args:
+        run_id: unique name; prefixes every transaction name.
+        client: the NTCP client (owns RPC retry behaviour).
+        model: nominal linear model of the full structure — mass and
+            damping are exact (they are numerical in PSD testing); the
+            stiffness is the design estimate used only for integrator setup.
+        motion: the ground acceleration record (one step per sample).
+        sites: substructure bindings; together they must restrain every DOF.
+        fault_policy: retry/abort behaviour on step failures.
+        execution_timeout: per-transaction execution budget sent to sites.
+        on_step: optional callback invoked with each committed
+            :class:`StepRecord` (used to feed NSDS/CHEF streaming).
+    """
+
+    def __init__(self, *, run_id: str, client: NTCPClient,
+                 model: StructuralModel, motion: GroundMotion,
+                 sites: list[SiteBinding],
+                 fault_policy: FaultPolicy | None = None,
+                 execution_timeout: float = 60.0,
+                 negotiation_barrier: bool = True,
+                 integrator_factory: Callable | None = None,
+                 on_step: Callable[[StepRecord], None] | None = None):
+        if not sites:
+            raise ConfigurationError("coordinator needs at least one site")
+        covered = set()
+        for site in sites:
+            covered.update(int(i) for i in site.dof_indices)
+        if covered != set(range(model.n_dof)):
+            raise ConfigurationError(
+                f"sites cover DOFs {sorted(covered)}; model has "
+                f"{model.n_dof} DOF(s)")
+        self.run_id = run_id
+        self.client = client
+        self.model = model
+        self.motion = motion
+        self.sites = list(sites)
+        self.fault_policy = fault_policy or NaiveFaultPolicy()
+        self.execution_timeout = execution_timeout
+        #: With the barrier (the paper's design), *all* sites must accept a
+        #: step's proposals before any site executes.  Disabling it (an
+        #: ablation) lets each site execute as soon as its own proposal is
+        #: accepted — one overlapped round trip faster, but a late
+        #: rejection leaves other specimens already moved.
+        self.negotiation_barrier = negotiation_barrier
+        self.on_step = on_step
+        self.kernel = client.rpc.kernel
+        #: any object with the start/propose_next/commit stepping API
+        #: (CentralDifferencePSD for MOST; AlphaOSPSD for stiff structures
+        #: whose frequencies exceed the explicit stability limit).
+        factory = integrator_factory or CentralDifferencePSD
+        self.integrator = factory(model, motion.dt)
+
+    # -- helpers -----------------------------------------------------------
+    def _txn_name(self, step: int, site: SiteBinding) -> str:
+        return f"{self.run_id}-step{step:05d}-{site.name}"
+
+    def _site_targets(self, site: SiteBinding,
+                      d_global: np.ndarray) -> dict[int, float]:
+        return {local: float(d_global[global_dof])
+                for local, global_dof in enumerate(site.dof_indices)}
+
+    def _assemble_forces(self, per_site: dict[str, dict[int, float]],
+                         ) -> np.ndarray:
+        r = np.zeros(self.model.n_dof)
+        for site in self.sites:
+            forces = per_site[site.name]
+            for local, global_dof in enumerate(site.dof_indices):
+                r[global_dof] += forces[local]
+        return r
+
+    def _step_at_all_sites(self, step: int, d_global: np.ndarray):
+        """Propose then execute step ``step`` at every site, in parallel.
+
+        Returns ``{site: {local_dof: force}}``; raises on any failure
+        (after cancelling accepted siblings if a site rejected).
+        """
+        if not self.negotiation_barrier:
+            results = yield from self._step_without_barrier(step, d_global)
+            return results
+        verdicts: dict[str, dict] = {}
+
+        def propose_one(site: SiteBinding):
+            actions = make_displacement_actions(
+                self._site_targets(site, d_global))
+            verdict = yield from self.client.propose(
+                site.handle, self._txn_name(step, site), actions,
+                execution_timeout=self.execution_timeout)
+            verdicts[site.name] = verdict
+
+        procs = [self.kernel.process(propose_one(s),
+                                     name=f"propose.{s.name}.{step}")
+                 for s in self.sites]
+        yield self.kernel.all_of(procs)
+
+        rejected = [name for name, v in verdicts.items()
+                    if v["state"] not in ("accepted", "executed", "executing")]
+        if rejected:
+            # Abort this step: cancel the accepted siblings for hygiene.
+            for site in self.sites:
+                if verdicts[site.name]["state"] == "accepted":
+                    cancel = self.kernel.process(
+                        self.client.cancel(site.handle,
+                                           self._txn_name(step, site)))
+                    cancel.defuse()
+            name = rejected[0]
+            raise ProtocolError(
+                f"site {name} rejected step {step}: "
+                f"{verdicts[name].get('error', '')}")
+
+        results: dict[str, dict[int, float]] = {}
+
+        def execute_one(site: SiteBinding):
+            result = yield from self.client.execute(
+                site.handle, self._txn_name(step, site),
+                timeout=self.execution_timeout + 10.0)
+            forces = result["readings"]["forces"]
+            results[site.name] = {int(dof): float(f)
+                                  for dof, f in forces.items()}
+
+        procs = [self.kernel.process(execute_one(s),
+                                     name=f"execute.{s.name}.{step}")
+                 for s in self.sites]
+        yield self.kernel.all_of(procs)
+        return results
+
+    def _step_without_barrier(self, step: int, d_global: np.ndarray):
+        """Ablation path: per-site propose→execute chains, no global gate."""
+        results: dict[str, dict[int, float]] = {}
+
+        def chain_one(site: SiteBinding):
+            actions = make_displacement_actions(
+                self._site_targets(site, d_global))
+            result = yield from self.client.propose_and_execute(
+                site.handle, self._txn_name(step, site), actions,
+                execution_timeout=self.execution_timeout,
+                timeout=self.execution_timeout + 10.0)
+            forces = result["readings"]["forces"]
+            results[site.name] = {int(dof): float(f)
+                                  for dof, f in forces.items()}
+
+        procs = [self.kernel.process(chain_one(s),
+                                     name=f"chain.{s.name}.{step}")
+                 for s in self.sites]
+        yield self.kernel.all_of(procs)
+        return results
+
+    def _attempt_with_policy(self, step: int, d_global: np.ndarray,
+                             result: ExperimentResult):
+        """One step with fault-policy retries; returns (forces, attempts)."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                forces = yield from self._step_at_all_sites(step, d_global)
+                return forces, attempt
+            except (RpcError, ReproError) as exc:
+                site = getattr(exc, "site", "?")
+                self.kernel.emit(f"coordinator.{self.run_id}", "step.failed",
+                                 step=step, attempt=attempt, error=str(exc))
+                if isinstance(exc, ProtocolError) and "rejected" in str(exc):
+                    # A policy rejection is not transient; never retry.
+                    raise
+                decision = self.fault_policy.decide(
+                    step=step, attempt=attempt, site=site, error=exc)
+                if decision.action != "retry":
+                    raise
+                if decision.delay > 0:
+                    yield self.kernel.timeout(decision.delay)
+
+    # -- the experiment ------------------------------------------------------
+    def run(self):
+        """Kernel process: execute the full record; returns the result.
+
+        Never raises for step failures — aborts are recorded in the result
+        (``completed=False``), matching how MOST's premature exit was itself
+        a recorded outcome, not a crash.
+        """
+        result = ExperimentResult(run_id=self.run_id,
+                                  target_steps=self.motion.n_steps - 1,
+                                  dt=self.motion.dt,
+                                  wall_started=self.kernel.now)
+        self.kernel.emit(f"coordinator.{self.run_id}", "experiment.started",
+                         steps=result.target_steps, sites=len(self.sites))
+        d0 = np.zeros(self.model.n_dof)
+        try:
+            forces0, _ = yield from self._attempt_with_policy(0, d0, result)
+        except (RpcError, ReproError) as exc:
+            result.aborted_reason = f"initialization failed: {exc}"
+            result.aborted_at_step = 0
+            result.wall_finished = self.kernel.now
+            return result
+        r0 = self._assemble_forces(forces0)
+        self.integrator.start(
+            r0=r0, p0=self.model.external_force(self.motion.accel[0]))
+
+        for step in range(1, self.motion.n_steps):
+            wall_started = self.kernel.now
+            try:
+                d_next = self.integrator.propose_next()
+                if not np.all(np.isfinite(d_next)):
+                    raise FloatingPointError("non-finite displacement")
+            except (ValueError, FloatingPointError) as exc:
+                # Numerical divergence (e.g. an explicit integrator past
+                # its stability limit) ends the experiment, it does not
+                # crash the coordinator.
+                result.aborted_reason = f"integrator diverged: {exc}"
+                result.aborted_at_step = step
+                result.wall_finished = self.kernel.now
+                self.kernel.emit(f"coordinator.{self.run_id}",
+                                 "experiment.aborted", step=step,
+                                 error=result.aborted_reason)
+                return result
+            try:
+                forces, attempts = yield from self._attempt_with_policy(
+                    step, d_next, result)
+            except (RpcError, ReproError) as exc:
+                result.aborted_reason = str(exc)
+                result.aborted_at_step = step
+                result.wall_finished = self.kernel.now
+                self.kernel.emit(f"coordinator.{self.run_id}",
+                                 "experiment.aborted", step=step,
+                                 error=str(exc))
+                return result
+            r_next = self._assemble_forces(forces)
+            p_next = self.model.external_force(self.motion.accel[step])
+            self.integrator.commit(d_next, r_next, p_next)
+            record = StepRecord(step=step, model_time=step * self.motion.dt,
+                                displacement=d_next.copy(),
+                                restoring_force=r_next,
+                                site_forces=forces, attempts=attempts,
+                                wall_started=wall_started,
+                                wall_finished=self.kernel.now)
+            result.steps.append(record)
+            if self.on_step is not None:
+                self.on_step(record)
+        result.completed = True
+        result.wall_finished = self.kernel.now
+        self.kernel.emit(f"coordinator.{self.run_id}", "experiment.completed",
+                         steps=result.steps_completed,
+                         wall=result.wall_duration)
+        return result

@@ -1,0 +1,147 @@
+"""Experiment records produced by the coordinator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One completed MS-PSDS step."""
+
+    step: int
+    model_time: float          # structural time (step * dt)
+    displacement: np.ndarray   # commanded global displacement
+    restoring_force: np.ndarray
+    site_forces: dict[str, dict[int, float]]
+    attempts: int              # 1 = clean step; >1 = recovered from failure
+    wall_started: float        # simulation wall-clock
+    wall_finished: float
+
+    @property
+    def wall_duration(self) -> float:
+        return self.wall_finished - self.wall_started
+
+
+@dataclass
+class ExperimentResult:
+    """The full outcome of one coordinated run.
+
+    ``recoveries`` counts step attempts beyond the first — each is a
+    transient failure the coordinator survived.  ``completed`` is False when
+    the run aborted early (``aborted_reason`` says why, ``steps_completed``
+    says where — e.g. 1493).
+    """
+
+    run_id: str
+    target_steps: int
+    dt: float
+    steps: list[StepRecord] = field(default_factory=list)
+    completed: bool = False
+    aborted_reason: str = ""
+    aborted_site: str = ""
+    aborted_at_step: int | None = None  # the step that was in flight
+    wall_started: float = 0.0
+    wall_finished: float = 0.0
+
+    @property
+    def steps_completed(self) -> int:
+        return len(self.steps)
+
+    @property
+    def recoveries(self) -> int:
+        return sum(r.attempts - 1 for r in self.steps)
+
+    @property
+    def wall_duration(self) -> float:
+        return self.wall_finished - self.wall_started
+
+    def displacement_history(self) -> np.ndarray:
+        """(n_steps, n_dof) array of commanded displacements."""
+        if not self.steps:
+            return np.zeros((0, 0))
+        return np.vstack([r.displacement for r in self.steps])
+
+    def force_history(self) -> np.ndarray:
+        if not self.steps:
+            return np.zeros((0, 0))
+        return np.vstack([r.restoring_force for r in self.steps])
+
+    def site_force_history(self, site: str, local_dof: int = 0) -> np.ndarray:
+        return np.array([r.site_forces[site][local_dof] for r in self.steps])
+
+    def step_durations(self) -> np.ndarray:
+        return np.array([r.wall_duration for r in self.steps])
+
+    def to_json(self) -> str:
+        """Serialize the full result (archival / cross-run comparison)."""
+        import json
+
+        payload = {
+            "run_id": self.run_id,
+            "target_steps": self.target_steps,
+            "dt": self.dt,
+            "completed": self.completed,
+            "aborted_reason": self.aborted_reason,
+            "aborted_site": self.aborted_site,
+            "aborted_at_step": self.aborted_at_step,
+            "wall_started": self.wall_started,
+            "wall_finished": self.wall_finished,
+            "steps": [{
+                "step": r.step,
+                "model_time": r.model_time,
+                "displacement": r.displacement.tolist(),
+                "restoring_force": r.restoring_force.tolist(),
+                "site_forces": {s: {str(d): f for d, f in forces.items()}
+                                for s, forces in r.site_forces.items()},
+                "attempts": r.attempts,
+                "wall_started": r.wall_started,
+                "wall_finished": r.wall_finished,
+            } for r in self.steps],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Reconstruct a result serialized by :meth:`to_json`."""
+        import json
+
+        payload = json.loads(text)
+        result = cls(run_id=payload["run_id"],
+                     target_steps=payload["target_steps"],
+                     dt=payload["dt"], completed=payload["completed"],
+                     aborted_reason=payload["aborted_reason"],
+                     aborted_site=payload["aborted_site"],
+                     aborted_at_step=payload["aborted_at_step"],
+                     wall_started=payload["wall_started"],
+                     wall_finished=payload["wall_finished"])
+        for s in payload["steps"]:
+            result.steps.append(StepRecord(
+                step=s["step"], model_time=s["model_time"],
+                displacement=np.asarray(s["displacement"]),
+                restoring_force=np.asarray(s["restoring_force"]),
+                site_forces={site: {int(d): f for d, f in forces.items()}
+                             for site, forces in s["site_forces"].items()},
+                attempts=s["attempts"], wall_started=s["wall_started"],
+                wall_finished=s["wall_finished"]))
+        return result
+
+    def summary(self) -> dict:
+        """The §3.4-style results row benchmarks print."""
+        return {
+            "run_id": self.run_id,
+            "completed": self.completed,
+            "steps_completed": self.steps_completed,
+            "target_steps": self.target_steps,
+            "recoveries": self.recoveries,
+            "aborted_reason": self.aborted_reason,
+            "aborted_site": self.aborted_site,
+            "aborted_at_step": self.aborted_at_step,
+            "wall_duration": self.wall_duration,
+            "mean_step_duration": (float(np.mean(self.step_durations()))
+                                   if self.steps else 0.0),
+            "peak_displacement": (float(np.max(np.abs(
+                self.displacement_history()))) if self.steps else 0.0),
+        }

@@ -1,0 +1,126 @@
+"""NTCP client API.
+
+Wraps the RPC + OGSI plumbing into the protocol verbs.  The client is where
+NTCP's fault tolerance becomes usable: every verb retries on timeout, and —
+because the server is idempotent per transaction name — a retried
+``propose`` or ``execute`` can never double-run an action.  The paper's
+Matlab toolbox exposed exactly this API to the MOST coordinator; the Java
+API underneath it maps to :meth:`propose`/:meth:`execute`/:meth:`cancel`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.messages import Action, Proposal
+from repro.net.rpc import RpcClient
+from repro.ogsi.handle import GridServiceHandle
+from repro.util.errors import ProtocolError
+
+
+class NTCPClient:
+    """Client for one or more NTCP servers, addressed by grid handle.
+
+    ``credential_factory`` (optional) is called with the operation name to
+    mint a fresh GSI token per request, e.g.
+    ``GsiAuthenticator(...).credential_for``.
+    """
+
+    def __init__(self, rpc: RpcClient, *, timeout: float = 10.0,
+                 retries: int = 3, credential_factory=None):
+        self.rpc = rpc
+        self.timeout = timeout
+        self.retries = retries
+        self.credential_factory = credential_factory
+
+    def _invoke(self, handle: GridServiceHandle, operation: str,
+                params: dict[str, Any], *,
+                timeout: float | None = None,
+                retries: int | None = None) -> Generator[Any, Any, Any]:
+        credential = (self.credential_factory("invoke")
+                      if self.credential_factory else None)
+        result = yield from self.rpc.call(
+            handle.host, handle.port, "invoke",
+            {"service_id": handle.service_id, "operation": operation,
+             "params": params},
+            credential=credential,
+            timeout=self.timeout if timeout is None else timeout,
+            retries=self.retries if retries is None else retries)
+        return result
+
+    # -- protocol verbs ------------------------------------------------------
+    def propose(self, handle: GridServiceHandle, transaction: str,
+                actions: list[Action], *, execution_timeout: float = 60.0,
+                proposal_lifetime: float = 3600.0,
+                timeout: float | None = None,
+                retries: int | None = None) -> Generator[Any, Any, dict]:
+        """Send a proposal; returns the verdict dict (state accepted/rejected)."""
+        proposal = Proposal(transaction=transaction, actions=tuple(actions),
+                            execution_timeout=execution_timeout,
+                            proposal_lifetime=proposal_lifetime)
+        verdict = yield from self._invoke(
+            handle, "propose", {"proposal": proposal.to_dict()},
+            timeout=timeout, retries=retries)
+        return verdict
+
+    def execute(self, handle: GridServiceHandle, transaction: str, *,
+                timeout: float | None = None,
+                retries: int | None = None) -> Generator[Any, Any, dict]:
+        """Execute an accepted transaction; returns the result dict.
+
+        Safe to retry: at-most-once semantics are enforced server-side.
+        """
+        result = yield from self._invoke(
+            handle, "execute", {"transaction": transaction},
+            timeout=timeout, retries=retries)
+        return result
+
+    def cancel(self, handle: GridServiceHandle,
+               transaction: str) -> Generator[Any, Any, dict]:
+        """Cancel a proposed/accepted transaction."""
+        verdict = yield from self._invoke(handle, "cancel",
+                                          {"transaction": transaction})
+        return verdict
+
+    def get_transaction(self, handle: GridServiceHandle,
+                        transaction: str) -> Generator[Any, Any, dict]:
+        """Inspect a transaction's full SDE value."""
+        value = yield from self._invoke(handle, "getTransaction",
+                                        {"transaction": transaction})
+        return value
+
+    def get_results(self, handle: GridServiceHandle,
+                    transaction: str) -> Generator[Any, Any, dict]:
+        """Fetch the results of an executed transaction."""
+        value = yield from self._invoke(handle, "getResults",
+                                        {"transaction": transaction})
+        return value
+
+    def list_transactions(self, handle: GridServiceHandle,
+                          state: str | None = None) -> Generator[Any, Any, list]:
+        value = yield from self._invoke(handle, "listTransactions",
+                                        {"state": state})
+        return value
+
+    # -- composite step helper ------------------------------------------------
+    def propose_and_execute(self, handle: GridServiceHandle, transaction: str,
+                            actions: list[Action], *,
+                            execution_timeout: float = 60.0,
+                            timeout: float | None = None,
+                            retries: int | None = None) -> Generator[Any, Any, dict]:
+        """Propose then execute one transaction on one server.
+
+        Raises :class:`ProtocolError` if the proposal is rejected (after
+        cancelling the transaction server-side for hygiene).
+        """
+        verdict = yield from self.propose(
+            handle, transaction, actions,
+            execution_timeout=execution_timeout,
+            timeout=timeout, retries=retries)
+        if verdict["state"] != "accepted":
+            raise ProtocolError(
+                f"proposal {transaction!r} rejected by {handle.service_id}: "
+                f"{verdict.get('error', '')}")
+        result = yield from self.execute(handle, transaction,
+                                         timeout=timeout, retries=retries)
+        return result

@@ -1,0 +1,65 @@
+"""The NTCP control plugin interface (paper Figure 2).
+
+"The implementation of the plugin is responsible for mapping NTCP requests
+into appropriate actions in the local site's control system or simulation
+engine."  The server core is generic; everything site-specific lives behind
+this interface.  Concrete plugins (Shore-Western, MPlugin, xPC, LabVIEW,
+pure simulation, human approval) are in :mod:`repro.control`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.messages import Proposal
+from repro.core.policy import SitePolicy
+from repro.sim import Kernel
+
+
+class ControlPlugin:
+    """Base class for site control plugins.
+
+    Lifecycle per transaction: the server calls :meth:`review` during
+    proposal negotiation (raise :class:`~repro.util.errors.PolicyViolation`
+    to reject), then — if the client executes — :meth:`execute` as a kernel
+    process whose return value becomes the transaction's readings.
+    :meth:`cancel` is invoked when the server abandons an in-flight
+    execution (timeout); plugins that cannot physically undo work may simply
+    stop commanding.
+    """
+
+    #: human-readable plugin type for logs and inspection
+    plugin_type: str = "abstract"
+
+    def __init__(self, *, policy: SitePolicy | None = None):
+        self.policy = policy if policy is not None else SitePolicy()
+        self.kernel: Kernel | None = None
+        self.site: str = "?"
+
+    def attach(self, kernel: Kernel, site: str) -> None:
+        """Called by the NTCP server when the plugin is installed."""
+        self.kernel = kernel
+        self.site = site
+
+    # -- negotiation ---------------------------------------------------------
+    def review(self, proposal: Proposal) -> None:
+        """Accept (return) or reject (raise ``PolicyViolation``) a proposal.
+
+        May also be implemented as a generator for reviews that take
+        simulation time (e.g. a human approving each action, as UIUC ran
+        during initial MOST testing).  Default: delegate to the site policy.
+        """
+        self.policy.check(proposal.actions)
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, proposal: Proposal) -> Generator[Any, Any, dict[str, Any]]:
+        """Perform the proposal's actions; return the readings dict.
+
+        Must be a generator (it runs as a kernel process and may consume
+        simulation time for actuator settling, back-end polling, etc.).
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator template
+
+    def cancel(self, proposal: Proposal) -> None:
+        """Best-effort abort of an in-flight execution (default: no-op)."""

@@ -1,0 +1,81 @@
+"""Site-local policy for NTCP proposal negotiation.
+
+"Facility managers want to retain some control over what commands are
+acceptable (e.g., to set limits on the amount of force that can be applied
+on the local specimen...)".  A :class:`SitePolicy` is checked when a
+proposal arrives — accepting or rejecting it *before* any action executes,
+which is the whole point of NTCP's propose/execute split (an action on a
+physical specimen cannot be undone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import Action
+from repro.util.errors import PolicyViolation
+
+
+@dataclass(frozen=True)
+class ParameterLimit:
+    """Bounds for one numeric action parameter."""
+
+    minimum: float = float("-inf")
+    maximum: float = float("inf")
+
+    def check(self, name: str, value: float) -> None:
+        if not self.minimum <= value <= self.maximum:
+            limit = self.maximum if value > self.maximum else self.minimum
+            raise PolicyViolation(
+                f"parameter {name!r}={value:g} outside "
+                f"[{self.minimum:g}, {self.maximum:g}]",
+                parameter=name, limit=limit, requested=value)
+
+
+class SitePolicy:
+    """Allowed action kinds plus per-parameter numeric limits.
+
+    An empty policy accepts everything — the paper's simulation-only sites
+    ran effectively unconstrained, while UIUC and CU limited actuator
+    displacements.
+    """
+
+    def __init__(self, *, allowed_kinds: set[str] | None = None,
+                 max_actions_per_proposal: int | None = None):
+        self.allowed_kinds = allowed_kinds
+        self.max_actions_per_proposal = max_actions_per_proposal
+        self._limits: dict[tuple[str, str], ParameterLimit] = {}
+
+    def limit(self, kind: str, parameter: str, *,
+              minimum: float = float("-inf"),
+              maximum: float = float("inf")) -> "SitePolicy":
+        """Add a numeric bound on ``parameter`` of action ``kind``; chainable."""
+        self._limits[(kind, parameter)] = ParameterLimit(minimum, maximum)
+        return self
+
+    def check_action(self, action: Action) -> None:
+        """Raise :class:`PolicyViolation` if a single action is unacceptable."""
+        if self.allowed_kinds is not None and action.kind not in self.allowed_kinds:
+            raise PolicyViolation(
+                f"action kind {action.kind!r} not permitted at this site",
+                parameter="kind")
+        for (kind, param), lim in self._limits.items():
+            if kind != action.kind or param not in action.params:
+                continue
+            value = action.params[param]
+            if isinstance(value, (int, float)):
+                lim.check(param, float(value))
+
+    def check(self, actions) -> None:
+        """Check a whole proposal's actions; first violation wins."""
+        actions = list(actions)
+        if (self.max_actions_per_proposal is not None
+                and len(actions) > self.max_actions_per_proposal):
+            raise PolicyViolation(
+                f"proposal has {len(actions)} actions; site allows at most "
+                f"{self.max_actions_per_proposal}",
+                parameter="actions",
+                limit=float(self.max_actions_per_proposal),
+                requested=float(len(actions)))
+        for action in actions:
+            self.check_action(action)

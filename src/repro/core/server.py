@@ -1,0 +1,250 @@
+"""The generic NTCP server core.
+
+Implements everything site-independent (Figure 2's left box): transaction
+state management, at-most-once execution semantics, proposal negotiation
+through the installed control plugin, execution timeouts, and OGSI service
+data publication (one SDE per transaction plus the "most recently changed"
+SDE the paper highlights for whole-server monitoring).
+
+Operations exposed through the OGSI container:
+
+* ``propose``  — create (or idempotently re-observe) a transaction;
+* ``execute``  — run an accepted transaction exactly once;
+* ``cancel``   — abandon a transaction before execution;
+* ``getTransaction`` / ``getResults`` / ``listTransactions`` — inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.messages import Proposal, TransactionResult
+from repro.core.plugin import ControlPlugin
+from repro.core.transaction import Transaction, TransactionState
+from repro.ogsi.service import GridService
+from repro.util.errors import PolicyViolation, ProtocolError
+
+
+class NTCPServer(GridService):
+    """One site's NTCP service, parameterized by a control plugin.
+
+    ``at_most_once=False`` disables execution deduplication — an ablation
+    switch for benchmarking the damage at-least-once semantics would do
+    (duplicate execute requests re-run the plugin, i.e. re-move hardware).
+    Production deployments must leave it on; it is the protocol property
+    the paper's retry story rests on.
+    """
+
+    def __init__(self, service_id: str, plugin: ControlPlugin, *,
+                 at_most_once: bool = True):
+        super().__init__(service_id)
+        self.plugin = plugin
+        self.at_most_once = at_most_once
+        self.transactions: dict[str, Transaction] = {}
+        self._completion_events: dict[str, Any] = {}
+        self.stats = {"proposed": 0, "accepted": 0, "rejected": 0,
+                      "executed": 0, "failed": 0, "cancelled": 0,
+                      "duplicate_proposals": 0, "duplicate_executes": 0}
+
+    def on_attach(self) -> None:
+        self.plugin.attach(self.kernel, site=self.service_id)
+        self.service_data.set("lastChanged", None)
+        self.service_data.set("plugin", self.plugin.plugin_type)
+        for op in ("propose", "execute", "cancel", "getTransaction",
+                   "getResults", "listTransactions"):
+            self.expose(op, getattr(self, f"_op_{op}"))
+
+    # -- state publication -----------------------------------------------------
+    def _publish(self, txn: Transaction) -> None:
+        """Refresh the transaction's SDE and the lastChanged SDE."""
+        self.service_data.set(f"transaction:{txn.name}", txn.to_sde_value())
+        self.service_data.set("lastChanged", txn.name)
+        self.emit("transaction." + txn.state.value, transaction=txn.name)
+
+    def _get(self, name: str) -> Transaction:
+        txn = self.transactions.get(name)
+        if txn is None:
+            raise ProtocolError(
+                f"unknown transaction {name!r} at {self.service_id}")
+        return txn
+
+    # -- operations ----------------------------------------------------------
+    def _op_propose(self, caller, proposal: dict[str, Any]):
+        """Negotiate a proposal; returns the verdict dict.
+
+        Idempotent on transaction name: re-proposing returns the recorded
+        verdict without consulting the plugin again.
+        """
+        prop = Proposal.from_dict(proposal)
+        existing = self.transactions.get(prop.transaction)
+        if existing is not None:
+            self.stats["duplicate_proposals"] += 1
+            return self._verdict(existing)
+        txn = Transaction(proposal=prop,
+                          history=[(TransactionState.PROPOSED, self.kernel.now)])
+        self.transactions[prop.transaction] = txn
+        self.stats["proposed"] += 1
+        self._publish(txn)
+        review = None
+        try:
+            review = self.plugin.review(prop)
+        except PolicyViolation as exc:
+            return self._reject(txn, str(exc))
+        if hasattr(review, "send") and hasattr(review, "throw"):
+            # Timed review (e.g. human approval): finish as a sub-process.
+            return self._timed_review(txn, review)
+        return self._accept(txn)
+
+    def _timed_review(self, txn: Transaction, review):
+        try:
+            result = yield from review
+        except PolicyViolation as exc:
+            return self._reject(txn, str(exc))
+        del result
+        return self._accept(txn)
+
+    def _accept(self, txn: Transaction):
+        txn.transition(TransactionState.ACCEPTED, self.kernel.now)
+        self.stats["accepted"] += 1
+        self._publish(txn)
+        return self._verdict(txn)
+
+    def _reject(self, txn: Transaction, reason: str):
+        txn.transition(TransactionState.REJECTED, self.kernel.now, error=reason)
+        self.stats["rejected"] += 1
+        self._publish(txn)
+        return self._verdict(txn)
+
+    def _verdict(self, txn: Transaction) -> dict[str, Any]:
+        return {"transaction": txn.name, "state": txn.state.value,
+                "error": txn.error}
+
+    def _op_execute(self, caller, transaction: str):
+        """Execute an accepted transaction with at-most-once semantics.
+
+        Duplicate execute requests — retries after a lost response, or a
+        second request racing an in-flight execution — never re-run the
+        plugin: they return the stored result, or wait for the in-flight
+        run to finish and return *its* result.
+        """
+        txn = self._get(transaction)
+        if txn.state is TransactionState.EXECUTED:
+            self.stats["duplicate_executes"] += 1
+            assert txn.result is not None
+            if not self.at_most_once:
+                # Ablation: at-least-once semantics re-run the plugin.
+                done = self.kernel.event(name=f"redo({txn.name})")
+                txn.state = TransactionState.EXECUTING  # bypass the guard
+                return self._run_plugin(txn, done)
+            return txn.result.to_dict()
+        if txn.state is TransactionState.EXECUTING:
+            self.stats["duplicate_executes"] += 1
+            return self._await_completion(txn)
+        if txn.state is not TransactionState.ACCEPTED:
+            raise ProtocolError(
+                f"transaction {transaction!r} is {txn.state.value}; "
+                f"only accepted transactions can execute"
+                + (f" ({txn.error})" if txn.error else ""))
+        # Proposal lifetime (soft state): an acceptance is not a blank
+        # check — it lapses if the client waits too long to execute.
+        accepted_at = txn.timestamps().get("accepted", 0.0)
+        if self.kernel.now > accepted_at + txn.proposal.proposal_lifetime:
+            txn.transition(TransactionState.CANCELLED, self.kernel.now,
+                           error="proposal lifetime expired before execute")
+            self.stats["cancelled"] += 1
+            self._publish(txn)
+            raise ProtocolError(
+                f"transaction {transaction!r}: proposal lifetime of "
+                f"{txn.proposal.proposal_lifetime:g} s expired")
+        txn.transition(TransactionState.EXECUTING, self.kernel.now)
+        self._publish(txn)
+        done = self.kernel.event(name=f"done({txn.name})")
+        self._completion_events[txn.name] = done
+        return self._run_plugin(txn, done)
+
+    def _run_plugin(self, txn: Transaction, done):
+        started = self.kernel.now
+        work = self.kernel.process(self.plugin.execute(txn.proposal),
+                                   name=f"{self.service_id}.exec.{txn.name}")
+        timer = self.kernel.timeout(txn.proposal.execution_timeout)
+        try:
+            fired = yield self.kernel.any_of([work, timer])
+        except Exception as exc:
+            # The plugin itself raised: the transaction failed.
+            reason = f"plugin error: {exc}"
+            txn.transition(TransactionState.FAILED, self.kernel.now,
+                           error=reason)
+            self.stats["failed"] += 1
+            self._publish(txn)
+            done.fail(ProtocolError(reason))
+            done.defuse()
+            raise ProtocolError(reason) from exc
+        finally:
+            self._completion_events.pop(txn.name, None)
+        if work in fired:
+            readings = fired[work]
+            txn.result = TransactionResult(
+                transaction=txn.name,
+                readings=readings if isinstance(readings, dict) else
+                {"value": readings},
+                started=started, finished=self.kernel.now)
+            txn.transition(TransactionState.EXECUTED, self.kernel.now)
+            self.stats["executed"] += 1
+            self._publish(txn)
+            done.succeed(txn.result.to_dict())
+            return txn.result.to_dict()
+        # Execution timed out: abandon the plugin run and fail the txn.
+        self.plugin.cancel(txn.proposal)
+        if work.is_alive:
+            work.interrupt("execution timeout")
+        work.defuse()
+        reason = (f"execution exceeded timeout of "
+                  f"{txn.proposal.execution_timeout:g} s")
+        txn.transition(TransactionState.FAILED, self.kernel.now, error=reason)
+        self.stats["failed"] += 1
+        self._publish(txn)
+        done.fail(ProtocolError(reason))
+        done.defuse()
+        raise ProtocolError(reason)
+
+    def _await_completion(self, txn: Transaction):
+        done = self._completion_events.get(txn.name)
+        if done is None:  # completed between checks (same-time race)
+            if txn.result is not None:  # pragma: no cover - defensive
+                return txn.result.to_dict()
+            raise ProtocolError(f"transaction {txn.name!r} in limbo")
+        result = yield done
+        return result
+
+    def _op_cancel(self, caller, transaction: str):
+        """Cancel a not-yet-executing transaction."""
+        txn = self._get(transaction)
+        if txn.state in (TransactionState.PROPOSED, TransactionState.ACCEPTED):
+            txn.transition(TransactionState.CANCELLED, self.kernel.now,
+                           error="cancelled by client")
+            self.stats["cancelled"] += 1
+            self._publish(txn)
+            return self._verdict(txn)
+        if txn.state is TransactionState.CANCELLED:
+            return self._verdict(txn)  # idempotent
+        raise ProtocolError(
+            f"cannot cancel transaction {transaction!r} in state "
+            f"{txn.state.value}")
+
+    def _op_getTransaction(self, caller, transaction: str):
+        return self._get(transaction).to_sde_value()
+
+    def _op_getResults(self, caller, transaction: str):
+        txn = self._get(transaction)
+        if txn.result is None:
+            raise ProtocolError(
+                f"transaction {transaction!r} has no results "
+                f"(state {txn.state.value})")
+        return txn.result.to_dict()
+
+    def _op_listTransactions(self, caller, state: str | None = None):
+        names = []
+        for txn in self.transactions.values():
+            if state is None or txn.state.value == state:
+                names.append(txn.name)
+        return sorted(names)

@@ -1,0 +1,15 @@
+"""Data acquisition (DAQ) subsystem.
+
+Reproduces the paper's Figure 10 pipeline: site sensors are sampled by a
+local DAQ system (both MOST sites ran LabVIEW), samples are deposited as
+files on a network-mounted staging store, and an upload path (NFMS +
+GridFTP, see :mod:`repro.repository.ingest`) moves them to the central
+repository.  Live samples are simultaneously offered to listeners — the tap
+the NEESgrid Streaming Data Service feeds from.
+"""
+
+from repro.daq.sensors import SensorChannel
+from repro.daq.filestore import StagedFile, StagingStore
+from repro.daq.daq_system import DAQSystem
+
+__all__ = ["SensorChannel", "StagingStore", "StagedFile", "DAQSystem"]

@@ -1,0 +1,32 @@
+"""DAQ sensor channels."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.structural.specimen import Sensor
+
+
+class SensorChannel:
+    """One named DAQ channel: a physical quantity read through a sensor.
+
+    ``source`` returns the current true value of the measured quantity
+    (e.g. a lambda closing over a specimen's actuator position); ``sensor``
+    adds gain/noise/bias/quantization.  MOST instrumented each column with
+    an LVDT (position), a load cell (force), and strain gauges.
+    """
+
+    def __init__(self, name: str, source: Callable[[], float],
+                 sensor: Sensor | None = None, units: str = ""):
+        self.name = name
+        self.source = source
+        self.sensor = sensor if sensor is not None else Sensor()
+        self.units = units
+        self.samples_taken = 0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """One reading of the underlying quantity."""
+        self.samples_taken += 1
+        return self.sensor.read(float(self.source()), rng)

@@ -1,0 +1,57 @@
+"""The paper's §5 "Ongoing Work" experiments, built on the same framework.
+
+Section 5 lists four planned follow-on uses of NEESgrid; each is
+implemented here as a runnable experiment, demonstrating the paper's claim
+that the framework generalizes beyond MOST:
+
+* :mod:`~repro.followon.soil_structure` — the RPI/UIUC/Lehigh/NCSA
+  soil-structure interaction test (Collector-Distributor 36 of the Santa
+  Monica Freeway), with a geotechnical centrifuge site whose commands and
+  measurements obey centrifuge similitude scaling;
+* :mod:`~repro.followon.field_test` — the UCLA four-story building forced
+  vibration field test: wireless sensor arrays over lossy 802.11 links,
+  a mobile command center archiving locally, and satellite telemetry back
+  to the repository;
+* :mod:`~repro.followon.centrifuge_robot` — the UC Davis centrifuge robot
+  arm with exchangeable tools and piezoelectric bender elements, driven
+  through NTCP with a *non-displacement* action vocabulary (the §6 claim
+  that "NTCP ... can be used to control and observe a wide range of
+  devices");
+* :mod:`~repro.followon.six_dof` — the Minnesota six-degree-of-freedom
+  controller applying quasi-static load poses, with framework-triggered
+  still-image capture as data.
+"""
+
+from repro.followon.soil_structure import (
+    CentrifugePlugin,
+    SoilStructureConfig,
+    run_soil_structure_experiment,
+)
+from repro.followon.field_test import (
+    FieldTestConfig,
+    run_field_test,
+)
+from repro.followon.centrifuge_robot import (
+    RobotArm,
+    RobotArmPlugin,
+    run_robot_survey,
+)
+from repro.followon.six_dof import (
+    SixDofController,
+    SixDofPlugin,
+    run_six_dof_loading,
+)
+
+__all__ = [
+    "SoilStructureConfig",
+    "CentrifugePlugin",
+    "run_soil_structure_experiment",
+    "FieldTestConfig",
+    "run_field_test",
+    "RobotArm",
+    "RobotArmPlugin",
+    "run_robot_survey",
+    "SixDofController",
+    "SixDofPlugin",
+    "run_six_dof_loading",
+]

@@ -1,0 +1,262 @@
+"""UC Davis centrifuge robot arm (paper §5).
+
+"Engineers at UC Davis are working on an experiment that uses the NEESgrid
+framework to characterize how the properties of soil change during shaking
+or ground improvement.  This experiment includes remote operation of a
+robot arm that will be attached to their centrifuge and of piezo-electric
+bender element sources and receivers embedded within the centrifuge model.
+The robot arm has exchangeable tools: a stereo video camera tool for
+telepresence, an ultrasound tool for imaging, a cone penetrometer, a needle
+probe for high resolution imaging, and a gripper tool for installation of
+piles and manipulation/loading."
+
+This is the §6 generality claim made concrete: the same NTCP machinery, a
+*different action vocabulary*.  :class:`RobotArmPlugin` understands
+``select-tool``, ``move-arm``, ``cone-push`` and ``bender-pulse`` actions;
+the soil model's shear-wave velocity profile (which the bender array
+measures) degrades as shaking accumulates — the property change the
+experiment exists to characterize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.messages import Action, Proposal
+from repro.core.plugin import ControlPlugin
+from repro.core.policy import SitePolicy
+from repro.util.errors import PolicyViolation
+
+#: tools the paper lists for the exchangeable-tool robot arm
+TOOLS = ("stereo-camera", "ultrasound", "cone-penetrometer",
+         "needle-probe", "gripper")
+
+
+@dataclass
+class SoilColumnModel:
+    """The in-flight soil model the bender elements interrogate.
+
+    A layered profile of shear-wave velocities.  Shaking (or remolding by
+    the penetrometer) degrades velocity; ground improvement increases it —
+    "how the properties of soil change during shaking or ground
+    improvement".
+    """
+
+    depths: np.ndarray = field(
+        default_factory=lambda: np.linspace(0.05, 0.5, 10))
+    vs: np.ndarray = field(
+        default_factory=lambda: 120.0 + 200.0 * np.linspace(0.05, 0.5, 10))
+    cone_resistance: float = 2.0e6  # Pa, nominal tip resistance
+
+    def travel_time(self, source_depth: float, receiver_depth: float) -> float:
+        """Shear-wave travel time between two embedded elements."""
+        lo, hi = sorted((source_depth, receiver_depth))
+        mask = (self.depths >= lo) & (self.depths <= hi)
+        if not np.any(mask):
+            idx = int(np.argmin(np.abs(self.depths - 0.5 * (lo + hi))))
+            return abs(hi - lo) / float(self.vs[idx])
+        segment = abs(hi - lo) / max(1, int(np.sum(mask)))
+        return float(np.sum(segment / self.vs[mask]))
+
+    def apply_shaking(self, intensity: float) -> None:
+        """Cyclic degradation: velocities drop with shaking intensity."""
+        self.vs = self.vs * (1.0 - 0.1 * min(1.0, intensity))
+
+    def improve(self, factor: float = 1.1) -> None:
+        """Ground improvement (e.g. compaction piles via the gripper)."""
+        self.vs = self.vs * factor
+
+
+class RobotArm:
+    """The arm itself: position, mounted tool, motion timing."""
+
+    def __init__(self, *, reach: float = 0.6, speed: float = 0.05,
+                 tool_change_time: float = 20.0):
+        self.reach = reach
+        self.speed = speed
+        self.tool_change_time = tool_change_time
+        self.position = np.zeros(3)
+        self.tool: str | None = None
+        self.tool_changes = 0
+        self.moves = 0
+
+    def check_target(self, target: np.ndarray) -> None:
+        if np.linalg.norm(target) > self.reach:
+            raise PolicyViolation(
+                f"target {target.tolist()} beyond arm reach {self.reach} m",
+                parameter="position", limit=self.reach,
+                requested=float(np.linalg.norm(target)))
+
+    def travel_time(self, target: np.ndarray) -> float:
+        return float(np.linalg.norm(target - self.position) / self.speed)
+
+
+class RobotArmPlugin(ControlPlugin):
+    """NTCP plugin exposing the robot arm + bender array.
+
+    Action vocabulary (all flow through ordinary NTCP proposals, so every
+    motion gets facility review first):
+
+    * ``select-tool {"tool": name}`` — swap the end effector;
+    * ``move-arm {"x", "y", "z"}`` — move the tool point;
+    * ``cone-push {"depth"}`` — penetrometer sounding (requires the
+      cone-penetrometer tool); returns tip resistance;
+    * ``bender-pulse {"source_depth", "receiver_depths"}`` — fire a bender
+      source, returns travel times and derived shear-wave velocities;
+    * ``install-pile {"x", "y"}`` — gripper-based ground improvement.
+    """
+
+    plugin_type = "robot-arm"
+
+    def __init__(self, arm: RobotArm, soil: SoilColumnModel, *,
+                 policy: SitePolicy | None = None):
+        super().__init__(policy=policy)
+        self.arm = arm
+        self.soil = soil
+        self.soundings: list[dict] = []
+
+    # -- negotiation ---------------------------------------------------------
+    def review(self, proposal: Proposal) -> None:
+        self.policy.check(proposal.actions)
+        tool = self.arm.tool
+        for action in proposal.actions:
+            if action.kind == "select-tool":
+                tool = str(action.params.get("tool"))
+                if tool not in TOOLS:
+                    raise PolicyViolation(f"unknown tool {tool!r}",
+                                          parameter="tool")
+            elif action.kind == "move-arm":
+                target = np.array([action.params.get(k, 0.0)
+                                   for k in ("x", "y", "z")], dtype=float)
+                self.arm.check_target(target)
+            elif action.kind == "cone-push":
+                if tool != "cone-penetrometer":
+                    raise PolicyViolation(
+                        "cone-push requires the cone-penetrometer tool "
+                        f"(mounted: {tool})", parameter="tool")
+            elif action.kind == "install-pile":
+                if tool != "gripper":
+                    raise PolicyViolation(
+                        "install-pile requires the gripper tool "
+                        f"(mounted: {tool})", parameter="tool")
+            elif action.kind == "bender-pulse":
+                pass  # embedded elements, no arm precondition
+            else:
+                raise PolicyViolation(
+                    f"action kind {action.kind!r} not understood by the "
+                    "robot-arm site", parameter="kind")
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, proposal: Proposal):
+        readings: dict = {"events": [], "forces": {}}
+        for action in proposal.actions:
+            handler = getattr(self, "_do_" + action.kind.replace("-", "_"))
+            result = yield from handler(action)
+            readings["events"].append({"action": action.kind, **result})
+        return readings
+
+    def _do_select_tool(self, action: Action):
+        yield self.kernel.timeout(self.arm.tool_change_time)
+        self.arm.tool = str(action.params["tool"])
+        self.arm.tool_changes += 1
+        return {"tool": self.arm.tool}
+
+    def _do_move_arm(self, action: Action):
+        target = np.array([action.params.get(k, 0.0)
+                           for k in ("x", "y", "z")], dtype=float)
+        travel = self.arm.travel_time(target)
+        if travel > 0:
+            yield self.kernel.timeout(travel)
+        self.arm.position = target
+        self.arm.moves += 1
+        return {"position": target.tolist(), "travel_time": travel}
+
+    def _do_cone_push(self, action: Action):
+        depth = float(action.params["depth"])
+        yield self.kernel.timeout(depth / 0.002)  # 2 mm/s standard rate
+        # resistance grows with depth and current soil stiffness
+        idx = int(np.argmin(np.abs(self.soil.depths - depth)))
+        resistance = (self.soil.cone_resistance
+                      * (self.soil.vs[idx] / 200.0) ** 2 * (0.5 + depth))
+        sounding = {"depth": depth, "tip_resistance": float(resistance)}
+        self.soundings.append(sounding)
+        return sounding
+
+    def _do_bender_pulse(self, action: Action):
+        source = float(action.params["source_depth"])
+        receivers = [float(d) for d in action.params["receiver_depths"]]
+        yield self.kernel.timeout(0.5)  # pulse + acquisition
+        times = {f"{d:.3f}": self.soil.travel_time(source, d)
+                 for d in receivers}
+        velocities = {k: abs(float(k) - source) / t if t > 0 else 0.0
+                      for k, t in times.items()}
+        return {"source_depth": source, "travel_times": times,
+                "shear_wave_velocities": velocities}
+
+    def _do_install_pile(self, action: Action):
+        yield self.kernel.timeout(60.0)
+        self.soil.improve(1.08)
+        return {"pile_at": [action.params.get("x", 0.0),
+                            action.params.get("y", 0.0)],
+                "improvement_factor": 1.08}
+
+
+def run_robot_survey(*, shake_intensity: float = 0.8, n_piles: int = 2,
+                     seed: int = 0):
+    """Characterize the soil before/after shaking and after improvement.
+
+    Returns ``(survey, env)`` where ``survey`` holds the three shear-wave
+    velocity profiles and penetrometer soundings.  Demonstrates the whole
+    §5 description through plain NTCP proposals.
+    """
+    from repro.testing import make_site
+
+    del seed  # deterministic already; kept for API symmetry
+    soil = SoilColumnModel()
+    arm = RobotArm()
+    plugin = RobotArmPlugin(arm, soil)
+    env = make_site(plugin, timeout=3600.0)
+    depths = [0.1, 0.2, 0.3, 0.4]
+    survey: dict = {"phases": {}}
+    counter = [0]
+
+    def measure(tag):
+        counter[0] += 1
+        result = yield from env.client.propose_and_execute(
+            env.handle, f"survey-{tag}-{counter[0]}",
+            [Action("bender-pulse", {"source_depth": 0.05,
+                                     "receiver_depths": depths})],
+            execution_timeout=600.0)
+        survey["phases"][tag] = \
+            result["readings"]["events"][0]["shear_wave_velocities"]
+
+    def sounding(tag):
+        counter[0] += 1
+        result = yield from env.client.propose_and_execute(
+            env.handle, f"cpt-{tag}-{counter[0]}",
+            [Action("select-tool", {"tool": "cone-penetrometer"}),
+             Action("move-arm", {"x": 0.1, "y": 0.0, "z": 0.0}),
+             Action("cone-push", {"depth": 0.3})],
+            execution_timeout=3600.0)
+        survey["phases"][f"cpt-{tag}"] = result["readings"]["events"][-1]
+
+    def campaign():
+        yield from measure("initial")
+        yield from sounding("initial")
+        soil.apply_shaking(shake_intensity)   # the centrifuge shakes
+        yield from measure("after-shaking")
+        # ground improvement: install piles with the gripper
+        counter[0] += 1
+        yield from env.client.propose_and_execute(
+            env.handle, f"piles-{counter[0]}",
+            [Action("select-tool", {"tool": "gripper"})]
+            + [Action("install-pile", {"x": 0.05 * i, "y": 0.0})
+               for i in range(n_piles)],
+            execution_timeout=3600.0)
+        yield from measure("after-improvement")
+        yield from sounding("final")
+
+    env.run(campaign())
+    return survey, env

@@ -1,0 +1,176 @@
+"""University of Minnesota six-DOF quasi-static loading (paper §5).
+
+"At the University of Minnesota, an experiment is planned that will use
+the NEESgrid framework to operate a six-degree-of-freedom controller, to
+apply realistic deformations and loading quasi-statically to large-scale
+structures.  This experiment will also use video and still images as data,
+using the NEESgrid framework to trigger still image capture."
+
+:class:`SixDofPlugin` accepts ``set-pose`` actions carrying all six
+components (three translations [m], three rotations [rad]) and
+``capture-still`` actions that trigger a camera frame *as data* — the
+image record is returned in the transaction readings and can be archived
+like any sensor block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.messages import Action, Proposal
+from repro.core.plugin import ControlPlugin
+from repro.core.policy import SitePolicy
+from repro.util.errors import PolicyViolation
+
+AXES = ("x", "y", "z", "rx", "ry", "rz")
+
+
+@dataclass
+class SixDofLimits:
+    """Per-axis travel limits of the crosshead."""
+
+    translation: float = 0.25   # m
+    rotation: float = 0.12      # rad
+
+    def check(self, pose: np.ndarray) -> None:
+        for i, axis in enumerate(AXES):
+            limit = self.translation if i < 3 else self.rotation
+            if abs(pose[i]) > limit:
+                raise PolicyViolation(
+                    f"axis {axis} target {pose[i]:+.4f} exceeds "
+                    f"±{limit:g}", parameter=axis, limit=limit,
+                    requested=float(pose[i]))
+
+
+class SixDofController:
+    """The crosshead: six coupled actuators under displacement control.
+
+    The specimen is a large-scale structure idealized by a 6×6 stiffness
+    matrix (diagonal by default, with optional coupling); quasi-static
+    loading means rate-limited motion with full settle at each pose.
+    """
+
+    def __init__(self, stiffness: np.ndarray | None = None, *,
+                 limits: SixDofLimits | None = None,
+                 translation_rate: float = 0.002,
+                 rotation_rate: float = 0.001, seed: int = 0):
+        if stiffness is None:
+            stiffness = np.diag([4e7, 4e7, 9e7, 6e6, 6e6, 4e6])
+        self.stiffness = np.asarray(stiffness, dtype=float)
+        assert self.stiffness.shape == (6, 6)
+        self.limits = limits if limits is not None else SixDofLimits()
+        self.translation_rate = translation_rate
+        self.rotation_rate = rotation_rate
+        self.pose = np.zeros(6)
+        self.rng = np.random.default_rng(seed)
+        self.poses_applied = 0
+
+    def move_time(self, target: np.ndarray) -> float:
+        """Quasi-static travel time: the slowest axis gates the move."""
+        delta = np.abs(target - self.pose)
+        t_trans = float(np.max(delta[:3])) / self.translation_rate
+        t_rot = float(np.max(delta[3:])) / self.rotation_rate
+        return max(t_trans, t_rot, 1.0)
+
+    def apply(self, target: np.ndarray) -> dict:
+        """Settle at the target pose; returns measured loads per axis."""
+        self.pose = target.copy()
+        self.poses_applied += 1
+        loads = self.stiffness @ self.pose
+        noise = self.rng.normal(0.0, 50.0, size=6)
+        return {axis: float(loads[i] + noise[i])
+                for i, axis in enumerate(AXES)}
+
+
+class StillCamera:
+    """Framework-triggered still image capture: images are data records."""
+
+    def __init__(self) -> None:
+        self.captures = 0
+
+    def capture(self, time: float, pose: np.ndarray) -> dict:
+        self.captures += 1
+        return {
+            "image_id": f"still-{self.captures:05d}",
+            "time": time,
+            "pose": pose.tolist(),
+            # a stand-in payload: deterministic "pixels" derived from pose
+            "thumbnail": [round(float(v), 6) for v in np.tanh(pose * 10)],
+        }
+
+
+class SixDofPlugin(ControlPlugin):
+    """NTCP plugin for the 6-DOF controller + still camera."""
+
+    plugin_type = "six-dof"
+
+    def __init__(self, controller: SixDofController,
+                 camera: StillCamera | None = None, *,
+                 policy: SitePolicy | None = None):
+        super().__init__(policy=policy)
+        self.controller = controller
+        self.camera = camera if camera is not None else StillCamera()
+        self.images: list[dict] = []
+
+    def review(self, proposal: Proposal) -> None:
+        self.policy.check(proposal.actions)
+        for action in proposal.actions:
+            if action.kind == "set-pose":
+                pose = np.array([float(action.params.get(a, 0.0))
+                                 for a in AXES])
+                self.controller.limits.check(pose)
+            elif action.kind != "capture-still":
+                raise PolicyViolation(
+                    f"action kind {action.kind!r} not understood by the "
+                    "six-DOF site", parameter="kind")
+
+    def execute(self, proposal: Proposal):
+        readings: dict = {"poses": [], "loads": [], "images": [],
+                          "forces": {}}
+        for action in proposal.actions:
+            if action.kind == "set-pose":
+                target = np.array([float(action.params.get(a, 0.0))
+                                   for a in AXES])
+                yield self.kernel.timeout(self.controller.move_time(target))
+                loads = self.controller.apply(target)
+                readings["poses"].append(target.tolist())
+                readings["loads"].append(loads)
+            else:  # capture-still
+                yield self.kernel.timeout(0.5)  # shutter + readout
+                image = self.camera.capture(self.kernel.now,
+                                            self.controller.pose)
+                self.images.append(image)
+                readings["images"].append(image)
+        return readings
+
+
+def run_six_dof_loading(*, n_poses: int = 8, amplitude: float = 0.05,
+                        capture_every: int = 2):
+    """A quasi-static loading protocol with periodic still capture.
+
+    Applies a crescent of combined translation+rotation poses, capturing a
+    still every ``capture_every`` poses; returns ``(records, env)``.
+    """
+    from repro.testing import make_site
+
+    controller = SixDofController()
+    plugin = SixDofPlugin(controller)
+    env = make_site(plugin, timeout=1e5)
+    records: list[dict] = []
+
+    def protocol():
+        for i in range(n_poses):
+            scale = amplitude * (i + 1) / n_poses
+            actions = [Action("set-pose", {
+                "x": scale, "y": 0.4 * scale, "rz": 0.4 * scale})]
+            if (i + 1) % capture_every == 0:
+                actions.append(Action("capture-still"))
+            result = yield from env.client.propose_and_execute(
+                env.handle, f"pose-{i:03d}", actions,
+                execution_timeout=1e5, timeout=1e5)
+            records.append(result["readings"])
+
+    env.run(protocol())
+    return records, env

@@ -1,0 +1,49 @@
+"""Simulated Grid Security Infrastructure (GSI).
+
+The paper secures all NEESgrid communication with GSI: X.509 identity
+certificates, proxy-certificate delegation, mutual authentication, per-site
+authorization via gridmap files, and (planned, §2.3) the Community
+Authorization Service (CAS).  Real X.509/TLS is unavailable offline and
+irrelevant to the architecture, so this package reproduces GSI's *protocol
+structure* over a toy-but-faithful crypto substrate:
+
+* :class:`~repro.gsi.crypto.Crypto` — keypairs, signing and verification
+  with possession semantics (you must hold the private key object to sign);
+* :class:`~repro.gsi.credentials.CertificateAuthority` /
+  :class:`~repro.gsi.credentials.Credential` — certificate issuance, chain
+  validation, expiry, and proxy delegation with depth tracking;
+* :class:`~repro.gsi.authz.Gridmap` — subject → local-account mapping and
+  method-level access control, as each MOST site enforced;
+* :class:`~repro.gsi.cas.CommunityAuthorizationService` — signed community
+  rights assertions (the CAS of reference [17]);
+* :class:`~repro.gsi.session.GsiAuthenticator` — produces per-request
+  signed tokens, and :class:`~repro.gsi.session.GsiChecker` plugs into
+  :class:`repro.net.rpc.RpcService` to verify them.
+"""
+
+from repro.gsi.crypto import Crypto, KeyPair
+from repro.gsi.credentials import (
+    Certificate,
+    CertificateAuthority,
+    Credential,
+    validate_chain,
+)
+from repro.gsi.authz import Gridmap, Principal
+from repro.gsi.cas import CasAssertion, CommunityAuthorizationService
+from repro.gsi.session import GsiAuthenticator, GsiChecker, GsiToken
+
+__all__ = [
+    "Crypto",
+    "KeyPair",
+    "Certificate",
+    "CertificateAuthority",
+    "Credential",
+    "validate_chain",
+    "Gridmap",
+    "Principal",
+    "CasAssertion",
+    "CommunityAuthorizationService",
+    "GsiAuthenticator",
+    "GsiChecker",
+    "GsiToken",
+]

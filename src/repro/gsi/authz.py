@@ -1,0 +1,64 @@
+"""Site-local authorization: gridmap files and method-level policy.
+
+Each NEESgrid site retained control over who could do what to its equipment
+("facility managers want to retain some control over what commands are
+acceptable").  The first line of that control is the classic Globus gridmap
+file — a mapping from certificate subject to a local account — plus an
+optional per-method access list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import SecurityError
+
+
+@dataclass(frozen=True)
+class Principal:
+    """The authenticated, authorized caller handed to service handlers."""
+
+    subject: str
+    local_user: str
+    rights: frozenset[str] = frozenset()
+
+    def has_right(self, right: str) -> bool:
+        return right in self.rights
+
+
+@dataclass
+class Gridmap:
+    """Subject → local user mapping with optional per-method ACLs.
+
+    ``method_acl`` maps method names to the set of local users allowed to
+    invoke them; methods absent from the ACL are open to every mapped user.
+    """
+
+    entries: dict[str, str] = field(default_factory=dict)
+    method_acl: dict[str, set[str]] = field(default_factory=dict)
+
+    def add(self, subject: str, local_user: str) -> None:
+        self.entries[subject] = local_user
+
+    def remove(self, subject: str) -> None:
+        self.entries.pop(subject, None)
+
+    def restrict(self, method: str, local_users: set[str]) -> None:
+        """Limit ``method`` to the given local users."""
+        self.method_acl[method] = set(local_users)
+
+    def map_subject(self, subject: str) -> str:
+        """Resolve a subject to a local user or raise :class:`SecurityError`."""
+        user = self.entries.get(subject)
+        if user is None:
+            raise SecurityError(f"subject {subject!r} not in gridmap")
+        return user
+
+    def authorize(self, subject: str, method: str) -> Principal:
+        """Map and check method access; returns the :class:`Principal`."""
+        user = self.map_subject(subject)
+        acl = self.method_acl.get(method)
+        if acl is not None and user not in acl:
+            raise SecurityError(
+                f"user {user!r} (subject {subject!r}) may not call {method!r}")
+        return Principal(subject=subject, local_user=user)

@@ -1,0 +1,112 @@
+"""Community Authorization Service (CAS).
+
+The paper (§2.3) plans CAS-based access control for the data repository:
+instead of every site maintaining per-user ACLs, a community server holds
+the membership and rights database and issues *signed assertions* that a
+user presents alongside their credential.  Resources then only need to
+trust the CAS key.  This module implements that flow: membership and rights
+management, assertion issuance with expiry, and verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gsi.credentials import Credential
+from repro.gsi.crypto import Crypto
+from repro.util.errors import SecurityError
+
+
+@dataclass(frozen=True)
+class CasAssertion:
+    """A signed statement: ``subject`` holds ``rights`` until ``not_after``.
+
+    Rights are strings of the form ``"<resource>:<action>"``, e.g.
+    ``"repository:write"`` or ``"ntcp.uiuc:propose"``.
+    """
+
+    subject: str
+    community: str
+    rights: frozenset[str]
+    issued_at: float
+    not_after: float
+    signature: str = ""
+
+    def canonical(self) -> str:
+        return "|".join([self.subject, self.community,
+                         ",".join(sorted(self.rights)),
+                         f"{self.issued_at:.6f}", f"{self.not_after:.6f}"])
+
+
+class CommunityAuthorizationService:
+    """Holds community membership/rights; issues and verifies assertions."""
+
+    def __init__(self, crypto: Crypto, credential: Credential,
+                 community: str = "NEESgrid"):
+        self.crypto = crypto
+        self.credential = credential
+        self.community = community
+        self._members: dict[str, set[str]] = {}
+        self._groups: dict[str, set[str]] = {}  # group -> rights
+        self._group_members: dict[str, set[str]] = {}
+
+    # -- administration ------------------------------------------------------
+    def add_member(self, subject: str, rights: set[str] | None = None) -> None:
+        self._members.setdefault(subject, set()).update(rights or set())
+
+    def grant(self, subject: str, right: str) -> None:
+        if subject not in self._members:
+            raise SecurityError(f"{subject!r} is not a community member")
+        self._members[subject].add(right)
+
+    def revoke(self, subject: str, right: str) -> None:
+        self._members.get(subject, set()).discard(right)
+
+    def define_group(self, group: str, rights: set[str]) -> None:
+        self._groups[group] = set(rights)
+
+    def add_to_group(self, subject: str, group: str) -> None:
+        if group not in self._groups:
+            raise SecurityError(f"unknown group {group!r}")
+        if subject not in self._members:
+            raise SecurityError(f"{subject!r} is not a community member")
+        self._group_members.setdefault(group, set()).add(subject)
+
+    def rights_of(self, subject: str) -> frozenset[str]:
+        """Effective rights: direct grants plus all group rights."""
+        if subject not in self._members:
+            raise SecurityError(f"{subject!r} is not a community member")
+        rights = set(self._members[subject])
+        for group, members in self._group_members.items():
+            if subject in members:
+                rights |= self._groups[group]
+        return frozenset(rights)
+
+    # -- protocol --------------------------------------------------------------
+    def issue_assertion(self, subject: str, *, now: float,
+                        lifetime: float = 8 * 3600.0) -> CasAssertion:
+        """Issue a signed rights assertion for a member."""
+        rights = self.rights_of(subject)
+        assertion = CasAssertion(subject=subject, community=self.community,
+                                 rights=rights, issued_at=now,
+                                 not_after=now + lifetime)
+        sig = self.credential.sign(assertion.canonical())
+        return CasAssertion(subject=assertion.subject,
+                            community=assertion.community,
+                            rights=assertion.rights,
+                            issued_at=assertion.issued_at,
+                            not_after=assertion.not_after, signature=sig)
+
+    def verify_assertion(self, assertion: CasAssertion, *, now: float,
+                         expected_subject: str | None = None) -> frozenset[str]:
+        """Validate signature/expiry/subject binding; return the rights."""
+        if now > assertion.not_after:
+            raise SecurityError("CAS assertion expired")
+        if expected_subject is not None and assertion.subject != expected_subject:
+            raise SecurityError(
+                f"CAS assertion for {assertion.subject!r} presented by "
+                f"{expected_subject!r}")
+        self.crypto.require_valid(
+            self.credential.keypair.public, assertion.canonical(),
+            assertion.signature, what="CAS assertion signature")
+        return assertion.rights

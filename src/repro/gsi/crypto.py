@@ -1,0 +1,72 @@
+"""Toy cryptographic substrate with possession semantics.
+
+This is *not* real cryptography — the substitution rule in DESIGN.md applies.
+What matters for reproducing the paper's architecture is the capability
+structure: only a holder of the private key can produce a signature that
+verifies against the matching public key, and verification needs only the
+public key.  We get that by deriving signatures from an HMAC-like hash keyed
+on the private key, with a per-run registry that lets verifiers check a
+signature given just the public key.  Within the simulation, code that does
+not hold a :class:`KeyPair`'s private string cannot forge, which is the
+property every GSI flow (mutual auth, delegation, CAS assertions) relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import SecurityError
+
+
+def _h(*parts: str) -> str:
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A public/private key pair; hold the object to be able to sign."""
+
+    public: str
+    private: str
+
+
+class Crypto:
+    """Per-run crypto world: keygen, sign, verify.
+
+    The registry maps public → private so that :meth:`verify` can recompute
+    the keyed hash.  The registry is an implementation shortcut for the
+    simulation; protocol code only ever passes *public* keys around.
+    """
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._registry: dict[str, str] = {}
+
+    def keygen(self) -> KeyPair:
+        """Generate a fresh key pair and register it for verification."""
+        private = _h("priv", str(self._rng.integers(0, 2**63)),
+                     str(len(self._registry)))
+        public = "pub:" + _h("pub", private)[:24]
+        self._registry[public] = private
+        return KeyPair(public=public, private=private)
+
+    def sign(self, private: str, data: str) -> str:
+        """Signature over ``data`` by the holder of ``private``."""
+        return _h("sig", private, data)
+
+    def verify(self, public: str, data: str, signature: str) -> bool:
+        """True iff ``signature`` was produced over ``data`` by the private
+        key matching ``public``."""
+        private = self._registry.get(public)
+        if private is None:
+            return False
+        return self.sign(private, data) == signature
+
+    def require_valid(self, public: str, data: str, signature: str,
+                      what: str = "signature") -> None:
+        """Verify or raise :class:`SecurityError`."""
+        if not self.verify(public, data, signature):
+            raise SecurityError(f"invalid {what}")

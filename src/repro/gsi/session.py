@@ -1,0 +1,111 @@
+"""Message-level GSI authentication for RPC.
+
+A :class:`GsiAuthenticator` wraps a credential and mints a :class:`GsiToken`
+per request: the full certificate chain plus a signature (by the leaf key)
+over the method name and timestamp, which prevents replaying a token against
+a different method long after capture.  A :class:`GsiChecker` installed as an
+:class:`repro.net.rpc.RpcService` ``checker`` validates the chain against the
+site's trust anchors, checks token freshness, optionally verifies a CAS
+assertion, and finally authorizes through the site gridmap — returning the
+:class:`~repro.gsi.authz.Principal` handed to service handlers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.gsi.authz import Gridmap, Principal
+from repro.gsi.cas import CasAssertion, CommunityAuthorizationService
+from repro.gsi.credentials import Certificate, Credential, validate_chain
+from repro.gsi.crypto import Crypto
+from repro.util.errors import SecurityError
+
+
+@dataclass(frozen=True)
+class GsiToken:
+    """The credential object attached to each authenticated RPC request."""
+
+    chain: tuple[Certificate, ...]
+    method: str
+    timestamp: float
+    signature: str
+    cas_assertion: CasAssertion | None = None
+
+    def signed_payload(self) -> str:
+        return f"{self.method}|{self.timestamp:.6f}"
+
+
+class GsiAuthenticator:
+    """Client side: mints per-request tokens from a (proxy) credential."""
+
+    def __init__(self, credential: Credential,
+                 clock: Callable[[], float],
+                 cas_assertion: CasAssertion | None = None):
+        self.credential = credential
+        self.clock = clock
+        self.cas_assertion = cas_assertion
+
+    def token(self, method: str) -> GsiToken:
+        """A fresh token authenticating a call to ``method`` right now."""
+        t = GsiToken(chain=self.credential.chain, method=method,
+                     timestamp=self.clock(), signature="",
+                     cas_assertion=self.cas_assertion)
+        return replace(t, signature=self.credential.sign(t.signed_payload()))
+
+    def credential_for(self, method: str) -> GsiToken:
+        """Alias used as the RPC ``credential=`` argument factory."""
+        return self.token(method)
+
+
+class GsiChecker:
+    """Server side: validates tokens; plugs into ``RpcService(checker=...)``.
+
+    Checks, in order: token shape, chain validity against trust anchors,
+    leaf signature over (method, timestamp), clock-skew window, optional CAS
+    assertion (bound to the caller's identity), then gridmap authorization.
+    """
+
+    def __init__(self, crypto: Crypto, trust_anchors: list[Certificate],
+                 gridmap: Gridmap, clock: Callable[[], float], *,
+                 max_skew: float = 300.0,
+                 cas: CommunityAuthorizationService | None = None,
+                 required_right: str | None = None):
+        self.crypto = crypto
+        self.trust_anchors = list(trust_anchors)
+        self.gridmap = gridmap
+        self.clock = clock
+        self.max_skew = max_skew
+        self.cas = cas
+        self.required_right = required_right
+
+    def __call__(self, credential: object, method: str) -> Principal:
+        if not isinstance(credential, GsiToken):
+            raise SecurityError("request not GSI-authenticated")
+        token = credential
+        if token.method != method:
+            raise SecurityError(
+                f"token minted for {token.method!r} used on {method!r}")
+        now = self.clock()
+        if abs(now - token.timestamp) > self.max_skew:
+            raise SecurityError("token timestamp outside skew window")
+        leaf = validate_chain(self.crypto, token.chain, self.trust_anchors,
+                              now=now)
+        self.crypto.require_valid(leaf.public_key, token.signed_payload(),
+                                  token.signature, what="request signature")
+        # Identity = end-entity subject (proxies stripped): sites map people,
+        # not individual proxies.
+        identity = leaf.subject
+        idx = identity.find("/proxy-")
+        if idx >= 0:
+            identity = identity[:idx]
+        rights: frozenset[str] = frozenset()
+        if self.cas is not None and token.cas_assertion is not None:
+            rights = self.cas.verify_assertion(
+                token.cas_assertion, now=now, expected_subject=identity)
+        if self.required_right is not None and self.required_right not in rights:
+            raise SecurityError(
+                f"missing CAS right {self.required_right!r} for {identity!r}")
+        principal = self.gridmap.authorize(identity, method)
+        return Principal(subject=principal.subject,
+                         local_user=principal.local_user, rights=rights)

@@ -1,0 +1,22 @@
+"""Mini-MOST (paper §3.5, Figure 11).
+
+The tabletop, single-beam, stepper-motor emulation of the UIUC portion of
+MOST: "a tabletop-sized system, with a single (1 m by 10 cm) beam, using
+stepper motors ... The control and DAQ are run from a single Windows-based
+PC, which can also host the MATLAB simulation coordinator."  The software
+deltas from MOST are exactly the paper's: a new NTCP plugin for LabVIEW,
+and re-scaled constants in the coordinator.  For hardware-free testing "we
+also have a program where the beam is replaced by a first-order kinetic
+simulator" — :class:`~repro.mini_most.beam.FirstOrderKineticBeam`.
+"""
+
+from repro.mini_most.beam import BeamProperties, FirstOrderKineticBeam
+from repro.mini_most.rig import MiniMOSTConfig, build_mini_most, run_mini_most
+
+__all__ = [
+    "BeamProperties",
+    "FirstOrderKineticBeam",
+    "MiniMOSTConfig",
+    "build_mini_most",
+    "run_mini_most",
+]

@@ -1,0 +1,69 @@
+"""The Mini-MOST beam and its first-order kinetic stand-in."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.structural.elements import cantilever_stiffness
+
+
+@dataclass(frozen=True)
+class BeamProperties:
+    """Physical properties of the 1 m × 10 cm tabletop beam.
+
+    Defaults approximate a 1 m aluminium strip, 100 mm wide and 6 mm thick:
+    ``I = b t^3 / 12``; tip stiffness ``3 E I / L^3`` ≈ 250 N/m — soft
+    enough for a 24 lb stepper to drive.
+    """
+
+    length: float = 1.0          # m
+    width: float = 0.10          # m
+    thickness: float = 0.006     # m
+    e_modulus: float = 69e9      # Pa (aluminium)
+    tip_mass: float = 2.0        # kg lumped at the tip
+
+    @property
+    def inertia(self) -> float:
+        return self.width * self.thickness ** 3 / 12.0
+
+    @property
+    def stiffness(self) -> float:
+        return cantilever_stiffness(self.e_modulus, self.inertia, self.length)
+
+    @property
+    def natural_frequency(self) -> float:
+        """rad/s of the tip-mass idealization."""
+        return float(np.sqrt(self.stiffness / self.tip_mass))
+
+
+class FirstOrderKineticBeam:
+    """The beam replaced by a first-order kinetic simulator.
+
+    Used "for testing when the actual hardware is not available": instead
+    of elastic statics, the state relaxes toward the commanded displacement
+    with first-order kinetics (rate constant ``rate``), and the reported
+    force is the elastic force at the *current* (lagging) state.  The same
+    ``force(d)``/``reset()`` interface as the spring elements lets it slot
+    straight into :class:`~repro.control.labview.LabVIEWPlugin`.
+    """
+
+    def __init__(self, stiffness: float, *, rate: float = 0.6):
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+        self.k = stiffness
+        self.rate = rate
+        self.state = 0.0
+
+    @property
+    def initial_stiffness(self) -> float:
+        return self.k
+
+    def force(self, d: float) -> float:
+        """Relax one kinetic step toward ``d``; return the lagging force."""
+        self.state += self.rate * (d - self.state)
+        return self.k * self.state
+
+    def reset(self) -> None:
+        self.state = 0.0

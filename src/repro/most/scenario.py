@@ -1,0 +1,256 @@
+"""MOST scenarios (paper §3.4 "MOST Results").
+
+Four runs, each a function returning the :class:`ExperimentResult` plus the
+deployment for inspection:
+
+* :func:`run_simulation_only` — the rehearsal with three numerical sites;
+* :func:`run_dry_run` — full hybrid configuration, clean network, naive
+  coordinator: completes all steps ("the dry run ... ran successfully to
+  completion", ~5.5 h);
+* :func:`run_public_experiment` — transient outages during the day are
+  absorbed by NTCP retries, CHEF hosts >130 remote participants, NSDS and
+  cameras stream, the repository ingests — and a long outage while step
+  1493 is in flight kills the naive coordinator ("exited prematurely at
+  step 1493 (out of 1500)");
+* :func:`run_with_fault_tolerance` — the counterfactual: identical faults,
+  a coordinator that uses NTCP's fault-tolerance features, completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.coordinator import (
+    ExperimentResult,
+    FaultTolerantFaultPolicy,
+    NaiveFaultPolicy,
+)
+from repro.most.assembly import MOSTDeployment, build_most, build_simulation_only
+from repro.most.config import MOSTConfig
+from repro.net.network import Message
+from repro.net.rpc import RpcClient, RpcRequest
+
+
+@dataclass
+class ScenarioReport:
+    """Everything a benchmark needs to print a §3.4-style results row."""
+
+    result: ExperimentResult
+    deployment: MOSTDeployment
+    ntcp_retries: int = 0
+    chef_peak_online: int = 0
+    files_ingested: int = 0
+    stream_samples_pushed: int = 0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+def _finish(dep: MOSTDeployment, result: ExperimentResult) -> ScenarioReport:
+    dep.stop_observation()
+    # Final sweep: upload whatever the DAQ stop-flush staged (the paper's
+    # ingestion is incremental *and* complete).
+    for site in dep.sites.values():
+        if site.ingest is not None:
+            drain = dep.kernel.process(site.ingest.drain())
+            drain.defuse()  # repo may be unreachable in fault scenarios
+    # Let in-flight uploads, streams and notifications drain.
+    dep.kernel.run(until=dep.kernel.now + 600.0)
+    ingested = sum(len(s.ingest.uploaded) for s in dep.sites.values()
+                   if s.ingest is not None)
+    pushed = sum(s.nsds.pushed for s in dep.sites.values()
+                 if s.nsds is not None)
+    return ScenarioReport(result=result, deployment=dep,
+                          ntcp_retries=dep.coordinator_rpc.stats.retries,
+                          chef_peak_online=dep.chef.peak_online,
+                          files_ingested=ingested,
+                          stream_samples_pushed=pushed)
+
+
+def run_simulation_only(config: MOSTConfig | None = None) -> ScenarioReport:
+    """The distributed simulation-only rehearsal (§3: built first)."""
+    dep = build_simulation_only(config)
+    dep.start_backends()
+    coordinator = dep.make_coordinator(run_id="most-simonly")
+    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
+    return _finish(dep, result)
+
+
+def run_dry_run(config: MOSTConfig | None = None) -> ScenarioReport:
+    """The hybrid dry run: no injected faults; completes all steps."""
+    from repro.most.metadata import upload_most_metadata
+
+    dep = build_most(config)
+    dep.start_backends()
+    dep.start_observation()
+    # §3.3: experimenters upload the component metadata before the run.
+    dep.kernel.run(until=dep.kernel.process(upload_most_metadata(dep)))
+    coordinator = dep.make_coordinator(run_id="most-dry")
+    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
+    return _finish(dep, result)
+
+
+def _arm_fatal_outage_at_step(dep: MOSTDeployment, step: int, site: str,
+                              duration: float) -> None:
+    """Take the coordinator—``site`` link down when step ``step`` first
+    goes on the wire, for ``duration`` seconds.
+
+    Watching the traffic (rather than hardcoding a wall-clock time) makes
+    the failure land on exactly the paper's step regardless of pacing.
+    """
+    marker = f"step{step:05d}"
+    armed = [False]
+
+    def watch(msg: Message) -> bool:
+        if armed[0] or msg.dst != site:
+            return False
+        payload = msg.payload
+        if isinstance(payload, RpcRequest):
+            params = payload.params
+            text = str(params.get("params", "")) + str(params.get("transaction", ""))
+            if marker in text:
+                armed[0] = True
+                dep.faults.schedule_outage("coord", site,
+                                           start=dep.kernel.now,
+                                           duration=duration)
+        return False  # never drop here; the outage does the damage
+
+    dep.network.add_drop_filter(watch)
+
+
+def _arm_transient_drop_at_step(dep: MOSTDeployment, step: int,
+                                site: str) -> None:
+    """When step ``step`` first reaches ``site``, drop that site's next
+    RPC reply — one transient network failure, recovered by the NTCP
+    client's retransmission (idempotent server-side)."""
+    marker = f"step{step:05d}"
+    armed = [False]
+
+    def watch(msg: Message) -> bool:
+        if armed[0] or msg.dst != site:
+            return False
+        payload = msg.payload
+        if isinstance(payload, RpcRequest) and marker in str(payload.params):
+            armed[0] = True
+            dep.faults.drop_matching(
+                lambda m: m.src == site and m.port.startswith("rpc-reply"),
+                count=1)
+        return False
+
+    dep.network.add_drop_filter(watch)
+
+
+def _inject_standard_faults(dep: MOSTDeployment, config: MOSTConfig,
+                            fail_at_step: int) -> None:
+    """The public-run fault schedule: three recoverable transients spread
+    through the day, then the long outage at the fatal step."""
+    for frac, site in ((0.15, "cu"), (0.40, "uiuc"), (0.65, "cu")):
+        step = max(1, min(int(frac * config.n_steps), config.n_steps - 1))
+        if step != fail_at_step:
+            _arm_transient_drop_at_step(dep, step, site)
+    _arm_fatal_outage_at_step(dep, fail_at_step, site="uiuc",
+                              duration=1800.0)
+
+
+def _add_remote_participants(dep: MOSTDeployment, *, n_chef: int,
+                             n_stream: int) -> None:
+    """Log participants into CHEF; subscribe a few to each site's NSDS."""
+    from repro.nsds import NSDSReceiver
+
+    kernel, network = dep.kernel, dep.network
+    portal_rpc = RpcClient(network, "portal", default_timeout=30.0)
+
+    def chef_crowd():
+        tokens = []
+        for i in range(n_chef):
+            token = yield from portal_rpc.call(
+                "portal", "ogsi", "invoke",
+                {"service_id": dep.chef.service_id, "operation": "login",
+                 "params": {"user": f"observer-{i:03d}"}})
+            tokens.append(token)
+            if i % 25 == 0:
+                yield from portal_rpc.call(
+                    "portal", "ogsi", "invoke",
+                    {"service_id": dep.chef.service_id,
+                     "operation": "chatPost",
+                     "params": {"token": token,
+                                "text": f"observer-{i:03d} joined"}})
+        return tokens
+
+    kernel.process(chef_crowd(), name="chef-crowd")
+
+    receivers = []
+    # Viewers watch from the portal host (one RPC client each is overkill;
+    # one shared client subscribes on their behalf).
+    for name in ("uiuc", "cu"):
+        site = dep.sites[name]
+        if site.nsds is None:
+            continue
+        if frozenset(("portal", name)) not in network._links:
+            network.connect("portal", name, latency=0.03, fifo=False)
+        viewer_rpc = RpcClient(network, "portal", default_timeout=30.0)
+
+        def subscribe(site=site, viewer_rpc=viewer_rpc):
+            for _ in range(n_stream // 2):
+                recv = NSDSReceiver(network, "portal")
+                receivers.append(recv)
+                yield from viewer_rpc.call(
+                    site.name, "ogsi", "invoke",
+                    {"service_id": site.nsds.service_id,
+                     "operation": "subscribe",
+                     "params": {"sink_host": "portal",
+                                "sink_port": recv.port,
+                                "lifetime": 1e9}})
+
+        kernel.process(subscribe(), name=f"nsds-subscribers-{name}")
+    dep.extras["nsds_receivers"] = receivers
+
+
+def run_public_experiment(config: MOSTConfig | None = None, *,
+                          fail_at_step: int | None = None) -> ScenarioReport:
+    """The public MOST run: observers, transient faults, death at 1493.
+
+    ``fail_at_step`` defaults to 1493 scaled to shortened configs
+    (paper ratio 1493/1500).
+    """
+    config = config or MOSTConfig()
+    if fail_at_step is None:
+        fail_at_step = max(1, min(round(config.n_steps * 1493 / 1500),
+                                  config.n_steps - 1))
+    dep = build_most(config)
+    dep.start_backends()
+    dep.start_observation()
+    from repro.most.metadata import upload_most_metadata
+
+    dep.kernel.run(until=dep.kernel.process(upload_most_metadata(dep)))
+    _add_remote_participants(dep, n_chef=config.n_remote_participants,
+                             n_stream=config.n_stream_viewers)
+    _inject_standard_faults(dep, config, fail_at_step)
+
+    coordinator = dep.make_coordinator(run_id="most-public",
+                                       fault_policy=NaiveFaultPolicy())
+    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
+    report = _finish(dep, result)
+    report.extras["fail_at_step"] = fail_at_step
+    return report
+
+
+def run_with_fault_tolerance(config: MOSTConfig | None = None, *,
+                             fail_at_step: int | None = None) -> ScenarioReport:
+    """Identical faults to the public run; fault-tolerant coordinator."""
+    config = config or MOSTConfig()
+    if fail_at_step is None:
+        fail_at_step = max(1, min(round(config.n_steps * 1493 / 1500),
+                                  config.n_steps - 1))
+    dep = build_most(config)
+    dep.start_backends()
+    dep.start_observation()
+    _inject_standard_faults(dep, config, fail_at_step)
+    coordinator = dep.make_coordinator(
+        run_id="most-ft",
+        fault_policy=FaultTolerantFaultPolicy(max_attempts=12, backoff=30.0,
+                                              backoff_factor=1.5,
+                                              max_backoff=600.0))
+    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
+    report = _finish(dep, result)
+    report.extras["fail_at_step"] = fail_at_step
+    return report

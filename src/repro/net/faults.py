@@ -1,0 +1,94 @@
+"""Scripted fault injection.
+
+The MOST public run saw "several transient network failures throughout the
+day" that NTCP's retry machinery recovered from, and one final failure that
+terminated the experiment at step 1493.  :class:`FaultInjector` reproduces
+both: timed link outages (transient or permanent) and targeted message drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.network import Message, Network
+
+
+@dataclass(frozen=True)
+class OutageRecord:
+    """Book-keeping for one injected outage (used by benchmark reports)."""
+
+    a: str
+    b: str
+    start: float
+    duration: float
+
+
+class FaultInjector:
+    """Schedules outages and message-level drops on a :class:`Network`."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.kernel = network.kernel
+        self.outages: list[OutageRecord] = []
+
+    def schedule_outage(self, a: str, b: str, start: float,
+                        duration: float = float("inf")) -> OutageRecord:
+        """Take the a—b link down at ``start``; restore after ``duration``.
+
+        An infinite duration models the paper's final, unrecovered failure.
+        """
+        record = OutageRecord(a=a, b=b, start=start, duration=duration)
+        self.outages.append(record)
+
+        def run(kernel):
+            yield kernel.timeout(max(0.0, start - kernel.now))
+            self.network.set_link_state(a, b, up=False)
+            if duration != float("inf"):
+                yield kernel.timeout(duration)
+                self.network.set_link_state(a, b, up=True)
+
+        self.kernel.process(run(self.kernel), name=f"outage({a},{b})")
+        return record
+
+    def drop_matching(self, predicate: Callable[[Message], bool],
+                      count: int | None = None) -> Callable[[Message], bool]:
+        """Drop messages matching ``predicate`` (at most ``count`` of them).
+
+        Returns the installed filter so callers can remove it early via
+        :meth:`Network.remove_drop_filter`.
+        """
+        remaining = [count]
+
+        def _filter(msg: Message) -> bool:
+            if not predicate(msg):
+                return False
+            if remaining[0] is None:
+                return True
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                return True
+            return False
+
+        self.network.add_drop_filter(_filter)
+        return _filter
+
+    def drop_next_on_port(self, port: str, count: int = 1) -> Callable[[Message], bool]:
+        """Drop the next ``count`` messages addressed to ``port`` (any host)."""
+        return self.drop_matching(lambda m: m.port == port, count=count)
+
+    def transient_loss(self, a: str, b: str, loss: float,
+                       start: float, duration: float) -> None:
+        """Raise the a—b link's loss rate to ``loss`` during a window."""
+
+        def run(kernel):
+            link = self.network.link(a, b)
+            yield kernel.timeout(max(0.0, start - kernel.now))
+            previous = link.loss
+            link.loss = loss
+            kernel.emit("net", "loss.raised", a=a, b=b, loss=loss)
+            yield kernel.timeout(duration)
+            link.loss = previous
+            kernel.emit("net", "loss.restored", a=a, b=b, loss=previous)
+
+        self.kernel.process(run(self.kernel), name=f"lossburst({a},{b})")

@@ -1,0 +1,218 @@
+"""Hosts, links, and message delivery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.sim import Kernel
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdFactory
+
+
+@dataclass(frozen=True)
+class Message:
+    """One datagram in flight.
+
+    Attributes:
+        src/dst: host names.
+        port: destination port (a string label, e.g. ``"ntcp"``).
+        payload: arbitrary application object.
+        msg_id: unique id (for tracing and drop filters).
+        send_time: simulation time the message entered the network.
+    """
+
+    src: str
+    dst: str
+    port: str
+    payload: Any
+    msg_id: str
+    send_time: float
+
+
+class Host:
+    """A named endpoint that binds port handlers."""
+
+    def __init__(self, name: str, network: "Network"):
+        self.name = name
+        self.network = network
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self.up = True
+
+    def bind(self, port: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler(message)`` for datagrams addressed to ``port``."""
+        if port in self._handlers:
+            raise ConfigurationError(f"port {port!r} already bound on {self.name}")
+        self._handlers[port] = handler
+
+    def unbind(self, port: str) -> None:
+        self._handlers.pop(port, None)
+
+    def deliver(self, msg: Message) -> bool:
+        """Deliver a message to the bound handler; False if no listener."""
+        handler = self._handlers.get(msg.port)
+        if handler is None or not self.up:
+            return False
+        handler(msg)
+        return True
+
+
+@dataclass
+class Link:
+    """A bidirectional connection between two hosts.
+
+    Latency per message is ``latency + Exponential(jitter)``; each message is
+    independently lost with probability ``loss``.  With ``fifo=True``
+    (TCP-like, the default) delivery order per direction is preserved even
+    when jitter would reorder; with ``fifo=False`` (UDP-like, used by the
+    best-effort streaming service) messages may overtake each other.
+    """
+
+    a: str
+    b: str
+    latency: float = 0.01
+    jitter: float = 0.0
+    loss: float = 0.0
+    fifo: bool = True
+    up: bool = True
+    # last scheduled delivery time per direction, for FIFO enforcement
+    _last_delivery: dict[str, float] = field(default_factory=dict)
+
+    def endpoints(self) -> frozenset[str]:
+        return frozenset((self.a, self.b))
+
+    def sample_delay(self, rng: np.random.Generator) -> float | None:
+        """Propagation delay for one message, or None if the message is lost."""
+        if not self.up:
+            return None
+        if self.loss > 0 and rng.random() < self.loss:
+            return None
+        delay = self.latency
+        if self.jitter > 0:
+            delay += rng.exponential(self.jitter)
+        return delay
+
+
+class Network:
+    """The simulated WAN: topology + message delivery on the kernel clock.
+
+    Drop filters allow scripted faults: any registered predicate that returns
+    True for a message causes it to be silently lost (and logged), which is
+    how benchmarks reproduce targeted failures such as "lose the response to
+    the step-1493 execute".
+    """
+
+    def __init__(self, kernel: Kernel, seed: int = 0):
+        self.kernel = kernel
+        self.rng = np.random.default_rng(seed)
+        self.hosts: dict[str, Host] = {}
+        self._links: dict[frozenset[str], Link] = {}
+        self._drop_filters: list[Callable[[Message], bool]] = []
+        self._msg_ids = IdFactory("msg")
+        self.stats = {"sent": 0, "delivered": 0, "dropped": 0, "no_route": 0,
+                      "no_listener": 0}
+
+    # -- topology -----------------------------------------------------------
+    def add_host(self, name: str) -> Host:
+        """Create a host; names must be unique."""
+        if name in self.hosts:
+            raise ConfigurationError(f"duplicate host {name!r}")
+        host = Host(name, self)
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def connect(self, a: str, b: str, *, latency: float = 0.01,
+                jitter: float = 0.0, loss: float = 0.0,
+                fifo: bool = True) -> Link:
+        """Create a bidirectional link between existing hosts ``a`` and ``b``."""
+        for name in (a, b):
+            if name not in self.hosts:
+                raise ConfigurationError(f"unknown host {name!r}")
+        if a == b:
+            raise ConfigurationError("cannot link a host to itself")
+        key = frozenset((a, b))
+        if key in self._links:
+            raise ConfigurationError(f"hosts {a!r} and {b!r} already linked")
+        link = Link(a=a, b=b, latency=latency, jitter=jitter, loss=loss, fifo=fifo)
+        self._links[key] = link
+        return link
+
+    def link(self, a: str, b: str) -> Link:
+        """The link between ``a`` and ``b`` (raises KeyError if absent)."""
+        return self._links[frozenset((a, b))]
+
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    # -- faults ---------------------------------------------------------------
+    def set_link_state(self, a: str, b: str, up: bool) -> None:
+        """Bring a link down (partition the pair) or back up."""
+        link = self.link(a, b)
+        link.up = up
+        self.kernel.emit("net", "link.up" if up else "link.down", a=a, b=b)
+
+    def add_drop_filter(self, predicate: Callable[[Message], bool]) -> None:
+        """Drop every in-flight message for which ``predicate(msg)`` is True."""
+        self._drop_filters.append(predicate)
+
+    def remove_drop_filter(self, predicate: Callable[[Message], bool]) -> None:
+        self._drop_filters.remove(predicate)
+
+    # -- data plane -----------------------------------------------------------
+    def send(self, src: str, dst: str, port: str, payload: Any) -> Message:
+        """Inject a message; delivery (or loss) is scheduled on the kernel.
+
+        Returns the :class:`Message` for tracing.  Loss is silent to the
+        sender, exactly like a datagram network; reliability is built above
+        this layer (RPC retries, NTCP at-most-once).
+        """
+        msg = Message(src=src, dst=dst, port=port, payload=payload,
+                      msg_id=self._msg_ids(), send_time=self.kernel.now)
+        self.stats["sent"] += 1
+        if src == dst:
+            # Loopback: same-host services (e.g. the Mini-MOST single-PC
+            # deployment) talk through the stack with negligible delay.
+            self.kernel.timeout(0.0).add_callback(
+                lambda _evt, m=msg: self._arrive(m))
+            return msg
+        link = self._links.get(frozenset((src, dst)))
+        if link is None:
+            self.stats["no_route"] += 1
+            self.kernel.emit("net", "msg.no_route", src=src, dst=dst, port=port)
+            return msg
+        if any(f(msg) for f in self._drop_filters):
+            self.stats["dropped"] += 1
+            self.kernel.emit("net", "msg.dropped", msg_id=msg.msg_id,
+                             reason="drop_filter", src=src, dst=dst, port=port)
+            return msg
+        delay = link.sample_delay(self.rng)
+        if delay is None:
+            self.stats["dropped"] += 1
+            reason = "link_down" if not link.up else "loss"
+            self.kernel.emit("net", "msg.dropped", msg_id=msg.msg_id,
+                             reason=reason, src=src, dst=dst, port=port)
+            return msg
+        if link.fifo:
+            # TCP-like: never deliver before an earlier message on the same
+            # direction; stretch the delay to preserve ordering.
+            direction = f"{src}->{dst}"
+            floor = link._last_delivery.get(direction, 0.0)
+            arrival = max(self.kernel.now + delay, floor)
+            link._last_delivery[direction] = arrival
+            delay = arrival - self.kernel.now
+        self.kernel.timeout(delay).add_callback(lambda _evt, m=msg: self._arrive(m))
+        return msg
+
+    def _arrive(self, msg: Message) -> None:
+        host = self.hosts.get(msg.dst)
+        if host is None or not host.deliver(msg):
+            self.stats["no_listener"] += 1
+            self.kernel.emit("net", "msg.no_listener", msg_id=msg.msg_id,
+                             dst=msg.dst, port=msg.port)
+            return
+        self.stats["delivered"] += 1

@@ -1,0 +1,233 @@
+"""Request/response RPC over the simulated network.
+
+Every grid service in this reproduction (NTCP servers, the repository, NSDS,
+CHEF, telepresence) is exposed through :class:`RpcService` and called through
+:class:`RpcClient`.  The layer provides:
+
+* request/response correlation by request id;
+* per-call timeout with bounded retransmission (at-least-once) — exactness
+  (at-most-once) is the job of the layer above, as in NTCP's design;
+* remote exception propagation (:class:`RemoteException` wraps the server
+  side error without smuggling live exception objects across "the wire");
+* an optional security hook: services may install a ``checker`` that
+  authenticates/authorizes each request's credential before dispatch.
+
+Client calls are written in the process style::
+
+    result = yield from client.call("uiuc", "ntcp", "propose", {...})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.net.network import Message, Network
+from repro.util.errors import ReproError, SecurityError
+from repro.util.ids import IdFactory
+
+
+class RpcError(ReproError):
+    """Base class for RPC-layer failures."""
+
+
+class RpcTimeout(RpcError):
+    """No response arrived within the timeout across all retries."""
+
+
+class RemoteException(RpcError):
+    """The remote handler raised; carries the remote type name and message."""
+
+    def __init__(self, remote_type: str, message: str, data: Any = None):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message
+        self.data = data
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    request_id: str
+    method: str
+    params: dict[str, Any]
+    reply_port: str
+    credential: Any = None
+
+
+@dataclass(frozen=True)
+class RpcResponse:
+    request_id: str
+    ok: bool
+    value: Any = None
+    error_type: str = ""
+    error_message: str = ""
+    error_data: Any = None
+
+
+@dataclass
+class RpcStats:
+    """Counters surfaced by benchmarks (retry/latency accounting)."""
+
+    calls: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    remote_errors: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+
+class RpcService:
+    """Server side: binds a port and dispatches methods to handlers.
+
+    A handler is ``fn(caller, **params)``.  It may return a plain value or a
+    generator — generators are run as kernel processes, so a handler can take
+    simulation time (e.g. a servo-hydraulic actuator settling).
+    """
+
+    def __init__(self, network: Network, host: str, port: str, *,
+                 name: str | None = None,
+                 checker: Callable[[Any, str], Any] | None = None):
+        self.network = network
+        self.kernel = network.kernel
+        self.host = host
+        self.port = port
+        self.name = name or f"{host}:{port}"
+        self.checker = checker
+        self._methods: dict[str, Callable[..., Any]] = {}
+        network.host(host).bind(port, self._on_message)
+
+    def register(self, method: str, fn: Callable[..., Any]) -> None:
+        """Expose ``fn`` as ``method``; replaces any previous registration."""
+        self._methods[method] = fn
+
+    def _on_message(self, msg: Message) -> None:
+        req = msg.payload
+        if not isinstance(req, RpcRequest):
+            self.kernel.emit(self.name, "rpc.bad_message", msg_id=msg.msg_id)
+            return
+        self.kernel.emit(self.name, "rpc.request", method=req.method,
+                         request_id=req.request_id, src=msg.src)
+        caller: Any = None
+        if self.checker is not None:
+            try:
+                caller = self.checker(req.credential, req.method)
+            except SecurityError as exc:
+                self._reply(msg, RpcResponse(
+                    request_id=req.request_id, ok=False,
+                    error_type="SecurityError", error_message=str(exc)))
+                return
+        else:
+            caller = req.credential
+        fn = self._methods.get(req.method)
+        if fn is None:
+            self._reply(msg, RpcResponse(
+                request_id=req.request_id, ok=False,
+                error_type="NoSuchMethod",
+                error_message=f"{req.method!r} on {self.name}"))
+            return
+        try:
+            result = fn(caller, **req.params)
+        except Exception as exc:  # noqa: BLE001 - converted to wire error
+            self._reply(msg, self._error_response(req, exc))
+            return
+        if hasattr(result, "send") and hasattr(result, "throw"):
+            # Handler is a process: reply when it finishes.
+            proc = self.kernel.process(result, name=f"{self.name}.{req.method}")
+
+            def finish(evt, msg=msg, req=req):
+                if evt.ok:
+                    self._reply(msg, RpcResponse(
+                        request_id=req.request_id, ok=True, value=evt._value))
+                else:
+                    evt.defuse()
+                    self._reply(msg, self._error_response(req, evt._value))
+
+            proc.add_callback(finish)
+        else:
+            self._reply(msg, RpcResponse(
+                request_id=req.request_id, ok=True, value=result))
+
+    def _error_response(self, req: RpcRequest, exc: BaseException) -> RpcResponse:
+        data = getattr(exc, "__dict__", None)
+        return RpcResponse(request_id=req.request_id, ok=False,
+                           error_type=type(exc).__name__,
+                           error_message=str(exc), error_data=data)
+
+    def _reply(self, msg: Message, response: RpcResponse) -> None:
+        self.network.send(self.host, msg.src, msg.payload.reply_port, response)
+
+
+class RpcClient:
+    """Client side: issues calls from a host, with timeout and retries."""
+
+    _port_ids = IdFactory("rpc-reply")
+
+    def __init__(self, network: Network, host: str, *,
+                 default_timeout: float = 5.0, default_retries: int = 0):
+        self.network = network
+        self.kernel = network.kernel
+        self.host = host
+        self.default_timeout = default_timeout
+        self.default_retries = default_retries
+        self.reply_port = RpcClient._port_ids()
+        self._request_ids = IdFactory(f"{host}.req")
+        self._pending: dict[str, Any] = {}
+        self.stats = RpcStats()
+        network.host(host).bind(self.reply_port, self._on_reply)
+
+    def _on_reply(self, msg: Message) -> None:
+        resp = msg.payload
+        if not isinstance(resp, RpcResponse):
+            return
+        evt = self._pending.pop(resp.request_id, None)
+        if evt is None:
+            # Late or duplicate response after a retry already won: ignore.
+            self.kernel.emit(f"rpc.client.{self.host}", "rpc.late_reply",
+                             request_id=resp.request_id)
+            return
+        evt.succeed(resp)
+
+    def call(self, dst: str, port: str, method: str,
+             params: dict[str, Any] | None = None, *,
+             credential: Any = None, timeout: float | None = None,
+             retries: int | None = None) -> Generator[Any, Any, Any]:
+        """Invoke ``method`` on ``dst:port``; use as ``yield from client.call(...)``.
+
+        Each retransmission reuses the same request id, so an idempotent (or
+        deduplicating) server observes a single logical request.  Raises
+        :class:`RpcTimeout` after the final attempt, or
+        :class:`RemoteException` if the handler raised.
+        """
+        params = params or {}
+        timeout = self.default_timeout if timeout is None else timeout
+        retries = self.default_retries if retries is None else retries
+        req = RpcRequest(request_id=self._request_ids(), method=method,
+                         params=params, reply_port=self.reply_port,
+                         credential=credential)
+        self.stats.calls += 1
+        started = self.kernel.now
+        last_attempt = retries  # attempts are 0..retries inclusive
+        for attempt in range(retries + 1):
+            evt = self.kernel.event(name=f"reply({req.request_id})")
+            self._pending[req.request_id] = evt
+            self.network.send(self.host, dst, port, req)
+            if attempt > 0:
+                self.stats.retries += 1
+                self.kernel.emit(f"rpc.client.{self.host}", "rpc.retry",
+                                 request_id=req.request_id, attempt=attempt,
+                                 method=method, dst=dst)
+            timer = self.kernel.timeout(timeout)
+            fired = yield self.kernel.any_of([evt, timer])
+            if evt in fired:
+                resp: RpcResponse = evt.value
+                self.stats.latencies.append(self.kernel.now - started)
+                if resp.ok:
+                    return resp.value
+                self.stats.remote_errors += 1
+                raise RemoteException(resp.error_type, resp.error_message,
+                                      resp.error_data)
+            # timed out: abandon this wait and (maybe) retransmit
+            self._pending.pop(req.request_id, None)
+            if attempt == last_attempt:
+                self.stats.timeouts += 1
+                raise RpcTimeout(
+                    f"{method} on {dst}:{port} after {retries + 1} attempt(s)")

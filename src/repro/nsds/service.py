@@ -1,0 +1,125 @@
+"""The NSDS grid service: ingest from the DAQ tap, push to subscribers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nsds.stream import RingBuffer, StreamSample
+from repro.ogsi.service import GridService
+from repro.util.errors import ProtocolError
+
+
+@dataclass
+class _StreamSubscription:
+    sub_id: str
+    channels: set[str] | None  # None = all channels
+    sink_host: str
+    sink_port: str
+    expires: float
+
+
+class NSDSService(GridService):
+    """Best-effort streaming of DAQ samples.
+
+    Deployment wires :meth:`ingest` to a :class:`~repro.daq.DAQSystem` live
+    tap (``daq.on_sample(nsds.ingest)``).  Each channel keeps a bounded ring
+    buffer for late-joining pollers; every sample is pushed immediately to
+    matching subscribers as a datagram (ideally over a non-FIFO link —
+    ordering is the receiver's problem, as with real streaming transports).
+
+    Operations: ``subscribe``, ``unsubscribe``, ``listChannels``,
+    ``getLatest``, ``drain`` (polling access for viewers that prefer pull).
+    """
+
+    def __init__(self, service_id: str, *, buffer_capacity: int = 256):
+        super().__init__(service_id)
+        self.buffer_capacity = buffer_capacity
+        self.buffers: dict[str, RingBuffer] = {}
+        self._sequences: dict[str, int] = {}
+        self._subs: dict[str, _StreamSubscription] = {}
+        self._sub_counter = 0
+        self.pushed = 0
+
+    def on_attach(self) -> None:
+        self.service_data.set("channels", [])
+        for op in ("subscribe", "unsubscribe", "listChannels", "getLatest",
+                   "drain"):
+            self.expose(op, getattr(self, f"_op_{op}"))
+
+    # -- ingest (local, called by the DAQ tap) -------------------------------
+    def ingest(self, time: float, row: dict[str, float]) -> None:
+        """Accept one DAQ sample row; buffer and push per channel."""
+        for channel, value in row.items():
+            seq = self._sequences.get(channel, 0) + 1
+            self._sequences[channel] = seq
+            sample = StreamSample(channel=channel, sequence=seq,
+                                  time=time, value=value)
+            buf = self.buffers.get(channel)
+            if buf is None:
+                buf = RingBuffer(self.buffer_capacity)
+                self.buffers[channel] = buf
+                self.service_data.set("channels", sorted(self.buffers))
+            buf.append(sample)
+            self._push(sample)
+
+    def _push(self, sample: StreamSample) -> None:
+        now = self.kernel.now
+        live = {}
+        for sub_id, sub in self._subs.items():
+            if sub.expires <= now:
+                continue
+            live[sub_id] = sub
+            if sub.channels is not None and sample.channel not in sub.channels:
+                continue
+            assert self.container is not None
+            self.container.network.send(
+                self.container.host, sub.sink_host, sub.sink_port, {
+                    "stream": self.service_id,
+                    "channel": sample.channel,
+                    "sequence": sample.sequence,
+                    "time": sample.time,
+                    "value": sample.value,
+                })
+            self.pushed += 1
+        self._subs = live
+
+    # -- operations ----------------------------------------------------------
+    def _op_subscribe(self, caller, sink_host: str, sink_port: str,
+                      channels: list[str] | None = None,
+                      lifetime: float = 600.0):
+        self._sub_counter += 1
+        sub_id = f"{self.service_id}.stream-{self._sub_counter}"
+        self._subs[sub_id] = _StreamSubscription(
+            sub_id=sub_id,
+            channels=None if channels is None else set(channels),
+            sink_host=sink_host, sink_port=sink_port,
+            expires=self.kernel.now + lifetime)
+        return sub_id
+
+    def _op_unsubscribe(self, caller, subscription_id: str):
+        return self._subs.pop(subscription_id, None) is not None
+
+    def _op_listChannels(self, caller):
+        return sorted(self.buffers)
+
+    def _op_getLatest(self, caller, channel: str):
+        buf = self.buffers.get(channel)
+        if buf is None:
+            raise ProtocolError(f"no such stream channel {channel!r}")
+        latest = buf.latest()
+        if latest is None:
+            return None
+        return {"channel": latest.channel, "sequence": latest.sequence,
+                "time": latest.time, "value": latest.value}
+
+    def _op_drain(self, caller, channel: str, max_items: int = 100):
+        buf = self.buffers.get(channel)
+        if buf is None:
+            raise ProtocolError(f"no such stream channel {channel!r}")
+        return [{"channel": s.channel, "sequence": s.sequence,
+                 "time": s.time, "value": s.value}
+                for s in buf.drain(max_items)]
+
+    def drop_stats(self) -> dict[str, int]:
+        """Per-channel ring-buffer drops (best-effort accounting)."""
+        return {name: buf.dropped for name, buf in self.buffers.items()}

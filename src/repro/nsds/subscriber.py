@@ -1,0 +1,61 @@
+"""Subscriber-side stream receiver with gap accounting."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.network import Message, Network
+from repro.nsds.stream import StreamSample
+from repro.util.ids import IdFactory
+
+
+class NSDSReceiver:
+    """Receives NSDS datagrams on a bound port; tracks sequence gaps.
+
+    Because delivery is best-effort over possibly non-FIFO links, samples
+    may arrive out of order or not at all.  The receiver records, per
+    channel, the samples in arrival order, the highest sequence seen, and
+    how many sequence numbers were skipped — the observable "best effort"
+    of the paper's NSDS.
+    """
+
+    _port_ids = IdFactory("nsds-sink")
+
+    def __init__(self, network: Network, host: str,
+                 callback: Callable[[StreamSample], None] | None = None):
+        self.network = network
+        self.host = host
+        self.port = NSDSReceiver._port_ids()
+        self.callback = callback
+        self.samples: dict[str, list[StreamSample]] = {}
+        self.highest_seq: dict[str, int] = {}
+        self.out_of_order: int = 0
+        network.host(host).bind(self.port, self._on_message)
+
+    def _on_message(self, msg: Message) -> None:
+        payload = msg.payload
+        if not isinstance(payload, dict) or "channel" not in payload:
+            return
+        sample = StreamSample(channel=payload["channel"],
+                              sequence=payload["sequence"],
+                              time=payload["time"], value=payload["value"])
+        per = self.samples.setdefault(sample.channel, [])
+        per.append(sample)
+        prev = self.highest_seq.get(sample.channel, 0)
+        if sample.sequence < prev:
+            self.out_of_order += 1
+        self.highest_seq[sample.channel] = max(prev, sample.sequence)
+        if self.callback is not None:
+            self.callback(sample)
+
+    def received_count(self, channel: str) -> int:
+        return len(self.samples.get(channel, []))
+
+    def loss_count(self, channel: str) -> int:
+        """Sequence numbers never seen (as of the highest seen)."""
+        return self.highest_seq.get(channel, 0) - self.received_count(channel)
+
+    def values(self, channel: str) -> list:
+        """Values in sequence order (late arrivals sorted into place)."""
+        return [s.value for s in sorted(self.samples.get(channel, []),
+                                        key=lambda s: s.sequence)]

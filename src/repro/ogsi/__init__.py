@@ -1,0 +1,35 @@
+"""In-process OGSI-style grid service container.
+
+The paper's services are "OGSI compliant Grid Services" hosted in the Globus
+Toolkit 3 container, and the paper explicitly credits three OGSI mechanisms:
+*service data elements* (each NTCP transaction is an SDE; a "most recently
+changed" SDE supports whole-server monitoring), *soft-state lifetime
+management*, and *state observation* via inspection.  This package rebuilds
+that hosting environment over the simulated network:
+
+* :class:`~repro.ogsi.sde.ServiceDataSet` — named, timestamped service data
+  elements with change listeners;
+* :class:`~repro.ogsi.service.GridService` — base class with operations,
+  service data, and a termination time;
+* :class:`~repro.ogsi.container.ServiceContainer` — hosts services behind
+  grid service handles, dispatches RPC operations, runs the soft-state
+  reaper, offers ``findServiceData``/``setTerminationTime``/factory/registry
+  operations;
+* :class:`~repro.ogsi.notification.NotificationSink` — client-side receiver
+  for SDE change notifications (subscribe/deliver/expire).
+"""
+
+from repro.ogsi.sde import ServiceDataElement, ServiceDataSet
+from repro.ogsi.service import GridService
+from repro.ogsi.handle import GridServiceHandle
+from repro.ogsi.container import ServiceContainer
+from repro.ogsi.notification import NotificationSink
+
+__all__ = [
+    "ServiceDataElement",
+    "ServiceDataSet",
+    "GridService",
+    "GridServiceHandle",
+    "ServiceContainer",
+    "NotificationSink",
+]

@@ -1,0 +1,31 @@
+"""Grid service handles (GSH): location-bearing service names."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class GridServiceHandle:
+    """Identifies a service instance: ``gsh://<host>/<port>/<service_id>``."""
+
+    host: str
+    port: str
+    service_id: str
+
+    def __str__(self) -> str:
+        return f"gsh://{self.host}/{self.port}/{self.service_id}"
+
+    @classmethod
+    def parse(cls, text: str) -> "GridServiceHandle":
+        """Parse the string form; raises :class:`ProtocolError` on junk."""
+        prefix = "gsh://"
+        if not text.startswith(prefix):
+            raise ProtocolError(f"not a grid service handle: {text!r}")
+        body = text[len(prefix):]
+        parts = body.split("/", 2)
+        if len(parts) != 3 or not all(parts):
+            raise ProtocolError(f"malformed grid service handle: {text!r}")
+        return cls(host=parts[0], port=parts[1], service_id=parts[2])

@@ -1,0 +1,48 @@
+"""Client-side receiver for SDE change notifications."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.network import Message, Network
+from repro.util.ids import IdFactory
+
+
+class NotificationSink:
+    """Binds a port and collects (or forwards) SDE change notifications.
+
+    Notifications arrive as plain dicts (see
+    :meth:`repro.ogsi.container.ServiceContainer._fanout`).  The sink stores
+    them in arrival order and optionally invokes a callback — remote
+    monitoring tools (the CHEF data viewer, the MOST coordinator's health
+    display) are built on this.
+    """
+
+    _port_ids = IdFactory("notify")
+
+    def __init__(self, network: Network, host: str,
+                 callback: Callable[[dict[str, Any]], None] | None = None):
+        self.network = network
+        self.host = host
+        self.port = NotificationSink._port_ids()
+        self.callback = callback
+        self.received: list[dict[str, Any]] = []
+        network.host(host).bind(self.port, self._on_message)
+
+    def _on_message(self, msg: Message) -> None:
+        if not isinstance(msg.payload, dict):
+            return
+        self.received.append(msg.payload)
+        if self.callback is not None:
+            self.callback(msg.payload)
+
+    def for_service(self, service_id: str) -> list[dict[str, Any]]:
+        """Notifications from one service, in arrival order."""
+        return [n for n in self.received if n.get("service_id") == service_id]
+
+    def latest(self, service_id: str, sde_name: str) -> dict[str, Any] | None:
+        """Most recent notification for a specific SDE, if any."""
+        for n in reversed(self.received):
+            if n.get("service_id") == service_id and n.get("sde_name") == sde_name:
+                return n
+        return None

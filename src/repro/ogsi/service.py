@@ -1,0 +1,71 @@
+"""Grid service base class."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.ogsi.sde import ServiceDataSet
+from repro.util.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ogsi.container import ServiceContainer
+    from repro.ogsi.handle import GridServiceHandle
+
+
+class GridService:
+    """Base class for everything hosted in a :class:`ServiceContainer`.
+
+    Subclasses call :meth:`expose` to register operations (callables taking
+    the authenticated principal plus keyword params; may be generators to
+    consume simulation time) and use :attr:`service_data` for observable
+    state.  ``termination_time`` implements OGSI soft-state lifetime: the
+    container reaps the service once the time passes unless a client extends
+    it via the standard ``setTerminationTime`` operation.
+    """
+
+    def __init__(self, service_id: str):
+        self.service_id = service_id
+        self.container: "ServiceContainer | None" = None
+        self.handle: "GridServiceHandle | None" = None
+        self.service_data: ServiceDataSet | None = None
+        self.termination_time: float | None = None  # None = immortal
+        self._operations: dict[str, Callable[..., Any]] = {}
+
+    # -- wiring (called by the container) ----------------------------------
+    def attach(self, container: "ServiceContainer",
+               handle: "GridServiceHandle") -> None:
+        self.container = container
+        self.handle = handle
+        self.service_data = ServiceDataSet(lambda: container.kernel.now)
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Subclass hook: runs once the service is hosted (SDEs exist)."""
+
+    def on_destroy(self) -> None:
+        """Subclass hook: runs when the service is destroyed/reaped."""
+
+    # -- operations ----------------------------------------------------------
+    def expose(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register ``fn`` as operation ``name``."""
+        self._operations[name] = fn
+
+    def operation(self, name: str) -> Callable[..., Any]:
+        fn = self._operations.get(name)
+        if fn is None:
+            raise ProtocolError(
+                f"service {self.service_id!r} has no operation {name!r}")
+        return fn
+
+    def operations(self) -> list[str]:
+        return sorted(self._operations)
+
+    # -- helpers ---------------------------------------------------------------
+    @property
+    def kernel(self):
+        assert self.container is not None, "service not attached"
+        return self.container.kernel
+
+    def emit(self, kind: str, **detail: Any) -> None:
+        """Structured log record under this service's subsystem name."""
+        self.kernel.emit(f"ogsi.{self.service_id}", kind, **detail)

@@ -1,0 +1,44 @@
+"""NEESgrid data and metadata repository (paper §2.3, Figure 3).
+
+Components, mirroring the paper one-to-one:
+
+* :class:`~repro.repository.nmds.NMDSService` — the NEESgrid Metadata
+  Service: create/update/manage/validate metadata, with metadata *schemas*
+  as first-class versioned objects and per-object version control and
+  authorization;
+* :class:`~repro.repository.nfms.NFMSService` — the NEESgrid File
+  Management Service: logical file naming and transport neutrality, with a
+  plug-in transport API;
+* :class:`~repro.repository.transport.GridFTPTransport` /
+  :class:`~repro.repository.transport.HttpsBridgeTransport` — the two
+  transports NFMS negotiates between (GridFTP, and the servlet "bridge
+  between GridFTP and https");
+* :class:`~repro.repository.ingest.IngestionTool` — uploads data/metadata
+  incrementally as an experiment runs;
+* :class:`~repro.repository.facade.RepositoryFacade` — couples NMDS and
+  NFMS "using the Façade pattern, but they may be used independently".
+"""
+
+from repro.repository.nmds import MetadataObject, NMDSService, SchemaSpec
+from repro.repository.nfms import NFMSService
+from repro.repository.transport import (
+    GridFTPTransport,
+    HttpsBridgeTransport,
+    Transport,
+    TransferFailed,
+)
+from repro.repository.ingest import IngestionTool
+from repro.repository.facade import RepositoryFacade
+
+__all__ = [
+    "NMDSService",
+    "MetadataObject",
+    "SchemaSpec",
+    "NFMSService",
+    "Transport",
+    "GridFTPTransport",
+    "HttpsBridgeTransport",
+    "TransferFailed",
+    "IngestionTool",
+    "RepositoryFacade",
+]

@@ -1,0 +1,100 @@
+"""The repository façade: NMDS + NFMS behind one client-side API.
+
+"These components are coupled using the Façade pattern, but may be used
+independently."  :class:`RepositoryFacade` is the coupling: a client-side
+object that answers the questions remote participants actually asked during
+MOST — "what data exists for this experiment?", "give me that file" —
+by combining a metadata query, transfer negotiation, and a transport run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.daq.filestore import StagingStore
+from repro.net.rpc import RpcClient
+from repro.ogsi.handle import GridServiceHandle
+from repro.repository.transport import Transport
+from repro.util.errors import ProtocolError
+
+
+class RepositoryFacade:
+    """Client-side façade over NMDS, NFMS and the transports.
+
+    Args:
+        rpc: RPC client on the caller's host.
+        nmds / nfms: repository service handles.
+        transports: protocol name → :class:`Transport` available locally
+            (what the client "speaks"; negotiation intersects with the
+            server's).
+        credential_factory: optional per-call GSI token minting.
+    """
+
+    def __init__(self, rpc: RpcClient, nmds: GridServiceHandle,
+                 nfms: GridServiceHandle, transports: dict[str, Transport],
+                 *, credential_factory=None):
+        self.rpc = rpc
+        self.nmds = nmds
+        self.nfms = nfms
+        self.transports = dict(transports)
+        self.credential_factory = credential_factory
+
+    def _invoke(self, handle: GridServiceHandle, operation: str,
+                params: dict[str, Any]):
+        credential = (self.credential_factory("invoke")
+                      if self.credential_factory else None)
+        result = yield from self.rpc.call(
+            handle.host, handle.port, "invoke",
+            {"service_id": handle.service_id, "operation": operation,
+             "params": params}, credential=credential)
+        return result
+
+    # -- metadata side ----------------------------------------------------------
+    def query_metadata(self, object_type: str | None = None):
+        """List metadata object ids, optionally by type."""
+        ids = yield from self._invoke(self.nmds, "listObjects",
+                                      {"object_type": object_type})
+        return ids
+
+    def get_metadata(self, object_id: str, version: int | None = None):
+        obj = yield from self._invoke(self.nmds, "getObject",
+                                      {"object_id": object_id,
+                                       "version": version})
+        return obj
+
+    def annotate(self, object_type: str, fields: dict[str, Any]):
+        """Create a metadata object (e.g. experiment setup descriptions)."""
+        object_id = yield from self._invoke(self.nmds, "createObject",
+                                            {"object_type": object_type,
+                                             "fields": fields})
+        return object_id
+
+    # -- file side --------------------------------------------------------------
+    def list_files(self, prefix: str = ""):
+        names = yield from self._invoke(self.nfms, "listFiles",
+                                        {"prefix": prefix})
+        return names
+
+    def download(self, logical_name: str, dst_host: str,
+                 dst_store: StagingStore, *, source_store_lookup):
+        """Negotiate and run a download of ``logical_name`` to ``dst_store``.
+
+        ``source_store_lookup(host, store_name)`` maps a replica location to
+        the actual store object (the client's view of mounted stores).
+        Returns the :class:`~repro.repository.transport.TransferReport`.
+        """
+        deal = yield from self._invoke(
+            self.nfms, "negotiateTransfer",
+            {"logical_name": logical_name,
+             "client_protocols": list(self.transports)})
+        transport = self.transports.get(deal["protocol"])
+        if transport is None:  # pragma: no cover - negotiation guarantees
+            raise ProtocolError(f"negotiated unavailable protocol "
+                                f"{deal['protocol']!r}")
+        replica = deal["replica"]
+        src_store = source_store_lookup(replica["host"], replica["store"])
+        staged = src_store.get(logical_name)
+        report = yield from transport.transfer(
+            replica["host"], dst_host, staged, dst_store,
+            dst_name=logical_name)
+        return report

@@ -1,0 +1,125 @@
+"""The ingestion tool: incremental upload of staged data during a run.
+
+"This repository and associated NEESgrid services allow data and metadata
+from an experiment to be archived incrementally by an ingestion tool as an
+experiment is run."  The tool is a kernel process at a site: every sweep it
+picks up files the DAQ deposited since the previous sweep, ships each to
+the repository host with the configured transport (resuming partial
+transfers after failures), registers the logical name with NFMS, and
+creates an NMDS metadata record describing the file.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.daq.filestore import StagingStore
+from repro.net.rpc import RpcClient
+from repro.ogsi.handle import GridServiceHandle
+from repro.repository.transport import TransferFailed, Transport
+from repro.util.errors import ReproError
+
+
+class IngestionTool:
+    """Site-side incremental uploader.
+
+    Args:
+        site: the host this tool runs on (source of transfers).
+        staging: the site staging store the DAQ deposits into.
+        repo_host: the repository host name.
+        repo_store: the repository's file store (destination).
+        transport: the :class:`~repro.repository.transport.Transport` to
+            move bytes with.
+        rpc: an RPC client on ``site`` for NFMS/NMDS registration calls.
+        nfms / nmds: grid service handles of the repository services.
+        metadata_type: NMDS object type created per uploaded file.
+        sweep_interval: seconds between staging-store sweeps.
+    """
+
+    def __init__(self, *, site: str, staging: StagingStore, repo_host: str,
+                 repo_store: StagingStore, transport: Transport,
+                 rpc: RpcClient, nfms: GridServiceHandle,
+                 nmds: GridServiceHandle, experiment: str = "experiment",
+                 metadata_type: str = "data-file",
+                 sweep_interval: float = 2.0):
+        self.site = site
+        self.staging = staging
+        self.repo_host = repo_host
+        self.repo_store = repo_store
+        self.transport = transport
+        self.rpc = rpc
+        self.nfms = nfms
+        self.nmds = nmds
+        self.experiment = experiment
+        self.metadata_type = metadata_type
+        self.sweep_interval = sweep_interval
+        self.kernel = transport.kernel
+        self.running = False
+        self._cursor = 0  # staging sequence already ingested
+        self._partial: dict[str, int] = {}  # file -> bytes done (restart)
+        self.uploaded: list[str] = []
+        self.failed_attempts = 0
+
+    def start(self) -> None:
+        self.running = True
+        self.kernel.process(self._loop(), name=f"ingest.{self.site}")
+
+    def stop(self) -> None:
+        self.running = False
+
+    def drain(self):
+        """One synchronous sweep (as a process): ingest everything pending."""
+        yield from self._sweep()
+
+    def _loop(self):
+        while self.running:
+            yield self.kernel.timeout(self.sweep_interval)
+            if not self.running:
+                break
+            yield from self._sweep()
+
+    def _sweep(self):
+        for staged in self.staging.newer_than(self._cursor):
+            logical = f"{self.experiment}/{self.site}/{staged.name}"
+            try:
+                yield from self._upload_one(staged, logical)
+            except (TransferFailed, ReproError) as exc:
+                # leave the cursor so the file is retried next sweep
+                self.failed_attempts += 1
+                self.kernel.emit(f"ingest.{self.site}", "upload.failed",
+                                 file=staged.name, error=str(exc))
+                return
+            self._cursor = staged.sequence
+            self.uploaded.append(logical)
+
+    def _upload_one(self, staged, logical: str):
+        resume = self._partial.get(staged.name, 0)
+        try:
+            report = yield from self.transport.transfer(
+                self.site, self.repo_host, staged, self.repo_store,
+                dst_name=logical, resume_from=resume)
+        except TransferFailed as exc:
+            self._partial[staged.name] = exc.bytes_done
+            raise
+        self._partial.pop(staged.name, None)
+        yield from self.rpc.call(
+            self.nfms.host, self.nfms.port, "invoke",
+            {"service_id": self.nfms.service_id, "operation": "registerFile",
+             "params": {"logical_name": logical, "host": self.repo_host,
+                        "store": self.repo_store.name, "size": staged.size,
+                        "checksum": staged.checksum}})
+        metadata: dict[str, Any] = {
+            "experiment": self.experiment,
+            "site": self.site,
+            "logical_name": logical,
+            "rows": len(staged.rows),
+            "created": staged.created,
+            "size": staged.size,
+        }
+        yield from self.rpc.call(
+            self.nmds.host, self.nmds.port, "invoke",
+            {"service_id": self.nmds.service_id, "operation": "createObject",
+             "params": {"object_type": self.metadata_type,
+                        "fields": metadata}})
+        self.kernel.emit(f"ingest.{self.site}", "upload.completed",
+                         logical_name=logical, duration=report.duration)

@@ -1,0 +1,102 @@
+"""NFMS: the NEESgrid File Management Service.
+
+"NFMS provides two main capabilities: logical file naming and transport
+neutrality.  Applications negotiate file transfers with NFMS, which resolves
+a transfer request for a logical file to a protocol request for a physical
+resource."  Logical names map to one or more physical replicas; transfer
+negotiation intersects the client's protocols with the service's installed
+transports (the plug-in API) and picks the preferred mutual one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ogsi.service import GridService
+from repro.repository.nmds import require_right
+from repro.util.errors import ProtocolError
+
+
+@dataclass
+class _LogicalFile:
+    logical_name: str
+    replicas: list[dict] = field(default_factory=list)  # {host, store, size, checksum}
+
+
+class NFMSService(GridService):
+    """Logical naming + transfer negotiation.
+
+    Operations: ``registerFile``, ``addReplica``, ``resolve``,
+    ``negotiateTransfer``, ``listFiles``.  Transports are *named* plugins
+    installed server-side (``install_transport``); preference order is the
+    installation order, so deployments put GridFTP first and the https
+    bridge second.
+    """
+
+    def __init__(self, service_id: str = "nfms"):
+        super().__init__(service_id)
+        self.files: dict[str, _LogicalFile] = {}
+        self.transport_names: list[str] = []
+
+    def on_attach(self) -> None:
+        self.service_data.set("fileCount", 0)
+        for op in ("registerFile", "addReplica", "resolve",
+                   "negotiateTransfer", "listFiles"):
+            self.expose(op, getattr(self, f"_op_{op}"))
+
+    def install_transport(self, name: str) -> None:
+        """Advertise a transport protocol (plug-in API)."""
+        if name not in self.transport_names:
+            self.transport_names.append(name)
+
+    # -- operations ----------------------------------------------------------
+    def _op_registerFile(self, caller, logical_name: str, host: str,
+                         store: str, size: int, checksum: str):
+        require_right(caller, "repository:write")
+        if logical_name in self.files:
+            raise ProtocolError(f"logical file {logical_name!r} already "
+                                f"registered (use addReplica)")
+        lf = _LogicalFile(logical_name=logical_name)
+        lf.replicas.append({"host": host, "store": store, "size": size,
+                            "checksum": checksum})
+        self.files[logical_name] = lf
+        self.service_data.set("fileCount", len(self.files))
+        self.emit("file.registered", logical_name=logical_name, host=host)
+        return True
+
+    def _op_addReplica(self, caller, logical_name: str, host: str,
+                       store: str, size: int, checksum: str):
+        require_right(caller, "repository:write")
+        lf = self._get(logical_name)
+        lf.replicas.append({"host": host, "store": store, "size": size,
+                            "checksum": checksum})
+        return len(lf.replicas)
+
+    def _get(self, logical_name: str) -> _LogicalFile:
+        lf = self.files.get(logical_name)
+        if lf is None:
+            raise ProtocolError(f"unknown logical file {logical_name!r}")
+        return lf
+
+    def _op_resolve(self, caller, logical_name: str):
+        lf = self._get(logical_name)
+        return [dict(r) for r in lf.replicas]
+
+    def _op_negotiateTransfer(self, caller, logical_name: str,
+                              client_protocols: list[str],
+                              prefer_host: str | None = None):
+        """Pick a (protocol, replica) pair for the client to fetch with."""
+        lf = self._get(logical_name)
+        protocol = next((p for p in self.transport_names
+                         if p in set(client_protocols)), None)
+        if protocol is None:
+            raise ProtocolError(
+                f"no mutual transport: server has {self.transport_names}, "
+                f"client offered {client_protocols}")
+        replicas = lf.replicas
+        chosen = next((r for r in replicas if r["host"] == prefer_host),
+                      replicas[0])
+        return {"protocol": protocol, "replica": dict(chosen)}
+
+    def _op_listFiles(self, caller, prefix: str = ""):
+        return sorted(n for n in self.files if n.startswith(prefix))

@@ -1,0 +1,146 @@
+"""File transports: GridFTP and the https bridge.
+
+NFMS's "transport neutrality" requires at least two real transports to
+negotiate between.  Both move a :class:`~repro.daq.filestore.StagedFile`
+between stores on two hosts as a kernel process whose duration is computed
+from the link and the transport's performance model; both verify integrity
+on arrival and fail cleanly (with a restart marker) if the link drops
+mid-transfer — GridFTP's partial-transfer restart is what makes the
+ingestion tool's retry loop cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.daq.filestore import StagedFile, StagingStore, content_checksum
+from repro.net.network import Network
+from repro.util.errors import TransportError
+
+
+class TransferFailed(TransportError):
+    """A transfer aborted; ``bytes_done`` supports restart."""
+
+    def __init__(self, message: str, bytes_done: int = 0):
+        super().__init__(message)
+        self.bytes_done = bytes_done
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """Outcome of a completed transfer (benchmark fodder)."""
+
+    logical_name: str
+    size: int
+    duration: float
+    protocol: str
+    resumed_from: int
+
+
+class Transport:
+    """Base transport: chunked movement with link-state checks.
+
+    Subclasses set ``protocol``, ``bandwidth`` (bytes/s), ``chunk_size``
+    and ``per_chunk_overhead`` (seconds added to each chunk, e.g. request
+    turnaround for https).
+    """
+
+    protocol = "abstract"
+    bandwidth = 1e6
+    chunk_size = 64 * 1024
+    per_chunk_overhead = 0.0
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.kernel = network.kernel
+        self.transfers_completed = 0
+        self.transfers_failed = 0
+        self.bytes_moved = 0
+
+    def chunk_time(self, chunk_bytes: int, link) -> float:
+        """Seconds to move one chunk over ``link``."""
+        return (chunk_bytes / self.bandwidth + link.latency
+                + self.per_chunk_overhead)
+
+    def transfer(self, src_host: str, dst_host: str, file: StagedFile,
+                 dst_store: StagingStore, *, dst_name: str | None = None,
+                 resume_from: int = 0):
+        """Kernel process: move ``file`` to ``dst_store``.
+
+        Returns a :class:`TransferReport`; raises :class:`TransferFailed`
+        (with a restart marker) if the link goes down mid-transfer.
+        """
+        try:
+            link = self.network.link(src_host, dst_host)
+        except KeyError:
+            self.transfers_failed += 1
+            raise TransferFailed(
+                f"no route {src_host} -> {dst_host}") from None
+        started = self.kernel.now
+        total = file.size
+        done = min(resume_from, total)
+        while done < total:
+            if not link.up:
+                self.transfers_failed += 1
+                self.kernel.emit(f"transport.{self.protocol}",
+                                 "transfer.failed", file=file.name,
+                                 bytes_done=done)
+                raise TransferFailed(
+                    f"link {src_host}<->{dst_host} down during transfer of "
+                    f"{file.name!r}", bytes_done=done)
+            chunk = min(self.chunk_size, total - done)
+            yield self.kernel.timeout(self.chunk_time(chunk, link))
+            done += chunk
+            self.bytes_moved += chunk
+        # Integrity: recompute the checksum on arrival.
+        if content_checksum(list(file.rows)) != file.checksum:
+            self.transfers_failed += 1
+            raise TransferFailed(
+                f"checksum mismatch for {file.name!r}")  # pragma: no cover
+        name = dst_name if dst_name is not None else file.name
+        if not dst_store.exists(name):
+            dst_store.deposit(name, list(file.rows), created=self.kernel.now)
+        self.transfers_completed += 1
+        report = TransferReport(logical_name=name, size=total,
+                                duration=self.kernel.now - started,
+                                protocol=self.protocol,
+                                resumed_from=resume_from)
+        self.kernel.emit(f"transport.{self.protocol}", "transfer.completed",
+                         file=name, size=total, duration=report.duration)
+        return report
+
+
+class GridFTPTransport(Transport):
+    """GridFTP: high bandwidth, parallel streams amortize link latency."""
+
+    protocol = "gridftp"
+
+    def __init__(self, network: Network, *, bandwidth: float = 8e6,
+                 parallel_streams: int = 4, chunk_size: int = 256 * 1024):
+        super().__init__(network)
+        self.bandwidth = bandwidth
+        self.parallel_streams = max(1, parallel_streams)
+        self.chunk_size = chunk_size
+
+    def chunk_time(self, chunk_bytes: int, link) -> float:
+        # Parallel streams pipeline the latency component.
+        return (chunk_bytes / self.bandwidth
+                + link.latency / self.parallel_streams)
+
+
+class HttpsBridgeTransport(Transport):
+    """The GridFTP↔https bridge servlet: single stream, per-request cost.
+
+    "We have also developed ... a servlet that acts as a bridge between
+    GridFTP and https" — the fallback for clients without GSI/GridFTP.
+    """
+
+    protocol = "https"
+
+    def __init__(self, network: Network, *, bandwidth: float = 1.5e6,
+                 chunk_size: int = 64 * 1024,
+                 per_request_overhead: float = 0.05):
+        super().__init__(network)
+        self.bandwidth = bandwidth
+        self.chunk_size = chunk_size
+        self.per_chunk_overhead = per_request_overhead

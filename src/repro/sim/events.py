@@ -1,0 +1,193 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence with a value or an exception.
+Processes wait on events by yielding them; arbitrary code can wait by
+registering callbacks.  :class:`Timeout` fires after a delay; :class:`AnyOf`
+and :class:`AllOf` compose events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+PENDING = object()
+"""Sentinel: the event has no value yet."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    Attributes:
+        cause: the object passed to ``interrupt()``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Life cycle: *pending* → *triggered* (scheduled on the kernel queue) →
+    *processed* (callbacks ran).  An event succeeds with a value or fails
+    with an exception; failed events propagate their exception into every
+    waiting process.  A failed event that nobody waits on is re-raised by
+    the kernel so failures are never silently lost (call :meth:`defuse` to
+    opt out for fire-and-forget operations).
+    """
+
+    def __init__(self, kernel: "Kernel", name: str | None = None):
+        self.kernel = kernel
+        self.name = name
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state -----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if still pending."""
+        if self._value is PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._value = value
+        self._ok = True
+        self.kernel._enqueue(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.kernel._enqueue(self, delay=0.0)
+        return self
+
+    def defuse(self) -> "Event":
+        """Mark a failure as intentionally unobserved (no re-raise)."""
+        self._defused = True
+        return self
+
+    # -- waiting ---------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or self.__class__.__name__
+        state = ("processed" if self.processed
+                 else "triggered" if self.triggered else "pending")
+        return f"<{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, kernel: "Kernel", delay: float, value: Any = None,
+                 name: str | None = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(kernel, name=name or f"timeout({delay})")
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        kernel._enqueue(self, delay=delay)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    def __init__(self, kernel: "Kernel", events: list[Event], name: str):
+        super().__init__(kernel, name=name)
+        self.events = list(events)
+        self._pending = 0
+        for evt in self.events:
+            if not isinstance(evt, Event):
+                raise TypeError(f"not an Event: {evt!r}")
+        for evt in self.events:
+            self._pending += 1
+            evt.add_callback(self._on_child)
+        if not self.events and not self.triggered:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        # Collect *processed* children: a Timeout pre-sets its value at
+        # creation (so ``triggered`` is immediately true), but it has not
+        # occurred until the kernel processes it.
+        return {e: e._value for e in self.events if e.processed and e.ok}
+
+    def _on_child(self, evt: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as any child event succeeds (fails on first failure)."""
+
+    def __init__(self, kernel: "Kernel", events: list[Event]):
+        super().__init__(kernel, events, name="AnyOf")
+
+    def _on_child(self, evt: Event) -> None:
+        if self.triggered:
+            if not evt.ok:
+                evt.defuse()
+            return
+        if evt.ok:
+            self.succeed(self._collect())
+        else:
+            evt.defuse()
+            self.fail(evt._value)
+
+
+class AllOf(_Condition):
+    """Succeeds when every child event has succeeded (fails on first failure)."""
+
+    def __init__(self, kernel: "Kernel", events: list[Event]):
+        super().__init__(kernel, events, name="AllOf")
+
+    def _on_child(self, evt: Event) -> None:
+        if self.triggered:
+            if not evt.ok:
+                evt.defuse()
+            return
+        if not evt.ok:
+            evt.defuse()
+            self.fail(evt._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())

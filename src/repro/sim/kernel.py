@@ -1,0 +1,98 @@
+"""The event loop: a deterministic priority-queue scheduler."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.util.log import EventLog
+
+
+class Kernel:
+    """Deterministic discrete-event scheduler.
+
+    Events scheduled for the same time fire in insertion order (a strictly
+    increasing sequence number breaks ties), so runs are exactly repeatable.
+    The kernel also owns the run-wide :class:`~repro.util.log.EventLog` that
+    all subsystems emit structured records to.
+    """
+
+    def __init__(self, log: EventLog | None = None):
+        self.now: float = 0.0
+        self.log = log if log is not None else EventLog()
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # -- factories ---------------------------------------------------------
+    def event(self, name: str | None = None) -> Event:
+        """A pending event to be succeeded/failed manually."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str | None = None) -> Process:
+        """Start a generator as a process; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` succeeds."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have succeeded."""
+        return AllOf(self, list(events))
+
+    def emit(self, subsystem: str, kind: str, **detail: Any):
+        """Convenience: log a structured record stamped with ``self.now``."""
+        return self.log.emit(self.now, subsystem, kind, **detail)
+
+    # -- scheduling ----------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing ``now`` to its time)."""
+        time, _, event = heapq.heappop(self._queue)
+        self.now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for fn in callbacks:
+            fn(event)
+        if not event.ok and not event._defused:
+            # A failure nobody observed (or defused): surface it rather than
+            # losing it.  Processes and conditions defuse failures they relay.
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, ``until`` time passes, or event fires.
+
+        Returns the value of ``until`` when it is an event, else ``None``.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while self._queue and not stop.processed:
+                self.step()
+            if not stop.triggered:
+                raise RuntimeError(
+                    f"run() ran out of events before {stop!r} triggered")
+            if not stop.ok:
+                stop.defuse()
+                raise stop._value
+            return stop._value
+        horizon = float("inf") if until is None else float(until)
+        if horizon < self.now:
+            raise ValueError(f"until={horizon} is in the past (now={self.now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        if horizon != float("inf"):
+            self.now = horizon
+        return None

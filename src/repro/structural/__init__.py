@@ -1,0 +1,61 @@
+"""Structural / earthquake engineering numerics.
+
+The domain substrate under the MOST experiment: ground motion records,
+structural models (mass/damping/stiffness), element constitutive laws
+(linear and bilinear-hysteretic), pseudo-dynamic time-stepping integrators,
+substructure decomposition for MS-PSDS testing, and a physical-specimen
+simulator standing in for the servo-hydraulic rigs at UIUC and CU.
+
+All array math is vectorized NumPy; models are small (a handful of DOFs, as
+in MOST) but the code is written for general n-DOF systems.
+"""
+
+from repro.structural.ground_motion import (
+    GroundMotion,
+    el_centro_like,
+    kanai_tajimi_record,
+    response_spectrum,
+)
+from repro.structural.elements import BilinearSpring, LinearSpring
+from repro.structural.model import ShearFrame, StructuralModel
+from repro.structural.integrators import (
+    AlphaOSPSD,
+    CentralDifferencePSD,
+    NewmarkBeta,
+    StepResult,
+)
+from repro.structural.substructure import (
+    LinearSubstructure,
+    SpecimenSubstructure,
+    Substructure,
+    SubstructuredModel,
+)
+from repro.structural.specimen import (
+    Actuator,
+    Measurement,
+    PhysicalSpecimen,
+    Sensor,
+)
+
+__all__ = [
+    "GroundMotion",
+    "kanai_tajimi_record",
+    "el_centro_like",
+    "response_spectrum",
+    "AlphaOSPSD",
+    "LinearSpring",
+    "BilinearSpring",
+    "StructuralModel",
+    "ShearFrame",
+    "NewmarkBeta",
+    "CentralDifferencePSD",
+    "StepResult",
+    "Substructure",
+    "LinearSubstructure",
+    "SpecimenSubstructure",
+    "SubstructuredModel",
+    "Actuator",
+    "Sensor",
+    "Measurement",
+    "PhysicalSpecimen",
+]

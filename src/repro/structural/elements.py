@@ -1,0 +1,115 @@
+"""One-dimensional element constitutive laws.
+
+Elements map an imposed displacement history to restoring force.  The linear
+spring models elastic columns; the bilinear spring adds rate-independent
+plasticity with kinematic hardening (classic return-mapping), producing the
+hysteresis loops that the CHEF data viewers of Figure 8 plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearSpring:
+    """Elastic element: ``f = k * d``.
+
+    >>> s = LinearSpring(k=2.0)
+    >>> s.force(1.5)
+    3.0
+    """
+
+    def __init__(self, k: float):
+        if k <= 0:
+            raise ValueError(f"stiffness must be positive, got {k}")
+        self.k = k
+
+    def force(self, d: float) -> float:
+        """Restoring force at displacement ``d`` (stateless)."""
+        return self.k * d
+
+    @property
+    def initial_stiffness(self) -> float:
+        return self.k
+
+    def reset(self) -> None:
+        """No state to reset (present for interface symmetry)."""
+
+
+class BilinearSpring:
+    """Elastoplastic element with kinematic hardening.
+
+    Elastic stiffness ``k``, yield force ``fy``, post-yield stiffness ratio
+    ``alpha`` (hardening modulus ``H = alpha*k/(1-alpha)`` so the post-yield
+    tangent is exactly ``alpha*k``).  State (plastic displacement and back
+    force) evolves with each :meth:`force` call, so displacement histories
+    trace hysteresis loops.
+    """
+
+    def __init__(self, k: float, fy: float, alpha: float = 0.05):
+        if k <= 0:
+            raise ValueError(f"stiffness must be positive, got {k}")
+        if fy <= 0:
+            raise ValueError(f"yield force must be positive, got {fy}")
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"hardening ratio must be in [0,1), got {alpha}")
+        self.k = k
+        self.fy = fy
+        self.alpha = alpha
+        self.hardening = alpha * k / (1.0 - alpha) if alpha > 0 else 0.0
+        self.plastic_disp = 0.0
+        self.back_force = 0.0
+
+    def reset(self) -> None:
+        """Return to the virgin state."""
+        self.plastic_disp = 0.0
+        self.back_force = 0.0
+
+    @property
+    def initial_stiffness(self) -> float:
+        return self.k
+
+    def force(self, d: float) -> float:
+        """Advance the plasticity state to displacement ``d``; return force.
+
+        Standard 1-D return mapping: elastic trial, yield check against the
+        kinematically shifted surface, plastic corrector.
+        """
+        trial = self.k * (d - self.plastic_disp)
+        xi = trial - self.back_force
+        if abs(xi) <= self.fy:
+            return trial
+        direction = np.sign(xi)
+        dgamma = (abs(xi) - self.fy) / (self.k + self.hardening)
+        self.plastic_disp += dgamma * direction
+        self.back_force += self.hardening * dgamma * direction
+        return self.k * (d - self.plastic_disp)
+
+    def force_history(self, displacements: np.ndarray) -> np.ndarray:
+        """Apply a displacement history; returns the force history.
+
+        The per-step state dependence makes this inherently sequential, so
+        it is a plain loop (n is small in our experiments).
+        """
+        out = np.empty(len(displacements))
+        for i, d in enumerate(displacements):
+            out[i] = self.force(float(d))
+        return out
+
+
+def cantilever_stiffness(e_modulus: float, inertia: float, length: float) -> float:
+    """Lateral tip stiffness of a cantilever column: ``3 E I / L^3``.
+
+    Used to derive physically plausible stiffnesses for the MOST columns
+    (W-section steel columns ~1–2 m test length) and the Mini-MOST beam.
+    """
+    if min(e_modulus, inertia, length) <= 0:
+        raise ValueError("E, I, L must all be positive")
+    return 3.0 * e_modulus * inertia / length ** 3
+
+
+def fixed_fixed_stiffness(e_modulus: float, inertia: float, length: float) -> float:
+    """Lateral stiffness of a column fixed at both ends: ``12 E I / L^3``."""
+    if min(e_modulus, inertia, length) <= 0:
+        raise ValueError("E, I, L must all be positive")
+    return 12.0 * e_modulus * inertia / length ** 3

@@ -1,0 +1,341 @@
+"""Time-stepping integrators.
+
+Two integrators cover the paper's needs:
+
+* :class:`NewmarkBeta` — the implicit constant-average-acceleration method,
+  unconditionally stable for linear systems.  Used for reference solutions
+  (the "computational simulation" arm of a hybrid test) and for validating
+  the pseudo-dynamic path against near-exact results.
+
+* :class:`CentralDifferencePSD` — the explicit central-difference scheme
+  that classical pseudo-dynamic substructure testing uses: at each step the
+  *measured* restoring force enters the equation of motion, and the method
+  produces the next displacement to command to the physical specimens.  This
+  is the numerical heart of the MS-PSDS method in the paper (§3).  Its
+  step-at-a-time API (``propose_next`` / ``commit``) matches the MOST
+  control flow: compute displacement → send via NTCP → measure forces →
+  compute next displacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import linalg
+
+from repro.structural.ground_motion import GroundMotion
+from repro.structural.model import StructuralModel
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """State after one completed integration step."""
+
+    step: int
+    time: float
+    displacement: np.ndarray
+    velocity: np.ndarray
+    acceleration: np.ndarray
+    restoring_force: np.ndarray
+
+
+class NewmarkBeta:
+    """Implicit Newmark-beta integration of a *linear* model.
+
+    Default ``beta=1/4, gamma=1/2`` (constant average acceleration) is
+    unconditionally stable and second-order accurate.
+    """
+
+    def __init__(self, model: StructuralModel, dt: float, *,
+                 beta: float = 0.25, gamma: float = 0.5):
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        self.model = model
+        self.dt = dt
+        self.beta = beta
+        self.gamma = gamma
+        m, c, k = model.mass, model.damping, model.stiffness
+        self._keff = (k + gamma / (beta * dt) * c + m / (beta * dt ** 2))
+        self._keff_lu = linalg.lu_factor(self._keff)
+        self._m_lu = linalg.lu_factor(m)
+
+    def integrate(self, motion: GroundMotion,
+                  d0: np.ndarray | None = None,
+                  v0: np.ndarray | None = None) -> list[StepResult]:
+        """Integrate a base-excitation record; returns per-step results.
+
+        The ground motion's ``dt`` must match the integrator's.
+        """
+        if not np.isclose(motion.dt, self.dt):
+            raise ConfigurationError(
+                f"ground motion dt={motion.dt} != integrator dt={self.dt}")
+        loads = np.array([self.model.external_force(a)
+                          for a in motion.accel])
+        return self.integrate_forced(loads, d0=d0, v0=v0)
+
+    def integrate_forced(self, loads: np.ndarray,
+                         d0: np.ndarray | None = None,
+                         v0: np.ndarray | None = None) -> list[StepResult]:
+        """Integrate an explicit load history.
+
+        ``loads`` has shape (n_steps, n_dof): the external force vector at
+        each step (e.g. a shaker applied at one floor, as in forced
+        vibration field testing).
+        """
+        model, dt, beta, gamma = self.model, self.dt, self.beta, self.gamma
+        loads = np.atleast_2d(np.asarray(loads, dtype=float))
+        if loads.shape[1] != model.n_dof:
+            raise ConfigurationError(
+                f"loads have {loads.shape[1]} columns; model has "
+                f"{model.n_dof} DOFs")
+        n = model.n_dof
+        d = np.zeros(n) if d0 is None else np.asarray(d0, dtype=float).copy()
+        v = np.zeros(n) if v0 is None else np.asarray(v0, dtype=float).copy()
+        p0 = loads[0] if len(loads) else np.zeros(n)
+        a = linalg.lu_solve(self._m_lu,
+                            p0 - model.damping @ v - model.stiffness @ d)
+        results: list[StepResult] = []
+        m, c, k = model.mass, model.damping, model.stiffness
+        for step in range(1, len(loads)):
+            p = loads[step]
+            rhs = (p
+                   + m @ (d / (beta * dt ** 2) + v / (beta * dt)
+                          + (1 / (2 * beta) - 1) * a)
+                   + c @ (gamma / (beta * dt) * d
+                          + (gamma / beta - 1) * v
+                          + dt * (gamma / (2 * beta) - 1) * a))
+            d_new = linalg.lu_solve(self._keff_lu, rhs)
+            a_new = ((d_new - d) / (beta * dt ** 2) - v / (beta * dt)
+                     - (1 / (2 * beta) - 1) * a)
+            v_new = v + dt * ((1 - gamma) * a + gamma * a_new)
+            d, v, a = d_new, v_new, a_new
+            results.append(StepResult(step=step, time=step * dt,
+                                      displacement=d.copy(), velocity=v.copy(),
+                                      acceleration=a.copy(),
+                                      restoring_force=(k @ d)))
+        return results
+
+
+class CentralDifferencePSD:
+    """Explicit central-difference stepping for pseudo-dynamic testing.
+
+    The equation of motion uses the *measured* restoring force ``R_n``::
+
+        (M/dt^2 + C/2dt) d_{n+1} = p_n - R_n + (2M/dt^2) d_n
+                                   - (M/dt^2 - C/2dt) d_{n-1}
+
+    Conditionally stable: ``dt < 2/omega_max`` (check :meth:`stable_dt`).
+
+    Usage per step::
+
+        psd.start(r0=measure(d0), p0=load(0))
+        for n in 1..N:
+            d_next = psd.propose_next()       # displacement to command
+            r_next = measure(d_next)           # physical / simulated forces
+            state  = psd.commit(d_next, r_next, p_next=load(n))
+    """
+
+    def __init__(self, model: StructuralModel, dt: float):
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        self.model = model
+        self.dt = dt
+        m, c = model.mass, model.damping
+        self._lhs = m / dt ** 2 + c / (2 * dt)
+        self._lhs_lu = linalg.lu_factor(self._lhs)
+        self._a_coef = 2 * m / dt ** 2
+        self._b_coef = m / dt ** 2 - c / (2 * dt)
+        self._m_lu = linalg.lu_factor(m)
+        self._d_prev: np.ndarray | None = None
+        self._d_curr: np.ndarray | None = None
+        self._r_curr: np.ndarray | None = None
+        self._p_curr: np.ndarray | None = None
+        self.step_index = 0
+
+    def stable_dt(self) -> float:
+        """The central-difference stability limit ``2/omega_max``."""
+        omega_max = float(self.model.natural_frequencies()[-1])
+        return np.inf if omega_max == 0 else 2.0 / omega_max
+
+    def start(self, r0: np.ndarray, p0: np.ndarray,
+              d0: np.ndarray | None = None,
+              v0: np.ndarray | None = None) -> None:
+        """Initialize from measured force at the initial displacement."""
+        n = self.model.n_dof
+        d0 = np.zeros(n) if d0 is None else np.asarray(d0, dtype=float)
+        v0 = np.zeros(n) if v0 is None else np.asarray(v0, dtype=float)
+        r0 = np.asarray(r0, dtype=float)
+        p0 = np.asarray(p0, dtype=float)
+        a0 = linalg.lu_solve(self._m_lu, p0 - self.model.damping @ v0 - r0)
+        self._d_curr = d0.copy()
+        self._d_prev = d0 - self.dt * v0 + 0.5 * self.dt ** 2 * a0
+        self._r_curr = r0.copy()
+        self._p_curr = p0.copy()
+        self.step_index = 0
+
+    def propose_next(self) -> np.ndarray:
+        """The displacement to command for step ``n+1``."""
+        if self._d_curr is None:
+            raise ConfigurationError("call start() before stepping")
+        rhs = (self._p_curr - self._r_curr
+               + self._a_coef @ self._d_curr
+               - self._b_coef @ self._d_prev)
+        return linalg.lu_solve(self._lhs_lu, rhs)
+
+    def commit(self, d_next: np.ndarray, r_next: np.ndarray,
+               p_next: np.ndarray) -> StepResult:
+        """Accept measured forces at ``d_next``; advance one step."""
+        if self._d_curr is None:
+            raise ConfigurationError("call start() before stepping")
+        d_next = np.asarray(d_next, dtype=float)
+        dt = self.dt
+        velocity = (d_next - self._d_prev) / (2 * dt)
+        acceleration = (d_next - 2 * self._d_curr + self._d_prev) / dt ** 2
+        self._d_prev = self._d_curr
+        self._d_curr = d_next.copy()
+        self._r_curr = np.asarray(r_next, dtype=float).copy()
+        self._p_curr = np.asarray(p_next, dtype=float).copy()
+        self.step_index += 1
+        return StepResult(step=self.step_index, time=self.step_index * dt,
+                          displacement=d_next.copy(), velocity=velocity,
+                          acceleration=acceleration,
+                          restoring_force=self._r_curr.copy())
+
+    def integrate(self, motion: GroundMotion, restoring) -> list[StepResult]:
+        """Convenience loop: ``restoring(d) -> R`` supplies forces locally."""
+        n = self.model.n_dof
+        d0 = np.zeros(n)
+        self.start(r0=np.asarray(restoring(d0), dtype=float),
+                   p0=self.model.external_force(
+                       motion.accel[0] if motion.n_steps else 0.0))
+        results = []
+        for step in range(1, motion.n_steps):
+            d_next = self.propose_next()
+            r_next = np.asarray(restoring(d_next), dtype=float)
+            p_next = self.model.external_force(motion.accel[step])
+            results.append(self.commit(d_next, r_next, p_next))
+        return results
+
+
+class AlphaOSPSD:
+    """The α-Operator-Splitting pseudo-dynamic method (Nakashima et al.).
+
+    Reference [14]'s authors pioneered real-time pseudo-dynamic testing
+    with operator-splitting schemes: the displacement *command* is an
+    explicit predictor, the measured restoring force enters the equation of
+    motion, and an implicit corrector built from the **nominal** initial
+    stiffness ``K̂`` supplies unconditional stability for the linear part —
+    the method of choice when a test structure is too stiff for the
+    central-difference limit.  With HHT-α numerical damping
+    (``alpha ∈ [-1/3, 0]``) spurious high modes are filtered.
+
+    Per step: predictor ``d̃_{n+1}`` (what the specimens are commanded to),
+    measured ``R̃_{n+1}`` at the predictor, then the corrector solve.
+
+    Usage mirrors :class:`CentralDifferencePSD`::
+
+        psd.start(r0, p0)
+        d_cmd  = psd.propose_next()      # predictor displacement
+        r_meas = measure(d_cmd)
+        state  = psd.commit(d_cmd, r_meas, p_next)
+    """
+
+    def __init__(self, model: StructuralModel, dt: float, *,
+                 alpha: float = -0.1,
+                 nominal_stiffness: np.ndarray | None = None):
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        if not -1.0 / 3.0 <= alpha <= 0.0:
+            raise ConfigurationError("alpha must be in [-1/3, 0]")
+        self.model = model
+        self.dt = dt
+        self.alpha = alpha
+        self.beta = (1.0 - alpha) ** 2 / 4.0
+        self.gamma = 0.5 - alpha
+        k_hat = (model.stiffness if nominal_stiffness is None
+                 else np.atleast_2d(np.asarray(nominal_stiffness,
+                                               dtype=float)))
+        self.k_hat = k_hat
+        m, c = model.mass, model.damping
+        # effective matrix of the alpha-OS corrector
+        self._meff = (m + self.gamma * dt * (1 + alpha) * c
+                      + self.beta * dt ** 2 * (1 + alpha) * k_hat)
+        self._meff_lu = linalg.lu_factor(self._meff)
+        self._m_lu = linalg.lu_factor(m)
+        self._d = None
+        self._v = None
+        self._a = None
+        self._r = None
+        self._p = None
+        self._d_pred = None
+        self.step_index = 0
+
+    def start(self, r0: np.ndarray, p0: np.ndarray,
+              d0: np.ndarray | None = None,
+              v0: np.ndarray | None = None) -> None:
+        n = self.model.n_dof
+        self._d = (np.zeros(n) if d0 is None
+                   else np.asarray(d0, dtype=float).copy())
+        self._v = (np.zeros(n) if v0 is None
+                   else np.asarray(v0, dtype=float).copy())
+        self._r = np.asarray(r0, dtype=float).copy()
+        self._p = np.asarray(p0, dtype=float).copy()
+        self._a = linalg.lu_solve(
+            self._m_lu, self._p - self.model.damping @ self._v - self._r)
+        self.step_index = 0
+
+    def propose_next(self) -> np.ndarray:
+        """The explicit predictor displacement to command."""
+        if self._d is None:
+            raise ConfigurationError("call start() before stepping")
+        dt, beta = self.dt, self.beta
+        self._d_pred = (self._d + dt * self._v
+                        + dt ** 2 * (0.5 - beta) * self._a)
+        return self._d_pred.copy()
+
+    def commit(self, d_cmd: np.ndarray, r_meas: np.ndarray,
+               p_next: np.ndarray) -> StepResult:
+        """Corrector solve with the measured force at the predictor."""
+        if self._d_pred is None:
+            raise ConfigurationError("call propose_next() before commit()")
+        dt, alpha, beta, gamma = self.dt, self.alpha, self.beta, self.gamma
+        m, c = self.model.mass, self.model.damping
+        r_meas = np.asarray(r_meas, dtype=float)
+        p_next = np.asarray(p_next, dtype=float)
+        v_pred = self._v + dt * (1 - gamma) * self._a
+        # alpha-weighted effective load (HHT time averaging)
+        rhs = ((1 + alpha) * p_next - alpha * self._p
+               - (1 + alpha) * r_meas + alpha * self._r
+               - (1 + alpha) * c @ v_pred - alpha * (c @ self._v)
+               - alpha * self.k_hat @ (self._d_pred - self._d))
+        a_new = linalg.lu_solve(self._meff_lu, rhs)
+        d_new = self._d_pred + beta * dt ** 2 * a_new
+        v_new = v_pred + gamma * dt * a_new
+        # the *reported* restoring force includes the corrector's elastic
+        # contribution on the nominal stiffness
+        r_new = r_meas + self.k_hat @ (d_new - self._d_pred)
+        self._d, self._v, self._a = d_new, v_new, a_new
+        self._r, self._p = r_new, p_next
+        self._d_pred = None
+        self.step_index += 1
+        return StepResult(step=self.step_index,
+                          time=self.step_index * dt,
+                          displacement=d_new.copy(), velocity=v_new.copy(),
+                          acceleration=a_new.copy(),
+                          restoring_force=r_new.copy())
+
+    def integrate(self, motion: GroundMotion, restoring) -> list[StepResult]:
+        """Convenience loop over a record with a local force callback."""
+        n = self.model.n_dof
+        self.start(r0=np.asarray(restoring(np.zeros(n)), dtype=float),
+                   p0=self.model.external_force(
+                       motion.accel[0] if motion.n_steps else 0.0))
+        results = []
+        for step in range(1, motion.n_steps):
+            d_cmd = self.propose_next()
+            r = np.asarray(restoring(d_cmd), dtype=float)
+            results.append(self.commit(
+                d_cmd, r, self.model.external_force(motion.accel[step])))
+        return results

@@ -1,0 +1,153 @@
+"""Physical specimen simulator.
+
+Stands in for the servo-hydraulic test rigs (DESIGN.md substitution table):
+a hidden "true" constitutive element (linear or hysteretic), an actuator
+with first-order settling dynamics and finite stroke, and noisy sensors
+(LVDT for displacement, load cell for force, strain gauge).  The coordinator
+and NTCP plugins only ever see the :class:`Measurement` — commanded vs
+achieved displacement, measured force, and how long the actuator took —
+which is all the paper's control systems reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError, PolicyViolation
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """What the DAQ reports after one displacement command settles."""
+
+    commanded: float
+    achieved: float       # LVDT reading of the settled displacement
+    force: float          # load-cell reading of the restoring force
+    strain: float         # strain-gauge reading (proportional to true disp)
+    settle_time: float    # seconds the actuator took to settle
+
+
+class Sensor:
+    """A noisy, biased, optionally quantized scalar sensor."""
+
+    def __init__(self, *, gain: float = 1.0, noise_std: float = 0.0,
+                 bias: float = 0.0, resolution: float = 0.0):
+        self.gain = gain
+        self.noise_std = noise_std
+        self.bias = bias
+        self.resolution = resolution
+
+    def read(self, true_value: float, rng: np.random.Generator) -> float:
+        """One reading of ``true_value``."""
+        value = self.gain * true_value + self.bias
+        if self.noise_std > 0:
+            value += rng.normal(0.0, self.noise_std)
+        if self.resolution > 0:
+            value = round(value / self.resolution) * self.resolution
+        return value
+
+
+class Actuator:
+    """A displacement-controlled actuator with first-order settling.
+
+    Settle time to within ``tolerance`` of a step of size ``delta`` is
+    ``tau * ln(|delta|/tolerance)``, floored at ``min_settle`` (valve and
+    control-loop overhead) and stretched by the slew-rate limit for large
+    strokes.  Commands beyond ``max_stroke`` raise
+    :class:`PolicyViolation` — the physical analogue of the facility limits
+    NTCP proposals are checked against.
+    """
+
+    def __init__(self, *, time_constant: float = 0.25, tolerance: float = 1e-5,
+                 min_settle: float = 0.5, max_rate: float = 0.01,
+                 max_stroke: float = 0.075, tracking_std: float = 0.0):
+        if min(time_constant, tolerance, min_settle, max_rate, max_stroke) <= 0:
+            raise ConfigurationError("actuator parameters must be positive")
+        self.time_constant = time_constant
+        self.tolerance = tolerance
+        self.min_settle = min_settle
+        self.max_rate = max_rate
+        self.max_stroke = max_stroke
+        self.tracking_std = tracking_std
+        self.position = 0.0
+
+    def check_stroke(self, target: float) -> None:
+        """Raise :class:`PolicyViolation` if ``target`` exceeds the stroke."""
+        if abs(target) > self.max_stroke:
+            raise PolicyViolation(
+                f"commanded displacement {target:+.5f} m exceeds actuator "
+                f"stroke ±{self.max_stroke:.5f} m",
+                parameter="displacement", limit=self.max_stroke,
+                requested=target)
+
+    def settle_time(self, target: float) -> float:
+        """Time to move from the current position to ``target``."""
+        delta = abs(target - self.position)
+        if delta <= self.tolerance:
+            return self.min_settle
+        exponential = self.time_constant * np.log(delta / self.tolerance)
+        slew = delta / self.max_rate
+        return max(self.min_settle, exponential, slew)
+
+    def move_to(self, target: float, rng: np.random.Generator) -> tuple[float, float]:
+        """Execute the move; returns ``(achieved_position, settle_time)``."""
+        self.check_stroke(target)
+        t = self.settle_time(target)
+        achieved = target
+        if self.tracking_std > 0:
+            achieved += rng.normal(0.0, self.tracking_std)
+        self.position = achieved
+        return achieved, t
+
+
+class PhysicalSpecimen:
+    """A test specimen on an actuator, instrumented with sensors.
+
+    ``element`` supplies the hidden true force-displacement law (e.g. a
+    :class:`~repro.structural.elements.BilinearSpring` for a steel column
+    that yields).  :meth:`apply` is kernel-free; control plugins turn the
+    returned ``settle_time`` into simulation delay.
+    """
+
+    def __init__(self, name: str, element, *, actuator: Actuator | None = None,
+                 lvdt: Sensor | None = None, load_cell: Sensor | None = None,
+                 strain_gauge: Sensor | None = None, seed: int = 0):
+        self.name = name
+        self.element = element
+        self.actuator = actuator if actuator is not None else Actuator()
+        self.lvdt = lvdt if lvdt is not None else Sensor(noise_std=1e-6)
+        self.load_cell = load_cell if load_cell is not None else Sensor(noise_std=1.0)
+        self.strain_gauge = (strain_gauge if strain_gauge is not None
+                             else Sensor(gain=1e3, noise_std=1e-3))
+        self.rng = np.random.default_rng(seed)
+        self.history: list[Measurement] = []
+
+    def apply(self, displacement: float) -> Measurement:
+        """Command a displacement; settle; measure.
+
+        Raises :class:`PolicyViolation` if the command exceeds the stroke —
+        facilities must reject such proposals *before* execution.
+        """
+        achieved, settle = self.actuator.move_to(displacement, self.rng)
+        true_force = self.element.force(achieved)
+        m = Measurement(
+            commanded=displacement,
+            achieved=self.lvdt.read(achieved, self.rng),
+            force=self.load_cell.read(true_force, self.rng),
+            strain=self.strain_gauge.read(achieved, self.rng),
+            settle_time=settle,
+        )
+        self.history.append(m)
+        return m
+
+    def check(self, displacement: float) -> None:
+        """Validate a command without moving (NTCP proposal negotiation)."""
+        self.actuator.check_stroke(displacement)
+
+    def reset(self) -> None:
+        """Return specimen and actuator to the virgin state."""
+        self.element.reset()
+        self.actuator.position = 0.0
+        self.history.clear()

@@ -1,0 +1,156 @@
+"""Substructure decomposition for MS-PSDS testing.
+
+The Multi-Site Pseudo-Dynamic Substructure method (paper §3, ref [19])
+divides a structure into substructures, "each of which is physically tested
+or numerically simulated at the same time at a different location", and a
+simulation coordinator assembles their restoring forces into one equation of
+motion.  Here a :class:`Substructure` maps the global displacement vector
+(restricted to its interface DOFs) to forces on those DOFs, and a
+:class:`SubstructuredModel` assembles the global restoring force.
+
+The crucial property — the reason NTCP can make simulation and experiment
+indistinguishable — is that the coordinator only ever sees this interface:
+displacements out, forces back.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.structural.model import StructuralModel
+from repro.structural.specimen import PhysicalSpecimen
+from repro.util.errors import ConfigurationError
+
+
+@runtime_checkable
+class Substructure(Protocol):
+    """The displacement-in / force-out interface of one substructure."""
+
+    name: str
+    dof_indices: np.ndarray
+
+    def restoring(self, d_local: np.ndarray) -> np.ndarray:
+        """Forces on the interface DOFs at local displacement ``d_local``."""
+        ...
+
+    def initial_stiffness(self) -> np.ndarray:
+        """Tangent stiffness at the origin (for dt-stability estimates)."""
+        ...
+
+
+class LinearSubstructure:
+    """A numerically simulated linear substructure: ``f = K_sub · d``.
+
+    This is what ran at NCSA in MOST: "the central section of the frame was
+    modeled by a simulation".
+    """
+
+    def __init__(self, name: str, stiffness: np.ndarray,
+                 dof_indices=(0,)):
+        self.name = name
+        self.stiffness_matrix = np.atleast_2d(np.asarray(stiffness, dtype=float))
+        self.dof_indices = np.asarray(dof_indices, dtype=int)
+        n = len(self.dof_indices)
+        if self.stiffness_matrix.shape != (n, n):
+            raise ConfigurationError(
+                f"substructure {name!r}: stiffness {self.stiffness_matrix.shape}"
+                f" does not match {n} interface DOF(s)")
+
+    def restoring(self, d_local: np.ndarray) -> np.ndarray:
+        return self.stiffness_matrix @ np.asarray(d_local, dtype=float)
+
+    def initial_stiffness(self) -> np.ndarray:
+        return self.stiffness_matrix
+
+
+class SpecimenSubstructure:
+    """A physically tested substructure: one specimen per interface DOF.
+
+    This is the UIUC / CU role in MOST.  Calling :meth:`restoring` loads
+    each specimen to the commanded displacement and reads its (noisy,
+    possibly hysteretic) measured force.  Settle-time behaviour is added by
+    the control plugin layer, which owns the simulation clock.
+    """
+
+    def __init__(self, name: str, specimens: list[PhysicalSpecimen],
+                 dof_indices=None):
+        self.name = name
+        self.specimens = list(specimens)
+        if dof_indices is None:
+            dof_indices = list(range(len(specimens)))
+        self.dof_indices = np.asarray(dof_indices, dtype=int)
+        if len(self.specimens) != len(self.dof_indices):
+            raise ConfigurationError(
+                f"substructure {name!r}: {len(specimens)} specimens for "
+                f"{len(self.dof_indices)} DOFs")
+
+    def restoring(self, d_local: np.ndarray) -> np.ndarray:
+        d_local = np.atleast_1d(np.asarray(d_local, dtype=float))
+        forces = np.empty(len(self.specimens))
+        for i, (spec, d) in enumerate(zip(self.specimens, d_local)):
+            forces[i] = spec.apply(float(d)).force
+        return forces
+
+    def initial_stiffness(self) -> np.ndarray:
+        return np.diag([s.element.initial_stiffness for s in self.specimens])
+
+
+class SubstructuredModel:
+    """The assembled hybrid model the coordinator integrates.
+
+    ``mass``/``damping`` describe the full structure (pseudo-dynamic testing
+    represents inertia and viscous damping numerically — only restoring
+    forces come from the substructures).  Substructures may share DOFs;
+    their force contributions add, exactly like elements in parallel.
+    """
+
+    def __init__(self, mass: np.ndarray, damping: np.ndarray,
+                 substructures: list, iota: np.ndarray | None = None):
+        self.mass = np.atleast_2d(np.asarray(mass, dtype=float))
+        self.damping = np.atleast_2d(np.asarray(damping, dtype=float))
+        self.n_dof = self.mass.shape[0]
+        self.substructures = list(substructures)
+        self.iota = (np.ones(self.n_dof) if iota is None
+                     else np.asarray(iota, dtype=float))
+        if not self.substructures:
+            raise ConfigurationError("need at least one substructure")
+        covered = set()
+        for sub in self.substructures:
+            if np.any(sub.dof_indices < 0) or np.any(sub.dof_indices >= self.n_dof):
+                raise ConfigurationError(
+                    f"substructure {sub.name!r} references DOFs outside the model")
+            covered.update(int(i) for i in sub.dof_indices)
+        if covered != set(range(self.n_dof)):
+            missing = sorted(set(range(self.n_dof)) - covered)
+            raise ConfigurationError(
+                f"DOFs {missing} are restrained by no substructure")
+
+    def restoring(self, d: np.ndarray) -> np.ndarray:
+        """Assembled restoring force at global displacement ``d``."""
+        d = np.asarray(d, dtype=float)
+        total = np.zeros(self.n_dof)
+        for sub in self.substructures:
+            total[sub.dof_indices] += sub.restoring(d[sub.dof_indices])
+        return total
+
+    def initial_stiffness(self) -> np.ndarray:
+        """Assembled tangent stiffness at the origin."""
+        total = np.zeros((self.n_dof, self.n_dof))
+        for sub in self.substructures:
+            idx = sub.dof_indices
+            total[np.ix_(idx, idx)] += sub.initial_stiffness()
+        return total
+
+    def equivalent_linear_model(self) -> StructuralModel:
+        """A linear model using the assembled initial stiffness.
+
+        Used for reference Newmark solutions and stability estimates; exact
+        whenever every substructure is linear.
+        """
+        return StructuralModel(self.mass, self.initial_stiffness(),
+                               self.damping, self.iota)
+
+    def external_force(self, ground_accel: float) -> np.ndarray:
+        return -self.mass @ self.iota * ground_accel

@@ -1,0 +1,83 @@
+"""Telepresence referral service (NEESgrid TR 2003-09).
+
+The paper's reference [13] — "Design for NEESgrid Telepresence Referral
+and Streaming Data Services" — describes a referral layer: remote
+participants ask one well-known service "what can I watch for experiment
+X?" and are referred to the cameras, data streams, and collaboration
+worksites registered for it.  The CHEF Video buttons of §3 ("To access the
+camera at either Colorado or UIUC, users could click on the appropriate
+Video button") are exactly a rendered referral list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ogsi.service import GridService
+from repro.util.errors import ProtocolError
+
+#: resource kinds the referral service understands
+KINDS = ("camera", "stream", "worksite", "repository")
+
+
+@dataclass
+class _ExperimentEntry:
+    experiment: str
+    resources: list[dict] = field(default_factory=list)
+
+
+class ReferralService(GridService):
+    """Registry of observable resources, keyed by experiment.
+
+    Operations: ``register`` (sites advertise their cameras/streams),
+    ``withdraw``, ``lookup`` (participants discover what to watch),
+    ``listExperiments``.  Entries carry the grid service handle plus a
+    human label, so a portal can render them directly as buttons.
+    """
+
+    def __init__(self, service_id: str = "referral"):
+        super().__init__(service_id)
+        self._experiments: dict[str, _ExperimentEntry] = {}
+
+    def on_attach(self) -> None:
+        self.service_data.set("experimentCount", 0)
+        for op in ("register", "withdraw", "lookup", "listExperiments"):
+            self.expose(op, getattr(self, f"_op_{op}"))
+
+    def _op_register(self, caller, experiment: str, kind: str, label: str,
+                     handle: str, site: str = ""):
+        if kind not in KINDS:
+            raise ProtocolError(
+                f"unknown resource kind {kind!r} (one of {KINDS})")
+        entry = self._experiments.setdefault(
+            experiment, _ExperimentEntry(experiment=experiment))
+        if any(r["handle"] == handle for r in entry.resources):
+            raise ProtocolError(
+                f"{handle!r} already registered for {experiment!r}")
+        entry.resources.append({"kind": kind, "label": label,
+                                "handle": handle, "site": site})
+        self.service_data.set("experimentCount", len(self._experiments))
+        self.emit("resource.registered", experiment=experiment,
+                  resource_kind=kind, handle=handle)
+        return len(entry.resources)
+
+    def _op_withdraw(self, caller, experiment: str, handle: str):
+        entry = self._experiments.get(experiment)
+        if entry is None:
+            return False
+        before = len(entry.resources)
+        entry.resources = [r for r in entry.resources
+                           if r["handle"] != handle]
+        return len(entry.resources) < before
+
+    def _op_lookup(self, caller, experiment: str,
+                   kind: str | None = None):
+        entry = self._experiments.get(experiment)
+        if entry is None:
+            raise ProtocolError(f"no resources registered for "
+                                f"experiment {experiment!r}")
+        return [dict(r) for r in entry.resources
+                if kind is None or r["kind"] == kind]
+
+    def _op_listExperiments(self, caller):
+        return sorted(self._experiments)

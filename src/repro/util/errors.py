@@ -1,0 +1,58 @@
+"""Error hierarchy shared by every subsystem.
+
+The hierarchy mirrors the failure domains of the paper's architecture:
+configuration mistakes (wiring an experiment), protocol violations (NTCP and
+the repository protocols), security failures (GSI), site policy rejections
+(NTCP proposal negotiation), and injected faults (the simulated network).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, service, or host was wired together inconsistently."""
+
+
+class ProtocolError(ReproError):
+    """A message violated a protocol contract (bad state, bad fields)."""
+
+
+class SecurityError(ReproError):
+    """Authentication or authorization failed (GSI / gridmap / CAS)."""
+
+
+class PolicyViolation(ReproError):
+    """A site's local policy rejected a requested action.
+
+    Raised by control plugins during NTCP proposal negotiation, e.g. when a
+    displacement command exceeds the facility's configured actuator limits.
+    The paper requires that such rejections happen *before* any physical
+    action takes place; this exception type is how plugins signal that.
+    """
+
+    def __init__(self, message: str, *, parameter: str | None = None,
+                 limit: float | None = None, requested: float | None = None):
+        super().__init__(message)
+        self.parameter = parameter
+        self.limit = limit
+        self.requested = requested
+
+
+class FaultInjected(ReproError):
+    """A simulated infrastructure fault (dropped link, partition, crash)."""
+
+
+class TransportError(ReproError):
+    """A message could not be delivered (timeout, partition, link down)."""
+
+
+class ServiceNotFound(ReproError):
+    """A grid service handle did not resolve to a live service."""
+
+
+class LifetimeExpired(ReproError):
+    """An OGSI soft-state lifetime lapsed and the service was reclaimed."""

@@ -1,0 +1,95 @@
+"""Structured event log.
+
+Every subsystem appends :class:`LogRecord` entries to a shared
+:class:`EventLog`.  The log is the primary observability surface for tests
+and benchmarks: rather than scraping stdout, assertions query the log for
+records matching a subsystem/kind filter.  This mirrors the role the paper's
+CHEF chat + electronic notebook played during MOST — a time-ordered record
+of what every component did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One structured log entry.
+
+    Attributes:
+        time: simulation time the record was emitted at.
+        subsystem: dotted component name, e.g. ``"ntcp.server.uiuc"``.
+        kind: short machine-readable event kind, e.g. ``"transaction.accepted"``.
+        detail: free-form payload for humans and assertions.
+    """
+
+    time: float
+    subsystem: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.time:12.4f}] {self.subsystem}: {self.kind} {self.detail}"
+
+
+class EventLog:
+    """Append-only, queryable record of everything that happened in a run."""
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._listeners: list[Callable[[LogRecord], None]] = []
+
+    def emit(self, time: float, subsystem: str, kind: str, **detail: Any) -> LogRecord:
+        """Append a record and notify listeners; returns the record."""
+        rec = LogRecord(time=time, subsystem=subsystem, kind=kind, detail=detail)
+        self._records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+        return rec
+
+    def subscribe(self, listener: Callable[[LogRecord], None]) -> None:
+        """Register a callback invoked synchronously for each new record."""
+        self._listeners.append(listener)
+
+    def records(
+        self,
+        subsystem: str | None = None,
+        kind: str | None = None,
+        *,
+        prefix: bool = True,
+    ) -> list[LogRecord]:
+        """Return records filtered by subsystem and/or kind.
+
+        With ``prefix=True`` (default) a ``subsystem`` filter matches any
+        record whose subsystem equals the filter or starts with
+        ``filter + "."``, so ``records("ntcp")`` catches every NTCP server.
+        """
+        out = []
+        for rec in self._records:
+            if subsystem is not None:
+                if prefix:
+                    if not (rec.subsystem == subsystem
+                            or rec.subsystem.startswith(subsystem + ".")):
+                        continue
+                elif rec.subsystem != subsystem:
+                    continue
+            if kind is not None and rec.kind != kind:
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, subsystem: str | None = None, kind: str | None = None) -> int:
+        """Number of records matching the filter."""
+        return len(self.records(subsystem, kind))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def tail(self, n: int = 10) -> list[LogRecord]:
+        """Last ``n`` records (for debugging/benchmark printouts)."""
+        return self._records[-n:]

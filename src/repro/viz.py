@@ -1,0 +1,133 @@
+"""Terminal visualization helpers.
+
+The paper's figures are response histories and hysteresis loops; these
+helpers render both as ASCII so the examples and benchmark reports can
+show *the actual curves* without any plotting dependency.  All functions
+return strings (no printing), so tests can assert on their structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: glyphs from low to high for sparklines
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, *, width: int = 60) -> str:
+    """A one-line sparkline of ``values``, resampled to ``width`` columns.
+
+    >>> sparkline([0, 1, 0, -1, 0], width=5)
+    '▅█▅▁▅'
+    """
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        idx = np.linspace(0, values.size - 1, width).round().astype(int)
+        values = values[idx]
+    lo, hi = float(np.min(values)), float(np.max(values))
+    if hi == lo:
+        return _SPARK[0] * len(values)
+    scaled = (values - lo) / (hi - lo) * (len(_SPARK) - 1)
+    return "".join(_SPARK[int(round(s))] for s in scaled)
+
+
+def time_series_plot(times, values, *, width: int = 64, height: int = 12,
+                     title: str = "", y_label: str = "") -> str:
+    """A block-character time-series plot with axis annotations."""
+    times = np.asarray(list(times), dtype=float)
+    values = np.asarray(list(values), dtype=float)
+    if times.size == 0:
+        return f"{title}\n(no data)"
+    if times.size > width:
+        idx = np.linspace(0, times.size - 1, width).round().astype(int)
+        times, values = times[idx], values[idx]
+    lo, hi = float(np.min(values)), float(np.max(values))
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * len(values) for _ in range(height)]
+    for col, v in enumerate(values):
+        row = int(round((v - lo) / span * (height - 1)))
+        grid[height - 1 - row][col] = "•"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = ""
+        if i == 0:
+            label = f"{hi:+.3g}"
+        elif i == height - 1:
+            label = f"{lo:+.3g}"
+        lines.append(f"{label:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * len(values))
+    lines.append(f"{'':>11} t={times[0]:.3g} .. {times[-1]:.3g}"
+                 + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)
+
+
+def scatter_plot(xs, ys, *, width: int = 56, height: int = 20,
+                 title: str = "", x_label: str = "",
+                 y_label: str = "") -> str:
+    """An ASCII scatter (for hysteresis loops: displacement vs force)."""
+    xs = np.asarray(list(xs), dtype=float)
+    ys = np.asarray(list(ys), dtype=float)
+    if xs.size == 0:
+        return f"{title}\n(no data)"
+    x_lo, x_hi = float(np.min(xs)), float(np.max(xs))
+    y_lo, y_hi = float(np.min(ys)), float(np.max(ys))
+    x_span = x_hi - x_lo if x_hi > x_lo else 1.0
+    y_span = y_hi - y_lo if y_hi > y_lo else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "·"
+    # densify repeat hits
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = ""
+        if i == 0:
+            label = f"{y_hi:+.3g}"
+        elif i == height - 1:
+            label = f"{y_lo:+.3g}"
+        lines.append(f"{label:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':>12}{x_lo:+.3g}"
+                 + " " * max(1, width - 18) + f"{x_hi:+.3g}")
+    footer = []
+    if x_label:
+        footer.append(f"x: {x_label}")
+    if y_label:
+        footer.append(f"y: {y_label}")
+    if footer:
+        lines.append(" " * 12 + "   ".join(footer))
+    return "\n".join(lines)
+
+
+def comparison_table(rows: list[dict], columns: list[str], *,
+                     title: str = "", float_format: str = "{:.3g}") -> str:
+    """A fixed-width table from dict rows (benchmark report helper)."""
+    widths = {c: max(len(c), *(len(_fmt(r.get(c, ""), float_format))
+                               for r in rows)) if rows else len(c)
+              for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(
+            _fmt(row.get(c, ""), float_format).ljust(widths[c])
+            for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value, float_format: str) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return float_format.format(value)

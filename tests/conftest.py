@@ -1,0 +1,10 @@
+"""Shared fixtures and helpers for integration-style tests.
+
+The actual harness lives in :mod:`repro.testing` so benchmarks (and
+downstream users) can reuse it; this module re-exports it for the
+historical ``from conftest import make_site`` import path.
+"""
+
+from repro.testing import SiteEnv, make_site
+
+__all__ = ["SiteEnv", "make_site"]

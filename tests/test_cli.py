@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_most_defaults(self):
+        args = build_parser().parse_args(["most", "dry"])
+        assert args.scenario == "dry"
+        assert args.steps == 1500
+        assert args.plot is False
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["most", "warp-speed"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "NEESgrid/MOST reproduction" in out
+        assert "repro.core" in out
+
+    def test_most_dry_short(self, capsys):
+        assert main(["most", "dry", "--steps", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "39/39 steps, completed" in out
+        assert "data files archived" in out
+
+    def test_most_public_exits_zero_with_premature_exit(self, capsys):
+        # the public run's premature exit is the expected outcome
+        assert main(["most", "public", "--steps", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "exited prematurely" in out
+
+    def test_most_plot_sparkline(self, capsys):
+        main(["most", "dry", "--steps", "40", "--plot"])
+        out = capsys.readouterr().out
+        assert "roof drift" in out
+        assert any(c in out for c in "▁▂▃▄▅▆▇█")
+
+    def test_mini_most(self, capsys):
+        assert main(["mini-most", "--steps", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "stepper rig" in out
+        assert "motor steps moved" in out
+
+    def test_mini_most_kinetic(self, capsys):
+        assert main(["mini-most", "--steps", "50", "--kinetic"]) == 0
+        assert "kinetic simulator" in capsys.readouterr().out
+
+    def test_followon_soil(self, capsys):
+        assert main(["followon", "soil-structure", "--steps", "30"]) == 0
+        assert "CD-36" in capsys.readouterr().out
+
+    def test_followon_robot(self, capsys):
+        assert main(["followon", "robot"]) == 0
+        out = capsys.readouterr().out
+        assert "after-shaking" in out
+
+    def test_followon_six_dof(self, capsys):
+        assert main(["followon", "six-dof"]) == 0
+        assert "stills captured" in capsys.readouterr().out
+
+    def test_followon_field_test(self, capsys):
+        assert main(["followon", "field-test"]) == 0
+        out = capsys.readouterr().out
+        assert "wifi loss" in out and "satellite" in out

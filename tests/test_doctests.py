@@ -1,0 +1,31 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.sim
+import repro.util.ids
+import repro.viz
+from repro.control import actions as control_actions
+from repro.gsi import credentials as gsi_credentials
+from repro.structural import elements as structural_elements
+from repro.structural import model as structural_model
+
+MODULES = [
+    repro.sim,
+    repro.util.ids,
+    repro.viz,
+    control_actions,
+    gsi_credentials,
+    structural_elements,
+    structural_model,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} failures"
+    assert result.attempted > 0, \
+        f"{module.__name__} has no doctests (expected at least one)"

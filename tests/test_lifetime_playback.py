@@ -1,0 +1,125 @@
+"""Tests: proposal-lifetime expiry and archived-data viewer playback."""
+
+import pytest
+
+from repro.chef import DataViewer, TimeSeriesView
+from repro.control import SimulationPlugin, make_displacement_actions
+from repro.net import RemoteException
+from repro.structural import LinearSubstructure
+from repro.testing import make_site
+
+
+class TestProposalLifetime:
+    def make_env(self):
+        return make_site(SimulationPlugin(
+            LinearSubstructure("s", [[100.0]], [0]), compute_time=0.0),
+            timeout=60.0)
+
+    def test_expired_acceptance_cannot_execute(self):
+        env = self.make_env()
+
+        def go():
+            yield from env.client.propose(
+                env.handle, "stale", make_displacement_actions({0: 0.01}),
+                proposal_lifetime=10.0)
+            yield env.kernel.timeout(30.0)  # dawdle past the lifetime
+            try:
+                yield from env.client.execute(env.handle, "stale")
+            except RemoteException as exc:
+                return exc.remote_message
+
+        message = env.run(go())
+        assert "lifetime" in message and "expired" in message
+        txn = env.server.transactions["stale"]
+        assert txn.state.value == "cancelled"
+        assert env.server.plugin.steps_executed == 0
+
+    def test_prompt_execution_fine(self):
+        env = self.make_env()
+
+        def go():
+            yield from env.client.propose(
+                env.handle, "fresh", make_displacement_actions({0: 0.01}),
+                proposal_lifetime=10.0)
+            yield env.kernel.timeout(5.0)
+            result = yield from env.client.execute(env.handle, "fresh")
+            return result
+
+        assert env.run(go())["transaction"] == "fresh"
+
+    def test_retry_after_expiry_surfaces_cancelled(self):
+        env = self.make_env()
+
+        def go():
+            yield from env.client.propose(
+                env.handle, "stale", make_displacement_actions({0: 0.01}),
+                proposal_lifetime=1.0)
+            yield env.kernel.timeout(5.0)
+            errors = []
+            for _ in range(2):
+                try:
+                    yield from env.client.execute(env.handle, "stale")
+                except RemoteException as exc:
+                    errors.append(exc.remote_message)
+            return errors
+
+        errors = env.run(go())
+        assert len(errors) == 2
+        assert "expired" in errors[0]
+        assert "cancelled" in errors[1]  # now terminal, consistent answer
+
+
+class TestArchivePlayback:
+    def make_archive_rows(self, n=50):
+        return [(float(i), {"disp": 0.01 * i, "force": 10.0 * i})
+                for i in range(n)]
+
+    def test_load_archive_counts_and_pauses_at_start(self):
+        dv = DataViewer()
+        loaded = dv.load_archive(self.make_archive_rows())
+        assert loaded == 100  # 50 rows x 2 channels
+        assert dv.mode == "paused"
+        assert dv.cursor == 0.0
+
+    def test_playback_walks_the_archive(self):
+        dv = DataViewer()
+        dv.add_view(TimeSeriesView("disp", window=1e9))
+        dv.load_archive(self.make_archive_rows())
+        dv.play()
+        dv.advance(10.0)
+        (render,) = dv.render()
+        assert render["current"] == pytest.approx(0.1)  # value at t=10
+        dv.fast_forward()
+        dv.advance(100.0)  # clamps to the end
+        (render,) = dv.render()
+        assert render["current"] == pytest.approx(0.49)
+
+    def test_archive_merges_with_live_series(self):
+        from repro.nsds.stream import StreamSample
+
+        dv = DataViewer()
+        dv.on_sample(StreamSample("disp", 1, 100.0, 5.0))
+        dv.load_archive(self.make_archive_rows(10))
+        lo, hi = dv.extent()
+        assert lo == 0.0 and hi == 100.0
+        assert dv.series["disp"].value_at(100.0) == 5.0
+
+    def test_empty_archive_noop(self):
+        dv = DataViewer()
+        assert dv.load_archive([]) == 0
+        assert dv.mode == "live"
+
+    def test_repository_roundtrip_playback(self):
+        """Download an archived block (as in remote participation) and
+        play it back in the viewer."""
+        from repro.daq import StagingStore
+
+        store = StagingStore()
+        rows = self.make_archive_rows(20)
+        store.deposit("block", rows, created=0.0)
+        dv = DataViewer()
+        dv.add_view(TimeSeriesView("force", window=1e9))
+        dv.load_archive(store.get("block").rows)
+        dv.seek(10.0)
+        (render,) = dv.render()
+        assert render["current"] == pytest.approx(100.0)

@@ -1,0 +1,126 @@
+"""Tests for Mini-MOST (paper §3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.mini_most import (
+    BeamProperties,
+    FirstOrderKineticBeam,
+    MiniMOSTConfig,
+    build_mini_most,
+    run_mini_most,
+)
+
+
+class TestBeamProperties:
+    def test_paper_dimensions(self):
+        beam = BeamProperties()
+        assert beam.length == 1.0
+        assert beam.width == 0.10  # "1m by 10cm"
+
+    def test_stiffness_formula(self):
+        beam = BeamProperties()
+        expected = 3 * beam.e_modulus * beam.inertia / beam.length ** 3
+        assert beam.stiffness == pytest.approx(expected)
+
+    def test_tabletop_scale(self):
+        """Hundreds of N/m — a stepper motor can drive this."""
+        assert 100 < BeamProperties().stiffness < 2000
+
+    def test_frequency_positive(self):
+        assert BeamProperties().natural_frequency > 0
+
+
+class TestKineticBeam:
+    def test_relaxes_toward_command(self):
+        beam = FirstOrderKineticBeam(stiffness=100.0, rate=0.5)
+        f1 = beam.force(0.01)
+        assert f1 == pytest.approx(0.5)   # k * 0.5 * d
+        f2 = beam.force(0.01)
+        assert f2 == pytest.approx(0.75)  # approaching k*d
+        for _ in range(30):
+            f = beam.force(0.01)
+        assert f == pytest.approx(1.0, rel=1e-3)
+
+    def test_rate_one_is_instant(self):
+        beam = FirstOrderKineticBeam(stiffness=100.0, rate=1.0)
+        assert beam.force(0.02) == pytest.approx(2.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            FirstOrderKineticBeam(stiffness=1.0, rate=0.0)
+
+    def test_reset(self):
+        beam = FirstOrderKineticBeam(stiffness=100.0)
+        beam.force(0.01)
+        beam.reset()
+        assert beam.state == 0.0
+
+
+class TestMiniMOSTRuns:
+    def test_hardware_emulation_completes(self):
+        config = MiniMOSTConfig(n_steps=100)
+        result, dep = run_mini_most(config)
+        assert result.completed
+        assert result.steps_completed == 99
+        assert dep.motor.total_steps_moved > 0
+
+    def test_kinetic_simulator_interchangeable(self):
+        """The paper's hardware-free mode: same coordinator code, beam
+        swapped for the kinetic simulator, similar response."""
+        config = MiniMOSTConfig(n_steps=150)
+        r_hw, _ = run_mini_most(config)
+        r_kin, _ = run_mini_most(config, use_kinetic_simulator=True)
+        assert r_kin.completed
+        d_hw = r_hw.displacement_history().ravel()
+        d_kin = r_kin.displacement_history().ravel()
+        corr = np.corrcoef(d_hw, d_kin)[0, 1]
+        assert corr > 0.8
+
+    def test_displacements_quantized_to_steps(self):
+        config = MiniMOSTConfig(n_steps=60)
+        result, dep = run_mini_most(config)
+        # every achieved position is an integer number of motor steps
+        for rec in result.steps:
+            forces = rec.site_forces["beam"]
+            assert 0 in forces
+        assert dep.motor.position_steps == pytest.approx(
+            dep.motor.position / config.step_size)
+
+    def test_single_pc_loopback(self):
+        """Coordinator and rig share host 'pc' (no WAN links at all)."""
+        dep = build_mini_most(MiniMOSTConfig(n_steps=10))
+        assert list(dep.network.hosts) == ["pc"]
+        assert dep.network.links() == []
+        result = dep.kernel.run(until=dep.kernel.process(
+            dep.coordinator.run()))
+        assert result.completed
+
+    def test_travel_limit_respected(self):
+        config = MiniMOSTConfig(n_steps=80)
+        result, dep = run_mini_most(config)
+        peak = float(np.max(np.abs(result.displacement_history())))
+        assert peak <= config.max_travel
+
+    def test_overdriven_motion_rejected_cleanly(self):
+        """Shaking beyond the stepper's travel: the site rejects the step
+        at proposal time and the experiment aborts without motor damage."""
+        config = MiniMOSTConfig(n_steps=100, pga=50.0)
+        result, dep = run_mini_most(config)
+        assert not result.completed
+        assert "rejected" in result.aborted_reason
+        assert abs(dep.motor.position) <= config.max_travel
+
+    def test_daq_collected_blocks(self):
+        config = MiniMOSTConfig(n_steps=100)
+        result, dep = run_mini_most(config)
+        assert len(dep.staging) > 0
+        first = dep.staging.get(dep.staging.names()[0])
+        assert "beam-position" in first.rows[0][1]
+
+    def test_faster_than_most(self):
+        """Tabletop pacing: steps take well under a second, vs ~12 s for
+        the servo-hydraulic MOST."""
+        config = MiniMOSTConfig(n_steps=100)
+        result, _ = run_mini_most(config)
+        assert float(np.mean(result.step_durations())) < 1.0

@@ -1,0 +1,223 @@
+"""Unit + property tests for the simulated network (hosts, links, faults)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import FaultInjector, Network
+from repro.sim import Kernel
+from repro.util.errors import ConfigurationError
+
+
+def make_net(seed=0):
+    k = Kernel()
+    net = Network(k, seed=seed)
+    for name in ("a", "b"):
+        net.add_host(name)
+    return k, net
+
+
+class TestTopology:
+    def test_duplicate_host_rejected(self):
+        k, net = make_net()
+        with pytest.raises(ConfigurationError):
+            net.add_host("a")
+
+    def test_connect_unknown_host_rejected(self):
+        k, net = make_net()
+        with pytest.raises(ConfigurationError):
+            net.connect("a", "zzz")
+
+    def test_self_link_rejected(self):
+        k, net = make_net()
+        with pytest.raises(ConfigurationError):
+            net.connect("a", "a")
+
+    def test_duplicate_link_rejected(self):
+        k, net = make_net()
+        net.connect("a", "b")
+        with pytest.raises(ConfigurationError):
+            net.connect("b", "a")
+
+    def test_link_lookup_symmetric(self):
+        k, net = make_net()
+        link = net.connect("a", "b", latency=0.5)
+        assert net.link("b", "a") is link
+
+    def test_bind_conflict(self):
+        k, net = make_net()
+        net.host("a").bind("p", lambda m: None)
+        with pytest.raises(ConfigurationError):
+            net.host("a").bind("p", lambda m: None)
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self):
+        k, net = make_net()
+        net.connect("a", "b", latency=0.25)
+        got = []
+        net.host("b").bind("svc", lambda m: got.append((k.now, m.payload)))
+        net.send("a", "b", "svc", "hello")
+        k.run()
+        assert got == [(0.25, "hello")]
+        assert net.stats["delivered"] == 1
+
+    def test_no_route_counted(self):
+        k, net = make_net()
+        net.send("a", "b", "svc", "x")  # no link
+        k.run()
+        assert net.stats["no_route"] == 1
+        assert net.stats["delivered"] == 0
+
+    def test_no_listener_counted(self):
+        k, net = make_net()
+        net.connect("a", "b")
+        net.send("a", "b", "nobody", "x")
+        k.run()
+        assert net.stats["no_listener"] == 1
+
+    def test_link_down_drops(self):
+        k, net = make_net()
+        net.connect("a", "b")
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m))
+        net.set_link_state("a", "b", up=False)
+        net.send("a", "b", "svc", "x")
+        k.run()
+        assert got == []
+        assert net.stats["dropped"] == 1
+
+    def test_link_restored_delivers_again(self):
+        k, net = make_net()
+        net.connect("a", "b")
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m.payload))
+        net.set_link_state("a", "b", up=False)
+        net.send("a", "b", "svc", "lost")
+        net.set_link_state("a", "b", up=True)
+        net.send("a", "b", "svc", "kept")
+        k.run()
+        assert got == ["kept"]
+
+    def test_host_down_refuses_delivery(self):
+        k, net = make_net()
+        net.connect("a", "b")
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m))
+        net.host("b").up = False
+        net.send("a", "b", "svc", "x")
+        k.run()
+        assert got == [] and net.stats["no_listener"] == 1
+
+    def test_fifo_ordering_despite_jitter(self):
+        k, net = make_net(seed=3)
+        net.connect("a", "b", latency=0.01, jitter=0.5, fifo=True)
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m.payload))
+        for i in range(50):
+            net.send("a", "b", "svc", i)
+        k.run()
+        assert got == list(range(50))
+
+    def test_non_fifo_can_reorder(self):
+        k, net = make_net(seed=3)
+        net.connect("a", "b", latency=0.01, jitter=0.5, fifo=False)
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m.payload))
+        for i in range(50):
+            net.send("a", "b", "svc", i)
+        k.run()
+        assert sorted(got) == list(range(50))
+        assert got != list(range(50))  # with this seed, jitter reorders
+
+    def test_lossy_link_drops_some(self):
+        k, net = make_net(seed=1)
+        net.connect("a", "b", loss=0.5)
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m))
+        for i in range(200):
+            net.send("a", "b", "svc", i)
+        k.run()
+        assert 0 < len(got) < 200
+        assert net.stats["dropped"] + net.stats["delivered"] == 200
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_same_loss_pattern(self, seed):
+        def pattern(s):
+            k, net = make_net(seed=s)
+            net.connect("a", "b", loss=0.3)
+            got = []
+            net.host("b").bind("svc", lambda m: got.append(m.payload))
+            for i in range(40):
+                net.send("a", "b", "svc", i)
+            k.run()
+            return got
+
+        assert pattern(seed) == pattern(seed)
+
+
+class TestFaultInjector:
+    def test_scheduled_outage_window(self):
+        k, net = make_net()
+        net.connect("a", "b", latency=0.0)
+        inj = FaultInjector(net)
+        inj.schedule_outage("a", "b", start=10.0, duration=5.0)
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m.payload))
+
+        def sender(kernel):
+            for t, tag in [(5.0, "before"), (12.0, "during"), (20.0, "after")]:
+                yield kernel.timeout(t - kernel.now)
+                net.send("a", "b", "svc", tag)
+
+        k.process(sender(k))
+        k.run()
+        assert got == ["before", "after"]
+
+    def test_permanent_outage(self):
+        k, net = make_net()
+        net.connect("a", "b", latency=0.0)
+        FaultInjector(net).schedule_outage("a", "b", start=1.0)
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m.payload))
+
+        def sender(kernel):
+            yield kernel.timeout(2.0)
+            net.send("a", "b", "svc", "x")
+
+        k.process(sender(k))
+        k.run()
+        assert got == [] and not net.link("a", "b").up
+
+    def test_drop_next_on_port_counts(self):
+        k, net = make_net()
+        net.connect("a", "b", latency=0.0)
+        inj = FaultInjector(net)
+        inj.drop_next_on_port("svc", count=2)
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m.payload))
+        net.host("b").bind("other", lambda m: got.append(m.payload))
+        for i in range(4):
+            net.send("a", "b", "svc", i)
+        net.send("a", "b", "other", "o")
+        k.run()
+        assert got == [2, 3, "o"]
+
+    def test_transient_loss_window(self):
+        k, net = make_net(seed=5)
+        net.connect("a", "b", latency=0.0, loss=0.0)
+        inj = FaultInjector(net)
+        inj.transient_loss("a", "b", loss=1.0, start=10.0, duration=5.0)
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m.payload))
+
+        def sender(kernel):
+            for t in (5.0, 12.0, 20.0):
+                yield kernel.timeout(t - kernel.now)
+                net.send("a", "b", "svc", t)
+
+        k.process(sender(k))
+        k.run()
+        assert got == [5.0, 20.0]
+        assert net.link("a", "b").loss == 0.0  # restored

@@ -1,0 +1,41 @@
+"""Round-trip persistence of experiment results."""
+
+import numpy as np
+
+from repro.coordinator.records import ExperimentResult
+from repro.mini_most import MiniMOSTConfig, run_mini_most
+from repro.most import MOSTConfig, run_public_experiment
+
+
+class TestResultPersistence:
+    def test_roundtrip_preserves_everything(self):
+        result, _ = run_mini_most(MiniMOSTConfig(n_steps=40))
+        clone = ExperimentResult.from_json(result.to_json())
+        assert clone.run_id == result.run_id
+        assert clone.completed == result.completed
+        assert clone.steps_completed == result.steps_completed
+        assert np.array_equal(clone.displacement_history(),
+                              result.displacement_history())
+        assert np.array_equal(clone.force_history(),
+                              result.force_history())
+        assert clone.summary() == result.summary()
+
+    def test_site_force_keys_restored_as_ints(self):
+        result, _ = run_mini_most(MiniMOSTConfig(n_steps=10))
+        clone = ExperimentResult.from_json(result.to_json())
+        assert np.array_equal(clone.site_force_history("beam"),
+                              result.site_force_history("beam"))
+
+    def test_aborted_run_roundtrips(self):
+        report = run_public_experiment(MOSTConfig().scaled(60))
+        result = report.result
+        clone = ExperimentResult.from_json(result.to_json())
+        assert not clone.completed
+        assert clone.aborted_at_step == result.aborted_at_step
+        assert clone.aborted_reason == result.aborted_reason
+
+    def test_empty_result_roundtrips(self):
+        empty = ExperimentResult(run_id="x", target_steps=5, dt=0.02)
+        clone = ExperimentResult.from_json(empty.to_json())
+        assert clone.steps_completed == 0
+        assert clone.summary() == empty.summary()

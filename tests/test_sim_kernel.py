@@ -1,0 +1,359 @@
+"""Unit + property tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, AnyOf, Interrupt, Kernel
+
+
+class TestEventBasics:
+    def test_succeed_value(self):
+        k = Kernel()
+        e = k.event()
+        e.succeed(42)
+        k.run()
+        assert e.processed and e.ok and e.value == 42
+
+    def test_double_trigger_forbidden(self):
+        k = Kernel()
+        e = k.event()
+        e.succeed(1)
+        with pytest.raises(RuntimeError):
+            e.succeed(2)
+        with pytest.raises(RuntimeError):
+            e.fail(ValueError())
+
+    def test_fail_requires_exception(self):
+        k = Kernel()
+        with pytest.raises(TypeError):
+            k.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        k = Kernel()
+        with pytest.raises(RuntimeError):
+            _ = k.event().value
+
+    def test_unobserved_failure_raises_at_run(self):
+        k = Kernel()
+        k.event().fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            k.run()
+
+    def test_defused_failure_is_silent(self):
+        k = Kernel()
+        k.event().fail(ValueError("boom")).defuse()
+        k.run()  # no raise
+
+    def test_callback_after_processed_runs_immediately(self):
+        k = Kernel()
+        e = k.event()
+        e.succeed("x")
+        k.run()
+        seen = []
+        e.add_callback(lambda evt: seen.append(evt.value))
+        assert seen == ["x"]
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self):
+        k = Kernel()
+        t = k.timeout(3.5)
+        k.run()
+        assert k.now == 3.5 and t.processed
+
+    def test_negative_delay_rejected(self):
+        k = Kernel()
+        with pytest.raises(ValueError):
+            k.timeout(-1)
+
+    def test_same_time_fifo_order(self):
+        k = Kernel()
+        order = []
+        for i in range(5):
+            k.timeout(1.0).add_callback(lambda e, i=i: order.append(i))
+        k.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_time_stops_clock(self):
+        k = Kernel()
+        fired = []
+        k.timeout(10).add_callback(lambda e: fired.append(10))
+        k.timeout(2).add_callback(lambda e: fired.append(2))
+        k.run(until=5.0)
+        assert fired == [2]
+        assert k.now == 5.0
+        k.run()
+        assert fired == [2, 10]
+
+    def test_run_until_past_raises(self):
+        k = Kernel()
+        k.timeout(10)
+        k.run(until=5)
+        with pytest.raises(ValueError):
+            k.run(until=1)
+
+    def test_peek(self):
+        k = Kernel()
+        assert k.peek() == float("inf")
+        k.timeout(4)
+        assert k.peek() == 4.0
+
+
+class TestProcesses:
+    def test_sequence_of_timeouts(self):
+        k = Kernel()
+        trace = []
+
+        def proc(kernel):
+            trace.append(kernel.now)
+            yield kernel.timeout(1)
+            trace.append(kernel.now)
+            yield kernel.timeout(2)
+            trace.append(kernel.now)
+            return "done"
+
+        p = k.process(proc(k))
+        k.run()
+        assert trace == [0.0, 1.0, 3.0]
+        assert p.value == "done"
+
+    def test_process_waits_for_process(self):
+        k = Kernel()
+
+        def child(kernel):
+            yield kernel.timeout(5)
+            return 99
+
+        def parent(kernel):
+            result = yield kernel.process(child(kernel))
+            return result + 1
+
+        p = k.process(parent(k))
+        k.run()
+        assert p.value == 100
+
+    def test_run_until_event_returns_value(self):
+        k = Kernel()
+
+        def proc(kernel):
+            yield kernel.timeout(1)
+            return "v"
+
+        assert k.run(until=k.process(proc(k))) == "v"
+
+    def test_run_until_event_raises_on_failure(self):
+        k = Kernel()
+
+        def proc(kernel):
+            yield kernel.timeout(1)
+            raise RuntimeError("proc died")
+
+        with pytest.raises(RuntimeError, match="proc died"):
+            k.run(until=k.process(proc(k)))
+
+    def test_unwaited_process_failure_surfaces(self):
+        k = Kernel()
+
+        def proc(kernel):
+            yield kernel.timeout(1)
+            raise ValueError("crash")
+
+        k.process(proc(k))
+        with pytest.raises(ValueError, match="crash"):
+            k.run()
+
+    def test_failed_event_propagates_into_process(self):
+        k = Kernel()
+        trigger = k.event()
+
+        def proc(kernel):
+            try:
+                yield trigger
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = k.process(proc(k))
+        trigger.fail(ValueError("bad"))
+        k.run()
+        assert p.value == "caught bad"
+
+    def test_yield_non_event_fails_process(self):
+        k = Kernel()
+
+        def proc(kernel):
+            yield 42
+
+        p = k.process(proc(k))
+        p.defuse()
+        k.run()
+        assert not p.ok
+        assert isinstance(p._value, TypeError)
+
+    def test_cross_kernel_event_rejected(self):
+        k1, k2 = Kernel(), Kernel()
+
+        def proc():
+            yield k2.timeout(1)
+
+        p = k1.process(proc())
+        p.defuse()
+        k1.run()
+        assert not p.ok
+
+    def test_requires_generator(self):
+        k = Kernel()
+        with pytest.raises(TypeError):
+            k.process(lambda: None)
+
+
+class TestInterrupt:
+    def test_interrupt_while_waiting(self):
+        k = Kernel()
+
+        def sleeper(kernel):
+            try:
+                yield kernel.timeout(100)
+                return "slept"
+            except Interrupt as i:
+                return f"interrupted:{i.cause}"
+
+        p = k.process(sleeper(k))
+
+        def waker(kernel):
+            yield kernel.timeout(3)
+            p.interrupt("wake up")
+
+        k.process(waker(k))
+        k.run()
+        assert p.value == "interrupted:wake up"
+        assert k.now == pytest.approx(100)  # abandoned timeout still drains
+
+    def test_interrupt_terminated_process_raises(self):
+        k = Kernel()
+
+        def quick(kernel):
+            yield kernel.timeout(1)
+
+        p = k.process(quick(k))
+        k.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self):
+        k = Kernel()
+
+        def sleeper(kernel):
+            yield kernel.timeout(100)
+
+        p = k.process(sleeper(k))
+        p.defuse()
+
+        def waker(kernel):
+            yield kernel.timeout(1)
+            p.interrupt("die")
+
+        k.process(waker(k))
+        k.run()
+        assert not p.ok and isinstance(p._value, Interrupt)
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        k = Kernel()
+        t1, t2 = k.timeout(1, "a"), k.timeout(5, "b")
+
+        def proc(kernel):
+            results = yield kernel.all_of([t1, t2])
+            return sorted(results.values())
+
+        p = k.process(proc(k))
+        k.run()
+        assert p.value == ["a", "b"]
+        assert k.now == 5.0
+
+    def test_any_of_fires_on_first(self):
+        k = Kernel()
+        t1, t2 = k.timeout(1, "fast"), k.timeout(5, "slow")
+
+        def proc(kernel):
+            results = yield kernel.any_of([t1, t2])
+            return list(results.values())
+
+        p = k.process(proc(k))
+        k.run()
+        assert p.value == ["fast"]
+
+    def test_empty_all_of_fires_immediately(self):
+        k = Kernel()
+        e = k.all_of([])
+        k.run()
+        assert e.processed and e.ok
+
+    def test_all_of_fails_on_child_failure(self):
+        k = Kernel()
+        good = k.timeout(1)
+        bad = k.event()
+
+        def proc(kernel):
+            try:
+                yield kernel.all_of([good, bad])
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = k.process(proc(k))
+        bad.fail(RuntimeError("child failed"))
+        k.run()
+        assert p.value == "child failed"
+
+    def test_any_of_with_already_triggered_event(self):
+        k = Kernel()
+        done = k.event()
+        done.succeed("pre")
+        k.run()
+        cond = k.any_of([done, k.timeout(10)])
+        k.run(until=cond)
+        assert done in cond.value
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50))
+    def test_events_fire_in_time_order(self, delays):
+        k = Kernel()
+        fired = []
+        for d in delays:
+            k.timeout(d).add_callback(lambda e, d=d: fired.append(d))
+        k.run()
+        assert fired == sorted(fired)
+        assert k.now == max(delays)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=30))
+    def test_identical_runs_identical_traces(self, delays):
+        def trace_for():
+            k = Kernel()
+            trace = []
+
+            def proc(kernel, d):
+                yield kernel.timeout(d)
+                trace.append((kernel.now, d))
+
+            for d in delays:
+                k.process(proc(k, d))
+            k.run()
+            return trace
+
+        assert trace_for() == trace_for()
+
+    def test_kernel_emit_stamps_now(self):
+        k = Kernel()
+
+        def proc(kernel):
+            yield kernel.timeout(2.5)
+            kernel.emit("test", "mark")
+
+        k.process(proc(k))
+        k.run()
+        recs = k.log.records("test", "mark")
+        assert len(recs) == 1 and recs[0].time == 2.5

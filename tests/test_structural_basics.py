@@ -1,0 +1,237 @@
+"""Unit + property tests: ground motions, elements, models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structural import (
+    BilinearSpring,
+    GroundMotion,
+    LinearSpring,
+    ShearFrame,
+    StructuralModel,
+    el_centro_like,
+    kanai_tajimi_record,
+)
+from repro.structural.elements import cantilever_stiffness, fixed_fixed_stiffness
+from repro.util.errors import ConfigurationError
+
+
+class TestGroundMotion:
+    def test_basic_properties(self):
+        gm = GroundMotion(dt=0.02, accel=np.array([0.0, 1.0, -2.0]))
+        assert gm.n_steps == 3
+        assert gm.duration == pytest.approx(0.06)
+        assert gm.pga == 2.0
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            GroundMotion(dt=0.0, accel=np.zeros(3))
+
+    def test_2d_accel_rejected(self):
+        with pytest.raises(ValueError):
+            GroundMotion(dt=0.01, accel=np.zeros((2, 2)))
+
+    def test_scaling(self):
+        gm = el_centro_like(duration=10.0)
+        scaled = gm.scaled_to_pga(1.0)
+        assert scaled.pga == pytest.approx(1.0)
+        # shape preserved
+        ratio = scaled.accel[100] / gm.accel[100]
+        assert ratio == pytest.approx(1.0 / gm.pga)
+
+    def test_scale_zero_record_rejected(self):
+        gm = GroundMotion(dt=0.01, accel=np.zeros(10))
+        with pytest.raises(ValueError):
+            gm.scaled_to_pga(1.0)
+
+    def test_truncated(self):
+        gm = el_centro_like(duration=10.0, dt=0.02)
+        assert gm.truncated(100).n_steps == 100
+
+    def test_resample_halves_steps(self):
+        gm = el_centro_like(duration=10.0, dt=0.02)
+        coarse = gm.resampled(0.04)
+        assert coarse.n_steps == pytest.approx(gm.n_steps / 2, abs=1)
+
+    def test_kanai_tajimi_deterministic_per_seed(self):
+        a = kanai_tajimi_record(seed=5).accel
+        b = kanai_tajimi_record(seed=5).accel
+        c = kanai_tajimi_record(seed=6).accel
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_kanai_tajimi_hits_target_pga(self):
+        gm = kanai_tajimi_record(pga=2.5, seed=1)
+        assert gm.pga == pytest.approx(2.5)
+
+    def test_el_centro_like_deterministic(self):
+        assert np.array_equal(el_centro_like().accel, el_centro_like().accel)
+
+    def test_el_centro_default_pga_is_0348g(self):
+        assert el_centro_like().pga == pytest.approx(0.348 * 9.81, rel=1e-3)
+
+    def test_envelope_starts_small(self):
+        gm = kanai_tajimi_record(seed=0)
+        early = np.max(np.abs(gm.accel[:25]))   # first 0.5 s of 4 s rise
+        assert early < 0.25 * gm.pga
+
+
+class TestLinearSpring:
+    def test_force(self):
+        assert LinearSpring(k=3.0).force(2.0) == 6.0
+
+    def test_negative_stiffness_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSpring(k=-1.0)
+
+    @given(st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_linearity(self, d):
+        s = LinearSpring(k=2.5)
+        assert s.force(d) == pytest.approx(2.5 * d)
+
+
+class TestBilinearSpring:
+    def test_elastic_below_yield(self):
+        s = BilinearSpring(k=100.0, fy=10.0, alpha=0.1)
+        assert s.force(0.05) == pytest.approx(5.0)
+        assert s.plastic_disp == 0.0
+
+    def test_yield_plateau_tangent(self):
+        s = BilinearSpring(k=100.0, fy=10.0, alpha=0.1)
+        f1 = s.force(0.2)   # well past yield (yield disp = 0.1)
+        f2 = s.force(0.3)
+        tangent = (f2 - f1) / 0.1
+        assert tangent == pytest.approx(10.0, rel=1e-6)  # alpha * k
+
+    def test_elastic_perfectly_plastic(self):
+        s = BilinearSpring(k=100.0, fy=10.0, alpha=0.0)
+        assert s.force(1.0) == pytest.approx(10.0)
+        assert s.force(2.0) == pytest.approx(10.0)
+
+    def test_unloading_is_elastic(self):
+        s = BilinearSpring(k=100.0, fy=10.0, alpha=0.0)
+        s.force(0.2)  # yield to +10
+        f = s.force(0.19)  # unload slightly
+        assert f == pytest.approx(10.0 - 100.0 * 0.01)
+
+    def test_hysteresis_loop_dissipates_energy(self):
+        s = BilinearSpring(k=100.0, fy=5.0, alpha=0.05)
+        t = np.linspace(0, 4 * np.pi, 400)
+        d = 0.2 * np.sin(t)
+        f = s.force_history(d)
+        energy = np.trapezoid(f, d)
+        assert energy > 0.0  # net dissipation over closed cycles
+
+    def test_reset(self):
+        s = BilinearSpring(k=100.0, fy=5.0)
+        s.force(1.0)
+        assert s.plastic_disp != 0.0
+        s.reset()
+        assert s.plastic_disp == 0.0 and s.back_force == 0.0
+        assert s.force(0.01) == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BilinearSpring(k=0, fy=1)
+        with pytest.raises(ValueError):
+            BilinearSpring(k=1, fy=0)
+        with pytest.raises(ValueError):
+            BilinearSpring(k=1, fy=1, alpha=1.0)
+
+    @given(st.lists(st.floats(min_value=-0.5, max_value=0.5,
+                              allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_force_never_exceeds_hardening_envelope(self, disps):
+        """|f| <= fy + H*|plastic| + alpha-branch bound: use the global
+        bilinear backbone bound |f| <= fy + alpha*k*|d| (+ small slack)."""
+        k, fy, alpha = 100.0, 5.0, 0.1
+        s = BilinearSpring(k=k, fy=fy, alpha=alpha)
+        for d in disps:
+            f = s.force(d)
+            assert abs(f) <= fy + alpha * k * abs(d) + 1e-9 + (1 - alpha) * 0 \
+                + fy * alpha  # loose envelope with hardening offset
+
+    @given(st.floats(min_value=0.0, max_value=0.04, allow_nan=False))
+    def test_matches_linear_below_yield(self, d):
+        s = BilinearSpring(k=100.0, fy=10.0, alpha=0.3)
+        assert s.force(d) == pytest.approx(100.0 * d)
+
+
+class TestStiffnessFormulas:
+    def test_cantilever(self):
+        # E=200 GPa, I=1e-6 m^4, L=2 m -> 3*200e9*1e-6/8
+        assert cantilever_stiffness(200e9, 1e-6, 2.0) == pytest.approx(75e3)
+
+    def test_fixed_fixed_is_4x_cantilever(self):
+        args = (200e9, 1e-6, 2.0)
+        assert fixed_fixed_stiffness(*args) == pytest.approx(
+            4 * cantilever_stiffness(*args))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            cantilever_stiffness(0, 1, 1)
+
+
+class TestStructuralModel:
+    def test_sdof_frequency(self):
+        m = StructuralModel(mass=[[4.0]], stiffness=[[16.0]])
+        assert m.natural_frequencies()[0] == pytest.approx(2.0)
+        assert m.periods()[0] == pytest.approx(np.pi)
+
+    def test_rayleigh_damping_sdof_exact(self):
+        m = StructuralModel(mass=[[2.0]], stiffness=[[8.0]])
+        damped = m.with_rayleigh_damping(0.05)
+        omega = 2.0
+        assert damped.damping[0, 0] == pytest.approx(2 * 0.05 * omega * 2.0)
+
+    def test_mass_must_be_positive_definite(self):
+        with pytest.raises(ConfigurationError):
+            StructuralModel(mass=[[0.0]], stiffness=[[1.0]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            StructuralModel(mass=np.eye(2), stiffness=np.eye(3))
+
+    def test_external_force(self):
+        m = StructuralModel(mass=np.diag([2.0, 3.0]), stiffness=np.eye(2) * 10)
+        p = m.external_force(1.5)
+        assert np.allclose(p, [-3.0, -4.5])
+
+
+class TestShearFrame:
+    def test_single_story(self):
+        sf = ShearFrame(masses=[2.0], stiffnesses=[8.0])
+        assert sf.stiffness[0, 0] == 8.0
+        assert sf.natural_frequencies()[0] == pytest.approx(2.0)
+
+    def test_two_story_stiffness_matrix(self):
+        sf = ShearFrame(masses=[1.0, 1.0], stiffnesses=[100.0, 80.0])
+        expected = np.array([[180.0, -80.0], [-80.0, 80.0]])
+        assert np.allclose(sf.stiffness, expected)
+
+    def test_stiffness_symmetric_and_psd(self):
+        sf = ShearFrame(masses=[1, 2, 3], stiffnesses=[50, 40, 30])
+        assert np.allclose(sf.stiffness, sf.stiffness.T)
+        assert np.all(np.linalg.eigvalsh(sf.stiffness) > 0)
+
+    def test_damping_from_zeta(self):
+        sf = ShearFrame(masses=[2.0], stiffnesses=[8.0], zeta=0.05)
+        assert sf.damping[0, 0] == pytest.approx(2 * 0.05 * 2.0 * 2.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            ShearFrame(masses=[1.0], stiffnesses=[1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            ShearFrame(masses=[-1.0], stiffnesses=[1.0])
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=10.0),
+                    min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_frequencies_always_real_positive(self, masses):
+        stiff = [10.0 * (i + 1) for i in range(len(masses))]
+        sf = ShearFrame(masses=masses, stiffnesses=stiff)
+        omega = sf.natural_frequencies()
+        assert np.all(omega > 0)
+        assert np.all(np.diff(omega) >= -1e-9)  # sorted ascending

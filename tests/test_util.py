@@ -1,0 +1,128 @@
+"""Unit tests for repro.util: ids, structured log, error hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    EventLog,
+    IdFactory,
+    PolicyViolation,
+    ReproError,
+    uuid_like,
+)
+from repro.util.errors import (
+    ConfigurationError,
+    FaultInjected,
+    ProtocolError,
+    SecurityError,
+    TransportError,
+)
+
+
+class TestIdFactory:
+    def test_sequential(self):
+        f = IdFactory("txn")
+        assert f() == "txn-1"
+        assert f() == "txn-2"
+        assert f() == "txn-3"
+
+    def test_custom_start(self):
+        f = IdFactory("x", start=100)
+        assert f() == "x-100"
+
+    def test_peek_does_not_consume(self):
+        f = IdFactory("p")
+        assert f.peek() == 1
+        assert f.peek() == 1
+        assert f() == "p-1"
+        assert f() == "p-2"
+
+    def test_independent_factories(self):
+        a, b = IdFactory("a"), IdFactory("b")
+        a()
+        a()
+        assert b() == "b-1"
+
+
+class TestUuidLike:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        u = uuid_like(rng)
+        parts = u.split("-")
+        assert [len(p) for p in parts] == [8, 4, 4, 4, 12]
+        assert all(c in "0123456789abcdef-" for c in u)
+
+    def test_deterministic(self):
+        assert uuid_like(np.random.default_rng(7)) == uuid_like(np.random.default_rng(7))
+
+    def test_distinct_draws(self):
+        rng = np.random.default_rng(1)
+        assert uuid_like(rng) != uuid_like(rng)
+
+
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog()
+        log.emit(1.0, "ntcp.server.uiuc", "transaction.accepted", txn="t-1")
+        log.emit(2.0, "ntcp.server.cu", "transaction.rejected", txn="t-2")
+        log.emit(3.0, "daq.uiuc", "sample", n=4)
+        assert log.count("ntcp") == 2
+        assert log.count("ntcp.server.uiuc") == 1
+        assert log.count(kind="transaction.accepted") == 1
+        assert len(log) == 3
+
+    def test_prefix_matching_is_component_wise(self):
+        log = EventLog()
+        log.emit(0.0, "ntcpx", "k")
+        # "ntcp" must not prefix-match "ntcpx"
+        assert log.count("ntcp") == 0
+
+    def test_exact_match_mode(self):
+        log = EventLog()
+        log.emit(0.0, "a.b", "k")
+        assert log.records("a", prefix=False) == []
+        assert len(log.records("a.b", prefix=False)) == 1
+
+    def test_listener_called(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        rec = log.emit(5.0, "s", "k", value=1)
+        assert seen == [rec]
+        assert rec.detail == {"value": 1}
+
+    def test_tail(self):
+        log = EventLog()
+        for i in range(20):
+            log.emit(float(i), "s", "k", i=i)
+        assert [r.detail["i"] for r in log.tail(3)] == [17, 18, 19]
+
+    def test_records_are_immutable(self):
+        log = EventLog()
+        rec = log.emit(0.0, "s", "k")
+        with pytest.raises(AttributeError):
+            rec.time = 1.0
+
+    @given(st.lists(st.tuples(st.text(min_size=1), st.text(min_size=1)), max_size=30))
+    def test_count_equals_filtered_len(self, entries):
+        log = EventLog()
+        for sub, kind in entries:
+            log.emit(0.0, sub, kind)
+        for sub, kind in entries:
+            assert log.count(sub, kind) == len(log.records(sub, kind))
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (ConfigurationError, ProtocolError, SecurityError,
+                    PolicyViolation, FaultInjected, TransportError):
+            assert issubclass(exc, ReproError)
+
+    def test_policy_violation_payload(self):
+        e = PolicyViolation("too far", parameter="disp", limit=0.05, requested=0.08)
+        assert e.parameter == "disp"
+        assert e.limit == 0.05
+        assert e.requested == 0.08
+        assert "too far" in str(e)
