@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint smoke bench check
+
+test:
+	$(PYTHON) -m pytest -x -q tests/
+
+lint:
+	sh scripts/lint.sh
+
+smoke:
+	$(PYTHON) scripts/smoke.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+check: lint test smoke

@@ -9,6 +9,7 @@ and can be diffed run-to-run.  EXPERIMENTS.md records paper-vs-measured.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -22,4 +23,18 @@ def write_report(experiment: str, lines: list[str]) -> pathlib.Path:
     path.write_text(text)
     print(f"\n--- {experiment} ---")
     print(text)
+    return path
+
+
+def write_metrics(experiment: str, hub) -> pathlib.Path:
+    """Dump a run's telemetry as ``out/<experiment>.metrics.json``.
+
+    ``hub`` is the run's :class:`repro.telemetry.TelemetryHub`; the payload
+    is schema-validated before it is written, so a malformed metric name
+    fails the benchmark rather than producing an unreadable artifact.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = hub.metrics_payload(experiment)
+    path = OUT_DIR / f"{experiment}.metrics.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

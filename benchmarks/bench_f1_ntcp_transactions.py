@@ -16,7 +16,7 @@ from repro.structural import LinearSubstructure
 
 from repro.testing import make_site
 
-from _report import write_report
+from _report import write_metrics, write_report
 
 
 def drive_all_paths():
@@ -117,3 +117,6 @@ def bench_f1_state_transitions(benchmark):
         env.run(go())
 
     benchmark(one_round)
+    # Counters from the happy-path site (all timed rounds included):
+    # core.server.* transaction counts, net.* per-hop stats, rpc latency.
+    write_metrics("f1_ntcp_transactions", env.kernel.telemetry)

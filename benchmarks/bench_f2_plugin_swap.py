@@ -75,7 +75,7 @@ def run_identical_client_step(env, name):
         result = yield from env.client.propose_and_execute(
             env.handle, name, make_displacement_actions({0: 0.005}),
             execution_timeout=60.0)
-        return result["readings"]["forces"][0], env.kernel.now
+        return result.readings["forces"][0], env.kernel.now
 
     return env.run(go())
 

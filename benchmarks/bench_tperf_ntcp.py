@@ -36,12 +36,14 @@ from repro.structural import (
 )
 from repro.structural.specimen import Actuator, Sensor
 
-from _report import write_report
+from repro.telemetry.report import report_from_jsonl
+
+from _report import OUT_DIR, write_metrics, write_report
 
 
 def sweep_rig(latency: float, *, backend_time: float, n_steps: int = 30,
               barrier: bool = True, asymmetric: bool = False):
-    """One coordinator + two sites; returns mean step wall time."""
+    """One coordinator + two sites; returns (mean step wall time, hub)."""
     k = Kernel()
     net = Network(k, seed=0)
     net.add_host("coord")
@@ -67,7 +69,7 @@ def sweep_rig(latency: float, *, backend_time: float, n_steps: int = 30,
         execution_timeout=1e4, negotiation_barrier=barrier)
     result = k.run(until=k.process(coord.run()))
     assert result.completed
-    return float(np.mean(result.step_durations()))
+    return float(np.mean(result.step_durations())), k.telemetry
 
 
 def bench_tperf_ntcp(benchmark):
@@ -76,8 +78,11 @@ def bench_tperf_ntcp(benchmark):
              "(no back-end time)",
              f"    {'latency [ms]':>13}{'s/step':>10}{'x latency':>11}"]
     latencies = (0.005, 0.025, 0.1, 0.25)
+    trace_hub = None
     for lat in latencies:
-        step = sweep_rig(lat, backend_time=0.0)
+        step, hub = sweep_rig(lat, backend_time=0.0)
+        if lat == 0.025:
+            trace_hub = hub  # representative run, exported below
         lines.append(f"    {1e3 * lat:>13.0f}{step:>10.3f}"
                      f"{step / lat:>11.1f}")
         # propose + execute are two round trips: ~4 one-way latencies
@@ -88,9 +93,9 @@ def bench_tperf_ntcp(benchmark):
     lines += ["[2] delay tolerance with a MOST-like back-end (10 s "
               "settle/poll per step)",
               f"    {'latency [ms]':>13}{'s/step':>10}{'overhead':>10}"]
-    base = sweep_rig(0.0005, backend_time=10.0, n_steps=10)
+    base, _ = sweep_rig(0.0005, backend_time=10.0, n_steps=10)
     for lat in (0.005, 0.1, 0.5):
-        step = sweep_rig(lat, backend_time=10.0, n_steps=10)
+        step, _ = sweep_rig(lat, backend_time=10.0, n_steps=10)
         overhead = (step - base) / base
         lines.append(f"    {1e3 * lat:>13.0f}{step:>10.2f}"
                      f"{100 * overhead:>9.1f}%")
@@ -103,10 +108,10 @@ def bench_tperf_ntcp(benchmark):
     lines += ["[3] ablation: negotiation barrier on asymmetric sites "
               "(fast link+slow site / slow link+fast site)",
               f"    {'configuration':<28}{'s/step':>10}"]
-    with_barrier = sweep_rig(0.25, backend_time=0.5, asymmetric=True,
-                             barrier=True)
-    without = sweep_rig(0.25, backend_time=0.5, asymmetric=True,
-                        barrier=False)
+    with_barrier, _ = sweep_rig(0.25, backend_time=0.5, asymmetric=True,
+                                barrier=True)
+    without, _ = sweep_rig(0.25, backend_time=0.5, asymmetric=True,
+                           barrier=False)
     lines.append(f"    {'all-sites barrier (paper)':<28}{with_barrier:>10.3f}")
     lines.append(f"    {'no barrier (ablated)':<28}{without:>10.3f}")
     assert without < with_barrier
@@ -115,6 +120,18 @@ def bench_tperf_ntcp(benchmark):
               "paper pays it to guarantee",
               "       no site moves before every site has accepted "
               "(irreversible physical actions)"]
+
+    # Structured artifacts: full trace (metrics + spans) of the
+    # representative 25 ms run, its metrics document, and the Figure-5
+    # style step-time breakdown rendered from the trace alone.
+    assert trace_hub is not None
+    trace_path = trace_hub.export_jsonl(OUT_DIR / "tperf_ntcp.trace.jsonl",
+                                        experiment="tperf_ntcp")
+    write_metrics("tperf_ntcp", trace_hub)
+    lines += ["", "[4] per-step phase breakdown at 25 ms latency "
+              "(from the exported trace)"]
+    lines += ["    " + row
+              for row in report_from_jsonl(trace_path).splitlines()]
     write_report("tperf_ntcp", lines)
 
     def protocol_only_step():

@@ -12,13 +12,17 @@ Run:  python examples/engineer_toolbox.py
 
 import numpy as np
 
+from repro import (
+    Kernel,
+    Network,
+    NTCPClient,
+    NTCPServer,
+    NTCPToolbox,
+    RpcClient,
+    ServiceContainer,
+    SitePolicy,
+)
 from repro.control import ShoreWesternController, ShoreWesternPlugin
-from repro.coordinator import NTCPToolbox
-from repro.core import NTCPClient, NTCPServer
-from repro.core.policy import SitePolicy
-from repro.net import Network, RpcClient
-from repro.ogsi import ServiceContainer
-from repro.sim import Kernel
 from repro.structural import BilinearSpring, PhysicalSpecimen
 from repro.structural.specimen import Actuator, Sensor
 from repro.viz import scatter_plot, sparkline

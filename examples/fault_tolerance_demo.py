@@ -15,25 +15,25 @@ Run:  python examples/fault_tolerance_demo.py
 
 import numpy as np
 
-from repro.control import ShoreWesternController, ShoreWesternPlugin, \
-    SimulationPlugin, make_displacement_actions
-from repro.coordinator import (
-    FaultTolerantFaultPolicy,
-    NaiveFaultPolicy,
-    SimulationCoordinator,
-    SiteBinding,
-)
-from repro.core import NTCPClient, NTCPServer
-from repro.net import FaultInjector, Network, RpcClient
-from repro.ogsi import ServiceContainer
-from repro.sim import Kernel
-from repro.structural import (
-    BilinearSpring,
+from repro import (
+    FaultInjector,
     GroundMotion,
+    Kernel,
     LinearSubstructure,
-    PhysicalSpecimen,
+    Network,
+    NTCPClient,
+    NTCPServer,
+    RpcClient,
+    ServiceContainer,
+    SimulationCoordinator,
+    SimulationPlugin,
+    SiteBinding,
     StructuralModel,
+    make_displacement_actions,
 )
+from repro.control import ShoreWesternController, ShoreWesternPlugin
+from repro.coordinator import FaultTolerantFaultPolicy, NaiveFaultPolicy
+from repro.structural import BilinearSpring, PhysicalSpecimen
 from repro.structural.specimen import Actuator, Sensor
 
 

@@ -14,13 +14,8 @@ import sys
 
 import numpy as np
 
-from repro.most import (
-    MOSTConfig,
-    run_dry_run,
-    run_public_experiment,
-    run_simulation_only,
-    run_with_fault_tolerance,
-)
+from repro import MOSTConfig, run_dry_run, run_simulation_only
+from repro.most import run_public_experiment, run_with_fault_tolerance
 
 
 def hours(seconds: float) -> str:

@@ -9,13 +9,18 @@ paper Figure 1, plus one rejected proposal to show policy negotiation.
 Run:  python examples/quickstart.py
 """
 
-from repro.control import SimulationPlugin, make_displacement_actions
-from repro.core import NTCPClient, NTCPServer
-from repro.core.policy import SitePolicy
-from repro.net import Network, RpcClient
-from repro.ogsi import ServiceContainer
-from repro.sim import Kernel
-from repro.structural import LinearSubstructure
+from repro import (
+    Kernel,
+    LinearSubstructure,
+    Network,
+    NTCPClient,
+    NTCPServer,
+    RpcClient,
+    ServiceContainer,
+    SimulationPlugin,
+    SitePolicy,
+    make_displacement_actions,
+)
 
 
 def main() -> None:

@@ -14,8 +14,7 @@ import numpy as np
 
 from repro.chef import DataViewer, HysteresisView, TimeSeriesView
 from repro.daq import StagingStore
-from repro.most import MOSTConfig, build_most
-from repro.net import RpcClient
+from repro import MOSTConfig, RpcClient, build_most
 from repro.nsds import NSDSReceiver
 from repro.repository import GridFTPTransport, RepositoryFacade
 from repro.telepresence import VideoViewer

@@ -17,20 +17,22 @@ Run:  python examples/stiff_structure_hybrid.py
 
 import numpy as np
 
-from repro.control import SimulationPlugin
-from repro.coordinator import SimulationCoordinator, SiteBinding
-from repro.core import NTCPClient, NTCPServer
-from repro.net import Network, RpcClient
-from repro.ogsi import ServiceContainer
-from repro.sim import Kernel
-from repro.structural import (
-    AlphaOSPSD,
+from repro import (
     GroundMotion,
+    Kernel,
     LinearSubstructure,
+    Network,
+    NTCPClient,
+    NTCPServer,
+    RpcClient,
+    ServiceContainer,
+    SimulationCoordinator,
+    SimulationPlugin,
+    SiteBinding,
     StructuralModel,
-    kanai_tajimi_record,
-    response_spectrum,
 )
+from repro.structural import AlphaOSPSD, kanai_tajimi_record, \
+    response_spectrum
 from repro.viz import sparkline
 
 

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Lint gate: ruff when available, byte-compile fallback otherwise.
+#
+# The container used for CI may not ship ruff; the fallback still catches
+# syntax errors in every tree we ship.  Configuration lives in
+# pyproject.toml ([tool.ruff]).
+set -e
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "lint: ruff check"
+    ruff check src tests benchmarks examples scripts
+elif python -c "import ruff" >/dev/null 2>&1; then
+    echo "lint: python -m ruff check"
+    python -m ruff check src tests benchmarks examples scripts
+else
+    echo "lint: ruff not installed; falling back to compileall"
+    python -m compileall -q src tests benchmarks examples scripts
+fi
+echo "lint: OK"

@@ -8,16 +8,117 @@ numerics and specimen rigs (:mod:`repro.structural`), the site control
 plugins (:mod:`repro.control`), the data systems (:mod:`repro.daq`,
 :mod:`repro.nsds`, :mod:`repro.repository`), the observation/collaboration
 layer (:mod:`repro.telepresence`, :mod:`repro.chef`), the MS-PSDS
-coordinator (:mod:`repro.coordinator`), and the assembled experiments
+coordinator (:mod:`repro.coordinator`), the run-wide telemetry plane
+(:mod:`repro.telemetry`), and the assembled experiments
 (:mod:`repro.most`, :mod:`repro.mini_most`).
 
-Start with :func:`repro.most.run_dry_run` or ``examples/quickstart.py``.
+The names re-exported here are the curated public API — the set a typical
+experiment script needs, importable from the top level::
+
+    from repro import Kernel, Network, ServiceContainer, NTCPServer, ...
+
+Everything else remains importable from its subpackage; subpackage paths
+are stable, this module is just the front door.  Start with
+:func:`repro.most.run_dry_run` or ``examples/quickstart.py``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# -- simulation substrate ----------------------------------------------------
+from repro.sim import Kernel
+from repro.util.log import EventLog
+from repro.net import (
+    FaultInjector,
+    Network,
+    RemoteException,
+    RpcClient,
+    RpcService,
+    RpcTimeout,
+)
+
+# -- grid substrate ----------------------------------------------------------
+from repro.ogsi import GridServiceHandle, ServiceContainer
+
+# -- the NTCP protocol -------------------------------------------------------
+from repro.core import (
+    Action,
+    ExecutionOutcome,
+    NTCPClient,
+    NTCPServer,
+    Proposal,
+    ProposalVerdict,
+    TransactionResult,
+)
+from repro.core.policy import ParameterLimit, SitePolicy
+
+# -- site control plugins ----------------------------------------------------
+from repro.control import SimulationPlugin, make_displacement_actions
+
+# -- structural numerics -----------------------------------------------------
+from repro.structural import GroundMotion, LinearSubstructure, StructuralModel
+
+# -- the coordinator ---------------------------------------------------------
+from repro.coordinator import (
+    ExperimentResult,
+    NTCPToolbox,
+    SimulationCoordinator,
+    SiteBinding,
+    StepRecord,
+)
+
+# -- telemetry ---------------------------------------------------------------
+from repro.telemetry import TelemetryHub, TraceContext
+
+# -- assembled experiments ---------------------------------------------------
+from repro.most import (
+    MOSTConfig,
+    build_most,
+    run_dry_run,
+    run_simulation_only,
+)
 
 __all__ = [
-    "sim", "net", "gsi", "ogsi", "structural", "core", "control",
-    "daq", "nsds", "repository", "telepresence", "chef",
-    "coordinator", "most", "mini_most", "util", "testing",
+    # simulation substrate
+    "Kernel",
+    "EventLog",
+    "Network",
+    "FaultInjector",
+    "RpcClient",
+    "RpcService",
+    "RpcTimeout",
+    "RemoteException",
+    # grid substrate
+    "ServiceContainer",
+    "GridServiceHandle",
+    # NTCP
+    "NTCPServer",
+    "NTCPClient",
+    "Action",
+    "Proposal",
+    "ProposalVerdict",
+    "ExecutionOutcome",
+    "TransactionResult",
+    "SitePolicy",
+    "ParameterLimit",
+    # control plugins
+    "SimulationPlugin",
+    "make_displacement_actions",
+    # structural numerics
+    "StructuralModel",
+    "LinearSubstructure",
+    "GroundMotion",
+    # coordinator
+    "SimulationCoordinator",
+    "SiteBinding",
+    "NTCPToolbox",
+    "StepRecord",
+    "ExperimentResult",
+    # telemetry
+    "TelemetryHub",
+    "TraceContext",
+    # assembled experiments
+    "MOSTConfig",
+    "build_most",
+    "run_dry_run",
+    "run_simulation_only",
 ]

@@ -26,6 +26,7 @@ import numpy as np
 from repro.coordinator.fault_policy import FaultPolicy, NaiveFaultPolicy
 from repro.coordinator.records import ExperimentResult, StepRecord
 from repro.core.client import NTCPClient
+from repro.core.messages import ProposalVerdict
 from repro.control.actions import make_displacement_actions
 from repro.net.rpc import RpcError
 from repro.ogsi.handle import GridServiceHandle
@@ -97,6 +98,14 @@ class SimulationCoordinator:
         self.negotiation_barrier = negotiation_barrier
         self.on_step = on_step
         self.kernel = client.rpc.kernel
+        telemetry = self.kernel.telemetry
+        self._tracer = telemetry.tracer
+        self._tm_steps = telemetry.counter("coordinator.mspsds.steps",
+                                           run_id=run_id)
+        self._tm_retries = telemetry.counter("coordinator.mspsds.retries",
+                                             run_id=run_id)
+        self._tm_step_time = telemetry.histogram("coordinator.mspsds.step_time",
+                                                 run_id=run_id)
         #: any object with the start/propose_next/commit stepping API
         #: (CentralDifferencePSD for MOST; AlphaOSPSD for stiff structures
         #: whose frequencies exceed the explicit stability limit).
@@ -121,36 +130,46 @@ class SimulationCoordinator:
                 r[global_dof] += forces[local]
         return r
 
-    def _step_at_all_sites(self, step: int, d_global: np.ndarray):
+    def _step_at_all_sites(self, step: int, d_global: np.ndarray, ctx=None):
         """Propose then execute step ``step`` at every site, in parallel.
 
         Returns ``{site: {local_dof: force}}``; raises on any failure
-        (after cancelling accepted siblings if a site rejected).
+        (after cancelling accepted siblings if a site rejected).  ``ctx``
+        is the step span context the phase spans nest under.
         """
         if not self.negotiation_barrier:
-            results = yield from self._step_without_barrier(step, d_global)
+            results = yield from self._step_without_barrier(step, d_global,
+                                                            ctx)
             return results
-        verdicts: dict[str, dict] = {}
+        verdicts: dict[str, ProposalVerdict] = {}
+        propose_span = self._tracer.start_span(
+            "coordinator.step.propose", parent=ctx, step=step)
 
         def propose_one(site: SiteBinding):
             actions = make_displacement_actions(
                 self._site_targets(site, d_global))
             verdict = yield from self.client.propose(
                 site.handle, self._txn_name(step, site), actions,
-                execution_timeout=self.execution_timeout)
+                execution_timeout=self.execution_timeout,
+                ctx=propose_span)
             verdicts[site.name] = verdict
 
         procs = [self.kernel.process(propose_one(s),
                                      name=f"propose.{s.name}.{step}")
                  for s in self.sites]
-        yield self.kernel.all_of(procs)
+        try:
+            yield self.kernel.all_of(procs)
+        except BaseException:
+            propose_span.end(ok=False)
+            raise
 
         rejected = [name for name, v in verdicts.items()
-                    if v["state"] not in ("accepted", "executed", "executing")]
+                    if v.state not in ("accepted", "executed", "executing")]
         if rejected:
+            propose_span.end(ok=False, rejected=",".join(rejected))
             # Abort this step: cancel the accepted siblings for hygiene.
             for site in self.sites:
-                if verdicts[site.name]["state"] == "accepted":
+                if verdicts[site.name].state == "accepted":
                     cancel = self.kernel.process(
                         self.client.cancel(site.handle,
                                            self._txn_name(step, site)))
@@ -158,27 +177,39 @@ class SimulationCoordinator:
             name = rejected[0]
             raise ProtocolError(
                 f"site {name} rejected step {step}: "
-                f"{verdicts[name].get('error', '')}")
+                f"{verdicts[name].error or ''}")
+        propose_span.end(ok=True)
 
         results: dict[str, dict[int, float]] = {}
+        execute_span = self._tracer.start_span(
+            "coordinator.step.execute", parent=ctx, step=step)
 
         def execute_one(site: SiteBinding):
             result = yield from self.client.execute(
                 site.handle, self._txn_name(step, site),
-                timeout=self.execution_timeout + 10.0)
-            forces = result["readings"]["forces"]
+                timeout=self.execution_timeout + 10.0,
+                ctx=execute_span)
+            forces = result.readings["forces"]
             results[site.name] = {int(dof): float(f)
                                   for dof, f in forces.items()}
 
         procs = [self.kernel.process(execute_one(s),
                                      name=f"execute.{s.name}.{step}")
                  for s in self.sites]
-        yield self.kernel.all_of(procs)
+        try:
+            yield self.kernel.all_of(procs)
+        except BaseException:
+            execute_span.end(ok=False)
+            raise
+        execute_span.end(ok=True)
         return results
 
-    def _step_without_barrier(self, step: int, d_global: np.ndarray):
+    def _step_without_barrier(self, step: int, d_global: np.ndarray,
+                              ctx=None):
         """Ablation path: per-site propose→execute chains, no global gate."""
         results: dict[str, dict[int, float]] = {}
+        span = self._tracer.start_span(
+            "coordinator.step.propose_execute", parent=ctx, step=step)
 
         def chain_one(site: SiteBinding):
             actions = make_displacement_actions(
@@ -186,25 +217,32 @@ class SimulationCoordinator:
             result = yield from self.client.propose_and_execute(
                 site.handle, self._txn_name(step, site), actions,
                 execution_timeout=self.execution_timeout,
-                timeout=self.execution_timeout + 10.0)
-            forces = result["readings"]["forces"]
+                timeout=self.execution_timeout + 10.0,
+                ctx=span)
+            forces = result.readings["forces"]
             results[site.name] = {int(dof): float(f)
                                   for dof, f in forces.items()}
 
         procs = [self.kernel.process(chain_one(s),
                                      name=f"chain.{s.name}.{step}")
                  for s in self.sites]
-        yield self.kernel.all_of(procs)
+        try:
+            yield self.kernel.all_of(procs)
+        except BaseException:
+            span.end(ok=False)
+            raise
+        span.end(ok=True)
         return results
 
     def _attempt_with_policy(self, step: int, d_global: np.ndarray,
-                             result: ExperimentResult):
+                             result: ExperimentResult, ctx=None):
         """One step with fault-policy retries; returns (forces, attempts)."""
         attempt = 0
         while True:
             attempt += 1
             try:
-                forces = yield from self._step_at_all_sites(step, d_global)
+                forces = yield from self._step_at_all_sites(step, d_global,
+                                                            ctx)
                 return forces, attempt
             except (RpcError, ReproError) as exc:
                 site = getattr(exc, "site", "?")
@@ -217,8 +255,13 @@ class SimulationCoordinator:
                     step=step, attempt=attempt, site=site, error=exc)
                 if decision.action != "retry":
                     raise
+                self._tm_retries.inc()
                 if decision.delay > 0:
+                    wait_span = self._tracer.start_span(
+                        "coordinator.step.retry_wait", parent=ctx,
+                        step=step, attempt=attempt)
                     yield self.kernel.timeout(decision.delay)
+                    wait_span.end()
 
     # -- the experiment ------------------------------------------------------
     def run(self):
@@ -235,19 +278,32 @@ class SimulationCoordinator:
         self.kernel.emit(f"coordinator.{self.run_id}", "experiment.started",
                          steps=result.target_steps, sites=len(self.sites))
         d0 = np.zeros(self.model.n_dof)
+        init_span = self._tracer.start_span("coordinator.step",
+                                            run_id=self.run_id, step=0)
         try:
-            forces0, _ = yield from self._attempt_with_policy(0, d0, result)
+            forces0, _ = yield from self._attempt_with_policy(0, d0, result,
+                                                              init_span)
         except (RpcError, ReproError) as exc:
+            init_span.end(ok=False)
             result.aborted_reason = f"initialization failed: {exc}"
             result.aborted_at_step = 0
             result.wall_finished = self.kernel.now
             return result
+        init_span.end(ok=True)
         r0 = self._assemble_forces(forces0)
         self.integrator.start(
             r0=r0, p0=self.model.external_force(self.motion.accel[0]))
 
         for step in range(1, self.motion.n_steps):
             wall_started = self.kernel.now
+            # The step span and its contiguous phase children (integrate →
+            # propose → execute → commit, plus retry_wait on faults) are the
+            # paper's Figure-5 step-time breakdown: phase durations sum to
+            # the step's wall time on the sim clock.
+            step_span = self._tracer.start_span("coordinator.step",
+                                                run_id=self.run_id, step=step)
+            integrate_span = self._tracer.start_span(
+                "coordinator.step.integrate", parent=step_span, step=step)
             try:
                 d_next = self.integrator.propose_next()
                 if not np.all(np.isfinite(d_next)):
@@ -256,6 +312,8 @@ class SimulationCoordinator:
                 # Numerical divergence (e.g. an explicit integrator past
                 # its stability limit) ends the experiment, it does not
                 # crash the coordinator.
+                integrate_span.end(ok=False)
+                step_span.end(ok=False)
                 result.aborted_reason = f"integrator diverged: {exc}"
                 result.aborted_at_step = step
                 result.wall_finished = self.kernel.now
@@ -263,10 +321,12 @@ class SimulationCoordinator:
                                  "experiment.aborted", step=step,
                                  error=result.aborted_reason)
                 return result
+            integrate_span.end()
             try:
                 forces, attempts = yield from self._attempt_with_policy(
-                    step, d_next, result)
+                    step, d_next, result, step_span)
             except (RpcError, ReproError) as exc:
+                step_span.end(ok=False)
                 result.aborted_reason = str(exc)
                 result.aborted_at_step = step
                 result.wall_finished = self.kernel.now
@@ -274,6 +334,8 @@ class SimulationCoordinator:
                                  "experiment.aborted", step=step,
                                  error=str(exc))
                 return result
+            commit_span = self._tracer.start_span(
+                "coordinator.step.commit", parent=step_span, step=step)
             r_next = self._assemble_forces(forces)
             p_next = self.model.external_force(self.motion.accel[step])
             self.integrator.commit(d_next, r_next, p_next)
@@ -286,6 +348,10 @@ class SimulationCoordinator:
             result.steps.append(record)
             if self.on_step is not None:
                 self.on_step(record)
+            commit_span.end()
+            step_span.end(ok=True, attempts=attempts)
+            self._tm_steps.inc()
+            self._tm_step_time.observe(record.wall_finished - wall_started)
         result.completed = True
         result.wall_finished = self.kernel.now
         self.kernel.emit(f"coordinator.{self.run_id}", "experiment.completed",

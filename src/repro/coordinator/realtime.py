@@ -130,7 +130,7 @@ class RealTimeCoordinator:
                 channel.busy = False
                 channel.pending_step = None
                 return
-            forces = result["readings"]["forces"]
+            forces = result.readings["forces"]
             channel.record(np.array(
                 [forces[local] for local in
                  range(len(binding.dof_indices))], dtype=float))

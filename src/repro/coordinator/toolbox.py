@@ -68,11 +68,11 @@ class NTCPToolbox:
             verdict = yield from self.client.propose(
                 handle, txn, make_displacement_actions({0: value}),
                 execution_timeout=self.execution_timeout)
-            if verdict["state"] == "accepted":
+            if verdict.accepted:
                 verdicts[name] = "accepted"
                 yield from self.client.cancel(handle, txn)
             else:
-                verdicts[name] = f"rejected: {verdict.get('error', '')}"
+                verdicts[name] = f"rejected: {verdict.error or ''}"
         self.steps_run += 1
         return verdicts
 
@@ -95,22 +95,22 @@ class NTCPToolbox:
                 execution_timeout=self.execution_timeout)
             verdicts[name] = verdict
         rejected = [n for n in names
-                    if verdicts[n]["state"] not in ("accepted", "executed",
-                                                    "executing")]
+                    if verdicts[n].state not in ("accepted", "executed",
+                                                 "executing")]
         if rejected:
             for name in names:
-                if verdicts[name]["state"] == "accepted":
+                if verdicts[name].state == "accepted":
                     yield from self.client.cancel(
                         self._handle(name), self._txn(step_number, name))
             raise ProtocolError(
                 f"step {step_number}: site {rejected[0]} rejected "
-                f"({verdicts[rejected[0]].get('error', '')})")
+                f"({verdicts[rejected[0]].error or ''})")
         forces: dict[str, float] = {}
         for name in names:
             result = yield from self.client.execute(
                 self._handle(name), self._txn(step_number, name),
                 timeout=self.execution_timeout + 10.0)
-            forces[name] = float(result["readings"]["forces"][0])
+            forces[name] = float(result.readings["forces"][0])
         self.steps_run += 1
         return forces
 

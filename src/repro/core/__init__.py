@@ -20,7 +20,13 @@ simulation are indistinguishable".  The pieces map directly onto the paper:
   executed twice").
 """
 
-from repro.core.messages import Action, Proposal, TransactionResult
+from repro.core.messages import (
+    Action,
+    ExecutionOutcome,
+    Proposal,
+    ProposalVerdict,
+    TransactionResult,
+)
 from repro.core.transaction import Transaction, TransactionState
 from repro.core.policy import ParameterLimit, SitePolicy
 from repro.core.plugin import ControlPlugin
@@ -30,6 +36,8 @@ from repro.core.client import NTCPClient
 __all__ = [
     "Action",
     "Proposal",
+    "ProposalVerdict",
+    "ExecutionOutcome",
     "TransactionResult",
     "Transaction",
     "TransactionState",

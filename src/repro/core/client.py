@@ -12,7 +12,12 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.core.messages import Action, Proposal
+from repro.core.messages import (
+    Action,
+    ExecutionOutcome,
+    Proposal,
+    ProposalVerdict,
+)
 from repro.net.rpc import RpcClient
 from repro.ogsi.handle import GridServiceHandle
 from repro.util.errors import ProtocolError
@@ -24,6 +29,11 @@ class NTCPClient:
     ``credential_factory`` (optional) is called with the operation name to
     mint a fresh GSI token per request, e.g.
     ``GsiAuthenticator(...).credential_for``.
+
+    Every protocol verb takes an optional ``ctx`` (a telemetry span or
+    trace context): the verb's own client span becomes its child and the
+    trace propagates through the RPC hop to the server, so a coordinator
+    step decomposes end-to-end.
     """
 
     def __init__(self, rpc: RpcClient, *, timeout: float = 10.0,
@@ -32,20 +42,32 @@ class NTCPClient:
         self.timeout = timeout
         self.retries = retries
         self.credential_factory = credential_factory
+        self._tracer = rpc.telemetry.tracer
 
     def _invoke(self, handle: GridServiceHandle, operation: str,
                 params: dict[str, Any], *,
                 timeout: float | None = None,
-                retries: int | None = None) -> Generator[Any, Any, Any]:
+                retries: int | None = None,
+                ctx: Any = None) -> Generator[Any, Any, Any]:
         credential = (self.credential_factory("invoke")
                       if self.credential_factory else None)
-        result = yield from self.rpc.call(
-            handle.host, handle.port, "invoke",
-            {"service_id": handle.service_id, "operation": operation,
-             "params": params},
-            credential=credential,
-            timeout=self.timeout if timeout is None else timeout,
-            retries=self.retries if retries is None else retries)
+        parenting = {} if ctx is None else {"parent": ctx}
+        span = self._tracer.start_span(
+            f"core.client.{operation}", service=handle.service_id,
+            **parenting)
+        try:
+            result = yield from self.rpc.call(
+                handle.host, handle.port, "invoke",
+                {"service_id": handle.service_id, "operation": operation,
+                 "params": params},
+                credential=credential,
+                timeout=self.timeout if timeout is None else timeout,
+                retries=self.retries if retries is None else retries,
+                ctx=span)
+        except BaseException as exc:
+            span.end(ok=False, error=type(exc).__name__)
+            raise
+        span.end(ok=True)
         return result
 
     # -- protocol verbs ------------------------------------------------------
@@ -53,34 +75,37 @@ class NTCPClient:
                 actions: list[Action], *, execution_timeout: float = 60.0,
                 proposal_lifetime: float = 3600.0,
                 timeout: float | None = None,
-                retries: int | None = None) -> Generator[Any, Any, dict]:
-        """Send a proposal; returns the verdict dict (state accepted/rejected)."""
+                retries: int | None = None,
+                ctx: Any = None) -> Generator[Any, Any, ProposalVerdict]:
+        """Send a proposal; returns the :class:`ProposalVerdict`."""
         proposal = Proposal(transaction=transaction, actions=tuple(actions),
                             execution_timeout=execution_timeout,
                             proposal_lifetime=proposal_lifetime)
         verdict = yield from self._invoke(
             handle, "propose", {"proposal": proposal.to_dict()},
-            timeout=timeout, retries=retries)
-        return verdict
+            timeout=timeout, retries=retries, ctx=ctx)
+        return ProposalVerdict.coerce(verdict)
 
     def execute(self, handle: GridServiceHandle, transaction: str, *,
                 timeout: float | None = None,
-                retries: int | None = None) -> Generator[Any, Any, dict]:
-        """Execute an accepted transaction; returns the result dict.
+                retries: int | None = None,
+                ctx: Any = None) -> Generator[Any, Any, ExecutionOutcome]:
+        """Execute an accepted transaction; returns the :class:`ExecutionOutcome`.
 
         Safe to retry: at-most-once semantics are enforced server-side.
         """
         result = yield from self._invoke(
             handle, "execute", {"transaction": transaction},
-            timeout=timeout, retries=retries)
-        return result
+            timeout=timeout, retries=retries, ctx=ctx)
+        return ExecutionOutcome.coerce(result)
 
-    def cancel(self, handle: GridServiceHandle,
-               transaction: str) -> Generator[Any, Any, dict]:
+    def cancel(self, handle: GridServiceHandle, transaction: str,
+               ctx: Any = None) -> Generator[Any, Any, ProposalVerdict]:
         """Cancel a proposed/accepted transaction."""
         verdict = yield from self._invoke(handle, "cancel",
-                                          {"transaction": transaction})
-        return verdict
+                                          {"transaction": transaction},
+                                          ctx=ctx)
+        return ProposalVerdict.coerce(verdict)
 
     def get_transaction(self, handle: GridServiceHandle,
                         transaction: str) -> Generator[Any, Any, dict]:
@@ -89,12 +114,12 @@ class NTCPClient:
                                         {"transaction": transaction})
         return value
 
-    def get_results(self, handle: GridServiceHandle,
-                    transaction: str) -> Generator[Any, Any, dict]:
+    def get_results(self, handle: GridServiceHandle, transaction: str,
+                    ) -> Generator[Any, Any, ExecutionOutcome]:
         """Fetch the results of an executed transaction."""
         value = yield from self._invoke(handle, "getResults",
                                         {"transaction": transaction})
-        return value
+        return ExecutionOutcome.coerce(value)
 
     def list_transactions(self, handle: GridServiceHandle,
                           state: str | None = None) -> Generator[Any, Any, list]:
@@ -107,7 +132,9 @@ class NTCPClient:
                             actions: list[Action], *,
                             execution_timeout: float = 60.0,
                             timeout: float | None = None,
-                            retries: int | None = None) -> Generator[Any, Any, dict]:
+                            retries: int | None = None,
+                            ctx: Any = None,
+                            ) -> Generator[Any, Any, ExecutionOutcome]:
         """Propose then execute one transaction on one server.
 
         Raises :class:`ProtocolError` if the proposal is rejected (after
@@ -116,11 +143,12 @@ class NTCPClient:
         verdict = yield from self.propose(
             handle, transaction, actions,
             execution_timeout=execution_timeout,
-            timeout=timeout, retries=retries)
-        if verdict["state"] != "accepted":
+            timeout=timeout, retries=retries, ctx=ctx)
+        if not verdict.accepted:
             raise ProtocolError(
                 f"proposal {transaction!r} rejected by {handle.service_id}: "
-                f"{verdict.get('error', '')}")
+                f"{verdict.error or ''}")
         result = yield from self.execute(handle, transaction,
-                                         timeout=timeout, retries=retries)
+                                         timeout=timeout, retries=retries,
+                                         ctx=ctx)
         return result

@@ -1,16 +1,58 @@
-"""NTCP wire objects: actions, proposals, results.
+"""NTCP wire objects: actions, proposals, verdicts, results.
 
 Everything here is a frozen dataclass of plain values, round-trippable
 through :meth:`to_dict` / :meth:`from_dict` so RPC payloads stay
 serialization-friendly (no live objects cross "the wire").
+
+:class:`ProposalVerdict` and :class:`ExecutionOutcome` are the *typed*
+return values of the protocol verbs (they replaced the raw dicts the
+server and client used to trade).  For one release they also answer
+dict-style access (``verdict["state"]``) through a deprecation shim so
+downstream callers can migrate gradually.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, fields
 from typing import Any
 
 from repro.util.errors import ProtocolError
+
+
+class _DictCompatMixin:
+    """One-release shim: dict-style read access over dataclass fields.
+
+    Every access warns; attribute access (``verdict.state``) is the
+    supported API and the shim will be removed in the next release.
+    """
+
+    def _field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(self))
+
+    def _warn(self) -> None:
+        warnings.warn(
+            f"dict-style access to {type(self).__name__} is deprecated; "
+            "use attribute access (e.g. .state, .readings) instead",
+            DeprecationWarning, stacklevel=3)
+
+    def __getitem__(self, key: str) -> Any:
+        self._warn()
+        if key not in self._field_names():
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self._warn()
+        if key not in self._field_names():
+            return default
+        return getattr(self, key)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._field_names()
+
+    def keys(self):
+        return self._field_names()
 
 
 @dataclass(frozen=True)
@@ -84,6 +126,91 @@ class Proposal:
             )
         except KeyError as exc:
             raise ProtocolError(f"proposal missing field {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ProposalVerdict(_DictCompatMixin):
+    """The server's answer to ``propose`` (and to ``cancel``).
+
+    ``state`` is the transaction-state string after negotiation —
+    ``"accepted"``, ``"rejected"``, ``"cancelled"``, or (for an idempotent
+    re-propose of a live transaction) ``"executing"`` / ``"executed"``.
+    """
+
+    transaction: str
+    state: str
+    error: str | None = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.state == "accepted"
+
+    @property
+    def rejected(self) -> bool:
+        return self.state == "rejected"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"transaction": self.transaction, "state": self.state,
+                "error": self.error}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProposalVerdict":
+        try:
+            return cls(transaction=data["transaction"], state=data["state"],
+                       error=data.get("error"))
+        except KeyError as exc:
+            raise ProtocolError(f"verdict missing field {exc}") from exc
+
+    @classmethod
+    def coerce(cls, value: "ProposalVerdict | dict[str, Any]",
+               ) -> "ProposalVerdict":
+        """Accept either the typed object or its wire dict."""
+        return value if isinstance(value, cls) else cls.from_dict(value)
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome(_DictCompatMixin):
+    """The client-facing outcome of an executed transaction.
+
+    ``readings`` carries whatever the site measured (for MOST: achieved
+    displacements and restoring forces per DOF); ``started``/``finished``
+    are server-side simulation times bracketing the execution.
+    """
+
+    transaction: str
+    readings: dict[str, Any]
+    started: float
+    finished: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished - self.started
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"transaction": self.transaction,
+                "readings": dict(self.readings),
+                "started": self.started, "finished": self.finished}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExecutionOutcome":
+        try:
+            return cls(transaction=data["transaction"],
+                       readings=dict(data["readings"]),
+                       started=data["started"], finished=data["finished"])
+        except KeyError as exc:
+            raise ProtocolError(f"outcome missing field {exc}") from exc
+
+    @classmethod
+    def coerce(cls, value: "ExecutionOutcome | dict[str, Any]",
+               ) -> "ExecutionOutcome":
+        """Accept either the typed object or its wire dict."""
+        return value if isinstance(value, cls) else cls.from_dict(value)
+
+    @classmethod
+    def from_result(cls, result: "TransactionResult") -> "ExecutionOutcome":
+        return cls(transaction=result.transaction,
+                   readings=dict(result.readings),
+                   started=result.started, finished=result.finished)
 
 
 @dataclass(frozen=True)

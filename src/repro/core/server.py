@@ -16,13 +16,23 @@ Operations exposed through the OGSI container:
 
 from __future__ import annotations
 
+import warnings
 from typing import Any
 
-from repro.core.messages import Proposal, TransactionResult
+from repro.core.messages import (
+    ExecutionOutcome,
+    Proposal,
+    ProposalVerdict,
+    TransactionResult,
+)
 from repro.core.plugin import ControlPlugin
 from repro.core.transaction import Transaction, TransactionState
 from repro.ogsi.service import GridService
 from repro.util.errors import PolicyViolation, ProtocolError
+
+#: every counter the server maintains, in ``metrics()`` key order
+STAT_KEYS = ("proposed", "accepted", "rejected", "executed", "failed",
+             "cancelled", "duplicate_proposals", "duplicate_executes")
 
 
 class NTCPServer(GridService):
@@ -42,9 +52,7 @@ class NTCPServer(GridService):
         self.at_most_once = at_most_once
         self.transactions: dict[str, Transaction] = {}
         self._completion_events: dict[str, Any] = {}
-        self.stats = {"proposed": 0, "accepted": 0, "rejected": 0,
-                      "executed": 0, "failed": 0, "cancelled": 0,
-                      "duplicate_proposals": 0, "duplicate_executes": 0}
+        self._counters: dict[str, Any] | None = None  # built on attach
 
     def on_attach(self) -> None:
         self.plugin.attach(self.kernel, site=self.service_id)
@@ -53,6 +61,37 @@ class NTCPServer(GridService):
         for op in ("propose", "execute", "cancel", "getTransaction",
                    "getResults", "listTransactions"):
             self.expose(op, getattr(self, f"_op_{op}"))
+        telemetry = self.kernel.telemetry
+        self._tracer = telemetry.tracer
+        self._counters = {key: telemetry.counter(f"core.server.{key}",
+                                                 site=self.service_id)
+                          for key in STAT_KEYS}
+        self._execute_time = telemetry.histogram("core.server.execute_time",
+                                                 site=self.service_id)
+
+    # -- metrics ---------------------------------------------------------------
+    def _count(self, key: str) -> None:
+        assert self._counters is not None, "server not attached"
+        self._counters[key].inc()
+
+    def metrics(self) -> dict[str, int]:
+        """Transaction counters, backed by the run's telemetry registry.
+
+        This replaces direct reads of the old ``stats`` dict; keys are
+        unchanged (``proposed``, ``accepted``, ..., ``duplicate_executes``).
+        """
+        if self._counters is None:
+            return {key: 0 for key in STAT_KEYS}
+        return {key: counter.value for key, counter in self._counters.items()}
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Deprecated counter dict; use :meth:`metrics` instead."""
+        warnings.warn(
+            "NTCPServer.stats is deprecated; use NTCPServer.metrics() "
+            "(backed by the telemetry registry) instead",
+            DeprecationWarning, stacklevel=2)
+        return self.metrics()
 
     # -- state publication -----------------------------------------------------
     def _publish(self, txn: Transaction) -> None:
@@ -70,77 +109,96 @@ class NTCPServer(GridService):
 
     # -- operations ----------------------------------------------------------
     def _op_propose(self, caller, proposal: dict[str, Any]):
-        """Negotiate a proposal; returns the verdict dict.
+        """Negotiate a proposal; returns a :class:`ProposalVerdict`.
 
         Idempotent on transaction name: re-proposing returns the recorded
         verdict without consulting the plugin again.
         """
         prop = Proposal.from_dict(proposal)
+        span = self._tracer.start_span("core.server.propose",
+                                       site=self.service_id,
+                                       transaction=prop.transaction)
         existing = self.transactions.get(prop.transaction)
         if existing is not None:
-            self.stats["duplicate_proposals"] += 1
-            return self._verdict(existing)
+            self._count("duplicate_proposals")
+            verdict = self._verdict(existing)
+            span.end(state=verdict.state, duplicate=True)
+            return verdict
         txn = Transaction(proposal=prop,
                           history=[(TransactionState.PROPOSED, self.kernel.now)])
         self.transactions[prop.transaction] = txn
-        self.stats["proposed"] += 1
+        self._count("proposed")
         self._publish(txn)
         review = None
         try:
             review = self.plugin.review(prop)
         except PolicyViolation as exc:
-            return self._reject(txn, str(exc))
+            verdict = self._reject(txn, str(exc))
+            span.end(state=verdict.state)
+            return verdict
         if hasattr(review, "send") and hasattr(review, "throw"):
             # Timed review (e.g. human approval): finish as a sub-process.
-            return self._timed_review(txn, review)
-        return self._accept(txn)
+            return self._timed_review(txn, review, span)
+        verdict = self._accept(txn)
+        span.end(state=verdict.state)
+        return verdict
 
-    def _timed_review(self, txn: Transaction, review):
+    def _timed_review(self, txn: Transaction, review, span):
         try:
             result = yield from review
         except PolicyViolation as exc:
-            return self._reject(txn, str(exc))
+            verdict = self._reject(txn, str(exc))
+            span.end(state=verdict.state)
+            return verdict
         del result
-        return self._accept(txn)
+        verdict = self._accept(txn)
+        span.end(state=verdict.state)
+        return verdict
 
     def _accept(self, txn: Transaction):
         txn.transition(TransactionState.ACCEPTED, self.kernel.now)
-        self.stats["accepted"] += 1
+        self._count("accepted")
         self._publish(txn)
         return self._verdict(txn)
 
     def _reject(self, txn: Transaction, reason: str):
         txn.transition(TransactionState.REJECTED, self.kernel.now, error=reason)
-        self.stats["rejected"] += 1
+        self._count("rejected")
         self._publish(txn)
         return self._verdict(txn)
 
-    def _verdict(self, txn: Transaction) -> dict[str, Any]:
-        return {"transaction": txn.name, "state": txn.state.value,
-                "error": txn.error}
+    def _verdict(self, txn: Transaction) -> ProposalVerdict:
+        return ProposalVerdict(transaction=txn.name, state=txn.state.value,
+                               error=txn.error or None)
 
     def _op_execute(self, caller, transaction: str):
         """Execute an accepted transaction with at-most-once semantics.
 
-        Duplicate execute requests — retries after a lost response, or a
-        second request racing an in-flight execution — never re-run the
-        plugin: they return the stored result, or wait for the in-flight
-        run to finish and return *its* result.
+        Returns an :class:`ExecutionOutcome`.  Duplicate execute requests —
+        retries after a lost response, or a second request racing an
+        in-flight execution — never re-run the plugin: they return the
+        stored result, or wait for the in-flight run to finish and return
+        *its* result.
         """
         txn = self._get(transaction)
+        span = self._tracer.start_span("core.server.execute",
+                                       site=self.service_id,
+                                       transaction=transaction)
         if txn.state is TransactionState.EXECUTED:
-            self.stats["duplicate_executes"] += 1
+            self._count("duplicate_executes")
             assert txn.result is not None
             if not self.at_most_once:
                 # Ablation: at-least-once semantics re-run the plugin.
                 done = self.kernel.event(name=f"redo({txn.name})")
                 txn.state = TransactionState.EXECUTING  # bypass the guard
-                return self._run_plugin(txn, done)
-            return txn.result.to_dict()
+                return self._run_plugin(txn, done, span)
+            span.end(state=txn.state.value, duplicate=True)
+            return ExecutionOutcome.from_result(txn.result)
         if txn.state is TransactionState.EXECUTING:
-            self.stats["duplicate_executes"] += 1
-            return self._await_completion(txn)
+            self._count("duplicate_executes")
+            return self._await_completion(txn, span)
         if txn.state is not TransactionState.ACCEPTED:
+            span.end(state=txn.state.value, ok=False)
             raise ProtocolError(
                 f"transaction {transaction!r} is {txn.state.value}; "
                 f"only accepted transactions can execute"
@@ -151,8 +209,9 @@ class NTCPServer(GridService):
         if self.kernel.now > accepted_at + txn.proposal.proposal_lifetime:
             txn.transition(TransactionState.CANCELLED, self.kernel.now,
                            error="proposal lifetime expired before execute")
-            self.stats["cancelled"] += 1
+            self._count("cancelled")
             self._publish(txn)
+            span.end(state=txn.state.value, ok=False)
             raise ProtocolError(
                 f"transaction {transaction!r}: proposal lifetime of "
                 f"{txn.proposal.proposal_lifetime:g} s expired")
@@ -160,9 +219,9 @@ class NTCPServer(GridService):
         self._publish(txn)
         done = self.kernel.event(name=f"done({txn.name})")
         self._completion_events[txn.name] = done
-        return self._run_plugin(txn, done)
+        return self._run_plugin(txn, done, span)
 
-    def _run_plugin(self, txn: Transaction, done):
+    def _run_plugin(self, txn: Transaction, done, span):
         started = self.kernel.now
         work = self.kernel.process(self.plugin.execute(txn.proposal),
                                    name=f"{self.service_id}.exec.{txn.name}")
@@ -174,10 +233,11 @@ class NTCPServer(GridService):
             reason = f"plugin error: {exc}"
             txn.transition(TransactionState.FAILED, self.kernel.now,
                            error=reason)
-            self.stats["failed"] += 1
+            self._count("failed")
             self._publish(txn)
             done.fail(ProtocolError(reason))
             done.defuse()
+            span.end(state=txn.state.value, ok=False)
             raise ProtocolError(reason) from exc
         finally:
             self._completion_events.pop(txn.name, None)
@@ -189,10 +249,13 @@ class NTCPServer(GridService):
                 {"value": readings},
                 started=started, finished=self.kernel.now)
             txn.transition(TransactionState.EXECUTED, self.kernel.now)
-            self.stats["executed"] += 1
+            self._count("executed")
+            self._execute_time.observe(txn.result.duration)
             self._publish(txn)
-            done.succeed(txn.result.to_dict())
-            return txn.result.to_dict()
+            outcome = ExecutionOutcome.from_result(txn.result)
+            done.succeed(outcome)
+            span.end(state=txn.state.value)
+            return outcome
         # Execution timed out: abandon the plugin run and fail the txn.
         self.plugin.cancel(txn.proposal)
         if work.is_alive:
@@ -201,19 +264,23 @@ class NTCPServer(GridService):
         reason = (f"execution exceeded timeout of "
                   f"{txn.proposal.execution_timeout:g} s")
         txn.transition(TransactionState.FAILED, self.kernel.now, error=reason)
-        self.stats["failed"] += 1
+        self._count("failed")
         self._publish(txn)
         done.fail(ProtocolError(reason))
         done.defuse()
+        span.end(state=txn.state.value, ok=False)
         raise ProtocolError(reason)
 
-    def _await_completion(self, txn: Transaction):
+    def _await_completion(self, txn: Transaction, span):
         done = self._completion_events.get(txn.name)
         if done is None:  # completed between checks (same-time race)
             if txn.result is not None:  # pragma: no cover - defensive
-                return txn.result.to_dict()
+                span.end(state=txn.state.value, duplicate=True)
+                return ExecutionOutcome.from_result(txn.result)
+            span.end(state=txn.state.value, ok=False)
             raise ProtocolError(f"transaction {txn.name!r} in limbo")
         result = yield done
+        span.end(state=txn.state.value, duplicate=True)
         return result
 
     def _op_cancel(self, caller, transaction: str):
@@ -222,7 +289,7 @@ class NTCPServer(GridService):
         if txn.state in (TransactionState.PROPOSED, TransactionState.ACCEPTED):
             txn.transition(TransactionState.CANCELLED, self.kernel.now,
                            error="cancelled by client")
-            self.stats["cancelled"] += 1
+            self._count("cancelled")
             self._publish(txn)
             return self._verdict(txn)
         if txn.state is TransactionState.CANCELLED:
@@ -240,7 +307,7 @@ class NTCPServer(GridService):
             raise ProtocolError(
                 f"transaction {transaction!r} has no results "
                 f"(state {txn.state.value})")
-        return txn.result.to_dict()
+        return ExecutionOutcome.from_result(txn.result)
 
     def _op_listTransactions(self, caller, state: str | None = None):
         names = []

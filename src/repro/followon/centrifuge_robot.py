@@ -230,7 +230,7 @@ def run_robot_survey(*, shake_intensity: float = 0.8, n_piles: int = 2,
                                      "receiver_depths": depths})],
             execution_timeout=600.0)
         survey["phases"][tag] = \
-            result["readings"]["events"][0]["shear_wave_velocities"]
+            result.readings["events"][0]["shear_wave_velocities"]
 
     def sounding(tag):
         counter[0] += 1
@@ -240,7 +240,7 @@ def run_robot_survey(*, shake_intensity: float = 0.8, n_piles: int = 2,
              Action("move-arm", {"x": 0.1, "y": 0.0, "z": 0.0}),
              Action("cone-push", {"depth": 0.3})],
             execution_timeout=3600.0)
-        survey["phases"][f"cpt-{tag}"] = result["readings"]["events"][-1]
+        survey["phases"][f"cpt-{tag}"] = result.readings["events"][-1]
 
     def campaign():
         yield from measure("initial")

@@ -170,7 +170,7 @@ def run_six_dof_loading(*, n_poses: int = 8, amplitude: float = 0.05,
             result = yield from env.client.propose_and_execute(
                 env.handle, f"pose-{i:03d}", actions,
                 execution_timeout=1e5, timeout=1e5)
-            records.append(result["readings"])
+            records.append(result.readings)
 
     env.run(protocol())
     return records, env

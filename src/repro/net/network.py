@@ -113,6 +113,15 @@ class Network:
         self._msg_ids = IdFactory("msg")
         self.stats = {"sent": 0, "delivered": 0, "dropped": 0, "no_route": 0,
                       "no_listener": 0}
+        telemetry = kernel.telemetry
+        self._counters = {key: telemetry.counter(f"net.network.{key}")
+                          for key in self.stats}
+        self._transit_time = telemetry.histogram("net.network.transit_time")
+        self._payload_bytes = telemetry.histogram("net.network.payload_bytes")
+
+    def _count(self, key: str) -> None:
+        self.stats[key] += 1
+        self._counters[key].inc()
 
     # -- topology -----------------------------------------------------------
     def add_host(self, name: str) -> Host:
@@ -173,7 +182,9 @@ class Network:
         """
         msg = Message(src=src, dst=dst, port=port, payload=payload,
                       msg_id=self._msg_ids(), send_time=self.kernel.now)
-        self.stats["sent"] += 1
+        self._count("sent")
+        # repr length is a cheap, deterministic proxy for serialized size.
+        self._payload_bytes.observe(len(repr(payload)))
         if src == dst:
             # Loopback: same-host services (e.g. the Mini-MOST single-PC
             # deployment) talk through the stack with negligible delay.
@@ -182,17 +193,17 @@ class Network:
             return msg
         link = self._links.get(frozenset((src, dst)))
         if link is None:
-            self.stats["no_route"] += 1
+            self._count("no_route")
             self.kernel.emit("net", "msg.no_route", src=src, dst=dst, port=port)
             return msg
         if any(f(msg) for f in self._drop_filters):
-            self.stats["dropped"] += 1
+            self._count("dropped")
             self.kernel.emit("net", "msg.dropped", msg_id=msg.msg_id,
                              reason="drop_filter", src=src, dst=dst, port=port)
             return msg
         delay = link.sample_delay(self.rng)
         if delay is None:
-            self.stats["dropped"] += 1
+            self._count("dropped")
             reason = "link_down" if not link.up else "loss"
             self.kernel.emit("net", "msg.dropped", msg_id=msg.msg_id,
                              reason=reason, src=src, dst=dst, port=port)
@@ -211,8 +222,9 @@ class Network:
     def _arrive(self, msg: Message) -> None:
         host = self.hosts.get(msg.dst)
         if host is None or not host.deliver(msg):
-            self.stats["no_listener"] += 1
+            self._count("no_listener")
             self.kernel.emit("net", "msg.no_listener", msg_id=msg.msg_id,
                              dst=msg.dst, port=msg.port)
             return
-        self.stats["delivered"] += 1
+        self._count("delivered")
+        self._transit_time.observe(self.kernel.now - msg.send_time)

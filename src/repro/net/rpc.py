@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
 from repro.net.network import Message, Network
+from repro.telemetry.spans import TraceContext
 from repro.util.errors import ReproError, SecurityError
 from repro.util.ids import IdFactory
 
@@ -52,6 +53,10 @@ class RpcRequest:
     params: dict[str, Any]
     reply_port: str
     credential: Any = None
+    #: trace context of the calling span (a plain ``{"trace_id", "span_id"}``
+    #: dict, so nothing live crosses the wire) — lets the receiving side
+    #: parent its server span under the caller's trace.
+    trace: dict[str, str] | None = None
 
 
 @dataclass(frozen=True)
@@ -93,6 +98,11 @@ class RpcService:
         self.name = name or f"{host}:{port}"
         self.checker = checker
         self._methods: dict[str, Callable[..., Any]] = {}
+        self.telemetry = network.kernel.telemetry
+        self._requests = self.telemetry.counter("net.rpc.requests",
+                                                service=self.name)
+        self._handle_time = self.telemetry.histogram("net.rpc.handle_time",
+                                                     service=self.name)
         network.host(host).bind(port, self._on_message)
 
     def register(self, method: str, fn: Callable[..., Any]) -> None:
@@ -106,12 +116,24 @@ class RpcService:
             return
         self.kernel.emit(self.name, "rpc.request", method=req.method,
                          request_id=req.request_id, src=msg.src)
+        self._requests.inc()
+        tracer = self.telemetry.tracer
+        span = tracer.start_span(
+            "net.rpc.server",
+            parent=(TraceContext.from_dict(req.trace) if req.trace else None),
+            method=req.method, service=self.name)
+
+        def reply(response: RpcResponse) -> None:
+            span.end(ok=response.ok)
+            self._handle_time.observe(span.duration)
+            self._reply(msg, response)
+
         caller: Any = None
         if self.checker is not None:
             try:
                 caller = self.checker(req.credential, req.method)
             except SecurityError as exc:
-                self._reply(msg, RpcResponse(
+                reply(RpcResponse(
                     request_id=req.request_id, ok=False,
                     error_type="SecurityError", error_message=str(exc)))
                 return
@@ -119,31 +141,38 @@ class RpcService:
             caller = req.credential
         fn = self._methods.get(req.method)
         if fn is None:
-            self._reply(msg, RpcResponse(
+            reply(RpcResponse(
                 request_id=req.request_id, ok=False,
                 error_type="NoSuchMethod",
                 error_message=f"{req.method!r} on {self.name}"))
             return
         try:
-            result = fn(caller, **req.params)
+            # Ambient trace context: synchronous handler code (and the
+            # synchronous prefix of generator handlers) parents its spans
+            # under this hop's server span.
+            previous = tracer.activate(span.context)
+            try:
+                result = fn(caller, **req.params)
+            finally:
+                tracer.activate(previous)
         except Exception as exc:  # noqa: BLE001 - converted to wire error
-            self._reply(msg, self._error_response(req, exc))
+            reply(self._error_response(req, exc))
             return
         if hasattr(result, "send") and hasattr(result, "throw"):
             # Handler is a process: reply when it finishes.
             proc = self.kernel.process(result, name=f"{self.name}.{req.method}")
 
-            def finish(evt, msg=msg, req=req):
+            def finish(evt, req=req):
                 if evt.ok:
-                    self._reply(msg, RpcResponse(
+                    reply(RpcResponse(
                         request_id=req.request_id, ok=True, value=evt._value))
                 else:
                     evt.defuse()
-                    self._reply(msg, self._error_response(req, evt._value))
+                    reply(self._error_response(req, evt._value))
 
             proc.add_callback(finish)
         else:
-            self._reply(msg, RpcResponse(
+            reply(RpcResponse(
                 request_id=req.request_id, ok=True, value=result))
 
     def _error_response(self, req: RpcRequest, exc: BaseException) -> RpcResponse:
@@ -172,6 +201,11 @@ class RpcClient:
         self._request_ids = IdFactory(f"{host}.req")
         self._pending: dict[str, Any] = {}
         self.stats = RpcStats()
+        self.telemetry = network.kernel.telemetry
+        self._tm = {key: self.telemetry.counter(f"net.rpc.{key}", host=host)
+                    for key in ("calls", "retries", "timeouts",
+                                "remote_errors")}
+        self._latency = self.telemetry.histogram("net.rpc.latency", host=host)
         network.host(host).bind(self.reply_port, self._on_reply)
 
     def _on_reply(self, msg: Message) -> None:
@@ -189,21 +223,31 @@ class RpcClient:
     def call(self, dst: str, port: str, method: str,
              params: dict[str, Any] | None = None, *,
              credential: Any = None, timeout: float | None = None,
-             retries: int | None = None) -> Generator[Any, Any, Any]:
+             retries: int | None = None,
+             ctx: Any = None) -> Generator[Any, Any, Any]:
         """Invoke ``method`` on ``dst:port``; use as ``yield from client.call(...)``.
 
         Each retransmission reuses the same request id, so an idempotent (or
         deduplicating) server observes a single logical request.  Raises
         :class:`RpcTimeout` after the final attempt, or
         :class:`RemoteException` if the handler raised.
+
+        ``ctx`` (a span or trace context) parents the call's client span,
+        and the span's own context rides to the server in
+        :attr:`RpcRequest.trace` — one trace covers both sides of the hop.
         """
         params = params or {}
         timeout = self.default_timeout if timeout is None else timeout
         retries = self.default_retries if retries is None else retries
+        parenting = {} if ctx is None else {"parent": ctx}
+        span = self.telemetry.tracer.start_span(
+            "net.rpc.call", method=method, dst=dst, port=port, **parenting)
         req = RpcRequest(request_id=self._request_ids(), method=method,
                          params=params, reply_port=self.reply_port,
-                         credential=credential)
+                         credential=credential,
+                         trace=span.context.to_dict())
         self.stats.calls += 1
+        self._tm["calls"].inc()
         started = self.kernel.now
         last_attempt = retries  # attempts are 0..retries inclusive
         for attempt in range(retries + 1):
@@ -212,6 +256,7 @@ class RpcClient:
             self.network.send(self.host, dst, port, req)
             if attempt > 0:
                 self.stats.retries += 1
+                self._tm["retries"].inc()
                 self.kernel.emit(f"rpc.client.{self.host}", "rpc.retry",
                                  request_id=req.request_id, attempt=attempt,
                                  method=method, dst=dst)
@@ -219,15 +264,23 @@ class RpcClient:
             fired = yield self.kernel.any_of([evt, timer])
             if evt in fired:
                 resp: RpcResponse = evt.value
-                self.stats.latencies.append(self.kernel.now - started)
+                latency = self.kernel.now - started
+                self.stats.latencies.append(latency)
+                self._latency.observe(latency)
                 if resp.ok:
+                    span.end(ok=True, attempts=attempt + 1)
                     return resp.value
                 self.stats.remote_errors += 1
+                self._tm["remote_errors"].inc()
+                span.end(ok=False, attempts=attempt + 1,
+                         error=resp.error_type)
                 raise RemoteException(resp.error_type, resp.error_message,
                                       resp.error_data)
             # timed out: abandon this wait and (maybe) retransmit
             self._pending.pop(req.request_id, None)
             if attempt == last_attempt:
                 self.stats.timeouts += 1
+                self._tm["timeouts"].inc()
+                span.end(ok=False, attempts=attempt + 1, error="timeout")
                 raise RpcTimeout(
                     f"{method} on {dst}:{port} after {retries + 1} attempt(s)")

@@ -45,6 +45,17 @@ class NSDSService(GridService):
         for op in ("subscribe", "unsubscribe", "listChannels", "getLatest",
                    "drain"):
             self.expose(op, getattr(self, f"_op_{op}"))
+        telemetry = self.kernel.telemetry
+        self._tm_ingested = telemetry.counter("nsds.stream.ingested",
+                                              service=self.service_id)
+        self._tm_pushed = telemetry.counter("nsds.stream.pushed",
+                                            service=self.service_id)
+        self._tm_buffer_dropped = telemetry.counter("nsds.stream.buffer_dropped",
+                                                    service=self.service_id)
+        self._tm_expired = telemetry.counter("nsds.stream.expired_subs",
+                                             service=self.service_id)
+        self._tm_lag = telemetry.histogram("nsds.stream.lag",
+                                           service=self.service_id)
 
     # -- ingest (local, called by the DAQ tap) -------------------------------
     def ingest(self, time: float, row: dict[str, float]) -> None:
@@ -59,7 +70,11 @@ class NSDSService(GridService):
                 buf = RingBuffer(self.buffer_capacity)
                 self.buffers[channel] = buf
                 self.service_data.set("channels", sorted(self.buffers))
+            dropped_before = buf.dropped
             buf.append(sample)
+            self._tm_ingested.inc()
+            if buf.dropped > dropped_before:
+                self._tm_buffer_dropped.inc(buf.dropped - dropped_before)
             self._push(sample)
 
     def _push(self, sample: StreamSample) -> None:
@@ -67,6 +82,7 @@ class NSDSService(GridService):
         live = {}
         for sub_id, sub in self._subs.items():
             if sub.expires <= now:
+                self._tm_expired.inc()
                 continue
             live[sub_id] = sub
             if sub.channels is not None and sample.channel not in sub.channels:
@@ -81,6 +97,9 @@ class NSDSService(GridService):
                     "value": sample.value,
                 })
             self.pushed += 1
+            self._tm_pushed.inc()
+            # How far behind real acquisition the push happens (stream lag).
+            self._tm_lag.observe(now - sample.time)
         self._subs = live
 
     # -- operations ----------------------------------------------------------

@@ -7,6 +7,7 @@ from typing import Any, Generator, Iterable
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.telemetry import TelemetryHub
 from repro.util.log import EventLog
 
 
@@ -16,14 +17,21 @@ class Kernel:
     Events scheduled for the same time fire in insertion order (a strictly
     increasing sequence number breaks ties), so runs are exactly repeatable.
     The kernel also owns the run-wide :class:`~repro.util.log.EventLog` that
-    all subsystems emit structured records to.
+    all subsystems emit structured records to, and the run-wide
+    :class:`~repro.telemetry.TelemetryHub` — wired to the simulation clock —
+    that every layer reaches as ``kernel.telemetry``.
     """
 
-    def __init__(self, log: EventLog | None = None):
+    def __init__(self, log: EventLog | None = None,
+                 telemetry: TelemetryHub | None = None):
         self.now: float = 0.0
         self.log = log if log is not None else EventLog()
+        self.telemetry = (telemetry if telemetry is not None
+                          else TelemetryHub(clock=lambda: self.now))
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
+        self._events_fired = self.telemetry.counter("sim.kernel.events")
+        self._queue_depth = self.telemetry.gauge("sim.kernel.queue_depth")
 
     # -- factories ---------------------------------------------------------
     def event(self, name: str | None = None) -> Event:
@@ -64,6 +72,8 @@ class Kernel:
         """Process exactly one event (advancing ``now`` to its time)."""
         time, _, event = heapq.heappop(self._queue)
         self.now = time
+        self._events_fired.inc()
+        self._queue_depth.set(len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
         for fn in callbacks:
             fn(event)

@@ -1,0 +1,190 @@
+"""Counters, gauges, and histograms.
+
+Instruments are cheap plain-Python objects owned by a
+:class:`MetricRegistry`; every instrument is identified by a dotted name
+following the repo-wide convention ``layer.component.name`` (e.g.
+``net.rpc.latency``, ``core.server.executed``) plus an optional label set
+(e.g. ``site="ntcp-uiuc"``).  Asking the registry twice for the same
+name+labels returns the same instrument, so call sites never coordinate.
+
+Histograms keep every observation (experiments here run thousands of
+steps, not millions of requests), which makes percentile math exact
+rather than bucketed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common identity: dotted name plus frozen labels."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = {str(k): str(v) for k, v in labels.items()}
+
+    def describe(self) -> dict[str, Any]:
+        """One serialization-friendly record (see telemetry.schema)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lbl = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        return f"<{type(self).__name__} {self.name}{{{lbl}}}>"
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "type": "counter", "labels": self.labels,
+                "value": self.value}
+
+
+class Gauge(Metric):
+    """A value that goes up and down (queue depth, lag, utilization)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "type": "gauge", "labels": self.labels,
+                "value": self.value}
+
+
+class Histogram(Metric):
+    """Exact-percentile histogram over all observations."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        super().__init__(name, labels)
+        self._values: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self._values))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self._values else 0.0
+
+    def _ordered(self) -> list[float]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile with linear interpolation between ranks.
+
+        ``p`` is in [0, 100]; an empty histogram reports 0.0.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        values = self._ordered()
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        rank = (p / 100.0) * (len(values) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(values) - 1)
+        frac = rank - lo
+        return values[lo] * (1.0 - frac) + values[hi] * frac
+
+    def summary(self) -> dict[str, float]:
+        values = self._ordered()
+        return {
+            "count": len(values),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": values[0] if values else 0.0,
+            "max": values[-1] if values else 0.0,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "type": "histogram", "labels": self.labels,
+                "summary": self.summary()}
+
+
+class MetricRegistry:
+    """All instruments of one run, keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple], Metric] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, Any]):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Serialization-friendly records for every instrument, sorted."""
+        return sorted((m.describe() for m in self._metrics.values()),
+                      key=lambda d: (d["name"], sorted(d["labels"].items())))
+
+    def find(self, name: str, **labels: Any) -> Metric | None:
+        """The instrument registered under name+labels, or None."""
+        return self._metrics.get((name, _label_key(labels)))

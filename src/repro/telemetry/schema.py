@@ -1,0 +1,133 @@
+"""Schema validation for exported telemetry documents.
+
+Hand-rolled on purpose: the validator is ~100 lines, has no dependency
+beyond the standard library, and produces errors with a JSON-path to the
+offending field.  Benchmarks and the CI smoke target validate every
+metrics document they emit through :func:`validate_metrics_payload`, so a
+malformed export fails the run instead of silently rotting in
+``benchmarks/out/``.
+
+Conventions enforced:
+
+* metric names are dotted ``layer.component.name`` (>= 3 non-empty parts);
+* counters/gauges carry a numeric ``value``; histograms carry a
+  ``summary`` with exact-percentile fields;
+* spans are closed (``end >= start``) and id-complete.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.util.errors import ReproError
+
+SCHEMA_ID = "repro.telemetry/v1"
+
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+_SUMMARY_KEYS = ("count", "sum", "mean", "min", "max", "p50", "p90", "p99")
+_SPAN_KEYS = ("name", "trace_id", "span_id", "parent_id", "start", "end",
+              "duration", "attrs")
+
+
+class SchemaError(ReproError):
+    """A telemetry document does not match the expected shape."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise SchemaError(f"{path}: {message}")
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        _fail(path, message)
+
+
+def _check_number(value: Any, path: str) -> None:
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             path, f"expected a number, got {type(value).__name__}")
+
+
+def validate_metric_name(name: Any, path: str = "name") -> None:
+    """Enforce the ``layer.component.name`` naming convention."""
+    _require(isinstance(name, str), path, "metric name must be a string")
+    parts = name.split(".")
+    _require(len(parts) >= 3 and all(parts), path,
+             f"metric name {name!r} must be dotted layer.component.name")
+
+
+def validate_metric_record(record: Any, path: str = "metric") -> None:
+    """One entry of a ``metrics`` list."""
+    _require(isinstance(record, dict), path, "metric record must be an object")
+    validate_metric_name(record.get("name"), f"{path}.name")
+    mtype = record.get("type")
+    _require(mtype in _METRIC_TYPES, f"{path}.type",
+             f"metric type must be one of {_METRIC_TYPES}, got {mtype!r}")
+    labels = record.get("labels", {})
+    _require(isinstance(labels, dict), f"{path}.labels", "labels must be an object")
+    for key, value in labels.items():
+        _require(isinstance(key, str) and isinstance(value, str),
+                 f"{path}.labels.{key}", "labels must map strings to strings")
+    if mtype == "histogram":
+        summary = record.get("summary")
+        _require(isinstance(summary, dict), f"{path}.summary",
+                 "histogram requires a summary object")
+        for key in _SUMMARY_KEYS:
+            _require(key in summary, f"{path}.summary.{key}", "missing")
+            _check_number(summary[key], f"{path}.summary.{key}")
+    else:
+        _require("value" in record, f"{path}.value",
+                 f"{mtype} requires a value")
+        _check_number(record["value"], f"{path}.value")
+
+
+def validate_span_record(record: Any, path: str = "span") -> None:
+    """One span record (from ``Span.to_dict`` or a JSONL line)."""
+    _require(isinstance(record, dict), path, "span record must be an object")
+    for key in _SPAN_KEYS:
+        _require(key in record, f"{path}.{key}", "missing")
+    for key in ("name", "trace_id", "span_id"):
+        _require(isinstance(record[key], str) and record[key],
+                 f"{path}.{key}", "must be a non-empty string")
+    _require(record["parent_id"] is None or isinstance(record["parent_id"], str),
+             f"{path}.parent_id", "must be a string or null")
+    _check_number(record["start"], f"{path}.start")
+    _check_number(record["end"], f"{path}.end")
+    _require(record["end"] >= record["start"], f"{path}.end",
+             "span must close at or after its start")
+    _require(isinstance(record["attrs"], dict), f"{path}.attrs",
+             "attrs must be an object")
+
+
+def validate_metrics_payload(payload: Any) -> None:
+    """A full metrics document as emitted by benchmarks / the smoke target.
+
+    Shape::
+
+        {"schema": "repro.telemetry/v1", "experiment": "...",
+         "metrics": [...], "spans": [...]?}
+    """
+    _require(isinstance(payload, dict), "$", "payload must be an object")
+    _require(payload.get("schema") == SCHEMA_ID, "$.schema",
+             f"expected {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    experiment = payload.get("experiment")
+    _require(isinstance(experiment, str) and experiment, "$.experiment",
+             "experiment must be a non-empty string")
+    metrics = payload.get("metrics")
+    _require(isinstance(metrics, list), "$.metrics", "metrics must be a list")
+    for i, record in enumerate(metrics):
+        validate_metric_record(record, f"$.metrics[{i}]")
+    if "spans" in payload:
+        spans = payload["spans"]
+        _require(isinstance(spans, list), "$.spans", "spans must be a list")
+        for i, record in enumerate(spans):
+            validate_span_record(record, f"$.spans[{i}]")
+
+
+def validate_jsonl_export(loaded: dict[str, Any]) -> None:
+    """Validate the dict returned by :meth:`TelemetryHub.load_jsonl`."""
+    _require(loaded.get("meta", {}).get("schema") == SCHEMA_ID, "$.meta.schema",
+             f"expected {SCHEMA_ID!r}")
+    for i, record in enumerate(loaded.get("metrics", [])):
+        validate_metric_record(record, f"$.metrics[{i}]")
+    for i, record in enumerate(loaded.get("spans", [])):
+        validate_span_record(record, f"$.spans[{i}]")

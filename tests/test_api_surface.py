@@ -1,0 +1,50 @@
+"""The curated top-level API: everything in ``repro.__all__`` must resolve.
+
+Guards the public front door against drift: a rename deep in a subpackage
+that breaks a top-level re-export fails here, not in a user's script.
+"""
+
+import inspect
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_all_is_sorted_within_sections():
+    # no duplicates, and every entry is a public name
+    assert len(set(repro.__all__)) == len(repro.__all__)
+    assert all(not n.startswith("_") for n in repro.__all__)
+
+
+def test_key_types_identity():
+    """Top-level names are the same objects as their subpackage homes."""
+    from repro.coordinator import SimulationCoordinator
+    from repro.core import NTCPClient, NTCPServer
+    from repro.core.messages import ExecutionOutcome, ProposalVerdict
+    from repro.sim import Kernel
+    from repro.telemetry import TelemetryHub
+
+    assert repro.Kernel is Kernel
+    assert repro.NTCPServer is NTCPServer
+    assert repro.NTCPClient is NTCPClient
+    assert repro.ProposalVerdict is ProposalVerdict
+    assert repro.ExecutionOutcome is ExecutionOutcome
+    assert repro.SimulationCoordinator is SimulationCoordinator
+    assert repro.TelemetryHub is TelemetryHub
+
+
+def test_typed_results_exported_from_core():
+    from repro.core import __all__ as core_all
+
+    assert "ProposalVerdict" in core_all
+    assert "ExecutionOutcome" in core_all
+
+
+def test_runners_are_callables():
+    assert inspect.isfunction(repro.run_dry_run)
+    assert inspect.isfunction(repro.run_simulation_only)
+    assert inspect.isfunction(repro.build_most)

@@ -111,8 +111,8 @@ class TestShoreWesternPlugin:
             return result
 
         result = env.run(go())
-        assert result["readings"]["forces"][0] == pytest.approx(3.0)
-        assert result["readings"]["settle_time"] > 0
+        assert result.readings["forces"][0] == pytest.approx(3.0)
+        assert result.readings["settle_time"] > 0
         assert controller.moves == 1
 
     def test_negotiation_reaches_controller(self):
@@ -125,8 +125,8 @@ class TestShoreWesternPlugin:
             return verdict
 
         verdict = env.run(go())
-        assert verdict["state"] == "rejected"
-        assert "controller refused" in verdict["error"]
+        assert verdict.state == "rejected"
+        assert "controller refused" in verdict.error
         assert controller.moves == 0  # nothing moved
 
     def test_settle_time_charged_to_clock(self):
@@ -164,7 +164,7 @@ class TestMPluginMatlab:
             return result
 
         result = env.run(go())
-        assert result["readings"]["forces"][0] == pytest.approx(2.0)
+        assert result.readings["forces"][0] == pytest.approx(2.0)
         assert env.server.plugin.stats["polled"] == 1
         assert env.server.plugin.stats["posted"] == 1
         assert env.extra["backend"].requests_served == 1
@@ -227,7 +227,7 @@ class TestXPC:
             return result
 
         result = env.run(go())
-        assert result["readings"]["forces"][0] == pytest.approx(1.8)
+        assert result.readings["forces"][0] == pytest.approx(1.8)
         assert target.commands == 1
         assert isinstance(plugin, MPlugin)  # literally the NCSA plugin class
 
@@ -244,7 +244,7 @@ class TestXPC:
                 execution_timeout=60.0)
             return result
 
-        assert env.run(go())["readings"]["settle_time"] >= 0.5
+        assert env.run(go()).readings["settle_time"] >= 0.5
 
 
 class TestLabVIEW:
@@ -263,8 +263,8 @@ class TestLabVIEW:
             return result
 
         result = env.run(go())
-        assert result["readings"]["displacements"][0] == pytest.approx(0.012)
-        assert result["readings"]["steps"][0] == 12
+        assert result.readings["displacements"][0] == pytest.approx(0.012)
+        assert result.readings["steps"][0] == 12
         assert motor.position == pytest.approx(0.012)
 
     def test_travel_limit_rejected_at_proposal(self):
@@ -277,7 +277,7 @@ class TestLabVIEW:
             return verdict
 
         verdict = env.run(go())
-        assert verdict["state"] == "rejected"
+        assert verdict.state == "rejected"
         assert motor.total_steps_moved == 0
 
     def test_unknown_dof_rejected_at_proposal(self):
@@ -289,7 +289,7 @@ class TestLabVIEW:
                 env.handle, "bad", make_displacement_actions({3: 0.001}))
             return verdict
 
-        assert env.run(go())["state"] == "rejected"
+        assert env.run(go()).state == "rejected"
 
     def test_step_rate_sets_duration(self):
         motor = StepperMotor(step_size=1e-4, step_rate=100.0, max_travel=0.1)
@@ -321,7 +321,7 @@ class TestHumanApproval:
             return verdict, env.kernel.now
 
         verdict, now = env.run(go())
-        assert verdict["state"] == "accepted"
+        assert verdict.state == "accepted"
         assert now >= 5.0
         assert plugin.approved == 1
 
@@ -339,8 +339,8 @@ class TestHumanApproval:
             return verdict
 
         verdict = env.run(go())
-        assert verdict["state"] == "rejected"
-        assert "vetoed" in verdict["error"]
+        assert verdict.state == "rejected"
+        assert "vetoed" in verdict.error
         assert plugin.vetoed == 1
 
     def test_execution_delegates_to_inner(self):
@@ -355,7 +355,7 @@ class TestHumanApproval:
                 timeout=30.0)
             return result
 
-        assert env.run(go())["readings"]["forces"][0] == pytest.approx(1.0)
+        assert env.run(go()).readings["forces"][0] == pytest.approx(1.0)
         assert inner.steps_executed == 1
 
 
@@ -371,7 +371,7 @@ class TestPluginSwapTransparency:
             result = yield from env.client.propose_and_execute(
                 env.handle, "step", make_displacement_actions({0: value}),
                 execution_timeout=60.0)
-            return result["readings"]["forces"][0]
+            return result.readings["forces"][0]
 
         return env.run(go())
 

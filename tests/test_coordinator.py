@@ -91,7 +91,7 @@ class TestHappyPath:
                                       motion=motion, sites=sites)
         k.run(until=k.process(coord.run()))
         for server in servers.values():
-            assert server.stats["executed"] == 15  # steps 0..14
+            assert server.metrics()["executed"] == 15  # steps 0..14
 
     def test_on_step_callback(self):
         k, net, model, motion, client, sites, servers = build_three_site_rig(
@@ -138,8 +138,8 @@ class TestRejectionHandling:
         assert not result.completed
         assert "rejected" in result.aborted_reason
         k.run()  # let the in-flight sibling cancellations finish
-        cancelled = (servers["uiuc"].stats["cancelled"]
-                     + servers["ncsa"].stats["cancelled"])
+        cancelled = (servers["uiuc"].metrics()["cancelled"]
+                     + servers["ncsa"].metrics()["cancelled"])
         assert cancelled >= 1
 
 
@@ -190,7 +190,7 @@ class TestFaultHandling:
         result = k.run(until=k.process(coord.run()))
         assert result.completed
         for server in servers.values():
-            assert server.stats["executed"] == 30
+            assert server.metrics()["executed"] == 30
             # duplicates were deduplicated, not re-executed
             assert server.plugin.steps_executed == 30
 

@@ -49,8 +49,8 @@ class TestCentrifugeSimilitude:
         result = env.run(go())
         # model displacement = 0.5/50 = 0.01; model force = 1000*0.01 = 10
         assert specimen.actuator.position == pytest.approx(0.01)
-        assert result["readings"]["displacements"][0] == pytest.approx(0.5)
-        assert result["readings"]["forces"][0] == pytest.approx(
+        assert result.readings["displacements"][0] == pytest.approx(0.5)
+        assert result.readings["forces"][0] == pytest.approx(
             10.0 * 50.0 ** 2)
 
     def test_refuses_motion_before_spin_up(self):
@@ -63,8 +63,8 @@ class TestCentrifugeSimilitude:
             return verdict
 
         verdict = env.run(go())
-        assert verdict["state"] == "rejected"
-        assert "not at speed" in verdict["error"]
+        assert verdict.state == "rejected"
+        assert "not at speed" in verdict.error
 
     def test_model_scale_stroke_checked(self):
         plugin, _ = self.make_plugin(scale=50.0)
@@ -77,7 +77,7 @@ class TestCentrifugeSimilitude:
                 env.handle, "t", make_displacement_actions({0: 2.0}))
             return verdict
 
-        assert env.run(go())["state"] == "rejected"
+        assert env.run(go()).state == "rejected"
 
 
 class TestSoilStructure:
@@ -162,8 +162,8 @@ class TestRobotArm:
             return verdict
 
         verdict = env.run(go())
-        assert verdict["state"] == "rejected"
-        assert "cone-penetrometer" in verdict["error"]
+        assert verdict.state == "rejected"
+        assert "cone-penetrometer" in verdict.error
 
     def test_reach_limit(self):
         plugin = RobotArmPlugin(RobotArm(reach=0.3), SoilColumnModel())
@@ -175,7 +175,7 @@ class TestRobotArm:
                 [Action("move-arm", {"x": 1.0, "y": 0.0, "z": 0.0})])
             return verdict
 
-        assert env.run(go())["state"] == "rejected"
+        assert env.run(go()).state == "rejected"
 
     def test_unknown_tool_rejected(self):
         plugin = RobotArmPlugin(RobotArm(), SoilColumnModel())
@@ -187,7 +187,7 @@ class TestRobotArm:
                 [Action("select-tool", {"tool": "laser"})])
             return verdict
 
-        assert env.run(go())["state"] == "rejected"
+        assert env.run(go()).state == "rejected"
 
     def test_survey_shows_degradation_and_improvement(self):
         survey, env = run_robot_survey(shake_intensity=0.9, n_piles=3)
@@ -219,8 +219,8 @@ class TestSixDof:
             return verdict
 
         verdict = env.run(go())
-        assert verdict["state"] == "rejected"
-        assert "axis x" in verdict["error"]
+        assert verdict.state == "rejected"
+        assert "axis x" in verdict.error
 
     def test_rotation_limit_independent(self):
         plugin = SixDofPlugin(SixDofController())
@@ -231,7 +231,7 @@ class TestSixDof:
                 env.handle, "twist", [Action("set-pose", {"rz": 1.0})])
             return verdict
 
-        assert env.run(go())["state"] == "rejected"
+        assert env.run(go()).state == "rejected"
 
     def test_loads_follow_stiffness(self):
         controller = SixDofController(seed=1)
@@ -245,7 +245,7 @@ class TestSixDof:
             return result
 
         result = env.run(go())
-        fx = result["readings"]["loads"][0]["x"]
+        fx = result.readings["loads"][0]["x"]
         assert fx == pytest.approx(4e7 * 0.01, rel=0.01)
 
     def test_quasi_static_timing(self):

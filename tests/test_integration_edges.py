@@ -92,7 +92,7 @@ class TestTimedReviewConcurrency:
             verdict = yield from env.client.propose(
                 env.handle, name, make_displacement_actions({0: 0.01}),
                 timeout=30.0)
-            verdicts[name] = verdict["state"]
+            verdicts[name] = verdict.state
 
         env.kernel.process(propose("t-allow"))
         env.kernel.process(propose("t-deny"))
@@ -126,8 +126,8 @@ class TestExecutionTimingRaces:
             return result
 
         result = env.run(go())
-        assert result["transaction"] == "t"
-        assert env.server.stats["executed"] == 1
+        assert result.transaction == "t"
+        assert env.server.metrics()["executed"] == 1
 
     def test_completion_just_outside_timeout(self):
         env = make_site(self.AlmostTooSlow(5.01), timeout=60.0)
@@ -143,7 +143,7 @@ class TestExecutionTimingRaces:
                 return exc.remote_message
 
         assert "exceeded timeout" in env.run(go())
-        assert env.server.stats["failed"] == 1
+        assert env.server.metrics()["failed"] == 1
 
 
 class TestNotificationsUnderLoss:
@@ -179,7 +179,7 @@ class TestNotificationsUnderLoss:
         k.run(until=k.process(go()))
         k.run()
         # RPC retries pushed all 20 through; notifications lossy but nonzero
-        assert server.stats["executed"] == 20
+        assert server.metrics()["executed"] == 20
         received = len(sink.received)
         # lastChanged changes 4x per transaction (proposed/accepted/
         # executing/executed) = 80 sent; ~25% were lost in flight
@@ -259,8 +259,8 @@ class TestPolicyEdgeCases:
             return verdict
 
         verdict = env.run(go())
-        assert verdict["state"] == "rejected"
-        assert "at most" in verdict["error"]
+        assert verdict.state == "rejected"
+        assert "at most" in verdict.error
 
     def test_allowed_kinds_whitelist(self):
         policy = SitePolicy(allowed_kinds={"set-displacement"})
@@ -273,7 +273,7 @@ class TestPolicyEdgeCases:
                 env.handle, "odd", [Action("open-valve", {})])
             return verdict
 
-        assert env.run(go())["state"] == "rejected"
+        assert env.run(go()).state == "rejected"
 
     def test_non_numeric_param_skips_limit(self):
         policy = SitePolicy().limit("set-displacement", "value",

@@ -45,7 +45,7 @@ class TestProposalLifetime:
             result = yield from env.client.execute(env.handle, "fresh")
             return result
 
-        assert env.run(go())["transaction"] == "fresh"
+        assert env.run(go()).transaction == "fresh"
 
     def test_retry_after_expiry_surfaces_cancelled(self):
         env = self.make_env()

@@ -122,7 +122,7 @@ class TestPublicRun:
         dep = public.deployment
         steps_done = public.result.steps_completed
         for name in ("uiuc", "cu", "ncsa"):
-            executed = dep.sites[name].server.stats["executed"]
+            executed = dep.sites[name].server.metrics()["executed"]
             assert executed >= steps_done  # init step + maybe in-flight 1493
 
     def test_130_remote_participants(self, public, short_config):

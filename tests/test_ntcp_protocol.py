@@ -119,14 +119,14 @@ class TestProposeExecute:
 
         def go():
             verdict = yield from env.client.propose(env.handle, "step-1", actions)
-            assert verdict["state"] == "accepted"
+            assert verdict.state == "accepted"
             result = yield from env.client.execute(env.handle, "step-1")
             return result
 
         result = env.run(go())
-        assert result["readings"]["forces"][0] == pytest.approx(1.0)
-        assert result["readings"]["displacements"][0] == 0.01
-        assert env.server.stats["executed"] == 1
+        assert result.readings["forces"][0] == pytest.approx(1.0)
+        assert result.readings["displacements"][0] == 0.01
+        assert env.server.metrics()["executed"] == 1
 
     def test_rejection_via_policy(self):
         policy = SitePolicy().limit("set-displacement", "value",
@@ -139,9 +139,9 @@ class TestProposeExecute:
             return verdict
 
         verdict = env.run(go())
-        assert verdict["state"] == "rejected"
-        assert "outside" in verdict["error"]
-        assert env.server.stats["rejected"] == 1
+        assert verdict.state == "rejected"
+        assert "outside" in verdict.error
+        assert env.server.metrics()["rejected"] == 1
 
     def test_execute_rejected_transaction_fails(self):
         policy = SitePolicy().limit("set-displacement", "value",
@@ -178,7 +178,7 @@ class TestProposeExecute:
             return result
 
         result = env.run(go())
-        assert result["readings"]["forces"][0] == pytest.approx(1.0)
+        assert result.readings["forces"][0] == pytest.approx(1.0)
 
     def test_propose_and_execute_raises_on_reject(self):
         policy = SitePolicy(allowed_kinds={"nothing"})
@@ -203,7 +203,7 @@ class TestProposeExecute:
             return verdict
 
         verdict = env.run(go())
-        assert verdict["state"] == "cancelled"
+        assert verdict.state == "cancelled"
         # execute after cancel fails
         def go2():
             try:
@@ -223,7 +223,7 @@ class TestProposeExecute:
             verdict = yield from env.client.cancel(env.handle, "t")
             return verdict
 
-        assert env.run(go())["state"] == "cancelled"
+        assert env.run(go()).state == "cancelled"
 
     def test_cancel_executed_transaction_fails(self):
         env = make_site(linear_plugin())
@@ -249,7 +249,7 @@ class TestProposeExecute:
             return results, txn
 
         results, txn = env.run(go())
-        assert results["transaction"] == "t"
+        assert results.transaction == "t"
         assert txn["state"] == "executed"
         assert set(txn["timestamps"]) == {"proposed", "accepted",
                                           "executing", "executed"}
@@ -300,8 +300,8 @@ class TestAtMostOnce:
 
         v1, v2 = env.run(go())
         assert v1 == v2
-        assert env.server.stats["proposed"] == 1
-        assert env.server.stats["duplicate_proposals"] == 1
+        assert env.server.metrics()["proposed"] == 1
+        assert env.server.metrics()["duplicate_proposals"] == 1
 
     def test_duplicate_execute_returns_same_result(self):
         env = make_site(linear_plugin())
@@ -316,7 +316,7 @@ class TestAtMostOnce:
         r1, r2 = env.run(go())
         assert r1 == r2
         assert env.server.plugin.steps_executed == 1
-        assert env.server.stats["duplicate_executes"] == 1
+        assert env.server.metrics()["duplicate_executes"] == 1
 
     def test_lost_response_retry_does_not_double_execute(self):
         """The paper's at-most-once guarantee: drop the first execute
@@ -333,7 +333,7 @@ class TestAtMostOnce:
             return result
 
         result = env.run(go())
-        assert result["readings"]["forces"][0] == pytest.approx(1.0)
+        assert result.readings["forces"][0] == pytest.approx(1.0)
         assert env.server.plugin.steps_executed == 1
         assert env.client.rpc.stats.retries >= 1
 
@@ -343,7 +343,7 @@ class TestAtMostOnce:
 
         def one(tag):
             r = yield from env.client.execute(env.handle, "t")
-            results.append((tag, r["readings"]["forces"][0]))
+            results.append((tag, r.readings["forces"][0]))
 
         def go():
             yield from env.client.propose(
@@ -408,7 +408,7 @@ class TestExecutionTimeout:
         message = env.run(go())
         assert "exceeded timeout" in message
         assert plugin.cancelled == 1
-        assert env.server.stats["failed"] == 1
+        assert env.server.metrics()["failed"] == 1
 
         def check():
             txn = yield from env.client.get_transaction(env.handle, "t")
@@ -435,7 +435,7 @@ class TestExecutionTimeout:
                 return exc.remote_message
 
         assert "hydraulic pressure lost" in env.run(go())
-        assert env.server.stats["failed"] == 1
+        assert env.server.metrics()["failed"] == 1
 
 
 class TestServiceData:

@@ -136,7 +136,7 @@ class TestProtocolUnderRandomLoss:
         env.run(go())
         # exactly-once accounting: plugin executions == transactions that
         # reached EXECUTED, and each completed client step did execute
-        assert plugin.steps_executed == env.server.stats["executed"]
+        assert plugin.steps_executed == env.server.metrics()["executed"]
         assert len(completed) <= plugin.steps_executed <= 5
 
     @given(seed=st.integers(min_value=0, max_value=10_000))

@@ -160,7 +160,7 @@ class LiveNTCPServerMachine(RuleBasedStateMachine):
             1 for txn in self.env.server.transactions.values()
             if txn.state.value == "executed")
         assert self.plugin.steps_executed == executed
-        assert self.env.server.stats["executed"] == executed
+        assert self.env.server.metrics()["executed"] == executed
 
     @invariant()
     def sdes_mirror_transactions(self):
@@ -170,7 +170,7 @@ class LiveNTCPServerMachine(RuleBasedStateMachine):
 
     @invariant()
     def accounting_adds_up(self):
-        stats = self.env.server.stats
+        stats = self.env.server.metrics()
         terminal_or_live = len(self.env.server.transactions)
         assert stats["proposed"] == terminal_or_live
         assert (stats["accepted"] + stats["rejected"]) <= stats["proposed"]

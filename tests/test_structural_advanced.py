@@ -171,7 +171,7 @@ class TestRemotePollBackend:
             return result
 
         result = k.run(until=k.process(go()))
-        assert result["readings"]["forces"][0] == pytest.approx(2.0)
+        assert result.readings["forces"][0] == pytest.approx(2.0)
         assert backend.requests_served == 1
 
     def test_lossy_backend_link_recovered(self):
@@ -187,7 +187,7 @@ class TestRemotePollBackend:
 
         result = k.run(until=k.process(go()))
         assert plugin.stats["posted"] == 1
-        assert result["transaction"] == "r1"
+        assert result.transaction == "r1"
 
     def test_backend_stop_halts_polling(self):
         k, net, handle, client, backend, plugin = self.build()
