@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint smoke bench check
+.PHONY: test lint analyze smoke bench check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -9,10 +9,13 @@ test:
 lint:
 	sh scripts/lint.sh
 
+analyze:
+	$(PYTHON) -m repro.analysis src tests examples benchmarks scripts
+
 smoke:
 	$(PYTHON) scripts/smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-check: lint test smoke
+check: lint analyze test smoke

@@ -101,7 +101,7 @@ def demo_negotiation() -> None:
         return verdict
 
     verdict = kernel.run(until=kernel.process(go()))
-    print(f"    50 cm command on a 2 cm rig: proposal {verdict['state']}")
+    print(f"    50 cm command on a 2 cm rig: proposal {verdict.state}")
     print(f"    specimen motions: {len(specimen.history)} "
           "(the rejection happened during negotiation)\n")
 

@@ -53,10 +53,10 @@ def main() -> None:
         verdict = yield from client.propose(
             handle, "quickstart-step-1",
             make_displacement_actions({0: 0.012}))
-        print(f"proposal verdict: {verdict['state']}")
+        print(f"proposal verdict: {verdict.state}")
 
         result = yield from client.execute(handle, "quickstart-step-1")
-        force = result["readings"]["forces"][0]
+        force = result.readings["forces"][0]
         print(f"executed: displacement 12 mm -> measured force {force/1e3:.1f} kN")
 
         txn = yield from client.get_transaction(handle, "quickstart-step-1")
@@ -66,7 +66,7 @@ def main() -> None:
         verdict = yield from client.propose(
             handle, "quickstart-step-2",
             make_displacement_actions({0: 0.08}))
-        print(f"oversized proposal: {verdict['state']} ({verdict['error']})")
+        print(f"oversized proposal: {verdict.state} ({verdict.error})")
         return "done"
 
     kernel.run(until=kernel.process(session()))

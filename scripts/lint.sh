@@ -1,9 +1,8 @@
 #!/bin/sh
-# Lint gate: ruff when available, byte-compile fallback otherwise.
-#
-# The container used for CI may not ship ruff; the fallback still catches
-# syntax errors in every tree we ship.  Configuration lives in
-# pyproject.toml ([tool.ruff]).
+# Lint gate: ruff when available (byte-compile fallback otherwise), then
+# the project-specific static-analysis pass (repro.analysis: RPR rules +
+# NTCP protocol conformance).  Ruff configuration lives in pyproject.toml
+# ([tool.ruff]); the RPR rule table lives in docs/ARCHITECTURE.md.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -17,4 +16,9 @@ else
     echo "lint: ruff not installed; falling back to compileall"
     python -m compileall -q src tests benchmarks examples scripts
 fi
+
+echo "lint: repro.analysis (RPR rules + NTCP conformance)"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m repro.analysis src tests examples benchmarks scripts
+
 echo "lint: OK"

@@ -1,0 +1,71 @@
+"""repro.analysis — the project-specific static-analysis pass.
+
+An AST lint engine with repo-specific rules (``RPR001``–``RPR006``) plus
+an NTCP protocol-conformance checker over the control-plugin surface
+(``RPR10x``), wired into the repo's gate as ``make analyze``:
+
+    python -m repro.analysis src tests examples benchmarks
+
+The rules machine-check invariants the codebase otherwise only states in
+prose: simulation-clock purity (a run is a pure function of its seed),
+the retirement of the typed-result dict shim, the telemetry naming
+convention, span lifecycle hygiene, broad-except discipline, and
+``__all__``/export coherence.  See ``docs/ARCHITECTURE.md`` ("Static
+analysis & invariants") for the rule table.
+"""
+
+from repro.analysis.engine import (
+    AnalysisResult,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    module_name_for,
+    register,
+)
+from repro.analysis.protocol import (
+    PROTOCOL_CODES,
+    check_plugin,
+    check_protocol_conformance,
+    exported_plugins,
+)
+from repro.analysis.reporters import (
+    SCHEMA_ID,
+    ReportError,
+    build_report,
+    load_report,
+    render_json,
+    render_text,
+    validate_report,
+)
+from repro.analysis import rules as _rules  # registers RPR001-RPR006
+
+del _rules
+
+__all__ = [
+    # engine
+    "AnalysisResult",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "module_name_for",
+    "register",
+    # protocol conformance
+    "PROTOCOL_CODES",
+    "check_plugin",
+    "check_protocol_conformance",
+    "exported_plugins",
+    # reporters
+    "SCHEMA_ID",
+    "ReportError",
+    "build_report",
+    "load_report",
+    "render_json",
+    "render_text",
+    "validate_report",
+]

@@ -1,0 +1,240 @@
+"""The lint engine: findings, the rule registry, and the file walker.
+
+The engine is deliberately small: a :class:`Rule` is an object with a
+code (``RPR0xx``), a one-line invariant, and a ``check(ctx)`` method that
+yields :class:`Finding` objects for one parsed file.  Everything
+repo-specific lives in :mod:`repro.analysis.rules`; the NTCP
+protocol-conformance checks (``RPR1xx``) live in
+:mod:`repro.analysis.protocol` because they introspect live classes
+rather than source trees.
+
+Suppression follows the ``# noqa`` convention: a bare ``# noqa`` on the
+offending line silences every code, ``# noqa: RPR003`` (comma-separated
+for several) silences just those codes.  Suppressed findings are counted
+so reports can surface how much is being waved through.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+#: code reserved for files the engine cannot parse at all
+PARSE_ERROR_CODE = "RPR000"
+
+#: directories never descended into when walking paths
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
+              "out", ".ruff_cache"}
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?P<codes>:\s*[A-Z]+\d+(?:[,\s]+[A-Z]+\d+)*)?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(path=data["path"], line=int(data["line"]),
+                   col=int(data["col"]), code=data["code"],
+                   message=data["message"])
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class FileContext:
+    """One parsed source file, handed to every rule.
+
+    Attributes:
+        path: display path (as given, normalized to ``/`` separators).
+        module: best-effort dotted module name (``repro.net.rpc``), used
+            by rules that scope themselves to subsystems.
+        tree: the parsed AST.
+        lines: raw source lines, for ``noqa`` scanning.
+    """
+
+    def __init__(self, path: str, source: str, module: str):
+        self.path = path
+        self.module = module
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+
+    def finding(self, node: ast.AST | int, code: str, message: str) -> Finding:
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(path=self.path, line=line, col=col, code=code,
+                       message=message)
+
+
+class Rule:
+    """Base class for AST rules; subclasses register via :func:`register`."""
+
+    #: unique ``RPR0xx`` code
+    code: str = "RPR0XX"
+    #: short kebab-ish identifier used in ``--list-rules``
+    name: str = "unnamed"
+    #: the one-line invariant this rule enforces
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and index the rule by its code."""
+    rule = cls()
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered AST rules, ordered by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def suppressed_codes(line: str) -> set[str] | None:
+    """Codes silenced by a ``# noqa`` comment on ``line``.
+
+    Returns ``None`` when there is no noqa comment, the empty set for a
+    bare ``# noqa`` (which silences everything), or the explicit code set.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return set()
+    return {c.upper() for c in re.findall(r"[A-Za-z]+\d+", codes)}
+
+
+def module_name_for(path: str | pathlib.Path) -> str:
+    """Best-effort dotted module name for a file path.
+
+    Anchors at a ``src`` directory when one appears in the path (the
+    layout this repo uses); otherwise falls back to the path itself with
+    separators turned into dots.
+    """
+    parts = list(pathlib.PurePath(path).parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    name = ".".join(parts)
+    if name.endswith(".py"):
+        name = name[: -len(".py")]
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+@dataclass
+class AnalysisResult:
+    """What one analysis run produced."""
+
+    findings: list[Finding]
+    files: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.code] = out.get(finding.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+        self.findings.sort(key=Finding.sort_key)
+
+
+def _select_rules(select: Iterable[str] | None) -> list[Rule]:
+    if select is None:
+        return all_rules()
+    wanted = {code.upper() for code in select}
+    unknown = wanted - set(_REGISTRY)
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return [rule for rule in all_rules() if rule.code in wanted]
+
+
+def analyze_source(source: str, path: str = "<string>", *,
+                   module: str | None = None,
+                   select: Iterable[str] | None = None) -> AnalysisResult:
+    """Run the registered rules over one source string."""
+    module = module if module is not None else module_name_for(path)
+    result = AnalysisResult(findings=[], files=1)
+    try:
+        ctx = FileContext(path=path, source=source, module=module)
+    except SyntaxError as exc:
+        result.findings.append(Finding(
+            path=path, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            code=PARSE_ERROR_CODE, message=f"cannot parse file: {exc.msg}"))
+        return result
+    for rule in _select_rules(select):
+        for finding in rule.check(ctx):
+            line = ""
+            if 1 <= finding.line <= len(ctx.lines):
+                line = ctx.lines[finding.line - 1]
+            noqa = suppressed_codes(line)
+            if noqa is not None and (not noqa or finding.code in noqa):
+                result.suppressed += 1
+                continue
+            result.findings.append(finding)
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def iter_python_files(paths: Iterable[str | pathlib.Path],
+                      ) -> Iterator[pathlib.Path]:
+    """Expand files/directories into the ``.py`` files to analyze."""
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(paths: Iterable[str | pathlib.Path], *,
+                  select: Iterable[str] | None = None) -> AnalysisResult:
+    """Run the registered rules over every ``.py`` file under ``paths``."""
+    _select_rules(select)  # validate the code list before any file work
+    total = AnalysisResult(findings=[], files=0)
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        one = analyze_source(source, path=str(file_path), select=select)
+        total.findings.extend(one.findings)
+        total.files += 1
+        total.suppressed += one.suppressed
+    total.findings.sort(key=Finding.sort_key)
+    return total

@@ -1,0 +1,540 @@
+"""The repo-specific rules (``RPR001``–``RPR006``).
+
+Each rule machine-checks one invariant the codebase otherwise only states
+in prose (docstrings, DESIGN.md, the telemetry schema).  They are
+deliberately heuristic where full type inference would be needed —
+heuristics are documented on each rule, and ``# noqa: RPRxxx`` exists for
+the rare intentional exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule, register
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_maps(tree: ast.Module) -> tuple[dict[str, str], dict[str, str]]:
+    """(module aliases, from-import bindings) for a parsed file.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from time import monotonic as mono`` -> ``{"mono": "time.monotonic"}``.
+    """
+    modules: dict[str, str] = {}
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                modules[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                names[local] = f"{node.module}.{alias.name}"
+    return modules, names
+
+
+def _canonical_call(node: ast.Call, modules: dict[str, str],
+                    names: dict[str, str]) -> str | None:
+    """The canonical dotted target of a call, resolving import aliases."""
+    chain = _dotted(node.func)
+    if chain is None:
+        return None
+    head, _, rest = chain.partition(".")
+    if head in names:
+        head = names[head]
+    elif head in modules:
+        head = modules[head]
+    return f"{head}.{rest}" if rest else head
+
+
+# ---------------------------------------------------------------------------
+# RPR001 — simulation-clock purity
+
+
+@register
+class SimClockPurity(Rule):
+    """No wall clocks or global RNGs inside the simulated subsystems.
+
+    Everything under ``repro.sim``, ``repro.coordinator``, ``repro.control``
+    and ``repro.net`` runs on the kernel's simulation clock, and the whole
+    run must be a pure function of its seed (``repro.util.ids``).  Wall-clock
+    reads and process-global RNG state break both properties silently.
+    """
+
+    code = "RPR001"
+    name = "sim-clock-purity"
+    summary = ("no time.time/datetime.now/global random inside "
+               "sim/coordinator/control/net")
+
+    SCOPES = ("repro.sim", "repro.coordinator", "repro.control", "repro.net")
+
+    WALL_CLOCK = {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.sleep",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+        "uuid.uuid1", "uuid.uuid4",
+    }
+    #: the legacy numpy global-state API; ``default_rng``/``Generator`` are
+    #: the sanctioned, seedable route
+    NUMPY_LEGACY = {
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "shuffle", "permutation", "seed", "uniform",
+        "normal", "standard_normal", "poisson", "beta", "binomial",
+        "exponential",
+    }
+
+    def _in_scope(self, module: str) -> bool:
+        return any(module == scope or module.startswith(scope + ".")
+                   for scope in self.SCOPES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not self._in_scope(ctx.module):
+            return
+        modules, names = _import_maps(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canon = _canonical_call(node, modules, names)
+            if canon is None:
+                continue
+            if canon in self.WALL_CLOCK:
+                yield ctx.finding(
+                    node, self.code,
+                    f"wall-clock/uuid call `{canon}` in a simulated "
+                    "subsystem; use the kernel clock (kernel.now / "
+                    "kernel.timeout) and deterministic ids")
+            elif canon.startswith("random."):
+                yield ctx.finding(
+                    node, self.code,
+                    f"process-global RNG `{canon}`; use a seeded "
+                    "numpy Generator threaded from the run seed")
+            elif canon.startswith("numpy.random."):
+                if canon.rsplit(".", 1)[-1] in self.NUMPY_LEGACY:
+                    yield ctx.finding(
+                        node, self.code,
+                        f"legacy numpy global-state RNG `{canon}`; use "
+                        "numpy.random.default_rng(seed)")
+
+
+# ---------------------------------------------------------------------------
+# RPR002 — deprecated dict-style access to typed verb results
+
+
+@register
+class VerdictDictAccess(Rule):
+    """No dict-style reads of ``ProposalVerdict`` / ``ExecutionOutcome``.
+
+    The typed verb results answer ``["state"]``-style access through a
+    one-release deprecation shim only.  Heuristic: any variable whose name
+    contains ``verdict`` or ``outcome`` subscripted (or ``.get()``/
+    ``.keys()``-ed) with one of the dataclass field names is treated as a
+    typed result.
+    """
+
+    code = "RPR002"
+    name = "typed-result-dict-access"
+    summary = ("use attribute access on ProposalVerdict/ExecutionOutcome, "
+               "not the deprecated dict shim")
+
+    FIELDS = {"transaction", "state", "error", "readings", "started",
+              "finished"}
+    _NAME_RE = re.compile(r"verdict|outcome", re.IGNORECASE)
+
+    def _looks_typed(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        else:
+            return None
+        return name if self._NAME_RE.search(name) else None
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Subscript):
+                name = self._looks_typed(node.value)
+                key = node.slice
+                if (name and isinstance(key, ast.Constant)
+                        and key.value in self.FIELDS):
+                    yield ctx.finding(
+                        node, self.code,
+                        f"dict-style access `{name}[{key.value!r}]` on a "
+                        f"typed verb result; use `.{key.value}` (the shim "
+                        "is deprecated and will be removed)")
+            elif isinstance(node, ast.Call) and isinstance(node.func,
+                                                           ast.Attribute):
+                name = self._looks_typed(node.func.value)
+                if not name:
+                    continue
+                if (node.func.attr == "get" and node.args
+                        and isinstance(node.args[0], ast.Constant)
+                        and node.args[0].value in self.FIELDS):
+                    yield ctx.finding(
+                        node, self.code,
+                        f"`{name}.get({node.args[0].value!r})` on a typed "
+                        "verb result; use attribute access")
+                elif node.func.attr == "keys" and not node.args:
+                    yield ctx.finding(
+                        node, self.code,
+                        f"`{name}.keys()` on a typed verb result; iterate "
+                        "dataclasses.fields() instead")
+
+
+# ---------------------------------------------------------------------------
+# RPR003 — telemetry naming convention
+
+
+@register
+class TelemetryNameConvention(Rule):
+    """Metric/span name literals follow ``layer.component.name``.
+
+    Mirrors the runtime check in
+    :func:`repro.telemetry.schema.validate_metric_name` so a bad name fails
+    in CI, not at export time: instruments need at least three dotted
+    lowercase segments, spans at least two (``coordinator.step`` is the
+    canonical two-segment span).  Non-literal names are skipped.
+    """
+
+    code = "RPR003"
+    name = "telemetry-name-convention"
+    summary = ("metric names are layer.component.name (>=3 segments), "
+               "span names >=2 dotted lowercase segments")
+
+    METRIC_METHODS = {"counter", "gauge", "histogram"}
+    SPAN_METHODS = {"start_span", "begin_span"}
+    _SEGMENT = r"[a-z][a-z0-9_]*"
+    METRIC_RE = re.compile(rf"^{_SEGMENT}(\.{_SEGMENT}){{2,}}$")
+    SPAN_RE = re.compile(rf"^{_SEGMENT}(\.{_SEGMENT}){{1,}}$")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            if attr in self.METRIC_METHODS:
+                pattern, kind = self.METRIC_RE, "metric"
+            elif attr in self.SPAN_METHODS:
+                pattern, kind = self.SPAN_RE, "span"
+            else:
+                continue
+            if not node.args or not isinstance(node.args[0], ast.Constant):
+                continue
+            value = node.args[0].value
+            if isinstance(value, str) and not pattern.match(value):
+                minimum = 3 if kind == "metric" else 2
+                yield ctx.finding(
+                    node, self.code,
+                    f"{kind} name {value!r} violates the layer.component."
+                    f"name convention (>= {minimum} dotted lowercase "
+                    "segments)")
+
+
+# ---------------------------------------------------------------------------
+# RPR004 — span lifecycle
+
+
+class _Scope:
+    """One lexical scope's span bookkeeping for :class:`SpanLifecycle`."""
+
+    def __init__(self, node: ast.AST):
+        self.node = node
+        #: var name -> assignment node, for spans opened into a local
+        self.opened: dict[str, ast.AST] = {}
+
+
+@register
+class SpanLifecycle(Rule):
+    """Every opened span is closed in its scope (or escapes on purpose).
+
+    A span opened with ``start_span`` must either be used as a context
+    manager, have ``.end()`` called somewhere in the same function (nested
+    closures count), or visibly escape the scope (returned, yielded, passed
+    as an argument, stored on an object).  Discarding the result of
+    ``start_span`` is always wrong: nothing can ever close that span.
+    """
+
+    code = "RPR004"
+    name = "span-lifecycle"
+    summary = ("spans are closed via `with` or .end() in-scope; "
+               "start_span results are never discarded")
+
+    OPENERS = {"start_span", "begin_span"}
+
+    def _is_opener(self, node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.OPENERS)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._check_scope(ctx, ctx.tree)
+
+    def _child_statements(self, scope_node: ast.AST) -> Iterator[ast.AST]:
+        """Nodes lexically in this scope (not descending into functions)."""
+        stack = list(ast.iter_child_nodes(scope_node))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _check_scope(self, ctx: FileContext,
+                     scope_node: ast.AST) -> Iterator[Finding]:
+        scope = _Scope(scope_node)
+        for node in self._child_statements(scope_node):
+            # discarded result: an expression statement of a start_span call
+            if isinstance(node, ast.Expr) and self._is_opener(node.value):
+                yield ctx.finding(
+                    node, self.code,
+                    "start_span result discarded; open spans with `with` "
+                    "or keep the span and call .end()")
+            elif isinstance(node, ast.Assign) and self._is_opener(node.value):
+                if len(node.targets) == 1 and isinstance(node.targets[0],
+                                                         ast.Name):
+                    scope.opened[node.targets[0].id] = node
+            elif (isinstance(node, ast.FunctionDef)
+                  or isinstance(node, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, node)
+        for name, node in sorted(scope.opened.items(),
+                                 key=lambda kv: kv[1].lineno):
+            if not self._closed_or_escapes(scope_node, name, node):
+                yield ctx.finding(
+                    node, self.code,
+                    f"span `{name}` is opened but never closed in this "
+                    "scope: call .end(), use `with`, or hand it off "
+                    "explicitly")
+
+    def _closed_or_escapes(self, scope_node: ast.AST, name: str,
+                           assign: ast.AST) -> bool:
+        for node in ast.walk(scope_node):
+            if node is assign:
+                continue
+            # with name: ... / with name as alias: ...
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == name:
+                        return True
+            # name.end(...)
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "end"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name):
+                return True
+            # any other load of the name counts as an intentional hand-off
+            # (returned, yielded, passed as argument, aliased, stored)
+            if (isinstance(node, ast.Name) and node.id == name
+                    and isinstance(node.ctx, ast.Load)
+                    and not self._is_end_receiver(scope_node, node)):
+                return True
+        return False
+
+    @staticmethod
+    def _is_end_receiver(scope_node: ast.AST, target: ast.Name) -> bool:
+        """True when this Name load is exactly the ``x`` of ``x.end(...)``."""
+        for node in ast.walk(scope_node):
+            if (isinstance(node, ast.Attribute) and node.value is target
+                    and node.attr == "end"):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# RPR005 — broad exception handlers
+
+
+@register
+class BroadExcept(Rule):
+    """Broad handlers must re-raise or log, never swallow.
+
+    ``except Exception`` (or bare ``except:``) is allowed only when the
+    handler visibly re-raises (any ``raise``) or records the failure
+    through a logging-ish call (``logger.warning``, ``kernel.emit``, ...).
+    Silently eaten failures are how at-most-once bugs hide.
+    """
+
+    code = "RPR005"
+    name = "broad-except"
+    summary = "no `except Exception`/bare except without re-raise or logging"
+
+    BROAD = {"Exception", "BaseException"}
+    LOG_METHODS = {"debug", "info", "warning", "warn", "error", "exception",
+                   "critical", "log", "emit", "record"}
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> str | None:
+        if handler.type is None:
+            return "bare except"
+        candidates: list[ast.AST] = [handler.type]
+        if isinstance(handler.type, ast.Tuple):
+            candidates = list(handler.type.elts)
+        for node in candidates:
+            name = _dotted(node)
+            if name in self.BROAD:
+                return f"except {name}"
+        return None
+
+    def _handled(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self.LOG_METHODS):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            what = self._is_broad(node)
+            if what and not self._handled(node):
+                yield ctx.finding(
+                    node, self.code,
+                    f"{what} swallows failures silently; narrow the type, "
+                    "re-raise with context, or log the error")
+
+
+# ---------------------------------------------------------------------------
+# RPR006 — __all__ drift
+
+
+@register
+class AllDrift(Rule):
+    """``__all__`` matches what the module actually binds.
+
+    Three drifts are caught: entries that are not strings, duplicate
+    entries, and entries naming nothing the module defines or imports.
+    For package ``__init__`` files the reverse is also enforced: every
+    public name pulled in by a ``from x import y`` re-export must appear
+    in ``__all__`` (alias imports with a leading underscore to opt out).
+    """
+
+    code = "RPR006"
+    name = "all-drift"
+    summary = "__all__ entries resolve; package __init__ re-exports are listed"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        all_node: ast.Assign | None = None
+        exported: list[str] = []
+        bound: set[str] = set()
+        from_imported: dict[str, ast.AST] = {}
+        star_import = False
+        for node in tree.body:
+            for name in self._bound_names(node):
+                bound.add(name)
+            if isinstance(node, ast.ImportFrom):
+                if any(alias.name == "*" for alias in node.names):
+                    star_import = True
+                elif self._intra_package(node):
+                    for alias in node.names:
+                        from_imported[alias.asname or alias.name] = node
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == "__all__"):
+                all_node = node
+        if all_node is None or star_import:
+            return
+        if not isinstance(all_node.value, (ast.List, ast.Tuple)):
+            return
+        seen: set[str] = set()
+        for element in all_node.value.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                yield ctx.finding(element, self.code,
+                                  "__all__ entries must be string literals")
+                continue
+            name = element.value
+            exported.append(name)
+            if name in seen:
+                yield ctx.finding(element, self.code,
+                                  f"duplicate __all__ entry {name!r}")
+            seen.add(name)
+            if name not in bound:
+                yield ctx.finding(
+                    element, self.code,
+                    f"__all__ names {name!r} but the module neither "
+                    "defines nor imports it")
+        if ctx.path.replace("\\", "/").endswith("__init__.py"):
+            for name, node in from_imported.items():
+                if name.startswith("_") or name in seen:
+                    continue
+                yield ctx.finding(
+                    node, self.code,
+                    f"package __init__ imports {name!r} but does not "
+                    "export it in __all__ (add it, or alias it with a "
+                    "leading underscore)")
+
+    @staticmethod
+    def _intra_package(node: ast.ImportFrom) -> bool:
+        """Re-exports worth policing: relative or same-distribution imports.
+
+        ``from typing import Any`` in an ``__init__`` is a convenience
+        import, not an export; only the package's own modules count.
+        """
+        if node.level > 0:
+            return True
+        return (node.module or "").split(".")[0] == "repro"
+
+    @staticmethod
+    def _bound_names(node: ast.AST) -> Iterator[str]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            yield node.name
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.asname or alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    yield alias.asname or alias.name
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                yield from AllDrift._target_names(target)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target,
+                                                            ast.Name):
+            yield node.target.id
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from AllDrift._target_names(node.target)
+        elif isinstance(node, ast.If):
+            for sub in node.body + node.orelse:
+                yield from AllDrift._bound_names(sub)
+        elif isinstance(node, ast.Try):
+            for sub in node.body + node.orelse + node.finalbody:
+                yield from AllDrift._bound_names(sub)
+            for handler in node.handlers:
+                for sub in handler.body:
+                    yield from AllDrift._bound_names(sub)
+
+    @staticmethod
+    def _target_names(target: ast.AST) -> Iterator[str]:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from AllDrift._target_names(element)

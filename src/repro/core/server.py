@@ -229,8 +229,12 @@ class NTCPServer(GridService):
         try:
             fired = yield self.kernel.any_of([work, timer])
         except Exception as exc:
-            # The plugin itself raised: the transaction failed.
-            reason = f"plugin error: {exc}"
+            # The plugin itself raised — plugins wrap arbitrary back-ends,
+            # so any type can surface here; the transaction fails and the
+            # original error is chained onto the ProtocolError below.
+            reason = f"plugin error: {type(exc).__name__}: {exc}"
+            self.emit("plugin.error", transaction=txn.name,
+                      error=f"{type(exc).__name__}: {exc}")
             txn.transition(TransactionState.FAILED, self.kernel.now,
                            error=reason)
             self._count("failed")

@@ -155,7 +155,17 @@ class RpcService:
                 result = fn(caller, **req.params)
             finally:
                 tracer.activate(previous)
-        except Exception as exc:  # noqa: BLE001 - converted to wire error
+        except ReproError as exc:
+            # Expected protocol-level failures (policy rejections, state
+            # errors, ...) travel to the caller as wire errors.
+            reply(self._error_response(req, exc))
+            return
+        except Exception as exc:
+            # A handler bug is still converted to a wire error — the caller
+            # must not hang — but it is logged loudly first.
+            self.kernel.emit(self.name, "rpc.handler_error",
+                             method=req.method, request_id=req.request_id,
+                             error=f"{type(exc).__name__}: {exc}")
             reply(self._error_response(req, exc))
             return
         if hasattr(result, "send") and hasattr(result, "throw"):

@@ -82,6 +82,22 @@ class Span:
             self.tracer._finish(self)
         return self
 
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Close the span on scope exit; exceptions are recorded, not eaten.
+
+        For synchronous code, ``with tracer.start_span(...) as span:`` is
+        the preferred shape (the RPR004 lint rule enforces that spans are
+        closed); generator-based code keeps calling :meth:`end` explicitly
+        because a ``with`` block would close at the wrong time there.
+        """
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+        return False
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,

@@ -15,6 +15,7 @@ from repro.control import SimulationPlugin, make_displacement_actions
 from repro.nsds.stream import StreamSample
 from repro.structural import LinearSubstructure
 from repro.testing import make_site
+from repro.util.errors import ReproError
 
 
 class DataViewerMachine(RuleBasedStateMachine):
@@ -135,7 +136,9 @@ class LiveNTCPServerMachine(RuleBasedStateMachine):
         def go():
             try:
                 yield from self.env.client.execute(self.env.handle, name)
-            except Exception:
+            except ReproError:
+                # Invalid-state executes are expected; anything else
+                # (a genuine bug) must crash the machine.
                 pass
 
         self._drive(go())
@@ -149,7 +152,7 @@ class LiveNTCPServerMachine(RuleBasedStateMachine):
         def go():
             try:
                 yield from self.env.client.cancel(self.env.handle, name)
-            except Exception:
+            except ReproError:
                 pass
 
         self._drive(go())

@@ -161,6 +161,23 @@ class TestTracing:
         assert span.attrs == {"ok": True}
         assert sink.spans == [span]
 
+    def test_span_as_context_manager(self):
+        ticks = iter([0.0, 1.5])
+        hub = TelemetryHub(clock=lambda: next(ticks))
+        with hub.start_span("a.b.op", ok=True) as span:
+            pass
+        assert span.finished
+        assert span.duration == pytest.approx(1.5)
+        assert "error" not in span.attrs
+
+    def test_span_context_manager_records_exception(self):
+        hub = TelemetryHub(clock=lambda: 0.0)
+        with pytest.raises(ValueError):
+            with hub.start_span("a.b.op") as span:
+                raise ValueError("boom")
+        assert span.finished
+        assert span.attrs["error"] == "ValueError"
+
     def test_trace_context_roundtrip(self):
         ctx = TraceContext(trace_id="trace-9", span_id="span-4")
         assert TraceContext.from_dict(ctx.to_dict()) == ctx
@@ -410,7 +427,7 @@ class TestDeprecations:
         verdict = env.run(go())
         assert verdict.state == "accepted"  # attribute access: no warning
         with pytest.warns(DeprecationWarning, match="dict-style access"):
-            assert verdict["state"] == "accepted"
+            assert verdict["state"] == "accepted"  # noqa: RPR002 - shim test
         with pytest.warns(DeprecationWarning):
             assert verdict.get("missing", "dflt") == "dflt"
         with pytest.raises(KeyError):
@@ -430,4 +447,4 @@ class TestDeprecations:
         clone = type(outcome).from_dict(outcome.to_dict())
         assert clone == outcome
         with pytest.warns(DeprecationWarning):
-            assert outcome["readings"] == outcome.readings
+            assert outcome["readings"] == outcome.readings  # noqa: RPR002 - shim test
