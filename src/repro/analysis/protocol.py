@@ -66,7 +66,7 @@ def exported_plugins(module_name: str = DEFAULT_MODULE,
     findings: list[Finding] = []
     try:
         module = importlib.import_module(module_name)
-    except Exception as exc:  # noqa: RPR005 - reported as a finding
+    except Exception as exc:  # rerouted into the returned findings
         findings.append(Finding(
             path=module_name, line=1, col=0, code="RPR100",
             message=f"cannot import {module_name}: "

@@ -369,17 +369,21 @@ class SpanLifecycle(Rule):
 
 @register
 class BroadExcept(Rule):
-    """Broad handlers must re-raise or log, never swallow.
+    """Broad handlers must re-raise, log, or reroute, never swallow.
 
     ``except Exception`` (or bare ``except:``) is allowed only when the
-    handler visibly re-raises (any ``raise``) or records the failure
-    through a logging-ish call (``logger.warning``, ``kernel.emit``, ...).
-    Silently eaten failures are how at-most-once bugs hide.
+    handler visibly re-raises (any ``raise``), records the failure
+    through a logging-ish call (``logger.warning``, ``kernel.emit``, ...),
+    or is a *trampoline*: it binds the exception (``as exc``), hands that
+    object to a call (``self.fail(exc)``, ``report(Finding(..., exc))``)
+    and immediately leaves the handler — rerouting the failure, not
+    eating it.  Silently eaten failures are how at-most-once bugs hide.
     """
 
     code = "RPR005"
     name = "broad-except"
-    summary = "no `except Exception`/bare except without re-raise or logging"
+    summary = ("no `except Exception`/bare except without re-raise, "
+               "logging, or exception rerouting")
 
     BROAD = {"Exception", "BaseException"}
     LOG_METHODS = {"debug", "info", "warning", "warn", "error", "exception",
@@ -407,16 +411,47 @@ class BroadExcept(Rule):
                 return True
         return False
 
+    @staticmethod
+    def _is_trampoline(handler: ast.ExceptHandler) -> bool:
+        """True for handlers that reroute the bound exception object.
+
+        Shape: ``except ... as exc`` whose body passes ``exc`` into some
+        call and ends by leaving the handler (``return`` / ``continue`` /
+        ``break``).  The kernel's process trampoline is the canonical
+        case — its whole job is capturing a process's failure and routing
+        it into the event graph (``self.fail(exc)``); a handler that
+        re-packages the exception into a finding/result object the caller
+        receives is the same pattern.
+        """
+        if not handler.name or not handler.body:
+            return False
+        if not isinstance(handler.body[-1],
+                          (ast.Return, ast.Continue, ast.Break)):
+            return False
+        for node in ast.walk(handler):
+            if not isinstance(node, ast.Call):
+                continue
+            passed = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in passed:
+                for leaf in ast.walk(arg):
+                    if (isinstance(leaf, ast.Name)
+                            and leaf.id == handler.name
+                            and isinstance(leaf.ctx, ast.Load)):
+                        return True
+        return False
+
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
             what = self._is_broad(node)
-            if what and not self._handled(node):
+            if (what and not self._handled(node)
+                    and not self._is_trampoline(node)):
                 yield ctx.finding(
                     node, self.code,
                     f"{what} swallows failures silently; narrow the type, "
-                    "re-raise with context, or log the error")
+                    "re-raise with context, log the error, or reroute the "
+                    "bound exception and leave the handler")
 
 
 # ---------------------------------------------------------------------------

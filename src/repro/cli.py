@@ -4,6 +4,8 @@ Subcommands map to the experiments a user most often wants to replay:
 
 * ``most`` — run a MOST scenario (dry/public/ft/sim-only) and print the
   §3.4-style summary row;
+* ``resume`` — the public run with checkpoints: abort at the fatal step,
+  reconcile, resume, and verify the merged histories;
 * ``mini-most`` — run the tabletop rig (optionally on the kinetic
   simulator);
 * ``followon`` — run one of the §5 experiments;
@@ -53,6 +55,37 @@ def _cmd_most(args: argparse.Namespace) -> int:
         print("  roof drift          : "
               + sparkline(r.displacement_history().ravel(), width=60))
     return 0 if (r.completed or args.scenario == "public") else 1
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.most import MOSTConfig, run_public_with_resume
+
+    config = MOSTConfig()
+    if args.steps != 1500:
+        config = config.scaled(args.steps)
+    report = run_public_with_resume(
+        config, run_id=args.run_id, checkpoint_every=args.checkpoint_every)
+    r = report.result
+    aborted = report.extras.get("aborted_result")
+    if aborted is not None:
+        print(f"MOST resume ({args.run_id}): aborted at step "
+              f"{aborted.aborted_at_step} with {aborted.steps_completed} "
+              "steps committed")
+    else:
+        print(f"MOST resume ({args.run_id}): first incarnation never "
+              "aborted; nothing to reconcile")
+    reconciliation = report.extras.get("reconciliation")
+    if reconciliation is not None:
+        for line in reconciliation.rows():
+            print(f"  {line}")
+    status = ("completed" if r.completed
+              else f"exited prematurely at step {r.aborted_at_step}")
+    print(f"  merged result       : {r.steps_completed}/{r.target_steps} "
+          f"steps, {status}")
+    print(f"  checkpoints written : {report.extras.get('checkpoints', 0)}")
+    print(f"  NTCP retransmissions: {report.ntcp_retries}; "
+          f"step-level recoveries: {r.recoveries}")
+    return 0 if r.completed else 1
 
 
 def _cmd_mini_most(args: argparse.Namespace) -> int:
@@ -149,6 +182,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_most.add_argument("--plot", action="store_true",
                         help="sparkline the response")
     p_most.set_defaults(fn=_cmd_most)
+
+    p_resume = sub.add_parser(
+        "resume", help="abort the public run, then resume from checkpoints")
+    p_resume.add_argument("run_id", nargs="?", default="most-resume",
+                          help="experiment run id (default: most-resume)")
+    p_resume.add_argument("--steps", type=int, default=1500,
+                          help="record length (default: the paper's 1500)")
+    p_resume.add_argument("--checkpoint-every", type=int, default=25,
+                          help="checkpoint period in steps (default: 25)")
+    p_resume.set_defaults(fn=_cmd_resume)
 
     p_mini = sub.add_parser("mini-most", help="run Mini-MOST (§3.5)")
     p_mini.add_argument("--steps", type=int, default=200)

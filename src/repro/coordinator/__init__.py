@@ -15,7 +15,11 @@ lost network connections or invalid responses."
   :class:`NaiveFaultPolicy` reproduces the public MOST run (the coordinator
   "had not been coded to take advantage of all the fault-tolerance
   features"), :class:`FaultTolerantFaultPolicy` retries steps through
-  transient failures.
+  transient failures;
+* :class:`~repro.coordinator.state.ExperimentState` — the serializable
+  step-machine state checkpoints persist;
+* :class:`~repro.coordinator.reconcile.Reconciler` — the resume-time pass
+  that classifies the aborted attempt's in-flight transactions.
 """
 
 from repro.coordinator.fault_policy import (
@@ -24,6 +28,16 @@ from repro.coordinator.fault_policy import (
     NaiveFaultPolicy,
 )
 from repro.coordinator.records import ExperimentResult, StepRecord
+from repro.coordinator.state import (
+    ExperimentState,
+    records_from_payloads,
+    resume_state_from_checkpoint,
+)
+from repro.coordinator.reconcile import (
+    ReconcileAction,
+    ReconciliationReport,
+    Reconciler,
+)
 from repro.coordinator.mspsds import SimulationCoordinator, SiteBinding
 from repro.coordinator.toolbox import NTCPToolbox
 from repro.coordinator.realtime import RealTimeCoordinator, RealTimeStats
@@ -39,4 +53,10 @@ __all__ = [
     "FaultTolerantFaultPolicy",
     "StepRecord",
     "ExperimentResult",
+    "ExperimentState",
+    "records_from_payloads",
+    "resume_state_from_checkpoint",
+    "Reconciler",
+    "ReconcileAction",
+    "ReconciliationReport",
 ]

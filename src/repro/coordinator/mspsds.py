@@ -1,35 +1,68 @@
 """The MS-PSDS stepping loop over NTCP.
 
-Per time step the coordinator (paper Figure 5 / §3):
+Per time step the coordinator (paper Figure 5 / §3) drives an explicit
+state machine::
 
-1. computes the next displacement from the central-difference
-   pseudo-dynamic integrator (force data feeds the computational model,
-   "the correct displacements were calculated and sent to the ... test
-   sites");
-2. *proposes* one transaction per site, so every site can veto before
+    INTEGRATE -> PROPOSE -> EXECUTE -> COMMIT
+
+1. **INTEGRATE** — compute the next displacement from the pseudo-dynamic
+   integrator (force data feeds the computational model, "the correct
+   displacements were calculated and sent to the ... test sites");
+2. **PROPOSE** — one transaction per site, so every site can veto before
    anything moves;
-3. *executes* all transactions in parallel and collects measured forces;
-4. assembles the global restoring force and commits the step.
+3. **EXECUTE** — all transactions in parallel; collect measured forces;
+4. **COMMIT** — assemble the global restoring force and advance the
+   integrator.
+
+The machine's position lives in a serializable
+:class:`~repro.coordinator.state.ExperimentState` (next step index,
+committed integrator snapshot, pending transaction names).  With a
+:mod:`checkpoint store <repro.repository.checkpoint>` attached, the state
+plus the unflushed :class:`StepRecord` tail is persisted every N committed
+steps and, best-effort, at abort time — so an aborted run resumes instead
+of restarting: a new coordinator built from the checkpoint replays
+committed-but-unpersisted steps through NTCP's idempotent propose/execute
+(the servers return stored outcomes without touching specimens) and
+reconciles the in-flight step via
+:class:`~repro.coordinator.reconcile.Reconciler`.
 
 Failures surface here as exceptions from the NTCP client; the configured
 :class:`~repro.coordinator.fault_policy.FaultPolicy` decides retry vs
-abort.  Retries reuse the same transaction names, so NTCP's at-most-once
-semantics guarantee no step is ever applied twice to a physical specimen.
+abort.  Retries and resumes reuse the same transaction names, so NTCP's
+at-most-once semantics guarantee no step is ever applied twice to a
+physical specimen — even across a coordinator restart.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.coordinator.fault_policy import FaultPolicy, NaiveFaultPolicy
+from repro.coordinator.reconcile import (
+    ACTION_CANCEL,
+    ACTION_HARVEST,
+    ACTION_REPROPOSE,
+    Reconciler,
+    ReconciliationReport,
+)
 from repro.coordinator.records import ExperimentResult, StepRecord
+from repro.coordinator.state import (
+    PHASE_COMMIT,
+    PHASE_EXECUTE,
+    PHASE_IDLE,
+    PHASE_INTEGRATE,
+    PHASE_PROPOSE,
+    ExperimentState,
+    record_to_payload,
+)
 from repro.core.client import NTCPClient
 from repro.core.messages import ProposalVerdict
 from repro.control.actions import make_displacement_actions
 from repro.net.rpc import RpcError
 from repro.ogsi.handle import GridServiceHandle
+from repro.repository.checkpoint import CheckpointPolicy, build_checkpoint_doc
 from repro.structural.ground_motion import GroundMotion
 from repro.structural.integrators import CentralDifferencePSD
 from repro.structural.model import StructuralModel
@@ -64,6 +97,16 @@ class SimulationCoordinator:
         execution_timeout: per-transaction execution budget sent to sites.
         on_step: optional callback invoked with each committed
             :class:`StepRecord` (used to feed NSDS/CHEF streaming).
+        checkpoint_store: optional
+            :class:`~repro.repository.checkpoint.CheckpointStoreBase`;
+            when set, experiment state is persisted per ``checkpoint_policy``.
+        checkpoint_policy: when to checkpoint (default: every 50 steps,
+            plus a best-effort checkpoint while aborting).
+        state: a prepared resume state (see
+            :func:`~repro.coordinator.state.resume_state_from_checkpoint`);
+            ``None`` starts a fresh run.
+        prior_records: the committed steps recovered from checkpoints,
+            prepended to this incarnation's result.
     """
 
     def __init__(self, *, run_id: str, client: NTCPClient,
@@ -73,7 +116,11 @@ class SimulationCoordinator:
                  execution_timeout: float = 60.0,
                  negotiation_barrier: bool = True,
                  integrator_factory: Callable | None = None,
-                 on_step: Callable[[StepRecord], None] | None = None):
+                 on_step: Callable[[StepRecord], None] | None = None,
+                 checkpoint_store=None,
+                 checkpoint_policy: CheckpointPolicy | None = None,
+                 state: ExperimentState | None = None,
+                 prior_records: Sequence[StepRecord] = ()):
         if not sites:
             raise ConfigurationError("coordinator needs at least one site")
         covered = set()
@@ -97,6 +144,32 @@ class SimulationCoordinator:
         #: rejection leaves other specimens already moved.
         self.negotiation_barrier = negotiation_barrier
         self.on_step = on_step
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_policy = checkpoint_policy or CheckpointPolicy()
+        if state is None:
+            self.state = ExperimentState(run_id=run_id,
+                                         target_steps=motion.n_steps - 1,
+                                         dt=motion.dt)
+        else:
+            if state.run_id != run_id:
+                raise ConfigurationError(
+                    f"resume state is for run {state.run_id!r}, "
+                    f"coordinator is {run_id!r}")
+            if (state.target_steps != motion.n_steps - 1
+                    or not np.isclose(state.dt, motion.dt)):
+                raise ConfigurationError(
+                    "resume state does not match the configured motion "
+                    f"record (state: {state.target_steps} steps @ "
+                    f"{state.dt}; motion: {motion.n_steps - 1} @ "
+                    f"{motion.dt})")
+            if state.generation > 0 and state.integrator is None:
+                raise ConfigurationError(
+                    "resume state carries no integrator snapshot")
+            self.state = state
+        self.prior_records = list(prior_records)
+        self.last_reconciliation: ReconciliationReport | None = None
+        self._records_flushed = 0
+        self._txn_overrides: dict[tuple[int, str], str] = {}
         self.kernel = client.rpc.kernel
         telemetry = self.kernel.telemetry
         self._tracer = telemetry.tracer
@@ -106,14 +179,35 @@ class SimulationCoordinator:
                                              run_id=run_id)
         self._tm_step_time = telemetry.histogram("coordinator.mspsds.step_time",
                                                  run_id=run_id)
+        self._tm_ckpt_writes = telemetry.counter(
+            "coordinator.checkpoint.writes", run_id=run_id)
+        self._tm_ckpt_time = telemetry.histogram(
+            "coordinator.checkpoint.write_time", run_id=run_id)
+        self._tm_resumes = telemetry.counter("coordinator.resume.resumes",
+                                             run_id=run_id)
+        self._tm_harvested = telemetry.counter("coordinator.resume.harvested",
+                                               run_id=run_id)
+        self._tm_cancelled = telemetry.counter("coordinator.resume.cancelled",
+                                               run_id=run_id)
+        self._tm_reproposed = telemetry.counter(
+            "coordinator.resume.reproposed", run_id=run_id)
+        self._tm_replayed = telemetry.counter("coordinator.resume.replayed",
+                                              run_id=run_id)
         #: any object with the start/propose_next/commit stepping API
         #: (CentralDifferencePSD for MOST; AlphaOSPSD for stiff structures
         #: whose frequencies exceed the explicit stability limit).
         factory = integrator_factory or CentralDifferencePSD
         self.integrator = factory(model, motion.dt)
+        self._integrator_started = False
+        if self.state.integrator is not None:
+            self.integrator.restore(self.state.integrator)
+            self._integrator_started = True
 
     # -- helpers -----------------------------------------------------------
     def _txn_name(self, step: int, site: SiteBinding) -> str:
+        override = self._txn_overrides.get((step, site.name))
+        if override is not None:
+            return override
         return f"{self.run_id}-step{step:05d}-{site.name}"
 
     def _site_targets(self, site: SiteBinding,
@@ -163,6 +257,13 @@ class SimulationCoordinator:
             propose_span.end(ok=False)
             raise
 
+        if self.state.generation and all(v.state == "executed"
+                                         for v in verdicts.values()):
+            # Every site already holds this step's outcome: the resumed
+            # coordinator is replaying a committed-but-unpersisted step
+            # through the idempotent paths; no specimen will move.
+            self._tm_replayed.inc()
+
         rejected = [name for name, v in verdicts.items()
                     if v.state not in ("accepted", "executed", "executing")]
         if rejected:
@@ -180,6 +281,7 @@ class SimulationCoordinator:
                 f"{verdicts[name].error or ''}")
         propose_span.end(ok=True)
 
+        self.state.phase = PHASE_EXECUTE
         results: dict[str, dict[int, float]] = {}
         execute_span = self._tracer.start_span(
             "coordinator.step.execute", parent=ctx, step=step)
@@ -263,23 +365,78 @@ class SimulationCoordinator:
                     yield self.kernel.timeout(decision.delay)
                     wait_span.end()
 
-    # -- the experiment ------------------------------------------------------
-    def run(self):
-        """Kernel process: execute the full record; returns the result.
+    # -- checkpointing -------------------------------------------------------
+    def _write_checkpoint(self, result: ExperimentResult, reason: str):
+        """Kernel process: persist state + unflushed record tail.
 
-        Never raises for step failures — aborts are recorded in the result
-        (``completed=False``), matching how MOST's premature exit was itself
-        a recorded outcome, not a crash.
+        Best-effort by design — a checkpoint that cannot reach the
+        repository is reported (``checkpoint.failed``) but never kills or
+        perturbs the experiment.
         """
-        result = ExperimentResult(run_id=self.run_id,
-                                  target_steps=self.motion.n_steps - 1,
-                                  dt=self.motion.dt,
-                                  wall_started=self.kernel.now)
-        self.kernel.emit(f"coordinator.{self.run_id}", "experiment.started",
-                         steps=result.target_steps, sites=len(self.sites))
+        seq = self.state.checkpoint_seq + 1
+        self.state.integrator = self.integrator.snapshot()
+        state_payload = self.state.to_payload()
+        state_payload["checkpoint_seq"] = seq
+        tail = result.steps[self._records_flushed:]
+        doc = build_checkpoint_doc(
+            run_id=self.run_id, seq=seq, wall_time=self.kernel.now,
+            reason=reason, state_payload=state_payload,
+            record_payloads=[record_to_payload(r) for r in tail])
+        span = self._tracer.start_span("coordinator.checkpoint.write",
+                                       run_id=self.run_id, seq=seq,
+                                       reason=reason)
+        started = self.kernel.now
+        try:
+            yield from self.checkpoint_store.save(doc)
+        except (RpcError, ReproError) as exc:
+            span.end(ok=False)
+            self.kernel.emit(f"coordinator.{self.run_id}", "checkpoint.failed",
+                             seq=seq, reason=reason, error=str(exc))
+            return
+        span.end(ok=True)
+        self.state.checkpoint_seq = seq
+        self._records_flushed = len(result.steps)
+        self._tm_ckpt_writes.inc()
+        self._tm_ckpt_time.observe(self.kernel.now - started)
+
+    def _maybe_checkpoint(self, result: ExperimentResult, *, reason: str,
+                          force: bool = False):
+        if self.checkpoint_store is None or not self._integrator_started:
+            return
+        committed = self.state.step - 1
+        if not force and not self.checkpoint_policy.due(committed):
+            return
+        yield from self._write_checkpoint(result, reason)
+
+    def _abort_checkpoint(self, result: ExperimentResult):
+        """The best-effort final checkpoint while aborting.
+
+        Captures the in-flight step's pending transaction names so the
+        resume-time reconciliation can probe exactly what was on the wire.
+        """
+        if (self.checkpoint_store is None
+                or not self.checkpoint_policy.on_abort
+                or not self._integrator_started):
+            return
+        yield from self._write_checkpoint(result, "abort")
+
+    # -- lifecycle -----------------------------------------------------------
+    def _record_abort(self, result: ExperimentResult, step: int,
+                      reason: str) -> None:
+        result.aborted_reason = reason
+        result.aborted_at_step = step
+        result.wall_finished = self.kernel.now
+        self.kernel.emit(f"coordinator.{self.run_id}", "experiment.aborted",
+                         step=step, error=reason)
+
+    def _initialize(self, result: ExperimentResult):
+        """Step 0: measure forces at rest and start the integrator."""
         d0 = np.zeros(self.model.n_dof)
         init_span = self._tracer.start_span("coordinator.step",
                                             run_id=self.run_id, step=0)
+        self.state.phase = PHASE_PROPOSE
+        self.state.pending = {site.name: self._txn_name(0, site)
+                              for site in self.sites}
         try:
             forces0, _ = yield from self._attempt_with_policy(0, d0, result,
                                                               init_span)
@@ -288,73 +445,145 @@ class SimulationCoordinator:
             result.aborted_reason = f"initialization failed: {exc}"
             result.aborted_at_step = 0
             result.wall_finished = self.kernel.now
-            return result
+            return False
         init_span.end(ok=True)
         r0 = self._assemble_forces(forces0)
         self.integrator.start(
             r0=r0, p0=self.model.external_force(self.motion.accel[0]))
+        self._integrator_started = True
+        self.state.pending = {}
+        self.state.phase = PHASE_IDLE
+        self.state.step = 1
+        yield from self._maybe_checkpoint(result, reason="policy")
+        return True
 
-        for step in range(1, self.motion.n_steps):
-            wall_started = self.kernel.now
-            # The step span and its contiguous phase children (integrate →
-            # propose → execute → commit, plus retry_wait on faults) are the
-            # paper's Figure-5 step-time breakdown: phase durations sum to
-            # the step's wall time on the sim clock.
-            step_span = self._tracer.start_span("coordinator.step",
-                                                run_id=self.run_id, step=step)
-            integrate_span = self._tracer.start_span(
-                "coordinator.step.integrate", parent=step_span, step=step)
-            try:
-                d_next = self.integrator.propose_next()
-                if not np.all(np.isfinite(d_next)):
-                    raise FloatingPointError("non-finite displacement")
-            except (ValueError, FloatingPointError) as exc:
-                # Numerical divergence (e.g. an explicit integrator past
-                # its stability limit) ends the experiment, it does not
-                # crash the coordinator.
-                integrate_span.end(ok=False)
-                step_span.end(ok=False)
-                result.aborted_reason = f"integrator diverged: {exc}"
-                result.aborted_at_step = step
-                result.wall_finished = self.kernel.now
-                self.kernel.emit(f"coordinator.{self.run_id}",
-                                 "experiment.aborted", step=step,
-                                 error=result.aborted_reason)
+    def _resume(self, result: ExperimentResult):
+        """Re-enter the step machine after a coordinator restart."""
+        result.steps.extend(self.prior_records)
+        self._records_flushed = len(result.steps)
+        self._tm_resumes.inc()
+        self.kernel.emit(f"coordinator.{self.run_id}", "experiment.resumed",
+                         step=self.state.step,
+                         generation=self.state.generation,
+                         prior_steps=len(self.prior_records))
+        reconciler = Reconciler(client=self.client, sites=self.sites,
+                                state=self.state, tracer=self._tracer)
+        report = yield from reconciler.run()
+        self.last_reconciliation = report
+        for action in report.actions:
+            self._txn_overrides[(self.state.step, action.site)] = (
+                action.transaction)
+            if action.action == ACTION_HARVEST:
+                self._tm_harvested.inc()
+            elif action.action == ACTION_CANCEL:
+                self._tm_cancelled.inc()
+            elif action.action == ACTION_REPROPOSE:
+                self._tm_reproposed.inc()
+        self.state.pending = {}
+        self.state.phase = PHASE_IDLE
+        return True
+
+    def _run_one_step(self, result: ExperimentResult):
+        """One full INTEGRATE → PROPOSE → EXECUTE → COMMIT cycle."""
+        step = self.state.step
+        wall_started = self.kernel.now
+        # The step span and its contiguous phase children (integrate →
+        # propose → execute → commit, plus retry_wait on faults) are the
+        # paper's Figure-5 step-time breakdown: phase durations sum to
+        # the step's wall time on the sim clock.  Checkpoint spans live
+        # *outside* the step span for the same reason.
+        step_span = self._tracer.start_span("coordinator.step",
+                                            run_id=self.run_id, step=step)
+        self.state.phase = PHASE_INTEGRATE
+        integrate_span = self._tracer.start_span(
+            "coordinator.step.integrate", parent=step_span, step=step)
+        try:
+            d_next = self.integrator.propose_next()
+            if not np.all(np.isfinite(d_next)):
+                raise FloatingPointError("non-finite displacement")
+        except (ValueError, FloatingPointError) as exc:
+            # Numerical divergence (e.g. an explicit integrator past
+            # its stability limit) ends the experiment, it does not
+            # crash the coordinator.
+            integrate_span.end(ok=False)
+            step_span.end(ok=False)
+            self._record_abort(result, step, f"integrator diverged: {exc}")
+            return False
+        integrate_span.end()
+        self.state.phase = PHASE_PROPOSE
+        self.state.pending = {site.name: self._txn_name(step, site)
+                              for site in self.sites}
+        try:
+            forces, attempts = yield from self._attempt_with_policy(
+                step, d_next, result, step_span)
+        except (RpcError, ReproError) as exc:
+            step_span.end(ok=False)
+            self._record_abort(result, step, str(exc))
+            return False
+        self.state.phase = PHASE_COMMIT
+        commit_span = self._tracer.start_span(
+            "coordinator.step.commit", parent=step_span, step=step)
+        r_next = self._assemble_forces(forces)
+        p_next = self.model.external_force(self.motion.accel[step])
+        self.integrator.commit(d_next, r_next, p_next)
+        record = StepRecord(step=step, model_time=step * self.motion.dt,
+                            displacement=d_next.copy(),
+                            restoring_force=r_next,
+                            site_forces=forces, attempts=attempts,
+                            wall_started=wall_started,
+                            wall_finished=self.kernel.now)
+        result.steps.append(record)
+        if self.on_step is not None:
+            self.on_step(record)
+        commit_span.end()
+        step_span.end(ok=True, attempts=attempts)
+        self._tm_steps.inc()
+        self._tm_step_time.observe(record.wall_finished - wall_started)
+        self.state.pending = {}
+        self.state.phase = PHASE_IDLE
+        self.state.step = step + 1
+        yield from self._maybe_checkpoint(result, reason="policy")
+        return True
+
+    # -- the experiment ------------------------------------------------------
+    def run(self):
+        """Kernel process: execute the full record; returns the result.
+
+        Never raises for step failures — aborts are recorded in the result
+        (``completed=False``), matching how MOST's premature exit was itself
+        a recorded outcome, not a crash.  A resumed coordinator
+        (``state.generation > 0``) reconciles the aborted attempt first,
+        then continues from the checkpointed step; its result contains the
+        prior incarnations' records too, so histories merge seamlessly.
+        """
+        resumed = self.state.generation > 0
+        result = ExperimentResult(run_id=self.run_id,
+                                  target_steps=self.state.target_steps,
+                                  dt=self.motion.dt,
+                                  wall_started=(self.state.wall_started
+                                                if resumed
+                                                else self.kernel.now))
+        if resumed:
+            ok = yield from self._resume(result)
+        else:
+            self.state.wall_started = result.wall_started
+            self.kernel.emit(f"coordinator.{self.run_id}",
+                             "experiment.started",
+                             steps=result.target_steps,
+                             sites=len(self.sites))
+            ok = yield from self._initialize(result)
+        if not ok:
+            yield from self._abort_checkpoint(result)
+            return result
+        while self.state.step <= self.state.target_steps:
+            ok = yield from self._run_one_step(result)
+            if not ok:
+                yield from self._abort_checkpoint(result)
                 return result
-            integrate_span.end()
-            try:
-                forces, attempts = yield from self._attempt_with_policy(
-                    step, d_next, result, step_span)
-            except (RpcError, ReproError) as exc:
-                step_span.end(ok=False)
-                result.aborted_reason = str(exc)
-                result.aborted_at_step = step
-                result.wall_finished = self.kernel.now
-                self.kernel.emit(f"coordinator.{self.run_id}",
-                                 "experiment.aborted", step=step,
-                                 error=str(exc))
-                return result
-            commit_span = self._tracer.start_span(
-                "coordinator.step.commit", parent=step_span, step=step)
-            r_next = self._assemble_forces(forces)
-            p_next = self.model.external_force(self.motion.accel[step])
-            self.integrator.commit(d_next, r_next, p_next)
-            record = StepRecord(step=step, model_time=step * self.motion.dt,
-                                displacement=d_next.copy(),
-                                restoring_force=r_next,
-                                site_forces=forces, attempts=attempts,
-                                wall_started=wall_started,
-                                wall_finished=self.kernel.now)
-            result.steps.append(record)
-            if self.on_step is not None:
-                self.on_step(record)
-            commit_span.end()
-            step_span.end(ok=True, attempts=attempts)
-            self._tm_steps.inc()
-            self._tm_step_time.observe(record.wall_finished - wall_started)
         result.completed = True
         result.wall_finished = self.kernel.now
         self.kernel.emit(f"coordinator.{self.run_id}", "experiment.completed",
                          steps=result.steps_completed,
                          wall=result.wall_duration)
+        yield from self._maybe_checkpoint(result, reason="final", force=True)
         return result

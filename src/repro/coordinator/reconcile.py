@@ -1,0 +1,177 @@
+"""Resume-time reconciliation of the aborted attempt's transactions.
+
+When a coordinator dies mid-step, each site's NTCP server is left holding
+that step's transaction in whatever state it reached: maybe never heard of
+it, maybe accepted and waiting, maybe executed with results the dead
+coordinator never collected.  Before a resumed coordinator re-enters the
+stepping loop it probes every site with ``getTransaction`` /
+``getResults`` and classifies (PROTOCOL.md §7):
+
+* ``executed`` / ``executing`` — the specimen already moved (or is
+  moving).  **Harvest**: keep the original transaction name; the step
+  loop's idempotent propose/execute then returns the stored outcome
+  without touching the specimen — at-most-once holds across the restart.
+* ``proposed`` / ``accepted`` — in doubt (the proposal may expire before
+  the resumed attempt executes).  **Cancel** it and switch to a
+  generation-suffixed replacement name: cancelled names are burned
+  server-side (re-proposing one reports ``cancelled`` forever).
+* ``cancelled`` / ``failed`` / ``rejected`` — the name is burned.
+  **Rename** to the generation-suffixed replacement.
+* unknown (the server never saw the propose) — **re-propose** under the
+  original name.
+* site unreachable — **keep** the original name and let the step loop's
+  fault policy deal with the site; every outcome above remains reachable
+  once it answers.
+
+The pass never mutates specimens: it only reads transaction state, issues
+cancels, and picks names.  RNG-free by construction (RPR001).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.client import NTCPClient
+from repro.net.rpc import RemoteException, RpcError
+from repro.util.errors import ReproError
+
+#: Classification outcomes (the ``action`` field of a ReconcileAction).
+ACTION_HARVEST = "harvest"
+ACTION_CANCEL = "cancel"
+ACTION_RENAME = "rename"
+ACTION_REPROPOSE = "repropose"
+ACTION_KEEP = "keep"
+
+
+@dataclass(frozen=True)
+class ReconcileAction:
+    """One site's classification for the in-flight step."""
+
+    site: str
+    transaction: str       #: the transaction name the next attempt will use
+    observed: str          #: server-side state seen (or "unknown"/"unreachable")
+    action: str
+    detail: str = ""
+
+
+@dataclass
+class ReconciliationReport:
+    """Everything the reconciliation pass decided."""
+
+    run_id: str
+    step: int
+    generation: int
+    actions: list[ReconcileAction] = field(default_factory=list)
+
+    def count(self, action: str) -> int:
+        return sum(1 for a in self.actions if a.action == action)
+
+    @property
+    def harvested(self) -> int:
+        return self.count(ACTION_HARVEST)
+
+    @property
+    def cancelled(self) -> int:
+        return self.count(ACTION_CANCEL)
+
+    @property
+    def reproposed(self) -> int:
+        return self.count(ACTION_REPROPOSE)
+
+    def overrides(self) -> dict[str, str]:
+        """``{site: transaction_name}`` for the in-flight step's retry."""
+        return {a.site: a.transaction for a in self.actions}
+
+    def rows(self) -> list[str]:
+        """Human-readable classification table (CLI / example output)."""
+        return [f"{a.site:<8} {a.observed:<12} -> {a.action:<10} "
+                f"{a.transaction}" for a in self.actions]
+
+
+class Reconciler:
+    """Probes every site and classifies the aborted step's transactions."""
+
+    def __init__(self, *, client: NTCPClient, sites, state, tracer):
+        self.client = client
+        self.sites = list(sites)
+        self.state = state
+        self._tracer = tracer
+
+    def _probe_name(self, site) -> str:
+        pending = self.state.pending.get(site.name)
+        if pending:
+            return pending
+        # No abort-time checkpoint captured the in-flight names; fall back
+        # to the deterministic base naming scheme.
+        return f"{self.state.run_id}-step{self.state.step:05d}-{site.name}"
+
+    def _replacement(self, name: str) -> str:
+        return f"{name}-r{self.state.generation}"
+
+    def run(self):
+        """Kernel process: classify every site; returns the report."""
+        state = self.state
+        report = ReconciliationReport(run_id=state.run_id, step=state.step,
+                                      generation=state.generation)
+        span = self._tracer.start_span("coordinator.resume.reconcile",
+                                       run_id=state.run_id, step=state.step,
+                                       generation=state.generation)
+        for site in self.sites:
+            action = yield from self._classify_site(site)
+            report.actions.append(action)
+        span.end(harvested=report.harvested, cancelled=report.cancelled,
+                 reproposed=report.reproposed)
+        return report
+
+    def _classify_site(self, site):
+        name = self._probe_name(site)
+        try:
+            sde = yield from self.client.get_transaction(site.handle, name)
+        except RemoteException as exc:
+            if exc.remote_type == "ProtocolError":
+                # The server never saw the propose: the name is fresh.
+                return ReconcileAction(site=site.name, transaction=name,
+                                       observed="unknown",
+                                       action=ACTION_REPROPOSE)
+            return ReconcileAction(site=site.name, transaction=name,
+                                   observed="error", action=ACTION_KEEP,
+                                   detail=str(exc))
+        except (RpcError, ReproError) as exc:
+            # Site still down: keep the name; the fault policy owns retry.
+            return ReconcileAction(site=site.name, transaction=name,
+                                   observed="unreachable",
+                                   action=ACTION_KEEP, detail=str(exc))
+        observed = str(sde.get("state", "unknown"))
+        if observed in ("executed", "executing"):
+            detail = ""
+            if observed == "executed":
+                # Harvest eagerly so the results are known collectable;
+                # the step loop will fetch them again idempotently.
+                try:
+                    outcome = yield from self.client.get_results(site.handle,
+                                                                 name)
+                    detail = f"results collected ({len(outcome.readings)} " \
+                             "reading(s))"
+                except (RpcError, ReproError) as exc:
+                    detail = f"results pending: {exc}"
+            return ReconcileAction(site=site.name, transaction=name,
+                                   observed=observed, action=ACTION_HARVEST,
+                                   detail=detail)
+        if observed in ("proposed", "accepted"):
+            replacement = self._replacement(name)
+            try:
+                yield from self.client.cancel(site.handle, name)
+            except (RpcError, ReproError) as exc:
+                # Raced with expiry or a state change; the name is in
+                # doubt either way — still switch to the replacement.
+                return ReconcileAction(site=site.name,
+                                       transaction=replacement,
+                                       observed=observed,
+                                       action=ACTION_CANCEL,
+                                       detail=f"cancel failed: {exc}")
+            return ReconcileAction(site=site.name, transaction=replacement,
+                                   observed=observed, action=ACTION_CANCEL)
+        # cancelled / failed / rejected: the name is burned server-side.
+        return ReconcileAction(site=site.name,
+                               transaction=self._replacement(name),
+                               observed=observed, action=ACTION_RENAME)

@@ -1,0 +1,180 @@
+"""Serializable experiment lifecycle state.
+
+The coordinator's stepping loop is an explicit state machine — each step
+passes through ``INTEGRATE → PROPOSE → EXECUTE → COMMIT`` — and the whole
+machine is captured by :class:`ExperimentState`: the next step index, the
+committed integrator state, the pending transaction names of the in-flight
+step, and enough run metadata to validate a resume against the original
+configuration.  The state is **RNG-free by construction**: nothing here
+samples randomness or reads the wall clock, so restoring it cannot perturb
+a run's physics (RPR001 enforces this for the whole coordinator package).
+
+Float payloads round-trip **exactly** via ``float.hex()`` — including
+``-0.0`` and denormals — so a resumed run is bit-identical to an
+uninterrupted one, not merely close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coordinator.records import StepRecord
+from repro.util.errors import ConfigurationError
+
+#: Step-machine phases.  ``IDLE`` is the between-steps resting state that
+#: checkpoints record; the other four are the in-step progression.
+PHASE_IDLE = "idle"
+PHASE_INTEGRATE = "integrate"
+PHASE_PROPOSE = "propose"
+PHASE_EXECUTE = "execute"
+PHASE_COMMIT = "commit"
+PHASES = (PHASE_IDLE, PHASE_INTEGRATE, PHASE_PROPOSE, PHASE_EXECUTE,
+          PHASE_COMMIT)
+
+
+def encode_floats(values) -> list[str]:
+    """Lossless hex encoding of a 1-D float vector."""
+    return [float(v).hex() for v in np.asarray(values, dtype=float).ravel()]
+
+
+def decode_floats(values) -> np.ndarray:
+    """Inverse of :func:`encode_floats`; bit-exact."""
+    return np.array([float.fromhex(v) for v in values], dtype=float)
+
+
+def encode_integrator(snapshot: dict | None) -> dict | None:
+    """Integrator snapshot (ndarray-valued) → JSON-safe payload."""
+    if snapshot is None:
+        return None
+    return {
+        "kind": str(snapshot["kind"]),
+        "step_index": int(snapshot["step_index"]),
+        "arrays": {name: encode_floats(vec)
+                   for name, vec in snapshot["arrays"].items()},
+    }
+
+
+def decode_integrator(payload: dict | None) -> dict | None:
+    """JSON payload → snapshot dict accepted by ``integrator.restore``."""
+    if payload is None:
+        return None
+    return {
+        "kind": payload["kind"],
+        "step_index": int(payload["step_index"]),
+        "arrays": {name: decode_floats(vec)
+                   for name, vec in payload["arrays"].items()},
+    }
+
+
+def record_to_payload(record: StepRecord) -> dict:
+    """One committed step → JSON-safe payload with exact floats."""
+    return {
+        "step": record.step,
+        "model_time": record.model_time,
+        "displacement": encode_floats(record.displacement),
+        "restoring_force": encode_floats(record.restoring_force),
+        "site_forces": {site: {str(dof): float(f).hex()
+                               for dof, f in forces.items()}
+                        for site, forces in record.site_forces.items()},
+        "attempts": record.attempts,
+        "wall_started": record.wall_started,
+        "wall_finished": record.wall_finished,
+    }
+
+
+def record_from_payload(payload: dict) -> StepRecord:
+    """Inverse of :func:`record_to_payload`."""
+    return StepRecord(
+        step=int(payload["step"]),
+        model_time=float(payload["model_time"]),
+        displacement=decode_floats(payload["displacement"]),
+        restoring_force=decode_floats(payload["restoring_force"]),
+        site_forces={site: {int(dof): float.fromhex(f)
+                            for dof, f in forces.items()}
+                     for site, forces in payload["site_forces"].items()},
+        attempts=int(payload["attempts"]),
+        wall_started=float(payload["wall_started"]),
+        wall_finished=float(payload["wall_finished"]))
+
+
+def records_from_payloads(payloads) -> list[StepRecord]:
+    """Decode a checkpoint's merged record history, ordered by step."""
+    records = [record_from_payload(p) for p in payloads]
+    records.sort(key=lambda r: r.step)
+    return records
+
+
+@dataclass
+class ExperimentState:
+    """Everything the coordinator needs to resume a run bit-exact.
+
+    ``step`` is the next *uncommitted* step; ``pending`` maps site name →
+    transaction name for that step's in-flight attempt (empty between
+    steps); ``integrator`` holds the committed integrator snapshot
+    (ndarray-valued, as produced by ``integrator.snapshot()``);
+    ``generation`` counts coordinator incarnations — 0 for the original
+    run, incremented on every resume — and suffixes replacement
+    transaction names so cancelled (burned) names are never reused.
+    """
+
+    run_id: str
+    target_steps: int
+    dt: float
+    step: int = 0
+    phase: str = PHASE_IDLE
+    generation: int = 0
+    pending: dict[str, str] = field(default_factory=dict)
+    integrator: dict | None = None
+    checkpoint_seq: int = 0
+    wall_started: float = 0.0
+
+    def to_payload(self) -> dict:
+        """JSON-safe payload (``repro.checkpoint/v1`` ``state`` object)."""
+        return {
+            "run_id": self.run_id,
+            "target_steps": self.target_steps,
+            "dt": self.dt,
+            "step": self.step,
+            "phase": self.phase,
+            "generation": self.generation,
+            "pending": dict(self.pending),
+            "integrator": encode_integrator(self.integrator),
+            "checkpoint_seq": self.checkpoint_seq,
+            "wall_started": self.wall_started,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExperimentState":
+        """Inverse of :meth:`to_payload`."""
+        if payload.get("phase") not in PHASES:
+            raise ConfigurationError(
+                f"unknown experiment phase {payload.get('phase')!r}")
+        return cls(
+            run_id=str(payload["run_id"]),
+            target_steps=int(payload["target_steps"]),
+            dt=float(payload["dt"]),
+            step=int(payload["step"]),
+            phase=str(payload["phase"]),
+            generation=int(payload["generation"]),
+            pending={str(k): str(v)
+                     for k, v in payload.get("pending", {}).items()},
+            integrator=decode_integrator(payload.get("integrator")),
+            checkpoint_seq=int(payload.get("checkpoint_seq", 0)),
+            wall_started=float(payload.get("wall_started", 0.0)))
+
+
+def resume_state_from_checkpoint(doc: dict) -> ExperimentState:
+    """Prepare the state inside a checkpoint document for a new incarnation.
+
+    Bumps ``generation`` (replacement transaction names get a fresh
+    ``-r<generation>`` suffix) and resets the phase to ``IDLE`` — the
+    resumed coordinator re-enters the step machine from the top of the
+    recorded ``step``.
+    """
+    state = ExperimentState.from_payload(doc["state"])
+    state.generation += 1
+    state.phase = PHASE_IDLE
+    state.checkpoint_seq = int(doc["seq"])
+    return state

@@ -6,53 +6,16 @@ serialization-friendly (no live objects cross "the wire").
 
 :class:`ProposalVerdict` and :class:`ExecutionOutcome` are the *typed*
 return values of the protocol verbs (they replaced the raw dicts the
-server and client used to trade).  For one release they also answer
-dict-style access (``verdict["state"]``) through a deprecation shim so
-downstream callers can migrate gradually.
+server and client used to trade); attribute access (``verdict.state``)
+is the only read API.
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.util.errors import ProtocolError
-
-
-class _DictCompatMixin:
-    """One-release shim: dict-style read access over dataclass fields.
-
-    Every access warns; attribute access (``verdict.state``) is the
-    supported API and the shim will be removed in the next release.
-    """
-
-    def _field_names(self) -> tuple[str, ...]:
-        return tuple(f.name for f in fields(self))
-
-    def _warn(self) -> None:
-        warnings.warn(
-            f"dict-style access to {type(self).__name__} is deprecated; "
-            "use attribute access (e.g. .state, .readings) instead",
-            DeprecationWarning, stacklevel=3)
-
-    def __getitem__(self, key: str) -> Any:
-        self._warn()
-        if key not in self._field_names():
-            raise KeyError(key)
-        return getattr(self, key)
-
-    def get(self, key: str, default: Any = None) -> Any:
-        self._warn()
-        if key not in self._field_names():
-            return default
-        return getattr(self, key)
-
-    def __contains__(self, key: object) -> bool:
-        return key in self._field_names()
-
-    def keys(self):
-        return self._field_names()
 
 
 @dataclass(frozen=True)
@@ -129,7 +92,7 @@ class Proposal:
 
 
 @dataclass(frozen=True)
-class ProposalVerdict(_DictCompatMixin):
+class ProposalVerdict:
     """The server's answer to ``propose`` (and to ``cancel``).
 
     ``state`` is the transaction-state string after negotiation —
@@ -169,7 +132,7 @@ class ProposalVerdict(_DictCompatMixin):
 
 
 @dataclass(frozen=True)
-class ExecutionOutcome(_DictCompatMixin):
+class ExecutionOutcome:
     """The client-facing outcome of an executed transaction.
 
     ``readings`` carries whatever the site measured (for MOST: achieved

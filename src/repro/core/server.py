@@ -16,7 +16,6 @@ Operations exposed through the OGSI container:
 
 from __future__ import annotations
 
-import warnings
 from typing import Any
 
 from repro.core.messages import (
@@ -77,21 +76,12 @@ class NTCPServer(GridService):
     def metrics(self) -> dict[str, int]:
         """Transaction counters, backed by the run's telemetry registry.
 
-        This replaces direct reads of the old ``stats`` dict; keys are
-        unchanged (``proposed``, ``accepted``, ..., ``duplicate_executes``).
+        Keys follow :data:`STAT_KEYS` (``proposed``, ``accepted``, ...,
+        ``duplicate_executes``).
         """
         if self._counters is None:
             return {key: 0 for key in STAT_KEYS}
         return {key: counter.value for key, counter in self._counters.items()}
-
-    @property
-    def stats(self) -> dict[str, int]:
-        """Deprecated counter dict; use :meth:`metrics` instead."""
-        warnings.warn(
-            "NTCPServer.stats is deprecated; use NTCPServer.metrics() "
-            "(backed by the telemetry registry) instead",
-            DeprecationWarning, stacklevel=2)
-        return self.metrics()
 
     # -- state publication -----------------------------------------------------
     def _publish(self, txn: Transaction) -> None:

@@ -91,7 +91,7 @@ class RepositoryFileStore(StagingStore):
     (:mod:`repro.repository`), not here.
     """
 
-    def __init__(self) -> None:  # noqa: D107 - trivially delegates
+    def __init__(self) -> None:
         super().__init__(name="repository")
 
 

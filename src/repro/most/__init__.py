@@ -19,6 +19,7 @@ from repro.most.assembly import MOSTDeployment, build_most
 from repro.most.scenario import (
     run_dry_run,
     run_public_experiment,
+    run_public_with_resume,
     run_simulation_only,
     run_with_fault_tolerance,
 )
@@ -31,4 +32,5 @@ __all__ = [
     "run_dry_run",
     "run_public_experiment",
     "run_with_fault_tolerance",
+    "run_public_with_resume",
 ]

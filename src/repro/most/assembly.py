@@ -53,6 +53,7 @@ from repro.repository import (
     IngestionTool,
     NFMSService,
     NMDSService,
+    RepositoryCheckpointStore,
 )
 from repro.sim import Kernel
 from repro.structural import (
@@ -105,8 +106,17 @@ class MOSTDeployment:
 
     def make_coordinator(self, *, run_id: str,
                          fault_policy: FaultPolicy | None = None,
-                         on_step=None) -> SimulationCoordinator:
-        """A coordinator bound to the three sites (Figure 5)."""
+                         on_step=None, checkpoint_store=None,
+                         checkpoint_policy=None, state=None,
+                         prior_records=()) -> SimulationCoordinator:
+        """A coordinator bound to the three sites (Figure 5).
+
+        Pass ``checkpoint_store``/``checkpoint_policy`` to persist
+        experiment state, and ``state``/``prior_records`` (from
+        :func:`~repro.coordinator.state.resume_state_from_checkpoint` /
+        :func:`~repro.coordinator.state.records_from_payloads`) to resume
+        an aborted run in a new coordinator incarnation.
+        """
         bindings = [SiteBinding(name, site.handle, dof_indices=[0])
                     for name, site in self.sites.items()]
         return SimulationCoordinator(
@@ -114,7 +124,18 @@ class MOSTDeployment:
             motion=self.motion, sites=bindings,
             fault_policy=fault_policy or NaiveFaultPolicy(),
             execution_timeout=self.config.execution_timeout,
-            on_step=on_step)
+            on_step=on_step, checkpoint_store=checkpoint_store,
+            checkpoint_policy=checkpoint_policy, state=state,
+            prior_records=prior_records)
+
+    def make_checkpoint_store(self) -> RepositoryCheckpointStore:
+        """A checkpoint store writing through NFMS/GridFTP to ``repo``."""
+        rpc = RpcClient(self.network, "coord", default_timeout=30.0,
+                        default_retries=2)
+        return RepositoryCheckpointStore(
+            host="coord", repo_host="repo", repo_store=self.repo_store,
+            transport=GridFTPTransport(self.network), rpc=rpc,
+            nfms=self.extras["nfms_handle"])
 
     def start_backends(self) -> None:
         for site in self.sites.values():
@@ -191,6 +212,10 @@ def build_most(config: MOSTConfig | None = None) -> MOSTDeployment:
     network.connect("uiuc", "repo", latency=config.latency_ncsa)
     network.connect("cu", "repo", latency=config.latency_cu)
     network.connect("ncsa", "repo", latency=0.001)
+    # The coordinator writes experiment checkpoints into the repository;
+    # this link is distinct from the coordinator-site links, so an outage
+    # that kills a step usually leaves the abort-time checkpoint reachable.
+    network.connect("coord", "repo", latency=config.latency_ncsa)
     network.connect("portal", "repo", latency=0.02)
     network.connect("coord", "portal", latency=0.02)
 

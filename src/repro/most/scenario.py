@@ -13,7 +13,11 @@ deployment for inspection:
   1493 is in flight kills the naive coordinator ("exited prematurely at
   step 1493 (out of 1500)");
 * :func:`run_with_fault_tolerance` — the counterfactual: identical faults,
-  a coordinator that uses NTCP's fault-tolerance features, completion.
+  a coordinator that uses NTCP's fault-tolerance features, completion;
+* :func:`run_public_with_resume` — the checkpointing counterfactual: the
+  naive coordinator still dies at the fatal step, but a second coordinator
+  incarnation resumes from the repository checkpoint, reconciles in-flight
+  transactions, and completes with bit-identical histories.
 """
 
 from __future__ import annotations
@@ -140,7 +144,8 @@ def _arm_transient_drop_at_step(dep: MOSTDeployment, step: int,
 
 
 def _inject_standard_faults(dep: MOSTDeployment, config: MOSTConfig,
-                            fail_at_step: int) -> None:
+                            fail_at_step: int, *,
+                            outage_duration: float = 1800.0) -> None:
     """The public-run fault schedule: three recoverable transients spread
     through the day, then the long outage at the fatal step."""
     for frac, site in ((0.15, "cu"), (0.40, "uiuc"), (0.65, "cu")):
@@ -148,7 +153,7 @@ def _inject_standard_faults(dep: MOSTDeployment, config: MOSTConfig,
         if step != fail_at_step:
             _arm_transient_drop_at_step(dep, step, site)
     _arm_fatal_outage_at_step(dep, fail_at_step, site="uiuc",
-                              duration=1800.0)
+                              duration=outage_duration)
 
 
 def _add_remote_participants(dep: MOSTDeployment, *, n_chef: int,
@@ -231,6 +236,88 @@ def run_public_experiment(config: MOSTConfig | None = None, *,
     result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
     report = _finish(dep, result)
     report.extras["fail_at_step"] = fail_at_step
+    return report
+
+
+def run_public_with_resume(config: MOSTConfig | None = None, *,
+                           fail_at_step: int | None = None,
+                           checkpoint_every: int = 25,
+                           run_id: str = "most-resume",
+                           outage_duration: float = 1800.0) -> ScenarioReport:
+    """The public run replayed with checkpoints: abort, then resume.
+
+    The naive coordinator dies at the fatal step exactly as in
+    :func:`run_public_experiment`, but it was checkpointing into the
+    repository every ``checkpoint_every`` steps (plus the best-effort
+    abort-time checkpoint).  The sites, specimens and NTCP servers keep
+    their state — the grid does not restart with the coordinator — so once
+    the outage clears, a second coordinator incarnation loads the
+    checkpoint history, reconciles the in-flight transactions with every
+    site, and completes the remaining steps.  At-most-once holds across
+    the restart: no specimen re-runs a step.
+
+    ``report.result`` is the *merged* result (the first incarnation's
+    committed steps plus the resumed ones) — bit-identical histories to an
+    uninterrupted same-seed run.  ``report.extras`` carries
+    ``aborted_result``, the ``reconciliation`` report, ``fail_at_step``
+    and ``checkpoints`` (sequences written).
+    """
+    from repro.coordinator import (
+        records_from_payloads,
+        resume_state_from_checkpoint,
+    )
+    from repro.most.metadata import upload_most_metadata
+    from repro.repository import CheckpointPolicy
+
+    config = config or MOSTConfig()
+    if fail_at_step is None:
+        fail_at_step = max(1, min(round(config.n_steps * 1493 / 1500),
+                                  config.n_steps - 1))
+    dep = build_most(config)
+    dep.start_backends()
+    dep.start_observation()
+    dep.kernel.run(until=dep.kernel.process(upload_most_metadata(dep)))
+    _inject_standard_faults(dep, config, fail_at_step,
+                            outage_duration=outage_duration)
+    store = dep.make_checkpoint_store()
+    policy = CheckpointPolicy(every_n_steps=checkpoint_every)
+    first = dep.make_coordinator(run_id=run_id,
+                                 fault_policy=NaiveFaultPolicy(),
+                                 checkpoint_store=store,
+                                 checkpoint_policy=policy)
+    aborted = dep.kernel.run(until=dep.kernel.process(first.run()))
+    if aborted.completed:
+        # Nothing to resume (e.g. a tiny config where the outage missed).
+        report = _finish(dep, aborted)
+        report.extras.update(fail_at_step=fail_at_step, aborted_result=None,
+                             reconciliation=None,
+                             checkpoints=first.state.checkpoint_seq)
+        return report
+    # Wait out the outage, then bring up the second incarnation.
+    dep.kernel.run(until=dep.kernel.now + outage_duration + 1.0)
+    doc, payloads = dep.kernel.run(
+        until=dep.kernel.process(store.load_history(run_id)))
+    if doc is None:
+        # The run died before any checkpoint (e.g. initialization failure);
+        # there is nothing to resume from.
+        report = _finish(dep, aborted)
+        report.extras.update(fail_at_step=fail_at_step, aborted_result=None,
+                             reconciliation=None, checkpoints=0)
+        return report
+    state = resume_state_from_checkpoint(doc)
+    prior = records_from_payloads(payloads)
+    second = dep.make_coordinator(
+        run_id=run_id,
+        fault_policy=FaultTolerantFaultPolicy(max_attempts=12, backoff=30.0,
+                                              backoff_factor=1.5,
+                                              max_backoff=600.0),
+        checkpoint_store=store, checkpoint_policy=policy,
+        state=state, prior_records=prior)
+    merged = dep.kernel.run(until=dep.kernel.process(second.run()))
+    report = _finish(dep, merged)
+    report.extras.update(fail_at_step=fail_at_step, aborted_result=aborted,
+                         reconciliation=second.last_reconciliation,
+                         checkpoints=second.state.checkpoint_seq)
     return report
 
 

@@ -63,7 +63,11 @@ class SecuredMOST:
     def authenticator(self, credential: Credential,
                       with_cas: bool = False) -> GsiAuthenticator:
         """Per-request token minting bound to the deployment clock."""
-        clock = lambda: self.deployment.kernel.now  # noqa: E731
+        kernel = self.deployment.kernel
+
+        def clock() -> float:
+            return kernel.now
+
         assertion = None
         if with_cas:
             idx = credential.subject.find("/proxy-")
@@ -77,7 +81,9 @@ def build_secured_most(config: MOSTConfig | None = None, *,
     """Build MOST with GSI on every container and CAS on the repository."""
     dep = build_most(config)
     kernel = dep.kernel
-    clock = lambda: kernel.now  # noqa: E731
+
+    def clock() -> float:
+        return kernel.now
 
     crypto = Crypto()
     ca = CertificateAuthority(crypto, "/O=NEESgrid/CN=NEESgrid CA")

@@ -31,22 +31,34 @@ class FaultInjector:
         self.network = network
         self.kernel = network.kernel
         self.outages: list[OutageRecord] = []
+        self._active: dict[tuple[str, str], int] = {}
+
+    def _link_key(self, a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
 
     def schedule_outage(self, a: str, b: str, start: float,
                         duration: float = float("inf")) -> OutageRecord:
         """Take the a—b link down at ``start``; restore after ``duration``.
 
         An infinite duration models the paper's final, unrecovered failure.
+        Overlapping outages on the same link are reference-counted: the
+        link comes back up only when the *last* active outage ends, not
+        when the first-expiring one does.
         """
         record = OutageRecord(a=a, b=b, start=start, duration=duration)
         self.outages.append(record)
+        key = self._link_key(a, b)
 
         def run(kernel):
             yield kernel.timeout(max(0.0, start - kernel.now))
-            self.network.set_link_state(a, b, up=False)
+            self._active[key] = self._active.get(key, 0) + 1
+            if self._active[key] == 1:
+                self.network.set_link_state(a, b, up=False)
             if duration != float("inf"):
                 yield kernel.timeout(duration)
-                self.network.set_link_state(a, b, up=True)
+                self._active[key] -= 1
+                if self._active[key] == 0:
+                    self.network.set_link_state(a, b, up=True)
 
         self.kernel.process(run(self.kernel), name=f"outage({a},{b})")
         return record

@@ -16,7 +16,10 @@ Components, mirroring the paper one-to-one:
 * :class:`~repro.repository.ingest.IngestionTool` — uploads data/metadata
   incrementally as an experiment runs;
 * :class:`~repro.repository.facade.RepositoryFacade` — couples NMDS and
-  NFMS "using the Façade pattern, but they may be used independently".
+  NFMS "using the Façade pattern, but they may be used independently";
+* :mod:`~repro.repository.checkpoint` — versioned experiment checkpoints
+  (``repro.checkpoint/v1``) persisted through NFMS and the transports, so
+  an aborted coordinator run can resume bit-exact.
 """
 
 from repro.repository.nmds import MetadataObject, NMDSService, SchemaSpec
@@ -29,6 +32,14 @@ from repro.repository.transport import (
 )
 from repro.repository.ingest import IngestionTool
 from repro.repository.facade import RepositoryFacade
+from repro.repository.checkpoint import (
+    CheckpointPolicy,
+    CheckpointSchemaError,
+    InMemoryCheckpointStore,
+    RepositoryCheckpointStore,
+    build_checkpoint_doc,
+    validate_checkpoint_payload,
+)
 
 __all__ = [
     "NMDSService",
@@ -41,4 +52,10 @@ __all__ = [
     "TransferFailed",
     "IngestionTool",
     "RepositoryFacade",
+    "CheckpointPolicy",
+    "CheckpointSchemaError",
+    "InMemoryCheckpointStore",
+    "RepositoryCheckpointStore",
+    "build_checkpoint_doc",
+    "validate_checkpoint_payload",
 ]

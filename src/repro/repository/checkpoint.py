@@ -1,0 +1,389 @@
+"""Versioned experiment checkpoints in the data repository.
+
+An aborted 5-hour MOST run used to be simply lost — the paper records the
+premature exit at step 1493 as the outcome.  Checkpoints make the outcome
+resumable: the coordinator periodically persists its serializable
+:class:`~repro.coordinator.state.ExperimentState` plus the tail of
+committed :class:`~repro.coordinator.records.StepRecord`\\ s since the
+previous checkpoint, and a restarted coordinator reconstructs the full
+history by merging every sequence.
+
+The document is a hand-rolled, versioned schema (``repro.checkpoint/v1``),
+validated the same way the telemetry and analysis schemas are: ~100 lines
+of standard-library checking with JSON-path error messages, run on every
+save *and* every load so a malformed checkpoint fails immediately instead
+of corrupting a resume.  All float payloads are ``float.hex()`` strings —
+checkpoint → restore round-trips are bit-exact.
+
+Two stores share one API (generator-shaped ``save`` / ``load`` /
+``list_seqs`` so callers uniformly ``yield from`` them):
+
+* :class:`InMemoryCheckpointStore` — unit tests and benchmarks;
+* :class:`RepositoryCheckpointStore` — the real path: each checkpoint is
+  staged locally, moved to the repository host over a
+  :class:`~repro.repository.transport.Transport` (GridFTP by default) and
+  registered as a logical file with NFMS (Allcock et al.'s
+  replica-management argument: checkpoint artifacts belong in the data
+  repository, not in coordinator-local state).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.daq.filestore import StagingStore
+from repro.net.rpc import RpcClient
+from repro.ogsi.handle import GridServiceHandle
+from repro.repository.transport import Transport
+from repro.util.errors import ConfigurationError, ReproError
+
+SCHEMA_ID = "repro.checkpoint/v1"
+
+_REASONS = ("policy", "abort", "final")
+#: Mirrors :data:`repro.coordinator.state.PHASES` (kept literal here so the
+#: repository layer never imports the coordinator; a test pins the two).
+_PHASES = ("idle", "integrate", "propose", "execute", "commit")
+
+_STATE_INT_KEYS = ("target_steps", "step", "generation", "checkpoint_seq")
+_RECORD_KEYS = ("step", "model_time", "displacement", "restoring_force",
+                "site_forces", "attempts", "wall_started", "wall_finished")
+
+
+class CheckpointSchemaError(ReproError):
+    """A checkpoint document does not match ``repro.checkpoint/v1``."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise CheckpointSchemaError(f"{path}: {message}")
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        _fail(path, message)
+
+
+def _check_number(value: Any, path: str) -> None:
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             path, f"expected a number, got {type(value).__name__}")
+
+
+def _check_int(value: Any, path: str, minimum: int = 0) -> None:
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             path, f"expected an integer, got {type(value).__name__}")
+    _require(value >= minimum, path, f"must be >= {minimum}, got {value}")
+
+
+def _check_hex_float(value: Any, path: str) -> None:
+    _require(isinstance(value, str), path,
+             f"expected a hex float string, got {type(value).__name__}")
+    try:
+        float.fromhex(value)
+    except ValueError:
+        _fail(path, f"not a hex float: {value!r}")
+
+
+def _check_hex_vector(values: Any, path: str) -> None:
+    _require(isinstance(values, list), path, "expected a list of hex floats")
+    for i, value in enumerate(values):
+        _check_hex_float(value, f"{path}[{i}]")
+
+
+def validate_state_payload(state: Any, path: str = "$.state") -> None:
+    """The serialized :class:`~repro.coordinator.state.ExperimentState`."""
+    _require(isinstance(state, dict), path, "state must be an object")
+    _require(isinstance(state.get("run_id"), str) and state.get("run_id"),
+             f"{path}.run_id", "must be a non-empty string")
+    for key in _STATE_INT_KEYS:
+        _check_int(state.get(key), f"{path}.{key}")
+    _require(state.get("target_steps", 0) >= 1, f"{path}.target_steps",
+             "must be >= 1")
+    _check_number(state.get("dt"), f"{path}.dt")
+    _require(state["dt"] > 0, f"{path}.dt", "must be positive")
+    _check_number(state.get("wall_started"), f"{path}.wall_started")
+    _require(state.get("phase") in _PHASES, f"{path}.phase",
+             f"must be one of {_PHASES}, got {state.get('phase')!r}")
+    pending = state.get("pending")
+    _require(isinstance(pending, dict), f"{path}.pending",
+             "pending must be an object")
+    for site, txn in pending.items():
+        _require(isinstance(site, str) and isinstance(txn, str) and txn,
+                 f"{path}.pending.{site}",
+                 "must map site names to transaction names")
+    integrator = state.get("integrator")
+    if integrator is not None:
+        ipath = f"{path}.integrator"
+        _require(isinstance(integrator, dict), ipath,
+                 "integrator must be an object or null")
+        _require(isinstance(integrator.get("kind"), str)
+                 and integrator.get("kind"),
+                 f"{ipath}.kind", "must be a non-empty string")
+        _check_int(integrator.get("step_index"), f"{ipath}.step_index")
+        arrays = integrator.get("arrays")
+        _require(isinstance(arrays, dict) and arrays, f"{ipath}.arrays",
+                 "must be a non-empty object")
+        for name, vec in arrays.items():
+            _check_hex_vector(vec, f"{ipath}.arrays.{name}")
+
+
+def validate_record_payload(record: Any, path: str = "record") -> None:
+    """One serialized :class:`~repro.coordinator.records.StepRecord`."""
+    _require(isinstance(record, dict), path, "record must be an object")
+    for key in _RECORD_KEYS:
+        _require(key in record, f"{path}.{key}", "missing")
+    _check_int(record["step"], f"{path}.step", minimum=1)
+    _check_int(record["attempts"], f"{path}.attempts", minimum=1)
+    for key in ("model_time", "wall_started", "wall_finished"):
+        _check_number(record[key], f"{path}.{key}")
+    for key in ("displacement", "restoring_force"):
+        _check_hex_vector(record[key], f"{path}.{key}")
+    forces = record["site_forces"]
+    _require(isinstance(forces, dict), f"{path}.site_forces",
+             "must be an object")
+    for site, per_dof in forces.items():
+        _require(isinstance(per_dof, dict), f"{path}.site_forces.{site}",
+                 "must be an object")
+        for dof, value in per_dof.items():
+            _check_hex_float(value, f"{path}.site_forces.{site}.{dof}")
+
+
+def validate_checkpoint_payload(payload: Any) -> None:
+    """A full checkpoint document.
+
+    Shape::
+
+        {"schema": "repro.checkpoint/v1", "run_id": "...", "seq": 1,
+         "wall_time": 12.3, "reason": "policy" | "abort" | "final",
+         "state": {...}, "records": [...]}
+    """
+    _require(isinstance(payload, dict), "$", "payload must be an object")
+    _require(payload.get("schema") == SCHEMA_ID, "$.schema",
+             f"expected {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    _require(isinstance(payload.get("run_id"), str) and payload.get("run_id"),
+             "$.run_id", "must be a non-empty string")
+    _check_int(payload.get("seq"), "$.seq", minimum=1)
+    _check_number(payload.get("wall_time"), "$.wall_time")
+    _require(payload.get("reason") in _REASONS, "$.reason",
+             f"must be one of {_REASONS}, got {payload.get('reason')!r}")
+    validate_state_payload(payload.get("state"))
+    records = payload.get("records")
+    _require(isinstance(records, list), "$.records", "records must be a list")
+    for i, record in enumerate(records):
+        validate_record_payload(record, f"$.records[{i}]")
+    _require(payload["state"].get("run_id") == payload["run_id"],
+             "$.state.run_id", "must match the document run_id")
+
+
+def build_checkpoint_doc(*, run_id: str, seq: int, wall_time: float,
+                         reason: str, state_payload: dict,
+                         record_payloads: list) -> dict:
+    """Assemble and validate a checkpoint document."""
+    doc = {
+        "schema": SCHEMA_ID,
+        "run_id": run_id,
+        "seq": int(seq),
+        "wall_time": float(wall_time),
+        "reason": reason,
+        "state": state_payload,
+        "records": list(record_payloads),
+    }
+    validate_checkpoint_payload(doc)
+    return doc
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to checkpoint.
+
+    ``every_n_steps=0`` disables periodic checkpoints (an abort-time
+    checkpoint may still be written when ``on_abort`` is set); ``on_abort``
+    controls the best-effort final checkpoint the coordinator writes while
+    aborting, which captures the in-flight step's pending transaction
+    names for reconciliation.
+    """
+
+    every_n_steps: int = 50
+    on_abort: bool = True
+
+    def __post_init__(self):
+        if self.every_n_steps < 0:
+            raise ConfigurationError("every_n_steps must be >= 0")
+
+    def due(self, step: int) -> bool:
+        """Checkpoint after committing ``step``?"""
+        return self.every_n_steps > 0 and step % self.every_n_steps == 0
+
+
+class CheckpointStoreBase:
+    """Shared history-merging logic over ``save``/``list_seqs``/``load``.
+
+    All three primitives are kernel-process generators (``yield from``
+    them), even where a concrete store completes synchronously — callers
+    should not care which store they hold.
+    """
+
+    def save(self, doc: dict):
+        raise NotImplementedError
+
+    def list_seqs(self, run_id: str):
+        raise NotImplementedError
+
+    def load(self, run_id: str, seq: int):
+        raise NotImplementedError
+
+    def load_latest(self, run_id: str):
+        """Kernel process: the highest-seq document, or ``None``."""
+        seqs = yield from self.list_seqs(run_id)
+        if not seqs:
+            return None
+        doc = yield from self.load(run_id, max(seqs))
+        return doc
+
+    def load_history(self, run_id: str):
+        """Kernel process: ``(latest_doc, merged_record_payloads)``.
+
+        Each checkpoint carries only the record tail since the previous
+        one; the merge walks every sequence in order and keeps the
+        last-written payload per step, truncated to the latest document's
+        resume step (records at or past it belong to the aborted attempt).
+        """
+        seqs = yield from self.list_seqs(run_id)
+        if not seqs:
+            return None, []
+        merged: dict[int, dict] = {}
+        latest = None
+        for seq in sorted(seqs):
+            doc = yield from self.load(run_id, seq)
+            for record in doc["records"]:
+                merged[int(record["step"])] = record
+            latest = doc
+        resume_step = int(latest["state"]["step"])
+        records = [merged[s] for s in sorted(merged) if s < resume_step]
+        return latest, records
+
+
+class InMemoryCheckpointStore(CheckpointStoreBase):
+    """Coordinator-local store for unit tests and overhead benchmarks.
+
+    Documents still pass full schema validation and a JSON round-trip on
+    save, so anything that works here works against the repository store.
+    """
+
+    def __init__(self):
+        self._runs: dict[str, dict[int, str]] = {}
+
+    def save(self, doc: dict):
+        validate_checkpoint_payload(doc)
+        run = self._runs.setdefault(doc["run_id"], {})
+        seq = int(doc["seq"])
+        if seq in run:
+            raise ConfigurationError(
+                f"checkpoint seq {seq} already saved for run "
+                f"{doc['run_id']!r}")
+        run[seq] = json.dumps(doc, sort_keys=True)
+        return seq
+        yield  # pragma: no cover - generator shape, parity with repo store
+
+    def list_seqs(self, run_id: str):
+        return sorted(self._runs.get(run_id, {}))
+        yield  # pragma: no cover - generator shape, parity with repo store
+
+    def load(self, run_id: str, seq: int):
+        run = self._runs.get(run_id, {})
+        if seq not in run:
+            raise ConfigurationError(
+                f"no checkpoint seq {seq} for run {run_id!r}")
+        doc = json.loads(run[seq])
+        validate_checkpoint_payload(doc)
+        return doc
+        yield  # pragma: no cover - generator shape, parity with repo store
+
+
+class RepositoryCheckpointStore(CheckpointStoreBase):
+    """Checkpoints as logical files in the central data repository.
+
+    Save: serialize → stage on the coordinator host → move to the
+    repository host with the configured transport → ``registerFile`` with
+    NFMS under ``checkpoints/<run_id>/<seq>.json``.  Load: ``listFiles``
+    by prefix, ``negotiateTransfer`` per document, pull the replica back
+    to a local staging store, parse and re-validate.
+    """
+
+    def __init__(self, *, host: str, repo_host: str,
+                 repo_store: StagingStore, transport: Transport,
+                 rpc: RpcClient, nfms: GridServiceHandle,
+                 staging: StagingStore | None = None):
+        self.host = host
+        self.repo_host = repo_host
+        self.repo_store = repo_store
+        self.transport = transport
+        self.rpc = rpc
+        self.nfms = nfms
+        self.kernel = transport.kernel
+        self.staging = staging or StagingStore(name=f"{host}-checkpoints")
+        self.saved = 0
+        self.loaded = 0
+        self._fetches = 0
+
+    @staticmethod
+    def _prefix(run_id: str) -> str:
+        return f"checkpoints/{run_id}/"
+
+    def _logical(self, run_id: str, seq: int) -> str:
+        return f"{self._prefix(run_id)}{seq:06d}.json"
+
+    def _nfms_call(self, operation: str, params: dict):
+        reply = yield from self.rpc.call(
+            self.nfms.host, self.nfms.port, "invoke",
+            {"service_id": self.nfms.service_id, "operation": operation,
+             "params": params})
+        return reply
+
+    def save(self, doc: dict):
+        """Kernel process: persist one checkpoint document."""
+        validate_checkpoint_payload(doc)
+        name = self._logical(doc["run_id"], int(doc["seq"]))
+        text = json.dumps(doc, sort_keys=True)
+        staged = self.staging.deposit(name, [(float(doc["seq"]), text)],
+                                      created=self.kernel.now)
+        yield from self.transport.transfer(
+            self.host, self.repo_host, staged, self.repo_store,
+            dst_name=name)
+        yield from self._nfms_call("registerFile", {
+            "logical_name": name, "host": self.repo_host,
+            "store": self.repo_store.name, "size": staged.size,
+            "checksum": staged.checksum})
+        self.saved += 1
+        return int(doc["seq"])
+
+    def list_seqs(self, run_id: str):
+        """Kernel process: registered checkpoint sequences for a run."""
+        prefix = self._prefix(run_id)
+        names = yield from self._nfms_call("listFiles", {"prefix": prefix})
+        seqs = []
+        for name in names:
+            stem = name[len(prefix):]
+            if stem.endswith(".json"):
+                try:
+                    seqs.append(int(stem[:-len(".json")]))
+                except ValueError:
+                    continue
+        return sorted(seqs)
+
+    def load(self, run_id: str, seq: int):
+        """Kernel process: fetch one checkpoint document back."""
+        name = self._logical(run_id, seq)
+        negotiated = yield from self._nfms_call("negotiateTransfer", {
+            "logical_name": name,
+            "client_protocols": [self.transport.protocol]})
+        replica = negotiated["replica"]
+        self._fetches += 1
+        local_name = f"{name}#fetch{self._fetches}"
+        yield from self.transport.transfer(
+            replica["host"], self.host, self.repo_store.get(name),
+            self.staging, dst_name=local_name)
+        doc = json.loads(self.staging.get(local_name).rows[0][1])
+        validate_checkpoint_payload(doc)
+        self.loaded += 1
+        return doc

@@ -75,9 +75,10 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
-        except BaseException as exc:  # noqa: RPR005 - the trampoline's job
-            # is to capture the process's failure and route it into the
-            # event graph; fail() re-delivers it to whoever waits on us.
+        except BaseException as exc:
+            # The trampoline's job is to capture the process's failure and
+            # route it into the event graph; fail() re-delivers it to
+            # whoever waits on us.
             self.fail(exc)
             return
         if not isinstance(target, Event):

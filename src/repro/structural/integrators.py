@@ -159,6 +159,53 @@ class CentralDifferencePSD:
         omega_max = float(self.model.natural_frequencies()[-1])
         return np.inf if omega_max == 0 else 2.0 / omega_max
 
+    SNAPSHOT_KIND = "central-difference"
+
+    def snapshot(self) -> dict:
+        """The mutable stepping state, exactly, at a commit boundary.
+
+        Derived quantities (LU factors, coefficient matrices) are *not*
+        included — they are recomputed deterministically from the model
+        and ``dt`` in ``__init__``, so a restored integrator is
+        bit-identical to the original without serializing them.
+        """
+        if self._d_curr is None:
+            raise ConfigurationError("cannot snapshot before start()")
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "step_index": self.step_index,
+            "arrays": {
+                "d_prev": self._d_prev.copy(),
+                "d_curr": self._d_curr.copy(),
+                "r_curr": self._r_curr.copy(),
+                "p_curr": self._p_curr.copy(),
+            },
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Resume stepping from a :meth:`snapshot`, bit-exact."""
+        if snapshot.get("kind") != self.SNAPSHOT_KIND:
+            raise ConfigurationError(
+                f"snapshot kind {snapshot.get('kind')!r} does not match "
+                f"integrator {self.SNAPSHOT_KIND!r}")
+        arrays = snapshot["arrays"]
+        n = self.model.n_dof
+        loaded = {}
+        for key in ("d_prev", "d_curr", "r_curr", "p_curr"):
+            if key not in arrays:
+                raise ConfigurationError(f"snapshot missing array {key!r}")
+            vec = np.asarray(arrays[key], dtype=float).copy()
+            if vec.shape != (n,):
+                raise ConfigurationError(
+                    f"snapshot array {key!r} has shape {vec.shape}; "
+                    f"model has {n} DOF(s)")
+            loaded[key] = vec
+        self._d_prev = loaded["d_prev"]
+        self._d_curr = loaded["d_curr"]
+        self._r_curr = loaded["r_curr"]
+        self._p_curr = loaded["p_curr"]
+        self.step_index = int(snapshot["step_index"])
+
     def start(self, r0: np.ndarray, p0: np.ndarray,
               d0: np.ndarray | None = None,
               v0: np.ndarray | None = None) -> None:
@@ -285,6 +332,55 @@ class AlphaOSPSD:
         self._a = linalg.lu_solve(
             self._m_lu, self._p - self.model.damping @ self._v - self._r)
         self.step_index = 0
+
+    SNAPSHOT_KIND = "alpha-os"
+
+    def snapshot(self) -> dict:
+        """The mutable stepping state, exactly, at a commit boundary.
+
+        ``_d_pred`` is deliberately absent: it only exists between a
+        ``propose_next`` and the matching ``commit``, and checkpoints are
+        taken at commit boundaries where it is ``None``.
+        """
+        if self._d is None:
+            raise ConfigurationError("cannot snapshot before start()")
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "step_index": self.step_index,
+            "arrays": {
+                "d": self._d.copy(),
+                "v": self._v.copy(),
+                "a": self._a.copy(),
+                "r": self._r.copy(),
+                "p": self._p.copy(),
+            },
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Resume stepping from a :meth:`snapshot`, bit-exact."""
+        if snapshot.get("kind") != self.SNAPSHOT_KIND:
+            raise ConfigurationError(
+                f"snapshot kind {snapshot.get('kind')!r} does not match "
+                f"integrator {self.SNAPSHOT_KIND!r}")
+        arrays = snapshot["arrays"]
+        n = self.model.n_dof
+        loaded = {}
+        for key in ("d", "v", "a", "r", "p"):
+            if key not in arrays:
+                raise ConfigurationError(f"snapshot missing array {key!r}")
+            vec = np.asarray(arrays[key], dtype=float).copy()
+            if vec.shape != (n,):
+                raise ConfigurationError(
+                    f"snapshot array {key!r} has shape {vec.shape}; "
+                    f"model has {n} DOF(s)")
+            loaded[key] = vec
+        self._d = loaded["d"]
+        self._v = loaded["v"]
+        self._a = loaded["a"]
+        self._r = loaded["r"]
+        self._p = loaded["p"]
+        self._d_pred = None
+        self.step_index = int(snapshot["step_index"])
 
     def propose_next(self) -> np.ndarray:
         """The explicit predictor displacement to command."""

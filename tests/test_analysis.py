@@ -286,6 +286,73 @@ class TestBroadExcept:
                     pass
         """) == []
 
+    def test_trampoline_reroute_is_exempt(self):
+        # The kernel-trampoline shape: bind the exception, hand the bound
+        # object to a call, and leave the handler immediately.
+        assert check("""
+            def f(self):
+                try:
+                    risky()
+                except BaseException as exc:
+                    self.fail(exc)
+                    return
+        """) == []
+
+    def test_trampoline_nested_call_is_exempt(self):
+        # exc rerouted inside a nested constructor argument still counts.
+        assert check("""
+            def f(findings):
+                try:
+                    risky()
+                except Exception as exc:
+                    findings.append(Finding(message=str(exc)))
+                    return [], findings
+        """) == []
+
+    def test_trampoline_in_loop_continue_is_exempt(self):
+        assert check("""
+            def f(sink):
+                for item in items():
+                    try:
+                        risky(item)
+                    except Exception as exc:
+                        sink.push(exc)
+                        continue
+        """) == []
+
+    def test_unbound_exception_still_fires(self):
+        # No `as exc`: nothing was rerouted, the failure is simply eaten.
+        assert codes(check("""
+            def f(self):
+                try:
+                    risky()
+                except Exception:
+                    self.fail(None)
+                    return
+        """)) == ["RPR005"]
+
+    def test_bound_but_unused_exception_still_fires(self):
+        # Binds the exception but never hands it to anything.
+        assert codes(check("""
+            def f(self):
+                try:
+                    risky()
+                except Exception as exc:
+                    self.cleanup()
+                    return
+        """)) == ["RPR005"]
+
+    def test_reroute_without_leaving_handler_still_fires(self):
+        # Passes exc onward but falls through: the handler keeps going,
+        # so the failure may still be silently absorbed downstream.
+        assert codes(check("""
+            def f(self):
+                try:
+                    risky()
+                except Exception as exc:
+                    self.fail(exc)
+        """)) == ["RPR005"]
+
 
 class TestAllDrift:
     def test_phantom_export_fires(self):

@@ -1,0 +1,570 @@
+"""Checkpoint / restore round-trips: codecs, schema, stores, and resume.
+
+Covers the resumable-lifecycle stack bottom-up: the hex-float codecs
+(bit-exact, including ``-0.0`` and denormals), integrator
+``snapshot``/``restore``, :class:`ExperimentState` payload round-trips,
+the ``repro.checkpoint/v1`` schema validators, the in-memory store's
+history merge, and finally full abort → resume runs on a three-site rig —
+both the reconcile path (abort-time checkpoint captured the in-flight
+transactions) and the replay path (resume from an older periodic
+checkpoint drives committed steps through NTCP's idempotent verbs).
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.control import SimulationPlugin
+from repro.coordinator import (
+    NaiveFaultPolicy,
+    SimulationCoordinator,
+    SiteBinding,
+    StepRecord,
+    records_from_payloads,
+    resume_state_from_checkpoint,
+)
+from repro.coordinator import state as coordinator_state
+from repro.coordinator.reconcile import (
+    ACTION_CANCEL,
+    ACTION_REPROPOSE,
+)
+from repro.coordinator.state import (
+    ExperimentState,
+    decode_floats,
+    decode_integrator,
+    encode_floats,
+    encode_integrator,
+    record_from_payload,
+    record_to_payload,
+)
+from repro.core import NTCPClient, NTCPServer
+from repro.net import FaultInjector, Network, RpcClient
+from repro.ogsi import ServiceContainer
+from repro.repository import checkpoint as checkpoint_schema
+from repro.repository.checkpoint import (
+    SCHEMA_ID,
+    CheckpointPolicy,
+    CheckpointSchemaError,
+    InMemoryCheckpointStore,
+    build_checkpoint_doc,
+    validate_checkpoint_payload,
+)
+from repro.sim import Kernel
+from repro.structural import (
+    AlphaOSPSD,
+    CentralDifferencePSD,
+    LinearSubstructure,
+    StructuralModel,
+    el_centro_like,
+)
+from repro.util.errors import ConfigurationError
+
+
+def run_store(gen):
+    """Drive a store primitive that completes without yielding."""
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("in-memory store call unexpectedly yielded")
+
+
+def make_model() -> StructuralModel:
+    return StructuralModel(mass=[[2.0]], stiffness=[[100.0]]
+                           ).with_rayleigh_damping(0.05)
+
+
+def make_state(**overrides) -> ExperimentState:
+    fields = dict(run_id="run", target_steps=50, dt=0.02, step=4,
+                  phase="idle", generation=0, pending={},
+                  integrator=None, checkpoint_seq=0, wall_started=0.0)
+    fields.update(overrides)
+    return ExperimentState(**fields)
+
+
+def make_record_payload(step: int = 1, displacement: float = 0.001) -> dict:
+    record = StepRecord(step=step, model_time=step * 0.02,
+                        displacement=np.array([displacement]),
+                        restoring_force=np.array([100.0 * displacement]),
+                        site_forces={"uiuc": {0: 30.0 * displacement}},
+                        attempts=1, wall_started=float(step),
+                        wall_finished=float(step) + 0.5)
+    return record_to_payload(record)
+
+
+def make_doc(*, seq: int = 1, step: int = 4, reason: str = "policy") -> dict:
+    state = make_state(step=step, checkpoint_seq=seq)
+    return build_checkpoint_doc(
+        run_id="run", seq=seq, wall_time=float(seq), reason=reason,
+        state_payload=state.to_payload(),
+        record_payloads=[make_record_payload(s) for s in range(1, step)])
+
+
+class TestHexCodec:
+    SPECIALS = (0.0, -0.0, 1.0, -1.0 / 3.0, np.pi, 5e-324, -5e-324,
+                1.7976931348623157e308, 2.2250738585072014e-308)
+
+    def test_round_trip_is_bit_exact(self):
+        encoded = encode_floats(self.SPECIALS)
+        decoded = decode_floats(encoded)
+        assert [v.hex() for v in decoded] == [float(v).hex()
+                                             for v in self.SPECIALS]
+
+    def test_negative_zero_keeps_its_sign(self):
+        (out,) = decode_floats(encode_floats([-0.0]))
+        assert out == 0.0 and math.copysign(1.0, out) == -1.0
+
+    def test_survives_json(self):
+        encoded = json.loads(json.dumps(encode_floats(self.SPECIALS)))
+        assert np.array_equal(decode_floats(encoded),
+                              np.asarray(self.SPECIALS))
+
+
+def advance(integrator, motion, steps):
+    """Step a PSD integrator over exact linear restoring forces."""
+    model = integrator.model
+    history = []
+    for i in steps:
+        d = integrator.propose_next()
+        integrator.commit(d, 100.0 * d, model.external_force(motion.accel[i]))
+        history.append(np.asarray(d, dtype=float).copy())
+    return np.array(history)
+
+
+class TestIntegratorSnapshot:
+    @pytest.mark.parametrize("factory", [CentralDifferencePSD, AlphaOSPSD])
+    def test_restore_continues_bit_exact(self, factory):
+        model = make_model()
+        motion = el_centro_like(duration=1.0, dt=0.02)
+        original = factory(model, motion.dt)
+        original.start(r0=np.zeros(1),
+                       p0=model.external_force(motion.accel[0]))
+        advance(original, motion, range(1, 21))
+
+        payload = json.loads(json.dumps(
+            encode_integrator(original.snapshot())))
+        clone = factory(model, motion.dt)
+        clone.restore(decode_integrator(payload))
+
+        rest_original = advance(original, motion, range(21, motion.n_steps))
+        rest_clone = advance(clone, motion, range(21, motion.n_steps))
+        assert rest_original.tobytes() == rest_clone.tobytes()
+
+    @pytest.mark.parametrize("factory", [CentralDifferencePSD, AlphaOSPSD])
+    def test_snapshot_before_start_rejected(self, factory):
+        with pytest.raises(ConfigurationError, match="before start"):
+            factory(make_model(), 0.02).snapshot()
+
+    def test_restore_kind_mismatch_rejected(self):
+        model = make_model()
+        alpha = AlphaOSPSD(model, 0.02)
+        alpha.start(r0=np.zeros(1), p0=np.zeros(1))
+        with pytest.raises(ConfigurationError, match="does not match"):
+            CentralDifferencePSD(model, 0.02).restore(alpha.snapshot())
+
+    def test_restore_missing_array_rejected(self):
+        model = make_model()
+        integ = CentralDifferencePSD(model, 0.02)
+        integ.start(r0=np.zeros(1), p0=np.zeros(1))
+        snap = integ.snapshot()
+        del snap["arrays"]["r_curr"]
+        with pytest.raises(ConfigurationError, match="missing array"):
+            CentralDifferencePSD(model, 0.02).restore(snap)
+
+    def test_restore_wrong_shape_rejected(self):
+        model = make_model()
+        integ = CentralDifferencePSD(model, 0.02)
+        integ.start(r0=np.zeros(1), p0=np.zeros(1))
+        snap = integ.snapshot()
+        snap["arrays"]["d_curr"] = np.zeros(3)
+        with pytest.raises(ConfigurationError, match="shape"):
+            CentralDifferencePSD(model, 0.02).restore(snap)
+
+    def test_alpha_os_restore_lands_at_commit_boundary(self):
+        """A restored alpha-OS integrator must demand a fresh predictor."""
+        model = make_model()
+        integ = AlphaOSPSD(model, 0.02)
+        integ.start(r0=np.zeros(1), p0=np.zeros(1))
+        integ.propose_next()  # leaves a predictor hanging
+        snap_source = AlphaOSPSD(model, 0.02)
+        snap_source.start(r0=np.zeros(1), p0=np.zeros(1))
+        integ.restore(snap_source.snapshot())
+        with pytest.raises(ConfigurationError, match="propose_next"):
+            integ.commit(np.zeros(1), np.zeros(1), np.zeros(1))
+
+
+class TestExperimentStatePayload:
+    def test_round_trip_preserves_every_field(self):
+        model = make_model()
+        integ = CentralDifferencePSD(model, 0.02)
+        integ.start(r0=np.array([0.25]), p0=np.array([-0.0]))
+        state = make_state(step=7, phase="propose", generation=2,
+                           pending={"uiuc": "run-step00007-uiuc"},
+                           integrator=integ.snapshot(), checkpoint_seq=3,
+                           wall_started=12.5)
+        payload = json.loads(json.dumps(state.to_payload()))
+        back = ExperimentState.from_payload(payload)
+        assert (back.run_id, back.target_steps, back.dt, back.step,
+                back.phase, back.generation, back.pending,
+                back.checkpoint_seq, back.wall_started) == (
+            state.run_id, state.target_steps, state.dt, state.step,
+            state.phase, state.generation, state.pending,
+            state.checkpoint_seq, state.wall_started)
+        for name, vec in state.integrator["arrays"].items():
+            assert back.integrator["arrays"][name].tobytes() == vec.tobytes()
+
+    def test_unknown_phase_rejected(self):
+        payload = make_state().to_payload()
+        payload["phase"] = "warp"
+        with pytest.raises(ConfigurationError, match="phase"):
+            ExperimentState.from_payload(payload)
+
+    def test_resume_bumps_generation_and_resets_phase(self):
+        state = make_state(step=30, phase="execute", generation=1,
+                           pending={"uiuc": "t"})
+        state_payload = state.to_payload()
+        state_payload["integrator"] = None
+        doc = {"schema": SCHEMA_ID, "run_id": "run", "seq": 5,
+               "wall_time": 9.0, "reason": "abort", "state": state_payload,
+               "records": []}
+        resumed = resume_state_from_checkpoint(doc)
+        assert resumed.generation == 2
+        assert resumed.phase == "idle"
+        assert resumed.checkpoint_seq == 5
+        assert resumed.step == 30
+        assert resumed.pending == {"uiuc": "t"}
+
+
+class TestRecordPayload:
+    def test_round_trip_is_bit_exact(self):
+        payload = json.loads(json.dumps(make_record_payload(
+            step=3, displacement=-1.0 / 3.0)))
+        record = record_from_payload(payload)
+        assert record.step == 3
+        assert record.displacement[0].hex() == (-1.0 / 3.0).hex()
+        assert record.site_forces["uiuc"][0].hex() == (30.0 * -1.0 / 3.0).hex()
+
+    def test_merged_history_is_ordered_by_step(self):
+        payloads = [make_record_payload(s) for s in (5, 2, 9)]
+        records = records_from_payloads(payloads)
+        assert [r.step for r in records] == [2, 5, 9]
+
+
+class TestSchemaValidation:
+    def test_valid_document_passes(self):
+        validate_checkpoint_payload(make_doc())
+
+    def test_phase_literals_pinned_to_coordinator(self):
+        # checkpoint.py keeps its own literal so the repository layer
+        # never imports the coordinator; this is the promised pin.
+        assert checkpoint_schema._PHASES == coordinator_state.PHASES
+
+    @pytest.mark.parametrize("mutate, path", [
+        (lambda d: d.__setitem__("schema", "repro.checkpoint/v0"),
+         r"\$\.schema"),
+        (lambda d: d.__setitem__("seq", 0), r"\$\.seq"),
+        (lambda d: d.__setitem__("reason", "panic"), r"\$\.reason"),
+        (lambda d: d["state"].__setitem__("phase", "warp"),
+         r"\$\.state\.phase"),
+        (lambda d: d["state"].__setitem__("run_id", "other"),
+         r"\$\.state\.run_id"),
+        (lambda d: d["state"].__setitem__("dt", 0.0), r"\$\.state\.dt"),
+        (lambda d: d["records"][0].pop("displacement"),
+         r"\$\.records\[0\]\.displacement"),
+        (lambda d: d["records"][0].__setitem__("step", 0),
+         r"\$\.records\[0\]\.step"),
+        (lambda d: d["records"][0]["restoring_force"].append("not-hex"),
+         r"\$\.records\[0\]\.restoring_force\[1\]"),
+    ])
+    def test_malformed_documents_name_the_json_path(self, mutate, path):
+        doc = make_doc()
+        mutate(doc)
+        with pytest.raises(CheckpointSchemaError, match=path):
+            validate_checkpoint_payload(doc)
+
+    def test_integrator_payload_validated(self):
+        model = make_model()
+        integ = CentralDifferencePSD(model, 0.02)
+        integ.start(r0=np.zeros(1), p0=np.zeros(1))
+        state = make_state(integrator=integ.snapshot())
+        payload = state.to_payload()
+        payload["integrator"]["arrays"]["d_curr"] = ["not-hex"]
+        doc = {"schema": SCHEMA_ID, "run_id": "run", "seq": 1,
+               "wall_time": 0.0, "reason": "policy", "state": payload,
+               "records": []}
+        with pytest.raises(CheckpointSchemaError,
+                           match=r"integrator\.arrays\.d_curr\[0\]"):
+            validate_checkpoint_payload(doc)
+
+
+class TestCheckpointPolicy:
+    def test_due_every_n(self):
+        policy = CheckpointPolicy(every_n_steps=10)
+        assert policy.due(10) and policy.due(20)
+        assert not policy.due(5) and not policy.due(11)
+
+    def test_zero_disables_periodic_checkpoints(self):
+        policy = CheckpointPolicy(every_n_steps=0)
+        assert not any(policy.due(s) for s in range(1, 100))
+        assert policy.on_abort  # the abort-time checkpoint survives
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            CheckpointPolicy(every_n_steps=-1)
+
+
+class TestInMemoryStore:
+    def test_save_load_round_trip(self):
+        store = InMemoryCheckpointStore()
+        doc = make_doc(seq=1)
+        assert run_store(store.save(doc)) == 1
+        assert run_store(store.list_seqs("run")) == [1]
+        assert run_store(store.load("run", 1)) == doc
+
+    def test_duplicate_seq_rejected(self):
+        store = InMemoryCheckpointStore()
+        run_store(store.save(make_doc(seq=1)))
+        with pytest.raises(ConfigurationError, match="already saved"):
+            run_store(store.save(make_doc(seq=1)))
+
+    def test_missing_seq_rejected(self):
+        store = InMemoryCheckpointStore()
+        with pytest.raises(ConfigurationError, match="no checkpoint"):
+            run_store(store.load("run", 99))
+
+    def test_malformed_document_rejected_on_save(self):
+        store = InMemoryCheckpointStore()
+        doc = make_doc()
+        doc["reason"] = "panic"
+        with pytest.raises(CheckpointSchemaError):
+            run_store(store.save(doc))
+
+    def test_empty_run_loads_nothing(self):
+        store = InMemoryCheckpointStore()
+        assert run_store(store.load_latest("ghost")) is None
+        assert run_store(store.load_history("ghost")) == (None, [])
+
+    def test_history_merge_keeps_last_written_and_truncates(self):
+        store = InMemoryCheckpointStore()
+        state1 = make_state(step=4, checkpoint_seq=1)
+        doc1 = build_checkpoint_doc(
+            run_id="run", seq=1, wall_time=1.0, reason="policy",
+            state_payload=state1.to_payload(),
+            record_payloads=[make_record_payload(s) for s in (1, 2, 3)])
+        # seq 2 rewrites step 3 and adds 4..6; its resume step is 6, so
+        # step 6 itself belongs to the aborted attempt and must drop out.
+        state2 = make_state(step=6, checkpoint_seq=2)
+        rewritten = make_record_payload(3, displacement=0.125)
+        doc2 = build_checkpoint_doc(
+            run_id="run", seq=2, wall_time=2.0, reason="abort",
+            state_payload=state2.to_payload(),
+            record_payloads=[rewritten] + [make_record_payload(s)
+                                           for s in (4, 5, 6)])
+        run_store(store.save(doc1))
+        run_store(store.save(doc2))
+
+        latest, records = run_store(store.load_history("run"))
+        assert latest["seq"] == 2
+        assert [r["step"] for r in records] == [1, 2, 3, 4, 5]
+        assert records[2]["displacement"] == rewritten["displacement"]
+
+
+def build_three_site_rig(*, n_steps=60, dt=0.02, compute_time=0.05,
+                         latency=0.01, seed=0):
+    """Coordinator + three simulation sites restraining one shared DOF.
+
+    Mirrors the rig in ``test_coordinator.py`` (tests are not a package,
+    so the helper is replicated here).
+    """
+    k = Kernel()
+    net = Network(k, seed=seed)
+    net.add_host("coord")
+    stiffs = {"uiuc": 30.0, "ncsa": 40.0, "cu": 30.0}
+    handles = {}
+    servers = {}
+    for name, kk in stiffs.items():
+        net.add_host(name)
+        net.connect("coord", name, latency=latency)
+        container = ServiceContainer(net, name)
+        plugin = SimulationPlugin(LinearSubstructure(name, [[kk]], [0]),
+                                  compute_time=compute_time)
+        server = NTCPServer(f"ntcp-{name}", plugin)
+        handles[name] = container.deploy(server)
+        servers[name] = server
+    model = make_model()
+    motion = el_centro_like(duration=n_steps * dt, dt=dt).scaled_to_pga(1.0)
+    rpc = RpcClient(net, "coord", default_timeout=10.0, default_retries=3)
+    client = NTCPClient(rpc, timeout=10.0, retries=3)
+    sites = [SiteBinding(name, handles[name], [0]) for name in stiffs]
+    return k, net, model, motion, client, sites, servers
+
+
+def clean_history(n_steps=60):
+    """Displacement history of the same rig run without faults."""
+    k, net, model, motion, client, sites, servers = build_three_site_rig(
+        n_steps=n_steps)
+    coord = SimulationCoordinator(run_id="rig-clean", client=client,
+                                  model=model, motion=motion, sites=sites)
+    result = k.run(until=k.process(coord.run()))
+    assert result.completed
+    return result.displacement_history()
+
+
+def abort_against_outage(run_id, policy):
+    """Run the rig into a permanent cu outage until the coordinator dies."""
+    k, net, model, motion, client, sites, servers = build_three_site_rig()
+    store = InMemoryCheckpointStore()
+    FaultInjector(net).schedule_outage("coord", "cu", start=3.0)
+    coord = SimulationCoordinator(
+        run_id=run_id, client=client, model=model, motion=motion,
+        sites=sites, fault_policy=NaiveFaultPolicy(),
+        checkpoint_store=store, checkpoint_policy=policy)
+    aborted = k.run(until=k.process(coord.run()))
+    assert not aborted.completed
+    assert 0 < aborted.steps_completed < 59
+    return k, net, model, motion, client, sites, servers, store, aborted
+
+
+def arm_fatal_drop_at_step(net, step, site="cu"):
+    """Swallow ``site``'s proposal for ``step`` and down its link.
+
+    Watching the traffic (the MOST scenario's idiom) lands the failure in
+    the PROPOSE phase deterministically: the target site never hears the
+    proposal while its siblings have already accepted theirs.  Returns
+    the installed filter so the test can remove it before resuming.
+    """
+    marker = f"step{step:05d}-{site}"
+
+    def trip(msg) -> bool:
+        if msg.dst != site:
+            return False
+        if marker in str(getattr(msg.payload, "params", "")):
+            net.set_link_state("coord", site, up=False)
+            return True
+        return False
+
+    net.add_drop_filter(trip)
+    return trip
+
+
+class TestRigResume:
+    def test_reconcile_resume_matches_clean_run(self):
+        """Abort-time checkpoint path: the in-flight step died in PROPOSE,
+        so the resume cancels the accepted siblings (burned names get the
+        ``-r1`` suffix), re-proposes at the site that never heard the
+        proposal, and lands bit-exact on the unfaulted trajectory."""
+        fail_step = 30
+        policy = CheckpointPolicy(every_n_steps=10)
+        k, net, model, motion, client, sites, servers = build_three_site_rig()
+        store = InMemoryCheckpointStore()
+        trip = arm_fatal_drop_at_step(net, fail_step, site="cu")
+        coord = SimulationCoordinator(
+            run_id="rig-resume", client=client, model=model, motion=motion,
+            sites=sites, fault_policy=NaiveFaultPolicy(),
+            checkpoint_store=store, checkpoint_policy=policy)
+        aborted = k.run(until=k.process(coord.run()))
+        assert not aborted.completed
+        assert aborted.aborted_at_step == fail_step
+        assert aborted.steps_completed == fail_step - 1
+
+        latest = run_store(store.load_latest("rig-resume"))
+        assert latest["reason"] == "abort"
+        assert latest["state"]["step"] == fail_step
+        assert latest["state"]["phase"] == "propose"
+        assert set(latest["state"]["pending"]) == {"uiuc", "ncsa", "cu"}
+
+        net.remove_drop_filter(trip)
+        net.set_link_state("coord", "cu", up=True)
+        doc, payloads = run_store(store.load_history("rig-resume"))
+        state = resume_state_from_checkpoint(doc)
+        assert state.generation == 1
+        prior = records_from_payloads(payloads)
+        assert [r.step for r in prior] == list(range(1, fail_step))
+        second = SimulationCoordinator(
+            run_id="rig-resume", client=client, model=model, motion=motion,
+            sites=sites, fault_policy=NaiveFaultPolicy(),
+            checkpoint_store=store, checkpoint_policy=policy,
+            state=state, prior_records=prior)
+        merged = k.run(until=k.process(second.run()))
+
+        assert merged.completed and merged.steps_completed == 59
+        report = second.last_reconciliation
+        assert report is not None and len(report.actions) == 3
+        by_site = {a.site: a for a in report.actions}
+        # uiuc/ncsa accepted the in-flight step before the abort: their
+        # names are burned by the cancel and replaced with -r1 names.
+        for name in ("uiuc", "ncsa"):
+            assert by_site[name].action == ACTION_CANCEL
+            assert by_site[name].observed == "accepted"
+            assert by_site[name].transaction.endswith("-r1")
+        # cu never heard the proposal: same name, proposed afresh.
+        assert by_site["cu"].action == ACTION_REPROPOSE
+        assert not by_site["cu"].transaction.endswith("-r1")
+
+        assert k.telemetry.counter("coordinator.resume.replayed",
+                                   run_id="rig-resume").value == 0
+        for name, server in servers.items():
+            m = server.metrics()
+            assert m["executed"] == 60
+            assert m["duplicate_executes"] == 0
+            assert m["cancelled"] == (1 if name in ("uiuc", "ncsa") else 0)
+            assert server.plugin.steps_executed == 60
+
+        assert merged.displacement_history().tobytes() == \
+            clean_history().tobytes()
+
+    def test_replay_resume_without_abort_checkpoint(self):
+        """Replay path: with no abort-time checkpoint, the resumed
+        coordinator replays committed-but-unpersisted steps through the
+        idempotent NTCP verbs — specimens never move twice."""
+        policy = CheckpointPolicy(every_n_steps=10, on_abort=False)
+        (k, net, model, motion, client, sites, servers, store,
+         aborted) = abort_against_outage("rig-replay", policy)
+
+        latest = run_store(store.load_latest("rig-replay"))
+        assert latest["reason"] == "policy"
+        resume_step = latest["state"]["step"]
+        assert resume_step <= aborted.aborted_at_step
+        assert latest["state"]["pending"] == {}
+
+        net.set_link_state("coord", "cu", up=True)
+        doc, payloads = run_store(store.load_history("rig-replay"))
+        state = resume_state_from_checkpoint(doc)
+        second = SimulationCoordinator(
+            run_id="rig-replay", client=client, model=model, motion=motion,
+            sites=sites, fault_policy=NaiveFaultPolicy(),
+            checkpoint_store=store, checkpoint_policy=policy,
+            state=state, prior_records=records_from_payloads(payloads))
+        merged = k.run(until=k.process(second.run()))
+
+        assert merged.completed and merged.steps_completed == 59
+        # A periodic checkpoint has no in-flight names, so the reconciler
+        # probes the default transaction names of the resume step — which
+        # every site had already executed (the outage ate replies, not
+        # requests): harvest everywhere, original names kept.
+        report = second.last_reconciliation
+        assert len(report.actions) == 3
+        assert all(a.action == "harvest" and a.observed == "executed"
+                   for a in report.actions)
+
+        # Replay covers every committed-but-unpersisted step; when the
+        # in-flight step itself had fully executed, it replays too.
+        in_flight_executed = all(a.observed == "executed"
+                                 for a in report.actions)
+        expected_replays = (aborted.aborted_at_step - resume_step
+                            + (1 if in_flight_executed else 0))
+        replayed = k.telemetry.counter("coordinator.resume.replayed",
+                                       run_id="rig-replay").value
+        assert replayed == expected_replays >= 1
+        for server in servers.values():
+            m = server.metrics()
+            # each replayed step returned the stored outcome...
+            assert m["duplicate_executes"] == expected_replays
+            assert m["executed"] == 60
+            # ...and the specimen saw every step exactly once.
+            assert server.plugin.steps_executed == 60
+
+        assert merged.displacement_history().tobytes() == \
+            clean_history().tobytes()

@@ -59,5 +59,5 @@ class TestDocsConsistency:
     def test_experiments_md_covers_all_figures(self):
         text = (ROOT / "EXPERIMENTS.md").read_text()
         for exp in ("F1", "F2", "F3", "F4/F5", "F6/F7", "F8", "F9",
-                    "F10", "F11", "T-FT", "T-PERF", "T-RT"):
+                    "F10", "F11", "T-FT", "T-PERF", "T-RT", "T-CHK"):
             assert exp in text, f"missing experiment {exp}"

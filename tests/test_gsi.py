@@ -253,7 +253,9 @@ class TestEndToEndAuth:
     def test_token_flow(self, world):
         crypto, ca = world
         now = [1000.0]
-        clock = lambda: now[0]  # noqa: E731
+
+        def clock():
+            return now[0]
 
         user = ca.issue_credential("/CN=Alice", not_after=1e9)
         proxy = user.delegate(now=clock())
@@ -270,7 +272,8 @@ class TestEndToEndAuth:
 
     def test_method_binding(self, world):
         crypto, ca = world
-        clock = lambda: 0.0  # noqa: E731
+        def clock():
+            return 0.0
         user = ca.issue_credential("/CN=Alice", not_after=1e9)
         auth = GsiAuthenticator(user, clock)
         gm = Gridmap()
@@ -283,7 +286,9 @@ class TestEndToEndAuth:
     def test_stale_token_rejected(self, world):
         crypto, ca = world
         now = [0.0]
-        clock = lambda: now[0]  # noqa: E731
+
+        def clock():
+            return now[0]
         user = ca.issue_credential("/CN=Alice", not_after=1e9)
         auth = GsiAuthenticator(user, clock)
         gm = Gridmap()
@@ -302,7 +307,8 @@ class TestEndToEndAuth:
 
     def test_cas_right_required(self, world):
         crypto, ca = world
-        clock = lambda: 0.0  # noqa: E731
+        def clock():
+            return 0.0
         cas_cred = ca.issue_credential("/CN=NEES CAS")
         cas = CommunityAuthorizationService(crypto, cas_cred)
         cas.add_member("/CN=Alice", {"repository:write"})
@@ -328,7 +334,8 @@ class TestEndToEndAuth:
 
     def test_proxy_token_maps_to_end_entity(self, world):
         crypto, ca = world
-        clock = lambda: 0.0  # noqa: E731
+        def clock():
+            return 0.0
         user = ca.issue_credential("/CN=Alice", not_after=1e9)
         proxy = user.delegate(now=0.0).delegate(now=0.0)
         auth = GsiAuthenticator(proxy, clock)

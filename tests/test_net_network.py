@@ -190,6 +190,71 @@ class TestFaultInjector:
         k.run()
         assert got == [] and not net.link("a", "b").up
 
+    def test_overlapping_outages_extend_the_window(self):
+        # Outage A [10, 15) and outage B [12, 30): the link must stay down
+        # until the *last* outage ends, not pop back up when A expires.
+        k, net = make_net()
+        net.connect("a", "b", latency=0.0)
+        inj = FaultInjector(net)
+        inj.schedule_outage("a", "b", start=10.0, duration=5.0)
+        inj.schedule_outage("a", "b", start=12.0, duration=18.0)
+        got = []
+        net.host("b").bind("svc", lambda m: got.append(m.payload))
+
+        def sender(kernel):
+            for t, tag in [(5.0, "before"), (13.0, "both"), (16.0, "b-only"),
+                           (31.0, "after")]:
+                yield kernel.timeout(t - kernel.now)
+                net.send("a", "b", "svc", tag)
+
+        k.process(sender(k))
+        k.run()
+        assert got == ["before", "after"]
+        assert net.link("a", "b").up
+
+    def test_overlapping_outage_reversed_endpoints_same_link(self):
+        # The reference count keys on the link, not on argument order.
+        k, net = make_net()
+        net.connect("a", "b", latency=0.0)
+        inj = FaultInjector(net)
+        inj.schedule_outage("a", "b", start=10.0, duration=5.0)
+        inj.schedule_outage("b", "a", start=12.0, duration=18.0)
+
+        def probe(kernel):
+            yield kernel.timeout(16.0)
+            return net.link("a", "b").up
+
+        up_at_16 = k.run(until=k.process(probe(k)))
+        assert not up_at_16
+        k.run()
+        assert net.link("a", "b").up
+
+    def test_overlap_with_permanent_outage_never_restores(self):
+        k, net = make_net()
+        net.connect("a", "b", latency=0.0)
+        inj = FaultInjector(net)
+        inj.schedule_outage("a", "b", start=10.0)  # permanent
+        inj.schedule_outage("a", "b", start=12.0, duration=5.0)
+        k.run()
+        assert not net.link("a", "b").up
+
+    def test_back_to_back_outages_do_not_interfere(self):
+        # Non-overlapping windows on the same link behave as two plain
+        # outages: up in the gap, up at the end.
+        k, net = make_net()
+        net.connect("a", "b", latency=0.0)
+        inj = FaultInjector(net)
+        inj.schedule_outage("a", "b", start=10.0, duration=5.0)
+        inj.schedule_outage("a", "b", start=20.0, duration=5.0)
+
+        def probe(kernel):
+            yield kernel.timeout(17.0)
+            return net.link("a", "b").up
+
+        assert k.run(until=k.process(probe(k)))
+        k.run()
+        assert net.link("a", "b").up
+
     def test_drop_next_on_port_counts(self):
         k, net = make_net()
         net.connect("a", "b", latency=0.0)

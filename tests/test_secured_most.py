@@ -181,7 +181,10 @@ class TestSecuredRepository:
         the assertion names a different subject."""
         dep = secured.deployment
         observer = secured.credential_for(OBSERVER_DN)
-        clock = lambda: dep.kernel.now  # noqa: E731
+
+        def clock():
+            return dep.kernel.now
+
         stolen = secured.cas.issue_assertion(COORDINATOR_DN, now=clock())
         auth = GsiAuthenticator(observer, clock, cas_assertion=stolen)
         rpc = RpcClient(dep.network, "portal", default_timeout=10.0)

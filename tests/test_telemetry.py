@@ -389,23 +389,10 @@ class TestCoordinatorDecomposition:
         assert "no coordinator.step spans" in report_from_spans([])
 
 
-class TestDeprecations:
+class TestTypedVerbResults:
     def make_env(self):
         return make_site(SimulationPlugin(
             LinearSubstructure("s", [[100.0]], [0])))
-
-    def test_server_stats_deprecated_but_equal_to_metrics(self):
-        env = self.make_env()
-
-        def go():
-            yield from env.client.propose_and_execute(
-                env.handle, "t", make_displacement_actions({0: 0.001}))
-
-        env.run(go())
-        with pytest.warns(DeprecationWarning, match="NTCPServer.stats"):
-            legacy = env.server.stats
-        assert legacy == env.server.metrics()
-        assert env.server.metrics()["executed"] == 1
 
     def test_unattached_server_metrics_all_zero(self):
         server = NTCPServer("s", SimulationPlugin(
@@ -416,7 +403,7 @@ class TestDeprecations:
                                 "duplicate_executes"}
         assert all(v == 0 for v in metrics.values())
 
-    def test_verdict_dict_compat_shim_warns(self):
+    def test_verdict_has_no_dict_access(self):
         env = self.make_env()
 
         def go():
@@ -425,16 +412,14 @@ class TestDeprecations:
             return verdict
 
         verdict = env.run(go())
-        assert verdict.state == "accepted"  # attribute access: no warning
-        with pytest.warns(DeprecationWarning, match="dict-style access"):
-            assert verdict["state"] == "accepted"  # noqa: RPR002 - shim test
-        with pytest.warns(DeprecationWarning):
-            assert verdict.get("missing", "dflt") == "dflt"
-        with pytest.raises(KeyError):
-            with pytest.warns(DeprecationWarning):
-                verdict["nope"]
+        assert verdict.state == "accepted"
+        # The one-release dict-compat shim is gone: no subscripting, no
+        # .get()/.keys() — attribute access is the only read API.
+        assert not hasattr(type(verdict), "__getitem__")
+        assert not hasattr(verdict, "get")
+        assert not hasattr(verdict, "keys")
 
-    def test_outcome_round_trips_and_shims(self):
+    def test_outcome_round_trips(self):
         env = self.make_env()
 
         def go():
@@ -446,5 +431,4 @@ class TestDeprecations:
         assert outcome.duration > 0
         clone = type(outcome).from_dict(outcome.to_dict())
         assert clone == outcome
-        with pytest.warns(DeprecationWarning):
-            assert outcome["readings"] == outcome.readings  # noqa: RPR002 - shim test
+        assert not hasattr(type(outcome), "__getitem__")
