@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analyze smoke bench check
+.PHONY: test lint analyze smoke monitor-smoke bench check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -15,7 +15,10 @@ analyze:
 smoke:
 	$(PYTHON) scripts/smoke.py
 
+monitor-smoke:
+	$(PYTHON) scripts/monitor_smoke.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-check: lint analyze test smoke
+check: lint analyze test smoke monitor-smoke

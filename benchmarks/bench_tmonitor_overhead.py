@@ -1,0 +1,107 @@
+"""T-MON — operations-console overhead and alert determinism.
+
+The console must be free to leave on: health publishers on every site,
+the NSDS metrics stream, and the monitor's detector sweep all ride the
+simulated network, so the question is whether watching the experiment
+changes the experiment.  Measured on the simulation-only rehearsal:
+
+1. **Step-latency overhead** — the same 40-step run with the console
+   attached vs without; the monitored median step time must stay within
+   10% of the bare run (the streams ride links outside the step phases).
+2. **Clean-run silence** — the monitored clean run must absorb the full
+   metrics stream and raise zero alerts.
+3. **Faulted-run alerts** — the injected-fault scenario must raise the
+   expected stall + slow-site alerts at identical sim times across two
+   runs (the detectors run on the simulation clock).
+
+The timed portion is one monitor detector sweep plus a streamer flush
+over a populated registry (the steady-state per-tick console cost).
+"""
+
+from repro.monitor import attach_monitoring
+from repro.most import MOSTConfig, run_monitored_experiment
+from repro.most.assembly import build_simulation_only
+
+from _report import write_report
+
+
+def rehearsal_trial(*, monitored: bool):
+    """One 40-step rehearsal; returns (median step time, kit or None)."""
+    dep = build_simulation_only(MOSTConfig().scaled(40))
+    dep.start_backends()
+    kit = attach_monitoring(dep) if monitored else None
+    run_id = "tmon-on" if monitored else "tmon-off"
+    coord = dep.make_coordinator(run_id=run_id)
+    if kit is not None:
+        kit.start()
+        kit.watch_coordinator(coord)
+    result = dep.kernel.run(until=dep.kernel.process(coord.run()))
+    assert result.completed
+    if kit is not None:
+        kit.stop()
+        dep.kernel.run(until=dep.kernel.now + 600.0)  # drain in-flight
+    hist = dep.kernel.telemetry.registry.find(
+        "coordinator.mspsds.step_time", run_id=run_id)
+    return hist.percentile(50.0), kit, dep
+
+
+def alert_signature(report):
+    return [(a.kind, a.severity, a.site, a.step, a.time)
+            for a in report.extras["alerts"]]
+
+
+def bench_tmonitor_overhead(benchmark):
+    lines = ["Operations-console overhead (simulation-only rehearsal, "
+             "40 steps)", ""]
+
+    bare_p50, _, _ = rehearsal_trial(monitored=False)
+    mon_p50, kit, dep = rehearsal_trial(monitored=True)
+    overhead = (mon_p50 - bare_p50) / bare_p50
+    lines += ["[1] median step time, console off vs on",
+              f"    monitor off: {bare_p50:8.3f} s/step",
+              f"    monitor on : {mon_p50:8.3f} s/step "
+              f"({overhead:+.2%})"]
+    assert abs(overhead) <= 0.10, \
+        f"console must not perturb the run: {overhead:+.2%}"
+
+    rollups = kit.monitor.rollups()
+    stream = rollups["stream"]
+    lines += ["", "[2] clean monitored run",
+              f"    metric samples seen : {stream['received']} "
+              f"(gaps {stream['gaps']}, out-of-order "
+              f"{stream['out_of_order']})",
+              f"    health sources      : "
+              f"{', '.join(sorted(rollups['health']))}",
+              f"    alerts raised       : {rollups['alerts']}"]
+    assert kit.monitor.alerts == []
+    assert stream["received"] > 0 and stream["gaps"] == 0
+    assert rollups["health"]["coordinator"] == "stopped"
+
+    first = run_monitored_experiment(MOSTConfig().scaled(40),
+                                     inject_faults=True)
+    second = run_monitored_experiment(MOSTConfig().scaled(40),
+                                      inject_faults=True)
+    sig = alert_signature(first)
+    lines += ["", "[3] faulted run: deterministic alert schedule"]
+    for kind, severity, site, step, time in sig:
+        where = f" site={site}" if site else ""
+        lines.append(f"    t={time:8.1f}s step={step:>3} "
+                     f"{severity:<8} {kind}{where}")
+    assert sig == alert_signature(second), "alerts must be reproducible"
+    kinds = {kind for kind, *_ in sig}
+    assert kinds == {"stall", "slow_site"}
+    assert first.result.completed
+    lines += ["    -> same (kind, step, sim-time) schedule on every run; "
+              "the detectors", "       run on the simulation clock, not "
+              "the wall clock"]
+    write_report("tmon_monitor_overhead", lines)
+
+    # timed: one steady-state console tick (detector sweep + stream flush)
+    streamer = kit.streamer
+    monitor = kit.monitor
+
+    def console_tick():
+        streamer.flush()
+        monitor.check()
+
+    benchmark(console_tick)

@@ -69,11 +69,23 @@ from repro.coordinator import (
 # -- telemetry ---------------------------------------------------------------
 from repro.telemetry import TelemetryHub, TraceContext
 
+# -- live operations console -------------------------------------------------
+from repro.monitor import (
+    Alert,
+    AlertThresholds,
+    ExperimentMonitor,
+    HealthPublisher,
+    MonitoringKit,
+    TelemetryStreamer,
+    attach_monitoring,
+)
+
 # -- assembled experiments ---------------------------------------------------
 from repro.most import (
     MOSTConfig,
     build_most,
     run_dry_run,
+    run_monitored_experiment,
     run_simulation_only,
 )
 
@@ -116,9 +128,18 @@ __all__ = [
     # telemetry
     "TelemetryHub",
     "TraceContext",
+    # live operations console
+    "Alert",
+    "AlertThresholds",
+    "ExperimentMonitor",
+    "HealthPublisher",
+    "MonitoringKit",
+    "TelemetryStreamer",
+    "attach_monitoring",
     # assembled experiments
     "MOSTConfig",
     "build_most",
     "run_dry_run",
+    "run_monitored_experiment",
     "run_simulation_only",
 ]

@@ -274,6 +274,12 @@ class SpanLifecycle(Rule):
     closures count), or visibly escape the scope (returned, yielded, passed
     as an argument, stored on an object).  Discarding the result of
     ``start_span`` is always wrong: nothing can ever close that span.
+
+    Spans stashed in attributes (``self._span = start_span(...)``) or
+    containers (``spans[key] = start_span(...)``) are tracked module-wide:
+    the stashed span must be read back *somewhere* in the same file — a
+    ``.end()`` call on the attribute chain, a ``with``, or any other load
+    of the chain/container — otherwise nothing can ever close it either.
     """
 
     code = "RPR004"
@@ -304,6 +310,7 @@ class SpanLifecycle(Rule):
     def _check_scope(self, ctx: FileContext,
                      scope_node: ast.AST) -> Iterator[Finding]:
         scope = _Scope(scope_node)
+        stashed: list[tuple[str, ast.AST, str]] = []
         for node in self._child_statements(scope_node):
             # discarded result: an expression statement of a start_span call
             if isinstance(node, ast.Expr) and self._is_opener(node.value):
@@ -312,9 +319,19 @@ class SpanLifecycle(Rule):
                     "start_span result discarded; open spans with `with` "
                     "or keep the span and call .end()")
             elif isinstance(node, ast.Assign) and self._is_opener(node.value):
-                if len(node.targets) == 1 and isinstance(node.targets[0],
-                                                         ast.Name):
-                    scope.opened[node.targets[0].id] = node
+                if len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    scope.opened[target.id] = node
+                elif isinstance(target, ast.Attribute):
+                    chain = _dotted(target)
+                    if chain is not None:
+                        stashed.append((chain, node, "attribute"))
+                elif isinstance(target, ast.Subscript):
+                    chain = _dotted(target.value)
+                    if chain is not None:
+                        stashed.append((chain, node, "container"))
             elif (isinstance(node, ast.FunctionDef)
                   or isinstance(node, ast.AsyncFunctionDef)):
                 yield from self._check_scope(ctx, node)
@@ -326,6 +343,29 @@ class SpanLifecycle(Rule):
                     f"span `{name}` is opened but never closed in this "
                     "scope: call .end(), use `with`, or hand it off "
                     "explicitly")
+        for chain, node, kind in stashed:
+            if not self._chain_read_back(ctx.tree, chain, node):
+                yield ctx.finding(
+                    node, self.code,
+                    f"span stashed in {kind} `{chain}` is never read back "
+                    "anywhere in this module: nothing can close it — call "
+                    ".end() on it or hand it off")
+
+    def _chain_read_back(self, tree: ast.AST, chain: str,
+                         assign: ast.AST) -> bool:
+        """True when the stash target is loaded outside the stashing stmt."""
+        skip = {id(node) for node in ast.walk(assign)}
+        for node in ast.walk(tree):
+            if id(node) in skip:
+                continue
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and _dotted(node) == chain):
+                return True
+            if (isinstance(node, ast.Name) and node.id == chain
+                    and isinstance(node.ctx, ast.Load)):
+                return True
+        return False
 
     def _closed_or_escapes(self, scope_node: ast.AST, name: str,
                            assign: ast.AST) -> bool:

@@ -6,6 +6,9 @@ Subcommands map to the experiments a user most often wants to replay:
   §3.4-style summary row;
 * ``resume`` — the public run with checkpoints: abort at the fatal step,
   reconcile, resume, and verify the merged histories;
+* ``monitor`` — run MOST under the live operations console: health SDEs,
+  streamed metrics, anomaly alerts (with injected faults by default), and
+  the critical-path blame table;
 * ``mini-most`` — run the tabletop rig (optionally on the kinetic
   simulator);
 * ``followon`` — run one of the §5 experiments;
@@ -85,6 +88,47 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     print(f"  checkpoints written : {report.extras.get('checkpoints', 0)}")
     print(f"  NTCP retransmissions: {report.ntcp_retries}; "
           f"step-level recoveries: {r.recoveries}")
+    return 0 if r.completed else 1
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.most import MOSTConfig, run_monitored_experiment
+
+    config = MOSTConfig()
+    if args.steps != 1500:
+        config = config.scaled(args.steps)
+
+    def feed(alert) -> None:
+        site = f" site={alert.site}" if alert.site else ""
+        print(f"  [{alert.time:9.1f}s] {alert.severity.upper():<8} "
+              f"{alert.kind}{site}: {alert.message}")
+
+    inject = not args.clean
+    print(f"MOST monitored run ({'faulted' if inject else 'clean'}), "
+          f"{config.n_steps} steps — live alert feed:")
+    report = run_monitored_experiment(config, inject_faults=inject,
+                                      on_alert=feed)
+    r = report.result
+    alerts = report.extras["alerts"]
+    rollups = report.extras["rollups"]
+    status = ("completed" if r.completed
+              else f"exited prematurely at step {r.aborted_at_step}")
+    if not alerts:
+        print("  (no alerts)")
+    print(f"MOST monitored: {r.steps_completed}/{r.target_steps} steps, "
+          f"{status}")
+    print(f"  alerts raised       : {len(alerts)}")
+    stream = rollups.get("stream") or {}
+    print(f"  metric samples seen : {stream.get('received', 0)} "
+          f"(gaps: {stream.get('gaps', 0)})")
+    health = ", ".join(f"{src}={st}" for src, st
+                       in sorted(rollups.get("health", {}).items()))
+    print(f"  final health        : {health}")
+    if args.critical_path:
+        from repro.monitor import critical_path_report
+
+        print(critical_path_report(
+            report.deployment.kernel.telemetry.tracer.finished))
     return 0 if r.completed else 1
 
 
@@ -192,6 +236,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume.add_argument("--checkpoint-every", type=int, default=25,
                           help="checkpoint period in steps (default: 25)")
     p_resume.set_defaults(fn=_cmd_resume)
+
+    p_mon = sub.add_parser(
+        "monitor", help="run MOST under the live operations console")
+    p_mon.add_argument("--steps", type=int, default=1500,
+                       help="record length (default: the paper's 1500)")
+    p_mon.add_argument("--clean", action="store_true",
+                       help="skip fault injection (expect zero alerts)")
+    p_mon.add_argument("--critical-path", action="store_true",
+                       help="print the per-site blame table afterwards")
+    p_mon.set_defaults(fn=_cmd_monitor)
 
     p_mini = sub.add_parser("mini-most", help="run Mini-MOST (§3.5)")
     p_mini.add_argument("--steps", type=int, default=200)

@@ -1,0 +1,188 @@
+"""Critical-path analysis over ``coordinator.step`` trace trees.
+
+The paper's Figure 5 explains a step's wall time by splitting it into
+phases; this module goes one level deeper and assigns the parallel
+phases (propose, execute) to the *site that dominated them*.  Each step
+span's tree is reconstructed — phase children, then the per-site
+``core.client.propose`` / ``core.client.execute`` grandchildren — into
+a per-step record and, aggregated, a per-site blame table:
+
+* how many steps each site's execute dominated;
+* its execute mean / p95 across the run;
+* the slack — how long the other sites sat finished, waiting for it.
+
+Accepts live spans or JSONL export records, like
+:mod:`repro.telemetry.report`, and is exposed on its CLI via
+``python -m repro.telemetry.report --critical-path``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any
+
+from repro.telemetry.report import CORE_PHASES, PHASES, STEP_SPAN
+
+#: client-side leaf spans carrying the ``service`` label, by phase
+CLIENT_SPANS = {"core.client.propose": "propose",
+                "core.client.execute": "execute"}
+
+
+def _as_record(span: Any) -> dict[str, Any]:
+    return span if isinstance(span, dict) else span.to_dict()
+
+
+def _percentile(values: list[float], p: float) -> float:
+    """Exact percentile with linear interpolation (values pre-sorted)."""
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return values[0]
+    rank = (p / 100.0) * (len(values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(values) - 1)
+    frac = rank - lo
+    return values[lo] * (1.0 - frac) + values[hi] * frac
+
+
+def step_traces(spans: list[Any]) -> list[dict[str, Any]]:
+    """One record per step with the per-site propose/execute split.
+
+    Each row extends :func:`repro.telemetry.report.step_rows` with::
+
+        {"sites": {"ntcp-uiuc": {"propose": 0.1, "execute": 11.9}, ...},
+         "dominant": "ntcp-uiuc",   # site with the longest execute
+         "slack": 10.2,             # dominant execute minus runner-up
+         "critical": 12.3}          # serial phases + slowest client legs
+    """
+    records = [_as_record(s) for s in spans]
+    children: dict[str, list[dict[str, Any]]] = {}
+    rows_by_span: dict[str, dict[str, Any]] = {}
+    for rec in records:
+        parent = rec.get("parent_id")
+        if parent is not None:
+            children.setdefault(parent, []).append(rec)
+        if rec["name"] == STEP_SPAN and rec.get("duration") is not None:
+            rows_by_span[rec["span_id"]] = {
+                "step": int(rec["attrs"].get("step", -1)),
+                "run_id": rec["attrs"].get("run_id", ""),
+                "total": rec["duration"],
+                "phases": {},
+            }
+    for rec in records:
+        row = rows_by_span.get(rec.get("parent_id"))
+        if row is None or rec.get("duration") is None:
+            continue
+        phase = rec["name"].rsplit(".", 1)[-1]
+        if phase in PHASES:
+            row["phases"][phase] = (row["phases"].get(phase, 0.0)
+                                    + rec["duration"])
+    for span_id, row in rows_by_span.items():
+        sites: dict[str, dict[str, float]] = {}
+        for phase_rec in children.get(span_id, ()):
+            for leaf in children.get(phase_rec["span_id"], ()):
+                part = CLIENT_SPANS.get(leaf["name"])
+                if part is None or leaf.get("duration") is None:
+                    continue
+                site = leaf["attrs"].get("service", "?")
+                per = sites.setdefault(site,
+                                       {"propose": 0.0, "execute": 0.0})
+                per[part] += leaf["duration"]
+        row["sites"] = sites
+        if sites:
+            executes = sorted((per["execute"], site)
+                              for site, per in sites.items())
+            row["dominant"] = executes[-1][1]
+            row["slack"] = (executes[-1][0] - executes[-2][0]
+                            if len(executes) > 1 else 0.0)
+            serial = sum(row["phases"].get(p, 0.0)
+                         for p in ("integrate", "commit", "retry_wait"))
+            row["critical"] = (serial + executes[-1][0]
+                               + max(per["propose"]
+                                     for per in sites.values()))
+        else:
+            row["dominant"] = None
+            row["slack"] = 0.0
+            row["critical"] = sum(row["phases"].get(p, 0.0)
+                                  for p in CORE_PHASES)
+    return sorted(rows_by_span.values(),
+                  key=lambda r: (r["run_id"], r["step"]))
+
+
+def blame_table(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Aggregate step traces into one record per site, sorted by blame."""
+    per_site: dict[str, dict[str, Any]] = {}
+    dominated_steps = 0
+    for row in rows:
+        if row.get("dominant") is not None:
+            dominated_steps += 1
+        for site, split in row.get("sites", {}).items():
+            agg = per_site.setdefault(site, {
+                "site": site, "steps": 0, "dominated": 0,
+                "propose_total": 0.0, "execute_total": 0.0,
+                "_executes": []})
+            agg["steps"] += 1
+            agg["propose_total"] += split["propose"]
+            agg["execute_total"] += split["execute"]
+            agg["_executes"].append(split["execute"])
+        dominant = row.get("dominant")
+        if dominant is not None:
+            per_site[dominant]["dominated"] += 1
+            per_site[dominant].setdefault("slack_total", 0.0)
+            per_site[dominant]["slack_total"] = (
+                per_site[dominant].get("slack_total", 0.0)
+                + row.get("slack", 0.0))
+    table = []
+    for site in sorted(per_site):
+        agg = per_site[site]
+        executes = sorted(agg.pop("_executes"))
+        agg.setdefault("slack_total", 0.0)
+        agg["execute_mean"] = agg["execute_total"] / agg["steps"]
+        agg["execute_p95"] = _percentile(executes, 95.0)
+        agg["dominated_share"] = (agg["dominated"] / dominated_steps
+                                  if dominated_steps else 0.0)
+        table.append(agg)
+    table.sort(key=lambda a: (-a["dominated"], -a["execute_total"],
+                              a["site"]))
+    return table
+
+
+def render_blame_table(table: list[dict[str, Any]]) -> str:
+    """The per-site blame table as an aligned text block."""
+    if not table:
+        return "no per-site client spans in trace"
+    header = (f"{'site':<14}{'steps':>7}{'dominated':>11}{'share':>8}"
+              f"{'exec mean':>11}{'exec p95':>10}{'slack [s]':>11}")
+    lines = [header, "-" * len(header)]
+    for agg in table:
+        lines.append(
+            f"{agg['site']:<14}{agg['steps']:>7}{agg['dominated']:>11}"
+            f"{agg['dominated_share']:>8.0%}{agg['execute_mean']:>11.3f}"
+            f"{agg['execute_p95']:>10.3f}{agg['slack_total']:>11.2f}")
+    return "\n".join(lines)
+
+
+def critical_path_report(spans: list[Any]) -> str:
+    """Blame table plus a one-line summary, from live or loaded spans."""
+    rows = step_traces(spans)
+    if not rows:
+        return "no coordinator.step spans in trace"
+    n = len(rows)
+    mean_total = sum(r["total"] for r in rows) / n
+    mean_critical = sum(r.get("critical", 0.0) for r in rows) / n
+    mean_slack = sum(r.get("slack", 0.0) for r in rows) / n
+    lines = [f"critical path — {n} steps, mean step {mean_total:.3f}s, "
+             f"mean critical path {mean_critical:.3f}s, "
+             f"mean slack {mean_slack:.3f}s",
+             render_blame_table(blame_table(rows))]
+    return "\n".join(lines)
+
+
+def report_from_jsonl(path: str | pathlib.Path) -> str:
+    """Load a JSONL trace export and render the blame table."""
+    from repro.telemetry.hub import TelemetryHub
+
+    loaded = TelemetryHub.load_jsonl(path)
+    title = loaded["meta"].get("experiment", str(path))
+    return (f"per-site blame table — {title}\n"
+            f"{critical_path_report(loaded['spans'])}")

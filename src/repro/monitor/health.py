@@ -1,0 +1,127 @@
+"""Periodic health SDEs — service-data inspection as the paper ran it.
+
+The MOST operators watched the experiment through OGSI service data:
+each NTCP server already publishes ``lastChanged`` and per-transaction
+SDEs, but nothing summarises *liveness*.  :class:`HealthPublisher`
+closes that gap: attached to any :class:`~repro.ogsi.sde.ServiceDataSet`,
+it periodically writes a versioned ``health`` SDE (a validated
+``repro.monitor/v1`` payload) so remote clients can subscribe to one
+name and receive status, open-transaction backlog, and — for the
+coordinator — the last committed step, over the normal OGSI
+notification path.
+
+The coordinator is not a grid service, so :class:`StatusService` gives
+it one: a bare service deployed on the coordinator host whose only job
+is owning the service-data set the coordinator's health lands in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.monitor.schema import SCHEMA_ID, validate_health_payload
+from repro.ogsi.sde import ServiceDataSet
+from repro.ogsi.service import GridService
+from repro.sim.kernel import Kernel
+
+Probe = Callable[[], dict[str, Any]]
+
+
+class StatusService(GridService):
+    """A service-data anchor for components that are not grid services.
+
+    Deployed next to the coordinator so its health SDE rides the same
+    container/subscription machinery as every site's.
+    """
+
+    def on_attach(self) -> None:
+        self.service_data.set("health", None)
+        self.expose("getHealth",
+                    lambda caller: self.service_data.value("health"))
+
+
+class HealthPublisher:
+    """Writes a ``health`` SDE every ``interval`` simulated seconds.
+
+    ``probe`` returns the variable part of the payload (``status``,
+    ``backlog``, optional ``step``/``plugin``/``detail``); the publisher
+    adds the envelope, validates, and stores it — each write bumps the
+    SDE version, so subscribers see a monotone stream.
+    """
+
+    def __init__(self, kernel: Kernel, service_data: ServiceDataSet, *,
+                 source: str, probe: Probe, interval: float = 10.0):
+        self.kernel = kernel
+        self.service_data = service_data
+        self.source = source
+        self.probe = probe
+        self.interval = interval
+        self.running = False
+        self.published = 0
+        self._tm_published = kernel.telemetry.counter(
+            "monitor.health.published", source=source)
+
+    def publish_now(self, **overrides: Any) -> dict[str, Any]:
+        """Build, validate, and store one health payload; returns it."""
+        payload = {"schema": SCHEMA_ID, "kind": "health",
+                   "source": self.source, "time": self.kernel.now}
+        payload.update(self.probe())
+        payload.update(overrides)
+        payload.setdefault("detail", {})
+        validate_health_payload(payload)
+        self.service_data.set("health", payload)
+        self.published += 1
+        self._tm_published.inc()
+        return payload
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.kernel.process(self._run(), name=f"health.{self.source}")
+
+    def stop(self, *, final_status: str | None = None) -> None:
+        """Stop the loop; optionally publish one last terminal status."""
+        was_running = self.running
+        self.running = False
+        if final_status is not None and was_running:
+            self.publish_now(status=final_status)
+
+    def _run(self):
+        while self.running:
+            self.publish_now()
+            yield self.kernel.timeout(self.interval)
+
+
+def ntcp_health_probe(server) -> Probe:
+    """Health probe over an :class:`~repro.core.server.NTCPServer`.
+
+    Backlog counts transactions still in a non-terminal state — the
+    paper's "how far behind is this site" question.
+    """
+    def probe() -> dict[str, Any]:
+        backlog = sum(1 for txn in server.transactions.values()
+                      if not txn.state.terminal)
+        metrics = server.metrics()
+        return {"status": "running", "backlog": backlog,
+                "plugin": server.plugin.plugin_type,
+                "detail": {"lastChanged": server.service_data.value(
+                               "lastChanged"),
+                           "executed": metrics["executed"],
+                           "failed": metrics["failed"]}}
+    return probe
+
+
+def coordinator_health_probe(coordinator) -> Probe:
+    """Health probe over a :class:`SimulationCoordinator`.
+
+    ``step`` is the last *committed* step (``state.step`` is the next
+    one to run); backlog is the number of in-flight transactions.
+    """
+    def probe() -> dict[str, Any]:
+        state = coordinator.state
+        return {"status": "running", "backlog": len(state.pending),
+                "step": max(state.step - 1, -1),
+                "detail": {"phase": state.phase,
+                           "generation": state.generation}}
+    return probe

@@ -1,0 +1,364 @@
+"""The experiment monitor: rollups plus deterministic anomaly detectors.
+
+:class:`ExperimentMonitor` is the operator console of the reproduction.
+It is a grid service hosted on the portal, fed by two subscriptions:
+
+* streamed ``repro.monitor/v1`` metrics samples arriving through an
+  :class:`~repro.nsds.subscriber.NSDSReceiver` (best-effort, may gap);
+* ``health`` SDE change notifications arriving through a
+  :class:`~repro.ogsi.notification.NotificationSink`.
+
+From those it maintains rollups (committed-step progress and rate,
+per-site execute latency summaries, retry/timeout counts, stream
+health) and runs three detectors on the simulation clock, so a given
+run raises the same alerts at the same sim times every time:
+
+* **stall** — no committed step for ``stall_after`` sim-seconds
+  (the §3.4 "experiment exited prematurely" signature, seen live);
+* **slow_site** — a site's execute p95 over budget, or the dominant
+  site shifting (the paper's NCSA-simulation-suddenly-dominates story);
+* **stream_health** — the metrics stream itself losing or reordering
+  more than a tolerated fraction of samples.
+
+Alerts are frozen :class:`Alert` records; each one is also published as
+the ``lastAlert`` SDE, so remote sinks receive it through the standard
+OGSI notification path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.monitor.schema import (
+    ALERT_KINDS,
+    SCHEMA_ID,
+    validate_alert_payload,
+    validate_metrics_sample,
+)
+from repro.nsds.stream import StreamSample
+from repro.ogsi.service import GridService
+
+#: metric whose per-site summaries drive the slow-site detector
+EXECUTE_METRIC = "core.server.execute_time"
+#: counter whose total is the committed-step count
+STEPS_METRIC = "coordinator.mspsds.steps"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One typed anomaly record."""
+
+    alert_id: str
+    kind: str          # one of schema.ALERT_KINDS
+    severity: str      # one of schema.ALERT_SEVERITIES
+    time: float        # sim time raised
+    step: int          # last committed step when raised (-1: none yet)
+    site: str | None   # offending site, if the alert names one
+    message: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self, source: str) -> dict[str, Any]:
+        """The validated ``repro.monitor/v1`` alert payload."""
+        payload = {"schema": SCHEMA_ID, "kind": "alert", "source": source,
+                   "time": self.time, "alert_id": self.alert_id,
+                   "alert": self.kind, "severity": self.severity,
+                   "step": self.step, "site": self.site,
+                   "message": self.message, "detail": dict(self.detail)}
+        validate_alert_payload(payload)
+        return payload
+
+
+@dataclass
+class AlertThresholds:
+    """Detector tuning.  Defaults fit the MOST step cadence (~12 s/step)."""
+
+    #: sim-seconds without a committed step before a stall fires
+    stall_after: float = 120.0
+    #: per-site execute p95 budget, sim-seconds
+    execute_budget: float = 30.0
+    #: execute observations required before the p95 is trusted
+    min_execute_samples: int = 5
+    #: factor by which a new dominant site must exceed the old one
+    dominance_margin: float = 1.5
+    #: tolerated net-loss fraction of the metrics stream
+    stream_loss_rate: float = 0.05
+    #: tolerated out-of-order fraction of the metrics stream
+    stream_out_of_order_rate: float = 0.25
+    #: stream samples required before stream health is judged
+    min_stream_samples: int = 20
+
+
+class ExperimentMonitor(GridService):
+    """Live rollups + anomaly detection over streamed telemetry."""
+
+    def __init__(self, service_id: str = "monitor-console", *,
+                 thresholds: AlertThresholds | None = None,
+                 interval: float = 15.0,
+                 on_alert: Callable[[Alert], None] | None = None):
+        super().__init__(service_id)
+        self.thresholds = thresholds or AlertThresholds()
+        self.interval = interval
+        self.on_alert = on_alert
+        self.alerts: list[Alert] = []
+        self.receiver = None
+        self.health: dict[str, dict[str, Any]] = {}
+        self.samples_seen = 0
+        self.running = False
+        self._counter_totals: dict[tuple[str, tuple], float] = {}
+        self._site_execute: dict[str, dict[str, float]] = {}
+        self._last_commit_step = -1
+        self._last_progress_time: float | None = None
+        self._started_watch: float | None = None
+        self._finished = False
+        self._stall_open = False
+        self._stall_span = None
+        self._slow_sites: set[str] = set()
+        self._dominant: str | None = None
+        self._stream_alerted = False
+
+    def on_attach(self) -> None:
+        self.service_data.set("alerts", 0)
+        self.service_data.set("lastAlert", None)
+        self.expose("getAlerts",
+                    lambda caller: [a.to_payload(self.service_id)
+                                    for a in self.alerts])
+        self.expose("getRollups", lambda caller: self.rollups())
+        telemetry = self.kernel.telemetry
+        self._tm_alerts = {kind: telemetry.counter("monitor.alerts.raised",
+                                                   kind=kind,
+                                                   service=self.service_id)
+                           for kind in ALERT_KINDS}
+        self._tm_samples = telemetry.counter("monitor.console.samples",
+                                             service=self.service_id)
+        self._tm_health = telemetry.counter("monitor.console.health_updates",
+                                            service=self.service_id)
+
+    def bind_receiver(self, receiver) -> None:
+        """Point the stream-health detector at the NSDS receiver."""
+        self.receiver = receiver
+
+    # -- ingest ---------------------------------------------------------------
+    def on_stream_sample(self, sample: StreamSample) -> None:
+        """NSDSReceiver callback: absorb one streamed metrics payload."""
+        payload = sample.value
+        if not isinstance(payload, dict) or payload.get("kind") != "metrics":
+            return
+        validate_metrics_sample(payload)
+        self.samples_seen += 1
+        self._tm_samples.inc()
+        for record in payload["metrics"]:
+            name = record["name"]
+            labels = record.get("labels", {})
+            key = (name, tuple(sorted(labels.items())))
+            if record["type"] == "counter":
+                self._counter_totals[key] = record["total"]
+            elif record["type"] == "histogram" and name == EXECUTE_METRIC:
+                site = labels.get("site")
+                if site:
+                    self._site_execute[site] = dict(record["summary"])
+        steps = int(self.counter_total(STEPS_METRIC))
+        if steps > 0:
+            self._note_progress(steps)
+
+    def on_notification(self, payload: dict[str, Any]) -> None:
+        """NotificationSink callback: absorb one health SDE change."""
+        if payload.get("sde_name") != "health":
+            return
+        value = payload.get("value")
+        if not isinstance(value, dict) or value.get("kind") != "health":
+            return
+        source = value["source"]
+        self.health[source] = value
+        self._tm_health.inc()
+        if "step" in value:
+            self._note_progress(int(value["step"]))
+        if value.get("status") == "stopped" and source == "coordinator":
+            self._finished = True
+
+    def counter_total(self, name: str) -> float:
+        """Streamed cumulative total of a counter, summed over labels."""
+        return sum(total for (n, _), total in self._counter_totals.items()
+                   if n == name)
+
+    def _note_progress(self, step: int) -> None:
+        if step <= self._last_commit_step:
+            return
+        self._last_commit_step = step
+        self._last_progress_time = self.kernel.now
+        if self._stall_open:
+            self._stall_open = False
+            if self._stall_span is not None:
+                self._stall_span.end(recovered_step=step)
+                self._stall_span = None
+
+    # -- detectors ------------------------------------------------------------
+    def check(self) -> None:
+        """Run every detector once against current state."""
+        now = self.kernel.now
+        self._check_stall(now)
+        self._check_slow_sites()
+        self._check_stream_health()
+
+    def _check_stall(self, now: float) -> None:
+        if self._finished or self._stall_open:
+            return
+        base = self._last_progress_time
+        if base is None:
+            base = self._started_watch
+        if base is None:
+            return
+        silent = now - base
+        if silent < self.thresholds.stall_after:
+            return
+        self._stall_open = True
+        # Stashed on the instance so the episode spans detection to
+        # recovery; _note_progress / stop() close it.
+        self._stall_span = self.kernel.telemetry.start_span(
+            "monitor.stall.episode", parent=None,
+            step=self._last_commit_step)
+        self._raise_alert(
+            "stall", "critical",
+            f"no committed step for {silent:.0f}s "
+            f"(last committed step {self._last_commit_step})",
+            detail={"silent_for": silent})
+
+    def _check_slow_sites(self) -> None:
+        th = self.thresholds
+        ranked: list[tuple[float, str]] = []
+        for site in sorted(self._site_execute):
+            summary = self._site_execute[site]
+            if summary.get("count", 0) < th.min_execute_samples:
+                return  # judge dominance only once every site qualifies
+            ranked.append((summary["sum"], site))
+            p95 = summary.get("p95", 0.0)
+            if site not in self._slow_sites and p95 > th.execute_budget:
+                self._slow_sites.add(site)
+                self._raise_alert(
+                    "slow_site", "warning",
+                    f"site {site} execute p95 {p95:.1f}s over the "
+                    f"{th.execute_budget:.1f}s budget",
+                    site=site,
+                    detail={"p95": p95, "mean": summary.get("mean", 0.0),
+                            "count": summary.get("count", 0)})
+        if not ranked:
+            return
+        top_sum, top_site = max(ranked)
+        if self._dominant is None:
+            self._dominant = top_site
+            return
+        if top_site == self._dominant:
+            return
+        prev_sum = self._site_execute[self._dominant]["sum"]
+        if top_sum > th.dominance_margin * prev_sum:
+            previous = self._dominant
+            self._dominant = top_site
+            self._raise_alert(
+                "slow_site", "warning",
+                f"dominant site shifted from {previous} to {top_site} "
+                f"(cumulative execute {top_sum:.0f}s vs {prev_sum:.0f}s)",
+                site=top_site,
+                detail={"previous": previous, "sum": top_sum,
+                        "previous_sum": prev_sum})
+
+    def _check_stream_health(self) -> None:
+        th = self.thresholds
+        stats = self.stream_stats()
+        if self._stream_alerted or stats is None:
+            return
+        if stats["received"] < th.min_stream_samples:
+            return
+        reasons = []
+        if stats["loss_rate"] > th.stream_loss_rate:
+            reasons.append(f"loss rate {stats['loss_rate']:.1%}")
+        if stats["out_of_order_rate"] > th.stream_out_of_order_rate:
+            reasons.append(f"out-of-order rate "
+                           f"{stats['out_of_order_rate']:.1%}")
+        if not reasons:
+            return
+        self._stream_alerted = True
+        self._raise_alert(
+            "stream_health", "warning",
+            "metrics stream degraded: " + ", ".join(reasons),
+            detail=stats)
+
+    def stream_stats(self) -> dict[str, float] | None:
+        """Gap/out-of-order rates, read from the receiver's hub counters."""
+        receiver = self.receiver
+        if receiver is None:
+            return None
+        received = sum(len(batch) for batch in receiver.samples.values())
+        registry = self.kernel.telemetry.registry
+        labels = {"host": receiver.host, "port": receiver.port}
+        gaps_metric = registry.find("nsds.receiver.gaps", **labels)
+        ooo_metric = registry.find("nsds.receiver.out_of_order", **labels)
+        gaps = gaps_metric.value if gaps_metric is not None else 0
+        out_of_order = ooo_metric.value if ooo_metric is not None else 0
+        lost = max(gaps - out_of_order, 0)
+        return {"received": received, "gaps": gaps,
+                "out_of_order": out_of_order, "lost": lost,
+                "loss_rate": lost / received if received else 0.0,
+                "out_of_order_rate": (out_of_order / received
+                                      if received else 0.0)}
+
+    # -- alerting -------------------------------------------------------------
+    def _raise_alert(self, kind: str, severity: str, message: str, *,
+                     site: str | None = None,
+                     detail: dict[str, Any] | None = None) -> Alert:
+        alert = Alert(alert_id=f"{self.service_id}-{len(self.alerts) + 1:04d}",
+                      kind=kind, severity=severity, time=self.kernel.now,
+                      step=self._last_commit_step, site=site,
+                      message=message, detail=dict(detail or {}))
+        self.alerts.append(alert)
+        self.service_data.set("lastAlert", alert.to_payload(self.service_id))
+        self.service_data.set("alerts", len(self.alerts))
+        self._tm_alerts[kind].inc()
+        self.emit("alert." + kind, severity=severity, site=site,
+                  message=message)
+        if self.on_alert is not None:
+            self.on_alert(alert)
+        return alert
+
+    # -- rollups --------------------------------------------------------------
+    def rollups(self) -> dict[str, Any]:
+        """The console's summary board."""
+        now = self.kernel.now
+        watched = (now - self._started_watch
+                   if self._started_watch is not None else 0.0)
+        steps = max(self._last_commit_step, 0)
+        per_site = {site: {"execute_p95": summary.get("p95", 0.0),
+                           "execute_mean": summary.get("mean", 0.0),
+                           "executed": int(summary.get("count", 0))}
+                    for site, summary in sorted(self._site_execute.items())}
+        return {"watched_for": watched,
+                "last_committed_step": self._last_commit_step,
+                "step_rate": steps / watched if watched > 0 else 0.0,
+                "per_site": per_site,
+                "retries": self.counter_total("coordinator.mspsds.retries"),
+                "rpc_timeouts": self.counter_total("net.rpc.timeouts"),
+                "rpc_retries": self.counter_total("net.rpc.retries"),
+                "stream": self.stream_stats(),
+                "dominant_site": self._dominant,
+                "alerts": len(self.alerts),
+                "health": {source: value.get("status")
+                           for source, value in sorted(self.health.items())}}
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic detector sweep (requires attachment)."""
+        if self.running:
+            return
+        self.running = True
+        self._started_watch = self.kernel.now
+        self.kernel.process(self._watch(), name=f"monitor.{self.service_id}")
+
+    def stop(self) -> None:
+        self.running = False
+        if self._stall_span is not None:
+            self._stall_span.end(recovered=False)
+            self._stall_span = None
+
+    def _watch(self):
+        while self.running:
+            self.check()
+            yield self.kernel.timeout(self.interval)

@@ -1,0 +1,115 @@
+"""Stream telemetry deltas over NSDS, next to the sensor data.
+
+The paper's operators read site metrics over the same best-effort
+streaming fabric that carried DAQ channels; :class:`TelemetryStreamer`
+reproduces that: every ``interval`` simulated seconds it snapshots the
+kernel's :class:`~repro.telemetry.metrics.MetricRegistry`, packages the
+delta as a validated ``repro.monitor/v1`` ``metrics`` payload, and
+ingests it into an :class:`~repro.nsds.service.NSDSService` channel.
+Downstream, the payload inherits NSDS semantics wholesale — sequence
+numbers, ring-buffer history, drops, gaps, reordering — which is exactly
+what the monitor's stream-health detector then measures.
+
+Counters are shipped as (delta, cumulative total) pairs so a consumer
+that missed flushes can resynchronise from the totals; histograms ship
+cumulative summaries including the operator-facing p95.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.monitor.schema import SCHEMA_ID, validate_metrics_sample
+from repro.sim.kernel import Kernel
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+
+
+class TelemetryStreamer:
+    """Periodically publish metric snapshots as NSDS samples."""
+
+    #: the NSDS channel all metric samples ride on
+    CHANNEL = "monitor-metrics"
+
+    def __init__(self, kernel: Kernel, nsds, *, source: str,
+                 interval: float = 30.0,
+                 prefixes: Iterable[str] | None = None):
+        self.kernel = kernel
+        self.nsds = nsds
+        self.source = source
+        self.interval = interval
+        self.prefixes = tuple(prefixes) if prefixes is not None else None
+        self.running = False
+        self.seq = 0
+        self._last_counts: dict[tuple[str, tuple], float] = {}
+        self._tm_flushes = kernel.telemetry.counter(
+            "monitor.stream.flushes", source=source)
+
+    def _wanted(self, name: str) -> bool:
+        if self.prefixes is None:
+            return True
+        return name.startswith(self.prefixes)
+
+    def snapshot_records(self) -> list[dict[str, Any]]:
+        """Describe every matching instrument; counters as deltas."""
+        records: list[dict[str, Any]] = []
+        for metric in self.kernel.telemetry.registry:
+            if not self._wanted(metric.name):
+                continue
+            key = (metric.name, tuple(sorted(metric.labels.items())))
+            if isinstance(metric, Counter):
+                total = metric.value
+                delta = total - self._last_counts.get(key, 0)
+                self._last_counts[key] = total
+                records.append({"name": metric.name, "type": "counter",
+                                "labels": dict(metric.labels),
+                                "value": delta, "total": total})
+            elif isinstance(metric, Gauge):
+                records.append({"name": metric.name, "type": "gauge",
+                                "labels": dict(metric.labels),
+                                "value": metric.value})
+            elif isinstance(metric, Histogram):
+                summary = {"count": metric.count, "sum": metric.sum,
+                           "mean": metric.mean,
+                           "min": metric.percentile(0.0),
+                           "max": metric.percentile(100.0),
+                           "p50": metric.percentile(50.0),
+                           "p95": metric.percentile(95.0),
+                           "p99": metric.percentile(99.0)}
+                records.append({"name": metric.name, "type": "histogram",
+                                "labels": dict(metric.labels),
+                                "summary": summary})
+        records.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return records
+
+    def flush(self) -> dict[str, Any]:
+        """Build, validate, and ingest one metrics sample; returns it."""
+        self.seq += 1
+        payload = {"schema": SCHEMA_ID, "kind": "metrics",
+                   "source": self.source, "time": self.kernel.now,
+                   "seq": self.seq, "metrics": self.snapshot_records()}
+        validate_metrics_sample(payload)
+        self.nsds.ingest(self.kernel.now, {self.CHANNEL: payload})
+        self._tm_flushes.inc()
+        return payload
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.kernel.process(self._run(), name=f"streamer.{self.source}")
+
+    def stop(self, *, final_flush: bool = True) -> None:
+        """Stop the loop; by default push one last snapshot first."""
+        was_running = self.running
+        self.running = False
+        if final_flush and was_running:
+            self.flush()
+
+    def _run(self):
+        # First flush one interval in, not immediately: a flush issued
+        # before the console's subscribe RPC lands would burn a sequence
+        # number no subscriber can receive — a phantom gap on every run.
+        while self.running:
+            yield self.kernel.timeout(self.interval)
+            if self.running:
+                self.flush()

@@ -1,0 +1,162 @@
+"""Wire the operations console into an assembled MOST deployment.
+
+:func:`attach_monitoring` stands up the whole observation path the way
+the paper's operators had it: health publishers on every NTCP server, a
+status anchor + NSDS metrics stream on the coordinator host, and the
+:class:`~repro.monitor.monitor.ExperimentMonitor` console on the portal
+host, subscribed to both — metrics over NSDS datagrams, health over
+OGSI SDE notifications.  Everything crosses the simulated network;
+nothing peeks at coordinator internals directly.
+
+The function is deployment-shape agnostic: it only needs ``kernel``,
+``network``, ``sites`` (name -> site with an attached ``server``) and
+``extras``, so it works on :func:`~repro.most.assembly.build_most` and
+:func:`~repro.most.assembly.build_simulation_only` alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.monitor.health import (
+    HealthPublisher,
+    StatusService,
+    coordinator_health_probe,
+    ntcp_health_probe,
+)
+from repro.monitor.monitor import Alert, AlertThresholds, ExperimentMonitor
+from repro.monitor.streamer import TelemetryStreamer
+from repro.net.rpc import RpcClient
+from repro.nsds.service import NSDSService
+from repro.nsds.subscriber import NSDSReceiver
+from repro.ogsi.container import ServiceContainer
+from repro.ogsi.notification import NotificationSink
+
+#: metric-name prefixes the streamer ships by default — the operational
+#: surface (steps, retries, site latencies, rpc health, stream health)
+DEFAULT_STREAM_PREFIXES = ("coordinator.", "core.server.", "net.rpc.",
+                           "nsds.", "monitor.health.")
+
+
+@dataclass
+class MonitoringKit:
+    """Handles to every piece :func:`attach_monitoring` created."""
+
+    monitor: ExperimentMonitor
+    streamer: TelemetryStreamer
+    nsds: NSDSService
+    status: StatusService
+    receiver: NSDSReceiver
+    sink: NotificationSink
+    publishers: dict[str, HealthPublisher]
+    coord_container: ServiceContainer
+    console_container: ServiceContainer
+    coordinator_publisher: HealthPublisher | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def start(self) -> None:
+        """Begin publishing, streaming, and watching."""
+        for publisher in self.publishers.values():
+            publisher.start()
+        self.streamer.start()
+        self.monitor.start()
+
+    def watch_coordinator(self, coordinator, *,
+                          interval: float = 10.0) -> HealthPublisher:
+        """Publish the coordinator's health through the status service."""
+        publisher = HealthPublisher(
+            coordinator.kernel, self.status.service_data,
+            source="coordinator", probe=coordinator_health_probe(coordinator),
+            interval=interval)
+        self.coordinator_publisher = publisher
+        publisher.start()
+        return publisher
+
+    def stop(self) -> None:
+        """Stop every periodic loop (so a bounded drain can finish)."""
+        self.monitor.stop()
+        self.streamer.stop()
+        if self.coordinator_publisher is not None:
+            self.coordinator_publisher.stop(final_status="stopped")
+        for publisher in self.publishers.values():
+            publisher.stop()
+
+
+def attach_monitoring(dep, *, thresholds: AlertThresholds | None = None,
+                      on_alert: Callable[[Alert], None] | None = None,
+                      health_interval: float = 10.0,
+                      stream_interval: float = 30.0,
+                      tick_interval: float = 15.0,
+                      subscription_lifetime: float = 1e9) -> MonitoringKit:
+    """Deploy the console against ``dep`` and wire its subscriptions.
+
+    Nothing runs until :meth:`MonitoringKit.start`; the subscription
+    RPCs themselves are issued by a kernel process, so they land a few
+    network round-trips into the run.
+    """
+    kernel, network = dep.kernel, dep.network
+
+    # Health notifications travel site -> portal; give the portal the
+    # same best-effort links the stream viewers use.
+    for name in dep.sites:
+        if frozenset(("portal", name)) not in network._links:
+            network.connect("portal", name, latency=0.03, fifo=False)
+
+    coord_container = ServiceContainer(network, "coord")
+    nsds = NSDSService("nsds-monitor")
+    coord_container.deploy(nsds)
+    status = StatusService("status-coord")
+    coord_container.deploy(status)
+    streamer = TelemetryStreamer(kernel, nsds, source="coord",
+                                 interval=stream_interval,
+                                 prefixes=DEFAULT_STREAM_PREFIXES)
+
+    # The portal's "ogsi" port belongs to the CHEF container in the full
+    # deployment; the console container takes its own port.
+    console_container = ServiceContainer(network, "portal", port="monitor")
+    monitor = ExperimentMonitor(thresholds=thresholds,
+                                interval=tick_interval, on_alert=on_alert)
+    console_container.deploy(monitor)
+    receiver = NSDSReceiver(network, "portal",
+                            callback=monitor.on_stream_sample)
+    monitor.bind_receiver(receiver)
+    sink = NotificationSink(network, "portal",
+                            callback=monitor.on_notification)
+
+    publishers = {name: HealthPublisher(kernel, site.server.service_data,
+                                        source=site.server.service_id,
+                                        probe=ntcp_health_probe(site.server),
+                                        interval=health_interval)
+                  for name, site in dep.sites.items()}
+
+    rpc = RpcClient(network, "portal", default_timeout=30.0)
+
+    def subscribe():
+        yield from rpc.call(
+            "coord", "ogsi", "invoke",
+            {"service_id": nsds.service_id, "operation": "subscribe",
+             "params": {"sink_host": "portal", "sink_port": receiver.port,
+                        "channels": [TelemetryStreamer.CHANNEL],
+                        "lifetime": subscription_lifetime}})
+        yield from rpc.call(
+            "coord", "ogsi", "subscribe",
+            {"service_id": status.service_id, "sde_name": "health",
+             "sink_host": "portal", "sink_port": sink.port,
+             "lifetime": subscription_lifetime})
+        for name, site in dep.sites.items():
+            yield from rpc.call(
+                name, "ogsi", "subscribe",
+                {"service_id": site.server.service_id, "sde_name": "health",
+                 "sink_host": "portal", "sink_port": sink.port,
+                 "lifetime": subscription_lifetime})
+
+    kernel.process(subscribe(), name="monitor-subscriptions")
+
+    kit = MonitoringKit(monitor=monitor, streamer=streamer, nsds=nsds,
+                        status=status, receiver=receiver, sink=sink,
+                        publishers=publishers,
+                        coord_container=coord_container,
+                        console_container=console_container)
+    dep.extras["monitoring"] = kit
+    return kit

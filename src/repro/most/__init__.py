@@ -18,6 +18,7 @@ from repro.most.config import MOSTConfig
 from repro.most.assembly import MOSTDeployment, build_most
 from repro.most.scenario import (
     run_dry_run,
+    run_monitored_experiment,
     run_public_experiment,
     run_public_with_resume,
     run_simulation_only,
@@ -33,4 +34,5 @@ __all__ = [
     "run_public_experiment",
     "run_with_fault_tolerance",
     "run_public_with_resume",
+    "run_monitored_experiment",
 ]

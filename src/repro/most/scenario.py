@@ -17,7 +17,11 @@ deployment for inspection:
 * :func:`run_public_with_resume` — the checkpointing counterfactual: the
   naive coordinator still dies at the fatal step, but a second coordinator
   incarnation resumes from the repository checkpoint, reconciles in-flight
-  transactions, and completes with bit-identical histories.
+  transactions, and completes with bit-identical histories;
+* :func:`run_monitored_experiment` — the operations-console run: the live
+  monitor (health SDEs + streamed metrics + anomaly detectors) watches a
+  fault-tolerant run, optionally with an injected mid-run outage and a
+  slow-site drift, and the alert feed is part of the report.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.most.assembly import MOSTDeployment, build_most, build_simulation_onl
 from repro.most.config import MOSTConfig
 from repro.net.network import Message
 from repro.net.rpc import RpcClient, RpcRequest
+from repro.util.errors import ConfigurationError
 
 
 @dataclass
@@ -138,6 +143,31 @@ def _arm_transient_drop_at_step(dep: MOSTDeployment, step: int,
             dep.faults.drop_matching(
                 lambda m: m.src == site and m.port.startswith("rpc-reply"),
                 count=1)
+        return False
+
+    dep.network.add_drop_filter(watch)
+
+
+def _arm_site_slowdown_at_step(dep: MOSTDeployment, step: int, site: str,
+                               factor: float) -> None:
+    """When step ``step`` first reaches ``site``, multiply its backend's
+    compute time by ``factor`` for the rest of the run — the paper's
+    slow-site story (one site's evaluation suddenly dominating every
+    step), as a mid-run drift rather than an outage."""
+    backend = dep.sites[site].backend
+    if backend is None or not hasattr(backend, "compute_time"):
+        raise ConfigurationError(
+            f"site {site!r} has no backend with a compute_time to slow")
+    marker = f"step{step:05d}"
+    armed = [False]
+
+    def watch(msg: Message) -> bool:
+        if armed[0] or msg.dst != site:
+            return False
+        payload = msg.payload
+        if isinstance(payload, RpcRequest) and marker in str(payload.params):
+            armed[0] = True
+            backend.compute_time *= factor
         return False
 
     dep.network.add_drop_filter(watch)
@@ -340,4 +370,67 @@ def run_with_fault_tolerance(config: MOSTConfig | None = None, *,
     result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
     report = _finish(dep, result)
     report.extras["fail_at_step"] = fail_at_step
+    return report
+
+
+def run_monitored_experiment(config: MOSTConfig | None = None, *,
+                             inject_faults: bool = False,
+                             outage_at_step: int | None = None,
+                             outage_duration: float = 600.0,
+                             slow_site: str = "ncsa",
+                             slow_at_step: int | None = None,
+                             slow_factor: float = 40.0,
+                             thresholds=None,
+                             on_alert=None) -> ScenarioReport:
+    """A fault-tolerant MOST run watched by the live operations console.
+
+    With ``inject_faults`` the run gets the two anomalies the detectors
+    exist for: ``slow_site``'s backend compute time is multiplied by
+    ``slow_factor`` when step ``slow_at_step`` (default: a quarter in)
+    first reaches it, and the coordinator—uiuc link goes down for
+    ``outage_duration`` seconds at ``outage_at_step`` (default: halfway).
+    The fault-tolerant policy rides both out, so the experiment still
+    completes — the point is that the monitor *saw* them live.
+
+    The report's extras carry ``alerts`` (typed :class:`Alert` records in
+    raise order), ``rollups``, and the :class:`MonitoringKit` under
+    ``monitoring``.  Everything is deterministic: same config + faults
+    give the same alerts at the same sim times.
+    """
+    from repro.monitor import attach_monitoring
+    from repro.most.metadata import upload_most_metadata
+
+    config = config or MOSTConfig()
+    dep = build_most(config)
+    dep.start_backends()
+    dep.start_observation()
+    dep.kernel.run(until=dep.kernel.process(upload_most_metadata(dep)))
+    kit = attach_monitoring(dep, thresholds=thresholds, on_alert=on_alert)
+    if inject_faults:
+        if outage_at_step is None:
+            outage_at_step = max(1, min(round(config.n_steps * 0.5),
+                                        config.n_steps - 1))
+        if slow_at_step is None:
+            slow_at_step = max(1, min(round(config.n_steps * 0.25),
+                                      config.n_steps - 1))
+        if slow_site is not None and slow_at_step != outage_at_step:
+            _arm_site_slowdown_at_step(dep, slow_at_step, slow_site,
+                                       slow_factor)
+        _arm_fatal_outage_at_step(dep, outage_at_step, site="uiuc",
+                                  duration=outage_duration)
+    kit.start()
+    coordinator = dep.make_coordinator(
+        run_id="most-monitored",
+        fault_policy=FaultTolerantFaultPolicy(max_attempts=12, backoff=30.0,
+                                              backoff_factor=1.5,
+                                              max_backoff=600.0))
+    kit.watch_coordinator(coordinator)
+    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
+    kit.stop()
+    report = _finish(dep, result)
+    report.extras.update(
+        monitoring=kit, alerts=list(kit.monitor.alerts),
+        rollups=kit.monitor.rollups(),
+        outage_at_step=outage_at_step if inject_faults else None,
+        slow_at_step=slow_at_step if inject_faults else None)
     return report

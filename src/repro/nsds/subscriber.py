@@ -14,9 +14,11 @@ class NSDSReceiver:
 
     Because delivery is best-effort over possibly non-FIFO links, samples
     may arrive out of order or not at all.  The receiver records, per
-    channel, the samples in arrival order, the highest sequence seen, and
-    how many sequence numbers were skipped — the observable "best effort"
-    of the paper's NSDS.
+    channel, the samples in arrival order and the highest sequence seen;
+    skipped sequence numbers (``nsds.receiver.gaps``) and late arrivals
+    (``nsds.receiver.out_of_order``) are counted into the run's telemetry
+    registry, labelled by host and port, so stream-health consumers read
+    them the same way as every other metric.
     """
 
     _port_ids = IdFactory("nsds-sink")
@@ -29,8 +31,23 @@ class NSDSReceiver:
         self.callback = callback
         self.samples: dict[str, list[StreamSample]] = {}
         self.highest_seq: dict[str, int] = {}
-        self.out_of_order: int = 0
+        telemetry = network.kernel.telemetry
+        self._tm_gaps = telemetry.counter("nsds.receiver.gaps",
+                                          host=host, port=self.port)
+        self._tm_out_of_order = telemetry.counter(
+            "nsds.receiver.out_of_order", host=host, port=self.port)
         network.host(host).bind(self.port, self._on_message)
+
+    @property
+    def out_of_order(self) -> int:
+        """Samples that arrived after a later sequence number."""
+        return self._tm_out_of_order.value
+
+    @property
+    def gap_count(self) -> int:
+        """Sequence numbers skipped at arrival time (gross, not net:
+        a gap later filled by an out-of-order arrival stays counted)."""
+        return self._tm_gaps.value
 
     def _on_message(self, msg: Message) -> None:
         payload = msg.payload
@@ -43,7 +60,9 @@ class NSDSReceiver:
         per.append(sample)
         prev = self.highest_seq.get(sample.channel, 0)
         if sample.sequence < prev:
-            self.out_of_order += 1
+            self._tm_out_of_order.inc()
+        elif sample.sequence > prev + 1:
+            self._tm_gaps.inc(sample.sequence - prev - 1)
         self.highest_seq[sample.channel] = max(prev, sample.sequence)
         if self.callback is not None:
             self.callback(sample)

@@ -16,6 +16,11 @@ class NotificationSink:
     them in arrival order and optionally invokes a callback — remote
     monitoring tools (the CHEF data viewer, the MOST coordinator's health
     display) are built on this.
+
+    A raising callback must not take delivery down with it: the payload is
+    recorded first, the failure is logged and counted
+    (``ogsi.notify.subscriber_errors``), and the network keeps delivering
+    to every other sink — one broken viewer cannot blind the rest.
     """
 
     _port_ids = IdFactory("notify")
@@ -27,14 +32,28 @@ class NotificationSink:
         self.port = NotificationSink._port_ids()
         self.callback = callback
         self.received: list[dict[str, Any]] = []
+        self._tm_errors = network.kernel.telemetry.counter(
+            "ogsi.notify.subscriber_errors", host=host, port=self.port)
         network.host(host).bind(self.port, self._on_message)
+
+    @property
+    def subscriber_errors(self) -> int:
+        """Callback failures swallowed by this sink."""
+        return self._tm_errors.value
 
     def _on_message(self, msg: Message) -> None:
         if not isinstance(msg.payload, dict):
             return
         self.received.append(msg.payload)
-        if self.callback is not None:
+        if self.callback is None:
+            return
+        try:
             self.callback(msg.payload)
+        except Exception as exc:
+            self._tm_errors.inc()
+            self.network.kernel.emit(
+                f"notify.{self.host}", "subscriber.error",
+                port=self.port, error=f"{type(exc).__name__}: {exc}")
 
     def for_service(self, service_id: str) -> list[dict[str, Any]]:
         """Notifications from one service, in arrival order."""

@@ -39,6 +39,7 @@ from repro.repository.checkpoint import (
     RepositoryCheckpointStore,
     build_checkpoint_doc,
     validate_checkpoint_payload,
+    validate_manifest_payload,
 )
 
 __all__ = [
@@ -58,4 +59,5 @@ __all__ = [
     "RepositoryCheckpointStore",
     "build_checkpoint_doc",
     "validate_checkpoint_payload",
+    "validate_manifest_payload",
 ]

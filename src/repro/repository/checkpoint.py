@@ -34,12 +34,13 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.daq.filestore import StagingStore
-from repro.net.rpc import RpcClient
+from repro.net.rpc import RpcClient, RpcError
 from repro.ogsi.handle import GridServiceHandle
 from repro.repository.transport import Transport
 from repro.util.errors import ConfigurationError, ReproError
 
 SCHEMA_ID = "repro.checkpoint/v1"
+MANIFEST_SCHEMA_ID = "repro.checkpoint-manifest/v1"
 
 _REASONS = ("policy", "abort", "final")
 #: Mirrors :data:`repro.coordinator.state.PHASES` (kept literal here so the
@@ -175,6 +176,52 @@ def validate_checkpoint_payload(payload: Any) -> None:
              "$.state.run_id", "must match the document run_id")
 
 
+def validate_manifest_payload(payload: Any) -> None:
+    """A checkpoint manifest document.
+
+    Shape::
+
+        {"schema": "repro.checkpoint-manifest/v1", "run_id": "...",
+         "seq": 3, "seqs": [1, 2, 3], "latest": {checkpoint doc},
+         "records": [merged record payloads, ascending by step]}
+
+    ``records`` is the full last-written-per-step merge across every
+    sequence in ``seqs`` — what :meth:`CheckpointStoreBase.load_history`
+    would otherwise recompute by refetching each document.
+    """
+    _require(isinstance(payload, dict), "$", "payload must be an object")
+    _require(payload.get("schema") == MANIFEST_SCHEMA_ID, "$.schema",
+             f"expected {MANIFEST_SCHEMA_ID!r}, "
+             f"got {payload.get('schema')!r}")
+    _require(isinstance(payload.get("run_id"), str) and payload.get("run_id"),
+             "$.run_id", "must be a non-empty string")
+    _check_int(payload.get("seq"), "$.seq", minimum=1)
+    seqs = payload.get("seqs")
+    _require(isinstance(seqs, list) and seqs, "$.seqs",
+             "must be a non-empty list")
+    for i, seq in enumerate(seqs):
+        _check_int(seq, f"$.seqs[{i}]", minimum=1)
+        if i:
+            _require(seq > seqs[i - 1], f"$.seqs[{i}]",
+                     "must be strictly ascending")
+    _require(seqs[-1] == payload["seq"], "$.seq",
+             "must equal the highest entry of seqs")
+    validate_checkpoint_payload(payload.get("latest"))
+    _require(payload["latest"]["run_id"] == payload["run_id"],
+             "$.latest.run_id", "must match the manifest run_id")
+    _require(payload["latest"]["seq"] == payload["seq"],
+             "$.latest.seq", "must match the manifest seq")
+    records = payload.get("records")
+    _require(isinstance(records, list), "$.records",
+             "records must be a list")
+    last_step = 0
+    for i, record in enumerate(records):
+        validate_record_payload(record, f"$.records[{i}]")
+        _require(record["step"] > last_step, f"$.records[{i}].step",
+                 "must be strictly ascending")
+        last_step = record["step"]
+
+
 def build_checkpoint_doc(*, run_id: str, seq: int, wall_time: float,
                          reason: str, state_payload: dict,
                          record_payloads: list) -> dict:
@@ -308,12 +355,22 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
     NFMS under ``checkpoints/<run_id>/<seq>.json``.  Load: ``listFiles``
     by prefix, ``negotiateTransfer`` per document, pull the replica back
     to a local staging store, parse and re-validate.
+
+    Unless ``manifest_enabled=False``, every save also writes a cumulative
+    manifest (``checkpoints/<run_id>/manifest/<seq>.json``,
+    ``repro.checkpoint-manifest/v1``) holding the latest document plus the
+    merged record history, so :meth:`load_history` on resume costs one
+    document fetch instead of one per sequence.  NFMS logical names are
+    immutable, hence one manifest per sequence; a manifest write failure
+    is logged, never fatal — the per-sequence documents remain the source
+    of truth and :meth:`load_history` falls back to walking them.
     """
 
     def __init__(self, *, host: str, repo_host: str,
                  repo_store: StagingStore, transport: Transport,
                  rpc: RpcClient, nfms: GridServiceHandle,
-                 staging: StagingStore | None = None):
+                 staging: StagingStore | None = None,
+                 manifest_enabled: bool = True):
         self.host = host
         self.repo_host = repo_host
         self.repo_store = repo_store
@@ -322,9 +379,15 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
         self.nfms = nfms
         self.kernel = transport.kernel
         self.staging = staging or StagingStore(name=f"{host}-checkpoints")
+        self.manifest_enabled = manifest_enabled
         self.saved = 0
         self.loaded = 0
+        self.manifest_saved = 0
+        self.manifest_fetches = 0
         self._fetches = 0
+        #: run_id -> step -> record payload (the manifest merge, cached)
+        self._merged: dict[str, dict[int, dict]] = {}
+        self._known_seqs: dict[str, list[int]] = {}
 
     @staticmethod
     def _prefix(run_id: str) -> str:
@@ -332,6 +395,12 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
 
     def _logical(self, run_id: str, seq: int) -> str:
         return f"{self._prefix(run_id)}{seq:06d}.json"
+
+    def _manifest_prefix(self, run_id: str) -> str:
+        return f"{self._prefix(run_id)}manifest/"
+
+    def _manifest_logical(self, run_id: str, seq: int) -> str:
+        return f"{self._manifest_prefix(run_id)}{seq:06d}.json"
 
     def _nfms_call(self, operation: str, params: dict):
         reply = yield from self.rpc.call(
@@ -355,7 +424,103 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
             "store": self.repo_store.name, "size": staged.size,
             "checksum": staged.checksum})
         self.saved += 1
+        if self.manifest_enabled:
+            try:
+                yield from self._write_manifest(doc)
+            except (RpcError, ReproError) as exc:
+                self.kernel.emit("repository.checkpoint", "manifest.failed",
+                                 run_id=doc["run_id"], seq=int(doc["seq"]),
+                                 error=str(exc))
         return int(doc["seq"])
+
+    def _write_manifest(self, doc: dict):
+        """Kernel process: persist the cumulative manifest for ``doc``."""
+        run_id = doc["run_id"]
+        seq = int(doc["seq"])
+        if run_id not in self._merged and seq > 1:
+            # A fresh store incarnation extending an existing run (e.g.
+            # the resumed coordinator): seed the merge from the prior
+            # manifest before folding the new document in.
+            prior = yield from self._load_latest_manifest(run_id)
+            if prior is not None:
+                self._merged[run_id] = {int(r["step"]): r
+                                        for r in prior["records"]}
+                self._known_seqs[run_id] = [int(s) for s in prior["seqs"]]
+        merged = self._merged.setdefault(run_id, {})
+        for record in doc["records"]:
+            merged[int(record["step"])] = record
+        seqs = self._known_seqs.setdefault(run_id, [])
+        if seq not in seqs:
+            seqs.append(seq)
+            seqs.sort()
+        manifest = {"schema": MANIFEST_SCHEMA_ID, "run_id": run_id,
+                    "seq": seq, "seqs": list(seqs), "latest": doc,
+                    "records": [merged[step] for step in sorted(merged)]}
+        validate_manifest_payload(manifest)
+        name = self._manifest_logical(run_id, seq)
+        text = json.dumps(manifest, sort_keys=True)
+        staged = self.staging.deposit(name, [(float(seq), text)],
+                                      created=self.kernel.now)
+        yield from self.transport.transfer(
+            self.host, self.repo_host, staged, self.repo_store,
+            dst_name=name)
+        yield from self._nfms_call("registerFile", {
+            "logical_name": name, "host": self.repo_host,
+            "store": self.repo_store.name, "size": staged.size,
+            "checksum": staged.checksum})
+        self.manifest_saved += 1
+
+    def _load_latest_manifest(self, run_id: str):
+        """Kernel process: highest-seq manifest document, or ``None``."""
+        prefix = self._manifest_prefix(run_id)
+        names = yield from self._nfms_call("listFiles", {"prefix": prefix})
+        seqs = []
+        for name in names:
+            stem = name[len(prefix):]
+            if stem.endswith(".json"):
+                try:
+                    seqs.append(int(stem[:-len(".json")]))
+                except ValueError:
+                    continue
+        if not seqs:
+            return None
+        name = self._manifest_logical(run_id, max(seqs))
+        negotiated = yield from self._nfms_call("negotiateTransfer", {
+            "logical_name": name,
+            "client_protocols": [self.transport.protocol]})
+        replica = negotiated["replica"]
+        self.manifest_fetches += 1
+        local_name = f"{name}#fetch{self.manifest_fetches}"
+        yield from self.transport.transfer(
+            replica["host"], self.host, self.repo_store.get(name),
+            self.staging, dst_name=local_name)
+        manifest = json.loads(self.staging.get(local_name).rows[0][1])
+        validate_manifest_payload(manifest)
+        return manifest
+
+    def load_history(self, run_id: str):
+        """Kernel process: one manifest fetch instead of a sequence walk.
+
+        Falls back to :meth:`CheckpointStoreBase.load_history` when
+        manifests are disabled, absent, or stale (a newer checkpoint
+        exists whose manifest write failed).
+        """
+        seqs = yield from self.list_seqs(run_id)
+        if not seqs:
+            return None, []
+        if self.manifest_enabled:
+            manifest = yield from self._load_latest_manifest(run_id)
+            if manifest is not None and int(manifest["seq"]) == max(seqs):
+                latest = manifest["latest"]
+                self._merged[run_id] = {int(r["step"]): r
+                                        for r in manifest["records"]}
+                self._known_seqs[run_id] = [int(s) for s in manifest["seqs"]]
+                resume_step = int(latest["state"]["step"])
+                records = [r for r in manifest["records"]
+                           if int(r["step"]) < resume_step]
+                return latest, records
+        result = yield from CheckpointStoreBase.load_history(self, run_id)
+        return result
 
     def list_seqs(self, run_id: str):
         """Kernel process: registered checkpoint sequences for a run."""

@@ -10,6 +10,11 @@ decomposition table.
 Usage::
 
     python -m repro.telemetry.report benchmarks/out/tperf_ntcp.trace.jsonl
+    python -m repro.telemetry.report --critical-path trace.jsonl
+
+With ``--critical-path`` the per-step phase table is replaced by the
+:mod:`repro.monitor.critical_path` blame analysis: which site's execute
+leg dominated each step, and how the idle slack distributes.
 """
 
 from __future__ import annotations
@@ -102,16 +107,24 @@ def report_from_jsonl(path: str | pathlib.Path, **kwargs: Any) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    critical_path = "--critical-path" in argv
+    argv = [a for a in argv if a != "--critical-path"]
     if not argv:
-        print("usage: python -m repro.telemetry.report <trace.jsonl> [...]",
-              file=sys.stderr)
+        print("usage: python -m repro.telemetry.report "
+              "[--critical-path] <trace.jsonl> [...]", file=sys.stderr)
         return 2
     for path in argv:
         if not pathlib.Path(path).exists():
             print(f"error: no such trace file: {path}", file=sys.stderr)
             return 2
         try:
-            print(report_from_jsonl(path))
+            if critical_path:
+                from repro.monitor.critical_path import (
+                    report_from_jsonl as cp_report)
+
+                print(cp_report(path))
+            else:
+                print(report_from_jsonl(path))
         except BrokenPipeError:  # e.g. piped into head
             return 0
         except (ValueError, KeyError) as exc:  # malformed trace file

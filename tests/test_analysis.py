@@ -239,6 +239,58 @@ class TestSpanLifecycle:
                 return reply
         """) == []
 
+    def test_attribute_stash_never_read_back_fires(self):
+        findings = check("""
+            class Monitor:
+                def open(self, tracer):
+                    self._span = tracer.start_span("a.b.c")
+        """)
+        assert codes(findings) == ["RPR004"]
+        assert "stashed in attribute `self._span`" in findings[0].message
+
+    def test_container_stash_never_read_back_fires(self):
+        findings = check("""
+            def f(tracer, spans):
+                spans["step"] = tracer.start_span("a.b.c")
+        """)
+        assert codes(findings) == ["RPR004"]
+        assert "stashed in container `spans`" in findings[0].message
+
+    def test_attribute_stash_closed_elsewhere_passes(self):
+        # The monitor idiom: the episode span opens in one method and is
+        # closed from another — module-wide read-back is good enough.
+        assert check("""
+            class Monitor:
+                def open(self, tracer):
+                    self._span = tracer.start_span("a.b.c")
+
+                def close(self):
+                    if self._span is not None:
+                        self._span.end()
+        """) == []
+
+    def test_container_stash_drained_elsewhere_passes(self):
+        assert check("""
+            def open_all(tracer, spans):
+                spans["step"] = tracer.start_span("a.b.c")
+
+            def drain(spans):
+                for span in spans.values():
+                    span.end()
+        """) == []
+
+    def test_distinct_attribute_chains_not_confused(self):
+        # reading back self._other must not excuse self._span
+        findings = check("""
+            class Monitor:
+                def open(self, tracer):
+                    self._span = tracer.start_span("a.b.c")
+
+                def close(self):
+                    self._other.end()
+        """)
+        assert codes(findings) == ["RPR004"]
+
 
 class TestBroadExcept:
     def test_silent_broad_except_fires(self):

@@ -44,12 +44,15 @@ from repro.net import FaultInjector, Network, RpcClient
 from repro.ogsi import ServiceContainer
 from repro.repository import checkpoint as checkpoint_schema
 from repro.repository.checkpoint import (
+    MANIFEST_SCHEMA_ID,
     SCHEMA_ID,
     CheckpointPolicy,
     CheckpointSchemaError,
     InMemoryCheckpointStore,
+    RepositoryCheckpointStore,
     build_checkpoint_doc,
     validate_checkpoint_payload,
+    validate_manifest_payload,
 )
 from repro.sim import Kernel
 from repro.structural import (
@@ -369,6 +372,148 @@ class TestInMemoryStore:
         assert latest["seq"] == 2
         assert [r["step"] for r in records] == [1, 2, 3, 4, 5]
         assert records[2]["displacement"] == rewritten["displacement"]
+
+
+def repository_store_env():
+    """coord host + repo host running NFMS, with a store factory.
+
+    The factory lets one test create several store incarnations against
+    the same repository — the resume pattern: the first incarnation wrote
+    the checkpoints, a fresh one loads the history back.
+    """
+    from repro.daq.filestore import RepositoryFileStore
+    from repro.repository import GridFTPTransport, NFMSService
+
+    k = Kernel()
+    net = Network(k, seed=0)
+    net.add_host("coord")
+    net.add_host("repo")
+    net.connect("coord", "repo", latency=0.02)
+    container = ServiceContainer(net, "repo")
+    nfms = NFMSService()
+    handle = container.deploy(nfms)
+    nfms.install_transport("gridftp")
+    repo_store = RepositoryFileStore()
+    rpc = RpcClient(net, "coord", default_timeout=30.0)
+
+    def make_store(**kw):
+        return RepositoryCheckpointStore(
+            host="coord", repo_host="repo", repo_store=repo_store,
+            transport=GridFTPTransport(net), rpc=rpc, nfms=handle, **kw)
+
+    return k, make_store
+
+
+def make_doc_pair():
+    """Two overlapping checkpoint docs (same shape as the merge test)."""
+    state1 = make_state(step=4, checkpoint_seq=1)
+    doc1 = build_checkpoint_doc(
+        run_id="run", seq=1, wall_time=1.0, reason="policy",
+        state_payload=state1.to_payload(),
+        record_payloads=[make_record_payload(s) for s in (1, 2, 3)])
+    state2 = make_state(step=6, checkpoint_seq=2)
+    rewritten = make_record_payload(3, displacement=0.125)
+    doc2 = build_checkpoint_doc(
+        run_id="run", seq=2, wall_time=2.0, reason="abort",
+        state_payload=state2.to_payload(),
+        record_payloads=[rewritten] + [make_record_payload(s)
+                                       for s in (4, 5, 6)])
+    return doc1, doc2
+
+
+class TestManifestSchema:
+    def make_manifest(self, **overrides):
+        doc = make_doc(seq=2, step=6)
+        manifest = {"schema": MANIFEST_SCHEMA_ID, "run_id": "run", "seq": 2,
+                    "seqs": [1, 2], "latest": doc,
+                    "records": doc["records"]}
+        manifest.update(overrides)
+        return manifest
+
+    def test_valid_manifest_passes(self):
+        validate_manifest_payload(self.make_manifest())
+
+    @pytest.mark.parametrize("mutation", [
+        {"schema": "repro.checkpoint/v1"},
+        {"seqs": [2, 1]},
+        {"seqs": [1]},          # last entry must equal seq
+        {"seqs": []},
+        {"seq": 3},             # latest doc seq must match
+        {"run_id": "other"},
+    ])
+    def test_malformed_manifest_rejected(self, mutation):
+        with pytest.raises(CheckpointSchemaError):
+            validate_manifest_payload(self.make_manifest(**mutation))
+
+
+class TestRepositoryManifest:
+    def save_all(self, k, store, docs):
+        for doc in docs:
+            k.run(until=k.process(store.save(doc)))
+
+    def test_load_history_costs_one_manifest_fetch(self):
+        k, make_store = repository_store_env()
+        writer = make_store()
+        self.save_all(k, writer, make_doc_pair())
+        assert writer.manifest_saved == 2
+
+        reader = make_store()  # the resume incarnation
+        latest, records = k.run(until=k.process(reader.load_history("run")))
+        assert latest["seq"] == 2
+        assert [r["step"] for r in records] == [1, 2, 3, 4, 5]
+        assert records[2]["displacement"] == \
+            make_record_payload(3, displacement=0.125)["displacement"]
+        # the point of the manifest: no per-sequence document fetches
+        assert reader.manifest_fetches == 1
+        assert reader._fetches == 0
+
+    def test_history_identical_to_sequence_walk(self):
+        k, make_store = repository_store_env()
+        writer = make_store()
+        self.save_all(k, writer, make_doc_pair())
+        fast = k.run(until=k.process(make_store().load_history("run")))
+        slow_store = make_store(manifest_enabled=False)
+        slow = k.run(until=k.process(slow_store.load_history("run")))
+        assert fast == slow
+        assert slow_store._fetches == 2  # the walk fetched every document
+
+    def test_stale_manifest_falls_back_to_walk(self):
+        k, make_store = repository_store_env()
+        doc1, doc2 = make_doc_pair()
+        writer = make_store()
+        self.save_all(k, writer, [doc1])
+        # the second checkpoint lands without a manifest (write failed)
+        writer.manifest_enabled = False
+        self.save_all(k, writer, [doc2])
+
+        reader = make_store()
+        latest, records = k.run(until=k.process(reader.load_history("run")))
+        assert latest["seq"] == 2  # not the stale manifest's seq 1
+        assert [r["step"] for r in records] == [1, 2, 3, 4, 5]
+        assert reader._fetches == 2  # fell back to the sequence walk
+
+    def test_manifest_write_failure_is_not_fatal(self):
+        k, make_store = repository_store_env()
+        doc1, _ = make_doc_pair()
+        store = make_store()
+        # Poison the staging area: the manifest deposit will collide.
+        store.staging.deposit("checkpoints/run/manifest/000001.json", [],
+                              created=0.0)
+        seq = k.run(until=k.process(store.save(doc1)))
+        assert seq == 1
+        assert store.saved == 1 and store.manifest_saved == 0
+        # the per-sequence document is still there and loadable
+        latest, records = k.run(until=k.process(
+            make_store().load_history("run")))
+        assert latest["seq"] == 1
+        assert [r["step"] for r in records] == [1, 2, 3]
+
+    def test_empty_run_short_circuits(self):
+        k, make_store = repository_store_env()
+        store = make_store()
+        assert k.run(until=k.process(store.load_history("ghost"))) \
+            == (None, [])
+        assert store.manifest_fetches == 0
 
 
 def build_three_site_rig(*, n_steps=60, dt=0.02, compute_time=0.05,

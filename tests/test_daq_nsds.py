@@ -253,6 +253,47 @@ class TestNSDS:
         out2 = call(k, rpc, "drain", {"channel": "force"})
         assert [s["value"] for s in out2] == [3.0, 4.0]
 
+    def test_gap_and_reorder_counters_in_telemetry_hub(self):
+        """Receiver gap accounting is readable from the metric registry,
+        labelled by host and port, exactly like every other metric."""
+        k, net, nsds, rpc = nsds_env()
+        recv = NSDSReceiver(net, "viewer")
+        from repro.net.network import Message
+
+        def deliver(seq):
+            recv._on_message(Message(src="site", dst="viewer",
+                                     port=recv.port,
+                                     payload={"stream": "s", "channel": "c",
+                                              "sequence": seq, "time": 0.0,
+                                              "value": seq},
+                                     msg_id=f"m{seq}", send_time=0.0))
+
+        for seq in (1, 2, 5, 4, 9):
+            deliver(seq)
+        # 3 skipped (2->5 gap of 2, one later filled), 4 late, 6-8 skipped
+        assert recv.gap_count == 5
+        assert recv.out_of_order == 1
+        gaps = k.telemetry.registry.find("nsds.receiver.gaps",
+                                         host="viewer", port=recv.port)
+        ooo = k.telemetry.registry.find("nsds.receiver.out_of_order",
+                                        host="viewer", port=recv.port)
+        assert gaps.value == 5 and ooo.value == 1
+
+    def test_two_receivers_count_independently(self):
+        k, net, nsds, rpc = nsds_env()
+        first = NSDSReceiver(net, "viewer")
+        second = NSDSReceiver(net, "viewer")
+        call(k, rpc, "subscribe", {"sink_host": "viewer",
+                                   "sink_port": second.port,
+                                   "lifetime": 1000.0})
+        for i in range(5):
+            nsds.ingest(float(i), {"force": float(i)})
+        k.run()
+        # only the subscribed receiver saw traffic; neither counted gaps
+        assert second.received_count("force") == 5
+        assert first.received_count("force") == 0
+        assert first.gap_count == 0 and second.gap_count == 0
+
     def test_subscription_expires(self):
         k, net, nsds, rpc = nsds_env()
         recv = NSDSReceiver(net, "viewer")

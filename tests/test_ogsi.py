@@ -319,3 +319,34 @@ class TestNotifications:
         call(k, client, "invoke", {"service_id": "c1", "operation": "increment"})
         k.run()
         assert got == [1]
+
+    def test_raising_callback_does_not_break_delivery(self):
+        """One broken subscriber cannot blind the others (or itself)."""
+        k, net, container, client = make_env()
+        container.deploy(Counter("c1"))
+
+        def explode(note):
+            raise RuntimeError("viewer crashed")
+
+        broken = NotificationSink(net, "user", callback=explode)
+        good_values = []
+        healthy = NotificationSink(net, "user",
+                                   callback=lambda n: good_values.append(
+                                       n["value"]))
+        for sink in (broken, healthy):
+            call(k, client, "subscribe", {
+                "service_id": "c1", "sink_host": "user",
+                "sink_port": sink.port, "lifetime": 1000.0})
+        for _ in range(3):
+            call(k, client, "invoke", {"service_id": "c1",
+                                       "operation": "increment"})
+        k.run()
+        # the healthy sink saw everything, the broken one still recorded
+        assert good_values == [1, 2, 3]
+        assert [n["value"] for n in broken.for_service("c1")] == [1, 2, 3]
+        # and the failures are counted, per sink, in the telemetry hub
+        assert broken.subscriber_errors == 3
+        assert healthy.subscriber_errors == 0
+        metric = k.telemetry.registry.find("ogsi.notify.subscriber_errors",
+                                           host="user", port=broken.port)
+        assert metric is not None and metric.value == 3
