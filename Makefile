@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analyze smoke monitor-smoke bench check
+.PHONY: test lint analyze smoke monitor-smoke chaos-smoke bench check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -18,7 +18,10 @@ smoke:
 monitor-smoke:
 	$(PYTHON) scripts/monitor_smoke.py
 
+chaos-smoke:
+	$(PYTHON) scripts/chaos_smoke.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-check: lint analyze test smoke monitor-smoke
+check: lint analyze test smoke monitor-smoke chaos-smoke

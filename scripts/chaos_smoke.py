@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI smoke target: chaos campaigns hold their invariants.
+
+Two fixed seeds over a short MOST assembly (``repro.chaos``):
+
+1. **Recoverable** — seed 1's fault schedule must be ridden out by the
+   fault-tolerant coordinator with every protocol invariant intact and
+   the result bit-exact against a clean baseline (zero degraded steps).
+2. **Forced failover** — seed 7's schedule ends in a permanent outage.
+   The site's circuit breaker must open, the numerical surrogate must
+   take over, the monitor must raise a ``breaker_open`` alert, and the
+   run must still commit every step with zero double-executions and
+   every degraded step labelled.
+
+Exits non-zero on any failure, so CI can gate on ``make chaos-smoke``.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chaos import ChaosCampaign
+from repro.most import MOSTConfig
+
+RECOVERABLE_SEED = 1
+FAILOVER_SEED = 7
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def show(report) -> None:
+    inv = report.invariants
+    for name, ok in sorted(inv["checks"].items()):
+        print(f"    {'ok ' if ok else 'BAD'} {name}")
+    for violation in inv["violations"]:
+        print(f"    ! {violation}")
+
+
+def main() -> int:
+    config = MOSTConfig().scaled(40)
+
+    print(f"[1] recoverable chaos run (seed {RECOVERABLE_SEED})")
+    recoverable = ChaosCampaign(config, n_events=3).run_one(RECOVERABLE_SEED)
+    show(recoverable)
+    if not recoverable.ok:
+        fail(f"invariant violations: {recoverable.invariants['violations']}")
+    if not recoverable.result.completed:
+        fail(f"recoverable run stopped at "
+             f"{recoverable.result.steps_completed} steps")
+    if recoverable.invariants["degraded_steps"] != 0:
+        fail("recoverable schedule should never need the surrogate")
+    if not recoverable.invariants["checks"].get("bit_exact_vs_baseline"):
+        fail("recoverable run is not bit-exact against the clean baseline")
+    print(f"    completed {recoverable.result.steps_completed} steps, "
+          f"recoveries={recoverable.result.recoveries}, bit-exact")
+
+    print(f"[2] forced-failover chaos run (seed {FAILOVER_SEED})")
+    forced = ChaosCampaign(config, n_events=2, force_failover=True,
+                           monitor=True).run_one(FAILOVER_SEED)
+    show(forced)
+    if not forced.ok:
+        fail(f"invariant violations: {forced.invariants['violations']}")
+    if not forced.result.completed:
+        fail(f"degraded run stopped at {forced.result.steps_completed} "
+             "steps — failover did not carry it through the outage")
+    if forced.invariants["degraded_steps"] == 0:
+        fail("permanent outage never forced a surrogate swap")
+    kinds = {kind for kind, *_ in forced.alerts}
+    if "breaker_open" not in kinds:
+        fail(f"no breaker_open alert during the permanent outage "
+             f"(got {sorted(kinds)})")
+    print(f"    completed {forced.result.steps_completed} steps, "
+          f"degraded_steps={forced.invariants['degraded_steps']}, "
+          f"alerts={sorted(kinds)}")
+
+    print("chaos smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

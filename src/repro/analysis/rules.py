@@ -1,4 +1,4 @@
-"""The repo-specific rules (``RPR001``–``RPR006``).
+"""The repo-specific rules (``RPR001``–``RPR007``).
 
 Each rule machine-checks one invariant the codebase otherwise only states
 in prose (docstrings, DESIGN.md, the telemetry schema).  They are
@@ -613,3 +613,67 @@ class AllDrift(Rule):
         elif isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
                 yield from AllDrift._target_names(element)
+
+
+# ---------------------------------------------------------------------------
+# RPR007 — mutable default arguments
+
+
+@register
+class MutableDefaultArgument(Rule):
+    """No mutable objects as parameter defaults outside ``tests``.
+
+    A default expression is evaluated once, at definition time, so a
+    list/dict/set default is silently shared across every call — state
+    from one run leaks into the next.  Flagged as defaults: the literal
+    displays (``[]``, ``{}``, ``{x}``), comprehensions, and calls to the
+    mutable constructors (``list``/``dict``/``set``/``bytearray`` and the
+    ``collections`` containers).  Test modules are exempt — fixtures
+    there live for one test and the terseness is worth it.
+    """
+
+    code = "RPR007"
+    name = "mutable-default-argument"
+    summary = ("no list/dict/set literals, comprehensions, or constructor "
+               "calls as parameter defaults (tests exempt)")
+
+    MUTABLE_CALLS = {
+        "list", "dict", "set", "bytearray",
+        "collections.defaultdict", "collections.OrderedDict",
+        "collections.deque", "collections.Counter",
+    }
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module == "tests" or ctx.module.startswith("tests."):
+            return
+        modules, names = _import_maps(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                what = self._mutable(default, modules, names)
+                if what is None:
+                    continue
+                fn = getattr(node, "name", "<lambda>")
+                yield ctx.finding(
+                    default, self.code,
+                    f"mutable default ({what}) on `{fn}` is evaluated once "
+                    "and shared across calls; default to None and build "
+                    "the container inside the function")
+
+    def _mutable(self, node: ast.AST, modules: dict[str, str],
+                 names: dict[str, str]) -> str | None:
+        if isinstance(node, (ast.List, ast.ListComp)):
+            return "list"
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return "dict"
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set"
+        if isinstance(node, ast.Call):
+            canon = _canonical_call(node, modules, names)
+            if canon in self.MUTABLE_CALLS:
+                return f"{canon}()"
+        return None

@@ -1,0 +1,36 @@
+"""Seeded chaos engineering over the MOST assembly.
+
+The paper's robustness story is a single anecdote — transient outages
+absorbed during the day, one long outage fatal at step 1493.  This
+package generalises it: :func:`make_plan` draws a deterministic schedule
+of faults (drops, duplication, reordering, corruption, jitter bursts,
+site crashes, link outages) from a seed, :class:`ChaosCampaign` runs the
+full deployment under each schedule, and :func:`check_invariants` passes
+judgement — at-most-once held, the commit sequence stayed monotone,
+results match the clean baseline bit-exact unless a surrogate served,
+and every degraded step is labelled.
+"""
+
+from repro.chaos.campaign import (
+    CHAOS_KINDS,
+    CHAOS_SITES,
+    ChaosCampaign,
+    ChaosEvent,
+    ChaosPlan,
+    ChaosRunReport,
+    arm_plan,
+    check_invariants,
+    make_plan,
+)
+
+__all__ = [
+    "ChaosCampaign",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosRunReport",
+    "CHAOS_KINDS",
+    "CHAOS_SITES",
+    "arm_plan",
+    "check_invariants",
+    "make_plan",
+]

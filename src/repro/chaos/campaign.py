@@ -1,0 +1,384 @@
+"""Seeded chaos campaigns over the full MOST assembly.
+
+A campaign turns the paper's anecdotal fault history ("several network
+interruptions ... a longer network failure at step 1493") into a
+systematic robustness probe: a seeded RNG composes a randomized — but
+fully deterministic — schedule of network and site faults over a real
+:func:`~repro.most.assembly.build_most` deployment, runs the experiment
+under a fault-tolerant coordinator (optionally with circuit breakers and
+surrogate failover), and checks protocol invariants after every run.
+
+Determinism contract: the RNG is consumed **only** while building the
+:class:`ChaosPlan`.  Execution is driven entirely by the simulation
+kernel and the deployment's own seeded generators, so the same seed
+yields the same fault schedule, the same alerts at the same sim times,
+and the same invariant verdicts — a failing seed is a reproducible bug
+report, not a flake.
+
+Invariants checked per run (:func:`check_invariants`):
+
+* the run completed (or, for naive-policy control runs, aborted where
+  expected);
+* the committed step sequence is contiguous and strictly monotone;
+* no step was physically executed twice — every duplicate execute
+  request was absorbed by NTCP's at-most-once idempotency (first-time
+  executions across a site's real server and any surrogates sum to
+  exactly the committed step count);
+* with no degradation, displacement/force histories are **bit-exact**
+  (``np.array_equal``) against a clean same-config baseline;
+* degraded step labels exactly track the failover/readmission windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.coordinator import FaultTolerantFaultPolicy
+from repro.most.assembly import MOSTDeployment, build_most
+from repro.most.config import MOSTConfig
+from repro.net.rpc import RpcRequest
+from repro.util.errors import ConfigurationError
+
+#: fault vocabulary a plan draws from (site-targeted unless noted)
+CHAOS_KINDS = ("transient_drop", "duplicate", "reorder", "corrupt",
+               "jitter", "crash", "outage")
+#: sites a plan may target
+CHAOS_SITES = ("uiuc", "cu", "ncsa")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: ``kind`` hits ``site`` when ``step`` first
+    goes on the wire (the same traffic-watching trigger the §3.4
+    scenarios use, so the fault lands on the step regardless of pacing)."""
+
+    kind: str
+    step: int
+    site: str
+    duration: float = 0.0   # outage / crash / jitter burst length (sim s)
+    count: int = 1          # messages affected (drop / duplicate / ...)
+    magnitude: float = 0.0  # jitter sigma for jitter bursts
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic fault schedule: ``make_plan(seed, ...)`` output."""
+
+    seed: int
+    n_steps: int
+    events: tuple[ChaosEvent, ...]
+    #: a permanent coordinator—site outage near the end, forcing failover
+    fatal_site: str = ""
+    fatal_step: int = 0
+
+    def describe(self) -> list[dict[str, Any]]:
+        """JSON-friendly schedule (bench output, cross-run comparison)."""
+        rows = [{"kind": e.kind, "step": e.step, "site": e.site,
+                 "duration": e.duration, "count": e.count,
+                 "magnitude": e.magnitude} for e in self.events]
+        if self.fatal_site:
+            rows.append({"kind": "fatal_outage", "step": self.fatal_step,
+                         "site": self.fatal_site, "duration": float("inf"),
+                         "count": 1, "magnitude": 0.0})
+        return rows
+
+
+def make_plan(seed: int, config: MOSTConfig, *, n_events: int = 5,
+              force_failover: bool = False) -> ChaosPlan:
+    """Draw a deterministic fault schedule from ``seed``.
+
+    Faults land on steps in the middle 80% of the run (step 0 and the
+    final step are protocol edges better exercised deliberately), with
+    durations bounded so a fault-tolerant coordinator *can* ride each
+    one out — the point of a recoverable campaign is that it recovers.
+    With ``force_failover`` the plan ends in a permanent outage at the
+    paper's fatal fraction of the run, so only surrogate failover can
+    finish the experiment.
+    """
+    if n_events < 0:
+        raise ConfigurationError("n_events must be >= 0")
+    rng = np.random.default_rng(seed)
+    n_steps = config.n_steps
+    lo = max(1, round(n_steps * 0.1))
+    hi = max(lo + 1, round(n_steps * 0.9))
+    events = []
+    for _ in range(n_events):
+        kind = CHAOS_KINDS[int(rng.integers(len(CHAOS_KINDS)))]
+        site = CHAOS_SITES[int(rng.integers(len(CHAOS_SITES)))]
+        step = int(rng.integers(lo, hi))
+        duration = 0.0
+        count = 1
+        magnitude = 0.0
+        if kind == "outage":
+            duration = float(rng.uniform(30.0, 180.0))
+        elif kind == "crash":
+            duration = float(rng.uniform(20.0, 90.0))
+        elif kind == "jitter":
+            duration = float(rng.uniform(60.0, 240.0))
+            magnitude = float(rng.uniform(0.02, 0.2))
+        elif kind in ("transient_drop", "duplicate", "reorder", "corrupt"):
+            count = int(rng.integers(1, 3))
+        events.append(ChaosEvent(kind=kind, step=step, site=site,
+                                 duration=duration, count=count,
+                                 magnitude=magnitude))
+    events.sort(key=lambda e: (e.step, e.site, e.kind))
+    fatal_site = ""
+    fatal_step = 0
+    if force_failover:
+        fatal_site = CHAOS_SITES[int(rng.integers(len(CHAOS_SITES)))]
+        fatal_step = max(1, min(round(n_steps * 1493 / 1500), n_steps - 1))
+    return ChaosPlan(seed=seed, n_steps=n_steps, events=tuple(events),
+                     fatal_site=fatal_site, fatal_step=fatal_step)
+
+
+def _arm_event(dep: MOSTDeployment, event: ChaosEvent) -> None:
+    """Install one plan event behind a traffic-watching trigger."""
+    marker = f"step{event.step:05d}"
+    armed = [False]
+    site = event.site
+    faults = dep.faults
+
+    def fire() -> None:
+        now = dep.kernel.now
+        if event.kind == "transient_drop":
+            faults.drop_matching(
+                lambda m: m.src == site and m.port.startswith("rpc-reply"),
+                count=event.count)
+        elif event.kind == "duplicate":
+            faults.duplicate_matching(
+                lambda m: m.dst == site and isinstance(m.payload, RpcRequest),
+                count=event.count)
+        elif event.kind == "reorder":
+            faults.reorder_matching(
+                lambda m: m.dst == site and isinstance(m.payload, RpcRequest),
+                count=max(event.count, 2))
+        elif event.kind == "corrupt":
+            faults.corrupt_matching(
+                lambda m: m.src == site and m.port.startswith("rpc-reply"),
+                count=event.count)
+        elif event.kind == "jitter":
+            faults.jitter_burst("coord", site, jitter=event.magnitude,
+                                start=now, duration=event.duration)
+        elif event.kind == "crash":
+            faults.crash_host(site, start=now, duration=event.duration)
+        elif event.kind == "outage":
+            faults.schedule_outage("coord", site, start=now,
+                                   duration=event.duration)
+        else:
+            raise ConfigurationError(f"unknown chaos kind {event.kind!r}")
+
+    def watch(msg) -> bool:
+        if armed[0] or msg.dst != site:
+            return False
+        payload = msg.payload
+        if isinstance(payload, RpcRequest) and marker in str(payload.params):
+            armed[0] = True
+            fire()
+        return False  # the watcher never drops; the armed fault does
+
+    dep.network.add_drop_filter(watch)
+
+
+def arm_plan(dep: MOSTDeployment, plan: ChaosPlan) -> None:
+    """Install every event of ``plan`` on a freshly built deployment."""
+    for event in plan.events:
+        _arm_event(dep, event)
+    if plan.fatal_site:
+        from repro.most.scenario import _arm_fatal_outage_at_step
+
+        _arm_fatal_outage_at_step(dep, plan.fatal_step, plan.fatal_site,
+                                  duration=float("inf"))
+
+
+def check_invariants(result, dep: MOSTDeployment, *, baseline=None,
+                     failover=None,
+                     expect_completion: bool = True) -> dict[str, Any]:
+    """Judge one chaos run; returns verdicts plus a violations list."""
+    violations: list[str] = []
+    checks: dict[str, bool] = {}
+
+    completed_ok = result.completed if expect_completion else True
+    checks["completed"] = completed_ok
+    if not completed_ok:
+        violations.append(
+            f"run aborted at step {result.aborted_at_step} "
+            f"({result.aborted_reason})")
+
+    sequence = [r.step for r in result.steps]
+    monotone = sequence == list(range(1, len(sequence) + 1))
+    checks["commit_sequence_monotone"] = monotone
+    if not monotone:
+        violations.append(f"commit sequence not contiguous: {sequence[:10]}…")
+
+    # No step physically executed twice: first-time executions across a
+    # site's real server plus any surrogates must equal committed steps
+    # + 1 (the step-0 rest measurement).  Duplicate execute *requests*
+    # are legal — NTCP absorbs them — but each transaction transitions
+    # to EXECUTED exactly once.
+    surrogate_executed: dict[str, int] = {}
+    if failover is not None:
+        for active in failover.active.values():
+            surrogate_executed[active.site] = (
+                surrogate_executed.get(active.site, 0)
+                + active.server.metrics()["executed"])
+    expected = len(result.steps) + 1
+    duplicate_executes = 0
+    no_double = True
+    for name, site in dep.sites.items():
+        executed = (site.server.metrics()["executed"]
+                    + surrogate_executed.get(name, 0))
+        duplicate_executes += site.server.metrics()["duplicate_executes"]
+        if result.completed and executed != expected:
+            no_double = False
+            violations.append(
+                f"site {name} executed {executed} transactions, "
+                f"expected {expected}")
+    checks["no_double_execute"] = no_double
+
+    degraded_steps = result.degraded_steps
+    if baseline is not None and degraded_steps == 0 and result.completed:
+        exact = (np.array_equal(result.displacement_history(),
+                                baseline.displacement_history())
+                 and np.array_equal(result.force_history(),
+                                    baseline.force_history()))
+        checks["bit_exact_vs_baseline"] = exact
+        if not exact:
+            violations.append(
+                "histories differ from the clean baseline despite "
+                "zero degraded steps")
+
+    # Degraded labels must exactly track the failover/readmission
+    # windows the manager recorded.
+    expected_by_step: dict[int, set] = {}
+    if failover is not None and failover.events:
+        current: set = set()
+        events = sorted(failover.events, key=lambda e: (e.step, e.kind))
+        idx = 0
+        for r in result.steps:
+            while idx < len(events) and events[idx].step <= r.step:
+                if events[idx].kind == "failover":
+                    current.add(events[idx].site)
+                else:
+                    current.discard(events[idx].site)
+                idx += 1
+            expected_by_step[r.step] = set(current)
+    labels_ok = all(set(r.degraded) == expected_by_step.get(r.step, set())
+                    for r in result.steps)
+    checks["degraded_labels"] = labels_ok
+    if not labels_ok:
+        violations.append("degraded labels disagree with failover events")
+
+    return {"checks": checks, "violations": violations,
+            "ok": not violations, "duplicate_executes": duplicate_executes,
+            "degraded_steps": degraded_steps}
+
+
+@dataclass
+class ChaosRunReport:
+    """Everything one seed's run produced, JSON-friendly via ``row()``."""
+
+    seed: int
+    plan: ChaosPlan
+    result: Any
+    invariants: dict[str, Any]
+    alerts: list[tuple] = field(default_factory=list)
+    failover_events: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.invariants["ok"])
+
+    def row(self) -> dict[str, Any]:
+        return {"seed": self.seed,
+                "schedule": self.plan.describe(),
+                "completed": self.result.completed,
+                "steps_completed": self.result.steps_completed,
+                "recoveries": self.result.recoveries,
+                "degraded_steps": self.invariants["degraded_steps"],
+                "duplicate_executes": self.invariants["duplicate_executes"],
+                "checks": dict(self.invariants["checks"]),
+                "violations": list(self.invariants["violations"]),
+                "alerts": [list(a) for a in self.alerts],
+                "failover_events": list(self.failover_events),
+                "ok": self.ok}
+
+
+class ChaosCampaign:
+    """Run the MOST assembly under N seeded fault schedules.
+
+    Each seed gets a fresh deployment (chaos must not leak between
+    runs), the seed's :class:`ChaosPlan`, a fault-tolerant coordinator
+    — with breakers and surrogate failover when ``failover`` is on —
+    and a post-run invariant sweep against a lazily built clean
+    baseline.  ``monitor=True`` attaches the operations console so the
+    alert feed joins each report (and stays deterministic per seed).
+    """
+
+    def __init__(self, config: MOSTConfig | None = None, *,
+                 n_events: int = 5, force_failover: bool = False,
+                 failover: bool = True, monitor: bool = False):
+        self.config = config or MOSTConfig()
+        self.n_events = n_events
+        self.force_failover = force_failover
+        self.failover = failover
+        self.monitor = monitor
+        self._baseline = None
+
+    def baseline(self):
+        """The clean same-config run chaos results must match bit-exact."""
+        if self._baseline is None:
+            dep = build_most(self.config)
+            dep.start_backends()
+            coordinator = dep.make_coordinator(
+                run_id="chaos-baseline",
+                fault_policy=FaultTolerantFaultPolicy())
+            self._baseline = dep.kernel.run(
+                until=dep.kernel.process(coordinator.run()))
+            dep.stop_observation()
+        return self._baseline
+
+    def run_one(self, seed: int) -> ChaosRunReport:
+        plan = make_plan(seed, self.config, n_events=self.n_events,
+                         force_failover=self.force_failover)
+        dep = build_most(self.config)
+        dep.start_backends()
+        kit = None
+        if self.monitor:
+            from repro.monitor import attach_monitoring
+
+            kit = attach_monitoring(dep)
+            kit.start()
+        breakers = None
+        manager = None
+        if self.failover:
+            breakers = dep.make_breakers()
+            manager = dep.make_failover()
+        arm_plan(dep, plan)
+        coordinator = dep.make_coordinator(
+            run_id=f"chaos-{seed}",
+            fault_policy=FaultTolerantFaultPolicy(
+                max_attempts=12, backoff=30.0, backoff_factor=1.5,
+                max_backoff=600.0),
+            breakers=breakers, failover=manager)
+        if kit is not None:
+            kit.watch_coordinator(coordinator)
+        result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
+        if kit is not None:
+            kit.stop()
+        dep.stop_observation()
+        invariants = check_invariants(result, dep, baseline=self.baseline(),
+                                      failover=manager)
+        alerts = []
+        if kit is not None:
+            alerts = [(a.kind, a.severity, a.site, a.step)
+                      for a in kit.monitor.alerts]
+        failover_events = manager.report()["events"] if manager else []
+        return ChaosRunReport(seed=seed, plan=plan, result=result,
+                              invariants=invariants, alerts=alerts,
+                              failover_events=failover_events)
+
+    def run(self, seeds) -> list[ChaosRunReport]:
+        return [self.run_one(int(seed)) for seed in seeds]

@@ -9,6 +9,8 @@ Subcommands map to the experiments a user most often wants to replay:
 * ``monitor`` — run MOST under the live operations console: health SDEs,
   streamed metrics, anomaly alerts (with injected faults by default), and
   the critical-path blame table;
+* ``chaos`` — run a seeded chaos campaign: randomized fault schedules
+  over the full assembly, protocol-invariant verdicts per seed;
 * ``mini-most`` — run the tabletop rig (optionally on the kinetic
   simulator);
 * ``followon`` — run one of the §5 experiments;
@@ -132,6 +134,46 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0 if r.completed else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import ChaosCampaign
+    from repro.most import MOSTConfig
+
+    config = MOSTConfig()
+    if args.steps != 1500:
+        config = config.scaled(args.steps)
+    campaign = ChaosCampaign(config, n_events=args.events,
+                             force_failover=args.force_failover,
+                             failover=not args.no_failover,
+                             monitor=args.monitor)
+    mode = ", forcing failover" if args.force_failover else ""
+    print(f"chaos campaign: seeds {args.seeds}, {config.n_steps} steps, "
+          f"{args.events} event(s)/seed{mode}")
+    reports = campaign.run(args.seeds)
+    for report in reports:
+        r = report.result
+        inv = report.invariants
+        verdict = "OK" if report.ok else "VIOLATED"
+        print(f"  seed {report.seed:>4}: {r.steps_completed}/"
+              f"{r.target_steps} steps, recoveries={r.recoveries}, "
+              f"degraded_steps={inv['degraded_steps']}, "
+              f"duplicate_executes={inv['duplicate_executes']} — {verdict}")
+        if args.schedule:
+            for event in report.plan.describe():
+                print(f"      {event['kind']:<14} step {event['step']:>5}  "
+                      f"site {event['site']}")
+        for violation in inv["violations"]:
+            print(f"      ! {violation}")
+        for kind, severity, site, step in report.alerts:
+            where = f" site={site}" if site else ""
+            print(f"      alert {severity}/{kind}{where} at step {step}")
+    if args.json:
+        print(json.dumps([report.row() for report in reports], indent=2,
+                         sort_keys=True))
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def _cmd_mini_most(args: argparse.Namespace) -> int:
     from repro.mini_most import MiniMOSTConfig, run_mini_most
 
@@ -246,6 +288,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--critical-path", action="store_true",
                        help="print the per-site blame table afterwards")
     p_mon.set_defaults(fn=_cmd_monitor)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a seeded chaos campaign with invariant checks")
+    p_chaos.add_argument("seeds", nargs="*", type=int, default=[1, 2, 3],
+                         help="campaign seeds (default: 1 2 3)")
+    p_chaos.add_argument("--steps", type=int, default=1500,
+                         help="record length (default: the paper's 1500)")
+    p_chaos.add_argument("--events", type=int, default=5,
+                         help="fault events per seed (default: 5)")
+    p_chaos.add_argument("--force-failover", action="store_true",
+                         help="end each schedule in a permanent outage so "
+                              "only surrogate failover can finish the run")
+    p_chaos.add_argument("--no-failover", action="store_true",
+                         help="run without breakers/surrogates (faults "
+                              "must be survivable by retries alone)")
+    p_chaos.add_argument("--monitor", action="store_true",
+                         help="attach the operations console; print alerts")
+    p_chaos.add_argument("--schedule", action="store_true",
+                         help="print each seed's fault schedule")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="dump the full campaign report as JSON")
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_mini = sub.add_parser("mini-most", help="run Mini-MOST (§3.5)")
     p_mini.add_argument("--steps", type=int, default=200)

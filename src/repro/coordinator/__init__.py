@@ -19,7 +19,11 @@ lost network connections or invalid responses."
 * :class:`~repro.coordinator.state.ExperimentState` — the serializable
   step-machine state checkpoints persist;
 * :class:`~repro.coordinator.reconcile.Reconciler` — the resume-time pass
-  that classifies the aborted attempt's in-flight transactions.
+  that classifies the aborted attempt's in-flight transactions;
+* :class:`~repro.coordinator.failover.FailoverManager` — graceful
+  degradation: hot-swaps a permanently failed site for a numerical
+  surrogate so the run finishes (degraded, clearly labelled) instead of
+  aborting at the paper's step 1493.
 """
 
 from repro.coordinator.fault_policy import (
@@ -37,6 +41,12 @@ from repro.coordinator.reconcile import (
     ReconcileAction,
     ReconciliationReport,
     Reconciler,
+)
+from repro.coordinator.failover import (
+    DegradationPolicy,
+    FailoverEvent,
+    FailoverManager,
+    SurrogateSpec,
 )
 from repro.coordinator.mspsds import SimulationCoordinator, SiteBinding
 from repro.coordinator.toolbox import NTCPToolbox
@@ -59,4 +69,8 @@ __all__ = [
     "Reconciler",
     "ReconcileAction",
     "ReconciliationReport",
+    "FailoverManager",
+    "DegradationPolicy",
+    "SurrogateSpec",
+    "FailoverEvent",
 ]

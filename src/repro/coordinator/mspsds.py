@@ -60,6 +60,7 @@ from repro.coordinator.state import (
 from repro.core.client import NTCPClient
 from repro.core.messages import ProposalVerdict
 from repro.control.actions import make_displacement_actions
+from repro.net.breaker import BreakerOpen, CircuitBreaker
 from repro.net.rpc import RpcError
 from repro.ogsi.handle import GridServiceHandle
 from repro.repository.checkpoint import CheckpointPolicy, build_checkpoint_doc
@@ -107,6 +108,15 @@ class SimulationCoordinator:
             ``None`` starts a fresh run.
         prior_records: the committed steps recovered from checkpoints,
             prepended to this incarnation's result.
+        breakers: optional ``{site name: CircuitBreaker}`` map; every NTCP
+            exchange with a site passes through its breaker, so a site
+            that keeps failing is fast-failed (``BreakerOpen``) instead of
+            burning the full RPC retry ladder on every attempt.
+        failover: optional
+            :class:`~repro.coordinator.failover.FailoverManager`; consulted
+            when a step attempt fails, it may swap a dead site for its
+            numerical surrogate (graceful degradation) instead of letting
+            the fault policy abort the run.
     """
 
     def __init__(self, *, run_id: str, client: NTCPClient,
@@ -120,7 +130,9 @@ class SimulationCoordinator:
                  checkpoint_store=None,
                  checkpoint_policy: CheckpointPolicy | None = None,
                  state: ExperimentState | None = None,
-                 prior_records: Sequence[StepRecord] = ()):
+                 prior_records: Sequence[StepRecord] = (),
+                 breakers: dict[str, CircuitBreaker] | None = None,
+                 failover=None):
         if not sites:
             raise ConfigurationError("coordinator needs at least one site")
         covered = set()
@@ -167,6 +179,8 @@ class SimulationCoordinator:
                     "resume state carries no integrator snapshot")
             self.state = state
         self.prior_records = list(prior_records)
+        self.breakers: dict[str, CircuitBreaker] = dict(breakers or {})
+        self.failover = failover
         self.last_reconciliation: ReconciliationReport | None = None
         self._records_flushed = 0
         self._txn_overrides: dict[tuple[int, str], str] = {}
@@ -193,6 +207,8 @@ class SimulationCoordinator:
             "coordinator.resume.reproposed", run_id=run_id)
         self._tm_replayed = telemetry.counter("coordinator.resume.replayed",
                                               run_id=run_id)
+        self._tm_degraded_steps = telemetry.counter(
+            "coordinator.failover.degraded_steps", run_id=run_id)
         #: any object with the start/propose_next/commit stepping API
         #: (CentralDifferencePSD for MOST; AlphaOSPSD for stiff structures
         #: whose frequencies exceed the explicit stability limit).
@@ -202,6 +218,8 @@ class SimulationCoordinator:
         if self.state.integrator is not None:
             self.integrator.restore(self.state.integrator)
             self._integrator_started = True
+        if failover is not None:
+            failover.bind(self)
 
     # -- helpers -----------------------------------------------------------
     def _txn_name(self, step: int, site: SiteBinding) -> str:
@@ -224,6 +242,37 @@ class SimulationCoordinator:
                 r[global_dof] += forces[local]
         return r
 
+    def _guarded(self, site: SiteBinding, exchange):
+        """Run one site's NTCP exchange through its circuit breaker.
+
+        Fast-fails with :class:`BreakerOpen` while the site's breaker is
+        open, records the outcome otherwise, and tags the propagating
+        exception with ``site`` so the fault policy and failover manager
+        know who failed.  A site currently served by its surrogate
+        bypasses the breaker entirely — the breaker tracks the *real*
+        site's health, and surrogate successes must not close it.
+        """
+        breaker = self.breakers.get(site.name)
+        if (breaker is not None and self.failover is not None
+                and site.name in self.failover.active):
+            breaker = None
+        if breaker is not None:
+            breaker.check()
+        try:
+            result = yield from exchange
+        except (RpcError, ReproError) as exc:
+            if getattr(exc, "site", None) in (None, "?"):
+                exc.site = site.name
+            # Policy rejections are the site *working* (vetoing an unsafe
+            # command is NTCP behaving as designed), not failing.
+            if breaker is not None and not (isinstance(exc, ProtocolError)
+                                            and "rejected" in str(exc)):
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return result
+
     def _step_at_all_sites(self, step: int, d_global: np.ndarray, ctx=None):
         """Propose then execute step ``step`` at every site, in parallel.
 
@@ -242,10 +291,10 @@ class SimulationCoordinator:
         def propose_one(site: SiteBinding):
             actions = make_displacement_actions(
                 self._site_targets(site, d_global))
-            verdict = yield from self.client.propose(
+            verdict = yield from self._guarded(site, self.client.propose(
                 site.handle, self._txn_name(step, site), actions,
                 execution_timeout=self.execution_timeout,
-                ctx=propose_span)
+                ctx=propose_span))
             verdicts[site.name] = verdict
 
         procs = [self.kernel.process(propose_one(s),
@@ -287,10 +336,10 @@ class SimulationCoordinator:
             "coordinator.step.execute", parent=ctx, step=step)
 
         def execute_one(site: SiteBinding):
-            result = yield from self.client.execute(
+            result = yield from self._guarded(site, self.client.execute(
                 site.handle, self._txn_name(step, site),
                 timeout=self.execution_timeout + 10.0,
-                ctx=execute_span)
+                ctx=execute_span))
             forces = result.readings["forces"]
             results[site.name] = {int(dof): float(f)
                                   for dof, f in forces.items()}
@@ -316,11 +365,12 @@ class SimulationCoordinator:
         def chain_one(site: SiteBinding):
             actions = make_displacement_actions(
                 self._site_targets(site, d_global))
-            result = yield from self.client.propose_and_execute(
-                site.handle, self._txn_name(step, site), actions,
-                execution_timeout=self.execution_timeout,
-                timeout=self.execution_timeout + 10.0,
-                ctx=span)
+            result = yield from self._guarded(
+                site, self.client.propose_and_execute(
+                    site.handle, self._txn_name(step, site), actions,
+                    execution_timeout=self.execution_timeout,
+                    timeout=self.execution_timeout + 10.0,
+                    ctx=span))
             forces = result.readings["forces"]
             results[site.name] = {int(dof): float(f)
                                   for dof, f in forces.items()}
@@ -353,6 +403,13 @@ class SimulationCoordinator:
                 if isinstance(exc, ProtocolError) and "rejected" in str(exc):
                     # A policy rejection is not transient; never retry.
                     raise
+                if self.failover is not None and self.failover.consider(
+                        step=step, site=site, error=exc):
+                    # The site was just swapped for its numerical
+                    # surrogate (and the step's transaction renamed);
+                    # retry immediately instead of asking the policy.
+                    self._tm_retries.inc()
+                    continue
                 decision = self.fault_policy.decide(
                     step=step, attempt=attempt, site=site, error=exc)
                 if decision.action != "retry":
@@ -487,6 +544,10 @@ class SimulationCoordinator:
         """One full INTEGRATE → PROPOSE → EXECUTE → COMMIT cycle."""
         step = self.state.step
         wall_started = self.kernel.now
+        if self.failover is not None:
+            # Recovered sites re-enter only at step boundaries, so a step
+            # never splits its propose/execute across two servers.
+            self.failover.apply_readmissions(step)
         # The step span and its contiguous phase children (integrate →
         # propose → execute → commit, plus retry_wait on faults) are the
         # paper's Figure-5 step-time breakdown: phase durations sum to
@@ -526,17 +587,24 @@ class SimulationCoordinator:
         r_next = self._assemble_forces(forces)
         p_next = self.model.external_force(self.motion.accel[step])
         self.integrator.commit(d_next, r_next, p_next)
+        degraded = tuple(self.state.degraded_sites)
         record = StepRecord(step=step, model_time=step * self.motion.dt,
                             displacement=d_next.copy(),
                             restoring_force=r_next,
                             site_forces=forces, attempts=attempts,
                             wall_started=wall_started,
-                            wall_finished=self.kernel.now)
+                            wall_finished=self.kernel.now,
+                            degraded=degraded)
         result.steps.append(record)
         if self.on_step is not None:
             self.on_step(record)
         commit_span.end()
-        step_span.end(ok=True, attempts=attempts)
+        if degraded:
+            step_span.end(ok=True, attempts=attempts,
+                          degraded=",".join(degraded))
+            self._tm_degraded_steps.inc()
+        else:
+            step_span.end(ok=True, attempts=attempts)
         self._tm_steps.inc()
         self._tm_step_time.observe(record.wall_finished - wall_started)
         self.state.pending = {}

@@ -19,10 +19,18 @@ class StepRecord:
     attempts: int              # 1 = clean step; >1 = recovered from failure
     wall_started: float        # simulation wall-clock
     wall_finished: float
+    #: sites served by a numerical surrogate when this step committed
+    #: (empty for a healthy step) — the graceful-degradation label that
+    #: rides into telemetry, checkpoints, and the final report.
+    degraded: tuple[str, ...] = ()
 
     @property
     def wall_duration(self) -> float:
         return self.wall_finished - self.wall_started
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degraded)
 
 
 @dataclass
@@ -53,6 +61,24 @@ class ExperimentResult:
     @property
     def recoveries(self) -> int:
         return sum(r.attempts - 1 for r in self.steps)
+
+    @property
+    def degraded_steps(self) -> int:
+        """Committed steps that ran with at least one surrogate site."""
+        return sum(1 for r in self.steps if r.degraded)
+
+    def degraded_spans(self) -> list[tuple[int, int, tuple[str, ...]]]:
+        """Contiguous ``(first_step, last_step, sites)`` degraded ranges."""
+        spans: list[tuple[int, int, tuple[str, ...]]] = []
+        for r in self.steps:
+            if not r.degraded:
+                continue
+            if spans and spans[-1][1] == r.step - 1 \
+                    and spans[-1][2] == r.degraded:
+                spans[-1] = (spans[-1][0], r.step, r.degraded)
+            else:
+                spans.append((r.step, r.step, r.degraded))
+        return spans
 
     @property
     def wall_duration(self) -> float:
@@ -99,6 +125,7 @@ class ExperimentResult:
                 "attempts": r.attempts,
                 "wall_started": r.wall_started,
                 "wall_finished": r.wall_finished,
+                "degraded": list(r.degraded),
             } for r in self.steps],
         }
         return json.dumps(payload)
@@ -125,7 +152,8 @@ class ExperimentResult:
                 site_forces={site: {int(d): f for d, f in forces.items()}
                              for site, forces in s["site_forces"].items()},
                 attempts=s["attempts"], wall_started=s["wall_started"],
-                wall_finished=s["wall_finished"]))
+                wall_finished=s["wall_finished"],
+                degraded=tuple(s.get("degraded", ()))))
         return result
 
     def summary(self) -> dict:
@@ -139,6 +167,9 @@ class ExperimentResult:
             "aborted_reason": self.aborted_reason,
             "aborted_site": self.aborted_site,
             "aborted_at_step": self.aborted_at_step,
+            "degraded_steps": self.degraded_steps,
+            "degraded_sites": sorted({site for r in self.steps
+                                      for site in r.degraded}),
             "wall_duration": self.wall_duration,
             "mean_step_duration": (float(np.mean(self.step_durations()))
                                    if self.steps else 0.0),

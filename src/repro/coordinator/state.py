@@ -69,8 +69,12 @@ def decode_integrator(payload: dict | None) -> dict | None:
 
 
 def record_to_payload(record: StepRecord) -> dict:
-    """One committed step → JSON-safe payload with exact floats."""
-    return {
+    """One committed step → JSON-safe payload with exact floats.
+
+    ``degraded`` is written only for degraded steps, so healthy-run
+    payloads are byte-identical to pre-failover checkpoints.
+    """
+    payload = {
         "step": record.step,
         "model_time": record.model_time,
         "displacement": encode_floats(record.displacement),
@@ -82,6 +86,9 @@ def record_to_payload(record: StepRecord) -> dict:
         "wall_started": record.wall_started,
         "wall_finished": record.wall_finished,
     }
+    if record.degraded:
+        payload["degraded"] = list(record.degraded)
+    return payload
 
 
 def record_from_payload(payload: dict) -> StepRecord:
@@ -96,7 +103,8 @@ def record_from_payload(payload: dict) -> StepRecord:
                      for site, forces in payload["site_forces"].items()},
         attempts=int(payload["attempts"]),
         wall_started=float(payload["wall_started"]),
-        wall_finished=float(payload["wall_finished"]))
+        wall_finished=float(payload["wall_finished"]),
+        degraded=tuple(str(s) for s in payload.get("degraded", ())))
 
 
 def records_from_payloads(payloads) -> list[StepRecord]:
@@ -129,10 +137,14 @@ class ExperimentState:
     integrator: dict | None = None
     checkpoint_seq: int = 0
     wall_started: float = 0.0
+    #: sites currently served by a numerical surrogate (failover active);
+    #: empty for healthy runs — and then omitted from the payload, so
+    #: pre-failover checkpoints stay byte-identical.
+    degraded_sites: list[str] = field(default_factory=list)
 
     def to_payload(self) -> dict:
         """JSON-safe payload (``repro.checkpoint/v1`` ``state`` object)."""
-        return {
+        payload = {
             "run_id": self.run_id,
             "target_steps": self.target_steps,
             "dt": self.dt,
@@ -144,6 +156,9 @@ class ExperimentState:
             "checkpoint_seq": self.checkpoint_seq,
             "wall_started": self.wall_started,
         }
+        if self.degraded_sites:
+            payload["degraded_sites"] = sorted(self.degraded_sites)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ExperimentState":
@@ -162,7 +177,9 @@ class ExperimentState:
                      for k, v in payload.get("pending", {}).items()},
             integrator=decode_integrator(payload.get("integrator")),
             checkpoint_seq=int(payload.get("checkpoint_seq", 0)),
-            wall_started=float(payload.get("wall_started", 0.0)))
+            wall_started=float(payload.get("wall_started", 0.0)),
+            degraded_sites=[str(s)
+                            for s in payload.get("degraded_sites", [])])
 
 
 def resume_state_from_checkpoint(doc: dict) -> ExperimentState:

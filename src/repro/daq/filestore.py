@@ -67,6 +67,16 @@ class StagingStore:
     def exists(self, name: str) -> bool:
         return name in self._files
 
+    def remove(self, name: str) -> None:
+        """Drop a file from the namespace (compaction of superseded data).
+
+        The sequence counter is never reused, so arrival-order listing
+        stays consistent for readers tracking ``newer_than``.
+        """
+        if name not in self._files:
+            raise ConfigurationError(f"file {name!r} not staged")
+        del self._files[name]
+
     def names(self) -> list[str]:
         return sorted(self._files, key=lambda n: self._files[n].sequence)
 

@@ -120,8 +120,20 @@ def coordinator_health_probe(coordinator) -> Probe:
     """
     def probe() -> dict[str, Any]:
         state = coordinator.state
-        return {"status": "running", "backlog": len(state.pending),
+        detail: dict[str, Any] = {"phase": state.phase,
+                                  "generation": state.generation}
+        breakers = getattr(coordinator, "breakers", {})
+        if breakers:
+            detail["breakers"] = {site: breaker.snapshot()
+                                  for site, breaker in sorted(
+                                      breakers.items())}
+        status = "running"
+        if state.degraded_sites:
+            # Surrogates are serving — the run is alive but its data is
+            # partially numerical; the console must say so.
+            status = "degraded"
+            detail["degraded_sites"] = sorted(state.degraded_sites)
+        return {"status": status, "backlog": len(state.pending),
                 "step": max(state.step - 1, -1),
-                "detail": {"phase": state.phase,
-                           "generation": state.generation}}
+                "detail": detail}
     return probe

@@ -18,7 +18,10 @@ run raises the same alerts at the same sim times every time:
 * **slow_site** — a site's execute p95 over budget, or the dominant
   site shifting (the paper's NCSA-simulation-suddenly-dominates story);
 * **stream_health** — the metrics stream itself losing or reordering
-  more than a tolerated fraction of samples.
+  more than a tolerated fraction of samples;
+* **breaker_open** — a site's circuit breaker left ``closed`` (warning),
+  escalating to critical when the coordinator fails the site over to its
+  numerical surrogate (the health SDE reports ``degraded``).
 
 Alerts are frozen :class:`Alert` records; each one is also published as
 the ``lastAlert`` SDE, so remote sinks receive it through the standard
@@ -116,6 +119,8 @@ class ExperimentMonitor(GridService):
         self._slow_sites: set[str] = set()
         self._dominant: str | None = None
         self._stream_alerted = False
+        self._breaker_alerted: set[str] = set()
+        self._degraded_alerted: set[str] = set()
 
     def on_attach(self) -> None:
         self.service_data.set("alerts", 0)
@@ -199,6 +204,7 @@ class ExperimentMonitor(GridService):
         self._check_stall(now)
         self._check_slow_sites()
         self._check_stream_health()
+        self._check_breakers()
 
     def _check_stall(self, now: float) -> None:
         if self._finished or self._stall_open:
@@ -281,6 +287,48 @@ class ExperimentMonitor(GridService):
             "stream_health", "warning",
             "metrics stream degraded: " + ", ".join(reasons),
             detail=stats)
+
+    def _check_breakers(self) -> None:
+        """Alert on breaker trips and surrogate failovers, once per episode.
+
+        Reads the breaker snapshots the coordinator's health probe embeds
+        in its ``detail`` — the monitor never touches the breakers
+        directly, so it works across the (simulated) wire like every
+        other console view.
+        """
+        for source, value in sorted(self.health.items()):
+            detail = value.get("detail") or {}
+            breakers = detail.get("breakers")
+            if not isinstance(breakers, dict):
+                continue
+            for site, snap in sorted(breakers.items()):
+                state = snap.get("state")
+                if state == "closed":
+                    # Episode over — re-arm so a later trip alerts again.
+                    self._breaker_alerted.discard(site)
+                    continue
+                if site not in self._breaker_alerted:
+                    self._breaker_alerted.add(site)
+                    self._raise_alert(
+                        "breaker_open", "warning",
+                        f"circuit breaker for site {site} is {state} "
+                        f"(trip #{snap.get('trips', 0)}, open for "
+                        f"{snap.get('open_duration', 0.0):.0f}s)",
+                        site=site, detail=dict(snap))
+            degraded = set(detail.get("degraded_sites", ()))
+            for site in sorted(degraded):
+                if site not in self._degraded_alerted:
+                    self._degraded_alerted.add(site)
+                    self._raise_alert(
+                        "breaker_open", "critical",
+                        f"site {site} failed over to its numerical "
+                        "surrogate; run continuing in degraded mode",
+                        site=site,
+                        detail={"degraded_sites": sorted(degraded),
+                                "source": source})
+            for site in list(self._degraded_alerted):
+                if site not in degraded:
+                    self._degraded_alerted.discard(site)
 
     def stream_stats(self) -> dict[str, float] | None:
         """Gap/out-of-order rates, read from the receiver's hub counters."""

@@ -14,7 +14,8 @@ Payload kinds:
   flush: counter deltas + cumulative totals, gauge values, histogram
   summaries (with the operator-facing p95), sequenced per source;
 * ``alert`` — one typed anomaly record (stall / slow_site /
-  stream_health) raised by the monitor's deterministic detectors.
+  stream_health / breaker_open) raised by the monitor's deterministic
+  detectors.
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ from repro.util.errors import ReproError
 SCHEMA_ID = "repro.monitor/v1"
 
 HEALTH_STATUSES = ("starting", "running", "degraded", "stopped")
-ALERT_KINDS = ("stall", "slow_site", "stream_health")
+ALERT_KINDS = ("stall", "slow_site", "stream_health", "breaker_open")
 ALERT_SEVERITIES = ("info", "warning", "critical")
 
 _METRIC_TYPES = ("counter", "gauge", "histogram")

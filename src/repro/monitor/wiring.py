@@ -36,7 +36,7 @@ from repro.ogsi.notification import NotificationSink
 #: metric-name prefixes the streamer ships by default — the operational
 #: surface (steps, retries, site latencies, rpc health, stream health)
 DEFAULT_STREAM_PREFIXES = ("coordinator.", "core.server.", "net.rpc.",
-                           "nsds.", "monitor.health.")
+                           "net.breaker.", "nsds.", "monitor.health.")
 
 
 @dataclass

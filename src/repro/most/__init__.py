@@ -17,6 +17,7 @@ pseudo-dynamic steps.
 from repro.most.config import MOSTConfig
 from repro.most.assembly import MOSTDeployment, build_most
 from repro.most.scenario import (
+    run_degraded_experiment,
     run_dry_run,
     run_monitored_experiment,
     run_public_experiment,
@@ -35,4 +36,5 @@ __all__ = [
     "run_with_fault_tolerance",
     "run_public_with_resume",
     "run_monitored_experiment",
+    "run_degraded_experiment",
 ]

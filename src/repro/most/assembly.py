@@ -34,17 +34,26 @@ from repro.control import (
     XPCTarget,
 )
 from repro.coordinator import (
+    DegradationPolicy,
+    FailoverManager,
     FaultPolicy,
     NaiveFaultPolicy,
     SimulationCoordinator,
     SiteBinding,
+    SurrogateSpec,
 )
 from repro.core import NTCPClient, NTCPServer
 from repro.core.policy import SitePolicy as _SitePolicy
 from repro.daq import DAQSystem, SensorChannel, StagingStore
 from repro.daq.filestore import RepositoryFileStore
 from repro.most.config import MOSTConfig
-from repro.net import FaultInjector, Network, RpcClient
+from repro.net import (
+    BreakerConfig,
+    CircuitBreaker,
+    FaultInjector,
+    Network,
+    RpcClient,
+)
 from repro.nsds import NSDSService
 from repro.ogsi import GridServiceHandle, ServiceContainer
 from repro.repository import (
@@ -108,14 +117,17 @@ class MOSTDeployment:
                          fault_policy: FaultPolicy | None = None,
                          on_step=None, checkpoint_store=None,
                          checkpoint_policy=None, state=None,
-                         prior_records=()) -> SimulationCoordinator:
+                         prior_records=(), breakers=None,
+                         failover=None) -> SimulationCoordinator:
         """A coordinator bound to the three sites (Figure 5).
 
         Pass ``checkpoint_store``/``checkpoint_policy`` to persist
         experiment state, and ``state``/``prior_records`` (from
         :func:`~repro.coordinator.state.resume_state_from_checkpoint` /
         :func:`~repro.coordinator.state.records_from_payloads`) to resume
-        an aborted run in a new coordinator incarnation.
+        an aborted run in a new coordinator incarnation.  ``breakers``
+        (see :meth:`make_breakers`) and ``failover`` (see
+        :meth:`make_failover`) enable graceful degradation.
         """
         bindings = [SiteBinding(name, site.handle, dof_indices=[0])
                     for name, site in self.sites.items()]
@@ -126,7 +138,47 @@ class MOSTDeployment:
             execution_timeout=self.config.execution_timeout,
             on_step=on_step, checkpoint_store=checkpoint_store,
             checkpoint_policy=checkpoint_policy, state=state,
-            prior_records=prior_records)
+            prior_records=prior_records, breakers=breakers,
+            failover=failover)
+
+    def make_breakers(self, config: BreakerConfig | None = None,
+                      ) -> dict[str, CircuitBreaker]:
+        """One circuit breaker per site, for the coordinator to consult."""
+        return {name: CircuitBreaker(self.kernel, name, config)
+                for name in sorted(self.sites)}
+
+    def make_failover(self, *, policy: DegradationPolicy | None = None,
+                      compute_time: float | None = None,
+                      port: str = "ogsi-failover") -> FailoverManager:
+        """A failover manager with one numerical surrogate per site.
+
+        Each surrogate is a fresh :class:`LinearSubstructure` built from
+        the site's design stiffness — exactly the model the simulation-only
+        rehearsal ran — behind the same displacement-limit policy the real
+        site enforces.  Surrogates deploy in a dedicated container on the
+        coordinator host (its ``ogsi`` port belongs to other kit in
+        monitored runs).
+        """
+        config = self.config
+        stroke = config.actuator_stroke
+        site_policy = (_SitePolicy()
+                       .limit("set-displacement", "value",
+                              minimum=-stroke, maximum=stroke))
+        stiffness = {"uiuc": config.k_uiuc, "cu": config.k_cu,
+                     "ncsa": config.k_ncsa}
+        specs = [
+            SurrogateSpec(
+                site=name,
+                substructure_factory=(
+                    lambda name=name, k=k: LinearSubstructure(
+                        f"{name}-surrogate", [[k]], [0])),
+                compute_time=(compute_time if compute_time is not None
+                              else config.ncsa_compute),
+                policy=site_policy)
+            for name, k in sorted(stiffness.items()) if name in self.sites]
+        container = ServiceContainer(self.network, "coord", port=port)
+        return FailoverManager(container=container, specs=specs,
+                               policy=policy)
 
     def make_checkpoint_store(self) -> RepositoryCheckpointStore:
         """A checkpoint store writing through NFMS/GridFTP to ``repo``."""

@@ -21,7 +21,12 @@ deployment for inspection:
 * :func:`run_monitored_experiment` — the operations-console run: the live
   monitor (health SDEs + streamed metrics + anomaly detectors) watches a
   fault-tolerant run, optionally with an injected mid-run outage and a
-  slow-site drift, and the alert feed is part of the report.
+  slow-site drift, and the alert feed is part of the report;
+* :func:`run_degraded_experiment` — the graceful-degradation
+  counterfactual: the step-1493 outage never clears, retries exhaust a
+  per-site circuit breaker, and instead of aborting the coordinator
+  hot-swaps the dead site for its numerical surrogate and finishes all
+  1,500 steps in clearly-labelled degraded mode.
 """
 
 from __future__ import annotations
@@ -37,8 +42,8 @@ from repro.coordinator import (
 from repro.most.assembly import MOSTDeployment, build_most, build_simulation_only
 from repro.most.config import MOSTConfig
 from repro.net.network import Message
-from repro.net.rpc import RpcClient, RpcRequest
-from repro.util.errors import ConfigurationError
+from repro.net.rpc import RpcClient, RpcError, RpcRequest
+from repro.util.errors import ConfigurationError, ReproError
 
 
 @dataclass
@@ -370,6 +375,110 @@ def run_with_fault_tolerance(config: MOSTConfig | None = None, *,
     result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
     report = _finish(dep, result)
     report.extras["fail_at_step"] = fail_at_step
+    return report
+
+
+def run_degraded_experiment(config: MOSTConfig | None = None, *,
+                            fail_at_step: int | None = None,
+                            outage_duration: float = float("inf"),
+                            fault_policy=None,
+                            breaker_config=None,
+                            degradation_policy=None,
+                            monitor: bool = False,
+                            thresholds=None,
+                            on_alert=None,
+                            run_id: str = "most-degraded"
+                            ) -> ScenarioReport:
+    """The graceful-degradation counterfactual to the step-1493 abort.
+
+    Identical fault schedule to :func:`run_public_experiment`, but the
+    fatal outage is **permanent** by default — no amount of retrying or
+    resuming brings uiuc back.  The coordinator runs with per-site
+    circuit breakers and a :class:`FailoverManager`: once uiuc's breaker
+    has been open past the degradation policy's recovery budget, the
+    in-flight transaction is cancelled/renamed (§7 discipline), a
+    numerical surrogate built from uiuc's design stiffness is deployed on
+    the coordinator host, and the run finishes all steps — every
+    post-swap step stamped ``degraded`` in its record, checkpoint
+    payloads, and telemetry.  The final degradation history is also
+    registered as an NMDS metadata object (``extras["metadata_object"]``).
+
+    Pass ``fault_policy=NaiveFaultPolicy()`` to reproduce the paper's
+    abort under the same permanent outage (the policy gives up before the
+    breaker trips); with ``monitor=True`` the operations console watches
+    the run and its alert feed (including the typed ``breaker_open``
+    alerts) lands in ``extras["alerts"]``.
+    """
+    from repro.coordinator import DegradationPolicy
+    from repro.most.metadata import upload_most_metadata
+    from repro.net import BreakerConfig
+
+    config = config or MOSTConfig()
+    if fail_at_step is None:
+        fail_at_step = max(1, min(round(config.n_steps * 1493 / 1500),
+                                  config.n_steps - 1))
+    dep = build_most(config)
+    dep.start_backends()
+    dep.start_observation()
+    dep.kernel.run(until=dep.kernel.process(upload_most_metadata(dep)))
+    _inject_standard_faults(dep, config, fail_at_step,
+                            outage_duration=outage_duration)
+    kit = None
+    if monitor:
+        from repro.monitor import attach_monitoring
+
+        kit = attach_monitoring(dep, thresholds=thresholds,
+                                on_alert=on_alert)
+        kit.start()
+    breakers = dep.make_breakers(
+        breaker_config or BreakerConfig(failure_threshold=3,
+                                        open_interval=120.0))
+    failover = dep.make_failover(
+        policy=degradation_policy or DegradationPolicy(
+            recovery_budget=300.0, readmit=True, probe_interval=120.0))
+    coordinator = dep.make_coordinator(
+        run_id=run_id,
+        fault_policy=fault_policy or FaultTolerantFaultPolicy(
+            max_attempts=12, backoff=30.0, backoff_factor=1.5,
+            max_backoff=600.0),
+        breakers=breakers, failover=failover)
+    if kit is not None:
+        kit.watch_coordinator(coordinator)
+    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
+    if kit is not None:
+        kit.stop()
+
+    # Degradation history into the repository's metadata service: the
+    # archived run says *which* steps are numerical, not just that some are.
+    metadata_object = None
+    if failover.events:
+        def register():
+            object_id = yield from dep.coordinator_rpc.call(
+                "repo", "ogsi", "invoke",
+                {"service_id": dep.nmds.service_id,
+                 "operation": "createObject",
+                 "params": {"object_type": "degradation",
+                            "fields": {"run_id": run_id,
+                                       **failover.report()}}})
+            return object_id
+
+        try:
+            metadata_object = dep.kernel.run(
+                until=dep.kernel.process(register()))
+        except (RpcError, ReproError):
+            metadata_object = None  # repo unreachable: report-only
+    report = _finish(dep, result)
+    report.extras.update(
+        fail_at_step=fail_at_step,
+        breakers={name: b.snapshot() for name, b in breakers.items()},
+        failover=failover.report(),
+        degraded_steps=result.degraded_steps,
+        degraded_spans=result.degraded_spans(),
+        metadata_object=metadata_object)
+    if kit is not None:
+        report.extras.update(monitoring=kit,
+                             alerts=list(kit.monitor.alerts),
+                             rollups=kit.monitor.rollups())
     return report
 
 

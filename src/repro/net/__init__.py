@@ -13,7 +13,13 @@ terminated the public MOST run at step 1493.
 """
 
 from repro.net.network import Host, Link, Message, Network
-from repro.net.faults import FaultInjector
+from repro.net.breaker import (
+    BREAKER_STATES,
+    BreakerConfig,
+    BreakerOpen,
+    CircuitBreaker,
+)
+from repro.net.faults import ChaosRecord, FaultInjector
 from repro.net.rpc import (
     RemoteException,
     RpcClient,
@@ -29,6 +35,11 @@ __all__ = [
     "Link",
     "Message",
     "FaultInjector",
+    "ChaosRecord",
+    "CircuitBreaker",
+    "BreakerConfig",
+    "BreakerOpen",
+    "BREAKER_STATES",
     "RpcClient",
     "RpcService",
     "RpcRequest",

@@ -364,13 +364,23 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
     immutable, hence one manifest per sequence; a manifest write failure
     is logged, never fatal — the per-sequence documents remain the source
     of truth and :meth:`load_history` falls back to walking them.
+
+    Unless ``compaction_enabled=False``, a successful manifest write also
+    retires what it supersedes: per-sequence documents and manifests
+    below the new manifest's sequence are unregistered from NFMS and
+    dropped from the repository store.  Each removal is individually
+    best-effort — a failure leaves an orphaned document behind, never an
+    unreadable history — and :meth:`load_history` tolerates partially
+    compacted runs by seeding the merge from the newest manifest and
+    walking only the per-sequence documents newer than it.
     """
 
     def __init__(self, *, host: str, repo_host: str,
                  repo_store: StagingStore, transport: Transport,
                  rpc: RpcClient, nfms: GridServiceHandle,
                  staging: StagingStore | None = None,
-                 manifest_enabled: bool = True):
+                 manifest_enabled: bool = True,
+                 compaction_enabled: bool = True):
         self.host = host
         self.repo_host = repo_host
         self.repo_store = repo_store
@@ -380,14 +390,18 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
         self.kernel = transport.kernel
         self.staging = staging or StagingStore(name=f"{host}-checkpoints")
         self.manifest_enabled = manifest_enabled
+        self.compaction_enabled = compaction_enabled
         self.saved = 0
         self.loaded = 0
         self.manifest_saved = 0
         self.manifest_fetches = 0
+        self.compacted = 0
         self._fetches = 0
         #: run_id -> step -> record payload (the manifest merge, cached)
         self._merged: dict[str, dict[int, dict]] = {}
         self._known_seqs: dict[str, list[int]] = {}
+        #: run_id -> highest seq whose superseded documents were retired
+        self._compacted_upto: dict[str, int] = {}
 
     @staticmethod
     def _prefix(run_id: str) -> str:
@@ -431,6 +445,9 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
                 self.kernel.emit("repository.checkpoint", "manifest.failed",
                                  run_id=doc["run_id"], seq=int(doc["seq"]),
                                  error=str(exc))
+            else:
+                if self.compaction_enabled:
+                    yield from self._compact(doc["run_id"], int(doc["seq"]))
         return int(doc["seq"])
 
     def _write_manifest(self, doc: dict):
@@ -470,6 +487,40 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
             "checksum": staged.checksum})
         self.manifest_saved += 1
 
+    def _compact(self, run_id: str, upto_seq: int):
+        """Kernel process: retire documents superseded by manifest ``upto_seq``.
+
+        The manifest at ``upto_seq`` carries the merged record history and
+        the latest state, so every older per-sequence document — and every
+        older manifest — is redundant.  Removals are individually
+        best-effort; seqs already retired by a prior call are skipped.
+        """
+        start = self._compacted_upto.get(run_id, 0)
+        removed = 0
+        for seq in [s for s in self._known_seqs.get(run_id, [])
+                    if start < s < upto_seq]:
+            for name in (self._logical(run_id, seq),
+                         self._manifest_logical(run_id, seq)):
+                ok = yield from self._remove_logical(name)
+                removed += 1 if ok else 0
+        self._compacted_upto[run_id] = max(start, upto_seq - 1)
+        if removed:
+            self.compacted += removed
+            self.kernel.emit("repository.checkpoint", "compacted",
+                             run_id=run_id, upto_seq=upto_seq,
+                             removed=removed)
+
+    def _remove_logical(self, name: str):
+        """Kernel process: unregister + drop one logical file, best-effort."""
+        try:
+            yield from self._nfms_call("unregisterFile",
+                                       {"logical_name": name})
+        except (RpcError, ReproError):
+            return False
+        if self.repo_store.exists(name):
+            self.repo_store.remove(name)
+        return True
+
     def _load_latest_manifest(self, run_id: str):
         """Kernel process: highest-seq manifest document, or ``None``."""
         prefix = self._manifest_prefix(run_id)
@@ -501,26 +552,37 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
     def load_history(self, run_id: str):
         """Kernel process: one manifest fetch instead of a sequence walk.
 
-        Falls back to :meth:`CheckpointStoreBase.load_history` when
-        manifests are disabled, absent, or stale (a newer checkpoint
-        exists whose manifest write failed).
+        When the newest manifest is *stale* (a later checkpoint exists
+        whose manifest write failed), the merge is seeded from the
+        manifest and only per-sequence documents newer than it are
+        walked — compaction may already have dropped the older ones.
+        Only with manifests disabled or absent entirely does this fall
+        back to the full walk of
+        :meth:`CheckpointStoreBase.load_history`.
         """
         seqs = yield from self.list_seqs(run_id)
         if not seqs:
             return None, []
+        manifest = None
         if self.manifest_enabled:
             manifest = yield from self._load_latest_manifest(run_id)
-            if manifest is not None and int(manifest["seq"]) == max(seqs):
-                latest = manifest["latest"]
-                self._merged[run_id] = {int(r["step"]): r
-                                        for r in manifest["records"]}
-                self._known_seqs[run_id] = [int(s) for s in manifest["seqs"]]
-                resume_step = int(latest["state"]["step"])
-                records = [r for r in manifest["records"]
-                           if int(r["step"]) < resume_step]
-                return latest, records
-        result = yield from CheckpointStoreBase.load_history(self, run_id)
-        return result
+        if manifest is None:
+            result = yield from CheckpointStoreBase.load_history(self, run_id)
+            return result
+        merged = {int(r["step"]): r for r in manifest["records"]}
+        latest = manifest["latest"]
+        known = [int(s) for s in manifest["seqs"]]
+        for seq in [s for s in seqs if s > int(manifest["seq"])]:
+            doc = yield from self.load(run_id, seq)
+            for record in doc["records"]:
+                merged[int(record["step"])] = record
+            latest = doc
+            known.append(seq)
+        self._merged[run_id] = merged
+        self._known_seqs[run_id] = sorted(set(known))
+        resume_step = int(latest["state"]["step"])
+        records = [merged[s] for s in sorted(merged) if s < resume_step]
+        return latest, records
 
     def list_seqs(self, run_id: str):
         """Kernel process: registered checkpoint sequences for a run."""

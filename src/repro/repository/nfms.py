@@ -27,7 +27,8 @@ class NFMSService(GridService):
     """Logical naming + transfer negotiation.
 
     Operations: ``registerFile``, ``addReplica``, ``resolve``,
-    ``negotiateTransfer``, ``listFiles``.  Transports are *named* plugins
+    ``negotiateTransfer``, ``listFiles``, ``unregisterFile``.  Transports
+    are *named* plugins
     installed server-side (``install_transport``); preference order is the
     installation order, so deployments put GridFTP first and the https
     bridge second.
@@ -41,7 +42,7 @@ class NFMSService(GridService):
     def on_attach(self) -> None:
         self.service_data.set("fileCount", 0)
         for op in ("registerFile", "addReplica", "resolve",
-                   "negotiateTransfer", "listFiles"):
+                   "negotiateTransfer", "listFiles", "unregisterFile"):
             self.expose(op, getattr(self, f"_op_{op}"))
 
     def install_transport(self, name: str) -> None:
@@ -62,6 +63,15 @@ class NFMSService(GridService):
         self.files[logical_name] = lf
         self.service_data.set("fileCount", len(self.files))
         self.emit("file.registered", logical_name=logical_name, host=host)
+        return True
+
+    def _op_unregisterFile(self, caller, logical_name: str):
+        require_right(caller, "repository:write")
+        if logical_name not in self.files:
+            raise ProtocolError(f"unknown logical file {logical_name!r}")
+        del self.files[logical_name]
+        self.service_data.set("fileCount", len(self.files))
+        self.emit("file.unregistered", logical_name=logical_name)
         return True
 
     def _op_addReplica(self, caller, logical_name: str, host: str,

@@ -53,7 +53,7 @@ class TestEngine:
     def test_rule_registry_covers_the_documented_codes(self):
         registered = [rule.code for rule in all_rules()]
         assert registered == ["RPR001", "RPR002", "RPR003", "RPR004",
-                              "RPR005", "RPR006"]
+                              "RPR005", "RPR006", "RPR007"]
         assert set(PROTOCOL_CODES) == {"RPR100", "RPR101", "RPR102",
                                        "RPR103", "RPR104"}
 
@@ -446,6 +446,57 @@ class TestAllDrift:
             def api():
                 return helper()
         """, path="src/repro/fake/mod2.py", module="repro.fake.mod2") == []
+
+
+class TestMutableDefault:
+    def test_literal_defaults_fire(self):
+        assert codes(check("""
+            def f(a=[], b={}, c={1, 2}):
+                return a, b, c
+        """)) == ["RPR007", "RPR007", "RPR007"]
+
+    def test_keyword_only_default_fires(self):
+        findings = check("""
+            def f(*, sites=["uiuc", "cu"]):
+                return sites
+        """)
+        assert codes(findings) == ["RPR007"]
+        assert "`f`" in findings[0].message
+
+    def test_constructor_calls_and_comprehensions_fire(self):
+        assert codes(check("""
+            import collections
+
+            def f(a=list(), b=collections.defaultdict(list),
+                  c=[s for s in "ab"]):
+                return a, b, c
+        """)) == ["RPR007", "RPR007", "RPR007"]
+
+    def test_aliased_constructor_resolves(self):
+        assert codes(check("""
+            from collections import OrderedDict as OD
+
+            def f(table=OD()):
+                return table
+        """)) == ["RPR007"]
+
+    def test_lambda_default_fires(self):
+        assert codes(check("g = lambda xs=[]: xs\n")) == ["RPR007"]
+
+    def test_immutable_defaults_pass(self):
+        assert check("""
+            def f(a=None, b=(), c=0, d="x", e=frozenset()):
+                return a, b, c, d, e
+        """) == []
+
+    def test_tests_modules_are_exempt(self):
+        source = """
+            def fixture(rows=[]):
+                return rows
+        """
+        assert check(source, module="tests.test_x",
+                     path="tests/test_x.py") == []
+        assert codes(check(source)) == ["RPR007"]
 
 
 # ---------------------------------------------------------------------------

@@ -469,7 +469,8 @@ class TestRepositoryManifest:
 
     def test_history_identical_to_sequence_walk(self):
         k, make_store = repository_store_env()
-        writer = make_store()
+        # keep every per-sequence document so the slow walk sees them all
+        writer = make_store(compaction_enabled=False)
         self.save_all(k, writer, make_doc_pair())
         fast = k.run(until=k.process(make_store().load_history("run")))
         slow_store = make_store(manifest_enabled=False)
@@ -477,7 +478,7 @@ class TestRepositoryManifest:
         assert fast == slow
         assert slow_store._fetches == 2  # the walk fetched every document
 
-    def test_stale_manifest_falls_back_to_walk(self):
+    def test_stale_manifest_walks_only_newer_documents(self):
         k, make_store = repository_store_env()
         doc1, doc2 = make_doc_pair()
         writer = make_store()
@@ -490,7 +491,9 @@ class TestRepositoryManifest:
         latest, records = k.run(until=k.process(reader.load_history("run")))
         assert latest["seq"] == 2  # not the stale manifest's seq 1
         assert [r["step"] for r in records] == [1, 2, 3, 4, 5]
-        assert reader._fetches == 2  # fell back to the sequence walk
+        # seeded from the stale manifest, walked only the newer document
+        assert reader.manifest_fetches == 1
+        assert reader._fetches == 1
 
     def test_manifest_write_failure_is_not_fatal(self):
         k, make_store = repository_store_env()
@@ -514,6 +517,56 @@ class TestRepositoryManifest:
         assert k.run(until=k.process(store.load_history("ghost"))) \
             == (None, [])
         assert store.manifest_fetches == 0
+
+
+class TestCheckpointCompaction:
+    def save_all(self, k, store, docs):
+        for doc in docs:
+            k.run(until=k.process(store.save(doc)))
+
+    def test_superseded_documents_are_dropped(self):
+        k, make_store = repository_store_env()
+        writer = make_store()
+        self.save_all(k, writer, make_doc_pair())
+        # manifest 2 covers seq 1: its document and manifest are retired
+        assert writer.compacted == 2
+        assert not writer.repo_store.exists("checkpoints/run/000001.json")
+        assert not writer.repo_store.exists(
+            "checkpoints/run/manifest/000001.json")
+        assert writer.repo_store.exists("checkpoints/run/000002.json")
+        assert writer.repo_store.exists(
+            "checkpoints/run/manifest/000002.json")
+        assert k.run(until=k.process(writer.list_seqs("run"))) == [2]
+
+    def test_compaction_disabled_keeps_every_document(self):
+        k, make_store = repository_store_env()
+        writer = make_store(compaction_enabled=False)
+        self.save_all(k, writer, make_doc_pair())
+        assert writer.compacted == 0
+        assert k.run(until=k.process(writer.list_seqs("run"))) == [1, 2]
+
+    def test_history_loads_on_partially_compacted_run(self):
+        k, make_store = repository_store_env()
+        doc1, doc2 = make_doc_pair()
+        state3 = make_state(step=8, checkpoint_seq=3)
+        doc3 = build_checkpoint_doc(
+            run_id="run", seq=3, wall_time=3.0, reason="policy",
+            state_payload=state3.to_payload(),
+            record_payloads=[make_record_payload(s) for s in (7, 8)])
+        writer = make_store()
+        self.save_all(k, writer, [doc1, doc2])  # compaction retires seq 1
+        # the third checkpoint lands without a manifest (write failed)
+        writer.manifest_enabled = False
+        self.save_all(k, writer, [doc3])
+
+        reader = make_store()
+        latest, records = k.run(until=k.process(reader.load_history("run")))
+        assert latest["seq"] == 3
+        assert [r["step"] for r in records] == [1, 2, 3, 4, 5, 6, 7]
+        # manifest 2 seeded steps 1-6; only document 3 had to be fetched —
+        # the compacted seq-1 document is gone and never requested
+        assert reader.manifest_fetches == 1
+        assert reader._fetches == 1
 
 
 def build_three_site_rig(*, n_steps=60, dt=0.02, compute_time=0.05,

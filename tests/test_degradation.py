@@ -1,0 +1,267 @@
+"""Graceful degradation: circuit breakers, surrogate failover, chaos plans.
+
+The campaign-scale behaviour (bit-exact recoverable runs, forced failover
+under monitoring) is exercised end-to-end by ``scripts/chaos_smoke.py``
+and ``benchmarks/bench_tchaos_campaign.py``; these tests pin the unit
+semantics and the cheap integration paths.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos import CHAOS_KINDS, CHAOS_SITES, ChaosCampaign, make_plan
+from repro.coordinator import DegradationPolicy, NaiveFaultPolicy, StepRecord
+from repro.coordinator.state import record_from_payload, record_to_payload
+from repro.most import MOSTConfig, run_degraded_experiment
+from repro.net import BreakerConfig, BreakerOpen, CircuitBreaker
+from repro.sim import Kernel
+from repro.util.errors import ConfigurationError
+
+
+def make_breaker(**cfg):
+    k = Kernel()
+    config = BreakerConfig(**cfg) if cfg else None
+    return k, CircuitBreaker(k, "uiuc", config)
+
+
+def advance(kernel, duration):
+    """Move simulated time forward (the breaker only reads the clock)."""
+
+    def idle():
+        yield kernel.timeout(duration)
+
+    kernel.run(until=kernel.process(idle()))
+
+
+class TestBreakerConfig:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(open_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(half_open_probes=0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_fast_fails(self):
+        k, breaker = make_breaker(failure_threshold=3, open_interval=60.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        with pytest.raises(BreakerOpen) as excinfo:
+            breaker.check()
+        assert excinfo.value.site == "uiuc"
+        assert excinfo.value.retry_after == pytest.approx(60.0)
+
+    def test_success_resets_the_consecutive_count(self):
+        k, breaker = make_breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_success_closes(self):
+        k, breaker = make_breaker(failure_threshold=1, open_interval=60.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        advance(k, 61.0)
+        assert breaker.allow()  # open interval elapsed: admit the probe
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.open_since is None
+        assert breaker.open_duration == 0.0
+
+    def test_half_open_probe_failure_reopens_keeping_the_episode(self):
+        k, breaker = make_breaker(failure_threshold=1, open_interval=60.0)
+        breaker.record_failure()  # first trip at t=0
+        advance(k, 61.0)
+        assert breaker.allow()
+        breaker.record_failure()  # failed probe: re-open, same episode
+        assert breaker.state == "open"
+        assert breaker.open_since == 0.0
+        assert breaker.open_duration == pytest.approx(k.now)
+        # the interval restarts from the failed probe, not the first trip
+        assert not breaker.allow()
+
+    def test_multiple_probes_required_to_close(self):
+        k, breaker = make_breaker(failure_threshold=1, open_interval=10.0,
+                                  half_open_probes=2)
+        breaker.record_failure()
+        advance(k, 11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "half_open"  # one success is not enough
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_state_changes_fire_callback_and_telemetry(self):
+        k = Kernel()
+        transitions = []
+        breaker = CircuitBreaker(
+            k, "cu", BreakerConfig(failure_threshold=1, open_interval=5.0),
+            on_state_change=lambda b, old, new: transitions.append((old, new)))
+        breaker.record_failure()
+        advance(k, 6.0)
+        breaker.allow()
+        breaker.record_success()
+        assert transitions == [("closed", "open"), ("open", "half_open"),
+                               ("half_open", "closed")]
+        kinds = [r.kind for r in k.log.records()
+                 if r.kind.startswith("breaker.")]
+        assert kinds == ["breaker.open", "breaker.half_open",
+                         "breaker.closed"]
+
+    def test_snapshot_is_json_friendly(self):
+        k, breaker = make_breaker(failure_threshold=1, open_interval=60.0)
+        breaker.record_failure()
+        advance(k, 45.0)
+        snap = breaker.snapshot()
+        assert snap == {"site": "uiuc", "state": "open", "failures": 1,
+                        "trips": 1, "open_duration": pytest.approx(45.0)}
+        json.dumps(snap)
+
+
+class TestDegradedRecords:
+    def make_record(self, **overrides):
+        fields = dict(step=7, model_time=0.14,
+                      displacement=np.array([0.001, 0.002]),
+                      restoring_force=np.array([-3.0, 1.5]),
+                      site_forces={"uiuc": {0: -3.0}}, attempts=2,
+                      wall_started=10.0, wall_finished=12.5)
+        fields.update(overrides)
+        return StepRecord(**fields)
+
+    def test_degraded_label_round_trips_through_checkpoint_payload(self):
+        record = self.make_record(degraded=("uiuc",))
+        payload = record_to_payload(record)
+        assert payload["degraded"] == ["uiuc"]
+        back = record_from_payload(json.loads(json.dumps(payload)))
+        assert back.degraded == ("uiuc",)
+        assert back.is_degraded
+
+    def test_healthy_records_carry_no_degraded_key(self):
+        payload = record_to_payload(self.make_record())
+        assert "degraded" not in payload
+        assert record_from_payload(payload).degraded == ()
+
+
+class TestDegradedScenario:
+    def test_surrogate_finishes_where_the_naive_policy_aborts(self):
+        config = MOSTConfig().scaled(60)
+        report = run_degraded_experiment(config)
+        result = report.result
+        assert result.completed
+        assert result.steps_completed == result.target_steps
+        assert result.degraded_steps >= 1
+        spans = result.degraded_spans()
+        assert spans and spans[-1][2] == ("uiuc",)
+        extras = report.extras
+        assert extras["degraded_steps"] == result.degraded_steps
+        # never closed — the run may end mid-probe (half_open), but a
+        # permanent outage means the site is never won back
+        assert extras["breakers"]["uiuc"]["state"] in ("open", "half_open")
+        events = extras["failover"]["events"]
+        assert [e["kind"] for e in events] == ["failover"]
+        assert events[0]["site"] == "uiuc"
+        assert events[0]["replacement"].startswith(events[0]["transaction"])
+        assert "-f" in events[0]["replacement"]
+        assert extras["metadata_object"] is not None
+
+        # Identical permanent outage, paper-faithful policy: the run dies
+        # at the fatal step instead of degrading.
+        control = run_degraded_experiment(config,
+                                          fault_policy=NaiveFaultPolicy())
+        assert not control.result.completed
+        assert control.result.aborted_at_step == control.extras["fail_at_step"]
+        assert control.result.degraded_steps == 0
+
+    def test_recovered_site_is_readmitted_at_a_step_boundary(self):
+        # A finite outage with an impatient degradation policy: the
+        # coordinator fails over quickly, then wins the site back once
+        # the link returns.
+        config = MOSTConfig().scaled(60)
+        report = run_degraded_experiment(
+            config, fail_at_step=12, outage_duration=400.0,
+            breaker_config=BreakerConfig(failure_threshold=2,
+                                         open_interval=30.0),
+            degradation_policy=DegradationPolicy(recovery_budget=60.0,
+                                                 readmit=True,
+                                                 probe_interval=30.0))
+        result = report.result
+        assert result.completed
+        kinds = [e["kind"] for e in report.extras["failover"]["events"]]
+        assert kinds == ["failover", "readmit"]
+        # degraded steps form one internal window; the run ends healthy
+        assert result.degraded_steps >= 1
+        assert result.steps[-1].degraded == ()
+        assert report.extras["breakers"]["uiuc"]["state"] == "closed"
+        spans = result.degraded_spans()
+        assert len(spans) == 1
+        first, last, sites = spans[0]
+        assert sites == ("uiuc",) and last < result.target_steps
+
+
+class TestChaosPlans:
+    def test_same_seed_same_plan(self):
+        config = MOSTConfig().scaled(100)
+        assert make_plan(11, config) == make_plan(11, config)
+
+    def test_different_seeds_differ(self):
+        config = MOSTConfig().scaled(100)
+        assert make_plan(1, config).describe() != make_plan(2,
+                                                            config).describe()
+
+    def test_events_stay_in_the_middle_window(self):
+        config = MOSTConfig().scaled(100)
+        plan = make_plan(3, config, n_events=8)
+        assert len(plan.events) == 8
+        for event in plan.events:
+            assert event.kind in CHAOS_KINDS
+            assert event.site in CHAOS_SITES
+            assert 10 <= event.step < 90
+        assert plan.fatal_site == "" and plan.fatal_step == 0
+
+    def test_force_failover_appends_the_fatal_outage(self):
+        config = MOSTConfig().scaled(100)
+        plan = make_plan(3, config, n_events=2, force_failover=True)
+        assert plan.fatal_site in CHAOS_SITES
+        # the paper's fatal fraction, clamped inside the run
+        assert plan.fatal_step == min(round(100 * 1493 / 1500), 99)
+        rows = plan.describe()
+        assert rows[-1]["kind"] == "fatal_outage"
+        assert rows[-1]["duration"] == float("inf")
+        assert len(rows) == 3
+
+    def test_negative_event_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_plan(1, MOSTConfig().scaled(100), n_events=-1)
+
+
+class TestChaosCampaign:
+    def test_recoverable_seed_passes_all_invariants(self):
+        campaign = ChaosCampaign(MOSTConfig().scaled(30), n_events=2)
+        report = campaign.run_one(1)
+        assert report.ok, report.invariants["violations"]
+        row = report.row()
+        assert row["completed"]
+        assert row["steps_completed"] == report.result.target_steps
+        assert row["degraded_steps"] == 0
+        assert row["checks"]["bit_exact_vs_baseline"]
+        json.dumps(row)
+
+    def test_reports_are_deterministic_across_campaign_instances(self):
+        config = MOSTConfig().scaled(30)
+        first = ChaosCampaign(config, n_events=2).run_one(4)
+        second = ChaosCampaign(config, n_events=2).run_one(4)
+        assert json.dumps(first.row(), sort_keys=True) == \
+            json.dumps(second.row(), sort_keys=True)

@@ -359,6 +359,44 @@ class TestMonitorDetectors:
                      "time": 0.0, "value": None},
             msg_id=f"m{seq}", send_time=0.0))
 
+    def test_breaker_open_episodes_and_failover_escalation(self):
+        kernel, _, _, monitor = monitor_env()
+
+        def coordinator_health(detail):
+            monitor.on_notification({"sde_name": "health",
+                                     "value": health(source="coordinator",
+                                                     step=10, detail=detail)})
+
+        snap = {"site": "uiuc", "state": "open", "failures": 3, "trips": 1,
+                "open_duration": 45.0}
+        coordinator_health({"breakers": {"uiuc": snap}})
+        monitor.check()
+        [alert] = monitor.alerts
+        assert (alert.kind, alert.severity, alert.site) == \
+            ("breaker_open", "warning", "uiuc")
+        assert alert.detail["trips"] == 1
+        monitor.check()  # alerted once per open episode, not per sweep
+        assert len(monitor.alerts) == 1
+
+        # the breaker closing ends the episode; a later trip alerts again
+        coordinator_health({"breakers": {"uiuc": dict(snap, state="closed")}})
+        monitor.check()
+        assert len(monitor.alerts) == 1
+        coordinator_health({"breakers": {"uiuc": dict(snap, trips=2)}})
+        monitor.check()
+        assert len(monitor.alerts) == 2
+
+        # surrogate failover escalates to critical, once per site
+        coordinator_health({"breakers": {"uiuc": dict(snap, trips=2)},
+                            "degraded_sites": ["uiuc"]})
+        monitor.check()
+        monitor.check()
+        assert [(a.kind, a.severity) for a in monitor.alerts] == \
+            [("breaker_open", "warning"), ("breaker_open", "warning"),
+             ("breaker_open", "critical")]
+        for alert in monitor.alerts:
+            validate_alert_payload(alert.to_payload("monitor-console"))
+
     def test_stream_health_loss(self):
         kernel, network, _, monitor = monitor_env(
             thresholds=AlertThresholds(stream_loss_rate=0.05,

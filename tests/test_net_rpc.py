@@ -195,6 +195,61 @@ class TestTimeoutsAndRetries:
         assert len(late) >= 1
 
 
+class TestFailureEdges:
+    def test_retry_exhaustion_reports_attempt_count(self):
+        k, net, svc, cli = make_rpc(latency=0.0)
+        FaultInjector(net).drop_matching(lambda m: m.port == "svc", count=10)
+        svc.register("ping", lambda caller: "pong")
+
+        def caller():
+            try:
+                yield from cli.call("server", "svc", "ping",
+                                    timeout=1.0, retries=2)
+            except RpcTimeout as exc:
+                return str(exc)
+            return None
+
+        message = run_call(k, caller())
+        assert message is not None and "3 attempt(s)" in message
+        assert cli.stats.retries == 2
+
+    def test_retransmission_rides_out_transient_outage(self):
+        k, net, svc, cli = make_rpc(latency=0.0)
+        FaultInjector(net).schedule_outage("client", "server",
+                                           start=0.0, duration=2.5)
+        seen = []
+        svc.register("ping", lambda caller: seen.append(1) or "pong")
+        result = run_call(k, cli.call("server", "svc", "ping",
+                                      timeout=1.0, retries=5))
+        assert result == "pong"
+        # the t=0 request slipped out just before the link went down, so
+        # its *reply* was lost; the t=1 and t=2 retransmissions fell into
+        # the outage and the t=3 one finally round-tripped.  The server
+        # executed twice — RPC is at-least-once under reply loss; NTCP's
+        # dedup layer absorbs this (tested there).
+        assert cli.stats.retries == 3
+        assert len(seen) == 2
+        assert k.now == pytest.approx(3.0)
+
+    def test_drop_predicate_is_selective_and_bounded(self):
+        k, net, svc, cli = make_rpc(latency=0.0)
+        other = RpcService(net, "server", "other")
+        other.register("ping", lambda caller: "other-pong")
+        svc.register("ping", lambda caller: "svc-pong")
+        FaultInjector(net).drop_matching(lambda m: m.port == "other",
+                                         count=1)
+        # non-matching traffic is untouched
+        assert run_call(k, cli.call("server", "svc", "ping",
+                                    timeout=1.0)) == "svc-pong"
+        assert cli.stats.retries == 0
+        # the first matching message is dropped; the count is then spent,
+        # so the retransmission goes through
+        result = run_call(k, cli.call("server", "other", "ping",
+                                      timeout=1.0, retries=1))
+        assert result == "other-pong"
+        assert cli.stats.retries == 1
+
+
 class TestSecurityHook:
     def test_checker_rejects(self):
         k = Kernel()
