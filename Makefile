@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analyze smoke monitor-smoke chaos-smoke bench check
+.PHONY: test lint analyze smoke monitor-smoke chaos-smoke bench \
+	bench-perf bench-perf-smoke validate-bench check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -24,4 +25,17 @@ chaos-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-check: lint analyze test smoke monitor-smoke chaos-smoke
+# Full stepping-mode comparison; regenerates the committed repo-root
+# BENCH_tperf_ntcp.json (sequential vs pipelined vs ensemble).
+bench-perf:
+	$(PYTHON) benchmarks/bench_tperf_ntcp.py
+
+# Shortened CI gate: same comparison, writes benchmarks/out/ only.
+bench-perf-smoke:
+	$(PYTHON) benchmarks/bench_tperf_ntcp.py --smoke
+
+validate-bench:
+	$(PYTHON) scripts/validate_bench.py
+
+check: lint analyze test smoke monitor-smoke chaos-smoke \
+	bench-perf-smoke validate-bench

@@ -24,9 +24,9 @@ import numpy as np
 
 from repro.coordinator.state import record_to_payload
 from repro.most import (
+    ExperimentSession,
     MOSTConfig,
     run_dry_run,
-    run_public_with_resume,
 )
 from repro.most.assembly import build_simulation_only
 from repro.repository import (
@@ -72,16 +72,18 @@ def bench_tcheckpoint_resume(benchmark):
               "checkpointing is lost in the ~2 s/step", ""]
 
     config = MOSTConfig().scaled(60)
-    resumed = run_public_with_resume(config, fail_at_step=45,
-                                     checkpoint_every=10)
+    resumed = (ExperimentSession(config, run_id="most-resume")
+               .with_faults(fail_at_step=45)
+               .with_resume(checkpoint_every=10)
+               .run())
     dry = run_dry_run(config)
-    aborted = resumed.extras["aborted_result"]
+    aborted = resumed.aborted_result
     merged, clean = resumed.result, dry.result
     lines += ["[2] abort at the fatal step, resume from the repository",
               f"    aborted at step {aborted.aborted_at_step} with "
               f"{aborted.steps_completed} steps committed; "
-              f"{resumed.extras['checkpoints']} checkpoint sequences"]
-    recon = resumed.extras["reconciliation"]
+              f"{resumed.checkpoints} checkpoint sequences"]
+    recon = resumed.reconciliation
     lines += [f"      {row}" for row in recon.rows()]
     disp_equal = np.array_equal(merged.displacement_history(),
                                 clean.displacement_history())

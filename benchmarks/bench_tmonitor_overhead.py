@@ -19,7 +19,7 @@ over a populated registry (the steady-state per-tick console cost).
 """
 
 from repro.monitor import attach_monitoring
-from repro.most import MOSTConfig, run_monitored_experiment
+from repro.most import ExperimentSession, MOSTConfig
 from repro.most.assembly import build_simulation_only
 
 from _report import write_report
@@ -45,9 +45,9 @@ def rehearsal_trial(*, monitored: bool):
     return hist.percentile(50.0), kit, dep
 
 
-def alert_signature(report):
+def alert_signature(outcome):
     return [(a.kind, a.severity, a.site, a.step, a.time)
-            for a in report.extras["alerts"]]
+            for a in outcome.alerts]
 
 
 def bench_tmonitor_overhead(benchmark):
@@ -77,10 +77,16 @@ def bench_tmonitor_overhead(benchmark):
     assert stream["received"] > 0 and stream["gaps"] == 0
     assert rollups["health"]["coordinator"] == "stopped"
 
-    first = run_monitored_experiment(MOSTConfig().scaled(40),
-                                     inject_faults=True)
-    second = run_monitored_experiment(MOSTConfig().scaled(40),
-                                      inject_faults=True)
+    def faulted_trial():
+        return (ExperimentSession(MOSTConfig().scaled(40),
+                                  run_id="most-monitored")
+                .with_fault_tolerance()
+                .with_monitoring()
+                .with_anomalies()
+                .run())
+
+    first = faulted_trial()
+    second = faulted_trial()
     sig = alert_signature(first)
     lines += ["", "[3] faulted run: deterministic alert schedule"]
     for kind, severity, site, step, time in sig:

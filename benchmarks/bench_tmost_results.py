@@ -16,9 +16,9 @@ The timed portion is the full dry run.
 import numpy as np
 
 from repro.most import (
+    ExperimentSession,
     MOSTConfig,
     run_dry_run,
-    run_public_experiment,
     run_simulation_only,
     run_with_fault_tolerance,
 )
@@ -32,7 +32,10 @@ def bench_tmost_results(benchmark):
 
     sim = run_simulation_only(config)
     dry = run_dry_run(config)
-    pub = run_public_experiment(config)
+    pub = (ExperimentSession(config, run_id="most-public")
+           .with_observers()
+           .with_faults()
+           .run())
     ft = run_with_fault_tolerance(config)
 
     # -- paper claims, asserted -------------------------------------------------

@@ -17,7 +17,17 @@ near-real-time experiments.  Three sub-experiments quantify both:
    the before-any-motion safety property.
 
 The timed portion is a protocol-only coordinated step.
+
+Run as a script (``make bench-perf``) this module also compares the three
+MOST stepping modes — sequential, pipelined, vectorized ensemble — and
+emits the schema-validated comparison document ``BENCH_tperf_ntcp.json``
+at the repo root (``--smoke`` runs a shortened config and writes to
+``benchmarks/out/`` instead).
 """
+
+import json
+import pathlib
+import sys
 
 import numpy as np
 
@@ -36,9 +46,16 @@ from repro.structural import (
 )
 from repro.structural.specimen import Actuator, Sensor
 
+from repro.coordinator import variant_displacement_history
+from repro.most import ExperimentSession, MOSTConfig
+from repro.most.assembly import build_simulation_only
 from repro.telemetry.report import report_from_jsonl
+from repro.telemetry.schema import BENCH_SCHEMA_ID, validate_bench_payload
 
 from _report import OUT_DIR, write_metrics, write_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DOC = REPO_ROOT / "BENCH_tperf_ntcp.json"
 
 
 def sweep_rig(latency: float, *, backend_time: float, n_steps: int = 30,
@@ -138,3 +155,156 @@ def bench_tperf_ntcp(benchmark):
         sweep_rig(0.025, backend_time=0.0, n_steps=5)
 
     benchmark.pedantic(protocol_only_step, rounds=10, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Stepping modes: sequential vs pipelined vs vectorized ensemble
+# ---------------------------------------------------------------------------
+
+def _mode_record(result, *, n_variants: int = 1) -> dict:
+    wall = float(result.wall_duration)
+    steps = int(result.steps_completed)
+    return {"steps": steps, "variants": n_variants, "wall_time": wall,
+            "median_step_latency": float(np.median(result.step_durations())),
+            "aggregate_steps_per_s": steps / wall,
+            "aggregate_variant_steps_per_s": steps * n_variants / wall}
+
+
+def run_stepping_modes(n_steps: int = 60, n_variants: int = 8) -> dict:
+    """Run the three MOST stepping modes; return the comparison document.
+
+    Every figure is *simulated* seconds on the deterministic kernel, so
+    the document is bit-identical run to run — safe to commit and diff.
+    Variant 0 of the ensemble is the unscaled record, which must come out
+    bit-exact against the sequential run (as must the whole pipelined
+    history: speculation that mispredicts rolls back, so committed
+    physics never changes).
+    """
+    config = MOSTConfig().scaled(n_steps)
+    base = build_simulation_only(config).motion
+    scales = [1.0] + [0.5 + 0.5 * i / n_variants
+                      for i in range(1, n_variants)]
+    variants = [GroundMotion(dt=base.dt, accel=base.accel * s)
+                for s in scales]
+
+    sequential = ExperimentSession(config, run_id="bench-seq",
+                                   simulation_only=True).run()
+    pipelined = (ExperimentSession(config, run_id="bench-pipe",
+                                   simulation_only=True)
+                 .with_pipeline(1)
+                 .run())
+    ensemble = (ExperimentSession(config, run_id="bench-ens",
+                                  simulation_only=True)
+                .with_ensemble(variants)
+                .run())
+    for outcome in (sequential, pipelined, ensemble):
+        assert outcome.result.completed
+        duplicates = sum(s.server.metrics()["duplicate_executes"]
+                         for s in outcome.deployment.sites.values())
+        assert duplicates == 0  # at-most-once survives speculation
+
+    seq_hist = sequential.result.displacement_history()
+    modes = {"sequential": _mode_record(sequential.result),
+             "pipelined": _mode_record(pipelined.result),
+             "ensemble": _mode_record(ensemble.result,
+                                      n_variants=n_variants)}
+    payload = {
+        "schema": BENCH_SCHEMA_ID,
+        "experiment": "tperf_ntcp",
+        "config": {"n_steps": n_steps, "n_variants": n_variants},
+        "modes": modes,
+        "speedups": {
+            "pipelined_aggregate_steps_per_s":
+                modes["pipelined"]["aggregate_steps_per_s"]
+                / modes["sequential"]["aggregate_steps_per_s"],
+            "ensemble_aggregate_variant_steps_per_s":
+                modes["ensemble"]["aggregate_variant_steps_per_s"]
+                / modes["sequential"]["aggregate_variant_steps_per_s"],
+        },
+        "bit_exact": {
+            "pipelined": bool(np.array_equal(
+                pipelined.result.displacement_history(), seq_hist)),
+            "ensemble_base_variant": bool(np.array_equal(
+                variant_displacement_history(ensemble.result, 0), seq_hist)),
+        },
+    }
+    validate_bench_payload(payload)
+    return payload
+
+
+def _stepping_report(payload: dict) -> list[str]:
+    lines = ["MOST stepping modes (pipelined NTCP + vectorized ensembles)",
+             "",
+             f"    {'mode':<12}{'steps':>7}{'variants':>10}"
+             f"{'s/step (med)':>14}{'steps/s':>10}{'var-steps/s':>13}"]
+    for name in ("sequential", "pipelined", "ensemble"):
+        m = payload["modes"][name]
+        lines.append(f"    {name:<12}{m['steps']:>7}{m['variants']:>10}"
+                     f"{m['median_step_latency']:>14.3f}"
+                     f"{m['aggregate_steps_per_s']:>10.3f}"
+                     f"{m['aggregate_variant_steps_per_s']:>13.3f}")
+    speed = payload["speedups"]
+    exact = payload["bit_exact"]
+    lines += [
+        "",
+        f"    pipelined speedup : "
+        f"{speed['pipelined_aggregate_steps_per_s']:.2f}x aggregate steps/s "
+        f"(bit-exact: {exact['pipelined']})",
+        f"    ensemble speedup  : "
+        f"{speed['ensemble_aggregate_variant_steps_per_s']:.2f}x aggregate "
+        f"variant-steps/s (base variant bit-exact: "
+        f"{exact['ensemble_base_variant']})",
+    ]
+    return lines
+
+
+def _check_stepping_thresholds(payload: dict) -> None:
+    speed = payload["speedups"]
+    assert payload["bit_exact"]["pipelined"]
+    assert payload["bit_exact"]["ensemble_base_variant"]
+    assert speed["pipelined_aggregate_steps_per_s"] >= 1.5
+    # one protocol cycle advances every variant, so aggregate variant
+    # throughput scales ~linearly with N; demand at least half of that
+    assert (speed["ensemble_aggregate_variant_steps_per_s"]
+            >= payload["config"]["n_variants"] / 2.0)
+
+
+def bench_stepping_modes(benchmark):
+    payload = run_stepping_modes()
+    assert payload["speedups"]["ensemble_aggregate_variant_steps_per_s"] >= 4.0
+    _check_stepping_thresholds(payload)
+    BENCH_DOC.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_report("tperf_stepping_modes", _stepping_report(payload))
+
+    def pipelined_short():
+        (ExperimentSession(MOSTConfig().scaled(10), run_id="bench-pipe-t",
+                           simulation_only=True)
+         .with_pipeline(1)
+         .run())
+
+    benchmark.pedantic(pipelined_short, rounds=3, iterations=1)
+
+
+def main(argv=None) -> int:
+    """``make bench-perf`` entry point (``--smoke`` for the CI gate)."""
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    if smoke:
+        payload = run_stepping_modes(n_steps=12, n_variants=4)
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / "BENCH_tperf_ntcp.smoke.json"
+    else:
+        payload = run_stepping_modes()
+        assert (payload["speedups"]
+                ["ensemble_aggregate_variant_steps_per_s"]) >= 4.0
+        path = BENCH_DOC
+    _check_stepping_thresholds(payload)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    validate_bench_payload(json.loads(path.read_text()))
+    print("\n".join(_stepping_report(payload)))
+    print(f"\nwrote {path} (schema {BENCH_SCHEMA_ID})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

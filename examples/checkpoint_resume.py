@@ -20,24 +20,26 @@ Run:  python examples/checkpoint_resume.py
 
 import numpy as np
 
-from repro.most import MOSTConfig, run_dry_run, run_public_with_resume
+from repro.most import ExperimentSession, MOSTConfig, run_dry_run
 
 
 def main() -> None:
     config = MOSTConfig().scaled(60)
 
     print("[1] abort, reconcile, resume")
-    report = run_public_with_resume(config, fail_at_step=45,
-                                    checkpoint_every=10)
-    aborted = report.extras["aborted_result"]
+    report = (ExperimentSession(config, run_id="most-resume")
+              .with_faults(fail_at_step=45)
+              .with_resume(checkpoint_every=10)
+              .run())
+    aborted = report.aborted_result
     merged = report.result
     print(f"    first incarnation : aborted at step "
           f"{aborted.aborted_at_step} ({aborted.steps_completed} steps "
           "committed)")
-    print(f"    checkpoints       : {report.extras['checkpoints']} "
+    print(f"    checkpoints       : {report.checkpoints} "
           "sequences in the repository")
     print("    reconciliation    :")
-    for line in report.extras["reconciliation"].rows():
+    for line in report.reconciliation.rows():
         print(f"      {line}")
     print(f"    merged result     : {merged.steps_completed}/"
           f"{merged.target_steps} steps, completed={merged.completed}\n")

@@ -16,7 +16,7 @@ Run:  python examples/live_monitoring.py
 """
 
 from repro.monitor import critical_path_report
-from repro.most import MOSTConfig, run_monitored_experiment
+from repro.most import ExperimentSession, MOSTConfig
 
 
 def main() -> None:
@@ -30,14 +30,17 @@ def main() -> None:
         print(f"  [{alert.time:9.1f}s] {alert.severity.upper():<8} "
               f"{alert.kind}{site}: {alert.message}")
 
-    report = run_monitored_experiment(config, inject_faults=True,
-                                      on_alert=feed)
+    report = (ExperimentSession(config, run_id="most-monitored")
+              .with_fault_tolerance()
+              .with_monitoring(on_alert=feed)
+              .with_anomalies()
+              .run())
     result = report.result
-    rollups = report.extras["rollups"]
+    rollups = report.rollups
 
     print(f"\nrun: {result.steps_completed}/{result.target_steps} steps, "
           f"completed={result.completed}")
-    print(f"alerts: {len(report.extras['alerts'])}; "
+    print(f"alerts: {len(report.alerts)}; "
           f"metric samples: {rollups['stream']['received']}; "
           f"dominant site: {rollups['dominant_site']}")
     print("final health: "

@@ -14,8 +14,9 @@ import sys
 
 import numpy as np
 
-from repro import MOSTConfig, run_dry_run, run_simulation_only
-from repro.most import run_public_experiment, run_with_fault_tolerance
+from repro import ExperimentSession, MOSTConfig
+from repro.most import run_dry_run, run_simulation_only, \
+    run_with_fault_tolerance
 
 
 def hours(seconds: float) -> str:
@@ -45,7 +46,10 @@ def main() -> None:
           f" {dry.files_ingested} data files archived to the repository")
 
     print("\n[3/4] public experiment (observers + network faults) ...")
-    pub = run_public_experiment(config)
+    pub = (ExperimentSession(config, run_id="most-public")
+           .with_observers()
+           .with_faults()
+           .run())
     r = pub.result
     status = ("ran to completion" if r.completed else
               f"exited prematurely at step {r.aborted_at_step} "

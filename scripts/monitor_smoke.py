@@ -20,7 +20,7 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.monitor import validate_alert_payload, validate_health_payload
-from repro.most import MOSTConfig, run_monitored_experiment
+from repro.most import ExperimentSession, MOSTConfig
 
 
 def fail(message: str) -> None:
@@ -32,9 +32,13 @@ def main() -> int:
     config = MOSTConfig().scaled(40)
 
     print("[1] faulted monitored run (outage + slowed site)")
-    faulted = run_monitored_experiment(config, inject_faults=True)
+    faulted = (ExperimentSession(config, run_id="most-monitored")
+               .with_fault_tolerance()
+               .with_monitoring()
+               .with_anomalies()
+               .run())
     result = faulted.result
-    alerts = faulted.extras["alerts"]
+    alerts = faulted.alerts
     for alert in alerts:
         where = f" site={alert.site}" if alert.site else ""
         print(f"    t={alert.time:8.1f}s {alert.severity:<8} "
@@ -49,23 +53,26 @@ def main() -> int:
         fail(f"no slow_site alert for the slowed site (got {kinds})")
     for alert in alerts:
         validate_alert_payload(alert.to_payload("monitor-console"))
-    stream = faulted.extras["rollups"]["stream"]
+    stream = faulted.rollups["stream"]
     if stream["received"] == 0:
         fail("console absorbed no streamed metric samples")
     print(f"    completed {result.steps_completed} steps; "
           f"{len(alerts)} alerts; {stream['received']} metric samples")
 
     print("[2] clean monitored run (no faults)")
-    clean = run_monitored_experiment(config)
+    clean = (ExperimentSession(config, run_id="most-monitored")
+             .with_fault_tolerance()
+             .with_monitoring()
+             .run())
     if not clean.result.completed:
         fail("clean run did not complete")
-    if clean.extras["alerts"]:
+    if clean.alerts:
         fail(f"clean run raised alerts: "
-             f"{[a.kind for a in clean.extras['alerts']]}")
-    rollups = clean.extras["rollups"]
+             f"{[a.kind for a in clean.alerts]}")
+    rollups = clean.rollups
     if rollups["stream"]["received"] == 0:
         fail("clean console absorbed no streamed metric samples")
-    kit = clean.extras["monitoring"]
+    kit = clean.monitoring
     for publisher in kit.publishers.values():
         validate_health_payload(publisher.service_data.value("health"))
     if rollups["health"].get("coordinator") != "stopped":

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Validate the committed benchmark comparison documents.
+
+Checks every ``BENCH_*.json`` at the repo root (and the smoke-mode
+document under ``benchmarks/out/``, when present) against the
+``repro.bench/v1`` schema, and re-asserts the performance floors the
+documents exist to witness: pipelined stepping >= 1.5x aggregate steps/s
+over sequential, ensembles >= half their variant count in aggregate
+variant-steps/s, committed histories bit-exact.
+
+Run:  python scripts/validate_bench.py   (or ``make validate-bench``)
+"""
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.telemetry.schema import validate_bench_payload  # noqa: E402
+
+
+def check(path: pathlib.Path, *, committed: bool) -> None:
+    payload = json.loads(path.read_text())
+    validate_bench_payload(payload)
+    speed = payload["speedups"]
+    assert payload["bit_exact"]["pipelined"], f"{path}: pipelined not bit-exact"
+    assert payload["bit_exact"]["ensemble_base_variant"], \
+        f"{path}: ensemble base variant not bit-exact"
+    assert speed["pipelined_aggregate_steps_per_s"] >= 1.5, \
+        f"{path}: pipelined speedup below 1.5x"
+    floor = payload["config"]["n_variants"] / 2.0
+    if committed:
+        floor = max(floor, 4.0)
+    assert speed["ensemble_aggregate_variant_steps_per_s"] >= floor, \
+        f"{path}: ensemble speedup below {floor}x"
+    print(f"  {path.relative_to(ROOT)}: OK "
+          f"(pipelined {speed['pipelined_aggregate_steps_per_s']:.2f}x, "
+          f"ensemble {speed['ensemble_aggregate_variant_steps_per_s']:.2f}x)")
+
+
+def main() -> int:
+    committed = sorted(ROOT.glob("BENCH_*.json"))
+    if not committed:
+        print("no BENCH_*.json documents at the repo root", file=sys.stderr)
+        return 1
+    print("validating benchmark documents (repro.bench/v1):")
+    for path in committed:
+        check(path, committed=True)
+    smoke = ROOT / "benchmarks" / "out" / "BENCH_tperf_ntcp.smoke.json"
+    if smoke.exists():
+        check(smoke, committed=False)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -82,10 +82,11 @@ from repro.monitor import (
 
 # -- assembled experiments ---------------------------------------------------
 from repro.most import (
+    ExperimentSession,
     MOSTConfig,
+    SessionResult,
     build_most,
     run_dry_run,
-    run_monitored_experiment,
     run_simulation_only,
 )
 
@@ -138,8 +139,9 @@ __all__ = [
     "attach_monitoring",
     # assembled experiments
     "MOSTConfig",
+    "ExperimentSession",
+    "SessionResult",
     "build_most",
     "run_dry_run",
-    "run_monitored_experiment",
     "run_simulation_only",
 ]

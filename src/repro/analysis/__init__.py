@@ -1,6 +1,6 @@
 """repro.analysis — the project-specific static-analysis pass.
 
-An AST lint engine with repo-specific rules (``RPR001``–``RPR006``) plus
+An AST lint engine with repo-specific rules (``RPR001``–``RPR008``) plus
 an NTCP protocol-conformance checker over the control-plugin surface
 (``RPR10x``), wired into the repo's gate as ``make analyze``:
 
@@ -40,7 +40,7 @@ from repro.analysis.reporters import (
     render_text,
     validate_report,
 )
-from repro.analysis import rules as _rules  # registers RPR001-RPR006
+from repro.analysis import rules as _rules  # registers RPR001-RPR008
 
 del _rules
 

@@ -1,4 +1,4 @@
-"""The repo-specific rules (``RPR001``–``RPR007``).
+"""The repo-specific rules (``RPR001``–``RPR008``).
 
 Each rule machine-checks one invariant the codebase otherwise only states
 in prose (docstrings, DESIGN.md, the telemetry schema).  They are
@@ -677,3 +677,53 @@ class MutableDefaultArgument(Rule):
             if canon in self.MUTABLE_CALLS:
                 return f"{canon}()"
         return None
+
+
+# ---------------------------------------------------------------------------
+# RPR008 — deprecated scenario entry points
+
+
+@register
+class DeprecatedScenarioShim(Rule):
+    """No new callers of the deprecated ``run_*`` scenario shims.
+
+    ``run_public_experiment``, ``run_public_with_resume``,
+    ``run_degraded_experiment`` and ``run_monitored_experiment`` are
+    one-release deprecation shims over
+    :class:`repro.most.session.ExperimentSession`.  Production code,
+    examples, benchmarks and scripts must compose the session builder
+    instead; only the shims' own module (where they are defined), the
+    session module, and tests (which cover the shims' parity and
+    warnings) may still call them.
+    """
+
+    code = "RPR008"
+    name = "deprecated-scenario-shim"
+    summary = ("call ExperimentSession, not the deprecated "
+               "run_*_experiment scenario shims (tests exempt)")
+
+    DEPRECATED = {
+        "run_public_experiment",
+        "run_public_with_resume",
+        "run_degraded_experiment",
+        "run_monitored_experiment",
+    }
+    EXEMPT_MODULES = {"repro.most.scenario", "repro.most.session"}
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module in self.EXEMPT_MODULES:
+            return
+        if ctx.module == "tests" or ctx.module.startswith("tests."):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted(node.func)
+            if chain is None:
+                continue
+            name = chain.rsplit(".", 1)[-1]
+            if name in self.DEPRECATED:
+                yield ctx.finding(
+                    node, self.code,
+                    f"`{name}` is a deprecated scenario shim; compose the "
+                    "run with repro.most.ExperimentSession instead")

@@ -26,21 +26,24 @@ import numpy as np
 
 
 def _cmd_most(args: argparse.Namespace) -> int:
-    from repro.most import (
-        MOSTConfig,
-        run_dry_run,
-        run_public_experiment,
-        run_simulation_only,
-        run_with_fault_tolerance,
-    )
+    from repro.most import ExperimentSession, MOSTConfig
 
-    runners = {"dry": run_dry_run, "public": run_public_experiment,
-               "ft": run_with_fault_tolerance,
-               "sim-only": run_simulation_only}
+    builders = {
+        "dry": lambda c: ExperimentSession(c, run_id="most-dry"),
+        "public": lambda c: (ExperimentSession(c, run_id="most-public")
+                             .with_observers()
+                             .with_faults()),
+        "ft": lambda c: (ExperimentSession(c, run_id="most-ft")
+                         .with_metadata(False)
+                         .with_faults()
+                         .with_fault_tolerance()),
+        "sim-only": lambda c: ExperimentSession(c, run_id="most-simonly",
+                                                simulation_only=True),
+    }
     config = MOSTConfig()
     if args.steps != 1500:
         config = config.scaled(args.steps)
-    report = runners[args.scenario](config)
+    report = builders[args.scenario](config).run()
     r = report.result
     status = ("completed" if r.completed
               else f"exited prematurely at step {r.aborted_at_step}")
@@ -63,15 +66,17 @@ def _cmd_most(args: argparse.Namespace) -> int:
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
-    from repro.most import MOSTConfig, run_public_with_resume
+    from repro.most import ExperimentSession, MOSTConfig
 
     config = MOSTConfig()
     if args.steps != 1500:
         config = config.scaled(args.steps)
-    report = run_public_with_resume(
-        config, run_id=args.run_id, checkpoint_every=args.checkpoint_every)
+    report = (ExperimentSession(config, run_id=args.run_id)
+              .with_faults()
+              .with_resume(checkpoint_every=args.checkpoint_every)
+              .run())
     r = report.result
-    aborted = report.extras.get("aborted_result")
+    aborted = report.aborted_result
     if aborted is not None:
         print(f"MOST resume ({args.run_id}): aborted at step "
               f"{aborted.aborted_at_step} with {aborted.steps_completed} "
@@ -79,22 +84,21 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     else:
         print(f"MOST resume ({args.run_id}): first incarnation never "
               "aborted; nothing to reconcile")
-    reconciliation = report.extras.get("reconciliation")
-    if reconciliation is not None:
-        for line in reconciliation.rows():
+    if report.reconciliation is not None:
+        for line in report.reconciliation.rows():
             print(f"  {line}")
     status = ("completed" if r.completed
               else f"exited prematurely at step {r.aborted_at_step}")
     print(f"  merged result       : {r.steps_completed}/{r.target_steps} "
           f"steps, {status}")
-    print(f"  checkpoints written : {report.extras.get('checkpoints', 0)}")
+    print(f"  checkpoints written : {report.checkpoints}")
     print(f"  NTCP retransmissions: {report.ntcp_retries}; "
           f"step-level recoveries: {r.recoveries}")
     return 0 if r.completed else 1
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
-    from repro.most import MOSTConfig, run_monitored_experiment
+    from repro.most import ExperimentSession, MOSTConfig
 
     config = MOSTConfig()
     if args.steps != 1500:
@@ -108,11 +112,15 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     inject = not args.clean
     print(f"MOST monitored run ({'faulted' if inject else 'clean'}), "
           f"{config.n_steps} steps — live alert feed:")
-    report = run_monitored_experiment(config, inject_faults=inject,
-                                      on_alert=feed)
+    session = (ExperimentSession(config, run_id="most-monitored")
+               .with_fault_tolerance()
+               .with_monitoring(on_alert=feed))
+    if inject:
+        session.with_anomalies()
+    report = session.run()
     r = report.result
-    alerts = report.extras["alerts"]
-    rollups = report.extras["rollups"]
+    alerts = report.alerts
+    rollups = report.rollups
     status = ("completed" if r.completed
               else f"exited prematurely at step {r.aborted_at_step}")
     if not alerts:

@@ -1,4 +1,10 @@
-"""Helpers for the ``set-displacement`` action vocabulary used by MOST."""
+"""Helpers for the ``set-displacement`` action vocabulary used by MOST.
+
+A target value is either one displacement (a scalar float — the classic
+wire format) or one displacement *per scenario variant* (a list of
+floats — the ensemble batch format).  A proposal mixes the two never:
+each action carries the same width as its siblings.
+"""
 
 from __future__ import annotations
 
@@ -10,20 +16,47 @@ from repro.util.errors import ProtocolError
 SET_DISPLACEMENT = "set-displacement"
 
 
-def make_displacement_actions(targets: dict[int, float]) -> list[Action]:
+def _encode_value(value):
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return [float(v) for v in value]
+    return float(value)
+
+
+def make_displacement_actions(targets: dict) -> list[Action]:
     """Build one action per (local DOF, displacement) pair.
 
     >>> [a.kind for a in make_displacement_actions({0: 0.01})]
     ['set-displacement']
     """
     return [Action(kind=SET_DISPLACEMENT,
-                   params={"dof": int(dof), "value": float(value)})
+                   params={"dof": int(dof), "value": _encode_value(value)})
             for dof, value in sorted(targets.items())]
 
 
-def displacement_targets(actions) -> dict[int, float]:
-    """Parse actions back into ``{dof: displacement}``; validates kinds."""
-    targets: dict[int, float] = {}
+def _parse_value(raw, dof: int):
+    if isinstance(raw, (list, tuple)):
+        values = [float(v) for v in raw]
+        if not values:
+            raise ProtocolError(f"empty displacement batch for DOF {dof}")
+        for v in values:
+            if not np.isfinite(v):
+                raise ProtocolError(
+                    f"non-finite displacement for DOF {dof}")
+        return values
+    value = float(raw)
+    if not np.isfinite(value):
+        raise ProtocolError(f"non-finite displacement for DOF {dof}")
+    return value
+
+
+def displacement_targets(actions) -> dict:
+    """Parse actions back into ``{dof: displacement | [displacements]}``.
+
+    Validates kinds, finiteness, and — for ensemble batches — that every
+    DOF carries the same variant width.
+    """
+    targets: dict = {}
+    width: int | None = None
     for action in actions:
         if action.kind != SET_DISPLACEMENT:
             raise ProtocolError(
@@ -35,8 +68,11 @@ def displacement_targets(actions) -> dict[int, float]:
         dof = int(params["dof"])
         if dof in targets:
             raise ProtocolError(f"duplicate target for DOF {dof}")
-        value = float(params["value"])
-        if not np.isfinite(value):
-            raise ProtocolError(f"non-finite displacement for DOF {dof}")
+        value = _parse_value(params["value"], dof)
+        this_width = len(value) if isinstance(value, list) else None
+        if targets and this_width != width:
+            raise ProtocolError(
+                "mixed scalar/batch displacement targets in one proposal")
+        width = this_width
         targets[dof] = value
     return targets

@@ -241,10 +241,28 @@ class MatlabBackend(PollBackend):
         if self.compute_time > 0:
             yield self.kernel.timeout(self.compute_time)
         n = len(self.substructure.dof_indices)
-        d_local = np.zeros(n)
-        for dof, value in targets.items():
-            d_local[dof] = value
+        # Ensemble batches (list-valued targets) are evaluated in one
+        # vectorized call, charging the Matlab compute time once for the
+        # whole batch — mirroring SimulationPlugin.execute exactly.
+        batched = any(isinstance(v, list) for v in targets.values())
+        if batched:
+            width = len(next(iter(targets.values())))
+            d_local = np.zeros((n, width))
+            for dof, value in targets.items():
+                d_local[dof, :] = value
+        else:
+            d_local = np.zeros(n)
+            for dof, value in targets.items():
+                d_local[dof] = value
         forces = np.atleast_1d(self.substructure.restoring(d_local))
+        if batched:
+            return {
+                "displacements": {dof: [float(d) for d in d_local[dof]]
+                                  for dof in targets},
+                "forces": {dof: [float(f) for f in forces[dof]]
+                           for dof in targets},
+                "settle_time": self.compute_time,
+            }
         return {
             "displacements": {dof: float(d_local[dof]) for dof in targets},
             "forces": {dof: float(forces[dof]) for dof in targets},

@@ -40,16 +40,37 @@ class SimulationPlugin(ControlPlugin):
     def execute(self, proposal: Proposal):
         targets = displacement_targets(proposal.actions)
         n = len(self.substructure.dof_indices)
-        d_local = np.zeros(n)
-        for dof, value in targets.items():
-            d_local[dof] = value
+        # An ensemble batch (list-valued targets) evaluates all variants
+        # in one vectorized restoring() call: the compute time is charged
+        # once for the whole batch, which is the amortization that makes
+        # ensemble stepping fast.
+        batched = any(isinstance(v, list) for v in targets.values())
+        if batched:
+            width = len(next(iter(targets.values())))
+            d_local = np.zeros((n, width))
+            for dof, value in targets.items():
+                d_local[dof, :] = value
+        else:
+            d_local = np.zeros(n)
+            for dof, value in targets.items():
+                d_local[dof] = value
         if self.compute_time > 0:
             yield self.kernel.timeout(self.compute_time)
         forces = np.atleast_1d(self.substructure.restoring(d_local))
         self.steps_executed += 1
-        readings: dict[str, Any] = {
-            "displacements": {dof: float(d_local[dof]) for dof in targets},
-            "forces": {dof: float(forces[dof]) for dof in targets},
-            "settle_time": self.compute_time,
-        }
+        if batched:
+            readings: dict[str, Any] = {
+                "displacements": {dof: [float(d) for d in d_local[dof]]
+                                  for dof in targets},
+                "forces": {dof: [float(f) for f in forces[dof]]
+                           for dof in targets},
+                "settle_time": self.compute_time,
+            }
+        else:
+            readings = {
+                "displacements": {dof: float(d_local[dof])
+                                  for dof in targets},
+                "forces": {dof: float(forces[dof]) for dof in targets},
+                "settle_time": self.compute_time,
+            }
         return readings

@@ -23,7 +23,12 @@ lost network connections or invalid responses."
 * :class:`~repro.coordinator.failover.FailoverManager` — graceful
   degradation: hot-swaps a permanently failed site for a numerical
   surrogate so the run finishes (degraded, clearly labelled) instead of
-  aborting at the paper's step 1493.
+  aborting at the paper's step 1493;
+* :class:`~repro.coordinator.predictor.SubstructurePredictor` — nominal
+  force prediction powering speculative pipelined stepping
+  (``pipeline_depth=1``);
+* :class:`~repro.coordinator.ensemble.EnsembleCoordinator` — one
+  coordinator advancing N scenario variants per protocol cycle.
 """
 
 from repro.coordinator.fault_policy import (
@@ -49,6 +54,11 @@ from repro.coordinator.failover import (
     SurrogateSpec,
 )
 from repro.coordinator.mspsds import SimulationCoordinator, SiteBinding
+from repro.coordinator.predictor import SubstructurePredictor
+from repro.coordinator.ensemble import (
+    EnsembleCoordinator,
+    variant_displacement_history,
+)
 from repro.coordinator.toolbox import NTCPToolbox
 from repro.coordinator.realtime import RealTimeCoordinator, RealTimeStats
 
@@ -57,6 +67,9 @@ __all__ = [
     "RealTimeStats",
     "SimulationCoordinator",
     "SiteBinding",
+    "SubstructurePredictor",
+    "EnsembleCoordinator",
+    "variant_displacement_history",
     "NTCPToolbox",
     "FaultPolicy",
     "NaiveFaultPolicy",

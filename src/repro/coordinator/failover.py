@@ -169,6 +169,14 @@ class FailoverManager:
     def degraded_sites(self) -> tuple[str, ...]:
         return tuple(sorted(self.active))
 
+    @property
+    def has_pending_readmissions(self) -> bool:
+        """True when a recovered site waits to swap back at the next step
+        boundary.  The pipelined step loop checks this before speculating:
+        speculation must drain first, so a step never splits its
+        propose/execute across the surrogate and the readmitted site."""
+        return bool(self._readmit_pending)
+
     # -- the failover decision -------------------------------------------------
     def consider(self, *, step: int, site: str, error: BaseException) -> bool:
         """Should (and did) the coordinator fail ``site`` over?

@@ -35,7 +35,8 @@ physical specimen — even across a coordinator restart.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -83,6 +84,28 @@ class SiteBinding:
         self.dof_indices = np.asarray(dof_indices, dtype=int)
 
 
+@dataclass
+class _InFlightStep:
+    """One step's propose+execute round, running as a background process.
+
+    The pipelined loop keeps at most two of these alive: the *verified*
+    step (``speculative=False`` — its commanded displacement came from
+    the committed integrator state) and the *speculative* step issued one
+    ahead of it from predicted forces.  ``process`` is the kernel process
+    running :meth:`SimulationCoordinator._step_at_all_sites`; its value
+    is the per-site force map.  The process is defused at creation —
+    a speculation abandoned by rollback must never crash the kernel —
+    and awaited explicitly where its outcome matters.
+    """
+
+    step: int
+    d: np.ndarray                 #: the displacement commanded to the sites
+    txns: dict[str, str]          #: site name -> transaction name
+    process: Any                  #: kernel Process yielding the force map
+    issued_at: float              #: sim time the round went on the wire
+    speculative: bool = False
+
+
 class SimulationCoordinator:
     """Drives a distributed hybrid experiment to completion.
 
@@ -117,6 +140,22 @@ class SimulationCoordinator:
             when a step attempt fails, it may swap a dead site for its
             numerical surrogate (graceful degradation) instead of letting
             the fault policy abort the run.
+        pipeline_depth: ``0`` (default) runs the classic sequential
+            machine.  ``1`` enables pipelined stepping: while step *n*
+            executes at the sites, the coordinator speculatively
+            integrates and proposes step *n+1* from predicted restoring
+            forces, hiding one protocol round trip per step.  A
+            mispredict or a mid-flight fault rolls the speculation back
+            under the §7 cancel+rename discipline, so committed
+            histories stay bit-exact with the sequential run.
+        predictor: object with ``predict(site, targets) -> forces``
+            (see :class:`~repro.coordinator.predictor.SubstructurePredictor`)
+            supplying the predicted restoring forces speculation
+            integrates against; required when ``pipeline_depth > 0``.
+        mispredict_tolerance: maximum absolute divergence between the
+            speculative displacement command and the one the measured
+            forces produce before the speculation is rolled back;
+            ``0.0`` (default) demands bit-exact prediction.
     """
 
     def __init__(self, *, run_id: str, client: NTCPClient,
@@ -132,7 +171,10 @@ class SimulationCoordinator:
                  state: ExperimentState | None = None,
                  prior_records: Sequence[StepRecord] = (),
                  breakers: dict[str, CircuitBreaker] | None = None,
-                 failover=None):
+                 failover=None,
+                 pipeline_depth: int = 0,
+                 predictor=None,
+                 mispredict_tolerance: float = 0.0):
         if not sites:
             raise ConfigurationError("coordinator needs at least one site")
         covered = set()
@@ -181,6 +223,24 @@ class SimulationCoordinator:
         self.prior_records = list(prior_records)
         self.breakers: dict[str, CircuitBreaker] = dict(breakers or {})
         self.failover = failover
+        if pipeline_depth < 0:
+            raise ConfigurationError("pipeline_depth must be >= 0")
+        if pipeline_depth > 1:
+            raise ConfigurationError(
+                "pipeline_depth > 1 is not supported: speculating more "
+                "than one step ahead compounds prediction error without "
+                "hiding additional round trips")
+        if pipeline_depth > 0 and predictor is None:
+            raise ConfigurationError(
+                "pipelined stepping needs a predictor (see "
+                "repro.coordinator.predictor.SubstructurePredictor)")
+        self.pipeline_depth = int(pipeline_depth)
+        self.predictor = predictor
+        self.mispredict_tolerance = float(mispredict_tolerance)
+        #: monotone epoch appended (``-s<n>``) to transaction names whose
+        #: speculation was rolled back — a cancelled name is burned
+        #: server-side, so the verified re-proposal must never reuse it.
+        self._speculation_epoch = 0
         self.last_reconciliation: ReconciliationReport | None = None
         self._records_flushed = 0
         self._txn_overrides: dict[tuple[int, str], str] = {}
@@ -209,11 +269,26 @@ class SimulationCoordinator:
                                               run_id=run_id)
         self._tm_degraded_steps = telemetry.counter(
             "coordinator.failover.degraded_steps", run_id=run_id)
+        self._tm_spec_issued = telemetry.counter(
+            "coordinator.pipeline.speculated", run_id=run_id)
+        self._tm_spec_hits = telemetry.counter(
+            "coordinator.pipeline.hits", run_id=run_id)
+        self._tm_spec_mispredicts = telemetry.counter(
+            "coordinator.pipeline.mispredicts", run_id=run_id)
+        self._tm_spec_drains = telemetry.counter(
+            "coordinator.pipeline.drains", run_id=run_id)
+        telemetry.gauge("coordinator.pipeline.depth",
+                        run_id=run_id).set(self.pipeline_depth)
         #: any object with the start/propose_next/commit stepping API
         #: (CentralDifferencePSD for MOST; AlphaOSPSD for stiff structures
         #: whose frequencies exceed the explicit stability limit).
         factory = integrator_factory or CentralDifferencePSD
+        self._integrator_factory = factory
         self.integrator = factory(model, motion.dt)
+        #: lazily built twin used only to compute speculative commands —
+        #: it is re-grounded in the committed integrator's snapshot
+        #: before every speculation, so it never drifts from truth.
+        self._shadow_integrator = None
         self._integrator_started = False
         if self.state.integrator is not None:
             self.integrator.restore(self.state.integrator)
@@ -229,17 +304,47 @@ class SimulationCoordinator:
         return f"{self.run_id}-step{step:05d}-{site.name}"
 
     def _site_targets(self, site: SiteBinding,
-                      d_global: np.ndarray) -> dict[int, float]:
+                      d_global: np.ndarray) -> dict:
+        if d_global.ndim > 1:
+            # Ensemble batch: one column per scenario variant; the wire
+            # value for each DOF is the whole row.
+            return {local: [float(v) for v in d_global[global_dof]]
+                    for local, global_dof in enumerate(site.dof_indices)}
         return {local: float(d_global[global_dof])
                 for local, global_dof in enumerate(site.dof_indices)}
 
-    def _assemble_forces(self, per_site: dict[str, dict[int, float]],
+    def _state_shape(self) -> tuple[int, ...]:
+        """Shape of displacement/force vectors (widened by ensembles)."""
+        return (self.model.n_dof,)
+
+    def _zero_displacement(self) -> np.ndarray:
+        """The at-rest command for step 0."""
+        return np.zeros(self._state_shape())
+
+    def _external_force(self, step: int) -> np.ndarray:
+        """External load for ``step`` (ensembles widen it per variant)."""
+        return self.model.external_force(self.motion.accel[step])
+
+    def _coerce_site_forces(self, forces: dict) -> dict:
+        """Normalize one site's raw force readings keyed by local DOF."""
+        out: dict[int, Any] = {}
+        for dof, f in forces.items():
+            if isinstance(f, (list, tuple)):
+                out[int(dof)] = [float(v) for v in f]
+            else:
+                out[int(dof)] = float(f)
+        return out
+
+    def _count_step(self, record: StepRecord) -> None:
+        """Per-commit accounting hook (ensembles count variant-steps)."""
+
+    def _assemble_forces(self, per_site: dict[str, dict],
                          ) -> np.ndarray:
-        r = np.zeros(self.model.n_dof)
+        r = np.zeros(self._state_shape())
         for site in self.sites:
             forces = per_site[site.name]
             for local, global_dof in enumerate(site.dof_indices):
-                r[global_dof] += forces[local]
+                r[global_dof] += np.asarray(forces[local], dtype=float)
         return r
 
     def _guarded(self, site: SiteBinding, exchange):
@@ -273,12 +378,16 @@ class SimulationCoordinator:
             breaker.record_success()
         return result
 
-    def _step_at_all_sites(self, step: int, d_global: np.ndarray, ctx=None):
+    def _step_at_all_sites(self, step: int, d_global: np.ndarray, ctx=None,
+                           *, set_phase: bool = True):
         """Propose then execute step ``step`` at every site, in parallel.
 
         Returns ``{site: {local_dof: force}}``; raises on any failure
         (after cancelling accepted siblings if a site rejected).  ``ctx``
         is the step span context the phase spans nest under.
+        ``set_phase=False`` keeps ``state.phase`` untouched — a
+        speculative round must not make the serialized machine claim it
+        is executing a step that has not been verified yet.
         """
         if not self.negotiation_barrier:
             results = yield from self._step_without_barrier(step, d_global,
@@ -330,7 +439,8 @@ class SimulationCoordinator:
                 f"{verdicts[name].error or ''}")
         propose_span.end(ok=True)
 
-        self.state.phase = PHASE_EXECUTE
+        if set_phase:
+            self.state.phase = PHASE_EXECUTE
         results: dict[str, dict[int, float]] = {}
         execute_span = self._tracer.start_span(
             "coordinator.step.execute", parent=ctx, step=step)
@@ -341,8 +451,7 @@ class SimulationCoordinator:
                 timeout=self.execution_timeout + 10.0,
                 ctx=execute_span))
             forces = result.readings["forces"]
-            results[site.name] = {int(dof): float(f)
-                                  for dof, f in forces.items()}
+            results[site.name] = self._coerce_site_forces(forces)
 
         procs = [self.kernel.process(execute_one(s),
                                      name=f"execute.{s.name}.{step}")
@@ -372,8 +481,7 @@ class SimulationCoordinator:
                     timeout=self.execution_timeout + 10.0,
                     ctx=span))
             forces = result.readings["forces"]
-            results[site.name] = {int(dof): float(f)
-                                  for dof, f in forces.items()}
+            results[site.name] = self._coerce_site_forces(forces)
 
         procs = [self.kernel.process(chain_one(s),
                                      name=f"chain.{s.name}.{step}")
@@ -387,40 +495,284 @@ class SimulationCoordinator:
         return results
 
     def _attempt_with_policy(self, step: int, d_global: np.ndarray,
-                             result: ExperimentResult, ctx=None):
-        """One step with fault-policy retries; returns (forces, attempts)."""
+                             result: ExperimentResult, ctx=None, *,
+                             initial_error=None):
+        """One step with fault-policy retries; returns (forces, attempts).
+
+        ``initial_error`` lets the pipelined loop feed in a failure from
+        an already-issued round (the in-flight step it was awaiting) so
+        attempt #1 consults the policy instead of re-sending blindly.
+        """
         attempt = 0
+        exc = initial_error
         while True:
             attempt += 1
-            try:
-                forces = yield from self._step_at_all_sites(step, d_global,
-                                                            ctx)
-                return forces, attempt
-            except (RpcError, ReproError) as exc:
-                site = getattr(exc, "site", "?")
-                self.kernel.emit(f"coordinator.{self.run_id}", "step.failed",
-                                 step=step, attempt=attempt, error=str(exc))
-                if isinstance(exc, ProtocolError) and "rejected" in str(exc):
-                    # A policy rejection is not transient; never retry.
-                    raise
-                if self.failover is not None and self.failover.consider(
-                        step=step, site=site, error=exc):
-                    # The site was just swapped for its numerical
-                    # surrogate (and the step's transaction renamed);
-                    # retry immediately instead of asking the policy.
-                    self._tm_retries.inc()
-                    continue
-                decision = self.fault_policy.decide(
-                    step=step, attempt=attempt, site=site, error=exc)
-                if decision.action != "retry":
-                    raise
+            if exc is None:
+                try:
+                    forces = yield from self._step_at_all_sites(step,
+                                                                d_global, ctx)
+                    return forces, attempt
+                except (RpcError, ReproError) as caught:
+                    exc = caught
+            site = getattr(exc, "site", "?")
+            self.kernel.emit(f"coordinator.{self.run_id}", "step.failed",
+                             step=step, attempt=attempt, error=str(exc))
+            if isinstance(exc, ProtocolError) and "rejected" in str(exc):
+                # A policy rejection is not transient; never retry.
+                raise exc
+            if self.failover is not None and self.failover.consider(
+                    step=step, site=site, error=exc):
+                # The site was just swapped for its numerical
+                # surrogate (and the step's transaction renamed);
+                # retry immediately instead of asking the policy.
                 self._tm_retries.inc()
-                if decision.delay > 0:
-                    wait_span = self._tracer.start_span(
-                        "coordinator.step.retry_wait", parent=ctx,
-                        step=step, attempt=attempt)
-                    yield self.kernel.timeout(decision.delay)
-                    wait_span.end()
+                exc = None
+                continue
+            decision = self.fault_policy.decide(
+                step=step, attempt=attempt, site=site, error=exc)
+            if decision.action != "retry":
+                raise exc
+            self._tm_retries.inc()
+            if decision.delay > 0:
+                wait_span = self._tracer.start_span(
+                    "coordinator.step.retry_wait", parent=ctx,
+                    step=step, attempt=attempt)
+                yield self.kernel.timeout(decision.delay)
+                wait_span.end()
+            exc = None
+
+    # -- pipelined stepping ---------------------------------------------------
+    def _shadow(self):
+        """The speculation twin, built lazily from the same factory."""
+        if self._shadow_integrator is None:
+            self._shadow_integrator = self._integrator_factory(
+                self.model, self.motion.dt)
+        return self._shadow_integrator
+
+    def _predicted_forces(self, d_cmd: np.ndarray) -> dict[str, dict]:
+        """What the predictor expects every site to measure for ``d_cmd``."""
+        return {site.name: self.predictor.predict(
+                    site.name, self._site_targets(site, d_cmd))
+                for site in self.sites}
+
+    def _issue_step(self, step: int, d_cmd: np.ndarray, *,
+                    speculative: bool) -> _InFlightStep:
+        """Launch one step's propose+execute round as a background process.
+
+        The round runs :meth:`_step_at_all_sites` without touching
+        ``state.phase`` (the serialized machine must not claim to execute
+        a step that is still speculative); the process is defused so an
+        abandoned speculation's failure never crashes the kernel.
+        """
+        txns = {site.name: self._txn_name(step, site) for site in self.sites}
+        span_name = ("coordinator.step.speculate" if speculative
+                     else "coordinator.step.round")
+
+        def round_runner():
+            span = self._tracer.start_span(span_name, step=step)
+            try:
+                forces = yield from self._step_at_all_sites(
+                    step, d_cmd, span, set_phase=False)
+            except BaseException:
+                span.end(ok=False)
+                raise
+            span.end(ok=True)
+            return forces
+
+        process = self.kernel.process(round_runner(),
+                                      name=f"step.round.{step}")
+        process.defuse()
+        return _InFlightStep(step=step, d=d_cmd, txns=txns, process=process,
+                             issued_at=self.kernel.now,
+                             speculative=speculative)
+
+    def _speculate(self, step: int, pending: _InFlightStep):
+        """Issue step ``step`` speculatively while ``pending`` executes.
+
+        The shadow integrator is re-grounded in the committed state,
+        advanced through the in-flight command against *predicted*
+        restoring forces, and the resulting displacement goes on the wire
+        one round trip early.  The speculative names are recorded in
+        ``state.speculative`` (at ``state.speculative_step``) so a
+        checkpoint taken while they may be burned lets the resume drain
+        them.  Returns ``None`` (speculation skipped) if the prediction
+        goes non-finite — the verified path will abort cleanly instead.
+        """
+        shadow = self._shadow()
+        shadow.restore(self.integrator.snapshot())
+        # Re-deriving the in-flight command arms the shadow for commit
+        # (AlphaOS predictor-corrector refuses to commit un-proposed).
+        shadow.propose_next()
+        r_hat = self._assemble_forces(self._predicted_forces(pending.d))
+        shadow.commit(pending.d, r_hat, self._external_force(pending.step))
+        d_hat = shadow.propose_next()
+        if not np.all(np.isfinite(d_hat)):
+            return None
+        spec = self._issue_step(step, d_hat, speculative=True)
+        self.state.speculative = dict(spec.txns)
+        self.state.speculative_step = step
+        self._tm_spec_issued.inc()
+        return spec
+
+    def _rollback_speculation(self, spec: _InFlightStep, reason: str) -> None:
+        """Retire a wrong (or fault-stranded) speculation, §7-style.
+
+        Non-blocking: cancels are fire-and-forget (the round's own
+        process is defused and left to die), and the step's verified
+        re-proposal is renamed with a fresh ``-s<epoch>`` suffix — a
+        cancelled name is burned server-side, so reusing it would turn
+        the re-proposal into a permanent rejection.  The burned names
+        stay in ``state.speculative`` until the replacement goes on the
+        wire, keeping the resume drain able to find them.
+        """
+        self._speculation_epoch += 1
+        for site in self.sites:
+            name = spec.txns[site.name]
+            cancel = self.kernel.process(
+                self.client.cancel(site.handle, name),
+                name=f"pipeline.cancel.{site.name}.{spec.step}")
+            cancel.defuse()
+            self._txn_overrides[(spec.step, site.name)] = (
+                f"{name}-s{self._speculation_epoch}")
+        if reason == "mispredict":
+            self._tm_spec_mispredicts.inc()
+        else:
+            self._tm_spec_drains.inc()
+        self.kernel.emit(f"coordinator.{self.run_id}", "pipeline.rolled_back",
+                         step=spec.step, reason=reason)
+
+    def _prediction_matches(self, d_true: np.ndarray,
+                            d_spec: np.ndarray) -> bool:
+        if self.mispredict_tolerance <= 0:
+            return bool(np.array_equal(d_true, d_spec))
+        return bool(np.max(np.abs(d_true - d_spec))
+                    <= self.mispredict_tolerance)
+
+    def _run_pipelined(self, result: ExperimentResult):
+        """The overlapped stepping machine (``pipeline_depth == 1``).
+
+        Instead of waiting out each step's full round trip, the
+        coordinator issues step *n+1* speculatively (from predicted
+        forces) as soon as step *n* is on the wire, then verifies the
+        prediction when *n*'s measured forces arrive:
+
+        * **hit** — the speculative command equals what the committed
+          integrator produces; the speculation is *adopted* as the next
+          in-flight step, hiding its propose/execute latency entirely;
+        * **mispredict / fault** — the speculation is rolled back
+          (cancel + ``-s`` rename) and the step re-runs sequentially
+          from the committed state, so the committed history is the
+          sequential one regardless.
+
+        Returns ``True`` when the full record committed, ``False`` on
+        abort (mirrors :meth:`_run_one_step`'s contract).
+        """
+        pending: _InFlightStep | None = None
+        while self.state.step <= self.state.target_steps:
+            step = self.state.step
+            if pending is None:
+                # Clean boundary — nothing in flight.  The only place
+                # recovered sites may swap back in: a readmission under
+                # a live speculation would split that step's
+                # propose/execute across two servers.
+                if self.failover is not None:
+                    self.failover.apply_readmissions(step)
+                self.state.phase = PHASE_INTEGRATE
+                try:
+                    d_next = self.integrator.propose_next()
+                    if not np.all(np.isfinite(d_next)):
+                        raise FloatingPointError("non-finite displacement")
+                except (ValueError, FloatingPointError) as exc:
+                    self._record_abort(result, step,
+                                       f"integrator diverged: {exc}")
+                    return False
+                self.state.phase = PHASE_PROPOSE
+                pending = self._issue_step(step, d_next, speculative=False)
+                self.state.pending = dict(pending.txns)
+                # The replacement names for any rolled-back speculation
+                # of this step are now on the wire; the burned originals
+                # are dead garbage no resume needs to drain.
+                self.state.speculative = {}
+                self.state.speculative_step = 0
+            step_span = self._tracer.start_span("coordinator.step.pipelined",
+                                                run_id=self.run_id, step=step)
+            spec = None
+            if (step < self.state.target_steps
+                    and not (self.failover is not None
+                             and self.failover.has_pending_readmissions)):
+                spec = self._speculate(step + 1, pending)
+            self.state.phase = PHASE_EXECUTE
+            try:
+                forces = yield pending.process
+                attempts = 1
+            except (RpcError, ReproError) as exc:
+                # Drain the speculation *before* the sequential fallback:
+                # its retries may swap in a surrogate, and a speculative
+                # transaction must never straddle that swap.
+                if spec is not None:
+                    self._rollback_speculation(spec, "fault")
+                    spec = None
+                try:
+                    forces, attempts = yield from self._attempt_with_policy(
+                        step, pending.d, result, step_span,
+                        initial_error=exc)
+                except (RpcError, ReproError) as final:
+                    step_span.end(ok=False)
+                    self._record_abort(result, step, str(final))
+                    return False
+            self.state.phase = PHASE_COMMIT
+            r_meas = self._assemble_forces(forces)
+            p_next = self._external_force(step)
+            self.integrator.commit(pending.d, r_meas, p_next)
+            degraded = tuple(self.state.degraded_sites)
+            record = StepRecord(step=step, model_time=step * self.motion.dt,
+                                displacement=pending.d.copy(),
+                                restoring_force=r_meas,
+                                site_forces=forces, attempts=attempts,
+                                wall_started=pending.issued_at,
+                                wall_finished=self.kernel.now,
+                                degraded=degraded)
+            result.steps.append(record)
+            if self.on_step is not None:
+                self.on_step(record)
+            self._tm_steps.inc()
+            self._count_step(record)
+            self._tm_step_time.observe(record.wall_finished -
+                                       pending.issued_at)
+            if degraded:
+                self._tm_degraded_steps.inc()
+            self.state.pending = {}
+            self.state.phase = PHASE_IDLE
+            self.state.step = step + 1
+            next_pending = None
+            if spec is not None:
+                # propose_next() both re-arms the integrator for the
+                # next commit and yields the truth the speculation is
+                # judged against.  It is a pure function of committed
+                # state, so a rolled-back path recomputing it at the
+                # top of the loop gets the identical command.
+                d_true = self.integrator.propose_next()
+                if spec.process.triggered and not spec.process.ok:
+                    # The speculative round already died (site fault
+                    # mid-speculation); never adopt a broken round.
+                    self._rollback_speculation(spec, "fault")
+                elif self._prediction_matches(d_true, spec.d):
+                    self._tm_spec_hits.inc()
+                    next_pending = spec
+                    self.state.pending = dict(spec.txns)
+                    self.state.phase = PHASE_EXECUTE
+                    # Adoption verifies the speculation: from here on it
+                    # is an ordinary in-flight step a resume may harvest.
+                    self.state.speculative = {}
+                    self.state.speculative_step = 0
+                else:
+                    self._rollback_speculation(spec, "mispredict")
+            step_span.end(ok=True, attempts=attempts,
+                          speculated=spec is not None,
+                          adopted=next_pending is not None)
+            pending = next_pending
+            yield from self._maybe_checkpoint(result, reason="policy")
+        return True
 
     # -- checkpointing -------------------------------------------------------
     def _write_checkpoint(self, result: ExperimentResult, reason: str):
@@ -488,7 +840,7 @@ class SimulationCoordinator:
 
     def _initialize(self, result: ExperimentResult):
         """Step 0: measure forces at rest and start the integrator."""
-        d0 = np.zeros(self.model.n_dof)
+        d0 = self._zero_displacement()
         init_span = self._tracer.start_span("coordinator.step",
                                             run_id=self.run_id, step=0)
         self.state.phase = PHASE_PROPOSE
@@ -505,8 +857,7 @@ class SimulationCoordinator:
             return False
         init_span.end(ok=True)
         r0 = self._assemble_forces(forces0)
-        self.integrator.start(
-            r0=r0, p0=self.model.external_force(self.motion.accel[0]))
+        self.integrator.start(r0=r0, p0=self._external_force(0))
         self._integrator_started = True
         self.state.pending = {}
         self.state.phase = PHASE_IDLE
@@ -536,6 +887,18 @@ class SimulationCoordinator:
                 self._tm_cancelled.inc()
             elif action.action == ACTION_REPROPOSE:
                 self._tm_reproposed.inc()
+        # Speculative overrides are applied *after* the in-flight step's,
+        # so when the speculation's step index collides with state.step
+        # (a rollback left burned names at the step a later commit made
+        # current) the drain's rename wins — harvesting a mispredicted
+        # speculation would commit forces for a displacement the
+        # integrator never chose.
+        for action in report.speculative:
+            self._txn_overrides[(self.state.speculative_step, action.site)] \
+                = action.transaction
+            self._tm_spec_drains.inc()
+        self.state.speculative = {}
+        self.state.speculative_step = 0
         self.state.pending = {}
         self.state.phase = PHASE_IDLE
         return True
@@ -585,7 +948,7 @@ class SimulationCoordinator:
         commit_span = self._tracer.start_span(
             "coordinator.step.commit", parent=step_span, step=step)
         r_next = self._assemble_forces(forces)
-        p_next = self.model.external_force(self.motion.accel[step])
+        p_next = self._external_force(step)
         self.integrator.commit(d_next, r_next, p_next)
         degraded = tuple(self.state.degraded_sites)
         record = StepRecord(step=step, model_time=step * self.motion.dt,
@@ -606,6 +969,7 @@ class SimulationCoordinator:
         else:
             step_span.end(ok=True, attempts=attempts)
         self._tm_steps.inc()
+        self._count_step(record)
         self._tm_step_time.observe(record.wall_finished - wall_started)
         self.state.pending = {}
         self.state.phase = PHASE_IDLE
@@ -643,11 +1007,17 @@ class SimulationCoordinator:
         if not ok:
             yield from self._abort_checkpoint(result)
             return result
-        while self.state.step <= self.state.target_steps:
-            ok = yield from self._run_one_step(result)
+        if self.pipeline_depth > 0:
+            ok = yield from self._run_pipelined(result)
             if not ok:
                 yield from self._abort_checkpoint(result)
                 return result
+        else:
+            while self.state.step <= self.state.target_steps:
+                ok = yield from self._run_one_step(result)
+                if not ok:
+                    yield from self._abort_checkpoint(result)
+                    return result
         result.completed = True
         result.wall_finished = self.kernel.now
         self.kernel.emit(f"coordinator.{self.run_id}", "experiment.completed",

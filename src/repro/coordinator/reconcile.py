@@ -62,6 +62,11 @@ class ReconciliationReport:
     step: int
     generation: int
     actions: list[ReconcileAction] = field(default_factory=list)
+    #: drained speculative (pipelined) transactions — these belong to
+    #: step ``step + 1``, issued ahead of the verified step by the dead
+    #: incarnation; each is cancelled and renamed, never harvested (a
+    #: speculation is only ever adopted by the incarnation that issued it).
+    speculative: list[ReconcileAction] = field(default_factory=list)
 
     def count(self, action: str) -> int:
         return sum(1 for a in self.actions if a.action == action)
@@ -119,9 +124,48 @@ class Reconciler:
         for site in self.sites:
             action = yield from self._classify_site(site)
             report.actions.append(action)
+        if state.speculative:
+            drained = yield from self._drain_speculative()
+            report.speculative.extend(drained)
         span.end(harvested=report.harvested, cancelled=report.cancelled,
-                 reproposed=report.reproposed)
+                 reproposed=report.reproposed,
+                 speculative=len(report.speculative))
         return report
+
+    def _drain_speculative(self):
+        """Kernel process: retire the dead incarnation's speculative step.
+
+        A speculative transaction may be burned at its site in any state
+        (cancelled, executed with never-collected results, or unknown).
+        It is never adopted across a restart — the measured forces that
+        would verify it died with the old coordinator — so the §7 move is
+        uniform: best-effort **cancel**, then **rename** to the
+        generation-suffixed replacement the re-speculated (or sequential)
+        attempt will use.
+        """
+        actions = []
+        bindings = {site.name: site for site in self.sites}
+        for site_name in sorted(self.state.speculative):
+            name = self.state.speculative[site_name]
+            replacement = self._replacement(name)
+            action = ACTION_CANCEL
+            detail = ""
+            binding = bindings.get(site_name)
+            if binding is None:
+                action = ACTION_RENAME
+                detail = "site no longer bound; renamed only"
+            else:
+                try:
+                    yield from self.client.cancel(binding.handle, name)
+                except (RpcError, ReproError) as exc:
+                    # Unreachable, already executed, or already cancelled:
+                    # the name is in doubt either way — rename regardless.
+                    action = ACTION_RENAME
+                    detail = f"cancel failed: {exc}"
+            actions.append(ReconcileAction(
+                site=site_name, transaction=replacement,
+                observed="speculative", action=action, detail=detail))
+        return actions
 
     def _classify_site(self, site):
         name = self._probe_name(site)

@@ -44,6 +44,43 @@ def decode_floats(values) -> np.ndarray:
     return np.array([float.fromhex(v) for v in values], dtype=float)
 
 
+def encode_array(values):
+    """Lossless hex encoding of a float array of any rank.
+
+    1-D arrays keep the historical flat-list form, so every pre-ensemble
+    payload stays byte-identical; higher-rank arrays (an ensemble's
+    ``(n_dof, n_variants)`` state) carry their shape explicitly.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim <= 1:
+        return encode_floats(arr)
+    return {"shape": [int(s) for s in arr.shape],
+            "data": [float(v).hex() for v in arr.ravel()]}
+
+
+def decode_array(payload) -> np.ndarray:
+    """Inverse of :func:`encode_array`; bit-exact, shape-preserving."""
+    if isinstance(payload, dict):
+        flat = np.array([float.fromhex(v) for v in payload["data"]],
+                        dtype=float)
+        return flat.reshape([int(s) for s in payload["shape"]])
+    return decode_floats(payload)
+
+
+def encode_force(value):
+    """One site-force reading: scalar, or a per-variant list for ensembles."""
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return [float(v).hex() for v in value]
+    return float(value).hex()
+
+
+def decode_force(payload):
+    """Inverse of :func:`encode_force`."""
+    if isinstance(payload, list):
+        return [float.fromhex(v) for v in payload]
+    return float.fromhex(payload)
+
+
 def encode_integrator(snapshot: dict | None) -> dict | None:
     """Integrator snapshot (ndarray-valued) → JSON-safe payload."""
     if snapshot is None:
@@ -51,7 +88,7 @@ def encode_integrator(snapshot: dict | None) -> dict | None:
     return {
         "kind": str(snapshot["kind"]),
         "step_index": int(snapshot["step_index"]),
-        "arrays": {name: encode_floats(vec)
+        "arrays": {name: encode_array(vec)
                    for name, vec in snapshot["arrays"].items()},
     }
 
@@ -63,7 +100,7 @@ def decode_integrator(payload: dict | None) -> dict | None:
     return {
         "kind": payload["kind"],
         "step_index": int(payload["step_index"]),
-        "arrays": {name: decode_floats(vec)
+        "arrays": {name: decode_array(vec)
                    for name, vec in payload["arrays"].items()},
     }
 
@@ -77,9 +114,9 @@ def record_to_payload(record: StepRecord) -> dict:
     payload = {
         "step": record.step,
         "model_time": record.model_time,
-        "displacement": encode_floats(record.displacement),
-        "restoring_force": encode_floats(record.restoring_force),
-        "site_forces": {site: {str(dof): float(f).hex()
+        "displacement": encode_array(record.displacement),
+        "restoring_force": encode_array(record.restoring_force),
+        "site_forces": {site: {str(dof): encode_force(f)
                                for dof, f in forces.items()}
                         for site, forces in record.site_forces.items()},
         "attempts": record.attempts,
@@ -96,9 +133,9 @@ def record_from_payload(payload: dict) -> StepRecord:
     return StepRecord(
         step=int(payload["step"]),
         model_time=float(payload["model_time"]),
-        displacement=decode_floats(payload["displacement"]),
-        restoring_force=decode_floats(payload["restoring_force"]),
-        site_forces={site: {int(dof): float.fromhex(f)
+        displacement=decode_array(payload["displacement"]),
+        restoring_force=decode_array(payload["restoring_force"]),
+        site_forces={site: {int(dof): decode_force(f)
                             for dof, f in forces.items()}
                      for site, forces in payload["site_forces"].items()},
         attempts=int(payload["attempts"]),
@@ -141,6 +178,22 @@ class ExperimentState:
     #: empty for healthy runs — and then omitted from the payload, so
     #: pre-failover checkpoints stay byte-identical.
     degraded_sites: list[str] = field(default_factory=list)
+    #: site name → transaction name of a *speculative* (pipelined) step
+    #: issued ahead of the verified step.  Non-empty exactly while such
+    #: names may be burned at the sites: from speculative issue until the
+    #: speculation is adopted as the next verified step or its renamed
+    #: replacement goes on the wire.  A resume drains these with the §7
+    #: cancel + rename discipline.  Empty for sequential runs — and then
+    #: omitted from the payload, so pre-pipeline checkpoints stay
+    #: byte-identical.
+    speculative: dict[str, str] = field(default_factory=dict)
+    #: the step index the ``speculative`` names belong to.  It is *not*
+    #: always ``step + 1``: after a rollback the burned names linger
+    #: through the next commit, at which point they belong to the new
+    #: ``step`` itself — a resume must rename at exactly this index or
+    #: the reconciler's base-name fallback could harvest an executed
+    #: mispredicted speculation as if it were the verified step.
+    speculative_step: int = 0
 
     def to_payload(self) -> dict:
         """JSON-safe payload (``repro.checkpoint/v1`` ``state`` object)."""
@@ -158,6 +211,9 @@ class ExperimentState:
         }
         if self.degraded_sites:
             payload["degraded_sites"] = sorted(self.degraded_sites)
+        if self.speculative:
+            payload["speculative"] = dict(self.speculative)
+            payload["speculative_step"] = self.speculative_step
         return payload
 
     @classmethod
@@ -179,7 +235,10 @@ class ExperimentState:
             checkpoint_seq=int(payload.get("checkpoint_seq", 0)),
             wall_started=float(payload.get("wall_started", 0.0)),
             degraded_sites=[str(s)
-                            for s in payload.get("degraded_sites", [])])
+                            for s in payload.get("degraded_sites", [])],
+            speculative={str(k): str(v)
+                         for k, v in payload.get("speculative", {}).items()},
+            speculative_step=int(payload.get("speculative_step", 0)))
 
 
 def resume_state_from_checkpoint(doc: dict) -> ExperimentState:

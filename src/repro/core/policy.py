@@ -63,7 +63,12 @@ class SitePolicy:
             if kind != action.kind or param not in action.params:
                 continue
             value = action.params[param]
-            if isinstance(value, (int, float)):
+            if isinstance(value, (list, tuple)):
+                # an ensemble batch: every variant must satisfy the limit
+                for element in value:
+                    if isinstance(element, (int, float)):
+                        lim.check(param, float(element))
+            elif isinstance(value, (int, float)):
                 lim.check(param, float(value))
 
     def check(self, actions) -> None:

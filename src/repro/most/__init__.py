@@ -9,6 +9,9 @@ pseudo-dynamic steps.
   defaults calibrated to the paper's run statistics (≈12 s/step → ≈5 h);
 * :func:`~repro.most.assembly.build_most` — wires the full deployment of
   Figure 9 (plus DAQ, NSDS, repository, CHEF, cameras);
+* :class:`~repro.most.session.ExperimentSession` — the composable
+  run builder (resume / monitoring / degradation / pipelining /
+  ensembles) behind every scenario;
 * :mod:`~repro.most.scenario` — the runs of §3.4: simulation-only
   rehearsal, the dry run, the public run (premature exit at step 1493),
   and the fault-tolerant counterfactual.
@@ -16,6 +19,7 @@ pseudo-dynamic steps.
 
 from repro.most.config import MOSTConfig
 from repro.most.assembly import MOSTDeployment, build_most
+from repro.most.session import ExperimentSession, SessionResult
 from repro.most.scenario import (
     run_degraded_experiment,
     run_dry_run,
@@ -30,6 +34,8 @@ __all__ = [
     "MOSTConfig",
     "MOSTDeployment",
     "build_most",
+    "ExperimentSession",
+    "SessionResult",
     "run_simulation_only",
     "run_dry_run",
     "run_public_experiment",

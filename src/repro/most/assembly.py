@@ -35,11 +35,13 @@ from repro.control import (
 )
 from repro.coordinator import (
     DegradationPolicy,
+    EnsembleCoordinator,
     FailoverManager,
     FaultPolicy,
     NaiveFaultPolicy,
     SimulationCoordinator,
     SiteBinding,
+    SubstructurePredictor,
     SurrogateSpec,
 )
 from repro.core import NTCPClient, NTCPServer
@@ -118,7 +120,10 @@ class MOSTDeployment:
                          on_step=None, checkpoint_store=None,
                          checkpoint_policy=None, state=None,
                          prior_records=(), breakers=None,
-                         failover=None) -> SimulationCoordinator:
+                         failover=None, pipeline_depth: int = 0,
+                         predictor=None,
+                         mispredict_tolerance: float = 0.0,
+                         ) -> SimulationCoordinator:
         """A coordinator bound to the three sites (Figure 5).
 
         Pass ``checkpoint_store``/``checkpoint_policy`` to persist
@@ -128,6 +133,8 @@ class MOSTDeployment:
         an aborted run in a new coordinator incarnation.  ``breakers``
         (see :meth:`make_breakers`) and ``failover`` (see
         :meth:`make_failover`) enable graceful degradation.
+        ``pipeline_depth=1`` with a ``predictor`` (see
+        :meth:`make_predictor`) enables speculative pipelined stepping.
         """
         bindings = [SiteBinding(name, site.handle, dof_indices=[0])
                     for name, site in self.sites.items()]
@@ -139,7 +146,56 @@ class MOSTDeployment:
             on_step=on_step, checkpoint_store=checkpoint_store,
             checkpoint_policy=checkpoint_policy, state=state,
             prior_records=prior_records, breakers=breakers,
-            failover=failover)
+            failover=failover, pipeline_depth=pipeline_depth,
+            predictor=predictor,
+            mispredict_tolerance=mispredict_tolerance)
+
+    def make_ensemble_coordinator(self, *, run_id: str,
+                                  variants,
+                                  fault_policy: FaultPolicy | None = None,
+                                  on_step=None, checkpoint_store=None,
+                                  checkpoint_policy=None, state=None,
+                                  prior_records=(), breakers=None,
+                                  failover=None, pipeline_depth: int = 0,
+                                  predictor=None,
+                                  mispredict_tolerance: float = 0.0,
+                                  ) -> EnsembleCoordinator:
+        """An ensemble coordinator stepping N scenario variants at once.
+
+        ``variants`` is the list of ground-motion records (shared time
+        grid); everything else matches :meth:`make_coordinator`.  The
+        deployment's own ``motion`` is ignored — the variants define the
+        record.
+        """
+        bindings = [SiteBinding(name, site.handle, dof_indices=[0])
+                    for name, site in self.sites.items()]
+        return EnsembleCoordinator(
+            run_id=run_id, client=self.ntcp_client, model=self.model,
+            variants=variants, sites=bindings,
+            fault_policy=fault_policy or NaiveFaultPolicy(),
+            execution_timeout=self.config.execution_timeout,
+            on_step=on_step, checkpoint_store=checkpoint_store,
+            checkpoint_policy=checkpoint_policy, state=state,
+            prior_records=prior_records, breakers=breakers,
+            failover=failover, pipeline_depth=pipeline_depth,
+            predictor=predictor,
+            mispredict_tolerance=mispredict_tolerance)
+
+    def make_predictor(self) -> SubstructurePredictor:
+        """A force predictor for pipelined stepping, one model per site.
+
+        Each site gets its *design* substructure — exactly what the
+        simulation-only deployment evaluates, so speculation there is
+        bit-exact and never rolls back; against physical specimens the
+        prediction is the nominal linear response (pair with a
+        ``mispredict_tolerance``).
+        """
+        config = self.config
+        stiffness = {"uiuc": config.k_uiuc, "cu": config.k_cu,
+                     "ncsa": config.k_ncsa}
+        return SubstructurePredictor({
+            name: LinearSubstructure(f"{name}-predictor", [[k]], [0])
+            for name, k in stiffness.items() if name in self.sites})
 
     def make_breakers(self, config: BreakerConfig | None = None,
                       ) -> dict[str, CircuitBreaker]:

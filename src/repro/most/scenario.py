@@ -1,7 +1,6 @@
 """MOST scenarios (paper §3.4 "MOST Results").
 
-Four runs, each a function returning the :class:`ExperimentResult` plus the
-deployment for inspection:
+The §3.4 runs, each a function returning a :class:`ScenarioReport`:
 
 * :func:`run_simulation_only` — the rehearsal with three numerical sites;
 * :func:`run_dry_run` — full hybrid configuration, clean network, naive
@@ -19,7 +18,7 @@ deployment for inspection:
   incarnation resumes from the repository checkpoint, reconciles in-flight
   transactions, and completes with bit-identical histories;
 * :func:`run_monitored_experiment` — the operations-console run: the live
-  monitor (health SDEs + streamed metrics + anomaly detectors) watches a
+  monitor (health SDEs + streamed metrics + anomaly alerts) watches a
   fault-tolerant run, optionally with an injected mid-run outage and a
   slow-site drift, and the alert feed is part of the report;
 * :func:`run_degraded_experiment` — the graceful-degradation
@@ -27,23 +26,37 @@ deployment for inspection:
   per-site circuit breaker, and instead of aborting the coordinator
   hot-swaps the dead site for its numerical surrogate and finishes all
   1,500 steps in clearly-labelled degraded mode.
+
+All of them are thin wrappers over
+:class:`~repro.most.session.ExperimentSession` — the composable builder
+that replaced the per-scenario copies of the build → observe → fault →
+coordinate skeleton.  :func:`run_public_experiment`,
+:func:`run_public_with_resume`, :func:`run_degraded_experiment` and
+:func:`run_monitored_experiment` are **deprecated**: compose the same
+run with ``ExperimentSession`` directly (they emit
+:class:`DeprecationWarning` and will be removed one release after the
+session API landed).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.coordinator import (
-    ExperimentResult,
-    FaultTolerantFaultPolicy,
-    NaiveFaultPolicy,
-)
-from repro.most.assembly import MOSTDeployment, build_most, build_simulation_only
+from repro.coordinator import ExperimentResult
+from repro.most.assembly import MOSTDeployment
 from repro.most.config import MOSTConfig
-from repro.net.network import Message
-from repro.net.rpc import RpcClient, RpcError, RpcRequest
-from repro.util.errors import ConfigurationError, ReproError
+from repro.most.session import (  # noqa: F401  (re-exported for chaos/tests)
+    ExperimentSession,
+    SessionResult,
+    _add_remote_participants,
+    _arm_fatal_outage_at_step,
+    _arm_site_slowdown_at_step,
+    _arm_transient_drop_at_step,
+    _inject_standard_faults,
+    default_fail_step,
+)
 
 
 @dataclass
@@ -59,219 +72,65 @@ class ScenarioReport:
     extras: dict[str, Any] = field(default_factory=dict)
 
 
-def _finish(dep: MOSTDeployment, result: ExperimentResult) -> ScenarioReport:
-    dep.stop_observation()
-    # Final sweep: upload whatever the DAQ stop-flush staged (the paper's
-    # ingestion is incremental *and* complete).
-    for site in dep.sites.values():
-        if site.ingest is not None:
-            drain = dep.kernel.process(site.ingest.drain())
-            drain.defuse()  # repo may be unreachable in fault scenarios
-    # Let in-flight uploads, streams and notifications drain.
-    dep.kernel.run(until=dep.kernel.now + 600.0)
-    ingested = sum(len(s.ingest.uploaded) for s in dep.sites.values()
-                   if s.ingest is not None)
-    pushed = sum(s.nsds.pushed for s in dep.sites.values()
-                 if s.nsds is not None)
-    return ScenarioReport(result=result, deployment=dep,
-                          ntcp_retries=dep.coordinator_rpc.stats.retries,
-                          chef_peak_online=dep.chef.peak_online,
-                          files_ingested=ingested,
-                          stream_samples_pushed=pushed)
+def _legacy_report(outcome: SessionResult,
+                   extras: dict[str, Any] | None = None) -> ScenarioReport:
+    """A :class:`SessionResult` repackaged in the historical shape."""
+    return ScenarioReport(result=outcome.result,
+                          deployment=outcome.deployment,
+                          ntcp_retries=outcome.ntcp_retries,
+                          chef_peak_online=outcome.chef_peak_online,
+                          files_ingested=outcome.files_ingested,
+                          stream_samples_pushed=outcome.stream_samples_pushed,
+                          extras=dict(extras or {}))
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; compose the run with "
+        "repro.most.ExperimentSession instead",
+        DeprecationWarning, stacklevel=3)
 
 
 def run_simulation_only(config: MOSTConfig | None = None) -> ScenarioReport:
     """The distributed simulation-only rehearsal (§3: built first)."""
-    dep = build_simulation_only(config)
-    dep.start_backends()
-    coordinator = dep.make_coordinator(run_id="most-simonly")
-    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
-    return _finish(dep, result)
+    outcome = ExperimentSession(config, run_id="most-simonly",
+                                simulation_only=True).run()
+    return _legacy_report(outcome)
 
 
 def run_dry_run(config: MOSTConfig | None = None) -> ScenarioReport:
     """The hybrid dry run: no injected faults; completes all steps."""
-    from repro.most.metadata import upload_most_metadata
-
-    dep = build_most(config)
-    dep.start_backends()
-    dep.start_observation()
-    # §3.3: experimenters upload the component metadata before the run.
-    dep.kernel.run(until=dep.kernel.process(upload_most_metadata(dep)))
-    coordinator = dep.make_coordinator(run_id="most-dry")
-    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
-    return _finish(dep, result)
-
-
-def _arm_fatal_outage_at_step(dep: MOSTDeployment, step: int, site: str,
-                              duration: float) -> None:
-    """Take the coordinator—``site`` link down when step ``step`` first
-    goes on the wire, for ``duration`` seconds.
-
-    Watching the traffic (rather than hardcoding a wall-clock time) makes
-    the failure land on exactly the paper's step regardless of pacing.
-    """
-    marker = f"step{step:05d}"
-    armed = [False]
-
-    def watch(msg: Message) -> bool:
-        if armed[0] or msg.dst != site:
-            return False
-        payload = msg.payload
-        if isinstance(payload, RpcRequest):
-            params = payload.params
-            text = str(params.get("params", "")) + str(params.get("transaction", ""))
-            if marker in text:
-                armed[0] = True
-                dep.faults.schedule_outage("coord", site,
-                                           start=dep.kernel.now,
-                                           duration=duration)
-        return False  # never drop here; the outage does the damage
-
-    dep.network.add_drop_filter(watch)
-
-
-def _arm_transient_drop_at_step(dep: MOSTDeployment, step: int,
-                                site: str) -> None:
-    """When step ``step`` first reaches ``site``, drop that site's next
-    RPC reply — one transient network failure, recovered by the NTCP
-    client's retransmission (idempotent server-side)."""
-    marker = f"step{step:05d}"
-    armed = [False]
-
-    def watch(msg: Message) -> bool:
-        if armed[0] or msg.dst != site:
-            return False
-        payload = msg.payload
-        if isinstance(payload, RpcRequest) and marker in str(payload.params):
-            armed[0] = True
-            dep.faults.drop_matching(
-                lambda m: m.src == site and m.port.startswith("rpc-reply"),
-                count=1)
-        return False
-
-    dep.network.add_drop_filter(watch)
-
-
-def _arm_site_slowdown_at_step(dep: MOSTDeployment, step: int, site: str,
-                               factor: float) -> None:
-    """When step ``step`` first reaches ``site``, multiply its backend's
-    compute time by ``factor`` for the rest of the run — the paper's
-    slow-site story (one site's evaluation suddenly dominating every
-    step), as a mid-run drift rather than an outage."""
-    backend = dep.sites[site].backend
-    if backend is None or not hasattr(backend, "compute_time"):
-        raise ConfigurationError(
-            f"site {site!r} has no backend with a compute_time to slow")
-    marker = f"step{step:05d}"
-    armed = [False]
-
-    def watch(msg: Message) -> bool:
-        if armed[0] or msg.dst != site:
-            return False
-        payload = msg.payload
-        if isinstance(payload, RpcRequest) and marker in str(payload.params):
-            armed[0] = True
-            backend.compute_time *= factor
-        return False
-
-    dep.network.add_drop_filter(watch)
-
-
-def _inject_standard_faults(dep: MOSTDeployment, config: MOSTConfig,
-                            fail_at_step: int, *,
-                            outage_duration: float = 1800.0) -> None:
-    """The public-run fault schedule: three recoverable transients spread
-    through the day, then the long outage at the fatal step."""
-    for frac, site in ((0.15, "cu"), (0.40, "uiuc"), (0.65, "cu")):
-        step = max(1, min(int(frac * config.n_steps), config.n_steps - 1))
-        if step != fail_at_step:
-            _arm_transient_drop_at_step(dep, step, site)
-    _arm_fatal_outage_at_step(dep, fail_at_step, site="uiuc",
-                              duration=outage_duration)
-
-
-def _add_remote_participants(dep: MOSTDeployment, *, n_chef: int,
-                             n_stream: int) -> None:
-    """Log participants into CHEF; subscribe a few to each site's NSDS."""
-    from repro.nsds import NSDSReceiver
-
-    kernel, network = dep.kernel, dep.network
-    portal_rpc = RpcClient(network, "portal", default_timeout=30.0)
-
-    def chef_crowd():
-        tokens = []
-        for i in range(n_chef):
-            token = yield from portal_rpc.call(
-                "portal", "ogsi", "invoke",
-                {"service_id": dep.chef.service_id, "operation": "login",
-                 "params": {"user": f"observer-{i:03d}"}})
-            tokens.append(token)
-            if i % 25 == 0:
-                yield from portal_rpc.call(
-                    "portal", "ogsi", "invoke",
-                    {"service_id": dep.chef.service_id,
-                     "operation": "chatPost",
-                     "params": {"token": token,
-                                "text": f"observer-{i:03d} joined"}})
-        return tokens
-
-    kernel.process(chef_crowd(), name="chef-crowd")
-
-    receivers = []
-    # Viewers watch from the portal host (one RPC client each is overkill;
-    # one shared client subscribes on their behalf).
-    for name in ("uiuc", "cu"):
-        site = dep.sites[name]
-        if site.nsds is None:
-            continue
-        if frozenset(("portal", name)) not in network._links:
-            network.connect("portal", name, latency=0.03, fifo=False)
-        viewer_rpc = RpcClient(network, "portal", default_timeout=30.0)
-
-        def subscribe(site=site, viewer_rpc=viewer_rpc):
-            for _ in range(n_stream // 2):
-                recv = NSDSReceiver(network, "portal")
-                receivers.append(recv)
-                yield from viewer_rpc.call(
-                    site.name, "ogsi", "invoke",
-                    {"service_id": site.nsds.service_id,
-                     "operation": "subscribe",
-                     "params": {"sink_host": "portal",
-                                "sink_port": recv.port,
-                                "lifetime": 1e9}})
-
-        kernel.process(subscribe(), name=f"nsds-subscribers-{name}")
-    dep.extras["nsds_receivers"] = receivers
+    outcome = ExperimentSession(config, run_id="most-dry").run()
+    return _legacy_report(outcome)
 
 
 def run_public_experiment(config: MOSTConfig | None = None, *,
                           fail_at_step: int | None = None) -> ScenarioReport:
     """The public MOST run: observers, transient faults, death at 1493.
 
+    .. deprecated:: use ``ExperimentSession(config).with_observers()
+       .with_faults(fail_at_step).run()``.
+
     ``fail_at_step`` defaults to 1493 scaled to shortened configs
     (paper ratio 1493/1500).
     """
-    config = config or MOSTConfig()
-    if fail_at_step is None:
-        fail_at_step = max(1, min(round(config.n_steps * 1493 / 1500),
-                                  config.n_steps - 1))
-    dep = build_most(config)
-    dep.start_backends()
-    dep.start_observation()
-    from repro.most.metadata import upload_most_metadata
+    _deprecated("run_public_experiment")
+    outcome = (ExperimentSession(config, run_id="most-public")
+               .with_observers()
+               .with_faults(fail_at_step)
+               .run())
+    return _legacy_report(outcome, {"fail_at_step": outcome.fail_at_step})
 
-    dep.kernel.run(until=dep.kernel.process(upload_most_metadata(dep)))
-    _add_remote_participants(dep, n_chef=config.n_remote_participants,
-                             n_stream=config.n_stream_viewers)
-    _inject_standard_faults(dep, config, fail_at_step)
 
-    coordinator = dep.make_coordinator(run_id="most-public",
-                                       fault_policy=NaiveFaultPolicy())
-    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
-    report = _finish(dep, result)
-    report.extras["fail_at_step"] = fail_at_step
-    return report
+def run_with_fault_tolerance(config: MOSTConfig | None = None, *,
+                             fail_at_step: int | None = None) -> ScenarioReport:
+    """Identical faults to the public run; fault-tolerant coordinator."""
+    outcome = (ExperimentSession(config, run_id="most-ft")
+               .with_metadata(False)
+               .with_faults(fail_at_step)
+               .with_fault_tolerance()
+               .run())
+    return _legacy_report(outcome, {"fail_at_step": outcome.fail_at_step})
 
 
 def run_public_with_resume(config: MOSTConfig | None = None, *,
@@ -280,6 +139,10 @@ def run_public_with_resume(config: MOSTConfig | None = None, *,
                            run_id: str = "most-resume",
                            outage_duration: float = 1800.0) -> ScenarioReport:
     """The public run replayed with checkpoints: abort, then resume.
+
+    .. deprecated:: use ``ExperimentSession(config, run_id=run_id)
+       .with_faults(fail_at_step, outage_duration=outage_duration)
+       .with_resume(checkpoint_every=checkpoint_every).run()``.
 
     The naive coordinator dies at the fatal step exactly as in
     :func:`run_public_experiment`, but it was checkpointing into the
@@ -297,85 +160,15 @@ def run_public_with_resume(config: MOSTConfig | None = None, *,
     ``aborted_result``, the ``reconciliation`` report, ``fail_at_step``
     and ``checkpoints`` (sequences written).
     """
-    from repro.coordinator import (
-        records_from_payloads,
-        resume_state_from_checkpoint,
-    )
-    from repro.most.metadata import upload_most_metadata
-    from repro.repository import CheckpointPolicy
-
-    config = config or MOSTConfig()
-    if fail_at_step is None:
-        fail_at_step = max(1, min(round(config.n_steps * 1493 / 1500),
-                                  config.n_steps - 1))
-    dep = build_most(config)
-    dep.start_backends()
-    dep.start_observation()
-    dep.kernel.run(until=dep.kernel.process(upload_most_metadata(dep)))
-    _inject_standard_faults(dep, config, fail_at_step,
-                            outage_duration=outage_duration)
-    store = dep.make_checkpoint_store()
-    policy = CheckpointPolicy(every_n_steps=checkpoint_every)
-    first = dep.make_coordinator(run_id=run_id,
-                                 fault_policy=NaiveFaultPolicy(),
-                                 checkpoint_store=store,
-                                 checkpoint_policy=policy)
-    aborted = dep.kernel.run(until=dep.kernel.process(first.run()))
-    if aborted.completed:
-        # Nothing to resume (e.g. a tiny config where the outage missed).
-        report = _finish(dep, aborted)
-        report.extras.update(fail_at_step=fail_at_step, aborted_result=None,
-                             reconciliation=None,
-                             checkpoints=first.state.checkpoint_seq)
-        return report
-    # Wait out the outage, then bring up the second incarnation.
-    dep.kernel.run(until=dep.kernel.now + outage_duration + 1.0)
-    doc, payloads = dep.kernel.run(
-        until=dep.kernel.process(store.load_history(run_id)))
-    if doc is None:
-        # The run died before any checkpoint (e.g. initialization failure);
-        # there is nothing to resume from.
-        report = _finish(dep, aborted)
-        report.extras.update(fail_at_step=fail_at_step, aborted_result=None,
-                             reconciliation=None, checkpoints=0)
-        return report
-    state = resume_state_from_checkpoint(doc)
-    prior = records_from_payloads(payloads)
-    second = dep.make_coordinator(
-        run_id=run_id,
-        fault_policy=FaultTolerantFaultPolicy(max_attempts=12, backoff=30.0,
-                                              backoff_factor=1.5,
-                                              max_backoff=600.0),
-        checkpoint_store=store, checkpoint_policy=policy,
-        state=state, prior_records=prior)
-    merged = dep.kernel.run(until=dep.kernel.process(second.run()))
-    report = _finish(dep, merged)
-    report.extras.update(fail_at_step=fail_at_step, aborted_result=aborted,
-                         reconciliation=second.last_reconciliation,
-                         checkpoints=second.state.checkpoint_seq)
-    return report
-
-
-def run_with_fault_tolerance(config: MOSTConfig | None = None, *,
-                             fail_at_step: int | None = None) -> ScenarioReport:
-    """Identical faults to the public run; fault-tolerant coordinator."""
-    config = config or MOSTConfig()
-    if fail_at_step is None:
-        fail_at_step = max(1, min(round(config.n_steps * 1493 / 1500),
-                                  config.n_steps - 1))
-    dep = build_most(config)
-    dep.start_backends()
-    dep.start_observation()
-    _inject_standard_faults(dep, config, fail_at_step)
-    coordinator = dep.make_coordinator(
-        run_id="most-ft",
-        fault_policy=FaultTolerantFaultPolicy(max_attempts=12, backoff=30.0,
-                                              backoff_factor=1.5,
-                                              max_backoff=600.0))
-    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
-    report = _finish(dep, result)
-    report.extras["fail_at_step"] = fail_at_step
-    return report
+    _deprecated("run_public_with_resume")
+    outcome = (ExperimentSession(config, run_id=run_id)
+               .with_faults(fail_at_step, outage_duration=outage_duration)
+               .with_resume(checkpoint_every=checkpoint_every)
+               .run())
+    return _legacy_report(outcome, {"fail_at_step": outcome.fail_at_step,
+                                    "aborted_result": outcome.aborted_result,
+                                    "reconciliation": outcome.reconciliation,
+                                    "checkpoints": outcome.checkpoints})
 
 
 def run_degraded_experiment(config: MOSTConfig | None = None, *,
@@ -390,6 +183,10 @@ def run_degraded_experiment(config: MOSTConfig | None = None, *,
                             run_id: str = "most-degraded"
                             ) -> ScenarioReport:
     """The graceful-degradation counterfactual to the step-1493 abort.
+
+    .. deprecated:: use ``ExperimentSession(config, run_id=run_id)
+       .with_faults(fail_at_step, outage_duration=float('inf'))
+       .with_fault_tolerance().with_degradation(policy).run()``.
 
     Identical fault schedule to :func:`run_public_experiment`, but the
     fatal outage is **permanent** by default — no amount of retrying or
@@ -409,77 +206,28 @@ def run_degraded_experiment(config: MOSTConfig | None = None, *,
     the run and its alert feed (including the typed ``breaker_open``
     alerts) lands in ``extras["alerts"]``.
     """
-    from repro.coordinator import DegradationPolicy
-    from repro.most.metadata import upload_most_metadata
-    from repro.net import BreakerConfig
-
-    config = config or MOSTConfig()
-    if fail_at_step is None:
-        fail_at_step = max(1, min(round(config.n_steps * 1493 / 1500),
-                                  config.n_steps - 1))
-    dep = build_most(config)
-    dep.start_backends()
-    dep.start_observation()
-    dep.kernel.run(until=dep.kernel.process(upload_most_metadata(dep)))
-    _inject_standard_faults(dep, config, fail_at_step,
-                            outage_duration=outage_duration)
-    kit = None
+    _deprecated("run_degraded_experiment")
+    session = (ExperimentSession(config, run_id=run_id)
+               .with_faults(fail_at_step, outage_duration=outage_duration)
+               .with_degradation(degradation_policy,
+                                 breaker_config=breaker_config))
+    if fault_policy is not None:
+        session.with_fault_policy(fault_policy)
+    else:
+        session.with_fault_tolerance()
     if monitor:
-        from repro.monitor import attach_monitoring
-
-        kit = attach_monitoring(dep, thresholds=thresholds,
-                                on_alert=on_alert)
-        kit.start()
-    breakers = dep.make_breakers(
-        breaker_config or BreakerConfig(failure_threshold=3,
-                                        open_interval=120.0))
-    failover = dep.make_failover(
-        policy=degradation_policy or DegradationPolicy(
-            recovery_budget=300.0, readmit=True, probe_interval=120.0))
-    coordinator = dep.make_coordinator(
-        run_id=run_id,
-        fault_policy=fault_policy or FaultTolerantFaultPolicy(
-            max_attempts=12, backoff=30.0, backoff_factor=1.5,
-            max_backoff=600.0),
-        breakers=breakers, failover=failover)
-    if kit is not None:
-        kit.watch_coordinator(coordinator)
-    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
-    if kit is not None:
-        kit.stop()
-
-    # Degradation history into the repository's metadata service: the
-    # archived run says *which* steps are numerical, not just that some are.
-    metadata_object = None
-    if failover.events:
-        def register():
-            object_id = yield from dep.coordinator_rpc.call(
-                "repo", "ogsi", "invoke",
-                {"service_id": dep.nmds.service_id,
-                 "operation": "createObject",
-                 "params": {"object_type": "degradation",
-                            "fields": {"run_id": run_id,
-                                       **failover.report()}}})
-            return object_id
-
-        try:
-            metadata_object = dep.kernel.run(
-                until=dep.kernel.process(register()))
-        except (RpcError, ReproError):
-            metadata_object = None  # repo unreachable: report-only
-    report = _finish(dep, result)
-    report.extras.update(
-        fail_at_step=fail_at_step,
-        breakers={name: b.snapshot() for name, b in breakers.items()},
-        failover=failover.report(),
-        degraded_steps=result.degraded_steps,
-        degraded_spans=result.degraded_spans(),
-        metadata_object=metadata_object)
-    if kit is not None:
-        report.extras.update(monitoring=kit,
-                             alerts=list(kit.monitor.alerts),
-                             rollups=kit.monitor.rollups())
-    return report
+        session.with_monitoring(thresholds, on_alert)
+    outcome = session.run()
+    extras = {"fail_at_step": outcome.fail_at_step,
+              "breakers": outcome.breakers,
+              "failover": outcome.failover,
+              "degraded_steps": outcome.degraded_steps,
+              "degraded_spans": outcome.degraded_spans,
+              "metadata_object": outcome.metadata_object}
+    if monitor:
+        extras.update(monitoring=outcome.monitoring, alerts=outcome.alerts,
+                      rollups=outcome.rollups)
+    return _legacy_report(outcome, extras)
 
 
 def run_monitored_experiment(config: MOSTConfig | None = None, *,
@@ -492,6 +240,9 @@ def run_monitored_experiment(config: MOSTConfig | None = None, *,
                              thresholds=None,
                              on_alert=None) -> ScenarioReport:
     """A fault-tolerant MOST run watched by the live operations console.
+
+    .. deprecated:: use ``ExperimentSession(config).with_fault_tolerance()
+       .with_monitoring().with_anomalies().run()``.
 
     With ``inject_faults`` the run gets the two anomalies the detectors
     exist for: ``slow_site``'s backend compute time is multiplied by
@@ -506,40 +257,19 @@ def run_monitored_experiment(config: MOSTConfig | None = None, *,
     ``monitoring``.  Everything is deterministic: same config + faults
     give the same alerts at the same sim times.
     """
-    from repro.monitor import attach_monitoring
-    from repro.most.metadata import upload_most_metadata
-
-    config = config or MOSTConfig()
-    dep = build_most(config)
-    dep.start_backends()
-    dep.start_observation()
-    dep.kernel.run(until=dep.kernel.process(upload_most_metadata(dep)))
-    kit = attach_monitoring(dep, thresholds=thresholds, on_alert=on_alert)
+    _deprecated("run_monitored_experiment")
+    session = (ExperimentSession(config, run_id="most-monitored")
+               .with_fault_tolerance()
+               .with_monitoring(thresholds, on_alert))
     if inject_faults:
-        if outage_at_step is None:
-            outage_at_step = max(1, min(round(config.n_steps * 0.5),
-                                        config.n_steps - 1))
-        if slow_at_step is None:
-            slow_at_step = max(1, min(round(config.n_steps * 0.25),
-                                      config.n_steps - 1))
-        if slow_site is not None and slow_at_step != outage_at_step:
-            _arm_site_slowdown_at_step(dep, slow_at_step, slow_site,
-                                       slow_factor)
-        _arm_fatal_outage_at_step(dep, outage_at_step, site="uiuc",
-                                  duration=outage_duration)
-    kit.start()
-    coordinator = dep.make_coordinator(
-        run_id="most-monitored",
-        fault_policy=FaultTolerantFaultPolicy(max_attempts=12, backoff=30.0,
-                                              backoff_factor=1.5,
-                                              max_backoff=600.0))
-    kit.watch_coordinator(coordinator)
-    result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
-    kit.stop()
-    report = _finish(dep, result)
-    report.extras.update(
-        monitoring=kit, alerts=list(kit.monitor.alerts),
-        rollups=kit.monitor.rollups(),
-        outage_at_step=outage_at_step if inject_faults else None,
-        slow_at_step=slow_at_step if inject_faults else None)
-    return report
+        session.with_anomalies(outage_at_step=outage_at_step,
+                               outage_duration=outage_duration,
+                               slow_site=slow_site,
+                               slow_at_step=slow_at_step,
+                               slow_factor=slow_factor)
+    outcome = session.run()
+    return _legacy_report(outcome, {"monitoring": outcome.monitoring,
+                                    "alerts": outcome.alerts,
+                                    "rollups": outcome.rollups,
+                                    "outage_at_step": outcome.outage_at_step,
+                                    "slow_at_step": outcome.slow_at_step})

@@ -1,0 +1,587 @@
+"""One composable entry point for running a MOST experiment.
+
+The §3.4 scenarios accreted as separate ``run_*`` functions, each
+re-stating the same build → observe → fault → coordinate → drain
+skeleton with one knob changed — and each copy drifting a little.
+:class:`ExperimentSession` is that skeleton, once, with every knob a
+builder method::
+
+    from repro import ExperimentSession, MOSTConfig
+
+    session = (ExperimentSession(MOSTConfig().scaled(100),
+                                 run_id="my-run")
+               .with_faults()              # the public-day fault schedule
+               .with_fault_tolerance()    # retry through the transients
+               .with_monitoring()         # live operations console
+               .with_pipeline(1)          # speculative pipelined stepping
+               )
+    outcome = session.run()               # -> SessionResult
+    print(outcome.result.steps_completed, outcome.alerts)
+
+Orthogonal capabilities compose: resume-from-checkpoint
+(:meth:`~ExperimentSession.with_resume`), graceful degradation
+(:meth:`~ExperimentSession.with_degradation`), remote observers
+(:meth:`~ExperimentSession.with_observers`), vectorized ensembles
+(:meth:`~ExperimentSession.with_ensemble`).  The legacy functions in
+:mod:`repro.most.scenario` are one-release deprecation shims over this
+class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.coordinator import (
+    ExperimentResult,
+    FaultTolerantFaultPolicy,
+    NaiveFaultPolicy,
+)
+from repro.most.assembly import (
+    MOSTDeployment,
+    build_most,
+    build_simulation_only,
+)
+from repro.most.config import MOSTConfig
+from repro.net.network import Message
+from repro.net.rpc import RpcError, RpcRequest
+from repro.util.errors import ConfigurationError, ReproError
+
+#: The paper's fatal step as a fraction of the record: 1493 of 1500.
+PAPER_FAIL_FRACTION = 1493 / 1500
+
+
+def default_fail_step(config: MOSTConfig) -> int:
+    """Step 1493 scaled to shortened configs (paper ratio 1493/1500)."""
+    return max(1, min(round(config.n_steps * PAPER_FAIL_FRACTION),
+                      config.n_steps - 1))
+
+
+# ---------------------------------------------------------------------------
+# Fault-arming helpers (shared with the chaos campaign machinery)
+# ---------------------------------------------------------------------------
+
+def _arm_fatal_outage_at_step(dep: MOSTDeployment, step: int, site: str,
+                              duration: float) -> None:
+    """Take the coordinator—``site`` link down when step ``step`` first
+    goes on the wire, for ``duration`` seconds.
+
+    Watching the traffic (rather than hardcoding a wall-clock time) makes
+    the failure land on exactly the paper's step regardless of pacing.
+    """
+    marker = f"step{step:05d}"
+    armed = [False]
+
+    def watch(msg: Message) -> bool:
+        if armed[0] or msg.dst != site:
+            return False
+        payload = msg.payload
+        if isinstance(payload, RpcRequest):
+            params = payload.params
+            text = str(params.get("params", "")) + str(params.get("transaction", ""))
+            if marker in text:
+                armed[0] = True
+                dep.faults.schedule_outage("coord", site,
+                                           start=dep.kernel.now,
+                                           duration=duration)
+        return False  # never drop here; the outage does the damage
+
+    dep.network.add_drop_filter(watch)
+
+
+def _arm_transient_drop_at_step(dep: MOSTDeployment, step: int,
+                                site: str) -> None:
+    """When step ``step`` first reaches ``site``, drop that site's next
+    RPC reply — one transient network failure, recovered by the NTCP
+    client's retransmission (idempotent server-side)."""
+    marker = f"step{step:05d}"
+    armed = [False]
+
+    def watch(msg: Message) -> bool:
+        if armed[0] or msg.dst != site:
+            return False
+        payload = msg.payload
+        if isinstance(payload, RpcRequest) and marker in str(payload.params):
+            armed[0] = True
+            dep.faults.drop_matching(
+                lambda m: m.src == site and m.port.startswith("rpc-reply"),
+                count=1)
+        return False
+
+    dep.network.add_drop_filter(watch)
+
+
+def _arm_site_slowdown_at_step(dep: MOSTDeployment, step: int, site: str,
+                               factor: float) -> None:
+    """When step ``step`` first reaches ``site``, multiply its backend's
+    compute time by ``factor`` for the rest of the run — the paper's
+    slow-site story (one site's evaluation suddenly dominating every
+    step), as a mid-run drift rather than an outage."""
+    backend = dep.sites[site].backend
+    if backend is None or not hasattr(backend, "compute_time"):
+        raise ConfigurationError(
+            f"site {site!r} has no backend with a compute_time to slow")
+    marker = f"step{step:05d}"
+    armed = [False]
+
+    def watch(msg: Message) -> bool:
+        if armed[0] or msg.dst != site:
+            return False
+        payload = msg.payload
+        if isinstance(payload, RpcRequest) and marker in str(payload.params):
+            armed[0] = True
+            backend.compute_time *= factor
+        return False
+
+    dep.network.add_drop_filter(watch)
+
+
+def _inject_standard_faults(dep: MOSTDeployment, config: MOSTConfig,
+                            fail_at_step: int, *,
+                            outage_duration: float = 1800.0) -> None:
+    """The public-run fault schedule: three recoverable transients spread
+    through the day, then the long outage at the fatal step."""
+    for frac, site in ((0.15, "cu"), (0.40, "uiuc"), (0.65, "cu")):
+        step = max(1, min(int(frac * config.n_steps), config.n_steps - 1))
+        if step != fail_at_step:
+            _arm_transient_drop_at_step(dep, step, site)
+    _arm_fatal_outage_at_step(dep, fail_at_step, site="uiuc",
+                              duration=outage_duration)
+
+
+def _add_remote_participants(dep: MOSTDeployment, *, n_chef: int,
+                             n_stream: int) -> None:
+    """Log participants into CHEF; subscribe a few to each site's NSDS."""
+    from repro.net.rpc import RpcClient
+    from repro.nsds import NSDSReceiver
+
+    kernel, network = dep.kernel, dep.network
+    portal_rpc = RpcClient(network, "portal", default_timeout=30.0)
+
+    def chef_crowd():
+        tokens = []
+        for i in range(n_chef):
+            token = yield from portal_rpc.call(
+                "portal", "ogsi", "invoke",
+                {"service_id": dep.chef.service_id, "operation": "login",
+                 "params": {"user": f"observer-{i:03d}"}})
+            tokens.append(token)
+            if i % 25 == 0:
+                yield from portal_rpc.call(
+                    "portal", "ogsi", "invoke",
+                    {"service_id": dep.chef.service_id,
+                     "operation": "chatPost",
+                     "params": {"token": token,
+                                "text": f"observer-{i:03d} joined"}})
+        return tokens
+
+    kernel.process(chef_crowd(), name="chef-crowd")
+
+    receivers = []
+    # Viewers watch from the portal host (one RPC client each is overkill;
+    # one shared client subscribes on their behalf).
+    for name in ("uiuc", "cu"):
+        site = dep.sites[name]
+        if site.nsds is None:
+            continue
+        if frozenset(("portal", name)) not in network._links:
+            network.connect("portal", name, latency=0.03, fifo=False)
+        viewer_rpc = RpcClient(network, "portal", default_timeout=30.0)
+
+        def subscribe(site=site, viewer_rpc=viewer_rpc):
+            for _ in range(n_stream // 2):
+                recv = NSDSReceiver(network, "portal")
+                receivers.append(recv)
+                yield from viewer_rpc.call(
+                    site.name, "ogsi", "invoke",
+                    {"service_id": site.nsds.service_id,
+                     "operation": "subscribe",
+                     "params": {"sink_host": "portal",
+                                "sink_port": recv.port,
+                                "lifetime": 1e9}})
+
+        kernel.process(subscribe(), name=f"nsds-subscribers-{name}")
+    dep.extras["nsds_receivers"] = receivers
+
+
+# ---------------------------------------------------------------------------
+# The session itself
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SessionResult:
+    """Everything a finished :class:`ExperimentSession` has to report.
+
+    ``result`` and ``deployment`` are always set; the remaining fields
+    are populated by the capabilities that were composed in — e.g.
+    ``alerts``/``rollups`` only when monitoring was attached,
+    ``reconciliation`` only when a resume actually happened.
+    """
+
+    result: ExperimentResult
+    deployment: MOSTDeployment
+    run_id: str
+    ntcp_retries: int = 0
+    chef_peak_online: int = 0
+    files_ingested: int = 0
+    stream_samples_pushed: int = 0
+    fail_at_step: int | None = None
+    aborted_result: ExperimentResult | None = None
+    reconciliation: Any = None
+    checkpoints: int = 0
+    monitoring: Any = None
+    alerts: list = field(default_factory=list)
+    rollups: dict[str, Any] = field(default_factory=dict)
+    breakers: dict[str, Any] = field(default_factory=dict)
+    failover: dict[str, Any] | None = None
+    degraded_steps: int = 0
+    degraded_spans: list = field(default_factory=list)
+    metadata_object: Any = None
+    outage_at_step: int | None = None
+    slow_at_step: int | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return self.result.completed
+
+    @property
+    def steps_completed(self) -> int:
+        return self.result.steps_completed
+
+
+class ExperimentSession:
+    """Composable builder for one MOST experiment run.
+
+    Construct with a :class:`MOSTConfig` (or ``None`` for the paper's
+    full-length defaults), chain ``with_*`` methods to opt into
+    capabilities, then call :meth:`run` exactly once.  Every builder
+    method returns ``self`` so calls chain; calling one twice replaces
+    the earlier setting.
+    """
+
+    def __init__(self, config: MOSTConfig | None = None, *,
+                 run_id: str = "most-session",
+                 simulation_only: bool = False):
+        self.config = config or MOSTConfig()
+        self.run_id = run_id
+        self.simulation_only = simulation_only
+        self._fault_policy = None
+        self._metadata = True
+        self._observers: dict[str, Any] | None = None
+        self._faults: dict[str, Any] | None = None
+        self._anomalies: dict[str, Any] | None = None
+        self._resume: dict[str, Any] | None = None
+        self._monitoring: dict[str, Any] | None = None
+        self._degradation: dict[str, Any] | None = None
+        self._pipeline: dict[str, Any] | None = None
+        self._variants: list | None = None
+        self._ran = False
+
+    # -- fault handling ----------------------------------------------------
+    def with_fault_policy(self, policy) -> "ExperimentSession":
+        """Use an explicit coordinator fault policy (default: naive)."""
+        self._fault_policy = policy
+        return self
+
+    def with_fault_tolerance(self, policy=None) -> "ExperimentSession":
+        """Retry steps through transient failures (§4 features).
+
+        ``policy=None`` gives the standard schedule every fault-tolerant
+        scenario uses: 12 attempts, 30 s backoff growing 1.5× to 600 s.
+        """
+        self._fault_policy = policy or FaultTolerantFaultPolicy(
+            max_attempts=12, backoff=30.0, backoff_factor=1.5,
+            max_backoff=600.0)
+        return self
+
+    def with_faults(self, fail_at_step: int | None = None, *,
+                    outage_duration: float = 1800.0) -> "ExperimentSession":
+        """Arm the public-day fault schedule: three transients plus the
+        long uiuc outage at ``fail_at_step`` (default: the paper's 1493,
+        scaled).  ``outage_duration=float('inf')`` makes it permanent —
+        the graceful-degradation counterfactual."""
+        self._faults = {"fail_at_step": fail_at_step,
+                        "outage_duration": outage_duration}
+        return self
+
+    def with_anomalies(self, *, outage_at_step: int | None = None,
+                       outage_duration: float = 600.0,
+                       slow_site: str | None = "ncsa",
+                       slow_at_step: int | None = None,
+                       slow_factor: float = 40.0) -> "ExperimentSession":
+        """Arm the monitored-run anomalies: a mid-run outage (default:
+        halfway) and a slow-site drift (default: a quarter in) — the two
+        events the console's detectors exist for."""
+        self._anomalies = {"outage_at_step": outage_at_step,
+                           "outage_duration": outage_duration,
+                           "slow_site": slow_site,
+                           "slow_at_step": slow_at_step,
+                           "slow_factor": slow_factor}
+        return self
+
+    # -- observation & participants ---------------------------------------
+    def with_observers(self, n_chef: int | None = None,
+                       n_stream: int | None = None) -> "ExperimentSession":
+        """Log remote participants into CHEF and subscribe NSDS viewers
+        (defaults: the config's public-day head-counts)."""
+        self._observers = {"n_chef": n_chef, "n_stream": n_stream}
+        return self
+
+    def with_metadata(self, enabled: bool = True) -> "ExperimentSession":
+        """Upload the §3.3 component metadata before the run (default on
+        for full deployments; simulation-only never uploads)."""
+        self._metadata = enabled
+        return self
+
+    def with_monitoring(self, thresholds=None,
+                        on_alert=None) -> "ExperimentSession":
+        """Attach the live operations console; its alert feed and metric
+        rollups land on the :class:`SessionResult`."""
+        self._monitoring = {"thresholds": thresholds, "on_alert": on_alert}
+        return self
+
+    # -- durability & degradation ------------------------------------------
+    def with_resume(self, store=None, *, checkpoint_every: int = 25,
+                    resume_policy=None) -> "ExperimentSession":
+        """Checkpoint into the repository (``store=None`` builds the
+        deployment's own store) and, if the run aborts, bring up a second
+        coordinator incarnation that reconciles in-flight transactions
+        and completes the remaining steps."""
+        self._resume = {"store": store, "checkpoint_every": checkpoint_every,
+                        "resume_policy": resume_policy}
+        return self
+
+    def with_degradation(self, policy=None, *,
+                         breaker_config=None) -> "ExperimentSession":
+        """Per-site circuit breakers plus surrogate failover: a site whose
+        breaker stays open past the policy's recovery budget is hot-swapped
+        for its numerical surrogate instead of aborting the run."""
+        self._degradation = {"policy": policy,
+                             "breaker_config": breaker_config}
+        return self
+
+    # -- performance --------------------------------------------------------
+    def with_pipeline(self, depth: int = 1, *, predictor=None,
+                      tolerance: float = 0.0) -> "ExperimentSession":
+        """Speculative pipelined stepping: while step *n* executes, the
+        coordinator proposes *n+1* from predicted forces
+        (``predictor=None`` builds the deployment's design-stiffness
+        predictor).  ``tolerance`` is the max-abs mispredict bound;
+        0 demands bit-exact predictions."""
+        self._pipeline = {"depth": depth, "predictor": predictor,
+                          "tolerance": tolerance}
+        return self
+
+    def with_ensemble(self, variants: Sequence) -> "ExperimentSession":
+        """Drive N ground-motion variants through one coordinator, one
+        protocol cycle advancing every variant (see
+        :class:`~repro.coordinator.ensemble.EnsembleCoordinator`)."""
+        self._variants = list(variants)
+        return self
+
+    # -- execution ----------------------------------------------------------
+    def _make_coordinator(self, dep: MOSTDeployment, *, fault_policy,
+                          checkpoint_store=None, checkpoint_policy=None,
+                          breakers=None, failover=None, state=None,
+                          prior_records=()):
+        kwargs = dict(run_id=self.run_id, fault_policy=fault_policy,
+                      checkpoint_store=checkpoint_store,
+                      checkpoint_policy=checkpoint_policy,
+                      state=state, prior_records=prior_records,
+                      breakers=breakers, failover=failover)
+        if self._pipeline is not None:
+            predictor = self._pipeline["predictor"] or dep.make_predictor()
+            kwargs.update(pipeline_depth=self._pipeline["depth"],
+                          predictor=predictor,
+                          mispredict_tolerance=self._pipeline["tolerance"])
+        if self._variants is not None:
+            return dep.make_ensemble_coordinator(variants=self._variants,
+                                                 **kwargs)
+        return dep.make_coordinator(**kwargs)
+
+    def run(self) -> SessionResult:
+        """Build the deployment, run the composed experiment, drain, report."""
+        if self._ran:
+            raise ConfigurationError(
+                "an ExperimentSession runs once; build a new one")
+        self._ran = True
+        config = self.config
+        fail_at_step = None
+        if self._faults is not None:
+            fail_at_step = self._faults["fail_at_step"]
+            if fail_at_step is None:
+                fail_at_step = default_fail_step(config)
+
+        dep = (build_simulation_only(config) if self.simulation_only
+               else build_most(config))
+        dep.start_backends()
+        if not self.simulation_only:
+            dep.start_observation()
+            if self._metadata:
+                from repro.most.metadata import upload_most_metadata
+
+                dep.kernel.run(
+                    until=dep.kernel.process(upload_most_metadata(dep)))
+        if self._observers is not None:
+            _add_remote_participants(
+                dep,
+                n_chef=(self._observers["n_chef"]
+                        if self._observers["n_chef"] is not None
+                        else config.n_remote_participants),
+                n_stream=(self._observers["n_stream"]
+                          if self._observers["n_stream"] is not None
+                          else config.n_stream_viewers))
+        if self._faults is not None:
+            _inject_standard_faults(
+                dep, config, fail_at_step,
+                outage_duration=self._faults["outage_duration"])
+
+        kit = None
+        if self._monitoring is not None:
+            from repro.monitor import attach_monitoring
+
+            kit = attach_monitoring(dep,
+                                    thresholds=self._monitoring["thresholds"],
+                                    on_alert=self._monitoring["on_alert"])
+        outage_at_step = slow_at_step = None
+        if self._anomalies is not None:
+            a = self._anomalies
+            outage_at_step = a["outage_at_step"]
+            if outage_at_step is None:
+                outage_at_step = max(1, min(round(config.n_steps * 0.5),
+                                            config.n_steps - 1))
+            slow_at_step = a["slow_at_step"]
+            if slow_at_step is None:
+                slow_at_step = max(1, min(round(config.n_steps * 0.25),
+                                          config.n_steps - 1))
+            if a["slow_site"] is not None and slow_at_step != outage_at_step:
+                _arm_site_slowdown_at_step(dep, slow_at_step, a["slow_site"],
+                                           a["slow_factor"])
+            _arm_fatal_outage_at_step(dep, outage_at_step, site="uiuc",
+                                      duration=a["outage_duration"])
+        if kit is not None:
+            kit.start()
+
+        breakers = failover = None
+        if self._degradation is not None:
+            from repro.coordinator import DegradationPolicy
+            from repro.net import BreakerConfig
+
+            breakers = dep.make_breakers(
+                self._degradation["breaker_config"]
+                or BreakerConfig(failure_threshold=3, open_interval=120.0))
+            failover = dep.make_failover(
+                policy=self._degradation["policy"]
+                or DegradationPolicy(recovery_budget=300.0, readmit=True,
+                                     probe_interval=120.0))
+
+        store = ckpt_policy = None
+        if self._resume is not None:
+            from repro.repository import CheckpointPolicy
+
+            store = self._resume["store"] or dep.make_checkpoint_store()
+            ckpt_policy = CheckpointPolicy(
+                every_n_steps=self._resume["checkpoint_every"])
+
+        coordinator = self._make_coordinator(
+            dep, fault_policy=self._fault_policy or NaiveFaultPolicy(),
+            checkpoint_store=store, checkpoint_policy=ckpt_policy,
+            breakers=breakers, failover=failover)
+        if kit is not None:
+            kit.watch_coordinator(coordinator)
+        result = dep.kernel.run(until=dep.kernel.process(coordinator.run()))
+
+        aborted = reconciliation = None
+        checkpoints = coordinator.state.checkpoint_seq if store else 0
+        if self._resume is not None and not result.completed:
+            from repro.coordinator import (
+                records_from_payloads,
+                resume_state_from_checkpoint,
+            )
+
+            # Wait out the (public-schedule) outage, then bring up the
+            # second incarnation against the same still-running grid.
+            outage = (self._faults["outage_duration"]
+                      if self._faults is not None else 1800.0)
+            dep.kernel.run(until=dep.kernel.now + outage + 1.0)
+            doc, payloads = dep.kernel.run(
+                until=dep.kernel.process(store.load_history(self.run_id)))
+            if doc is None:
+                # Died before any checkpoint: nothing to resume from.
+                checkpoints = 0
+            else:
+                aborted = result
+                state = resume_state_from_checkpoint(doc)
+                prior = records_from_payloads(payloads)
+                second = self._make_coordinator(
+                    dep,
+                    fault_policy=(self._resume["resume_policy"]
+                                  or FaultTolerantFaultPolicy(
+                                      max_attempts=12, backoff=30.0,
+                                      backoff_factor=1.5, max_backoff=600.0)),
+                    checkpoint_store=store, checkpoint_policy=ckpt_policy,
+                    breakers=breakers, failover=failover,
+                    state=state, prior_records=prior)
+                result = dep.kernel.run(
+                    until=dep.kernel.process(second.run()))
+                reconciliation = second.last_reconciliation
+                checkpoints = second.state.checkpoint_seq
+        if kit is not None:
+            kit.stop()
+
+        # Degradation history into the repository's metadata service: the
+        # archived run says *which* steps are numerical, not just that
+        # some are.
+        metadata_object = None
+        if failover is not None and failover.events:
+            def register():
+                object_id = yield from dep.coordinator_rpc.call(
+                    "repo", "ogsi", "invoke",
+                    {"service_id": dep.nmds.service_id,
+                     "operation": "createObject",
+                     "params": {"object_type": "degradation",
+                                "fields": {"run_id": self.run_id,
+                                           **failover.report()}}})
+                return object_id
+
+            try:
+                metadata_object = dep.kernel.run(
+                    until=dep.kernel.process(register()))
+            except (RpcError, ReproError):
+                metadata_object = None  # repo unreachable: report-only
+
+        dep.stop_observation()
+        # Final sweep: upload whatever the DAQ stop-flush staged (the
+        # paper's ingestion is incremental *and* complete).
+        for site in dep.sites.values():
+            if site.ingest is not None:
+                drain = dep.kernel.process(site.ingest.drain())
+                drain.defuse()  # repo may be unreachable in fault scenarios
+        # Let in-flight uploads, streams and notifications drain.
+        dep.kernel.run(until=dep.kernel.now + 600.0)
+        ingested = sum(len(s.ingest.uploaded) for s in dep.sites.values()
+                       if s.ingest is not None)
+        pushed = sum(s.nsds.pushed for s in dep.sites.values()
+                     if s.nsds is not None)
+
+        outcome = SessionResult(
+            result=result, deployment=dep, run_id=self.run_id,
+            ntcp_retries=dep.coordinator_rpc.stats.retries,
+            chef_peak_online=dep.chef.peak_online,
+            files_ingested=ingested, stream_samples_pushed=pushed,
+            fail_at_step=fail_at_step, aborted_result=aborted,
+            reconciliation=reconciliation, checkpoints=checkpoints,
+            outage_at_step=outage_at_step, slow_at_step=slow_at_step,
+            metadata_object=metadata_object,
+            degraded_steps=result.degraded_steps,
+            degraded_spans=result.degraded_spans())
+        if breakers is not None:
+            outcome.breakers = {name: b.snapshot()
+                                for name, b in breakers.items()}
+            outcome.failover = failover.report()
+        if kit is not None:
+            outcome.monitoring = kit
+            outcome.alerts = list(kit.monitor.alerts)
+            outcome.rollups = kit.monitor.rollups()
+        return outcome

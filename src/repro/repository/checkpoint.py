@@ -91,6 +91,27 @@ def _check_hex_vector(values: Any, path: str) -> None:
         _check_hex_float(value, f"{path}[{i}]")
 
 
+def _check_hex_array(values: Any, path: str) -> None:
+    """A float array payload: a flat hex list (1-D, the historical form)
+    or a shape-tagged object (``{"shape": [...], "data": [...]}``) for an
+    ensemble's higher-rank state."""
+    if isinstance(values, dict):
+        shape = values.get("shape")
+        _require(isinstance(shape, list) and shape
+                 and all(isinstance(s, int) and not isinstance(s, bool)
+                         and s >= 1 for s in shape),
+                 f"{path}.shape", "must be a list of positive integers")
+        _check_hex_vector(values.get("data"), f"{path}.data")
+        expected = 1
+        for s in shape:
+            expected *= s
+        _require(len(values["data"]) == expected, f"{path}.data",
+                 f"expected {expected} values for shape {shape}, "
+                 f"got {len(values['data'])}")
+        return
+    _check_hex_vector(values, path)
+
+
 def validate_state_payload(state: Any, path: str = "$.state") -> None:
     """The serialized :class:`~repro.coordinator.state.ExperimentState`."""
     _require(isinstance(state, dict), path, "state must be an object")
@@ -112,6 +133,16 @@ def validate_state_payload(state: Any, path: str = "$.state") -> None:
         _require(isinstance(site, str) and isinstance(txn, str) and txn,
                  f"{path}.pending.{site}",
                  "must map site names to transaction names")
+    speculative = state.get("speculative")
+    if speculative is not None:
+        _require(isinstance(speculative, dict), f"{path}.speculative",
+                 "speculative must be an object")
+        for site, txn in speculative.items():
+            _require(isinstance(site, str) and isinstance(txn, str) and txn,
+                     f"{path}.speculative.{site}",
+                     "must map site names to transaction names")
+        _check_int(state.get("speculative_step"),
+                   f"{path}.speculative_step")
     integrator = state.get("integrator")
     if integrator is not None:
         ipath = f"{path}.integrator"
@@ -125,7 +156,7 @@ def validate_state_payload(state: Any, path: str = "$.state") -> None:
         _require(isinstance(arrays, dict) and arrays, f"{ipath}.arrays",
                  "must be a non-empty object")
         for name, vec in arrays.items():
-            _check_hex_vector(vec, f"{ipath}.arrays.{name}")
+            _check_hex_array(vec, f"{ipath}.arrays.{name}")
 
 
 def validate_record_payload(record: Any, path: str = "record") -> None:
@@ -138,7 +169,7 @@ def validate_record_payload(record: Any, path: str = "record") -> None:
     for key in ("model_time", "wall_started", "wall_finished"):
         _check_number(record[key], f"{path}.{key}")
     for key in ("displacement", "restoring_force"):
-        _check_hex_vector(record[key], f"{path}.{key}")
+        _check_hex_array(record[key], f"{path}.{key}")
     forces = record["site_forces"]
     _require(isinstance(forces, dict), f"{path}.site_forces",
              "must be an object")
@@ -146,7 +177,12 @@ def validate_record_payload(record: Any, path: str = "record") -> None:
         _require(isinstance(per_dof, dict), f"{path}.site_forces.{site}",
                  "must be an object")
         for dof, value in per_dof.items():
-            _check_hex_float(value, f"{path}.site_forces.{site}.{dof}")
+            fpath = f"{path}.site_forces.{site}.{dof}"
+            if isinstance(value, list):
+                # ensemble batch: one force per scenario variant
+                _check_hex_vector(value, fpath)
+            else:
+                _check_hex_float(value, fpath)
 
 
 def validate_checkpoint_payload(payload: Any) -> None:

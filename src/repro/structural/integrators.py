@@ -159,6 +159,23 @@ class CentralDifferencePSD:
         omega_max = float(self.model.natural_frequencies()[-1])
         return np.inf if omega_max == 0 else 2.0 / omega_max
 
+    def _state_shape(self) -> tuple[int, ...]:
+        """Shape of every state array: ``(n_dof,)`` for a single run,
+        ``(n_dof, n_variants)`` for an ensemble subclass.  The matrix
+        algebra is mathematically column-independent, so one set of LU
+        factors drives every variant; ensemble subclasses additionally
+        evaluate it column by column (see :class:`_ColumnwiseAlgebra`)
+        so each variant's floats are *bit-identical* to a solo run."""
+        return (self.model.n_dof,)
+
+    def _apply(self, matrix: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """``matrix @ x`` (ensemble subclasses evaluate per column)."""
+        return matrix @ x
+
+    def _solve(self, lu, x: np.ndarray) -> np.ndarray:
+        """``lu_solve(lu, x)`` (ensemble subclasses evaluate per column)."""
+        return linalg.lu_solve(lu, x)
+
     SNAPSHOT_KIND = "central-difference"
 
     def snapshot(self) -> dict:
@@ -189,16 +206,16 @@ class CentralDifferencePSD:
                 f"snapshot kind {snapshot.get('kind')!r} does not match "
                 f"integrator {self.SNAPSHOT_KIND!r}")
         arrays = snapshot["arrays"]
-        n = self.model.n_dof
+        shape = self._state_shape()
         loaded = {}
         for key in ("d_prev", "d_curr", "r_curr", "p_curr"):
             if key not in arrays:
                 raise ConfigurationError(f"snapshot missing array {key!r}")
             vec = np.asarray(arrays[key], dtype=float).copy()
-            if vec.shape != (n,):
+            if vec.shape != shape:
                 raise ConfigurationError(
                     f"snapshot array {key!r} has shape {vec.shape}; "
-                    f"model has {n} DOF(s)")
+                    f"integrator state is {shape}")
             loaded[key] = vec
         self._d_prev = loaded["d_prev"]
         self._d_curr = loaded["d_curr"]
@@ -210,12 +227,13 @@ class CentralDifferencePSD:
               d0: np.ndarray | None = None,
               v0: np.ndarray | None = None) -> None:
         """Initialize from measured force at the initial displacement."""
-        n = self.model.n_dof
-        d0 = np.zeros(n) if d0 is None else np.asarray(d0, dtype=float)
-        v0 = np.zeros(n) if v0 is None else np.asarray(v0, dtype=float)
+        shape = self._state_shape()
+        d0 = np.zeros(shape) if d0 is None else np.asarray(d0, dtype=float)
+        v0 = np.zeros(shape) if v0 is None else np.asarray(v0, dtype=float)
         r0 = np.asarray(r0, dtype=float)
         p0 = np.asarray(p0, dtype=float)
-        a0 = linalg.lu_solve(self._m_lu, p0 - self.model.damping @ v0 - r0)
+        a0 = self._solve(self._m_lu,
+                         p0 - self._apply(self.model.damping, v0) - r0)
         self._d_curr = d0.copy()
         self._d_prev = d0 - self.dt * v0 + 0.5 * self.dt ** 2 * a0
         self._r_curr = r0.copy()
@@ -227,9 +245,9 @@ class CentralDifferencePSD:
         if self._d_curr is None:
             raise ConfigurationError("call start() before stepping")
         rhs = (self._p_curr - self._r_curr
-               + self._a_coef @ self._d_curr
-               - self._b_coef @ self._d_prev)
-        return linalg.lu_solve(self._lhs_lu, rhs)
+               + self._apply(self._a_coef, self._d_curr)
+               - self._apply(self._b_coef, self._d_prev))
+        return self._solve(self._lhs_lu, rhs)
 
     def commit(self, d_next: np.ndarray, r_next: np.ndarray,
                p_next: np.ndarray) -> StepResult:
@@ -319,18 +337,31 @@ class AlphaOSPSD:
         self._d_pred = None
         self.step_index = 0
 
+    def _state_shape(self) -> tuple[int, ...]:
+        """See :meth:`CentralDifferencePSD._state_shape`."""
+        return (self.model.n_dof,)
+
+    def _apply(self, matrix: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """See :meth:`CentralDifferencePSD._apply`."""
+        return matrix @ x
+
+    def _solve(self, lu, x: np.ndarray) -> np.ndarray:
+        """See :meth:`CentralDifferencePSD._solve`."""
+        return linalg.lu_solve(lu, x)
+
     def start(self, r0: np.ndarray, p0: np.ndarray,
               d0: np.ndarray | None = None,
               v0: np.ndarray | None = None) -> None:
-        n = self.model.n_dof
-        self._d = (np.zeros(n) if d0 is None
+        shape = self._state_shape()
+        self._d = (np.zeros(shape) if d0 is None
                    else np.asarray(d0, dtype=float).copy())
-        self._v = (np.zeros(n) if v0 is None
+        self._v = (np.zeros(shape) if v0 is None
                    else np.asarray(v0, dtype=float).copy())
         self._r = np.asarray(r0, dtype=float).copy()
         self._p = np.asarray(p0, dtype=float).copy()
-        self._a = linalg.lu_solve(
-            self._m_lu, self._p - self.model.damping @ self._v - self._r)
+        self._a = self._solve(
+            self._m_lu,
+            self._p - self._apply(self.model.damping, self._v) - self._r)
         self.step_index = 0
 
     SNAPSHOT_KIND = "alpha-os"
@@ -363,16 +394,16 @@ class AlphaOSPSD:
                 f"snapshot kind {snapshot.get('kind')!r} does not match "
                 f"integrator {self.SNAPSHOT_KIND!r}")
         arrays = snapshot["arrays"]
-        n = self.model.n_dof
+        shape = self._state_shape()
         loaded = {}
         for key in ("d", "v", "a", "r", "p"):
             if key not in arrays:
                 raise ConfigurationError(f"snapshot missing array {key!r}")
             vec = np.asarray(arrays[key], dtype=float).copy()
-            if vec.shape != (n,):
+            if vec.shape != shape:
                 raise ConfigurationError(
                     f"snapshot array {key!r} has shape {vec.shape}; "
-                    f"model has {n} DOF(s)")
+                    f"integrator state is {shape}")
             loaded[key] = vec
         self._d = loaded["d"]
         self._v = loaded["v"]
@@ -404,14 +435,15 @@ class AlphaOSPSD:
         # alpha-weighted effective load (HHT time averaging)
         rhs = ((1 + alpha) * p_next - alpha * self._p
                - (1 + alpha) * r_meas + alpha * self._r
-               - (1 + alpha) * c @ v_pred - alpha * (c @ self._v)
-               - alpha * self.k_hat @ (self._d_pred - self._d))
-        a_new = linalg.lu_solve(self._meff_lu, rhs)
+               - self._apply((1 + alpha) * c, v_pred)
+               - alpha * self._apply(c, self._v)
+               - self._apply(alpha * self.k_hat, self._d_pred - self._d))
+        a_new = self._solve(self._meff_lu, rhs)
         d_new = self._d_pred + beta * dt ** 2 * a_new
         v_new = v_pred + gamma * dt * a_new
         # the *reported* restoring force includes the corrector's elastic
         # contribution on the nominal stiffness
-        r_new = r_meas + self.k_hat @ (d_new - self._d_pred)
+        r_new = r_meas + self._apply(self.k_hat, d_new - self._d_pred)
         self._d, self._v, self._a = d_new, v_new, a_new
         self._r, self._p = r_new, p_next
         self._d_pred = None
@@ -435,3 +467,77 @@ class AlphaOSPSD:
             results.append(self.commit(
                 d_cmd, r, self.model.external_force(motion.accel[step])))
         return results
+
+
+class _ColumnwiseAlgebra:
+    """Matrix ops evaluated one column at a time, for bit-exact ensembles.
+
+    BLAS does *not* guarantee that a matrix-RHS solve/multiply
+    (``dgemm``/``dtrsm``) rounds identically to N vector-RHS calls
+    (``dgemv``/``dtrsv``) — the blocked kernels accumulate in a
+    different order, and the batched result can differ from the solo
+    result in the last ulp.  For an ensemble that promises column *i*
+    is *bit-identical* to a solo run of variant *i*, that is corruption,
+    not noise.  This mixin therefore routes :meth:`_apply` and
+    :meth:`_solve` through the exact vector code path per column.  The
+    loop costs Python overhead in *wall* time only; simulated time is
+    unaffected, so the ensemble's protocol amortization stands.
+    """
+
+    @staticmethod
+    def _columns(op, x: np.ndarray) -> np.ndarray:
+        return np.stack([op(x[:, i]) for i in range(x.shape[1])], axis=1)
+
+    def _apply(self, matrix: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return self._columns(lambda col: matrix @ col, x)
+
+    def _solve(self, lu, x: np.ndarray) -> np.ndarray:
+        return self._columns(lambda col: linalg.lu_solve(lu, col), x)
+
+
+class EnsembleCentralDifferencePSD(_ColumnwiseAlgebra, CentralDifferencePSD):
+    """Central-difference stepping vectorized over N scenario variants.
+
+    Every state array carries shape ``(n_dof, n_variants)`` — one column
+    per variant — while the LHS/mass LU factors are shared across the
+    whole batch.  The algebra is evaluated per column (see
+    :class:`_ColumnwiseAlgebra`), so column *i* of the batched
+    trajectory is bit-identical to a solo :class:`CentralDifferencePSD`
+    run driven by variant *i*'s forces and loads.  One propose/commit
+    cycle advances the entire ensemble.
+    """
+
+    SNAPSHOT_KIND = "central-difference-ensemble"
+
+    def __init__(self, model: StructuralModel, dt: float, n_variants: int):
+        if n_variants < 1:
+            raise ConfigurationError("n_variants must be >= 1")
+        super().__init__(model, dt)
+        self.n_variants = int(n_variants)
+
+    def _state_shape(self) -> tuple[int, ...]:
+        return (self.model.n_dof, self.n_variants)
+
+
+class EnsembleAlphaOSPSD(_ColumnwiseAlgebra, AlphaOSPSD):
+    """α-OS stepping vectorized over N scenario variants.
+
+    Same batching contract as :class:`EnsembleCentralDifferencePSD`:
+    ``(n_dof, n_variants)`` state columns, shared corrector LU factors,
+    per-variant columns bit-identical to solo runs via
+    :class:`_ColumnwiseAlgebra`.
+    """
+
+    SNAPSHOT_KIND = "alpha-os-ensemble"
+
+    def __init__(self, model: StructuralModel, dt: float, n_variants: int, *,
+                 alpha: float = -0.1,
+                 nominal_stiffness: np.ndarray | None = None):
+        if n_variants < 1:
+            raise ConfigurationError("n_variants must be >= 1")
+        super().__init__(model, dt, alpha=alpha,
+                         nominal_stiffness=nominal_stiffness)
+        self.n_variants = int(n_variants)
+
+    def _state_shape(self) -> tuple[int, ...]:
+        return (self.model.n_dof, self.n_variants)

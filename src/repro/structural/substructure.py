@@ -59,7 +59,15 @@ class LinearSubstructure:
                 f" does not match {n} interface DOF(s)")
 
     def restoring(self, d_local: np.ndarray) -> np.ndarray:
-        return self.stiffness_matrix @ np.asarray(d_local, dtype=float)
+        d_local = np.asarray(d_local, dtype=float)
+        if d_local.ndim > 1:
+            # Ensemble batch: one variant per column.  BLAS matrix-matrix
+            # products round differently from matrix-vector ones, so go
+            # column by column to keep each variant bit-exact with a solo
+            # evaluation.
+            return np.stack([self.stiffness_matrix @ d_local[:, i]
+                             for i in range(d_local.shape[1])], axis=1)
+        return self.stiffness_matrix @ d_local
 
     def initial_stiffness(self) -> np.ndarray:
         return self.stiffness_matrix

@@ -23,8 +23,10 @@ from repro.telemetry.metrics import (
     MetricRegistry,
 )
 from repro.telemetry.schema import (
+    BENCH_SCHEMA_ID,
     SCHEMA_ID,
     SchemaError,
+    validate_bench_payload,
     validate_jsonl_export,
     validate_metric_name,
     validate_metrics_payload,
@@ -44,8 +46,10 @@ __all__ = [
     "Span",
     "TraceContext",
     "SCHEMA_ID",
+    "BENCH_SCHEMA_ID",
     "SchemaError",
     "validate_metric_name",
     "validate_metrics_payload",
+    "validate_bench_payload",
     "validate_jsonl_export",
 ]

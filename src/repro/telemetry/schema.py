@@ -131,3 +131,73 @@ def validate_jsonl_export(loaded: dict[str, Any]) -> None:
         validate_metric_record(record, f"$.metrics[{i}]")
     for i, record in enumerate(loaded.get("spans", [])):
         validate_span_record(record, f"$.spans[{i}]")
+
+
+# ---------------------------------------------------------------------------
+# Benchmark comparison documents (repo-root BENCH_*.json)
+# ---------------------------------------------------------------------------
+
+BENCH_SCHEMA_ID = "repro.bench/v1"
+
+#: every stepping mode must report these (all in *simulated* seconds, so
+#: the committed document is deterministic run-to-run).
+_BENCH_MODE_KEYS = ("steps", "variants", "wall_time", "median_step_latency",
+                    "aggregate_steps_per_s", "aggregate_variant_steps_per_s")
+
+
+def validate_bench_mode(record: Any, path: str = "mode") -> None:
+    """One stepping-mode record of a benchmark comparison document."""
+    _require(isinstance(record, dict), path, "mode record must be an object")
+    for key in _BENCH_MODE_KEYS:
+        _require(key in record, f"{path}.{key}", "missing")
+        _check_number(record[key], f"{path}.{key}")
+    for key in ("steps", "variants"):
+        _require(isinstance(record[key], int) and record[key] >= 1,
+                 f"{path}.{key}", "must be a positive integer")
+    for key in ("wall_time", "median_step_latency", "aggregate_steps_per_s",
+                "aggregate_variant_steps_per_s"):
+        _require(record[key] > 0, f"{path}.{key}", "must be positive")
+
+
+def validate_bench_payload(payload: Any) -> None:
+    """A stepping-mode comparison document (``BENCH_tperf_ntcp.json``).
+
+    Shape::
+
+        {"schema": "repro.bench/v1", "experiment": "...",
+         "config": {"n_steps": int, "n_variants": int},
+         "modes": {"sequential": {...}, "pipelined": {...},
+                   "ensemble": {...}},
+         "speedups": {"pipelined_aggregate_steps_per_s": float,
+                      "ensemble_aggregate_variant_steps_per_s": float},
+         "bit_exact": {"pipelined": bool, "ensemble_base_variant": bool}}
+    """
+    _require(isinstance(payload, dict), "$", "payload must be an object")
+    _require(payload.get("schema") == BENCH_SCHEMA_ID, "$.schema",
+             f"expected {BENCH_SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    experiment = payload.get("experiment")
+    _require(isinstance(experiment, str) and experiment, "$.experiment",
+             "experiment must be a non-empty string")
+    config = payload.get("config")
+    _require(isinstance(config, dict), "$.config", "config must be an object")
+    for key in ("n_steps", "n_variants"):
+        _require(isinstance(config.get(key), int) and config[key] >= 1,
+                 f"$.config.{key}", "must be a positive integer")
+    modes = payload.get("modes")
+    _require(isinstance(modes, dict), "$.modes", "modes must be an object")
+    for name in ("sequential", "pipelined", "ensemble"):
+        _require(name in modes, f"$.modes.{name}", "missing")
+        validate_bench_mode(modes[name], f"$.modes.{name}")
+    speedups = payload.get("speedups")
+    _require(isinstance(speedups, dict), "$.speedups",
+             "speedups must be an object")
+    for key in ("pipelined_aggregate_steps_per_s",
+                "ensemble_aggregate_variant_steps_per_s"):
+        _require(key in speedups, f"$.speedups.{key}", "missing")
+        _check_number(speedups[key], f"$.speedups.{key}")
+    bit_exact = payload.get("bit_exact")
+    _require(isinstance(bit_exact, dict), "$.bit_exact",
+             "bit_exact must be an object")
+    for key in ("pipelined", "ensemble_base_variant"):
+        _require(isinstance(bit_exact.get(key), bool), f"$.bit_exact.{key}",
+                 "must be a boolean")

@@ -1,0 +1,134 @@
+"""The unified run API: ExperimentSession, SessionResult, and the shims.
+
+One builder replaces the four ``run_*_experiment`` entry points; the old
+functions survive one release as deprecation shims.  These tests pin the
+contract: the shims warn, the shims produce the same physics and the same
+extras the historical functions did, and the composable capabilities land
+their results on the typed :class:`SessionResult` fields.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.most import (
+    ExperimentSession,
+    MOSTConfig,
+    SessionResult,
+    run_degraded_experiment,
+    run_monitored_experiment,
+    run_public_experiment,
+    run_public_with_resume,
+)
+from repro.most.scenario import ScenarioReport
+from repro.most.session import default_fail_step
+
+
+def small() -> MOSTConfig:
+    return MOSTConfig().scaled(40)
+
+
+class TestExports:
+    def test_session_is_in_the_curated_top_level_api(self):
+        assert repro.ExperimentSession is ExperimentSession
+        assert repro.SessionResult is SessionResult
+        assert "ExperimentSession" in repro.__all__
+        assert "SessionResult" in repro.__all__
+
+
+class TestDeprecationShims:
+    def test_every_shim_warns(self):
+        with pytest.warns(DeprecationWarning,
+                          match="run_public_experiment.*deprecated"):
+            run_public_experiment(small())
+        with pytest.warns(DeprecationWarning,
+                          match="run_public_with_resume.*deprecated"):
+            run_public_with_resume(small(), checkpoint_every=10)
+        with pytest.warns(DeprecationWarning,
+                          match="run_monitored_experiment.*deprecated"):
+            run_monitored_experiment(small())
+        with pytest.warns(DeprecationWarning,
+                          match="run_degraded_experiment.*deprecated"):
+            run_degraded_experiment(small())
+
+    def test_public_shim_matches_the_session_composition(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_public_experiment(small())
+        composed = (ExperimentSession(small(), run_id="most-public")
+                    .with_observers()
+                    .with_faults()
+                    .run())
+        assert isinstance(legacy, ScenarioReport)
+        assert isinstance(composed, SessionResult)
+        assert np.array_equal(legacy.result.displacement_history(),
+                              composed.result.displacement_history())
+        assert legacy.result.aborted_at_step == \
+            composed.result.aborted_at_step
+        assert legacy.ntcp_retries == composed.ntcp_retries
+        assert legacy.chef_peak_online == composed.chef_peak_online
+        assert legacy.extras["fail_at_step"] == composed.fail_at_step \
+            == default_fail_step(small())
+
+    def test_resume_shim_extras_mirror_the_typed_fields(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_public_with_resume(small(), checkpoint_every=10)
+        assert set(legacy.extras) == {"fail_at_step", "aborted_result",
+                                      "reconciliation", "checkpoints"}
+        assert legacy.extras["aborted_result"] is not None
+        assert legacy.extras["checkpoints"] > 0
+        assert legacy.result.completed
+
+    def test_monitored_shim_extras_mirror_the_typed_fields(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_monitored_experiment(small(), inject_faults=True)
+        composed = (ExperimentSession(small(), run_id="most-monitored")
+                    .with_fault_tolerance()
+                    .with_monitoring()
+                    .with_anomalies()
+                    .run())
+        legacy_alerts = [(a.kind, a.site, a.step, a.time)
+                         for a in legacy.extras["alerts"]]
+        composed_alerts = [(a.kind, a.site, a.step, a.time)
+                           for a in composed.alerts]
+        assert legacy_alerts == composed_alerts
+        assert legacy.extras["rollups"]["dominant_site"] == \
+            composed.rollups["dominant_site"]
+
+
+class TestSessionResults:
+    def test_capability_fields_default_empty(self):
+        outcome = ExperimentSession(small(), run_id="plain",
+                                    simulation_only=True).run()
+        assert outcome.completed
+        assert outcome.steps_completed == outcome.result.steps_completed
+        assert outcome.alerts == [] and outcome.rollups == {}
+        assert outcome.monitoring is None and outcome.failover is None
+        assert outcome.aborted_result is None
+        assert outcome.reconciliation is None and outcome.checkpoints == 0
+
+    def test_monitoring_lands_on_typed_fields(self):
+        outcome = (ExperimentSession(small(), run_id="mon")
+                   .with_fault_tolerance()
+                   .with_monitoring()
+                   .with_anomalies()
+                   .run())
+        assert outcome.completed
+        assert outcome.monitoring is not None
+        assert outcome.alerts
+        assert "dominant_site" in outcome.rollups
+        assert outcome.outage_at_step is not None
+        assert outcome.slow_at_step is not None
+
+    def test_capabilities_compose_in_one_run(self):
+        outcome = (ExperimentSession(small(), run_id="composed")
+                   .with_faults()
+                   .with_fault_tolerance()
+                   .with_monitoring()
+                   .with_resume(checkpoint_every=10)
+                   .run())
+        assert outcome.completed
+        # fault tolerance rode out the outage, so no resume was needed —
+        # but the checkpoints were still written
+        assert outcome.aborted_result is None
+        assert outcome.checkpoints > 0
+        assert outcome.rollups

@@ -1,0 +1,224 @@
+"""Pipelined (speculative) stepping: every ending leaves clean physics.
+
+The speculation contract is §7's: a speculative proposal that turns out
+wrong — mispredicted forces, a fault mid-EXECUTE, a breaker opening, an
+abort with the speculation still in flight — is cancelled, its name
+burned, and the step re-proposed from committed state.  Whatever happens,
+the committed histories must be ``np.array_equal`` with a sequential run
+of the same scenario and no site may execute a step twice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coordinator import variant_displacement_history
+from repro.most import ExperimentSession, MOSTConfig
+from repro.most.assembly import build_simulation_only
+from repro.structural import GroundMotion
+from repro.util.errors import ConfigurationError
+
+N_STEPS = 40
+
+
+def session(run_id: str, n_steps: int = N_STEPS) -> ExperimentSession:
+    return ExperimentSession(MOSTConfig().scaled(n_steps), run_id=run_id,
+                             simulation_only=True)
+
+
+def duplicates(outcome) -> int:
+    return sum(s.server.metrics()["duplicate_executes"]
+               for s in outcome.deployment.sites.values())
+
+
+def pipeline_counter(outcome, name: str) -> int:
+    return outcome.deployment.kernel.telemetry.counter(
+        f"coordinator.pipeline.{name}", run_id=outcome.run_id).value
+
+
+def assert_same_physics(a, b) -> None:
+    assert np.array_equal(a.result.displacement_history(),
+                          b.result.displacement_history())
+    assert np.array_equal(a.result.force_history(), b.result.force_history())
+
+
+class TestCleanPipeline:
+    def test_bit_exact_faster_and_duplicate_free(self):
+        seq = session("seq").run()
+        pipe = session("pipe").with_pipeline(1).run()
+        assert seq.result.completed and pipe.result.completed
+        assert_same_physics(seq, pipe)
+        # overlap buys real simulated wall time: >= 1.5x aggregate steps/s
+        assert (seq.result.wall_duration
+                >= 1.5 * pipe.result.wall_duration)
+        assert duplicates(seq) == 0
+        assert duplicates(pipe) == 0
+        # on an all-numerical deployment the predictor is exact: every
+        # speculation lands
+        assert pipeline_counter(pipe, "speculated") > 0
+        assert pipeline_counter(pipe, "hits") == \
+            pipeline_counter(pipe, "speculated")
+        assert pipeline_counter(pipe, "mispredicts") == 0
+
+    def test_sequential_mode_reports_no_speculation(self):
+        seq = session("seq-quiet", n_steps=10).run()
+        assert pipeline_counter(seq, "speculated") == 0
+
+
+class _PerturbedPredictor:
+    """Wraps the exact predictor and spoils every force it predicts."""
+
+    def __init__(self, inner, error: float = 1e-3):
+        self.inner = inner
+        self.error = error
+
+    def predict(self, site, targets):
+        predicted = self.inner.predict(site, targets)
+        return {dof: ([f + self.error for f in force]
+                      if isinstance(force, list) else force + self.error)
+                for dof, force in predicted.items()}
+
+
+class TestMispredictRollback:
+    def test_mispredict_beyond_tolerance_rolls_back_bit_exact(self):
+        seq = session("seq").run()
+        bad = session("bad-predict")
+        dep_probe = build_simulation_only(MOSTConfig().scaled(N_STEPS))
+        predictor = _PerturbedPredictor(dep_probe.make_predictor())
+        pipe = (bad
+                .with_pipeline(1, predictor=predictor, tolerance=0.0)
+                .run())
+        assert pipe.result.completed
+        # every speculation was wrong, every one was rolled back, and the
+        # committed physics never noticed
+        assert pipeline_counter(pipe, "mispredicts") > 0
+        assert pipeline_counter(pipe, "hits") == 0
+        assert_same_physics(seq, pipe)
+        assert duplicates(pipe) == 0
+
+    def test_tolerance_accepts_small_errors(self):
+        seq = session("seq").run()
+        dep_probe = build_simulation_only(MOSTConfig().scaled(N_STEPS))
+        predictor = _PerturbedPredictor(dep_probe.make_predictor(),
+                                        error=1e-12)
+        pipe = (session("tolerant")
+                .with_pipeline(1, predictor=predictor, tolerance=1e-6)
+                .run())
+        assert pipe.result.completed
+        assert pipeline_counter(pipe, "hits") > 0
+        # accepted speculation integrates the *tolerated* command, so the
+        # histories are within tolerance of sequential, not bit-exact
+        assert np.allclose(pipe.result.displacement_history(),
+                           seq.result.displacement_history(), atol=1e-6)
+        assert duplicates(pipe) == 0
+
+
+class TestFaultDuringSpeculativeExecute:
+    def test_outage_mid_pipeline_retries_to_the_same_history(self):
+        def scenario(run_id, pipelined):
+            s = (session(run_id)
+                 .with_faults(fail_at_step=20)
+                 .with_fault_tolerance())
+            if pipelined:
+                s = s.with_pipeline(1)
+            return s.run()
+
+        seq = scenario("ft-seq", pipelined=False)
+        pipe = scenario("ft-pipe", pipelined=True)
+        assert seq.result.completed and pipe.result.completed
+        assert pipe.result.recoveries >= 1
+        assert_same_physics(seq, pipe)
+        assert duplicates(seq) == 0
+        assert duplicates(pipe) == 0
+
+
+class TestBreakerOpenMidPipeline:
+    def test_failover_mid_pipeline_matches_sequential_degradation(self):
+        def scenario(run_id, pipelined):
+            s = (session(run_id)
+                 .with_faults(fail_at_step=20,
+                              outage_duration=float("inf"))
+                 .with_fault_tolerance()
+                 .with_degradation())
+            if pipelined:
+                s = s.with_pipeline(1)
+            return s.run()
+
+        seq = scenario("deg-seq", pipelined=False)
+        pipe = scenario("deg-pipe", pipelined=True)
+        assert seq.result.completed and pipe.result.completed
+        # the breaker opened and the surrogate took over mid-pipeline
+        assert pipe.degraded_steps > 0
+        assert pipe.failover is not None and pipe.failover["events"]
+        assert pipe.degraded_steps == seq.degraded_steps
+        assert_same_physics(seq, pipe)
+        assert duplicates(seq) == 0
+        assert duplicates(pipe) == 0
+
+
+class TestResumeWithSpeculationInFlight:
+    def test_abort_and_resume_merge_bit_exact(self):
+        clean = session("clean").run()
+        resumed = (session("resume-pipe")
+                   .with_faults(fail_at_step=20)
+                   .with_resume(checkpoint_every=1)
+                   .with_pipeline(1)
+                   .run())
+        # the first incarnation died with a speculative step in flight;
+        # the second reconciled it (harvest / cancel / re-propose)
+        assert resumed.aborted_result is not None
+        assert not resumed.aborted_result.completed
+        assert resumed.result.completed
+        assert resumed.reconciliation is not None
+        assert resumed.checkpoints > 0
+        assert_same_physics(clean, resumed)
+        assert duplicates(resumed) == 0
+
+
+class TestEnsembleSession:
+    N_VARIANTS = 4
+
+    def variants(self, config):
+        base = build_simulation_only(config).motion
+        return [GroundMotion(dt=base.dt,
+                             accel=base.accel * (0.5 + 0.25 * i))
+                for i in range(self.N_VARIANTS)]
+
+    def test_each_variant_matches_its_solo_run(self):
+        config = MOSTConfig().scaled(20)
+        variants = self.variants(config)
+        ens = (ExperimentSession(config, run_id="ens",
+                                 simulation_only=True)
+               .with_ensemble(variants)
+               .run())
+        assert ens.result.completed
+        assert duplicates(ens) == 0
+        for i, motion in enumerate(variants):
+            dep = build_simulation_only(config)
+            dep.motion = motion
+            dep.start_backends()
+            coord = dep.make_coordinator(run_id=f"solo{i}")
+            coord.motion = motion
+            solo = dep.kernel.run(until=dep.kernel.process(coord.run()))
+            assert np.array_equal(
+                variant_displacement_history(ens.result, i),
+                np.array([r.displacement for r in solo.steps]))
+
+    def test_one_protocol_cycle_advances_every_variant(self):
+        config = MOSTConfig().scaled(20)
+        ens = (ExperimentSession(config, run_id="ens-cost",
+                                 simulation_only=True)
+               .with_ensemble(self.variants(config))
+               .run())
+        solo = ExperimentSession(config, run_id="solo-cost",
+                                 simulation_only=True).run()
+        # batching N variants costs one coordinator cycle, not N
+        assert ens.result.wall_duration == pytest.approx(
+            solo.result.wall_duration, rel=0.05)
+
+
+class TestSessionGuards:
+    def test_a_session_runs_once(self):
+        s = session("once", n_steps=5)
+        s.run()
+        with pytest.raises(ConfigurationError):
+            s.run()
