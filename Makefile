@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analyze smoke monitor-smoke chaos-smoke bench \
-	bench-perf bench-perf-smoke validate-bench check
+.PHONY: test lint analyze verify verify-smoke smoke monitor-smoke \
+	chaos-smoke bench bench-perf bench-perf-smoke validate-bench check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -12,6 +12,16 @@ lint:
 
 analyze:
 	$(PYTHON) -m repro.analysis src tests examples benchmarks scripts
+
+# Bounded protocol verification: exhaustive state-space exploration at
+# both pipeline depths, the seeded-mutation regression, and live
+# conformance replay of one sampled trace per fault kind.
+verify:
+	$(PYTHON) -m repro.verify
+
+# Shortened CI bound: 2 steps, 1 fault per schedule.
+verify-smoke:
+	$(PYTHON) -m repro.verify --smoke
 
 smoke:
 	$(PYTHON) scripts/smoke.py
@@ -37,5 +47,5 @@ bench-perf-smoke:
 validate-bench:
 	$(PYTHON) scripts/validate_bench.py
 
-check: lint analyze test smoke monitor-smoke chaos-smoke \
+check: lint analyze verify test smoke monitor-smoke chaos-smoke \
 	bench-perf-smoke validate-bench

@@ -1,8 +1,12 @@
 """repro.analysis — the project-specific static-analysis pass.
 
-An AST lint engine with repo-specific rules (``RPR001``–``RPR008``) plus
-an NTCP protocol-conformance checker over the control-plugin surface
-(``RPR10x``), wired into the repo's gate as ``make analyze``:
+An AST lint engine with repo-specific rules (``RPR001``–``RPR010``), a
+whole-program layer (project call graph + import resolution in
+:mod:`repro.analysis.callgraph`, inter-procedural taint passes in
+:mod:`repro.analysis.dataflow` that make RPR001 and RPR005 see across
+module boundaries), plus an NTCP protocol-conformance checker over the
+control-plugin surface (``RPR10x``), wired into the repo's gate as
+``make analyze``:
 
     python -m repro.analysis src tests examples benchmarks
 
@@ -14,6 +18,16 @@ convention, span lifecycle hygiene, broad-except discipline, and
 analysis & invariants") for the rule table.
 """
 
+from repro.analysis.callgraph import (
+    CallSite,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
+from repro.analysis.dataflow import (
+    analyze_project,
+    clock_taint,
+)
 from repro.analysis.engine import (
     AnalysisResult,
     FileContext,
@@ -22,6 +36,8 @@ from repro.analysis.engine import (
     all_rules,
     analyze_paths,
     analyze_source,
+    clear_context_cache,
+    load_context,
     module_name_for,
     register,
 )
@@ -53,8 +69,17 @@ __all__ = [
     "all_rules",
     "analyze_paths",
     "analyze_source",
+    "clear_context_cache",
+    "load_context",
     "module_name_for",
     "register",
+    # whole-program layer
+    "CallSite",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "analyze_project",
+    "clock_taint",
     # protocol conformance
     "PROTOCOL_CODES",
     "check_plugin",

@@ -10,6 +10,7 @@ import argparse
 import pathlib
 import sys
 
+from repro.analysis.dataflow import analyze_project
 from repro.analysis.engine import AnalysisResult, all_rules, analyze_paths
 from repro.analysis.protocol import (
     DEFAULT_MODULE,
@@ -36,6 +37,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: all)")
     parser.add_argument("--no-protocol", action="store_true",
                         help="skip the NTCP plugin conformance checks")
+    parser.add_argument("--no-project", action="store_true",
+                        help="skip the whole-program (inter-procedural) "
+                             "passes")
     parser.add_argument("--protocol-module", default=DEFAULT_MODULE,
                         help="module whose exported plugins are checked "
                              f"(default: {DEFAULT_MODULE})")
@@ -54,6 +58,7 @@ def _list_rules() -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
     args = _build_parser().parse_args(argv)
     if args.list_rules:
         print(_list_rules())
@@ -72,6 +77,10 @@ def main(argv: list[str] | None = None) -> int:
     except KeyError as exc:
         print(f"analysis: {exc.args[0]}", file=sys.stderr)
         return 2
+    if not args.no_project:
+        project = analyze_project(paths, select=select)
+        result.extend(project.findings)
+        result.suppressed += project.suppressed
     if not args.no_protocol and select is None:
         result.extend(check_protocol_conformance(args.protocol_module))
     report = (render_json(result) if args.format == "json"

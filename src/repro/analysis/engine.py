@@ -44,19 +44,23 @@ class Finding:
     message: str
 
     def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable ordering: path, then line, column, code."""
         return (self.path, self.line, self.col, self.code)
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping, inverse of :meth:`from_dict`."""
         return {"path": self.path, "line": self.line, "col": self.col,
                 "code": self.code, "message": self.message}
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
         return cls(path=data["path"], line=int(data["line"]),
                    col=int(data["col"]), code=data["code"],
                    message=data["message"])
 
     def render(self) -> str:
+        """The conventional ``path:line:col: CODE message`` line."""
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
@@ -79,6 +83,7 @@ class FileContext:
         self.tree = ast.parse(source, filename=path)
 
     def finding(self, node: ast.AST | int, code: str, message: str) -> Finding:
+        """A :class:`Finding` located at ``node`` (or a literal line)."""
         if isinstance(node, int):
             line, col = node, 0
         else:
@@ -99,6 +104,7 @@ class Rule:
     summary: str = ""
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield every violation of this rule in one parsed file."""
         raise NotImplementedError
 
 
@@ -152,6 +158,37 @@ def module_name_for(path: str | pathlib.Path) -> str:
     return name
 
 
+#: parsed-file cache shared by the per-file rules and the whole-program
+#: pass, keyed by path and invalidated on (mtime_ns, size) changes.
+_CONTEXT_CACHE: dict[str, tuple[tuple[int, int], FileContext]] = {}
+
+
+def load_context(path: str | pathlib.Path) -> FileContext:
+    """Parse ``path`` into a :class:`FileContext`, memoized on mtime+size.
+
+    Every consumer that walks the tree — the per-file rules, the project
+    call-graph index, the dataflow pass — goes through this cache, so a
+    source file is read and parsed at most once per run.  Raises
+    ``SyntaxError`` for unparseable files (callers turn that into an
+    ``RPR000`` finding) and ``OSError`` for unreadable ones.
+    """
+    key = str(path)
+    stat = pathlib.Path(path).stat()
+    sig = (stat.st_mtime_ns, stat.st_size)
+    cached = _CONTEXT_CACHE.get(key)
+    if cached is not None and cached[0] == sig:
+        return cached[1]
+    source = pathlib.Path(path).read_text(encoding="utf-8")
+    ctx = FileContext(path=key, source=source, module=module_name_for(path))
+    _CONTEXT_CACHE[key] = (sig, ctx)
+    return ctx
+
+
+def clear_context_cache() -> None:
+    """Drop every cached parse (tests that rewrite files on disk)."""
+    _CONTEXT_CACHE.clear()
+
+
 @dataclass
 class AnalysisResult:
     """What one analysis run produced."""
@@ -162,15 +199,18 @@ class AnalysisResult:
 
     @property
     def ok(self) -> bool:
+        """True when no finding survived suppression."""
         return not self.findings
 
     def counts(self) -> dict[str, int]:
+        """Finding tallies per rule code, sorted by code."""
         out: dict[str, int] = {}
         for finding in self.findings:
             out[finding.code] = out.get(finding.code, 0) + 1
         return dict(sorted(out.items()))
 
     def extend(self, findings: Iterable[Finding]) -> None:
+        """Merge more findings in, keeping the stable sort order."""
         self.findings.extend(findings)
         self.findings.sort(key=Finding.sort_key)
 
@@ -185,31 +225,52 @@ def _select_rules(select: Iterable[str] | None) -> list[Rule]:
     return [rule for rule in all_rules() if rule.code in wanted]
 
 
+def admit_findings(ctx: FileContext, findings: Iterable[Finding],
+                   result: AnalysisResult) -> None:
+    """Add ``findings`` to ``result``, honouring ``# noqa`` suppressions.
+
+    Shared by the per-file rule runner and the whole-program passes so a
+    ``# noqa: RPR001`` on a call site silences the inter-procedural
+    variant of the rule exactly like the per-file one.
+    """
+    for finding in findings:
+        line = ""
+        if 1 <= finding.line <= len(ctx.lines):
+            line = ctx.lines[finding.line - 1]
+        noqa = suppressed_codes(line)
+        if noqa is not None and (not noqa or finding.code in noqa):
+            result.suppressed += 1
+            continue
+        result.findings.append(finding)
+
+
+def check_context(ctx: FileContext, *,
+                  select: Iterable[str] | None = None) -> AnalysisResult:
+    """Run the registered (selected) rules over one parsed file."""
+    result = AnalysisResult(findings=[], files=1)
+    for rule in _select_rules(select):
+        admit_findings(ctx, rule.check(ctx), result)
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def parse_error_finding(path: str, exc: SyntaxError) -> Finding:
+    """The ``RPR000`` finding for a file the engine cannot parse."""
+    return Finding(path=path, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                   code=PARSE_ERROR_CODE, message=f"cannot parse file: {exc.msg}")
+
+
 def analyze_source(source: str, path: str = "<string>", *,
                    module: str | None = None,
                    select: Iterable[str] | None = None) -> AnalysisResult:
     """Run the registered rules over one source string."""
     module = module if module is not None else module_name_for(path)
-    result = AnalysisResult(findings=[], files=1)
     try:
         ctx = FileContext(path=path, source=source, module=module)
     except SyntaxError as exc:
-        result.findings.append(Finding(
-            path=path, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
-            code=PARSE_ERROR_CODE, message=f"cannot parse file: {exc.msg}"))
-        return result
-    for rule in _select_rules(select):
-        for finding in rule.check(ctx):
-            line = ""
-            if 1 <= finding.line <= len(ctx.lines):
-                line = ctx.lines[finding.line - 1]
-            noqa = suppressed_codes(line)
-            if noqa is not None and (not noqa or finding.code in noqa):
-                result.suppressed += 1
-                continue
-            result.findings.append(finding)
-    result.findings.sort(key=Finding.sort_key)
-    return result
+        return AnalysisResult(findings=[parse_error_finding(path, exc)],
+                              files=1)
+    return check_context(ctx, select=select)
 
 
 def iter_python_files(paths: Iterable[str | pathlib.Path],
@@ -231,8 +292,13 @@ def analyze_paths(paths: Iterable[str | pathlib.Path], *,
     _select_rules(select)  # validate the code list before any file work
     total = AnalysisResult(findings=[], files=0)
     for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        one = analyze_source(source, path=str(file_path), select=select)
+        try:
+            ctx = load_context(file_path)
+        except SyntaxError as exc:
+            total.findings.append(parse_error_finding(str(file_path), exc))
+            total.files += 1
+            continue
+        one = check_context(ctx, select=select)
         total.findings.extend(one.findings)
         total.files += 1
         total.suppressed += one.suppressed

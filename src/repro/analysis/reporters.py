@@ -49,6 +49,7 @@ def build_report(result: AnalysisResult) -> dict[str, Any]:
 
 
 def render_json(result: AnalysisResult) -> str:
+    """The schema-stamped JSON report as a string."""
     return json.dumps(build_report(result), indent=2, sort_keys=True)
 
 

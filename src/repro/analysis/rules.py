@@ -110,6 +110,7 @@ class SimClockPurity(Rule):
                    for scope in self.SCOPES)
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield this rule's violations in ``ctx`` (see class doc)."""
         if not self._in_scope(ctx.module):
             return
         modules, names = _import_maps(ctx.tree)
@@ -172,6 +173,7 @@ class VerdictDictAccess(Rule):
         return name if self._NAME_RE.search(name) else None
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield this rule's violations in ``ctx`` (see class doc)."""
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Subscript):
                 name = self._looks_typed(node.value)
@@ -229,6 +231,7 @@ class TelemetryNameConvention(Rule):
     SPAN_RE = re.compile(rf"^{_SEGMENT}(\.{_SEGMENT}){{1,}}$")
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield this rule's violations in ``ctx`` (see class doc)."""
         for node in ast.walk(ctx.tree):
             if not (isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Attribute)):
@@ -295,6 +298,7 @@ class SpanLifecycle(Rule):
                 and node.func.attr in self.OPENERS)
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield this rule's violations in ``ctx`` (see class doc)."""
         yield from self._check_scope(ctx, ctx.tree)
 
     def _child_statements(self, scope_node: ast.AST) -> Iterator[ast.AST]:
@@ -481,6 +485,7 @@ class BroadExcept(Rule):
         return False
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield this rule's violations in ``ctx`` (see class doc)."""
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -514,6 +519,7 @@ class AllDrift(Rule):
     summary = "__all__ entries resolve; package __init__ re-exports are listed"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield this rule's violations in ``ctx`` (see class doc)."""
         tree = ctx.tree
         all_node: ast.Assign | None = None
         exported: list[str] = []
@@ -644,6 +650,7 @@ class MutableDefaultArgument(Rule):
     }
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield this rule's violations in ``ctx`` (see class doc)."""
         if ctx.module == "tests" or ctx.module.startswith("tests."):
             return
         modules, names = _import_maps(ctx.tree)
@@ -711,6 +718,7 @@ class DeprecatedScenarioShim(Rule):
     EXEMPT_MODULES = {"repro.most.scenario", "repro.most.session"}
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield this rule's violations in ``ctx`` (see class doc)."""
         if ctx.module in self.EXEMPT_MODULES:
             return
         if ctx.module == "tests" or ctx.module.startswith("tests."):
@@ -727,3 +735,129 @@ class DeprecatedScenarioShim(Rule):
                     node, self.code,
                     f"`{name}` is a deprecated scenario shim; compose the "
                     "run with repro.most.ExperimentSession instead")
+
+
+# ---------------------------------------------------------------------------
+# RPR009 — assert statements in shipped library code
+
+
+@register
+class AssertInLibrary(Rule):
+    """No ``assert`` in shipped library code — it vanishes under ``-O``.
+
+    ``assert`` is a *debugging* aid: CPython strips it when run with
+    ``-O``, so any invariant guarded by one silently stops being checked
+    in optimized deployments.  Library modules (everything under
+    ``repro.*``) must raise explicit exceptions for conditions that can
+    actually occur; tests keep using ``assert`` freely (pytest rewrites
+    them).
+
+    A small per-module allowlist covers internal-state asserts that
+    document type-narrowing invariants unreachable from any public API
+    (``self.container is not None`` after attach, breaker timestamps
+    inside non-CLOSED states).  Each entry records why the module is
+    exempt; new entries need the same justification.
+    """
+
+    code = "RPR009"
+    name = "assert-in-library"
+    summary = ("no `assert` in repro.* library modules (stripped by -O); "
+               "raise explicit errors")
+
+    #: module -> why its internal-state asserts are acceptable
+    ALLOWLIST = {
+        "repro.core.server": ("attach/txn narrowing on the RPC hot path: "
+                              "counters and results are set before any "
+                              "dispatch can reach the assert"),
+        "repro.net.breaker": ("opened_at is set on every transition into "
+                              "OPEN; the asserts narrow Optional for the "
+                              "state-machine arithmetic"),
+        "repro.nsds.service": ("container is bound at attach time, before "
+                               "the service can receive a request"),
+        "repro.ogsi.container": ("service_data is created in create_service "
+                                 "before the registry hands the service "
+                                 "out"),
+        "repro.ogsi.service": ("container backref set by attach; asserts "
+                               "narrow Optional for lifetime bookkeeping"),
+        "repro.telepresence.camera": ("container bound at attach, before "
+                                      "frame requests can arrive"),
+    }
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield this rule's violations in ``ctx`` (see class doc)."""
+        if not (ctx.module == "repro" or ctx.module.startswith("repro.")):
+            return
+        if ctx.module in self.ALLOWLIST:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield ctx.finding(
+                    node, self.code,
+                    "`assert` in library code is stripped under -O; raise "
+                    "an explicit exception (or allowlist the module with "
+                    "a justification)")
+
+
+# ---------------------------------------------------------------------------
+# RPR010 — public-API docstrings (staged rollout)
+
+
+@register
+class PublicApiDocstring(Rule):
+    """Public API in opted-in subsystems carries docstrings.
+
+    Staged rollout: rather than flooding the gate with hundreds of
+    findings, the rule applies only to the subsystems listed in
+    ``ENABLED_SUBSYSTEMS`` — currently the analysis and verification
+    packages, which are the newest code and the reference for the
+    convention.  Widening the rollout is a one-line change here.
+
+    Checked: the module docstring, public top-level functions and
+    classes, and public methods of public classes.  Underscore-private
+    names and dunder methods are exempt.
+    """
+
+    code = "RPR010"
+    name = "public-api-docstring"
+    summary = ("public modules/classes/functions in staged subsystems "
+               "need docstrings (currently repro.analysis, repro.verify)")
+
+    ENABLED_SUBSYSTEMS = ("repro.analysis", "repro.verify")
+
+    def _enabled(self, module: str) -> bool:
+        return any(module == scope or module.startswith(scope + ".")
+                   for scope in self.ENABLED_SUBSYSTEMS)
+
+    @staticmethod
+    def _public(name: str) -> bool:
+        return not name.startswith("_")
+
+    def _check_def(self, ctx: FileContext, node: ast.AST,
+                   kind: str, qual: str) -> Iterator[Finding]:
+        if ast.get_docstring(node) is None:
+            yield ctx.finding(
+                node, self.code,
+                f"public {kind} `{qual}` has no docstring; state its "
+                "contract (staged rule: repro.analysis/repro.verify)")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield this rule's violations in ``ctx`` (see class doc)."""
+        if not self._enabled(ctx.module):
+            return
+        if ast.get_docstring(ctx.tree) is None:
+            yield ctx.finding(1, self.code,
+                              f"module `{ctx.module}` has no docstring")
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._public(node.name):
+                    yield from self._check_def(ctx, node, "function",
+                                               node.name)
+            elif isinstance(node, ast.ClassDef) and self._public(node.name):
+                yield from self._check_def(ctx, node, "class", node.name)
+                for sub in node.body:
+                    if (isinstance(sub, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))
+                            and self._public(sub.name)
+                            and not sub.name.startswith("__")):
+                        yield from self._check_def(
+                            ctx, sub, "method", f"{node.name}.{sub.name}")

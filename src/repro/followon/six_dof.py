@@ -59,7 +59,9 @@ class SixDofController:
         if stiffness is None:
             stiffness = np.diag([4e7, 4e7, 9e7, 6e6, 6e6, 4e6])
         self.stiffness = np.asarray(stiffness, dtype=float)
-        assert self.stiffness.shape == (6, 6)
+        if self.stiffness.shape != (6, 6):
+            raise ValueError("six-DOF stiffness must be a 6x6 matrix, got "
+                             f"shape {self.stiffness.shape}")
         self.limits = limits if limits is not None else SixDofLimits()
         self.translation_rate = translation_rate
         self.rotation_rate = rotation_rate

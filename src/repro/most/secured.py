@@ -119,7 +119,9 @@ def build_secured_most(config: MOSTConfig | None = None, *,
     repo_gridmap.add(OBSERVER_DN, "neesguest")
     secured.gridmaps["repo"] = repo_gridmap
     repo_container = dep.nmds.container
-    assert repo_container is not None
+    if repo_container is None:
+        raise RuntimeError("repository service is not attached to a "
+                           "container; deploy the MOST testbed first")
     repo_container.rpc.checker = GsiChecker(
         crypto, [ca.certificate], repo_gridmap, clock, cas=cas)
 
@@ -129,7 +131,9 @@ def build_secured_most(config: MOSTConfig | None = None, *,
     portal_gridmap.add(OBSERVER_DN, "chef-guest")
     secured.gridmaps["portal"] = portal_gridmap
     portal_container = dep.chef.container
-    assert portal_container is not None
+    if portal_container is None:
+        raise RuntimeError("portal service is not attached to a container; "
+                           "deploy the MOST testbed first")
     portal_container.rpc.checker = GsiChecker(
         crypto, [ca.certificate], portal_gridmap, clock)
 

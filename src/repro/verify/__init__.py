@@ -1,0 +1,70 @@
+"""Exhaustive bounded verification of the NTCP coordinator protocol.
+
+The package holds four layers:
+
+* :mod:`repro.verify.model` — a deterministic small-step abstraction of
+  the coordinator + NTCP servers whose only nondeterminism is the fault
+  schedule, asserting the PROTOCOL.md §§7–9 invariants (at-most-once
+  execution, monotone commits, no orphaned names, degraded-labeling
+  soundness, command freshness) on every transition;
+* :mod:`repro.verify.explorer` — exhaustive enumeration of every fault
+  schedule within a bounded configuration, deduplicating canonical
+  protocol states;
+* :mod:`repro.verify.conformance` — replay of sampled traces through a
+  *live* :class:`~repro.coordinator.mspsds.SimulationCoordinator`
+  deployment with the same fault injected at the same message point;
+  any divergence between the live observables and the model's expected
+  tables fails the run, so the model cannot rot;
+* :mod:`repro.verify.report` — ``repro.verify/v1`` JSON documents,
+  schema-validated on emission like the benchmark reports.
+
+Run it with ``python -m repro.verify`` (or ``make verify``).
+"""
+
+from repro.verify.conformance import (
+    Divergence,
+    ReplayOutcome,
+    replay_trace,
+    run_conformance,
+)
+from repro.verify.explorer import (
+    ExplorationResult,
+    enumerate_schedules,
+    explore,
+)
+from repro.verify.model import (
+    FAULT_KINDS,
+    FaultEvent,
+    ModelMachine,
+    ProtocolRules,
+    TraceResult,
+    VerifyConfig,
+    Violation,
+)
+from repro.verify.report import (
+    VERIFY_SCHEMA_ID,
+    build_report,
+    ensure_valid,
+    validate_verify_payload,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "VERIFY_SCHEMA_ID",
+    "Divergence",
+    "ExplorationResult",
+    "FaultEvent",
+    "ModelMachine",
+    "ProtocolRules",
+    "ReplayOutcome",
+    "TraceResult",
+    "VerifyConfig",
+    "Violation",
+    "build_report",
+    "ensure_valid",
+    "enumerate_schedules",
+    "explore",
+    "replay_trace",
+    "run_conformance",
+    "validate_verify_payload",
+]

@@ -1,0 +1,440 @@
+"""Conformance replay: the abstract model vs the live coordinator.
+
+The model checker is only as good as its transition relation, so every
+``make verify`` run replays a sampled subset of explored traces through a
+*real* deployment — :class:`~repro.coordinator.mspsds.SimulationCoordinator`
+driving genuine NTCP servers over the simulated network, with the same
+fault injected at the same message point — and compares the live
+observables 1:1 against the model's :attr:`TraceResult.expected` tables:
+per-site transaction counters (real and surrogate), completion, the
+committed-step ledger, resume generation, degraded labels, the §7
+reconciliation classification, and the §9 pipeline counters.  Any
+divergence fails the verification run: either the implementation drifted
+from PROTOCOL.md or the model did, and both are bugs.
+
+Fault arming follows the chaos campaign's traffic-watching idiom — a
+drop-filter watcher recognises the step's transaction-name marker inside
+the RPC request and installs the fault at that exact message point — so
+replays land the fault deterministically regardless of pacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control import SimulationPlugin
+from repro.coordinator import (
+    DegradationPolicy,
+    FailoverManager,
+    FaultTolerantFaultPolicy,
+    NaiveFaultPolicy,
+    SimulationCoordinator,
+    SiteBinding,
+    SubstructurePredictor,
+    SurrogateSpec,
+    records_from_payloads,
+    resume_state_from_checkpoint,
+)
+from repro.core import NTCPClient, NTCPServer
+from repro.core.policy import SitePolicy
+from repro.net import CircuitBreaker, FaultInjector, Network, RpcClient
+from repro.net.rpc import RpcRequest, RpcResponse
+from repro.ogsi import ServiceContainer
+from repro.repository.checkpoint import (
+    CheckpointPolicy,
+    InMemoryCheckpointStore,
+)
+from repro.sim import Kernel
+from repro.structural import (
+    LinearSubstructure,
+    StructuralModel,
+    el_centro_like,
+)
+from repro.util.errors import ConfigurationError
+from repro.verify.explorer import ExplorationResult
+from repro.verify.model import FaultEvent, TraceResult, VerifyConfig
+
+__all__ = ["Divergence", "ReplayOutcome", "replay_trace", "run_conformance"]
+
+#: the counters the model commits to (subset of the server's STAT_KEYS).
+COUNTER_KEYS = ("proposed", "executed", "cancelled",
+                "duplicate_proposals", "duplicate_executes")
+
+#: pipeline telemetry counters compared for pipelined replays.
+PIPELINE_KEYS = ("speculated", "hits", "mispredicts", "drains")
+
+_RUN_ID = "verify"
+_SITE_STIFFNESS = 30.0
+_COMPUTE_TIME = 0.05
+_LATENCY = 0.01
+_DT = 0.02
+#: server-side execute budget; the execute RPC timeout is this + 10, so
+#: one retransmission straddles the model's transient outage window.
+_EXECUTION_TIMEOUT = 120.0
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observable where the live replay disagrees with the model."""
+
+    path: str
+    model: object
+    live: object
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports and failures."""
+        return f"{self.path}: model={self.model!r} live={self.live!r}"
+
+
+@dataclass
+class ReplayOutcome:
+    """The result of replaying one sampled trace against a live rig."""
+
+    kind: str
+    schedule: tuple[FaultEvent, ...]
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every observable matched the model."""
+        return not self.divergences
+
+
+class _Rig:
+    """One live deployment sized to a :class:`VerifyConfig`."""
+
+    def __init__(self, config: VerifyConfig, *, with_failover: bool = False):
+        self.config = config
+        self.kernel = Kernel()
+        self.network = Network(self.kernel, seed=0)
+        self.faults = FaultInjector(self.network)
+        self.network.add_host("coord")
+        self.servers: dict[str, NTCPServer] = {}
+        handles = {}
+        for site in config.sites:
+            self.network.add_host(site)
+            self.network.connect("coord", site, latency=_LATENCY)
+            container = ServiceContainer(self.network, site)
+            plugin = SimulationPlugin(
+                LinearSubstructure(site, [[_SITE_STIFFNESS]], [0]),
+                compute_time=_COMPUTE_TIME)
+            server = NTCPServer(f"ntcp-{site}", plugin)
+            handles[site] = container.deploy(server)
+            self.servers[site] = server
+        self.model = StructuralModel(
+            mass=[[2.0]], stiffness=[[100.0]]).with_rayleigh_damping(0.05)
+        # n_steps committed steps need n_steps + 1 motion samples (the
+        # extra one is the step-0 rest measurement).
+        self.motion = el_centro_like(
+            duration=(config.n_steps + 1) * _DT, dt=_DT).scaled_to_pga(1.0)
+        rpc = RpcClient(self.network, "coord",
+                        default_timeout=config.rpc_timeout,
+                        default_retries=config.rpc_retries)
+        self.client = NTCPClient(rpc, timeout=config.rpc_timeout,
+                                 retries=config.rpc_retries)
+        self.sites = [SiteBinding(site, handles[site], [0])
+                      for site in config.sites]
+        self.breakers = None
+        self.failover = None
+        if with_failover:
+            self.breakers = {site: CircuitBreaker(self.kernel, site)
+                             for site in config.sites}
+            container = ServiceContainer(self.network, "coord",
+                                         port="ogsi-failover")
+            specs = [SurrogateSpec(
+                site=site,
+                substructure_factory=(
+                    lambda site=site: LinearSubstructure(
+                        f"{site}-surrogate", [[_SITE_STIFFNESS]], [0])),
+                compute_time=_COMPUTE_TIME, policy=SitePolicy())
+                for site in config.sites]
+            self.failover = FailoverManager(container=container, specs=specs,
+                                            policy=DegradationPolicy())
+
+    def predictor(self) -> SubstructurePredictor:
+        """A bit-exact predictor (same linear substructures as the sites)."""
+        return SubstructurePredictor({
+            site: LinearSubstructure(f"{site}-predictor",
+                                     [[_SITE_STIFFNESS]], [0])
+            for site in self.config.sites})
+
+    def make_coordinator(self, *, fault_policy, store=None,
+                         checkpoint_policy=None, state=None,
+                         prior_records=()) -> SimulationCoordinator:
+        """A coordinator over this rig's sites, per the config's mode."""
+        predictor = (self.predictor() if self.config.pipeline_depth
+                     else None)
+        return SimulationCoordinator(
+            run_id=_RUN_ID, client=self.client, model=self.model,
+            motion=self.motion, sites=self.sites, fault_policy=fault_policy,
+            execution_timeout=_EXECUTION_TIMEOUT,
+            checkpoint_store=store, checkpoint_policy=checkpoint_policy,
+            state=state, prior_records=prior_records,
+            breakers=self.breakers, failover=self.failover,
+            pipeline_depth=self.config.pipeline_depth, predictor=predictor)
+
+    def run(self, coordinator: SimulationCoordinator):
+        """Drive one coordinator run to quiescence."""
+        return self.kernel.run(until=self.kernel.process(coordinator.run()))
+
+
+def _ft_policy(config: VerifyConfig) -> FaultTolerantFaultPolicy:
+    """The fault-tolerant policy the model's timing arithmetic mirrors."""
+    return FaultTolerantFaultPolicy(
+        max_attempts=config.max_attempts, backoff=config.backoff,
+        backoff_factor=config.backoff_factor,
+        max_backoff=config.max_backoff)
+
+
+def _is_verb_request(msg, site: str, verb: str, marker: str) -> bool:
+    """True when ``msg`` is the NTCP ``verb`` request for the marked
+    transaction toward ``site`` (the chaos campaigns' watching idiom)."""
+    if msg.dst != site:
+        return False
+    payload = msg.payload
+    if not isinstance(payload, RpcRequest) or payload.method != "invoke":
+        return False
+    if payload.params.get("operation") != verb:
+        return False
+    return marker in str(payload.params.get("params"))
+
+
+def _arm_reply_drop(rig: _Rig, event: FaultEvent, verb: str, *,
+                    down_link: bool = False) -> None:
+    """Drop the reply to the first ``verb`` request for the event's step.
+
+    The watcher captures the request id when the marked request goes on
+    the wire (the request itself is delivered), then drops the matching
+    reply once — the RPC layer retransmits and the server's idempotent
+    verb absorbs the duplicate.  With ``down_link`` the reply drop also
+    takes the coordinator—site link down for good (the crash scenarios:
+    the first incarnation's fault policy aborts on the dead exchange).
+    """
+    marker = f"step{event.step:05d}-{event.site}"
+    captured: list[str] = []
+    dropped = [False]
+
+    def watch(msg) -> bool:
+        if not captured and _is_verb_request(msg, event.site, verb, marker):
+            captured.append(msg.payload.request_id)
+            return False
+        if (captured and not dropped[0] and msg.src == event.site
+                and isinstance(msg.payload, RpcResponse)
+                and msg.payload.request_id == captured[0]):
+            dropped[0] = True
+            if down_link:
+                rig.faults.schedule_outage("coord", event.site,
+                                           start=rig.kernel.now)
+            return True
+        return False
+
+    rig.network.add_drop_filter(watch)
+
+
+def _arm_request_duplicate(rig: _Rig, event: FaultEvent, verb: str) -> None:
+    """Deliver an extra copy of the first marked ``verb`` request."""
+    marker = f"step{event.step:05d}-{event.site}"
+    rig.faults.duplicate_matching(
+        lambda msg: _is_verb_request(msg, event.site, verb, marker),
+        count=1)
+
+
+def _arm_outage_on_propose(rig: _Rig, event: FaultEvent,
+                           duration: float) -> None:
+    """Down the link when the step's propose goes on the wire.
+
+    The arming request is already scheduled, so it arrives and the site
+    holds the orphaned acceptance; everything after — replies, cancels,
+    retransmissions — dies until the outage lifts (never, for the fatal
+    variant).
+    """
+    marker = f"step{event.step:05d}-{event.site}"
+    armed = [False]
+
+    def watch(msg) -> bool:
+        if not armed[0] and _is_verb_request(msg, event.site, "propose",
+                                             marker):
+            armed[0] = True
+            rig.faults.schedule_outage("coord", event.site,
+                                       start=rig.kernel.now,
+                                       duration=duration)
+        return False
+
+    rig.network.add_drop_filter(watch)
+
+
+def _arm(rig: _Rig, event: FaultEvent) -> None:
+    """Install one model fault kind at its live message point."""
+    if event.kind == "drop_propose_reply":
+        _arm_reply_drop(rig, event, "propose")
+    elif event.kind == "drop_execute_reply":
+        _arm_reply_drop(rig, event, "execute")
+    elif event.kind == "dup_propose_request":
+        _arm_request_duplicate(rig, event, "propose")
+    elif event.kind == "dup_execute_request":
+        _arm_request_duplicate(rig, event, "execute")
+    elif event.kind == "fatal_outage_propose":
+        _arm_outage_on_propose(rig, event, float("inf"))
+    elif event.kind == "spec_outage_propose":
+        _arm_outage_on_propose(rig, event, rig.config.outage_duration)
+    else:
+        raise ConfigurationError(
+            f"fault kind {event.kind!r} has no live arming")
+
+
+def _observe(rig: _Rig, result, coordinator) -> dict:
+    """The live observables, shaped exactly like the model's expected."""
+    per_site = {}
+    active = rig.failover.active if rig.failover is not None else {}
+    for site in rig.config.sites:
+        metrics = rig.servers[site].metrics()
+        counters = {key: metrics[key] for key in COUNTER_KEYS}
+        surrogate = None
+        if site in active:
+            surrogate_metrics = active[site].server.metrics()
+            surrogate = {key: surrogate_metrics[key] for key in COUNTER_KEYS}
+        per_site[site] = {"real": counters, "surrogate": surrogate}
+    reconcile = {}
+    if coordinator.last_reconciliation is not None:
+        reconcile = {action.site: action.action
+                     for action in coordinator.last_reconciliation.actions}
+    pipeline = None
+    if rig.config.pipeline_depth:
+        telemetry = rig.kernel.telemetry
+        pipeline = {key: telemetry.counter(f"coordinator.pipeline.{key}",
+                                           run_id=_RUN_ID).value
+                    for key in PIPELINE_KEYS}
+    return {
+        "completed": result.completed,
+        "committed_steps": [record.step for record in result.steps],
+        "generation": coordinator.state.generation,
+        "degraded": {str(record.step): sorted(record.degraded)
+                     for record in result.steps if record.degraded},
+        "sites": per_site,
+        "reconcile": reconcile,
+        "pipeline": pipeline,
+    }
+
+
+def _replay_single(config: VerifyConfig,
+                   event: FaultEvent | None) -> dict:
+    """One-incarnation replay (wire faults, outages, or the clean run)."""
+    with_failover = (event is not None
+                     and event.kind == "fatal_outage_propose")
+    rig = _Rig(config, with_failover=with_failover)
+    if event is not None:
+        _arm(rig, event)
+    coordinator = rig.make_coordinator(fault_policy=_ft_policy(config))
+    result = rig.run(coordinator)
+    return _observe(rig, result, coordinator)
+
+
+def _replay_crash(config: VerifyConfig, event: FaultEvent) -> dict:
+    """Two-incarnation replay for the coordinator-crash kinds.
+
+    Incarnation 1 runs the abort-on-first-failure policy into the armed
+    fault (the verb's replies die and the link goes down), leaving an
+    abort-time checkpoint; the link is then restored and incarnation 2
+    resumes from the checkpoint, reconciling per the §7 table.
+    """
+    verb = "propose" if event.kind == "crash_propose" else "execute"
+    rig = _Rig(config)
+    _arm_reply_drop(rig, event, verb, down_link=True)
+    store = InMemoryCheckpointStore()
+    policy = CheckpointPolicy(every_n_steps=0)
+    first = rig.make_coordinator(fault_policy=NaiveFaultPolicy(),
+                                 store=store, checkpoint_policy=policy)
+    aborted = rig.run(first)
+    if aborted.completed:
+        raise ConfigurationError(
+            f"crash replay at step {event.step} did not abort")
+
+    rig.network.set_link_state("coord", event.site, up=True)
+    doc, payloads = _run_store(store.load_history(_RUN_ID))
+    state = resume_state_from_checkpoint(doc)
+    second = rig.make_coordinator(
+        fault_policy=NaiveFaultPolicy(), store=store,
+        checkpoint_policy=policy, state=state,
+        prior_records=records_from_payloads(payloads))
+    result = rig.run(second)
+    return _observe(rig, result, second)
+
+
+def _run_store(gen):
+    """Drive an in-memory store primitive (completes without yielding)."""
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise ConfigurationError("in-memory store call unexpectedly yielded")
+
+
+def _diff(path: str, model_value, live_value,
+          out: list[Divergence]) -> None:
+    """Structural comparison; model ``None`` means *not committed to*."""
+    if model_value is None:
+        return
+    if isinstance(model_value, dict):
+        if not isinstance(live_value, dict):
+            out.append(Divergence(path, model_value, live_value))
+            return
+        for key in sorted(set(model_value) | set(live_value)):
+            _diff(f"{path}.{key}", model_value.get(key),
+                  live_value.get(key) if live_value else None, out)
+        return
+    if model_value != live_value:
+        out.append(Divergence(path, model_value, live_value))
+
+
+def compare_trace(trace: TraceResult, live: dict) -> list[Divergence]:
+    """Every observable where ``live`` departs from the model's tables."""
+    divergences: list[Divergence] = []
+    _diff("$", trace.expected, live, divergences)
+    return divergences
+
+
+def replay_trace(config: VerifyConfig, trace: TraceResult) -> ReplayOutcome:
+    """Replay one explored trace through a live rig and compare.
+
+    Only clean and single-fault traces are replayable — the sampler
+    (`ExplorationResult.traces_by_kind`) picks exactly those.
+    """
+    if len(trace.schedule) > 1:
+        raise ConfigurationError(
+            "conformance replays sample clean/single-fault traces only")
+    event = trace.schedule[0] if trace.schedule else None
+    kind = event.kind if event is not None else "clean"
+    if kind in ("crash_propose", "crash_execute"):
+        live = _replay_crash(config, event)
+    else:
+        live = _replay_single(config, event)
+    return ReplayOutcome(kind=kind, schedule=trace.schedule,
+                         divergences=compare_trace(trace, live))
+
+
+def run_conformance(exploration: ExplorationResult) -> dict:
+    """Replay the exploration's sampled traces; returns the report block.
+
+    The returned dict is the ``conformance`` section of a
+    ``repro.verify/v1`` document: ``traces_replayed``, ``divergences``
+    (flattened, each naming its trace kind and observable path), and a
+    per-kind ``replays`` breakdown.
+    """
+    sampled = exploration.traces_by_kind()
+    replays = []
+    divergences = []
+    for kind in sorted(sampled):
+        outcome = replay_trace(exploration.config, sampled[kind])
+        replays.append({
+            "kind": outcome.kind,
+            "schedule": [{"step": ev.step, "kind": ev.kind, "site": ev.site}
+                         for ev in outcome.schedule],
+            "ok": outcome.ok,
+        })
+        for divergence in outcome.divergences:
+            divergences.append({"kind": outcome.kind,
+                                "path": divergence.path,
+                                "model": repr(divergence.model),
+                                "live": repr(divergence.live)})
+    return {"traces_replayed": len(replays), "divergences": divergences,
+            "replays": replays}

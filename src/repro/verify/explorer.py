@@ -1,0 +1,116 @@
+"""Exhaustive bounded exploration of the protocol state space.
+
+The model (`repro.verify.model`) is deterministic between fault points,
+so the bounded state space is exactly the set of machine states reachable
+under every fault schedule within the bounds: at most one fault event per
+step, at most ``max_faults`` events per schedule, and at most one
+*structural* event (crash / fatal outage / speculation outage) per
+schedule — resume, failover and rollback each restructure the rest of
+the run, so their pairwise products explode without adding reachable
+protocol states.
+
+`explore` enumerates every such schedule, runs each through the
+:class:`~repro.verify.model.ModelMachine`, deduplicates the canonical
+states encountered, and collects every invariant violation with the
+schedule that produced it.  The result carries the full per-trace
+outcomes so the conformance layer can sample traces for live replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+
+from repro.verify.model import (
+    STRUCTURAL_KINDS,
+    FaultEvent,
+    ModelMachine,
+    TraceResult,
+    VerifyConfig,
+    Violation,
+)
+
+__all__ = ["ExplorationResult", "enumerate_schedules", "explore"]
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one bounded exploration produced."""
+
+    config: VerifyConfig
+    traces: list[TraceResult]
+    states_explored: int
+    violations: list[tuple[tuple[FaultEvent, ...], Violation]]
+
+    @property
+    def ok(self) -> bool:
+        """True when no trace violated an invariant."""
+        return not self.violations
+
+    def traces_by_kind(self) -> dict[str, TraceResult]:
+        """The first single-fault trace for each kind (plus ``clean``).
+
+        Deterministic (enumeration order), so the conformance sample is
+        stable run-to-run.
+        """
+        picked: dict[str, TraceResult] = {}
+        for trace in self.traces:
+            if not trace.schedule:
+                picked.setdefault("clean", trace)
+            elif len(trace.schedule) == 1:
+                picked.setdefault(trace.schedule[0].kind, trace)
+        return picked
+
+
+def enumerate_schedules(config: VerifyConfig,
+                        ) -> list[tuple[FaultEvent, ...]]:
+    """Every fault schedule within the configuration's bounds.
+
+    Schedules are tuples of :class:`FaultEvent` ordered by step; steps
+    range over ``1..n_steps`` (step 0 is initialization — there is no
+    checkpoint to resume from, so faulting it proves nothing the step-1
+    events don't).  ``spec_outage_propose`` additionally requires step
+    >= 2 (step 1 is never speculative) and a fault-free predecessor
+    step (its outage spans both rounds).
+    """
+    kinds = config.fault_kinds()
+    events_per_step: dict[int, list[FaultEvent]] = {}
+    for step in range(1, config.n_steps + 1):
+        events = []
+        for kind, site in product(kinds, config.sites):
+            if kind == "spec_outage_propose" and step < 2:
+                continue
+            events.append(FaultEvent(step=step, kind=kind, site=site))
+        events_per_step[step] = events
+
+    schedules: list[tuple[FaultEvent, ...]] = [()]
+    steps = sorted(events_per_step)
+    for count in range(1, config.max_faults + 1):
+        for step_combo in combinations(steps, count):
+            for combo in product(*(events_per_step[s] for s in step_combo)):
+                structural = [ev for ev in combo
+                              if ev.kind in STRUCTURAL_KINDS]
+                if len(structural) > 1:
+                    continue
+                if any(ev.kind == "spec_outage_propose"
+                       and any(other.step == ev.step - 1 for other in combo)
+                       for ev in combo):
+                    continue
+                schedules.append(tuple(combo))
+    return schedules
+
+
+def explore(config: VerifyConfig) -> ExplorationResult:
+    """Run every bounded schedule through the model; dedup states."""
+    seen: set[tuple] = set()
+    traces: list[TraceResult] = []
+    violations: list[tuple[tuple[FaultEvent, ...], Violation]] = []
+    for schedule in enumerate_schedules(config):
+        trace = ModelMachine(config, schedule).run()
+        traces.append(trace)
+        seen.update(trace.states)
+        for violation in trace.violations:
+            violations.append((schedule, violation))
+    return ExplorationResult(config=config, traces=traces,
+                             states_explored=len(seen),
+                             violations=violations)

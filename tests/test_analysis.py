@@ -53,7 +53,8 @@ class TestEngine:
     def test_rule_registry_covers_the_documented_codes(self):
         registered = [rule.code for rule in all_rules()]
         assert registered == ["RPR001", "RPR002", "RPR003", "RPR004",
-                              "RPR005", "RPR006", "RPR007", "RPR008"]
+                              "RPR005", "RPR006", "RPR007", "RPR008",
+                              "RPR009", "RPR010"]
         assert set(PROTOCOL_CODES) == {"RPR100", "RPR101", "RPR102",
                                        "RPR103", "RPR104"}
 
@@ -743,3 +744,154 @@ class TestCli:
         (sub / "__pycache__" / "c.py").write_text("z = 3\n", encoding="utf-8")
         result = analyze_paths([tmp_path])
         assert result.files == 2  # __pycache__ skipped
+
+
+# ---------------------------------------------------------------------------
+# RPR009 — assert-in-library
+
+
+class TestAssertInLibrary:
+    def test_assert_in_library_module_fires(self):
+        findings = check("""
+            def f(x):
+                assert x is not None
+                return x
+        """, module="repro.most.session")
+        assert codes(findings) == ["RPR009"]
+
+    def test_allowlisted_module_is_exempt(self):
+        findings = check("""
+            def f(x):
+                assert x is not None
+                return x
+        """, module="repro.net.breaker")
+        assert findings == []
+
+    def test_non_library_modules_are_exempt(self):
+        source = """
+            def test_f():
+                assert 1 + 1 == 2
+        """
+        assert check(source, module="tests.test_f") == []
+        assert check(source, module="examples.demo") == []
+
+    def test_every_allowlist_entry_has_a_reason(self):
+        from repro.analysis.rules import AssertInLibrary
+        for module, reason in AssertInLibrary.ALLOWLIST.items():
+            assert module.startswith("repro.")
+            assert len(reason) > 20  # a justification, not a token
+
+    def test_shipped_tree_is_clean(self):
+        result = analyze_paths(["src"], select=["RPR009"])
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RPR010 — staged public-API docstrings
+
+
+class TestPublicApiDocstring:
+    def test_missing_docstrings_fire_in_staged_subsystem(self):
+        findings = check("""
+            class Thing:
+                def do(self):
+                    return 1
+
+            def helper():
+                return 2
+        """, module="repro.verify.widget")
+        assert codes(findings) == ["RPR010"] * 4  # module, class, method, fn
+
+    def test_documented_api_passes(self):
+        findings = check('''
+            """Module doc."""
+
+            class Thing:
+                """Class doc."""
+
+                def do(self):
+                    """Method doc."""
+                    return self._hidden()
+
+                def _hidden(self):
+                    return 1
+
+            def _private():
+                return 2
+        ''', module="repro.analysis.widget")
+        assert findings == []
+
+    def test_unstaged_subsystems_are_exempt(self):
+        findings = check("""
+            def helper():
+                return 2
+        """, module="repro.coordinator.widget")
+        assert findings == []
+
+    def test_dunder_methods_are_exempt(self):
+        findings = check('''
+            """Module doc."""
+
+            class Thing:
+                """Class doc."""
+
+                def __init__(self):
+                    self.x = 1
+        ''', module="repro.verify.widget")
+        assert findings == []
+
+    def test_staged_packages_are_clean(self):
+        result = analyze_paths(["src/repro/analysis", "src/repro/verify"],
+                               select=["RPR010"])
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# the shared parse cache
+
+
+class TestContextCache:
+    def test_repeated_loads_reuse_the_parse(self, tmp_path):
+        from repro.analysis.engine import load_context
+        path = tmp_path / "m.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        first = load_context(path)
+        assert load_context(path) is first
+
+    def test_rewrite_invalidates(self, tmp_path):
+        from repro.analysis.engine import load_context
+        path = tmp_path / "m.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        first = load_context(path)
+        path.write_text("y = 22\n", encoding="utf-8")
+        second = load_context(path)
+        assert second is not first
+        assert "y = 22" in second.source
+
+    def test_clear_context_cache(self, tmp_path):
+        from repro.analysis.engine import clear_context_cache, load_context
+        path = tmp_path / "m.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        first = load_context(path)
+        clear_context_cache()
+        assert load_context(path) is not first
+
+    def test_parse_error_on_disk_is_an_rpr000_finding(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n", encoding="utf-8")
+        result = analyze_paths([tmp_path])
+        assert codes(result.findings) == [PARSE_ERROR_CODE]
+        assert result.files == 1
+
+
+class TestSuppressionRoundTrip:
+    def test_suppressed_count_survives_json_round_trip(self):
+        source = ('def f(verdict):\n'
+                  '    a = verdict["state"]  # noqa: RPR002\n'
+                  '    return verdict.get("readings")\n')
+        result = analyze_source(source, path="pkg/x.py", module="pkg.x")
+        assert result.suppressed == 1
+        assert codes(result.findings) == ["RPR002"]
+        loaded = load_report(render_json(result))
+        assert loaded.suppressed == 1
+        assert loaded.findings == result.findings

@@ -1,0 +1,308 @@
+"""The whole-program layer: call-graph resolution and dataflow passes.
+
+The headline fixture is the one the per-file rules *cannot* catch: a
+sim-scoped module calling an innocent-looking helper in ``repro.util``
+that reads the wall clock two hops down.  The per-file RPR001 pass over
+the same tree is asserted clean, proving the inter-procedural pass adds
+real reach rather than re-reporting.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.callgraph import ProjectIndex
+from repro.analysis.dataflow import analyze_project, clock_taint
+from repro.analysis.engine import analyze_paths, clear_context_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_context_cache()
+    yield
+    clear_context_cache()
+
+
+def write_tree(root, files: dict[str, str]) -> None:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# index construction and name resolution
+
+
+class TestProjectIndex:
+    def test_aliased_import_resolves(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/util/helper.py": """
+                def work():
+                    return 1
+            """,
+            "src/repro/most/user.py": """
+                import repro.util.helper as h
+                def go():
+                    return h.work()
+            """,
+        })
+        index = ProjectIndex.build([tmp_path / "src"])
+        (site,) = index.calls["repro.most.user.go"]
+        assert site.target == "repro.util.helper.work"
+        assert site.resolved.qualname == "repro.util.helper.work"
+
+    def test_from_import_with_rename_resolves(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/util/helper.py": """
+                def work():
+                    return 1
+            """,
+            "src/repro/most/user.py": """
+                from repro.util.helper import work as w
+                def go():
+                    return w()
+            """,
+        })
+        index = ProjectIndex.build([tmp_path / "src"])
+        (site,) = index.calls["repro.most.user.go"]
+        assert site.resolved.qualname == "repro.util.helper.work"
+
+    def test_package_reexport_chain_resolves(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/util/__init__.py": """
+                from repro.util.inner import work
+            """,
+            "src/repro/util/inner.py": """
+                from repro.util.impl import work
+            """,
+            "src/repro/util/impl.py": """
+                def work():
+                    return 1
+            """,
+            "src/repro/most/user.py": """
+                from repro.util import work
+                def go():
+                    return work()
+            """,
+        })
+        index = ProjectIndex.build([tmp_path / "src"])
+        (site,) = index.calls["repro.most.user.go"]
+        assert site.resolved.qualname == "repro.util.impl.work"
+
+    def test_self_method_dispatch_resolves(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/most/user.py": """
+                class Runner:
+                    def step(self):
+                        return self.helper()
+                    def helper(self):
+                        return 1
+            """,
+        })
+        index = ProjectIndex.build([tmp_path / "src"])
+        (site,) = index.calls["repro.most.user.Runner.step"]
+        assert site.resolved.qualname == "repro.most.user.Runner.helper"
+
+    def test_unresolvable_dynamic_call_stays_unresolved(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/most/user.py": """
+                def go(callback):
+                    return callback.run()
+            """,
+        })
+        index = ProjectIndex.build([tmp_path / "src"])
+        (site,) = index.calls["repro.most.user.go"]
+        assert site.resolved is None
+
+    def test_callers_of(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/util/helper.py": """
+                def work():
+                    return 1
+            """,
+            "src/repro/most/a.py": """
+                from repro.util.helper import work
+                def one():
+                    return work()
+                def two():
+                    return work()
+            """,
+        })
+        index = ProjectIndex.build([tmp_path / "src"])
+        callers = {s.caller
+                   for s in index.callers_of("repro.util.helper.work")}
+        assert callers == {"repro.most.a.one", "repro.most.a.two"}
+
+
+# ---------------------------------------------------------------------------
+# wall-clock taint (inter-procedural RPR001)
+
+
+CROSS_MODULE_CLOCK = {
+    # an out-of-scope helper package hiding a wall-clock read two hops down
+    "src/repro/util/timing.py": """
+        import time
+
+        def stamp():
+            return time.monotonic()
+
+        def elapsed_tag():
+            return stamp()
+    """,
+    # the sim-scoped caller: nothing in THIS file touches the clock
+    "src/repro/coordinator/steps.py": """
+        from repro.util.timing import elapsed_tag
+
+        def label_step(step):
+            return f"{step}-{elapsed_tag()}"
+    """,
+}
+
+
+class TestInterproceduralClockPurity:
+    def test_taint_chain_reaches_the_clock(self, tmp_path):
+        write_tree(tmp_path, CROSS_MODULE_CLOCK)
+        index = ProjectIndex.build([tmp_path / "src"])
+        taint = clock_taint(index)
+        assert taint["repro.util.timing.stamp"] == ("time.monotonic",)
+        assert taint["repro.util.timing.elapsed_tag"] == (
+            "repro.util.timing.stamp", "time.monotonic")
+        assert "repro.coordinator.steps.label_step" in taint
+
+    def test_cross_module_violation_flagged_where_per_file_is_blind(
+            self, tmp_path):
+        write_tree(tmp_path, CROSS_MODULE_CLOCK)
+        # the per-file rule sees nothing: the sim-scoped file is clean in
+        # isolation and the helper module is out of RPR001's scope
+        per_file = analyze_paths([tmp_path / "src"], select=["RPR001"])
+        assert per_file.findings == []
+        # the whole-program pass pins the leak at the boundary call site
+        project = analyze_project([tmp_path / "src"])
+        (finding,) = project.findings
+        assert finding.code == "RPR001"
+        assert finding.path.endswith("steps.py")
+        assert "time.monotonic" in finding.message
+        assert "repro.util.timing.elapsed_tag" in finding.message
+
+    def test_in_scope_callee_not_double_reported(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/net/clocky.py": """
+                import time
+                def now():
+                    return time.time()
+            """,
+            "src/repro/net/user.py": """
+                from repro.net.clocky import now
+                def go():
+                    return now()
+            """,
+        })
+        # per-file already flags clocky.now's body; the project pass must
+        # not re-flag the in-scope call into it
+        project = analyze_project([tmp_path / "src"])
+        assert project.findings == []
+        per_file = analyze_paths([tmp_path / "src"], select=["RPR001"])
+        assert len(per_file.findings) == 1
+
+    def test_noqa_on_the_call_site_suppresses(self, tmp_path):
+        files = dict(CROSS_MODULE_CLOCK)
+        files["src/repro/coordinator/steps.py"] = """
+            from repro.util.timing import elapsed_tag
+
+            def label_step(step):
+                return f"{step}-{elapsed_tag()}"  # noqa: RPR001
+        """
+        write_tree(tmp_path, files)
+        project = analyze_project([tmp_path / "src"])
+        assert project.findings == []
+        assert project.suppressed == 1
+
+    def test_select_excludes_the_pass(self, tmp_path):
+        write_tree(tmp_path, CROSS_MODULE_CLOCK)
+        project = analyze_project([tmp_path / "src"], select=["RPR005"])
+        assert project.findings == []
+
+
+# ---------------------------------------------------------------------------
+# trampoline receivers (inter-procedural RPR005)
+
+
+class TestInterproceduralBroadExcept:
+    def test_receiver_that_drops_the_exception_fires(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/most/flow.py": """
+                def sink(error):
+                    return 0
+
+                def guarded(step):
+                    try:
+                        return step()
+                    except Exception as exc:
+                        sink(exc)
+                        return None
+            """,
+        })
+        project = analyze_project([tmp_path / "src"])
+        (finding,) = project.findings
+        assert finding.code == "RPR005"
+        assert "repro.most.flow.sink" in finding.message
+        # ... and the per-file rule alone exempted this trampoline
+        per_file = analyze_paths([tmp_path / "src"], select=["RPR005"])
+        assert per_file.findings == []
+
+    def test_receiver_that_uses_the_exception_passes(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/most/flow.py": """
+                def sink(error):
+                    return str(error)
+
+                def guarded(step):
+                    try:
+                        return step()
+                    except Exception as exc:
+                        sink(exc)
+                        return None
+            """,
+        })
+        assert analyze_project([tmp_path / "src"]).findings == []
+
+    def test_unresolvable_receiver_gets_benefit_of_the_doubt(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/most/flow.py": """
+                def guarded(step, reporter):
+                    try:
+                        return step()
+                    except Exception as exc:
+                        reporter.fail(exc)
+                        return None
+            """,
+        })
+        assert analyze_project([tmp_path / "src"]).findings == []
+
+    def test_keyword_passed_exception_is_tracked(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/most/flow.py": """
+                def sink(*, error):
+                    return 0
+
+                def guarded(step):
+                    try:
+                        return step()
+                    except Exception as exc:
+                        sink(error=exc)
+                        return None
+            """,
+        })
+        (finding,) = analyze_project([tmp_path / "src"]).findings
+        assert finding.code == "RPR005"
+
+
+# ---------------------------------------------------------------------------
+# the shipped tree itself
+
+
+class TestShippedTree:
+    def test_whole_program_pass_is_clean_on_the_repo(self):
+        result = analyze_project(["src"])
+        assert result.findings == []
