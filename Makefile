@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint analyze verify verify-smoke smoke monitor-smoke \
-	chaos-smoke bench bench-perf bench-perf-smoke validate-bench check
+	chaos-smoke fleet-smoke bench bench-perf bench-perf-smoke \
+	bench-fleet bench-fleet-smoke validate-bench check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -32,6 +33,9 @@ monitor-smoke:
 chaos-smoke:
 	$(PYTHON) scripts/chaos_smoke.py
 
+fleet-smoke:
+	$(PYTHON) scripts/fleet_smoke.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -44,8 +48,17 @@ bench-perf:
 bench-perf-smoke:
 	$(PYTHON) benchmarks/bench_tperf_ntcp.py --smoke
 
+# Full multi-tenant fleet campaign; regenerates the committed repo-root
+# BENCH_tfleet.json (100 experiments over 8 shared sites).
+bench-fleet:
+	$(PYTHON) benchmarks/bench_tfleet.py
+
+# Shortened CI gate: same campaign shape, writes benchmarks/out/ only.
+bench-fleet-smoke:
+	$(PYTHON) benchmarks/bench_tfleet.py --smoke
+
 validate-bench:
 	$(PYTHON) scripts/validate_bench.py
 
 check: lint analyze verify test smoke monitor-smoke chaos-smoke \
-	bench-perf-smoke validate-bench
+	fleet-smoke bench-perf-smoke bench-fleet-smoke validate-bench

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""CI smoke target: the multi-tenant fleet holds its guarantees.
+
+A short campaign (4 tenants x 2 runs over 4 shared sites, 2 sites per
+lease) exercised twice (``repro.fleet``):
+
+1. **Clean** — every experiment completes, the fair-share queue keeps the
+   max/min tenant completion ratio bounded, per-tenant at-most-once holds
+   (zero duplicate executes attributed to any lease), one sampled
+   tenant's history is bit-exact against its solo run, and an identity
+   the fleet never admitted is refused with a ``SecurityError``.
+2. **Seeded outages** — the same campaign under a deterministic outage
+   plan on the *shared* sites: no tenant is starved, the multi-tenant
+   chaos invariants (completion, monotone commits, per-lease
+   at-most-once, bit-exactness when undegraded) all pass.
+
+Exits non-zero on any failure, so CI can gate on ``make fleet-smoke``.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.chaos import (
+    arm_fleet_outages,
+    check_fleet_invariants,
+    make_fleet_outage_plan,
+)
+from repro.fleet import (
+    ExperimentRequest,
+    FleetScheduler,
+    SitePool,
+    TenantRegistry,
+    build_fleet_grid,
+    solo_displacement_history,
+)
+from repro.net import RemoteException
+
+N_TENANTS = 4
+RUNS_PER_TENANT = 3
+N_SITES = 4
+SITES_PER_LEASE = 2
+N_STEPS = 10
+FAIRNESS_BOUND = 1.5
+OUTAGE_SEED = 7
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def requests(*, degradation: bool = False) -> list:
+    out = []
+    for i in range(N_TENANTS):
+        tenant = f"t{i:02d}"
+        scale = 0.75 + 0.5 * i / (N_TENANTS - 1)
+        for run in range(RUNS_PER_TENANT):
+            out.append(ExperimentRequest(
+                tenant=tenant, run_id=f"{tenant}-r{run}", n_steps=N_STEPS,
+                n_sites=SITES_PER_LEASE, motion_scale=scale,
+                degradation=degradation))
+    return out
+
+
+def build_fleet():
+    grid = build_fleet_grid(N_SITES)
+    pool = SitePool(grid.kernel, grid.sites.values())
+    registry = TenantRegistry(grid)
+    return grid, pool, registry, FleetScheduler(grid, pool, registry)
+
+
+def probe_outsider(grid, registry) -> None:
+    outsider = registry.outsider_client()
+    site = next(iter(grid.sites.values()))
+    seen = {}
+
+    def probe():
+        try:
+            yield from outsider.propose(site.handle, "outsider-probe", [])
+        except RemoteException as exc:
+            seen["remote_type"] = exc.remote_type
+
+    grid.kernel.run(until=grid.kernel.process(probe(), name="outsider"))
+    if seen.get("remote_type") != "SecurityError":
+        fail("outsider NTCP call was not refused by GSI authorization")
+    print("    outsider NTCP call refused (SecurityError)")
+
+
+def main() -> int:
+    n = N_TENANTS * RUNS_PER_TENANT
+
+    print(f"[1] clean campaign ({n} experiments, {N_SITES} shared sites)")
+    grid, pool, registry, fleet = build_fleet()
+    reqs = requests()
+    for request in reqs:
+        fleet.submit(request)
+    result = fleet.run()
+    summary = result.summary()
+    if summary["completed"] != n:
+        fail(f"only {summary['completed']}/{n} experiments completed")
+    if summary["duplicate_executes"] != 0:
+        fail("duplicate executes attributed to a lease on the shared pool")
+    ratio = result.completion_ratio()
+    if ratio > FAIRNESS_BOUND:
+        fail(f"fairness ratio {ratio:.2f} exceeds bound {FAIRNESS_BOUND}")
+    sampled = result.outcomes[-1]
+    solo = solo_displacement_history(sampled.request)
+    if not np.array_equal(sampled.result.displacement_history(), solo):
+        fail(f"run {sampled.run_id} differs from its solo history")
+    print(f"    {summary['completed']} completed, fairness {ratio:.2f}, "
+          f"0 duplicate executes, {sampled.run_id} bit-exact vs solo")
+    probe_outsider(grid, registry)
+
+    print(f"[2] seeded outages on shared sites (seed {OUTAGE_SEED})")
+    grid, pool, registry, fleet = build_fleet()
+    for request in requests(degradation=True):
+        fleet.submit(request)
+    plan = make_fleet_outage_plan(OUTAGE_SEED, sorted(grid.sites),
+                                  n_events=3)
+    arm_fleet_outages(grid, plan)
+    result = fleet.run()
+    verdict = check_fleet_invariants(result.outcomes)
+    for violation in verdict["violations"]:
+        print(f"    ! {violation}")
+    if not verdict["ok"]:
+        fail("multi-tenant chaos invariants violated")
+    ratio = result.completion_ratio()
+    if ratio > 2.0:
+        fail(f"outages starved a tenant (completion ratio {ratio:.2f})")
+    print(f"    {result.summary()['completed']}/{n} completed under "
+          f"{len(plan)} outages, fairness {ratio:.2f}, "
+          f"{verdict['duplicate_executes']} duplicate requests absorbed")
+
+    print("fleet smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,11 +2,18 @@
 """Validate the committed benchmark comparison documents.
 
 Checks every ``BENCH_*.json`` at the repo root (and the smoke-mode
-document under ``benchmarks/out/``, when present) against the
-``repro.bench/v1`` schema, and re-asserts the performance floors the
-documents exist to witness: pipelined stepping >= 1.5x aggregate steps/s
-over sequential, ensembles >= half their variant count in aggregate
-variant-steps/s, committed histories bit-exact.
+documents under ``benchmarks/out/``, when present) against the
+``repro.bench/v1`` schema, and re-asserts the floors each document
+exists to witness:
+
+* stepping-mode documents (``BENCH_tperf_ntcp.json``) — pipelined
+  stepping >= 1.5x aggregate steps/s over sequential, ensembles >= half
+  their variant count in aggregate variant-steps/s, committed histories
+  bit-exact;
+* fleet documents (``BENCH_tfleet.json``) — every experiment completed,
+  zero duplicate executes, fairness ratio within its bound, histories
+  bit-exact against solo runs, the unauthorized call rejected, and (for
+  the committed document) >= 100 experiments over <= 8 shared sites.
 
 Run:  python scripts/validate_bench.py   (or ``make validate-bench``)
 """
@@ -21,9 +28,8 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.telemetry.schema import validate_bench_payload  # noqa: E402
 
 
-def check(path: pathlib.Path, *, committed: bool) -> None:
-    payload = json.loads(path.read_text())
-    validate_bench_payload(payload)
+def check_stepping(path: pathlib.Path, payload: dict, *,
+                   committed: bool) -> None:
     speed = payload["speedups"]
     assert payload["bit_exact"]["pipelined"], f"{path}: pipelined not bit-exact"
     assert payload["bit_exact"]["ensemble_base_variant"], \
@@ -40,6 +46,41 @@ def check(path: pathlib.Path, *, committed: bool) -> None:
           f"ensemble {speed['ensemble_aggregate_variant_steps_per_s']:.2f}x)")
 
 
+def check_fleet(path: pathlib.Path, payload: dict, *,
+                committed: bool) -> None:
+    config = payload["config"]
+    fleet = payload["fleet"]
+    assert fleet["completed"] == config["n_experiments"], \
+        f"{path}: not every experiment completed"
+    assert fleet["duplicate_executes"] == 0, \
+        f"{path}: duplicate executes on shared sites"
+    assert payload["fairness"]["within_bound"], \
+        f"{path}: fairness ratio exceeds its bound"
+    assert payload["bit_exact"]["solo_vs_fleet"], \
+        f"{path}: fleet histories not bit-exact vs solo runs"
+    assert payload["security"]["unauthorized_rejected"], \
+        f"{path}: unauthorized call was not rejected"
+    if committed:
+        assert config["n_experiments"] >= 100, \
+            f"{path}: committed fleet document needs >= 100 experiments"
+        assert config["n_sites"] <= 8, \
+            f"{path}: committed fleet document needs <= 8 shared sites"
+    print(f"  {path.relative_to(ROOT)}: OK "
+          f"({config['n_experiments']} experiments / "
+          f"{config['n_sites']} sites, fairness "
+          f"{payload['fairness']['completion_ratio']:.2f} <= "
+          f"{payload['fairness']['bound']})")
+
+
+def check(path: pathlib.Path, *, committed: bool) -> None:
+    payload = json.loads(path.read_text())
+    validate_bench_payload(payload)
+    if payload["experiment"] == "tfleet":
+        check_fleet(path, payload, committed=committed)
+    else:
+        check_stepping(path, payload, committed=committed)
+
+
 def main() -> int:
     committed = sorted(ROOT.glob("BENCH_*.json"))
     if not committed:
@@ -48,9 +89,10 @@ def main() -> int:
     print("validating benchmark documents (repro.bench/v1):")
     for path in committed:
         check(path, committed=True)
-    smoke = ROOT / "benchmarks" / "out" / "BENCH_tperf_ntcp.smoke.json"
-    if smoke.exists():
-        check(smoke, committed=False)
+    for name in ("BENCH_tperf_ntcp.smoke.json", "BENCH_tfleet.smoke.json"):
+        smoke = ROOT / "benchmarks" / "out" / name
+        if smoke.exists():
+            check(smoke, committed=False)
     return 0
 
 

@@ -9,8 +9,9 @@ plugins (:mod:`repro.control`), the data systems (:mod:`repro.daq`,
 :mod:`repro.nsds`, :mod:`repro.repository`), the observation/collaboration
 layer (:mod:`repro.telepresence`, :mod:`repro.chef`), the MS-PSDS
 coordinator (:mod:`repro.coordinator`), the run-wide telemetry plane
-(:mod:`repro.telemetry`), and the assembled experiments
-(:mod:`repro.most`, :mod:`repro.mini_most`).
+(:mod:`repro.telemetry`), the assembled experiments
+(:mod:`repro.most`, :mod:`repro.mini_most`), and the multi-tenant
+experiment fleet (:mod:`repro.fleet`).
 
 The names re-exported here are the curated public API — the set a typical
 experiment script needs, importable from the top level::
@@ -90,6 +91,16 @@ from repro.most import (
     run_simulation_only,
 )
 
+# -- multi-tenant fleet ------------------------------------------------------
+from repro.fleet import (
+    ExperimentRequest,
+    FleetResult,
+    FleetScheduler,
+    SitePool,
+    TenantRegistry,
+    build_fleet_grid,
+)
+
 __all__ = [
     # simulation substrate
     "Kernel",
@@ -144,4 +155,11 @@ __all__ = [
     "build_most",
     "run_dry_run",
     "run_simulation_only",
+    # multi-tenant fleet
+    "ExperimentRequest",
+    "FleetResult",
+    "FleetScheduler",
+    "SitePool",
+    "TenantRegistry",
+    "build_fleet_grid",
 ]

@@ -56,7 +56,7 @@ from repro.analysis.reporters import (
     render_text,
     validate_report,
 )
-from repro.analysis import rules as _rules  # registers RPR001-RPR008
+from repro.analysis import rules as _rules  # registers RPR001-RPR010
 
 del _rules
 

@@ -1,4 +1,4 @@
-"""The repo-specific rules (``RPR001``–``RPR008``).
+"""The repo-specific rules (``RPR001``–``RPR010``).
 
 Each rule machine-checks one invariant the codebase otherwise only states
 in prose (docstrings, DESIGN.md, the telemetry schema).  They are
@@ -687,57 +687,6 @@ class MutableDefaultArgument(Rule):
 
 
 # ---------------------------------------------------------------------------
-# RPR008 — deprecated scenario entry points
-
-
-@register
-class DeprecatedScenarioShim(Rule):
-    """No new callers of the deprecated ``run_*`` scenario shims.
-
-    ``run_public_experiment``, ``run_public_with_resume``,
-    ``run_degraded_experiment`` and ``run_monitored_experiment`` are
-    one-release deprecation shims over
-    :class:`repro.most.session.ExperimentSession`.  Production code,
-    examples, benchmarks and scripts must compose the session builder
-    instead; only the shims' own module (where they are defined), the
-    session module, and tests (which cover the shims' parity and
-    warnings) may still call them.
-    """
-
-    code = "RPR008"
-    name = "deprecated-scenario-shim"
-    summary = ("call ExperimentSession, not the deprecated "
-               "run_*_experiment scenario shims (tests exempt)")
-
-    DEPRECATED = {
-        "run_public_experiment",
-        "run_public_with_resume",
-        "run_degraded_experiment",
-        "run_monitored_experiment",
-    }
-    EXEMPT_MODULES = {"repro.most.scenario", "repro.most.session"}
-
-    def check(self, ctx: FileContext) -> Iterable[Finding]:
-        """Yield this rule's violations in ``ctx`` (see class doc)."""
-        if ctx.module in self.EXEMPT_MODULES:
-            return
-        if ctx.module == "tests" or ctx.module.startswith("tests."):
-            return
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            chain = _dotted(node.func)
-            if chain is None:
-                continue
-            name = chain.rsplit(".", 1)[-1]
-            if name in self.DEPRECATED:
-                yield ctx.finding(
-                    node, self.code,
-                    f"`{name}` is a deprecated scenario shim; compose the "
-                    "run with repro.most.ExperimentSession instead")
-
-
-# ---------------------------------------------------------------------------
 # RPR009 — assert statements in shipped library code
 
 
@@ -808,9 +757,10 @@ class PublicApiDocstring(Rule):
 
     Staged rollout: rather than flooding the gate with hundreds of
     findings, the rule applies only to the subsystems listed in
-    ``ENABLED_SUBSYSTEMS`` — currently the analysis and verification
-    packages, which are the newest code and the reference for the
-    convention.  Widening the rollout is a one-line change here.
+    ``ENABLED_SUBSYSTEMS`` — currently the analysis, verification,
+    fleet, and GSI packages, which are the newest code and the
+    reference for the convention.  Widening the rollout is a one-line
+    change here.
 
     Checked: the module docstring, public top-level functions and
     classes, and public methods of public classes.  Underscore-private
@@ -820,9 +770,11 @@ class PublicApiDocstring(Rule):
     code = "RPR010"
     name = "public-api-docstring"
     summary = ("public modules/classes/functions in staged subsystems "
-               "need docstrings (currently repro.analysis, repro.verify)")
+               "need docstrings (currently repro.analysis, repro.verify, "
+               "repro.fleet, repro.gsi)")
 
-    ENABLED_SUBSYSTEMS = ("repro.analysis", "repro.verify")
+    ENABLED_SUBSYSTEMS = ("repro.analysis", "repro.verify",
+                          "repro.fleet", "repro.gsi")
 
     def _enabled(self, module: str) -> bool:
         return any(module == scope or module.startswith(scope + ".")
@@ -838,7 +790,7 @@ class PublicApiDocstring(Rule):
             yield ctx.finding(
                 node, self.code,
                 f"public {kind} `{qual}` has no docstring; state its "
-                "contract (staged rule: repro.analysis/repro.verify)")
+                "contract (staged rule; see ENABLED_SUBSYSTEMS)")
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         """Yield this rule's violations in ``ctx`` (see class doc)."""

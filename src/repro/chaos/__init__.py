@@ -9,6 +9,12 @@ full deployment under each schedule, and :func:`check_invariants` passes
 judgement — at-most-once held, the commit sequence stayed monotone,
 results match the clean baseline bit-exact unless a surrogate served,
 and every degraded step is labelled.
+
+The multi-tenant extension applies the same discipline to fleet runs:
+:func:`make_fleet_outage_plan` draws seeded outages on *shared* pool
+sites, :func:`arm_fleet_outages` installs them on a fleet grid, and
+:func:`check_fleet_invariants` re-judges every invariant per tenant —
+including bit-exactness against each tenant's solo run.
 """
 
 from repro.chaos.campaign import (
@@ -18,8 +24,12 @@ from repro.chaos.campaign import (
     ChaosEvent,
     ChaosPlan,
     ChaosRunReport,
+    FleetOutage,
+    arm_fleet_outages,
     arm_plan,
+    check_fleet_invariants,
     check_invariants,
+    make_fleet_outage_plan,
     make_plan,
 )
 
@@ -30,7 +40,11 @@ __all__ = [
     "ChaosRunReport",
     "CHAOS_KINDS",
     "CHAOS_SITES",
+    "FleetOutage",
+    "arm_fleet_outages",
     "arm_plan",
+    "check_fleet_invariants",
     "check_invariants",
+    "make_fleet_outage_plan",
     "make_plan",
 ]

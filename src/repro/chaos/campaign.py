@@ -382,3 +382,128 @@ class ChaosCampaign:
 
     def run(self, seeds) -> list[ChaosRunReport]:
         return [self.run_one(int(seed)) for seed in seeds]
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant (fleet) extension: seeded outages on *shared* sites plus the
+# per-tenant form of the invariant sweep.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FleetOutage:
+    """One scheduled coordinator—site link outage on a shared pool site.
+
+    Fleet outages are wall-clock (simulated time) rather than
+    step-triggered: a pooled site serves many tenants' steps, so "site-3
+    is down from t=40 for 25 s" is the natural failure unit — whoever
+    holds the lease at the time eats the fault.
+    """
+
+    site: str
+    start: float
+    duration: float
+
+
+def make_fleet_outage_plan(seed: int, site_names, *, n_events: int = 4,
+                           window: tuple[float, float] = (10.0, 300.0),
+                           duration: tuple[float, float] = (5.0, 40.0),
+                           ) -> list[FleetOutage]:
+    """Draw a deterministic schedule of shared-site outages from ``seed``.
+
+    Durations are bounded so a fault-tolerant tenant *can* retry through
+    each one; the fairness question the fleet tests ask is whether the
+    tenant unlucky enough to hold the faulted lease still finishes in
+    bounded time relative to its neighbours.
+    """
+    if n_events < 0:
+        raise ConfigurationError("n_events must be >= 0")
+    sites = list(site_names)
+    if not sites:
+        raise ConfigurationError("a fleet outage plan needs target sites")
+    rng = np.random.default_rng(seed)
+    events = [FleetOutage(
+        site=sites[int(rng.integers(len(sites)))],
+        start=float(rng.uniform(*window)),
+        duration=float(rng.uniform(*duration)))
+        for _ in range(n_events)]
+    events.sort(key=lambda e: (e.start, e.site))
+    return events
+
+
+def arm_fleet_outages(grid, plan) -> None:
+    """Install a fleet outage plan on a grid (duck-typed: needs ``faults``).
+
+    Links are taken down between ``coord`` and each event's site host —
+    on a fleet grid, site name == host name.
+    """
+    for event in plan:
+        grid.faults.schedule_outage("coord", event.site, start=event.start,
+                                    duration=event.duration)
+
+
+def check_fleet_invariants(outcomes, *, baselines=None,
+                           expect_completion: bool = True) -> dict[str, Any]:
+    """The invariant sweep, per tenant, over a fleet run's outcomes.
+
+    ``outcomes`` is an iterable of
+    :class:`~repro.fleet.scheduler.TenantOutcome`; ``baselines`` maps
+    ``run_id`` to a solo displacement history
+    (:func:`~repro.fleet.scheduler.solo_displacement_history`).  Checked
+    per outcome:
+
+    * the run completed (when ``expect_completion``);
+    * its commit sequence is contiguous and strictly monotone;
+    * per-lease at-most-once: for a completed, undegraded run, each
+      leased site's ``executed`` delta is exactly committed steps + 1
+      (the step-0 rest measurement) — duplicate execute *requests* are
+      legal, double *execution* is not;
+    * bit-exactness against the solo baseline when undegraded.
+
+    Returns ``{"ok", "violations", "by_run", "duplicate_executes"}``.
+    """
+    violations: list[str] = []
+    by_run: dict[str, dict[str, bool]] = {}
+    total_duplicates = 0
+    for outcome in outcomes:
+        checks: dict[str, bool] = {}
+        result = outcome.result
+        run = f"{outcome.tenant}/{outcome.run_id}"
+
+        completed_ok = result.completed if expect_completion else True
+        checks["completed"] = completed_ok
+        if not completed_ok:
+            violations.append(
+                f"{run}: aborted at step {result.aborted_at_step} "
+                f"({result.aborted_reason})")
+
+        sequence = [r.step for r in result.steps]
+        monotone = sequence == list(range(1, len(sequence) + 1))
+        checks["commit_sequence_monotone"] = monotone
+        if not monotone:
+            violations.append(
+                f"{run}: commit sequence not contiguous: {sequence[:10]}…")
+
+        total_duplicates += outcome.duplicate_executes()
+        no_double = True
+        if result.completed and result.degraded_steps == 0:
+            expected = len(result.steps) + 1
+            for site, delta in outcome.usage.items():
+                if delta["executed"] != expected:
+                    no_double = False
+                    violations.append(
+                        f"{run}: site {site} executed {delta['executed']} "
+                        f"transactions this lease, expected {expected}")
+        checks["no_double_execute"] = no_double
+
+        baseline = (baselines or {}).get(outcome.run_id)
+        if (baseline is not None and result.completed
+                and result.degraded_steps == 0):
+            exact = np.array_equal(result.displacement_history(), baseline)
+            checks["bit_exact_vs_solo"] = exact
+            if not exact:
+                violations.append(
+                    f"{run}: history differs from the solo baseline "
+                    f"despite zero degraded steps")
+        by_run[run] = checks
+    return {"ok": not violations, "violations": violations,
+            "by_run": by_run, "duplicate_executes": total_duplicates}

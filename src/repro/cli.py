@@ -11,6 +11,8 @@ Subcommands map to the experiments a user most often wants to replay:
   the critical-path blame table;
 * ``chaos`` — run a seeded chaos campaign: randomized fault schedules
   over the full assembly, protocol-invariant verdicts per seed;
+* ``fleet`` — run a multi-tenant campaign over a shared site pool:
+  fair-share leases, per-tenant GSI identity, optional seeded outages;
 * ``mini-most`` — run the tabletop rig (optionally on the kinetic
   simulator);
 * ``followon`` — run one of the §5 experiments;
@@ -182,6 +184,77 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(report.ok for report in reports) else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import (
+        arm_fleet_outages,
+        check_fleet_invariants,
+        make_fleet_outage_plan,
+    )
+    from repro.fleet import (
+        ExperimentRequest,
+        FleetScheduler,
+        SitePool,
+        TenantRegistry,
+        build_fleet_grid,
+    )
+
+    grid = build_fleet_grid(args.sites)
+    pool = SitePool(grid.kernel, grid.sites.values())
+    registry = TenantRegistry(grid)
+    fleet = FleetScheduler(grid, pool, registry)
+    degradation = args.outages > 0 and not args.no_failover
+    for i in range(args.tenants):
+        tenant = f"t{i:02d}"
+        scale = 0.75 + 0.5 * i / max(args.tenants - 1, 1)
+        for run in range(args.runs):
+            fleet.submit(ExperimentRequest(
+                tenant=tenant, run_id=f"{tenant}-r{run}",
+                n_steps=args.steps, n_sites=args.sites_per_lease,
+                motion_scale=scale, degradation=degradation))
+    plan = None
+    if args.outages > 0:
+        plan = make_fleet_outage_plan(args.seed, sorted(grid.sites),
+                                      n_events=args.outages)
+        arm_fleet_outages(grid, plan)
+    n = args.tenants * args.runs
+    faulted = (f", {len(plan)} seeded outages (seed {args.seed})"
+               if plan else "")
+    print(f"fleet campaign: {n} experiments ({args.tenants} tenants x "
+          f"{args.runs} runs, {args.steps} steps) over {args.sites} "
+          f"shared sites{faulted}")
+    result = fleet.run()
+    summary = result.summary()
+    verdict = check_fleet_invariants(result.outcomes,
+                                     expect_completion=not plan)
+    print(f"  completed           : {summary['completed']}/{n}")
+    print(f"  campaign duration   : {summary['duration']:.1f} s (simulated)")
+    print(f"  peak queue depth    : {summary['peak_queue_depth']}")
+    print(f"  lease wait max/mean : {summary['lease_wait_max']:.1f} / "
+          f"{summary['lease_wait_mean']:.1f} s")
+    print(f"  fairness ratio      : {summary['completion_ratio']:.2f} "
+          "(max/min tenant completion time)")
+    print(f"  duplicate executes  : {verdict['duplicate_executes']} "
+          "absorbed (at-most-once held)")
+    print(f"  invariants          : "
+          f"{'OK' if verdict['ok'] else 'VIOLATED'}")
+    for violation in verdict["violations"]:
+        print(f"      ! {violation}")
+    if args.table:
+        print(f"  {'tenant':<8}{'runs':>6}{'steps':>7}{'wait max [s]':>14}"
+              f"{'degraded':>10}")
+        for tenant, stats in sorted(result.per_tenant().items()):
+            print(f"  {tenant:<8}{stats['runs']:>6}{stats['steps']:>7}"
+                  f"{stats['lease_wait_max']:>14.1f}"
+                  f"{stats['degraded_runs']:>10}")
+    if args.json:
+        doc = {"summary": summary, "tenants": result.per_tenant(),
+               "invariants": verdict}
+        print(json.dumps(doc, indent=2, sort_keys=True, default=str))
+    return 0 if verdict["ok"] else 1
+
+
 def _cmd_mini_most(args: argparse.Namespace) -> int:
     from repro.mini_most import MiniMOSTConfig, run_mini_most
 
@@ -318,6 +391,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json", action="store_true",
                          help="dump the full campaign report as JSON")
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run a multi-tenant campaign over a shared site pool")
+    p_fleet.add_argument("--tenants", type=int, default=4,
+                         help="number of tenants (default: 4)")
+    p_fleet.add_argument("--runs", type=int, default=3,
+                         help="experiments per tenant (default: 3)")
+    p_fleet.add_argument("--steps", type=int, default=10,
+                         help="steps per experiment (default: 10)")
+    p_fleet.add_argument("--sites", type=int, default=4,
+                         help="shared pool size (default: 4)")
+    p_fleet.add_argument("--sites-per-lease", type=int, default=2,
+                         help="sites each experiment leases (default: 2)")
+    p_fleet.add_argument("--outages", type=int, default=0,
+                         help="seeded shared-site outages to inject "
+                              "(default: 0)")
+    p_fleet.add_argument("--seed", type=int, default=7,
+                         help="outage plan seed (default: 7)")
+    p_fleet.add_argument("--no-failover", action="store_true",
+                         help="with outages, rely on retries alone "
+                              "(no breakers/surrogates)")
+    p_fleet.add_argument("--table", action="store_true",
+                         help="print the per-tenant roll-up table")
+    p_fleet.add_argument("--json", action="store_true",
+                         help="dump the campaign report as JSON")
+    p_fleet.set_defaults(fn=_cmd_fleet)
 
     p_mini = sub.add_parser("mini-most", help="run Mini-MOST (§3.5)")
     p_mini.add_argument("--steps", type=int, default=200)

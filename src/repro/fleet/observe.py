@@ -1,0 +1,43 @@
+"""Fleet-level observability: the roll-up SDE and its grid service.
+
+The scheduler periodically publishes a roll-up — queue depth, lease
+waits, per-tenant step rates, degraded-tenant count — through a
+:class:`FleetStatusService` hosted in the coordinator container, so any
+grid client can ``findServiceData``/``subscribe`` to fleet health the
+same way monitors watch a single experiment's SDEs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ogsi import GridService
+
+#: name of the roll-up service data element
+ROLLUP_SDE = "fleet.rollup"
+
+
+class FleetStatusService(GridService):
+    """Publishes the fleet scheduler's roll-up as service data.
+
+    SDE ``fleet.rollup`` holds the latest roll-up document (see
+    :meth:`repro.fleet.scheduler.FleetScheduler.rollup` for the shape);
+    operation ``getRollup`` returns it on demand.
+    """
+
+    def __init__(self, service_id: str = "fleet-status"):
+        super().__init__(service_id)
+
+    def on_attach(self) -> None:
+        """Expose the roll-up SDE and its query operation."""
+        self.service_data.set(ROLLUP_SDE, None)
+        self.expose("getRollup", self._op_getRollup)
+
+    def _op_getRollup(self, caller: Any) -> Any:
+        return self.service_data.value(ROLLUP_SDE)
+
+    def publish(self, rollup: dict[str, Any]) -> None:
+        """Install a new roll-up document (notifies SDE subscribers)."""
+        self.service_data.set(ROLLUP_SDE, rollup)
+        self.emit("rollup.published", queue_depth=rollup.get("queue_depth"),
+                  active_leases=rollup.get("active_leases"))

@@ -1,0 +1,287 @@
+"""Shared site pool: leases, FIFO + fair-share queueing, admission control.
+
+The paper ran exactly one hybrid experiment over its NTCP sites; the fleet
+layer multiplexes many.  A :class:`SitePool` owns the grid's
+:class:`~repro.most.assembly.SiteDeployment` slots and hands them out as
+:class:`SiteLease`\\ s — a tenant acquires ``n`` sites, runs one experiment
+against them, and releases them for the next tenant in the queue.
+
+Queueing discipline: requests wait in arrival order but are granted in
+*fair-share* order — tenants with fewer completed leases go first, FIFO
+breaking ties — and the head of the queue is never bypassed, so a large
+request (many sites) cannot be starved by a stream of small ones.
+
+Admission control rejects requests that could never be satisfied (more
+sites than the pool owns, or above the per-lease cap) and, when a queue
+bound is configured, requests that arrive while the queue is full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.core.server import STAT_KEYS
+from repro.util.errors import ConfigurationError, ProtocolError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.most.assembly import SiteDeployment
+    from repro.sim import Kernel
+    from repro.sim.events import Event
+
+
+class AdmissionError(ReproError):
+    """The pool refused a lease request at admission time."""
+
+
+@dataclass
+class SiteLease:
+    """Exclusive, time-bounded ownership of a set of pool sites.
+
+    Created by :meth:`SitePool.acquire`; the holder must eventually call
+    :meth:`SitePool.release`.  The lease snapshots each site's NTCP server
+    counters at grant time so :meth:`metrics_delta` can attribute exactly
+    the transactions this tenant ran — the per-tenant at-most-once
+    evidence the fleet invariant checks consume.
+    """
+
+    lease_id: str
+    tenant: str
+    sites: tuple["SiteDeployment", ...]
+    requested_at: float
+    granted_at: float
+    released_at: float | None = None
+    #: per-site NTCP counter snapshot taken at grant time
+    baseline: dict[str, dict[str, int]] = field(default_factory=dict,
+                                                repr=False)
+    #: per-site counter deltas, frozen by :meth:`SitePool.release`
+    usage: dict[str, dict[str, int]] | None = field(default=None, repr=False)
+
+    @property
+    def site_names(self) -> tuple[str, ...]:
+        """The leased sites' names, in grant order."""
+        return tuple(site.name for site in self.sites)
+
+    @property
+    def wait(self) -> float:
+        """Simulated seconds spent queued before the grant."""
+        return self.granted_at - self.requested_at
+
+    @property
+    def released(self) -> bool:
+        """Whether the lease has been handed back to the pool."""
+        return self.released_at is not None
+
+    def metrics_delta(self) -> dict[str, dict[str, int]]:
+        """Per-site NTCP counter deltas attributable to this lease.
+
+        While the lease is held this reads the live counters; after
+        release it returns the frozen snapshot, so the numbers cannot be
+        polluted by the site's next tenant.
+        """
+        if self.usage is not None:
+            return {name: dict(delta) for name, delta in self.usage.items()}
+        return {
+            site.name: {
+                key: site.server.metrics().get(key, 0)
+                - self.baseline[site.name].get(key, 0)
+                for key in STAT_KEYS}
+            for site in self.sites}
+
+    def duplicate_executes(self) -> int:
+        """Total duplicate execute requests absorbed across leased sites."""
+        return sum(delta["duplicate_executes"]
+                   for delta in self.metrics_delta().values())
+
+
+@dataclass
+class _Pending:
+    """One queued acquire: who wants how many sites, since when."""
+
+    tenant: str
+    n_sites: int
+    seq: int
+    requested_at: float
+    event: "Event"
+
+
+class SitePool:
+    """A fixed set of NTCP sites, acquired and released per lease.
+
+    This is the refactor of the one-deployment-owns-its-sites shape:
+    sites live in the pool for the grid's lifetime, while coordinators
+    borrow them one lease at a time.  All state changes happen at
+    simulation-event granularity on the owning kernel, so pool behaviour
+    is deterministic for a given submission order.
+    """
+
+    def __init__(self, kernel: "Kernel",
+                 sites: Iterable["SiteDeployment"], *,
+                 max_sites_per_lease: int | None = None,
+                 max_queue_depth: int | None = None):
+        self.kernel = kernel
+        self.sites: dict[str, Any] = {}
+        for site in sites:
+            if site.name in self.sites:
+                raise ConfigurationError(
+                    f"duplicate site {site.name!r} offered to the pool")
+            self.sites[site.name] = site
+        if not self.sites:
+            raise ConfigurationError("a site pool needs at least one site")
+        self.max_sites_per_lease = max_sites_per_lease
+        self.max_queue_depth = max_queue_depth
+        self._free: list[str] = sorted(self.sites)
+        self._waiting: list[_Pending] = []
+        self._seq = 0
+        self._lease_seq = 0
+        self._grant_scheduled = False
+        self.active: dict[str, SiteLease] = {}
+        self.completed_leases: dict[str, int] = {}
+        self.peak_queue_depth = 0
+        telemetry = kernel.telemetry
+        self._g_free = telemetry.gauge("fleet.pool.free_sites")
+        self._g_queue = telemetry.gauge("fleet.pool.queue_depth")
+        self._g_active = telemetry.gauge("fleet.pool.active_leases")
+        self._c_granted = telemetry.counter("fleet.pool.leases_granted")
+        self._c_rejected = telemetry.counter("fleet.pool.admission_rejected")
+        self._h_wait = telemetry.histogram("fleet.pool.lease_wait")
+        self._update_gauges()
+
+    # -- admission -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of sites the pool owns."""
+        return len(self.sites)
+
+    def queue_depth(self) -> int:
+        """Number of acquire requests currently waiting."""
+        return len(self._waiting)
+
+    def free_sites(self) -> int:
+        """Number of sites not currently leased."""
+        return len(self._free)
+
+    def validate_request(self, n_sites: int) -> None:
+        """Raise :class:`AdmissionError` if ``n_sites`` can never be granted."""
+        if n_sites < 1:
+            self._c_rejected.inc()
+            raise AdmissionError(f"a lease needs at least one site, "
+                                 f"got {n_sites}")
+        if n_sites > self.size:
+            self._c_rejected.inc()
+            raise AdmissionError(
+                f"requested {n_sites} sites but the pool owns {self.size}")
+        if (self.max_sites_per_lease is not None
+                and n_sites > self.max_sites_per_lease):
+            self._c_rejected.inc()
+            raise AdmissionError(
+                f"requested {n_sites} sites; per-lease cap is "
+                f"{self.max_sites_per_lease}")
+
+    # -- lease lifecycle -----------------------------------------------------
+    def acquire(self, tenant: str, n_sites: int = 1) -> "Event":
+        """Queue a lease request; the returned event fires with the lease.
+
+        Raises :class:`AdmissionError` immediately (before queueing) if
+        the request is unsatisfiable or the queue is full.  Use from a
+        kernel process as ``lease = yield pool.acquire(tenant, n)``.
+        """
+        self.validate_request(n_sites)
+        if (self.max_queue_depth is not None
+                and len(self._waiting) >= self.max_queue_depth):
+            self._c_rejected.inc()
+            raise AdmissionError(
+                f"lease queue is full ({self.max_queue_depth} waiting)")
+        evt = self.kernel.event(name=f"lease({tenant})")
+        self._seq += 1
+        self._waiting.append(_Pending(
+            tenant=tenant, n_sites=n_sites, seq=self._seq,
+            requested_at=self.kernel.now, event=evt))
+        self.peak_queue_depth = max(self.peak_queue_depth,
+                                    len(self._waiting))
+        self.kernel.emit("fleet.pool", "lease.requested", tenant=tenant,
+                         n_sites=n_sites, queued=len(self._waiting))
+        self._schedule_grant()
+        self._update_gauges()
+        return evt
+
+    def release(self, lease: SiteLease) -> None:
+        """Return a lease's sites to the pool and wake the queue."""
+        if lease.released:
+            raise ProtocolError(f"lease {lease.lease_id!r} already released")
+        if self.active.pop(lease.lease_id, None) is None:
+            raise ProtocolError(
+                f"lease {lease.lease_id!r} was not granted by this pool")
+        lease.usage = lease.metrics_delta()
+        lease.released_at = self.kernel.now
+        self.completed_leases[lease.tenant] = \
+            self.completed_leases.get(lease.tenant, 0) + 1
+        self._free.extend(lease.site_names)
+        self._free.sort()
+        self.kernel.emit("fleet.pool", "lease.released",
+                         lease_id=lease.lease_id, tenant=lease.tenant,
+                         held=self.kernel.now - lease.granted_at)
+        self._schedule_grant()
+        self._update_gauges()
+
+    # -- internals -----------------------------------------------------------
+    def _schedule_grant(self) -> None:
+        """Run a grant pass at the next event boundary (delay 0).
+
+        Deferring the pass — instead of granting synchronously inside
+        :meth:`acquire` — lets every same-instant request enqueue before
+        the fair-share sort picks winners.  Without it, a campaign whose
+        processes all start at t=0 hands the whole free pool to whichever
+        tenant's requests happen to run first.
+        """
+        if self._grant_scheduled:
+            return
+        self._grant_scheduled = True
+        evt = self.kernel.event(name="pool.grant")
+        evt.add_callback(self._run_grant_pass)
+        evt.succeed(None)
+
+    def _run_grant_pass(self, _event: Any = None) -> None:
+        self._grant_scheduled = False
+        self._grant_ready()
+        self._update_gauges()
+
+    def _share(self, tenant: str) -> int:
+        """A tenant's current share: completed plus in-flight leases."""
+        active = sum(1 for lease in self.active.values()
+                     if lease.tenant == tenant)
+        return self.completed_leases.get(tenant, 0) + active
+
+    def _grant_ready(self) -> None:
+        """Grant queued requests in fair-share order; never bypass the head."""
+        while self._waiting:
+            self._waiting.sort(key=lambda p: (self._share(p.tenant), p.seq))
+            head = self._waiting[0]
+            if head.n_sites > len(self._free):
+                # Head-of-line blocking is deliberate: skipping a large
+                # request to serve small ones behind it would starve it.
+                break
+            self._waiting.pop(0)
+            names = self._free[:head.n_sites]
+            del self._free[:head.n_sites]
+            self._lease_seq += 1
+            lease = SiteLease(
+                lease_id=f"lease-{self._lease_seq:04d}",
+                tenant=head.tenant,
+                sites=tuple(self.sites[name] for name in names),
+                requested_at=head.requested_at,
+                granted_at=self.kernel.now,
+                baseline={name: dict(self.sites[name].server.metrics())
+                          for name in names})
+            self.active[lease.lease_id] = lease
+            self._c_granted.inc()
+            self._h_wait.observe(lease.wait)
+            self.kernel.emit("fleet.pool", "lease.granted",
+                             lease_id=lease.lease_id, tenant=head.tenant,
+                             sites=list(names), wait=lease.wait)
+            head.event.succeed(lease)
+
+    def _update_gauges(self) -> None:
+        self._g_free.set(len(self._free))
+        self._g_queue.set(len(self._waiting))
+        self._g_active.set(len(self.active))

@@ -1,0 +1,534 @@
+"""The fleet campaign scheduler: N concurrent experiments, one shared grid.
+
+:class:`FleetScheduler` is the multi-tenant replacement for the
+one-deployment-one-coordinator shape: tenants submit
+:class:`ExperimentRequest`\\ s (directly, or exported from an
+:class:`~repro.most.session.ExperimentSession` via
+:meth:`~repro.most.session.ExperimentSession.fleet_spec`), and the
+scheduler drives every request as its own kernel process — acquire a
+lease from the :class:`~repro.fleet.pool.SitePool`, provision fresh
+substructures behind the leased NTCP servers, run a
+:class:`~repro.coordinator.SimulationCoordinator` under the tenant's GSI
+identity, optionally resume from the tenant's own checkpoint store on
+abort, register the run in NMDS under a tenant-namespaced name, release
+the lease.  Everything advances on one deterministic simulation clock.
+
+Per-lease isolation: breakers, failover surrogates (own container port
+per lease), checkpoint store, and NTCP counter attribution all live with
+the lease, never with the shared site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.coordinator import (
+    DegradationPolicy,
+    ExperimentResult,
+    FailoverManager,
+    FaultPolicy,
+    FaultTolerantFaultPolicy,
+    SimulationCoordinator,
+    SiteBinding,
+    SubstructurePredictor,
+    SurrogateSpec,
+    records_from_payloads,
+    resume_state_from_checkpoint,
+)
+from repro.fleet.observe import FleetStatusService
+from repro.fleet.pool import AdmissionError, SiteLease, SitePool
+from repro.most.assembly import provision_simulation_site
+from repro.net import BreakerConfig, CircuitBreaker
+from repro.ogsi import ServiceContainer
+from repro.repository import CheckpointPolicy, InMemoryCheckpointStore
+from repro.structural import (
+    LinearSubstructure,
+    StructuralModel,
+    kanai_tajimi_record,
+)
+from repro.util.errors import ConfigurationError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.grid import FleetGrid
+    from repro.fleet.tenants import Tenant, TenantRegistry
+    from repro.most.session import ExperimentSession
+
+
+def default_fleet_fault_policy() -> FaultTolerantFaultPolicy:
+    """The retry schedule a fleet request gets when it names none.
+
+    Shorter back-offs than the solo MOST schedule: a fleet tenant holding
+    leased sites through a transient should retry briskly so the queue
+    keeps moving.
+    """
+    return FaultTolerantFaultPolicy(max_attempts=12, backoff=5.0,
+                                    backoff_factor=2.0, max_backoff=120.0)
+
+
+@dataclass
+class ExperimentRequest:
+    """One tenant's experiment, as the fleet scheduler understands it.
+
+    ``motion_scale`` scales the ground-motion PGA so tenants can sweep
+    intensities; ``checkpoint_every > 0`` gives the run its own
+    per-tenant checkpoint store and up to ``max_resumes`` same-lease
+    resume incarnations on abort; ``degradation`` adds per-lease circuit
+    breakers and surrogate failover.
+    """
+
+    tenant: str
+    run_id: str
+    n_steps: int = 25
+    n_sites: int = 2
+    motion_scale: float = 1.0
+    fault_policy: FaultPolicy | None = None
+    checkpoint_every: int = 0
+    max_resumes: int = 1
+    resume_delay: float = 60.0
+    degradation: bool = False
+    breaker_config: BreakerConfig | None = None
+    pipeline_depth: int = 0
+
+    @classmethod
+    def from_session(cls, tenant: str, session: "ExperimentSession", *,
+                     n_sites: int = 2,
+                     motion_scale: float = 1.0) -> "ExperimentRequest":
+        """Build a request from a composed (un-run) experiment session.
+
+        The session's fault policy, resume cadence, degradation and
+        pipeline settings carry over; its config's ``n_steps`` becomes
+        the request length.
+        """
+        spec = session.fleet_spec()
+        return cls(tenant=tenant, run_id=spec["run_id"],
+                   n_steps=spec["n_steps"], n_sites=n_sites,
+                   motion_scale=motion_scale,
+                   fault_policy=spec["fault_policy"],
+                   checkpoint_every=spec["checkpoint_every"],
+                   degradation=spec["degradation"],
+                   breaker_config=spec["breaker_config"],
+                   pipeline_depth=spec["pipeline_depth"])
+
+
+@dataclass
+class TenantOutcome:
+    """What one request produced: result, lease accounting, attribution."""
+
+    request: ExperimentRequest
+    result: ExperimentResult
+    lease_id: str
+    site_names: tuple[str, ...]
+    lease_wait: float
+    submitted_at: float
+    granted_at: float
+    finished_at: float
+    resumes: int
+    #: per-site NTCP counter deltas for the lease (at-most-once evidence)
+    usage: dict[str, dict[str, int]]
+    nmds_object_id: str | None = None
+
+    @property
+    def tenant(self) -> str:
+        """The owning tenant id."""
+        return self.request.tenant
+
+    @property
+    def run_id(self) -> str:
+        """The experiment's run id."""
+        return self.request.run_id
+
+    @property
+    def completed(self) -> bool:
+        """Whether the final incarnation completed every step."""
+        return self.result.completed
+
+    @property
+    def makespan(self) -> float:
+        """Submit-to-finish simulated seconds, queueing included."""
+        return self.finished_at - self.submitted_at
+
+    def duplicate_executes(self) -> int:
+        """Duplicate execute requests absorbed across the lease's sites."""
+        return sum(delta["duplicate_executes"]
+                   for delta in self.usage.values())
+
+    def executed_total(self) -> int:
+        """Physical/numerical executes performed across the lease's sites."""
+        return sum(delta["executed"] for delta in self.usage.values())
+
+
+@dataclass
+class FleetResult:
+    """The campaign's outcome: every tenant run plus fleet-wide stats."""
+
+    outcomes: list[TenantOutcome]
+    started_at: float
+    finished_at: float
+    peak_queue_depth: int
+
+    def per_tenant(self) -> dict[str, dict[str, Any]]:
+        """Roll the outcomes up by tenant (runs, steps, waits, completion)."""
+        stats: dict[str, dict[str, Any]] = {}
+        for outcome in self.outcomes:
+            entry = stats.setdefault(outcome.tenant, {
+                "runs": 0, "completed": 0, "steps": 0,
+                "degraded_runs": 0, "duplicate_executes": 0,
+                "lease_wait_total": 0.0, "lease_wait_max": 0.0,
+                "completion_time": 0.0})
+            entry["runs"] += 1
+            entry["completed"] += 1 if outcome.completed else 0
+            entry["steps"] += outcome.result.steps_completed
+            entry["degraded_runs"] += \
+                1 if outcome.result.degraded_steps else 0
+            entry["duplicate_executes"] += outcome.duplicate_executes()
+            entry["lease_wait_total"] += outcome.lease_wait
+            entry["lease_wait_max"] = max(entry["lease_wait_max"],
+                                          outcome.lease_wait)
+            entry["completion_time"] = max(
+                entry["completion_time"],
+                outcome.finished_at - self.started_at)
+        return stats
+
+    def completion_ratio(self) -> float:
+        """Max/min ratio of tenants' campaign completion times.
+
+        The fairness figure the bench reports: a starved tenant finishes
+        its runs much later than the rest, inflating this ratio.
+        """
+        times = [entry["completion_time"]
+                 for entry in self.per_tenant().values()]
+        if not times:
+            return 1.0
+        low = min(times)
+        if low <= 0.0:
+            return float("inf")
+        return max(times) / low
+
+    def summary(self) -> dict[str, Any]:
+        """The fleet-run headline numbers in one dict."""
+        waits = [outcome.lease_wait for outcome in self.outcomes]
+        return {
+            "experiments": len(self.outcomes),
+            "completed": sum(1 for o in self.outcomes if o.completed),
+            "tenants": len(self.per_tenant()),
+            "duration": self.finished_at - self.started_at,
+            "completion_ratio": self.completion_ratio(),
+            "peak_queue_depth": self.peak_queue_depth,
+            "duplicate_executes": sum(o.duplicate_executes()
+                                      for o in self.outcomes),
+            "lease_wait_max": max(waits, default=0.0),
+            "lease_wait_mean": (sum(waits) / len(waits)) if waits else 0.0,
+        }
+
+
+class FleetScheduler:
+    """Drives a campaign of experiments over one grid, pool, and registry.
+
+    Construct one scheduler per grid (it deploys the fleet status service
+    into the grid's coordinator container), :meth:`submit` requests, then
+    :meth:`run` once — the deterministic event loop runs every request to
+    completion and returns a :class:`FleetResult`.
+    """
+
+    def __init__(self, grid: "FleetGrid", pool: SitePool,
+                 registry: "TenantRegistry", *,
+                 rollup_interval: float = 30.0, monitor: bool = True):
+        self.grid = grid
+        self.pool = pool
+        self.registry = registry
+        self.rollup_interval = rollup_interval
+        self.kernel = grid.kernel
+        self._requests: list[ExperimentRequest] = []
+        self._run_ids: set[str] = set()
+        self.outcomes: list[TenantOutcome] = []
+        self.checkpoint_stores: dict[str, InMemoryCheckpointStore] = {}
+        self._live_steps: dict[str, int] = {}
+        self._completed = 0
+        self._failed = 0
+        self._started_at = 0.0
+        self._ran = False
+        self._monitoring = False
+        self.status: FleetStatusService | None = None
+        if monitor:
+            self.status = FleetStatusService()
+            grid.coord_container.deploy(self.status)
+        telemetry = self.kernel.telemetry
+        self._g_completed = telemetry.gauge("fleet.sched.completed_runs")
+        self._g_degraded = telemetry.gauge("fleet.sched.degraded_tenants")
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, request: ExperimentRequest) -> ExperimentRequest:
+        """Admit one request into the campaign (before :meth:`run`).
+
+        Rejects duplicate run ids — transaction names on the shared NTCP
+        servers embed the run id, so two tenants reusing one would break
+        per-tenant at-most-once attribution — and requests the pool could
+        never satisfy.
+        """
+        if self._ran:
+            raise ConfigurationError(
+                "the fleet scheduler already ran; build a new one")
+        if not request.tenant:
+            raise AdmissionError("a request needs a tenant id")
+        if request.run_id in self._run_ids:
+            raise AdmissionError(
+                f"run id {request.run_id!r} is already submitted; run ids "
+                f"must be fleet-unique")
+        if request.n_steps < 1:
+            raise AdmissionError(
+                f"run {request.run_id!r} asks for {request.n_steps} steps")
+        self.pool.validate_request(request.n_sites)
+        self.registry.register(request.tenant)
+        self._run_ids.add(request.run_id)
+        self._requests.append(request)
+        return request
+
+    def submit_session(self, tenant: str, session: "ExperimentSession", *,
+                       n_sites: int = 2,
+                       motion_scale: float = 1.0) -> ExperimentRequest:
+        """Admit a composed :class:`~repro.most.session.ExperimentSession`."""
+        return self.submit(ExperimentRequest.from_session(
+            tenant, session, n_sites=n_sites, motion_scale=motion_scale))
+
+    # -- execution -----------------------------------------------------------
+    def run(self) -> FleetResult:
+        """Run every submitted request to completion; returns the result."""
+        if self._ran:
+            raise ConfigurationError(
+                "the fleet scheduler already ran; build a new one")
+        if not self._requests:
+            raise ConfigurationError("no experiments submitted")
+        self._ran = True
+        self._started_at = self.kernel.now
+        processes = [self.kernel.process(self._drive(request),
+                                         name=f"fleet.{request.run_id}")
+                     for request in self._requests]
+        self._monitoring = True
+        if self.status is not None:
+            self.kernel.process(self._rollup_loop(), name="fleet.rollup")
+        self.kernel.run(until=self.kernel.all_of(processes))
+        self._monitoring = False
+        if self.status is not None:
+            self.status.publish(self.rollup())
+        return FleetResult(outcomes=list(self.outcomes),
+                           started_at=self._started_at,
+                           finished_at=self.kernel.now,
+                           peak_queue_depth=self.pool.peak_queue_depth)
+
+    # -- observability -------------------------------------------------------
+    def rollup(self) -> dict[str, Any]:
+        """The fleet roll-up document (published as SDE ``fleet.rollup``)."""
+        now = self.kernel.now
+        elapsed = max(now - self._started_at, 1e-9)
+        degraded_tenants = {outcome.tenant for outcome in self.outcomes
+                            if outcome.result.degraded_steps}
+        tenants = {}
+        runs_by_tenant: dict[str, int] = {}
+        for outcome in self.outcomes:
+            runs_by_tenant[outcome.tenant] = \
+                runs_by_tenant.get(outcome.tenant, 0) + 1
+        for tenant_id in sorted(self.registry.tenants):
+            steps = self._live_steps.get(tenant_id, 0)
+            tenants[tenant_id] = {
+                "steps": steps,
+                "step_rate": steps / elapsed,
+                "runs_completed": runs_by_tenant.get(tenant_id, 0),
+                "degraded": tenant_id in degraded_tenants,
+            }
+        self._g_completed.set(self._completed)
+        self._g_degraded.set(len(degraded_tenants))
+        return {
+            "time": now,
+            "queue_depth": self.pool.queue_depth(),
+            "free_sites": self.pool.free_sites(),
+            "active_leases": len(self.pool.active),
+            "experiments": {"submitted": len(self._requests),
+                            "completed": self._completed,
+                            "failed": self._failed},
+            "degraded_tenants": len(degraded_tenants),
+            "tenants": tenants,
+        }
+
+    def _rollup_loop(self) -> Generator[Any, Any, None]:
+        while self._monitoring:
+            self.status.publish(self.rollup())
+            yield self.kernel.timeout(self.rollup_interval)
+
+    # -- per-request drive ---------------------------------------------------
+    def _drive(self, request: ExperimentRequest
+               ) -> Generator[Any, Any, None]:
+        tenant = self.registry.get(request.tenant)
+        config = self.grid.config
+        submitted_at = self.kernel.now
+        lease: SiteLease = yield self.pool.acquire(request.tenant,
+                                                   request.n_sites)
+        tenant.telemetry.histogram("fleet.tenant.lease_wait").observe(
+            lease.wait)
+        k_each = config.k_total / len(lease.sites)
+        for site in lease.sites:
+            provision_simulation_site(
+                site, self.kernel,
+                LinearSubstructure(f"{site.name}-{request.run_id}",
+                                   [[k_each]], [0]),
+                compute_time=config.ncsa_compute)
+        motion = kanai_tajimi_record(
+            duration=request.n_steps * config.dt, dt=config.dt,
+            pga=config.pga * request.motion_scale, seed=config.motion_seed)
+        model = StructuralModel(
+            mass=[[config.mass]], stiffness=[[config.k_total]]
+        ).with_rayleigh_damping(config.damping_ratio)
+        bindings = [SiteBinding(site.name, site.handle, dof_indices=[0])
+                    for site in lease.sites]
+        fault_policy = request.fault_policy or default_fleet_fault_policy()
+        breakers = None
+        failover = None
+        if request.degradation:
+            breakers = {site.name: CircuitBreaker(
+                self.kernel, f"{request.run_id}:{site.name}",
+                request.breaker_config) for site in lease.sites}
+            failover = self._make_failover(request, lease, k_each)
+        predictor = None
+        if request.pipeline_depth > 0:
+            predictor = SubstructurePredictor({
+                site.name: LinearSubstructure(
+                    f"{site.name}-predict-{request.run_id}",
+                    [[k_each]], [0])
+                for site in lease.sites})
+        store = None
+        checkpoint_policy = None
+        if request.checkpoint_every > 0:
+            store = InMemoryCheckpointStore()
+            checkpoint_policy = CheckpointPolicy(
+                every_n_steps=request.checkpoint_every, on_abort=True)
+            self.checkpoint_stores[request.run_id] = store
+
+        steps_counter = tenant.telemetry.counter("fleet.tenant.steps")
+
+        def on_step(record: Any, tenant_id: str = request.tenant) -> None:
+            self._live_steps[tenant_id] = \
+                self._live_steps.get(tenant_id, 0) + 1
+            steps_counter.inc()
+
+        def make_coordinator(state: Any = None,
+                             prior_records: Any = ()) -> SimulationCoordinator:
+            return SimulationCoordinator(
+                run_id=request.run_id, client=tenant.ntcp, model=model,
+                motion=motion, sites=bindings, fault_policy=fault_policy,
+                execution_timeout=config.execution_timeout,
+                on_step=on_step, checkpoint_store=store,
+                checkpoint_policy=checkpoint_policy, state=state,
+                prior_records=prior_records, breakers=breakers,
+                failover=failover,
+                pipeline_depth=request.pipeline_depth, predictor=predictor)
+
+        result: ExperimentResult = yield self.kernel.process(
+            make_coordinator().run(),
+            name=f"fleet.{request.run_id}.coordinator")
+        resumes = 0
+        # Resume on the SAME lease: the sites still hold this tenant's
+        # substructure state, and at-most-once transaction names make the
+        # overlap with the aborted incarnation harmless.
+        while (not result.completed and store is not None
+               and resumes < request.max_resumes):
+            yield self.kernel.timeout(request.resume_delay)
+            doc, payloads = yield from store.load_history(request.run_id)
+            if doc is None:
+                break
+            resumes += 1
+            result = yield self.kernel.process(
+                make_coordinator(
+                    state=resume_state_from_checkpoint(doc),
+                    prior_records=records_from_payloads(payloads)).run(),
+                name=f"fleet.{request.run_id}.resume{resumes}")
+        nmds_object_id = yield from self._register_run(tenant, request,
+                                                       lease, result)
+        self.pool.release(lease)
+        finished_at = self.kernel.now
+        if result.completed:
+            self._completed += 1
+            tenant.telemetry.counter("fleet.tenant.runs_completed").inc()
+        else:
+            self._failed += 1
+            tenant.telemetry.counter("fleet.tenant.runs_failed").inc()
+        self.outcomes.append(TenantOutcome(
+            request=request, result=result, lease_id=lease.lease_id,
+            site_names=lease.site_names, lease_wait=lease.wait,
+            submitted_at=submitted_at, granted_at=lease.granted_at,
+            finished_at=finished_at, resumes=resumes,
+            usage=lease.metrics_delta(), nmds_object_id=nmds_object_id))
+
+    def _make_failover(self, request: ExperimentRequest, lease: SiteLease,
+                       k_each: float) -> FailoverManager:
+        """Per-lease surrogate failover on a lease-unique container port."""
+        container = ServiceContainer(self.grid.network, "coord",
+                                     port=f"ogsi-fo-{lease.lease_id}")
+        specs = [
+            SurrogateSpec(
+                site=site.name,
+                substructure_factory=(
+                    lambda site=site: LinearSubstructure(
+                        f"{site.name}-surrogate-{request.run_id}",
+                        [[k_each]], [0])),
+                compute_time=self.grid.config.ncsa_compute,
+                policy=None)
+            for site in lease.sites]
+        return FailoverManager(container=container, specs=specs,
+                               policy=DegradationPolicy())
+
+    def _register_run(self, tenant: "Tenant", request: ExperimentRequest,
+                      lease: SiteLease, result: ExperimentResult
+                      ) -> Generator[Any, Any, str | None]:
+        """Register the run in NMDS under a tenant-namespaced name.
+
+        Authorized as the tenant (GSI token + CAS ``repository:write``).
+        A repository outage must not take the whole campaign down, so
+        failures are logged and swallowed.
+        """
+        handle = self.grid.nmds_handle
+        fields = {
+            "name": f"fleet/{tenant.tenant_id}/{request.run_id}",
+            "tenant": tenant.tenant_id,
+            "run_id": request.run_id,
+            "sites": list(lease.site_names),
+            "steps": result.steps_completed,
+            "completed": result.completed,
+            "degraded_steps": result.degraded_steps,
+        }
+        try:
+            object_id = yield from tenant.rpc.call(
+                handle.host, handle.port, "invoke",
+                {"service_id": handle.service_id,
+                 "operation": "createObject",
+                 "params": {"object_type": "fleet-run", "fields": fields}},
+                credential=tenant.authenticator.token("invoke"))
+        except ReproError as exc:
+            self.kernel.emit("fleet.sched", "nmds.register_failed",
+                             run_id=request.run_id, tenant=tenant.tenant_id,
+                             error=f"{type(exc).__name__}: {exc}")
+            return None
+        return object_id
+
+
+def solo_displacement_history(request: ExperimentRequest, *,
+                              config: Any = None,
+                              network_seed: int | None = None) -> Any:
+    """Run ``request`` alone on a fresh grid; return its history.
+
+    The bit-exactness reference: an undegraded tenant's displacement
+    history in a crowded fleet must equal this solo run exactly, because
+    nothing on the shared grid (fixed-latency links, per-lease fresh
+    substructure state, unique transaction names) couples tenants
+    numerically.
+    """
+    from repro.fleet.grid import build_fleet_grid
+    from repro.fleet.tenants import TenantRegistry
+
+    grid = build_fleet_grid(request.n_sites, config=config,
+                            network_seed=network_seed)
+    pool = SitePool(grid.kernel, grid.sites.values())
+    registry = TenantRegistry(grid)
+    scheduler = FleetScheduler(grid, pool, registry, monitor=False)
+    scheduler.submit(replace(request))
+    fleet_result = scheduler.run()
+    return fleet_result.outcomes[0].result.displacement_history()

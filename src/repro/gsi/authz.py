@@ -23,6 +23,7 @@ class Principal:
     rights: frozenset[str] = frozenset()
 
     def has_right(self, right: str) -> bool:
+        """True if the caller's CAS assertion granted ``right``."""
         return right in self.rights
 
 
@@ -38,9 +39,11 @@ class Gridmap:
     method_acl: dict[str, set[str]] = field(default_factory=dict)
 
     def add(self, subject: str, local_user: str) -> None:
+        """Map ``subject`` to ``local_user`` (replacing any prior entry)."""
         self.entries[subject] = local_user
 
     def remove(self, subject: str) -> None:
+        """Drop ``subject``'s mapping; silently ignores unknown subjects."""
         self.entries.pop(subject, None)
 
     def restrict(self, method: str, local_users: set[str]) -> None:

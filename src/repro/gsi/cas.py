@@ -33,6 +33,7 @@ class CasAssertion:
     signature: str = ""
 
     def canonical(self) -> str:
+        """The deterministic string the CAS signature covers."""
         return "|".join([self.subject, self.community,
                          ",".join(sorted(self.rights)),
                          f"{self.issued_at:.6f}", f"{self.not_after:.6f}"])
@@ -52,20 +53,25 @@ class CommunityAuthorizationService:
 
     # -- administration ------------------------------------------------------
     def add_member(self, subject: str, rights: set[str] | None = None) -> None:
+        """Enroll ``subject`` in the community with optional initial rights."""
         self._members.setdefault(subject, set()).update(rights or set())
 
     def grant(self, subject: str, right: str) -> None:
+        """Add one ``"<resource>:<action>"`` right to an enrolled member."""
         if subject not in self._members:
             raise SecurityError(f"{subject!r} is not a community member")
         self._members[subject].add(right)
 
     def revoke(self, subject: str, right: str) -> None:
+        """Remove a direct grant; group-derived rights are unaffected."""
         self._members.get(subject, set()).discard(right)
 
     def define_group(self, group: str, rights: set[str]) -> None:
+        """Create (or redefine) a named rights bundle."""
         self._groups[group] = set(rights)
 
     def add_to_group(self, subject: str, group: str) -> None:
+        """Give an enrolled member every right the group carries."""
         if group not in self._groups:
             raise SecurityError(f"unknown group {group!r}")
         if subject not in self._members:

@@ -37,6 +37,7 @@ class Certificate:
         ])
 
     def valid_at(self, now: float) -> bool:
+        """True if ``now`` falls inside the certificate's validity window."""
         return self.not_before <= now <= self.not_after
 
 
@@ -101,10 +102,12 @@ class Credential:
 
     @property
     def certificate(self) -> Certificate:
+        """The leaf certificate (first element of the chain)."""
         return self.chain[0]
 
     @property
     def subject(self) -> str:
+        """The leaf certificate's subject DN (proxy components included)."""
         return self.chain[0].subject
 
     @property

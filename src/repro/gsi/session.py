@@ -33,6 +33,7 @@ class GsiToken:
     cas_assertion: CasAssertion | None = None
 
     def signed_payload(self) -> str:
+        """The method+timestamp string the token's signature covers."""
         return f"{self.method}|{self.timestamp:.6f}"
 
 

@@ -21,11 +21,7 @@ from repro.most.config import MOSTConfig
 from repro.most.assembly import MOSTDeployment, build_most
 from repro.most.session import ExperimentSession, SessionResult
 from repro.most.scenario import (
-    run_degraded_experiment,
     run_dry_run,
-    run_monitored_experiment,
-    run_public_experiment,
-    run_public_with_resume,
     run_simulation_only,
     run_with_fault_tolerance,
 )
@@ -38,9 +34,5 @@ __all__ = [
     "SessionResult",
     "run_simulation_only",
     "run_dry_run",
-    "run_public_experiment",
     "run_with_fault_tolerance",
-    "run_public_with_resume",
-    "run_monitored_experiment",
-    "run_degraded_experiment",
 ]

@@ -458,6 +458,29 @@ def build_most(config: MOSTConfig | None = None) -> MOSTDeployment:
     return dep
 
 
+def provision_simulation_site(site: SiteDeployment, kernel: Kernel,
+                              substructure: LinearSubstructure, *,
+                              compute_time: float = 1.0,
+                              policy: Any = None) -> SimulationPlugin:
+    """Put a fresh :class:`SimulationPlugin` behind ``site``'s NTCP server.
+
+    The swap happens behind the *same* server and grid handle, so a
+    coordinator cannot tell the difference — the paper's "the use of NTCP
+    made this substitution transparent".  Both the simulation-only
+    rehearsal and the fleet's per-lease site provisioning go through
+    here: a lease always gets brand-new substructure state, so nothing
+    numerical leaks from one tenant's run into the next.
+    """
+    sim = SimulationPlugin(substructure, compute_time=compute_time,
+                           policy=(policy if policy is not None
+                                   else getattr(site.server.plugin,
+                                                "policy", None)))
+    site.server.plugin = sim
+    sim.attach(kernel, site=site.server.service_id)
+    site.server.service_data.set("plugin", sim.plugin_type)
+    return sim
+
+
 def build_simulation_only(config: MOSTConfig | None = None) -> MOSTDeployment:
     """The incremental-development variant: all three sites are simulations.
 
@@ -472,15 +495,9 @@ def build_simulation_only(config: MOSTConfig | None = None) -> MOSTDeployment:
     dep = build_most(config)
     for name, k in (("uiuc", config.k_uiuc), ("cu", config.k_cu)):
         site = dep.sites[name]
-        sim = SimulationPlugin(
-            LinearSubstructure(f"{name}-sim", [[k]], [0]),
-            compute_time=config.ncsa_compute,
-            policy=site.server.plugin.policy)
-        # Swap the plugin behind the *same* NTCP server: the coordinator
-        # cannot tell the difference.
-        site.server.plugin = sim
-        sim.attach(dep.kernel, site=site.server.service_id)
-        site.server.service_data.set("plugin", sim.plugin_type)
+        provision_simulation_site(
+            site, dep.kernel, LinearSubstructure(f"{name}-sim", [[k]], [0]),
+            compute_time=config.ncsa_compute)
         site.specimen = None
         site.backend = None
     return dep

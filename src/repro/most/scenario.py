@@ -6,41 +6,23 @@ The §3.4 runs, each a function returning a :class:`ScenarioReport`:
 * :func:`run_dry_run` — full hybrid configuration, clean network, naive
   coordinator: completes all steps ("the dry run ... ran successfully to
   completion", ~5.5 h);
-* :func:`run_public_experiment` — transient outages during the day are
-  absorbed by NTCP retries, CHEF hosts >130 remote participants, NSDS and
-  cameras stream, the repository ingests — and a long outage while step
-  1493 is in flight kills the naive coordinator ("exited prematurely at
-  step 1493 (out of 1500)");
-* :func:`run_with_fault_tolerance` — the counterfactual: identical faults,
-  a coordinator that uses NTCP's fault-tolerance features, completion;
-* :func:`run_public_with_resume` — the checkpointing counterfactual: the
-  naive coordinator still dies at the fatal step, but a second coordinator
-  incarnation resumes from the repository checkpoint, reconciles in-flight
-  transactions, and completes with bit-identical histories;
-* :func:`run_monitored_experiment` — the operations-console run: the live
-  monitor (health SDEs + streamed metrics + anomaly alerts) watches a
-  fault-tolerant run, optionally with an injected mid-run outage and a
-  slow-site drift, and the alert feed is part of the report;
-* :func:`run_degraded_experiment` — the graceful-degradation
-  counterfactual: the step-1493 outage never clears, retries exhaust a
-  per-site circuit breaker, and instead of aborting the coordinator
-  hot-swaps the dead site for its numerical surrogate and finishes all
-  1,500 steps in clearly-labelled degraded mode.
+* :func:`run_with_fault_tolerance` — the counterfactual to the public
+  run's step-1493 death: identical faults, a coordinator that uses
+  NTCP's fault-tolerance features, completion.
 
 All of them are thin wrappers over
 :class:`~repro.most.session.ExperimentSession` — the composable builder
 that replaced the per-scenario copies of the build → observe → fault →
-coordinate skeleton.  :func:`run_public_experiment`,
-:func:`run_public_with_resume`, :func:`run_degraded_experiment` and
-:func:`run_monitored_experiment` are **deprecated**: compose the same
-run with ``ExperimentSession`` directly (they emit
-:class:`DeprecationWarning` and will be removed one release after the
-session API landed).
+coordinate skeleton.  The richer historical entry points
+(``run_public_experiment``, ``run_public_with_resume``,
+``run_degraded_experiment``, ``run_monitored_experiment``) have been
+removed after their deprecation cycle: compose the same runs with
+``ExperimentSession`` directly, e.g. ``ExperimentSession(config)
+.with_observers().with_faults().run()`` for the public run.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -84,13 +66,6 @@ def _legacy_report(outcome: SessionResult,
                           extras=dict(extras or {}))
 
 
-def _deprecated(name: str) -> None:
-    warnings.warn(
-        f"{name}() is deprecated; compose the run with "
-        "repro.most.ExperimentSession instead",
-        DeprecationWarning, stacklevel=3)
-
-
 def run_simulation_only(config: MOSTConfig | None = None) -> ScenarioReport:
     """The distributed simulation-only rehearsal (§3: built first)."""
     outcome = ExperimentSession(config, run_id="most-simonly",
@@ -104,24 +79,6 @@ def run_dry_run(config: MOSTConfig | None = None) -> ScenarioReport:
     return _legacy_report(outcome)
 
 
-def run_public_experiment(config: MOSTConfig | None = None, *,
-                          fail_at_step: int | None = None) -> ScenarioReport:
-    """The public MOST run: observers, transient faults, death at 1493.
-
-    .. deprecated:: use ``ExperimentSession(config).with_observers()
-       .with_faults(fail_at_step).run()``.
-
-    ``fail_at_step`` defaults to 1493 scaled to shortened configs
-    (paper ratio 1493/1500).
-    """
-    _deprecated("run_public_experiment")
-    outcome = (ExperimentSession(config, run_id="most-public")
-               .with_observers()
-               .with_faults(fail_at_step)
-               .run())
-    return _legacy_report(outcome, {"fail_at_step": outcome.fail_at_step})
-
-
 def run_with_fault_tolerance(config: MOSTConfig | None = None, *,
                              fail_at_step: int | None = None) -> ScenarioReport:
     """Identical faults to the public run; fault-tolerant coordinator."""
@@ -131,145 +88,3 @@ def run_with_fault_tolerance(config: MOSTConfig | None = None, *,
                .with_fault_tolerance()
                .run())
     return _legacy_report(outcome, {"fail_at_step": outcome.fail_at_step})
-
-
-def run_public_with_resume(config: MOSTConfig | None = None, *,
-                           fail_at_step: int | None = None,
-                           checkpoint_every: int = 25,
-                           run_id: str = "most-resume",
-                           outage_duration: float = 1800.0) -> ScenarioReport:
-    """The public run replayed with checkpoints: abort, then resume.
-
-    .. deprecated:: use ``ExperimentSession(config, run_id=run_id)
-       .with_faults(fail_at_step, outage_duration=outage_duration)
-       .with_resume(checkpoint_every=checkpoint_every).run()``.
-
-    The naive coordinator dies at the fatal step exactly as in
-    :func:`run_public_experiment`, but it was checkpointing into the
-    repository every ``checkpoint_every`` steps (plus the best-effort
-    abort-time checkpoint).  The sites, specimens and NTCP servers keep
-    their state — the grid does not restart with the coordinator — so once
-    the outage clears, a second coordinator incarnation loads the
-    checkpoint history, reconciles the in-flight transactions with every
-    site, and completes the remaining steps.  At-most-once holds across
-    the restart: no specimen re-runs a step.
-
-    ``report.result`` is the *merged* result (the first incarnation's
-    committed steps plus the resumed ones) — bit-identical histories to an
-    uninterrupted same-seed run.  ``report.extras`` carries
-    ``aborted_result``, the ``reconciliation`` report, ``fail_at_step``
-    and ``checkpoints`` (sequences written).
-    """
-    _deprecated("run_public_with_resume")
-    outcome = (ExperimentSession(config, run_id=run_id)
-               .with_faults(fail_at_step, outage_duration=outage_duration)
-               .with_resume(checkpoint_every=checkpoint_every)
-               .run())
-    return _legacy_report(outcome, {"fail_at_step": outcome.fail_at_step,
-                                    "aborted_result": outcome.aborted_result,
-                                    "reconciliation": outcome.reconciliation,
-                                    "checkpoints": outcome.checkpoints})
-
-
-def run_degraded_experiment(config: MOSTConfig | None = None, *,
-                            fail_at_step: int | None = None,
-                            outage_duration: float = float("inf"),
-                            fault_policy=None,
-                            breaker_config=None,
-                            degradation_policy=None,
-                            monitor: bool = False,
-                            thresholds=None,
-                            on_alert=None,
-                            run_id: str = "most-degraded"
-                            ) -> ScenarioReport:
-    """The graceful-degradation counterfactual to the step-1493 abort.
-
-    .. deprecated:: use ``ExperimentSession(config, run_id=run_id)
-       .with_faults(fail_at_step, outage_duration=float('inf'))
-       .with_fault_tolerance().with_degradation(policy).run()``.
-
-    Identical fault schedule to :func:`run_public_experiment`, but the
-    fatal outage is **permanent** by default — no amount of retrying or
-    resuming brings uiuc back.  The coordinator runs with per-site
-    circuit breakers and a :class:`FailoverManager`: once uiuc's breaker
-    has been open past the degradation policy's recovery budget, the
-    in-flight transaction is cancelled/renamed (§7 discipline), a
-    numerical surrogate built from uiuc's design stiffness is deployed on
-    the coordinator host, and the run finishes all steps — every
-    post-swap step stamped ``degraded`` in its record, checkpoint
-    payloads, and telemetry.  The final degradation history is also
-    registered as an NMDS metadata object (``extras["metadata_object"]``).
-
-    Pass ``fault_policy=NaiveFaultPolicy()`` to reproduce the paper's
-    abort under the same permanent outage (the policy gives up before the
-    breaker trips); with ``monitor=True`` the operations console watches
-    the run and its alert feed (including the typed ``breaker_open``
-    alerts) lands in ``extras["alerts"]``.
-    """
-    _deprecated("run_degraded_experiment")
-    session = (ExperimentSession(config, run_id=run_id)
-               .with_faults(fail_at_step, outage_duration=outage_duration)
-               .with_degradation(degradation_policy,
-                                 breaker_config=breaker_config))
-    if fault_policy is not None:
-        session.with_fault_policy(fault_policy)
-    else:
-        session.with_fault_tolerance()
-    if monitor:
-        session.with_monitoring(thresholds, on_alert)
-    outcome = session.run()
-    extras = {"fail_at_step": outcome.fail_at_step,
-              "breakers": outcome.breakers,
-              "failover": outcome.failover,
-              "degraded_steps": outcome.degraded_steps,
-              "degraded_spans": outcome.degraded_spans,
-              "metadata_object": outcome.metadata_object}
-    if monitor:
-        extras.update(monitoring=outcome.monitoring, alerts=outcome.alerts,
-                      rollups=outcome.rollups)
-    return _legacy_report(outcome, extras)
-
-
-def run_monitored_experiment(config: MOSTConfig | None = None, *,
-                             inject_faults: bool = False,
-                             outage_at_step: int | None = None,
-                             outage_duration: float = 600.0,
-                             slow_site: str = "ncsa",
-                             slow_at_step: int | None = None,
-                             slow_factor: float = 40.0,
-                             thresholds=None,
-                             on_alert=None) -> ScenarioReport:
-    """A fault-tolerant MOST run watched by the live operations console.
-
-    .. deprecated:: use ``ExperimentSession(config).with_fault_tolerance()
-       .with_monitoring().with_anomalies().run()``.
-
-    With ``inject_faults`` the run gets the two anomalies the detectors
-    exist for: ``slow_site``'s backend compute time is multiplied by
-    ``slow_factor`` when step ``slow_at_step`` (default: a quarter in)
-    first reaches it, and the coordinator—uiuc link goes down for
-    ``outage_duration`` seconds at ``outage_at_step`` (default: halfway).
-    The fault-tolerant policy rides both out, so the experiment still
-    completes — the point is that the monitor *saw* them live.
-
-    The report's extras carry ``alerts`` (typed :class:`Alert` records in
-    raise order), ``rollups``, and the :class:`MonitoringKit` under
-    ``monitoring``.  Everything is deterministic: same config + faults
-    give the same alerts at the same sim times.
-    """
-    _deprecated("run_monitored_experiment")
-    session = (ExperimentSession(config, run_id="most-monitored")
-               .with_fault_tolerance()
-               .with_monitoring(thresholds, on_alert))
-    if inject_faults:
-        session.with_anomalies(outage_at_step=outage_at_step,
-                               outage_duration=outage_duration,
-                               slow_site=slow_site,
-                               slow_at_step=slow_at_step,
-                               slow_factor=slow_factor)
-    outcome = session.run()
-    return _legacy_report(outcome, {"monitoring": outcome.monitoring,
-                                    "alerts": outcome.alerts,
-                                    "rollups": outcome.rollups,
-                                    "outage_at_step": outcome.outage_at_step,
-                                    "slow_at_step": outcome.slow_at_step})

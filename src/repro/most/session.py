@@ -380,6 +380,30 @@ class ExperimentSession:
         self._variants = list(variants)
         return self
 
+    def fleet_spec(self) -> dict[str, Any]:
+        """Export the composed knobs for fleet scheduling.
+
+        :meth:`repro.fleet.scheduler.FleetScheduler.submit_session` turns
+        this into an :class:`~repro.fleet.scheduler.ExperimentRequest`,
+        so the same builder that scripts a solo run can describe one
+        tenant's experiment in a multi-tenant campaign.  The session
+        itself stays runnable — exporting a spec does not consume it.
+        """
+        resume = self._resume or {}
+        degradation = self._degradation or {}
+        pipeline = self._pipeline or {}
+        return {
+            "run_id": self.run_id,
+            "config": self.config,
+            "n_steps": self.config.n_steps,
+            "fault_policy": self._fault_policy,
+            "checkpoint_every": resume.get("checkpoint_every", 0)
+            if self._resume is not None else 0,
+            "degradation": self._degradation is not None,
+            "breaker_config": degradation.get("breaker_config"),
+            "pipeline_depth": pipeline.get("depth", 0),
+        }
+
     # -- execution ----------------------------------------------------------
     def _make_coordinator(self, dep: MOSTDeployment, *, fault_policy,
                           checkpoint_store=None, checkpoint_policy=None,

@@ -196,12 +196,19 @@ class RpcService:
 
 
 class RpcClient:
-    """Client side: issues calls from a host, with timeout and retries."""
+    """Client side: issues calls from a host, with timeout and retries.
+
+    ``labels`` adds extra telemetry labels (e.g. ``tenant=...``/``run=...``)
+    to this client's ``net.rpc.*`` series: two clients on the same host —
+    normal when concurrent experiments multiplex one kernel — would
+    otherwise increment one shared set of counters.
+    """
 
     _port_ids = IdFactory("rpc-reply")
 
     def __init__(self, network: Network, host: str, *,
-                 default_timeout: float = 5.0, default_retries: int = 0):
+                 default_timeout: float = 5.0, default_retries: int = 0,
+                 labels: dict[str, str] | None = None):
         self.network = network
         self.kernel = network.kernel
         self.host = host
@@ -212,10 +219,13 @@ class RpcClient:
         self._pending: dict[str, Any] = {}
         self.stats = RpcStats()
         self.telemetry = network.kernel.telemetry
-        self._tm = {key: self.telemetry.counter(f"net.rpc.{key}", host=host)
+        extra = dict(labels or {})
+        self._tm = {key: self.telemetry.counter(f"net.rpc.{key}", host=host,
+                                                **extra)
                     for key in ("calls", "retries", "timeouts",
                                 "remote_errors")}
-        self._latency = self.telemetry.histogram("net.rpc.latency", host=host)
+        self._latency = self.telemetry.histogram("net.rpc.latency", host=host,
+                                                 **extra)
         network.host(host).bind(self.reply_port, self._on_reply)
 
     def _on_reply(self, msg: Message) -> None:

@@ -14,7 +14,12 @@ per run (owned by the :class:`~repro.sim.kernel.Kernel`) collects
   :mod:`repro.telemetry.report`.
 """
 
-from repro.telemetry.hub import InMemorySink, JsonlSink, TelemetryHub
+from repro.telemetry.hub import (
+    InMemorySink,
+    JsonlSink,
+    ScopedTelemetry,
+    TelemetryHub,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -27,14 +32,17 @@ from repro.telemetry.schema import (
     SCHEMA_ID,
     SchemaError,
     validate_bench_payload,
+    validate_fleet_bench_payload,
     validate_jsonl_export,
     validate_metric_name,
     validate_metrics_payload,
+    validate_stepping_bench_payload,
 )
 from repro.telemetry.spans import Span, TraceContext, Tracer
 
 __all__ = [
     "TelemetryHub",
+    "ScopedTelemetry",
     "InMemorySink",
     "JsonlSink",
     "MetricRegistry",
@@ -51,5 +59,7 @@ __all__ = [
     "validate_metric_name",
     "validate_metrics_payload",
     "validate_bench_payload",
+    "validate_fleet_bench_payload",
+    "validate_stepping_bench_payload",
     "validate_jsonl_export",
 ]

@@ -52,6 +52,53 @@ class JsonlSink:
         self._fh.close()
 
 
+class ScopedTelemetry:
+    """A label-scoped view of a hub: same registry, fixed extra labels.
+
+    Returned by :meth:`TelemetryHub.scoped`.  Instruments created through
+    the view carry the scope's labels in addition to any call-site labels
+    — this is how concurrent runs multiplexed on one kernel (fleet
+    tenants, parallel sessions) keep their metric series apart.  On a key
+    collision the scope's label wins, so a scoped component can never
+    accidentally shed its namespace.  Spans and exports pass through to
+    the underlying hub unchanged.
+    """
+
+    def __init__(self, hub: "TelemetryHub", labels: dict[str, str]):
+        self.hub = hub
+        self.labels = dict(labels)
+
+    @property
+    def registry(self) -> MetricRegistry:
+        """The underlying (shared) metric registry."""
+        return self.hub.registry
+
+    @property
+    def tracer(self) -> Any:
+        """The underlying (shared) tracer."""
+        return self.hub.tracer
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """A counter carrying the scope's labels plus ``labels``."""
+        return self.hub.counter(name, **{**labels, **self.labels})
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """A gauge carrying the scope's labels plus ``labels``."""
+        return self.hub.gauge(name, **{**labels, **self.labels})
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """A histogram carrying the scope's labels plus ``labels``."""
+        return self.hub.histogram(name, **{**labels, **self.labels})
+
+    def start_span(self, name: str, **kwargs: Any) -> Span:
+        """Shorthand for the underlying hub's ``start_span``."""
+        return self.hub.start_span(name, **kwargs)
+
+    def scoped(self, **labels: Any) -> "ScopedTelemetry":
+        """A further-narrowed view (existing scope labels still win)."""
+        return ScopedTelemetry(self.hub, {**labels, **self.labels})
+
+
 class TelemetryHub:
     """The one observability surface of a run.
 
@@ -76,6 +123,15 @@ class TelemetryHub:
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
         return self.registry.histogram(name, **labels)
+
+    def scoped(self, **labels: Any) -> ScopedTelemetry:
+        """A view of this hub whose instruments all carry ``labels``.
+
+        Concurrently constructed deployments sharing one kernel must each
+        take a scope (e.g. ``hub.scoped(tenant="t03")``) so their metric
+        series cannot collide in the shared registry.
+        """
+        return ScopedTelemetry(self, labels)
 
     # -- spans ---------------------------------------------------------------
     def start_span(self, name: str, **kwargs: Any) -> Span:

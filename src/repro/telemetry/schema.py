@@ -160,6 +160,26 @@ def validate_bench_mode(record: Any, path: str = "mode") -> None:
 
 
 def validate_bench_payload(payload: Any) -> None:
+    """A benchmark comparison document (repo-root ``BENCH_*.json``).
+
+    Dispatches on ``$.experiment``: ``"tfleet"`` documents follow the
+    fleet shape (:func:`validate_fleet_bench_payload`); everything else
+    follows the stepping-mode comparison shape
+    (:func:`validate_stepping_bench_payload`).
+    """
+    _require(isinstance(payload, dict), "$", "payload must be an object")
+    _require(payload.get("schema") == BENCH_SCHEMA_ID, "$.schema",
+             f"expected {BENCH_SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    experiment = payload.get("experiment")
+    _require(isinstance(experiment, str) and experiment, "$.experiment",
+             "experiment must be a non-empty string")
+    if experiment == "tfleet":
+        validate_fleet_bench_payload(payload)
+    else:
+        validate_stepping_bench_payload(payload)
+
+
+def validate_stepping_bench_payload(payload: Any) -> None:
     """A stepping-mode comparison document (``BENCH_tperf_ntcp.json``).
 
     Shape::
@@ -201,3 +221,95 @@ def validate_bench_payload(payload: Any) -> None:
     for key in ("pipelined", "ensemble_base_variant"):
         _require(isinstance(bit_exact.get(key), bool), f"$.bit_exact.{key}",
                  "must be a boolean")
+
+
+#: per-tenant record keys in a fleet bench document
+_FLEET_TENANT_KEYS = ("runs", "steps", "completion_time", "lease_wait_max",
+                      "duplicate_executes")
+
+
+def validate_fleet_bench_payload(payload: Any) -> None:
+    """A multi-tenant fleet document (``BENCH_tfleet.json``).
+
+    Shape::
+
+        {"schema": "repro.bench/v1", "experiment": "tfleet",
+         "config": {"n_sites": int, "n_tenants": int,
+                    "runs_per_tenant": int, "n_experiments": int,
+                    "n_steps": int, "sites_per_lease": int},
+         "fleet": {"duration": float, "completed": int,
+                   "peak_queue_depth": int, "lease_wait_max": float,
+                   "lease_wait_mean": float, "duplicate_executes": int},
+         "fairness": {"completion_ratio": float, "bound": float,
+                      "within_bound": bool},
+         "tenants": {"<tenant>": {"runs": int, "steps": int,
+                                  "completion_time": float,
+                                  "lease_wait_max": float,
+                                  "duplicate_executes": int}, ...},
+         "bit_exact": {"solo_vs_fleet": bool, "tenants_checked": int},
+         "security": {"unauthorized_rejected": bool}}
+    """
+    _require(isinstance(payload, dict), "$", "payload must be an object")
+    _require(payload.get("schema") == BENCH_SCHEMA_ID, "$.schema",
+             f"expected {BENCH_SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    _require(payload.get("experiment") == "tfleet", "$.experiment",
+             "fleet bench documents use experiment 'tfleet'")
+    config = payload.get("config")
+    _require(isinstance(config, dict), "$.config", "config must be an object")
+    for key in ("n_sites", "n_tenants", "runs_per_tenant", "n_experiments",
+                "n_steps", "sites_per_lease"):
+        _require(isinstance(config.get(key), int) and config[key] >= 1,
+                 f"$.config.{key}", "must be a positive integer")
+    _require(config["n_experiments"]
+             == config["n_tenants"] * config["runs_per_tenant"],
+             "$.config.n_experiments",
+             "must equal n_tenants * runs_per_tenant")
+    fleet = payload.get("fleet")
+    _require(isinstance(fleet, dict), "$.fleet", "fleet must be an object")
+    for key in ("duration", "lease_wait_max", "lease_wait_mean"):
+        _require(key in fleet, f"$.fleet.{key}", "missing")
+        _check_number(fleet[key], f"$.fleet.{key}")
+        _require(fleet[key] >= 0, f"$.fleet.{key}", "must be non-negative")
+    for key in ("completed", "peak_queue_depth", "duplicate_executes"):
+        _require(isinstance(fleet.get(key), int) and fleet[key] >= 0,
+                 f"$.fleet.{key}", "must be a non-negative integer")
+    fairness = payload.get("fairness")
+    _require(isinstance(fairness, dict), "$.fairness",
+             "fairness must be an object")
+    for key in ("completion_ratio", "bound"):
+        _require(key in fairness, f"$.fairness.{key}", "missing")
+        _check_number(fairness[key], f"$.fairness.{key}")
+        _require(fairness[key] >= 1.0, f"$.fairness.{key}",
+                 "ratios are >= 1")
+    _require(isinstance(fairness.get("within_bound"), bool),
+             "$.fairness.within_bound", "must be a boolean")
+    tenants = payload.get("tenants")
+    _require(isinstance(tenants, dict) and tenants, "$.tenants",
+             "tenants must be a non-empty object")
+    for tenant, record in tenants.items():
+        path = f"$.tenants.{tenant}"
+        _require(isinstance(record, dict), path,
+                 "tenant record must be an object")
+        for key in _FLEET_TENANT_KEYS:
+            _require(key in record, f"{path}.{key}", "missing")
+            _check_number(record[key], f"{path}.{key}")
+        for key in ("runs", "steps"):
+            _require(isinstance(record[key], int) and record[key] >= 1,
+                     f"{path}.{key}", "must be a positive integer")
+        _require(isinstance(record["duplicate_executes"], int)
+                 and record["duplicate_executes"] >= 0,
+                 f"{path}.duplicate_executes",
+                 "must be a non-negative integer")
+    bit_exact = payload.get("bit_exact")
+    _require(isinstance(bit_exact, dict), "$.bit_exact",
+             "bit_exact must be an object")
+    _require(isinstance(bit_exact.get("solo_vs_fleet"), bool),
+             "$.bit_exact.solo_vs_fleet", "must be a boolean")
+    _require(isinstance(bit_exact.get("tenants_checked"), int)
+             and bit_exact["tenants_checked"] >= 1,
+             "$.bit_exact.tenants_checked", "must be a positive integer")
+    security = payload.get("security")
+    _require(isinstance(security, dict), "$.security",
+             "security must be an object")
+    _require(isinstance(security.get("unauthorized_rejected"), bool),
+             "$.security.unauthorized_rejected", "must be a boolean")

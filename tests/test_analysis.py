@@ -53,7 +53,7 @@ class TestEngine:
     def test_rule_registry_covers_the_documented_codes(self):
         registered = [rule.code for rule in all_rules()]
         assert registered == ["RPR001", "RPR002", "RPR003", "RPR004",
-                              "RPR005", "RPR006", "RPR007", "RPR008",
+                              "RPR005", "RPR006", "RPR007",
                               "RPR009", "RPR010"]
         assert set(PROTOCOL_CODES) == {"RPR100", "RPR101", "RPR102",
                                        "RPR103", "RPR104"}
@@ -500,55 +500,6 @@ class TestMutableDefault:
         assert codes(check(source)) == ["RPR007"]
 
 
-class TestDeprecatedScenarioShim:
-    def test_direct_shim_call_fires(self):
-        findings = check("""
-            from repro.most import run_public_experiment
-
-            def bench(config):
-                return run_public_experiment(config)
-        """)
-        assert codes(findings) == ["RPR008"]
-        assert "run_public_experiment" in findings[0].message
-
-    def test_attribute_call_fires(self):
-        assert codes(check("""
-            import repro.most as most
-
-            def bench(config):
-                return most.run_monitored_experiment(config)
-        """)) == ["RPR008"]
-
-    def test_every_deprecated_shim_is_flagged(self):
-        assert codes(check("""
-            def sweep(config, store):
-                run_public_experiment(config)
-                run_public_with_resume(config, store)
-                run_degraded_experiment(config)
-                run_monitored_experiment(config)
-        """)) == ["RPR008"] * 4
-
-    def test_session_and_supported_runners_pass(self):
-        assert check("""
-            from repro.most import ExperimentSession, run_dry_run
-
-            def go(config):
-                run_dry_run(config)
-                return ExperimentSession(config).with_observers().run()
-        """) == []
-
-    def test_shim_module_and_tests_are_exempt(self):
-        source = """
-            def wrapper(config):
-                return run_public_experiment(config)
-        """
-        assert check(source, module="repro.most.scenario",
-                     path="src/repro/most/scenario.py") == []
-        assert check(source, module="tests.test_x",
-                     path="tests/test_x.py") == []
-        assert codes(check(source)) == ["RPR008"]
-
-
 # ---------------------------------------------------------------------------
 # noqa suppression
 
@@ -841,7 +792,8 @@ class TestPublicApiDocstring:
         assert findings == []
 
     def test_staged_packages_are_clean(self):
-        result = analyze_paths(["src/repro/analysis", "src/repro/verify"],
+        result = analyze_paths(["src/repro/analysis", "src/repro/verify",
+                                "src/repro/fleet", "src/repro/gsi"],
                                select=["RPR010"])
         assert result.findings == []
 

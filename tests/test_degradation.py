@@ -14,10 +14,25 @@ import pytest
 from repro.chaos import CHAOS_KINDS, CHAOS_SITES, ChaosCampaign, make_plan
 from repro.coordinator import DegradationPolicy, NaiveFaultPolicy, StepRecord
 from repro.coordinator.state import record_from_payload, record_to_payload
-from repro.most import MOSTConfig, run_degraded_experiment
+from repro.most import ExperimentSession, MOSTConfig
 from repro.net import BreakerConfig, BreakerOpen, CircuitBreaker
 from repro.sim import Kernel
 from repro.util.errors import ConfigurationError
+
+
+def run_degraded(config, *, fail_at_step=None,
+                 outage_duration=float("inf"), fault_policy=None,
+                 breaker_config=None, degradation_policy=None):
+    """A degraded-mode run composed the way the retired shim built it."""
+    session = (ExperimentSession(config, run_id="most-degraded")
+               .with_faults(fail_at_step, outage_duration=outage_duration)
+               .with_degradation(degradation_policy,
+                                 breaker_config=breaker_config))
+    if fault_policy is not None:
+        session.with_fault_policy(fault_policy)
+    else:
+        session.with_fault_tolerance()
+    return session.run()
 
 
 def make_breaker(**cfg):
@@ -158,31 +173,29 @@ class TestDegradedRecords:
 class TestDegradedScenario:
     def test_surrogate_finishes_where_the_naive_policy_aborts(self):
         config = MOSTConfig().scaled(60)
-        report = run_degraded_experiment(config)
+        report = run_degraded(config)
         result = report.result
         assert result.completed
         assert result.steps_completed == result.target_steps
         assert result.degraded_steps >= 1
         spans = result.degraded_spans()
         assert spans and spans[-1][2] == ("uiuc",)
-        extras = report.extras
-        assert extras["degraded_steps"] == result.degraded_steps
+        assert report.degraded_steps == result.degraded_steps
         # never closed — the run may end mid-probe (half_open), but a
         # permanent outage means the site is never won back
-        assert extras["breakers"]["uiuc"]["state"] in ("open", "half_open")
-        events = extras["failover"]["events"]
+        assert report.breakers["uiuc"]["state"] in ("open", "half_open")
+        events = report.failover["events"]
         assert [e["kind"] for e in events] == ["failover"]
         assert events[0]["site"] == "uiuc"
         assert events[0]["replacement"].startswith(events[0]["transaction"])
         assert "-f" in events[0]["replacement"]
-        assert extras["metadata_object"] is not None
+        assert report.metadata_object is not None
 
         # Identical permanent outage, paper-faithful policy: the run dies
         # at the fatal step instead of degrading.
-        control = run_degraded_experiment(config,
-                                          fault_policy=NaiveFaultPolicy())
+        control = run_degraded(config, fault_policy=NaiveFaultPolicy())
         assert not control.result.completed
-        assert control.result.aborted_at_step == control.extras["fail_at_step"]
+        assert control.result.aborted_at_step == control.fail_at_step
         assert control.result.degraded_steps == 0
 
     def test_recovered_site_is_readmitted_at_a_step_boundary(self):
@@ -190,7 +203,7 @@ class TestDegradedScenario:
         # coordinator fails over quickly, then wins the site back once
         # the link returns.
         config = MOSTConfig().scaled(60)
-        report = run_degraded_experiment(
+        report = run_degraded(
             config, fail_at_step=12, outage_duration=400.0,
             breaker_config=BreakerConfig(failure_threshold=2,
                                          open_interval=30.0),
@@ -199,12 +212,12 @@ class TestDegradedScenario:
                                                  probe_interval=30.0))
         result = report.result
         assert result.completed
-        kinds = [e["kind"] for e in report.extras["failover"]["events"]]
+        kinds = [e["kind"] for e in report.failover["events"]]
         assert kinds == ["failover", "readmit"]
         # degraded steps form one internal window; the run ends healthy
         assert result.degraded_steps >= 1
         assert result.steps[-1].degraded == ()
-        assert report.extras["breakers"]["uiuc"]["state"] == "closed"
+        assert report.breakers["uiuc"]["state"] == "closed"
         spans = result.degraded_spans()
         assert len(spans) == 1
         first, last, sites = spans[0]

@@ -1,26 +1,13 @@
-"""The unified run API: ExperimentSession, SessionResult, and the shims.
+"""The unified run API: ExperimentSession and SessionResult.
 
-One builder replaces the four ``run_*_experiment`` entry points; the old
-functions survive one release as deprecation shims.  These tests pin the
-contract: the shims warn, the shims produce the same physics and the same
-extras the historical functions did, and the composable capabilities land
-their results on the typed :class:`SessionResult` fields.
+One builder replaces the retired ``run_*_experiment`` entry points.
+These tests pin the contract: the compositions reproduce the historical
+scenarios' physics, and the composable capabilities land their results
+on the typed :class:`SessionResult` fields.
 """
 
-import numpy as np
-import pytest
-
 import repro
-from repro.most import (
-    ExperimentSession,
-    MOSTConfig,
-    SessionResult,
-    run_degraded_experiment,
-    run_monitored_experiment,
-    run_public_experiment,
-    run_public_with_resume,
-)
-from repro.most.scenario import ScenarioReport
+from repro.most import ExperimentSession, MOSTConfig, SessionResult
 from repro.most.session import default_fail_step
 
 
@@ -35,64 +22,35 @@ class TestExports:
         assert "ExperimentSession" in repro.__all__
         assert "SessionResult" in repro.__all__
 
+    def test_legacy_shims_are_gone(self):
+        import repro.most as most
 
-class TestDeprecationShims:
-    def test_every_shim_warns(self):
-        with pytest.warns(DeprecationWarning,
-                          match="run_public_experiment.*deprecated"):
-            run_public_experiment(small())
-        with pytest.warns(DeprecationWarning,
-                          match="run_public_with_resume.*deprecated"):
-            run_public_with_resume(small(), checkpoint_every=10)
-        with pytest.warns(DeprecationWarning,
-                          match="run_monitored_experiment.*deprecated"):
-            run_monitored_experiment(small())
-        with pytest.warns(DeprecationWarning,
-                          match="run_degraded_experiment.*deprecated"):
-            run_degraded_experiment(small())
+        for name in ("run_public_experiment", "run_public_with_resume",
+                     "run_monitored_experiment", "run_degraded_experiment"):
+            assert not hasattr(most, name)
+            assert name not in most.__all__
 
-    def test_public_shim_matches_the_session_composition(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_public_experiment(small())
+
+class TestScenarioCompositions:
+    def test_public_composition_dies_at_the_scaled_fatal_step(self):
         composed = (ExperimentSession(small(), run_id="most-public")
                     .with_observers()
                     .with_faults()
                     .run())
-        assert isinstance(legacy, ScenarioReport)
         assert isinstance(composed, SessionResult)
-        assert np.array_equal(legacy.result.displacement_history(),
-                              composed.result.displacement_history())
-        assert legacy.result.aborted_at_step == \
-            composed.result.aborted_at_step
-        assert legacy.ntcp_retries == composed.ntcp_retries
-        assert legacy.chef_peak_online == composed.chef_peak_online
-        assert legacy.extras["fail_at_step"] == composed.fail_at_step \
-            == default_fail_step(small())
+        assert not composed.result.completed
+        assert composed.fail_at_step == default_fail_step(small())
+        assert composed.result.aborted_at_step == composed.fail_at_step
 
-    def test_resume_shim_extras_mirror_the_typed_fields(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_public_with_resume(small(), checkpoint_every=10)
-        assert set(legacy.extras) == {"fail_at_step", "aborted_result",
-                                      "reconciliation", "checkpoints"}
-        assert legacy.extras["aborted_result"] is not None
-        assert legacy.extras["checkpoints"] > 0
-        assert legacy.result.completed
-
-    def test_monitored_shim_extras_mirror_the_typed_fields(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_monitored_experiment(small(), inject_faults=True)
-        composed = (ExperimentSession(small(), run_id="most-monitored")
-                    .with_fault_tolerance()
-                    .with_monitoring()
-                    .with_anomalies()
+    def test_resume_composition_lands_on_typed_fields(self):
+        composed = (ExperimentSession(small(), run_id="most-resume")
+                    .with_faults()
+                    .with_resume(checkpoint_every=10)
                     .run())
-        legacy_alerts = [(a.kind, a.site, a.step, a.time)
-                         for a in legacy.extras["alerts"]]
-        composed_alerts = [(a.kind, a.site, a.step, a.time)
-                           for a in composed.alerts]
-        assert legacy_alerts == composed_alerts
-        assert legacy.extras["rollups"]["dominant_site"] == \
-            composed.rollups["dominant_site"]
+        assert composed.aborted_result is not None
+        assert composed.reconciliation is not None
+        assert composed.checkpoints > 0
+        assert composed.result.completed
 
 
 class TestSessionResults:

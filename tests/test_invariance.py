@@ -71,10 +71,16 @@ class TestNetworkInvariance:
 class TestFullScaleDeterminism:
     def test_public_run_fails_at_1493_reproducibly(self):
         """The headline number, at full scale, twice."""
-        from repro.most import MOSTConfig, run_public_experiment
+        from repro.most import ExperimentSession, MOSTConfig
 
-        first = run_public_experiment(MOSTConfig())
-        second = run_public_experiment(MOSTConfig())
+        def run_public():
+            return (ExperimentSession(MOSTConfig(), run_id="most-public")
+                    .with_observers()
+                    .with_faults()
+                    .run())
+
+        first = run_public()
+        second = run_public()
         assert first.result.aborted_at_step == 1493
         assert second.result.aborted_at_step == 1493
         assert first.result.steps_completed == second.result.steps_completed

@@ -19,7 +19,7 @@ from repro.monitor import (
     validate_metrics_sample,
 )
 from repro.monitor.schema import MonitorSchemaError, SCHEMA_ID
-from repro.most import MOSTConfig, run_monitored_experiment
+from repro.most import ExperimentSession, MOSTConfig
 from repro.net import Network, RpcClient
 from repro.net.network import Message
 from repro.nsds import NSDSReceiver, NSDSService, StreamSample
@@ -459,49 +459,57 @@ class TestMonitorDetectors:
         validate_alert_payload(seen[0].to_payload(monitor.service_id))
 
 
+def run_monitored(config, *, inject_faults=False):
+    """A monitored run composed the way the retired shim built it."""
+    session = (ExperimentSession(config, run_id="most-monitored")
+               .with_fault_tolerance()
+               .with_monitoring())
+    if inject_faults:
+        session.with_anomalies()
+    return session.run()
+
+
 @pytest.fixture(scope="module")
 def faulted_report():
-    return run_monitored_experiment(MOSTConfig().scaled(40),
-                                    inject_faults=True)
+    return run_monitored(MOSTConfig().scaled(40), inject_faults=True)
 
 
 @pytest.fixture(scope="module")
 def clean_report():
-    return run_monitored_experiment(MOSTConfig().scaled(40))
+    return run_monitored(MOSTConfig().scaled(40))
 
 
 class TestMonitoredExperiment:
     def test_faulted_run_completes_with_expected_alerts(self, faulted_report):
         rep = faulted_report
         assert rep.result.completed
-        kinds = {a.kind for a in rep.extras["alerts"]}
+        kinds = {a.kind for a in rep.alerts}
         assert kinds == {"stall", "slow_site"}
-        stalls = [a for a in rep.extras["alerts"] if a.kind == "stall"]
+        stalls = [a for a in rep.alerts if a.kind == "stall"]
         assert all(a.severity == "critical" for a in stalls)
         # the stall is raised during the injected outage window
-        outage_step = rep.extras["outage_at_step"]
+        outage_step = rep.outage_at_step
         assert all(a.step >= outage_step - 1 for a in stalls)
-        for alert in rep.extras["alerts"]:
+        for alert in rep.alerts:
             validate_alert_payload(alert.to_payload("monitor-console"))
 
     def test_faulted_run_is_deterministic(self, faulted_report):
-        again = run_monitored_experiment(MOSTConfig().scaled(40),
-                                         inject_faults=True)
+        again = run_monitored(MOSTConfig().scaled(40), inject_faults=True)
         key = lambda rep: [(a.kind, a.severity, a.site, a.step, a.time)
-                           for a in rep.extras["alerts"]]
+                           for a in rep.alerts]
         assert key(again) == key(faulted_report)
 
     def test_clean_run_raises_no_alerts(self, clean_report):
         rep = clean_report
         assert rep.result.completed
-        assert rep.extras["alerts"] == []
-        rollups = rep.extras["rollups"]
+        assert rep.alerts == []
+        rollups = rep.rollups
         assert rollups["stream"]["received"] > 0
         assert rollups["stream"]["gaps"] == 0
         assert rollups["last_committed_step"] == rep.result.steps_completed
 
     def test_rollups_track_health_and_sites(self, clean_report):
-        rollups = clean_report.extras["rollups"]
+        rollups = clean_report.rollups
         assert rollups["health"]["coordinator"] == "stopped"
         assert set(rollups["per_site"]) == {"ntcp-uiuc", "ntcp-cu",
                                             "ntcp-ncsa"}
@@ -509,7 +517,7 @@ class TestMonitoredExperiment:
             assert site["executed"] > 0 and site["execute_p95"] > 0.0
 
     def test_health_sdes_versioned_and_valid(self, clean_report):
-        kit = clean_report.extras["monitoring"]
+        kit = clean_report.monitoring
         for name, publisher in kit.publishers.items():
             sde = publisher.service_data.get("health")
             validate_health_payload(sde.value)

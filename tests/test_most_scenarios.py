@@ -9,10 +9,10 @@ import numpy as np
 import pytest
 
 from repro.most import (
+    ExperimentSession,
     MOSTConfig,
     build_most,
     run_dry_run,
-    run_public_experiment,
     run_simulation_only,
     run_with_fault_tolerance,
 )
@@ -30,7 +30,10 @@ def dry(short_config):
 
 @pytest.fixture(scope="module")
 def public(short_config):
-    return run_public_experiment(short_config)
+    return (ExperimentSession(short_config, run_id="most-public")
+            .with_observers()
+            .with_faults()
+            .run())
 
 
 class TestSimulationOnly:
@@ -110,7 +113,7 @@ class TestPublicRun:
     def test_exits_prematurely_at_fatal_step(self, public, short_config):
         result = public.result
         assert not result.completed
-        fail_at = public.extras["fail_at_step"]
+        fail_at = public.fail_at_step
         assert result.aborted_at_step == fail_at
         assert result.steps_completed == fail_at - 1
 

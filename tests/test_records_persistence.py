@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.coordinator.records import ExperimentResult
 from repro.mini_most import MiniMOSTConfig, run_mini_most
-from repro.most import MOSTConfig, run_public_experiment
+from repro.most import ExperimentSession, MOSTConfig
 
 
 class TestResultPersistence:
@@ -27,7 +27,11 @@ class TestResultPersistence:
                               result.site_force_history("beam"))
 
     def test_aborted_run_roundtrips(self):
-        report = run_public_experiment(MOSTConfig().scaled(60))
+        report = (ExperimentSession(MOSTConfig().scaled(60),
+                                    run_id="most-public")
+                  .with_observers()
+                  .with_faults()
+                  .run())
         result = report.result
         clone = ExperimentResult.from_json(result.to_json())
         assert not clone.completed
