@@ -2,8 +2,9 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint analyze verify verify-smoke smoke monitor-smoke \
-	chaos-smoke fleet-smoke bench bench-perf bench-perf-smoke \
-	bench-fleet bench-fleet-smoke validate-bench check
+	chaos-smoke fleet-smoke observatory-smoke bench bench-perf \
+	bench-perf-smoke bench-fleet bench-fleet-smoke bench-obs \
+	bench-obs-smoke validate-bench check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -36,6 +37,9 @@ chaos-smoke:
 fleet-smoke:
 	$(PYTHON) scripts/fleet_smoke.py
 
+observatory-smoke:
+	$(PYTHON) scripts/observatory_smoke.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -57,8 +61,18 @@ bench-fleet:
 bench-fleet-smoke:
 	$(PYTHON) benchmarks/bench_tfleet.py --smoke
 
+# Full observatory measurement; regenerates the committed repo-root
+# BENCH_tobs.json (overhead, rollup fidelity, determinism, black box).
+bench-obs:
+	$(PYTHON) benchmarks/bench_tobs_observatory.py
+
+# Shortened CI gate: same measurement, writes benchmarks/out/ only.
+bench-obs-smoke:
+	$(PYTHON) benchmarks/bench_tobs_observatory.py --smoke
+
 validate-bench:
 	$(PYTHON) scripts/validate_bench.py
 
 check: lint analyze verify test smoke monitor-smoke chaos-smoke \
-	fleet-smoke bench-perf-smoke bench-fleet-smoke validate-bench
+	fleet-smoke observatory-smoke bench-perf-smoke bench-fleet-smoke \
+	bench-obs-smoke validate-bench

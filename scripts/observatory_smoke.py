@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""CI smoke target: the grid observatory records, queries, and replays.
+
+Two short MOST runs with the observatory attached
+(``repro.observatory``):
+
+1. **Clean** — a monitored run whose metrics stream must land in the
+   time-series store, answer a range query with a positive step-time
+   aggregate, keep every SLO error budget intact, and leave zero flight
+   snapshots.  The store dump must round-trip through the offline
+   loader to a byte-identical query answer.
+2. **Aborted** — the same run with a fatal mid-run outage.  Must leave
+   exactly one flight snapshot whose rendered postmortem timeline names
+   the faulted site and the aborted step.
+
+Exits non-zero on any failure, so CI can gate on
+``make observatory-smoke``.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.most import ExperimentSession, MOSTConfig
+from repro.observatory import TimeSeriesStore, run_query
+from repro.observatory.schema import validate_dump
+
+QUERY = {"metric": "coordinator.mspsds.step_time",
+         "selector": {"stat": "p95"}, "agg": "max"}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def main() -> int:
+    config = MOSTConfig().scaled(40)
+
+    print("[1] clean observed run (store, query, SLO budgets)")
+    clean = (ExperimentSession(config, run_id="obs-smoke")
+             .with_fault_tolerance()
+             .with_observatory()
+             .run())
+    if not clean.result.completed:
+        fail("clean run did not complete")
+    obs = clean.observatory
+    stats = obs.store.stats()
+    if stats["samples_ingested"] == 0:
+        fail("store ingested no streamed metric samples")
+    doc = obs.query(dict(QUERY))
+    if doc["aggregate"] is None or doc["aggregate"]["value"] <= 0.0:
+        fail(f"step-time query returned {doc['aggregate']!r}")
+    budgets = obs.slo.budget_remaining()
+    low = {name: b for name, b in budgets.items() if b < 1.0}
+    if low:
+        fail(f"clean run burned SLO error budget: {low}")
+    if obs.recorder.snapshots:
+        fail(f"clean run left {len(obs.recorder.snapshots)} "
+             f"flight snapshots")
+    print(f"    {stats['series']} series, {stats['points']} points; "
+          f"max p95 step time {doc['aggregate']['value']:.3f}s; "
+          f"{len(budgets)} SLOs at full budget")
+
+    dump = obs.dump()
+    validate_dump(dump)
+    offline = TimeSeriesStore.from_records(dump["series"])
+    request = dict(QUERY, end=dump["time"])
+    live = json.dumps(obs.query(dict(request)), sort_keys=True)
+    replay = json.dumps(run_query(offline, dict(request),
+                                  now=dump["time"]), sort_keys=True)
+    if live != replay:
+        fail("offline dump replay disagrees with the live store")
+    print(f"    dump round-trip: {len(dump['series'])} series records, "
+          f"replayed query identical")
+
+    print("[2] aborted run (flight recorder + postmortem)")
+    aborted = (ExperimentSession(config, run_id="obs-smoke-abort")
+               .with_faults(outage_duration=float("inf"))
+               .with_observatory()
+               .run())
+    if aborted.result.completed:
+        fail("seeded outage did not abort the run")
+    obs = aborted.observatory
+    if len(obs.recorder.snapshots) != 1:
+        fail(f"expected exactly one flight snapshot, got "
+             f"{len(obs.recorder.snapshots)}")
+    step = aborted.result.aborted_at_step
+    timeline = obs.postmortem("obs-smoke-abort")
+    if "uiuc" not in timeline or str(step) not in timeline:
+        fail(f"postmortem does not name site 'uiuc' and step {step}")
+    for line in timeline.splitlines()[:3]:
+        print(f"    {line}")
+    print(f"    snapshot at step {step}; timeline names the faulted "
+          f"site and step")
+
+    print("observatory smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

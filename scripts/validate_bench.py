@@ -13,7 +13,12 @@ exists to witness:
 * fleet documents (``BENCH_tfleet.json``) — every experiment completed,
   zero duplicate executes, fairness ratio within its bound, histories
   bit-exact against solo runs, the unauthorized call rejected, and (for
-  the committed document) >= 100 experiments over <= 8 shared sites.
+  the committed document) >= 100 experiments over <= 8 shared sites;
+* observatory documents (``BENCH_tobs.json``) — observed median step
+  time within its bound of the unobserved run, every checked rollup
+  bucket consistent with its raw points, query + postmortem documents
+  identical across repeated campaigns, and the seeded abort's flight
+  snapshot naming the faulted site and step.
 
 Run:  python scripts/validate_bench.py   (or ``make validate-bench``)
 """
@@ -72,11 +77,39 @@ def check_fleet(path: pathlib.Path, payload: dict, *,
           f"{payload['fairness']['bound']})")
 
 
+def check_obs(path: pathlib.Path, payload: dict, *,
+              committed: bool) -> None:
+    overhead = payload["overhead"]
+    assert overhead["within_bound"], \
+        f"{path}: observatory overhead exceeds its bound"
+    assert abs(overhead["overhead_fraction"]) <= overhead["bound"], \
+        f"{path}: overhead_fraction disagrees with within_bound"
+    assert payload["rollups"]["consistent"], \
+        f"{path}: rollup buckets disagree with their raw points"
+    assert payload["determinism"]["query_identical"], \
+        f"{path}: query documents not identical across campaigns"
+    assert payload["determinism"]["postmortem_identical"], \
+        f"{path}: postmortems not identical across campaigns"
+    flight = payload["flight"]
+    assert flight["timeline_names_site_and_step"], \
+        f"{path}: postmortem does not name the faulted site and step"
+    if committed:
+        assert payload["rollups"]["series_checked"] >= 1, \
+            f"{path}: committed observatory document checked no rollups"
+    print(f"  {path.relative_to(ROOT)}: OK "
+          f"(overhead {overhead['overhead_fraction']:+.2%} within "
+          f"{overhead['bound']:.0%}, {payload['rollups']['series_checked']} "
+          f"rollup series, abort at step {flight['aborted_step']} "
+          f"on {flight['faulted_site']})")
+
+
 def check(path: pathlib.Path, *, committed: bool) -> None:
     payload = json.loads(path.read_text())
     validate_bench_payload(payload)
     if payload["experiment"] == "tfleet":
         check_fleet(path, payload, committed=committed)
+    elif payload["experiment"] == "tobs":
+        check_obs(path, payload, committed=committed)
     else:
         check_stepping(path, payload, committed=committed)
 
@@ -89,7 +122,8 @@ def main() -> int:
     print("validating benchmark documents (repro.bench/v1):")
     for path in committed:
         check(path, committed=True)
-    for name in ("BENCH_tperf_ntcp.smoke.json", "BENCH_tfleet.smoke.json"):
+    for name in ("BENCH_tperf_ntcp.smoke.json", "BENCH_tfleet.smoke.json",
+                  "BENCH_tobs.smoke.json"):
         smoke = ROOT / "benchmarks" / "out" / name
         if smoke.exists():
             check(smoke, committed=False)

@@ -10,8 +10,10 @@ plugins (:mod:`repro.control`), the data systems (:mod:`repro.daq`,
 layer (:mod:`repro.telepresence`, :mod:`repro.chef`), the MS-PSDS
 coordinator (:mod:`repro.coordinator`), the run-wide telemetry plane
 (:mod:`repro.telemetry`), the assembled experiments
-(:mod:`repro.most`, :mod:`repro.mini_most`), and the multi-tenant
-experiment fleet (:mod:`repro.fleet`).
+(:mod:`repro.most`, :mod:`repro.mini_most`), the multi-tenant
+experiment fleet (:mod:`repro.fleet`), and the grid observatory —
+durable time-series history, SLO burn-rate alerting, and the black-box
+flight recorder (:mod:`repro.observatory`).
 
 The names re-exported here are the curated public API — the set a typical
 experiment script needs, importable from the top level::
@@ -91,6 +93,17 @@ from repro.most import (
     run_simulation_only,
 )
 
+# -- grid observatory --------------------------------------------------------
+from repro.observatory import (
+    FlightRecorder,
+    ObservatoryKit,
+    SLOEvaluator,
+    SLOSpec,
+    TimeSeriesStore,
+    attach_observatory,
+    postmortem_timeline,
+)
+
 # -- multi-tenant fleet ------------------------------------------------------
 from repro.fleet import (
     ExperimentRequest,
@@ -162,4 +175,12 @@ __all__ = [
     "SitePool",
     "TenantRegistry",
     "build_fleet_grid",
+    # grid observatory
+    "FlightRecorder",
+    "ObservatoryKit",
+    "SLOEvaluator",
+    "SLOSpec",
+    "TimeSeriesStore",
+    "attach_observatory",
+    "postmortem_timeline",
 ]

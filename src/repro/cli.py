@@ -13,6 +13,8 @@ Subcommands map to the experiments a user most often wants to replay:
   over the full assembly, protocol-invariant verdicts per seed;
 * ``fleet`` — run a multi-tenant campaign over a shared site pool:
   fair-share leases, per-tenant GSI identity, optional seeded outages;
+* ``observatory`` — run MOST with the grid observatory attached and dump
+  the time-series store, then ``query``/``postmortem`` the dump offline;
 * ``mini-most`` — run the tabletop rig (optionally on the kinetic
   simulator);
 * ``followon`` — run one of the §5 experiments;
@@ -255,6 +257,121 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if verdict["ok"] else 1
 
 
+def _load_dump(path: str):
+    import json
+
+    from repro.observatory.schema import validate_dump
+
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_dump(doc)
+    return doc
+
+
+def _cmd_observatory_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.most import ExperimentSession, MOSTConfig
+
+    config = MOSTConfig()
+    if args.steps != 1500:
+        config = config.scaled(args.steps)
+    session = (ExperimentSession(config, run_id=args.run_id,
+                                 simulation_only=True)
+               .with_observatory())
+    if args.abort:
+        session.with_faults(outage_duration=float("inf"))
+    else:
+        session.with_fault_tolerance()
+    report = session.run()
+    obs = report.observatory
+    r = report.result
+    status = ("completed" if r.completed
+              else f"exited prematurely at step {r.aborted_at_step}")
+    print(f"MOST observed run ({args.run_id}): "
+          f"{r.steps_completed}/{r.target_steps} steps, {status}")
+    stats = obs.store.stats()
+    print(f"  series stored       : {stats['series']} "
+          f"({stats['points']} points from "
+          f"{stats['samples_ingested']} stream samples)")
+    for status_row in obs.slo.evaluate_quiet():
+        print(f"  SLO {status_row['name']:<18}: "
+              f"budget {status_row['budget_remaining']:.0%} remaining, "
+              f"{int(status_row['bad'])}/{int(status_row['events'])} bad")
+    print(f"  flight snapshots    : {len(obs.recorder.snapshots)}")
+    dump = obs.dump()
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(dump, indent=2, sort_keys=True) + "\n")
+    print(f"  store dumped        : {args.out}")
+    return 0 if (r.completed or args.abort) else 1
+
+
+def _cmd_observatory_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observatory.query import run_query
+    from repro.observatory.tsdb import TimeSeriesStore
+
+    doc = _load_dump(args.store)
+    store = TimeSeriesStore.from_records(doc["series"])
+    selector = {}
+    for pair in args.label:
+        if "=" not in pair:
+            print(f"error: --label takes key=value, got {pair!r}",
+                  file=sys.stderr)
+            return 2
+        key, _, value = pair.partition("=")
+        selector[key] = value
+    request = {"metric": args.metric, "selector": selector,
+               "start": args.start, "tier": args.tier, "page": args.page,
+               "page_size": args.page_size}
+    if args.end is not None:
+        request["end"] = args.end
+    if args.agg is not None:
+        request["agg"] = args.agg
+    if args.quantile is not None:
+        request["quantile"] = args.quantile
+    result = run_query(store, request, now=doc["time"])
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    print(f"{result['query']['metric']}  tier={result['tier']}  "
+          f"series {len(result['series'])}/{result['total_series']} "
+          f"(page {result['page']}/{result['pages']})")
+    for entry in result["series"]:
+        labels = ",".join(f"{k}={v}"
+                          for k, v in sorted(entry["labels"].items()))
+        suffix = ""
+        if entry["aggregate"] is not None:
+            agg = entry["aggregate"]
+            suffix = f"  {agg['op']}={agg['value']:.6g} (n={agg['count']})"
+        more = " ..." if entry["truncated"] else ""
+        print(f"  {{{labels}}}  {len(entry['points'])} points{more}{suffix}")
+        for t, v in entry["points"][-args.show_points:]:
+            print(f"    {t:>12.3f}  {v:.6g}")
+    if result["aggregate"] is not None:
+        agg = result["aggregate"]
+        print(f"  combined {agg['op']} = {agg['value']:.6g} "
+              f"over {agg['count']} points")
+    return 0
+
+
+def _cmd_observatory_postmortem(args: argparse.Namespace) -> int:
+    from repro.observatory.recorder import postmortem_timeline
+
+    doc = _load_dump(args.store)
+    wanted = [snap for snap in doc["snapshots"]
+              if snap["run_id"] == args.run_id]
+    if not wanted:
+        recorded = sorted({snap["run_id"] for snap in doc["snapshots"]})
+        print(f"error: no flight snapshot for run {args.run_id!r} in "
+              f"{args.store} (recorded: {recorded or 'none'})",
+              file=sys.stderr)
+        return 1
+    print(postmortem_timeline(wanted[-1], last_steps=args.last_steps))
+    return 0
+
+
 def _cmd_mini_most(args: argparse.Namespace) -> int:
     from repro.mini_most import MiniMOSTConfig, run_mini_most
 
@@ -418,6 +535,67 @@ def build_parser() -> argparse.ArgumentParser:
                          help="dump the campaign report as JSON")
     p_fleet.set_defaults(fn=_cmd_fleet)
 
+    p_obs = sub.add_parser(
+        "observatory",
+        help="durable operational history: run, query, postmortem")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_obs_run = obs_sub.add_parser(
+        "run", help="run MOST with the observatory attached; dump the store")
+    p_obs_run.add_argument("run_id", nargs="?", default="most-obs",
+                           help="experiment run id (default: most-obs)")
+    p_obs_run.add_argument("--steps", type=int, default=1500,
+                           help="record length (default: the paper's 1500)")
+    p_obs_run.add_argument("--abort", action="store_true",
+                           help="arm the fatal-step outage with no retry "
+                                "policy, so the run aborts and the flight "
+                                "recorder snapshots the incident")
+    p_obs_run.add_argument("--out", default="observatory.json",
+                           help="dump file (default: observatory.json)")
+    p_obs_run.set_defaults(fn=_cmd_observatory_run)
+
+    p_obs_query = obs_sub.add_parser(
+        "query", help="range-query a dumped time-series store")
+    p_obs_query.add_argument("metric", help="exact metric name")
+    p_obs_query.add_argument("--store", default="observatory.json",
+                             help="dump file (default: observatory.json)")
+    p_obs_query.add_argument("--label", action="append", default=[],
+                             metavar="KEY=VALUE",
+                             help="label-equality selector (repeatable)")
+    p_obs_query.add_argument("--agg",
+                             choices=["count", "sum", "avg", "min", "max",
+                                      "rate", "quantile"],
+                             help="aggregate across the window")
+    p_obs_query.add_argument("--quantile", type=float,
+                             help="percentile for --agg quantile (0-100)")
+    p_obs_query.add_argument("--start", type=float, default=0.0,
+                             help="window start, sim-seconds (default: 0)")
+    p_obs_query.add_argument("--end", type=float,
+                             help="window end (default: dump time)")
+    p_obs_query.add_argument("--tier",
+                             choices=["auto", "raw", "r10", "r100"],
+                             default="auto",
+                             help="downsampling tier (default: auto)")
+    p_obs_query.add_argument("--page", type=int, default=1)
+    p_obs_query.add_argument("--page-size", type=int, default=10)
+    p_obs_query.add_argument("--show-points", type=int, default=5,
+                             help="trailing points printed per series "
+                                  "(default: 5)")
+    p_obs_query.add_argument("--json", action="store_true",
+                             help="print the full query_result document")
+    p_obs_query.set_defaults(fn=_cmd_observatory_query)
+
+    p_obs_pm = obs_sub.add_parser(
+        "postmortem",
+        help="render a run's flight-recorder incident timeline")
+    p_obs_pm.add_argument("run_id", help="the aborted run's id")
+    p_obs_pm.add_argument("--store", default="observatory.json",
+                          help="dump file (default: observatory.json)")
+    p_obs_pm.add_argument("--last-steps", type=int, default=5,
+                          help="steps of history before the incident "
+                               "(default: 5)")
+    p_obs_pm.set_defaults(fn=_cmd_observatory_postmortem)
+
     p_mini = sub.add_parser("mini-most", help="run Mini-MOST (§3.5)")
     p_mini.add_argument("--steps", type=int, default=200)
     p_mini.add_argument("--kinetic", action="store_true",
@@ -441,7 +619,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. a postmortem piped into head
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

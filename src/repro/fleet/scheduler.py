@@ -249,6 +249,8 @@ class FleetScheduler:
         self._started_at = 0.0
         self._ran = False
         self._monitoring = False
+        self._tenant_alerts: dict[str, int] = {}
+        self.slo = None
         self.status: FleetStatusService | None = None
         if monitor:
             self.status = FleetStatusService()
@@ -317,6 +319,18 @@ class FleetScheduler:
                            peak_queue_depth=self.pool.peak_queue_depth)
 
     # -- observability -------------------------------------------------------
+    def note_alert(self, tenant_id: str, kind: str = "slo_burn") -> None:
+        """Attribute one raised alert to a tenant (shows in the rollup)."""
+        self._tenant_alerts[tenant_id] = \
+            self._tenant_alerts.get(tenant_id, 0) + 1
+        self.kernel.emit("fleet.scheduler", "tenant.alert",
+                         tenant=tenant_id, alert=kind)
+
+    def attach_slo(self, evaluator) -> None:
+        """Point the rollup's error-budget fields at an SLO evaluator
+        (see :class:`repro.observatory.slo.SLOEvaluator`)."""
+        self.slo = evaluator
+
     def rollup(self) -> dict[str, Any]:
         """The fleet roll-up document (published as SDE ``fleet.rollup``)."""
         now = self.kernel.now
@@ -335,6 +349,10 @@ class FleetScheduler:
                 "step_rate": steps / elapsed,
                 "runs_completed": runs_by_tenant.get(tenant_id, 0),
                 "degraded": tenant_id in degraded_tenants,
+                "alerts": self._tenant_alerts.get(tenant_id, 0),
+                "error_budget_remaining": (
+                    self.slo.budget_for_tenant(tenant_id)
+                    if self.slo is not None else 1.0),
             }
         self._g_completed.set(self._completed)
         self._g_degraded.set(len(degraded_tenants))
@@ -347,6 +365,9 @@ class FleetScheduler:
                             "completed": self._completed,
                             "failed": self._failed},
             "degraded_tenants": len(degraded_tenants),
+            "alerts": sum(self._tenant_alerts.values()),
+            "slo": (self.slo.budget_remaining()
+                    if self.slo is not None else {}),
             "tenants": tenants,
         }
 

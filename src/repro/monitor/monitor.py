@@ -330,8 +330,14 @@ class ExperimentMonitor(GridService):
                 if site not in degraded:
                     self._degraded_alerted.discard(site)
 
-    def stream_stats(self) -> dict[str, float] | None:
-        """Gap/out-of-order rates, read from the receiver's hub counters."""
+    def stream_stats(self) -> dict[str, Any] | None:
+        """Gap/out-of-order rates, read from the receiver's hub counters.
+
+        Alongside the receiver-wide rates, ``channels`` breaks the
+        counters down per subscribed channel (received, highest sequence
+        number seen, sequence-gap losses), so a ``stream_health`` alert
+        payload names which stream is actually gapping.
+        """
         receiver = self.receiver
         if receiver is None:
             return None
@@ -343,13 +349,32 @@ class ExperimentMonitor(GridService):
         gaps = gaps_metric.value if gaps_metric is not None else 0
         out_of_order = ooo_metric.value if ooo_metric is not None else 0
         lost = max(gaps - out_of_order, 0)
+        channels = {channel: {"received": receiver.received_count(channel),
+                              "highest_seq": receiver.highest_seq.get(
+                                  channel, -1),
+                              "lost": receiver.loss_count(channel)}
+                    for channel in sorted(receiver.samples)}
         return {"received": received, "gaps": gaps,
                 "out_of_order": out_of_order, "lost": lost,
                 "loss_rate": lost / received if received else 0.0,
                 "out_of_order_rate": (out_of_order / received
-                                      if received else 0.0)}
+                                      if received else 0.0),
+                "channels": channels}
 
     # -- alerting -------------------------------------------------------------
+    def raise_alert(self, kind: str, severity: str, message: str, *,
+                    site: str | None = None,
+                    detail: dict[str, Any] | None = None) -> Alert:
+        """Raise a typed alert on behalf of an external detector.
+
+        The observatory's SLO burn-rate evaluator uses this to route its
+        ``slo_burn`` alerts through the console's standard channel —
+        SDEs, counters, and the ``on_alert`` callback all fire exactly
+        as they do for the built-in detectors.
+        """
+        return self._raise_alert(kind, severity, message, site=site,
+                                 detail=detail)
+
     def _raise_alert(self, kind: str, severity: str, message: str, *,
                      site: str | None = None,
                      detail: dict[str, Any] | None = None) -> Alert:

@@ -14,8 +14,8 @@ Payload kinds:
   flush: counter deltas + cumulative totals, gauge values, histogram
   summaries (with the operator-facing p95), sequenced per source;
 * ``alert`` — one typed anomaly record (stall / slow_site /
-  stream_health / breaker_open) raised by the monitor's deterministic
-  detectors.
+  stream_health / breaker_open / slo_burn) raised by the monitor's
+  deterministic detectors or by the observatory's SLO burn-rate rules.
 """
 
 from __future__ import annotations
@@ -28,7 +28,8 @@ from repro.util.errors import ReproError
 SCHEMA_ID = "repro.monitor/v1"
 
 HEALTH_STATUSES = ("starting", "running", "degraded", "stopped")
-ALERT_KINDS = ("stall", "slow_site", "stream_health", "breaker_open")
+ALERT_KINDS = ("stall", "slow_site", "stream_health", "breaker_open",
+               "slo_burn")
 ALERT_SEVERITIES = ("info", "warning", "critical")
 
 _METRIC_TYPES = ("counter", "gauge", "histogram")

@@ -239,6 +239,7 @@ class SessionResult:
     metadata_object: Any = None
     outage_at_step: int | None = None
     slow_at_step: int | None = None
+    observatory: Any = None
     extras: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -273,6 +274,7 @@ class ExperimentSession:
         self._anomalies: dict[str, Any] | None = None
         self._resume: dict[str, Any] | None = None
         self._monitoring: dict[str, Any] | None = None
+        self._observatory: dict[str, Any] | None = None
         self._degradation: dict[str, Any] | None = None
         self._pipeline: dict[str, Any] | None = None
         self._variants: list | None = None
@@ -339,6 +341,18 @@ class ExperimentSession:
         """Attach the live operations console; its alert feed and metric
         rollups land on the :class:`SessionResult`."""
         self._monitoring = {"thresholds": thresholds, "on_alert": on_alert}
+        return self
+
+    def with_observatory(self, slos=None, *,
+                         slo_interval: float = 60.0) -> "ExperimentSession":
+        """Attach the grid observatory (see :mod:`repro.observatory`):
+        a repo-hosted time-series store fed by the monitoring stream,
+        SLO burn-rate alerting through the console, and a flight
+        recorder snapshotted on escalation or abort.  Implies
+        :meth:`with_monitoring` if it was not requested explicitly."""
+        self._observatory = {"slos": slos, "slo_interval": slo_interval}
+        if self._monitoring is None:
+            self._monitoring = {"thresholds": None, "on_alert": None}
         return self
 
     # -- durability & degradation ------------------------------------------
@@ -468,6 +482,14 @@ class ExperimentSession:
             kit = attach_monitoring(dep,
                                     thresholds=self._monitoring["thresholds"],
                                     on_alert=self._monitoring["on_alert"])
+        obs = None
+        if self._observatory is not None:
+            from repro.observatory import attach_observatory
+
+            obs = attach_observatory(
+                dep, kit, run_id=self.run_id,
+                slos=self._observatory["slos"],
+                slo_interval=self._observatory["slo_interval"])
         outage_at_step = slow_at_step = None
         if self._anomalies is not None:
             a = self._anomalies
@@ -486,6 +508,8 @@ class ExperimentSession:
                                       duration=a["outage_duration"])
         if kit is not None:
             kit.start()
+        if obs is not None:
+            obs.start()
 
         breakers = failover = None
         if self._degradation is not None:
@@ -551,6 +575,12 @@ class ExperimentSession:
                     until=dep.kernel.process(second.run()))
                 reconciliation = second.last_reconciliation
                 checkpoints = second.state.checkpoint_seq
+        if obs is not None:
+            if not result.completed:
+                # Freeze the black box before anything else drains — the
+                # step-1493 snapshot the paper's operators never had.
+                obs.record_abort(result)
+            obs.stop()
         if kit is not None:
             kit.stop()
 
@@ -608,4 +638,6 @@ class ExperimentSession:
             outcome.monitoring = kit
             outcome.alerts = list(kit.monitor.alerts)
             outcome.rollups = kit.monitor.rollups()
+        if obs is not None:
+            outcome.observatory = obs
         return outcome

@@ -133,6 +133,52 @@ def validate_jsonl_export(loaded: dict[str, Any]) -> None:
         validate_span_record(record, f"$.spans[{i}]")
 
 
+def validate_step_report_payload(payload: Any) -> None:
+    """A JSON step-latency report (``repro.telemetry.report --format json``).
+
+    Shape::
+
+        {"schema": "repro.telemetry/v1", "kind": "step_report",
+         "experiment": "...", "count": 40,
+         "rows": [{"step": 1, "run_id": "...", "total": 0.21,
+                   "phases": {"propose": 0.1, ...}}, ...],
+         "means": {"total": 0.2, "phases": {"propose": 0.09, ...}}}
+    """
+    _require(isinstance(payload, dict), "$", "payload must be an object")
+    _require(payload.get("schema") == SCHEMA_ID, "$.schema",
+             f"expected {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    _require(payload.get("kind") == "step_report", "$.kind",
+             f"expected 'step_report', got {payload.get('kind')!r}")
+    experiment = payload.get("experiment")
+    _require(isinstance(experiment, str) and experiment, "$.experiment",
+             "experiment must be a non-empty string")
+    rows = payload.get("rows")
+    _require(isinstance(rows, list), "$.rows", "rows must be a list")
+    _require(payload.get("count") == len(rows), "$.count",
+             "count must equal len(rows)")
+    for i, row in enumerate(rows):
+        path = f"$.rows[{i}]"
+        _require(isinstance(row, dict), path, "row must be an object")
+        _require(isinstance(row.get("step"), int)
+                 and not isinstance(row.get("step"), bool),
+                 f"{path}.step", "step must be an integer")
+        _require(isinstance(row.get("run_id"), str), f"{path}.run_id",
+                 "run_id must be a string")
+        _check_number(row.get("total"), f"{path}.total")
+        phases = row.get("phases")
+        _require(isinstance(phases, dict), f"{path}.phases",
+                 "phases must be an object")
+        for phase, duration in phases.items():
+            _check_number(duration, f"{path}.phases.{phase}")
+    means = payload.get("means")
+    _require(isinstance(means, dict), "$.means", "means must be an object")
+    _check_number(means.get("total"), "$.means.total")
+    _require(isinstance(means.get("phases"), dict), "$.means.phases",
+             "means.phases must be an object")
+    for phase, duration in means["phases"].items():
+        _check_number(duration, f"$.means.phases.{phase}")
+
+
 # ---------------------------------------------------------------------------
 # Benchmark comparison documents (repo-root BENCH_*.json)
 # ---------------------------------------------------------------------------
@@ -163,8 +209,9 @@ def validate_bench_payload(payload: Any) -> None:
     """A benchmark comparison document (repo-root ``BENCH_*.json``).
 
     Dispatches on ``$.experiment``: ``"tfleet"`` documents follow the
-    fleet shape (:func:`validate_fleet_bench_payload`); everything else
-    follows the stepping-mode comparison shape
+    fleet shape (:func:`validate_fleet_bench_payload`), ``"tobs"``
+    documents the observatory shape (:func:`validate_obs_bench_payload`);
+    everything else follows the stepping-mode comparison shape
     (:func:`validate_stepping_bench_payload`).
     """
     _require(isinstance(payload, dict), "$", "payload must be an object")
@@ -175,6 +222,8 @@ def validate_bench_payload(payload: Any) -> None:
              "experiment must be a non-empty string")
     if experiment == "tfleet":
         validate_fleet_bench_payload(payload)
+    elif experiment == "tobs":
+        validate_obs_bench_payload(payload)
     else:
         validate_stepping_bench_payload(payload)
 
@@ -221,6 +270,75 @@ def validate_stepping_bench_payload(payload: Any) -> None:
     for key in ("pipelined", "ensemble_base_variant"):
         _require(isinstance(bit_exact.get(key), bool), f"$.bit_exact.{key}",
                  "must be a boolean")
+
+
+def validate_obs_bench_payload(payload: Any) -> None:
+    """A grid-observatory document (``BENCH_tobs.json``).
+
+    Shape::
+
+        {"schema": "repro.bench/v1", "experiment": "tobs",
+         "config": {"n_steps": int, "slo_interval": float},
+         "overhead": {"median_step_off": float, "median_step_on": float,
+                      "overhead_fraction": float, "bound": float,
+                      "within_bound": bool},
+         "rollups": {"series_checked": int, "consistent": bool},
+         "determinism": {"query_identical": bool,
+                         "postmortem_identical": bool},
+         "flight": {"aborted_step": int, "faulted_site": str,
+                    "snapshot_events": int,
+                    "timeline_names_site_and_step": bool}}
+    """
+    _require(isinstance(payload, dict), "$", "payload must be an object")
+    _require(payload.get("schema") == BENCH_SCHEMA_ID, "$.schema",
+             f"expected {BENCH_SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    _require(payload.get("experiment") == "tobs", "$.experiment",
+             "observatory bench documents use experiment 'tobs'")
+    config = payload.get("config")
+    _require(isinstance(config, dict), "$.config", "config must be an object")
+    _require(isinstance(config.get("n_steps"), int)
+             and config["n_steps"] >= 1,
+             "$.config.n_steps", "must be a positive integer")
+    _check_number(config.get("slo_interval"), "$.config.slo_interval")
+    overhead = payload.get("overhead")
+    _require(isinstance(overhead, dict), "$.overhead",
+             "overhead must be an object")
+    for key in ("median_step_off", "median_step_on", "bound"):
+        _require(key in overhead, f"$.overhead.{key}", "missing")
+        _check_number(overhead[key], f"$.overhead.{key}")
+        _require(overhead[key] > 0, f"$.overhead.{key}", "must be positive")
+    _check_number(overhead.get("overhead_fraction"),
+                  "$.overhead.overhead_fraction")
+    _require(isinstance(overhead.get("within_bound"), bool),
+             "$.overhead.within_bound", "must be a boolean")
+    rollups = payload.get("rollups")
+    _require(isinstance(rollups, dict), "$.rollups",
+             "rollups must be an object")
+    _require(isinstance(rollups.get("series_checked"), int)
+             and rollups["series_checked"] >= 1,
+             "$.rollups.series_checked", "must be a positive integer")
+    _require(isinstance(rollups.get("consistent"), bool),
+             "$.rollups.consistent", "must be a boolean")
+    determinism = payload.get("determinism")
+    _require(isinstance(determinism, dict), "$.determinism",
+             "determinism must be an object")
+    for key in ("query_identical", "postmortem_identical"):
+        _require(isinstance(determinism.get(key), bool),
+                 f"$.determinism.{key}", "must be a boolean")
+    flight = payload.get("flight")
+    _require(isinstance(flight, dict), "$.flight",
+             "flight must be an object")
+    _require(isinstance(flight.get("aborted_step"), int)
+             and flight["aborted_step"] >= 0,
+             "$.flight.aborted_step", "must be a non-negative integer")
+    _require(isinstance(flight.get("faulted_site"), str)
+             and flight["faulted_site"],
+             "$.flight.faulted_site", "must be a non-empty string")
+    _require(isinstance(flight.get("snapshot_events"), int)
+             and flight["snapshot_events"] >= 1,
+             "$.flight.snapshot_events", "must be a positive integer")
+    _require(isinstance(flight.get("timeline_names_site_and_step"), bool),
+             "$.flight.timeline_names_site_and_step", "must be a boolean")
 
 
 #: per-tenant record keys in a fleet bench document

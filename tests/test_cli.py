@@ -73,3 +73,60 @@ class TestCommands:
         assert main(["followon", "field-test"]) == 0
         out = capsys.readouterr().out
         assert "wifi loss" in out and "satellite" in out
+
+
+class TestObservatoryCommands:
+    def test_observatory_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["observatory"])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(
+            ["observatory", "query", "a.b.c"])
+        assert args.metric == "a.b.c"
+        assert args.tier == "auto" and args.store == "observatory.json"
+
+    def test_run_then_query_then_no_postmortem(self, tmp_path, capsys):
+        store = tmp_path / "obs.json"
+        assert main(["observatory", "run", "--steps", "40",
+                     "--out", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "series stored" in out
+        assert "SLO step-latency-p95" in out
+        assert "flight snapshots    : 0" in out
+        assert main(["observatory", "query",
+                     "coordinator.mspsds.step_time", "--store", str(store),
+                     "--label", "stat=p95", "--agg", "max"]) == 0
+        out = capsys.readouterr().out
+        assert "coordinator.mspsds.step_time" in out and "max=" in out
+        # a clean run has no black box to render
+        assert main(["observatory", "postmortem", "most-obs",
+                     "--store", str(store)]) == 1
+        assert "no flight snapshot" in capsys.readouterr().err
+
+    def test_abort_run_renders_a_postmortem(self, tmp_path, capsys):
+        store = tmp_path / "obs.json"
+        assert main(["observatory", "run", "boom", "--steps", "40",
+                     "--abort", "--out", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["observatory", "postmortem", "boom",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "POSTMORTEM  run=boom  reason=abort" in out
+        assert "uiuc" in out
+
+    def test_query_json_document_and_bad_label(self, tmp_path, capsys):
+        import json
+
+        store = tmp_path / "obs.json"
+        main(["observatory", "run", "--steps", "40", "--out", str(store)])
+        capsys.readouterr()
+        assert main(["observatory", "query",
+                     "coordinator.mspsds.step_time", "--store", str(store),
+                     "--agg", "quantile", "--quantile", "50", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "query_result"
+        assert doc["aggregate"]["op"] == "quantile"
+        assert main(["observatory", "query", "a.b.c", "--store", str(store),
+                     "--label", "nonsense"]) == 2
+        assert "key=value" in capsys.readouterr().err

@@ -225,6 +225,45 @@ class TestFleetCampaign:
             assert stats["runs_completed"] == 2
             assert stats["steps"] > 0
 
+    def test_rollup_defaults_to_full_budget_and_no_alerts(self,
+                                                          clean_campaign):
+        _, _, fleet, _ = clean_campaign
+        rollup = fleet.status.service_data.value(ROLLUP_SDE)
+        assert rollup["alerts"] == 0 and rollup["slo"] == {}
+        for stats in rollup["tenants"].values():
+            assert stats["alerts"] == 0
+            assert stats["error_budget_remaining"] == 1.0
+
+    def test_rollup_attributes_alerts_and_budgets_per_tenant(self):
+        from repro.observatory import SLOEvaluator, SLOSpec, TimeSeriesStore
+
+        grid, _, _, fleet = small_fleet(2, monitor=True)
+        fleet.submit(ExperimentRequest(tenant="ada", run_id="ada-r0",
+                                       n_steps=5, n_sites=1))
+        fleet.submit(ExperimentRequest(tenant="bob", run_id="bob-r0",
+                                       n_steps=5, n_sites=1))
+        store = TimeSeriesStore(grid.kernel)
+        spec = SLOSpec(name="ada-latency", metric="fleet.tenant.step_time",
+                       selector={"tenant": "ada"}, threshold=1.0,
+                       target=0.9, tenant="ada")
+        fleet.attach_slo(SLOEvaluator(grid.kernel, store, [spec]))
+        fleet.run()
+        # ada blows its latency objective; bob only collects an alert
+        store.append("fleet.tenant.step_time", {"tenant": "ada"}, 1.0, 9.0)
+        fleet.note_alert("ada")
+        fleet.note_alert("ada")
+        fleet.note_alert("bob", kind="stall")
+        rollup = fleet.rollup()
+        assert rollup["alerts"] == 3
+        assert rollup["slo"] == {"ada-latency": 0.0}
+        assert rollup["tenants"]["ada"]["alerts"] == 2
+        assert rollup["tenants"]["ada"]["error_budget_remaining"] == 0.0
+        assert rollup["tenants"]["bob"]["alerts"] == 1
+        assert rollup["tenants"]["bob"]["error_budget_remaining"] == 1.0
+        kinds = [rec.detail["alert"] for rec in grid.kernel.log.records(
+            "fleet.scheduler", "tenant.alert")]
+        assert kinds == ["slo_burn", "slo_burn", "stall"]
+
 
 class TestCheckpointResume:
     def test_tenant_resumes_on_its_own_lease_after_an_outage(self):
@@ -330,6 +369,53 @@ class TestGsiIdentity:
                 seen["remote_type"] = exc.remote_type
 
         grid.kernel.run(until=grid.kernel.process(probe(), name="outsider"))
+        assert seen.get("remote_type") == "SecurityError"
+
+
+class TestSecuredFleetStatus:
+    def test_get_rollup_requires_an_admitted_identity(self):
+        """The fleet roll-up op behind GSI: an admitted tenant's signed
+        invoke succeeds, a CA-issued-but-unadmitted identity is refused."""
+        from repro.gsi import GsiChecker
+
+        grid, _, registry, fleet = small_fleet(2, monitor=True)
+        fleet.submit(ExperimentRequest(tenant="ada", run_id="ada-r0",
+                                       n_steps=5, n_sites=1))
+        result = fleet.run()
+        assert result.outcomes[0].completed
+        # lock the coordinator container down after the campaign drains
+        grid.coord_container.rpc.checker = GsiChecker(
+            registry.crypto, [registry.ca.certificate],
+            registry.pool_gridmap, lambda: grid.kernel.now)
+
+        tenant = registry.tenants["ada"]
+        got = {}
+
+        def admitted():
+            got["rollup"] = yield from tenant.rpc.call(
+                "coord", "ogsi", "invoke",
+                {"service_id": fleet.status.service_id,
+                 "operation": "getRollup", "params": {}},
+                credential=tenant.authenticator.token("invoke"))
+
+        grid.kernel.run(until=grid.kernel.process(admitted(), name="ada"))
+        assert got["rollup"]["experiments"]["completed"] == 1
+        assert "error_budget_remaining" in got["rollup"]["tenants"]["ada"]
+
+        outsider = registry.outsider_client()
+        seen = {}
+
+        def refused():
+            try:
+                yield from outsider.rpc.call(
+                    "coord", "ogsi", "invoke",
+                    {"service_id": fleet.status.service_id,
+                     "operation": "getRollup", "params": {}},
+                    credential=outsider.credential_factory("invoke"))
+            except RemoteException as exc:
+                seen["remote_type"] = exc.remote_type
+
+        grid.kernel.run(until=grid.kernel.process(refused(), name="mallory"))
         assert seen.get("remote_type") == "SecurityError"
 
 

@@ -412,6 +412,25 @@ class TestMonitorDetectors:
         monitor.check()  # one-shot
         assert len(monitor.alerts) == 1
 
+    def test_stream_health_alert_names_the_gapping_channel(self):
+        """Regression: the alert detail must carry per-channel receiver
+        counters, not just receiver-wide rates, so an operator can tell
+        *which* stream is losing samples."""
+        kernel, network, _, monitor = monitor_env(
+            thresholds=AlertThresholds(stream_loss_rate=0.05,
+                                       min_stream_samples=20))
+        recv = NSDSReceiver(network, "portal")
+        monitor.bind_receiver(recv)
+        for seq in range(1, 61, 2):
+            self.deliver(recv, seq)
+        monitor.check()
+        [alert] = monitor.alerts
+        channels = alert.detail["channels"]
+        assert channels == {"c": {"received": 30, "highest_seq": 59,
+                                  "lost": 29}}
+        assert channels["c"]["lost"] == recv.loss_count("c")
+        validate_alert_payload(alert.to_payload("monitor-console"))
+
     def test_stream_health_quiet_below_min_samples(self):
         kernel, network, _, monitor = monitor_env(
             thresholds=AlertThresholds(min_stream_samples=20))

@@ -95,6 +95,39 @@ class TestMetrics:
         with pytest.raises(ValueError):
             h.percentile(101)
 
+    def test_histogram_empty_every_percentile_is_zero(self):
+        h = TelemetryHub().histogram("a.b.c")
+        for p in (0, 25, 50, 95, 100):
+            assert h.percentile(p) == 0.0
+        assert h.count == 0 and h.mean == 0.0
+
+    def test_histogram_single_observation_is_every_percentile(self):
+        h = TelemetryHub().histogram("a.b.c")
+        h.observe(3.25)
+        for p in (0, 1, 50, 99, 100):
+            assert h.percentile(p) == 3.25
+
+    def test_histogram_all_equal_values_interpolate_flat(self):
+        h = TelemetryHub().histogram("a.b.c")
+        for _ in range(9):
+            h.observe(4.0)
+        for p in (0, 10, 37.5, 50, 99, 100):
+            assert h.percentile(p) == 4.0
+        assert h.summary()["p50"] == 4.0
+
+    def test_histogram_exact_rank_boundaries_need_no_interpolation(self):
+        h = TelemetryHub().histogram("a.b.c")
+        for v in (10.0, 20.0, 30.0, 40.0, 50.0):
+            h.observe(v)
+        # ranks (p/100)*(n-1) landing exactly on 0..4
+        assert h.percentile(0) == 10.0
+        assert h.percentile(25) == 20.0
+        assert h.percentile(50) == 30.0
+        assert h.percentile(75) == 40.0
+        assert h.percentile(100) == 50.0
+        with pytest.raises(ValueError):
+            h.percentile(-0.5)
+
     def test_histogram_summary_keys(self):
         hub = TelemetryHub()
         h = hub.histogram("a.b.c")
@@ -379,6 +412,32 @@ class TestCoordinatorDecomposition:
         for phase in CORE_PHASES:
             assert phase in text
         assert "mean" in text
+
+    def test_report_cli_json_format(self, tmp_path, capsys):
+        """``--format json`` emits the schema-validated step-report doc."""
+        from repro.telemetry.report import main
+        from repro.telemetry.schema import validate_step_report_payload
+
+        result, k = run_most_like(n_steps=5)
+        path = k.telemetry.export_jsonl(tmp_path / "most.trace.jsonl",
+                                        experiment="most-t")
+        assert main(["--format", "json", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_step_report_payload(doc)
+        assert doc["kind"] == "step_report"
+        assert doc["experiment"] == "most-t"
+        assert doc["count"] == len(result.steps) + 1  # init + steps
+        assert doc["means"]["total"] > 0.0
+        for row in doc["rows"][1:]:  # step 0 is init: propose/execute only
+            assert set(row["phases"]) >= set(CORE_PHASES)
+
+    def test_report_cli_rejects_bad_format_combinations(self, capsys):
+        from repro.telemetry.report import main
+
+        assert main(["--format", "xml", "trace.jsonl"]) == 2
+        assert "text" in capsys.readouterr().err
+        assert main(["--critical-path", "--format", "json", "t.jsonl"]) == 2
+        assert "no json format" in capsys.readouterr().err
 
     def test_report_from_live_spans(self):
         _, k = run_most_like(n_steps=4)
