@@ -2,9 +2,9 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint analyze verify verify-smoke smoke monitor-smoke \
-	chaos-smoke fleet-smoke observatory-smoke bench bench-perf \
-	bench-perf-smoke bench-fleet bench-fleet-smoke bench-obs \
-	bench-obs-smoke validate-bench check
+	chaos-smoke fleet-smoke observatory-smoke queue-smoke bench \
+	bench-perf bench-perf-smoke bench-fleet bench-fleet-smoke bench-obs \
+	bench-obs-smoke bench-queue bench-queue-smoke validate-bench check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -40,6 +40,9 @@ fleet-smoke:
 observatory-smoke:
 	$(PYTHON) scripts/observatory_smoke.py
 
+queue-smoke:
+	$(PYTHON) scripts/queue_smoke.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -70,9 +73,18 @@ bench-obs:
 bench-obs-smoke:
 	$(PYTHON) benchmarks/bench_tobs_observatory.py --smoke
 
+# Full durable-queue crash campaign; regenerates the committed repo-root
+# BENCH_tqueue.json (60 submissions surviving 3 scheduler kills).
+bench-queue:
+	$(PYTHON) benchmarks/bench_tqueue.py
+
+# Shortened CI gate: same campaign shape, writes benchmarks/out/ only.
+bench-queue-smoke:
+	$(PYTHON) benchmarks/bench_tqueue.py --smoke
+
 validate-bench:
 	$(PYTHON) scripts/validate_bench.py
 
 check: lint analyze verify test smoke monitor-smoke chaos-smoke \
-	fleet-smoke observatory-smoke bench-perf-smoke bench-fleet-smoke \
-	bench-obs-smoke validate-bench
+	fleet-smoke observatory-smoke queue-smoke bench-perf-smoke \
+	bench-fleet-smoke bench-obs-smoke bench-queue-smoke validate-bench

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""CI smoke target: the durable queue survives scheduler crashes.
+
+A short campaign (4 tenants x 2 runs over 4 shared sites) exercised
+three ways (``repro.queue``):
+
+1. **Crash recovery** — the repository-journaled campaign with one
+   mid-flight scheduler kill: every submission reaches a terminal state,
+   the crash epoch is refused at least once on a durable write path, no
+   stale epoch is ever accepted, zero duplicate executes, and every
+   history is bit-exact against the same campaign run uncrashed.
+2. **Repository outage** — the same campaign with seeded outages cutting
+   the repository host under the journal's claim/terminal appends: the
+   shared :class:`~repro.net.retry.RetryPolicy` absorbs the outage and
+   the campaign still drains completely.
+3. **File journal round-trip** — the CLI path: submissions appended to a
+   JSONL journal by one process-like pass are replayed by another,
+   resubmission is deduped, and a drain leaves nothing outstanding.
+
+Exits non-zero on any failure, so CI can gate on ``make queue-smoke``.
+"""
+
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.chaos import (
+    arm_fleet_outages,
+    check_fleet_invariants,
+    make_repo_outage_plan,
+)
+from repro.fleet import SitePool, TenantRegistry, build_fleet_grid
+from repro.queue import (
+    ExperimentQueue,
+    FencingAuthority,
+    FileJournalStore,
+    InMemoryJournalStore,
+    QueueSubmission,
+    attach_durable_repository,
+    run_durable_campaign,
+)
+from repro.sim import Kernel
+
+N_TENANTS = 4
+RUNS_PER_TENANT = 2
+N_SITES = 4
+N_STEPS = 10
+CHECKPOINT_EVERY = 4
+CRASH_AT = 2.0
+TAKEOVER_DELAY = 8.0
+OUTAGE_SEED = 7
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def submissions() -> list:
+    out = []
+    for i in range(N_TENANTS):
+        tenant = f"t{i:02d}"
+        scale = 0.75 + 0.5 * i / (N_TENANTS - 1)
+        for run in range(RUNS_PER_TENANT):
+            out.append(QueueSubmission(
+                submission_id=f"{tenant}-r{run}", tenant=tenant,
+                n_steps=N_STEPS, n_sites=1, motion_scale=scale,
+                checkpoint_every=CHECKPOINT_EVERY))
+    return out
+
+
+def build_queue(n_sites=N_SITES, *, durable=True):
+    grid = build_fleet_grid(n_sites)
+    pool = SitePool(grid.kernel, grid.sites.values())
+    registry = TenantRegistry(grid)
+    store = (attach_durable_repository(grid, name="smoke")
+             if durable else InMemoryJournalStore())
+    queue = ExperimentQueue(grid.kernel, store,
+                            FencingAuthority(grid.kernel))
+    return grid, pool, registry, queue
+
+
+def main() -> int:
+    n = N_TENANTS * RUNS_PER_TENANT
+    subs = submissions()
+
+    print(f"[1] crash recovery ({n} submissions, 1 scheduler kill)")
+    grid, pool, registry, queue = build_queue(durable=False)
+    baseline = run_durable_campaign(grid, pool, registry, queue, subs)
+    base_histories = baseline.histories()
+    if baseline.summary()["completed"] != n:
+        fail("uncrashed reference campaign did not complete")
+
+    grid, pool, registry, queue = build_queue()
+    result = run_durable_campaign(
+        grid, pool, registry, queue, subs, crash_after=(CRASH_AT,),
+        takeover_delay=TAKEOVER_DELAY)
+    summary = result.summary()
+    if summary["completed"] != n or summary["outstanding"] != 0:
+        fail(f"only {summary['completed']}/{n} submissions completed")
+    if summary["duplicate_executes"] != 0:
+        fail("duplicate executes under crash redelivery")
+    if summary["stale_accepts"] != 0:
+        fail("a stale-epoch write was accepted")
+    if result.fencing["refusals_by_epoch"].get(1, 0) < 1:
+        fail("the crashed epoch produced no fencing refusal")
+    mismatched = [run_id for run_id, base in base_histories.items()
+                  if not np.array_equal(result.histories().get(run_id),
+                                        base)]
+    if mismatched:
+        fail(f"histories differ from the uncrashed run: {mismatched}")
+    verdict = check_fleet_invariants(result.outcomes,
+                                     fencing=result.fencing)
+    for violation in verdict["violations"]:
+        print(f"    ! {violation}")
+    if not verdict["ok"]:
+        fail("queue campaign violated the fleet/fencing invariants")
+    print(f"    {summary['completed']} completed across "
+          f"{summary['incarnations']} incarnations, "
+          f"{summary['redeliveries']} redeliveries, "
+          f"{summary['refusals']} zombie writes refused, bit-exact")
+
+    print(f"[2] repository outage under journal appends "
+          f"(seed {OUTAGE_SEED})")
+    grid, pool, registry, queue = build_queue()
+    plan = make_repo_outage_plan(OUTAGE_SEED)
+    arm_fleet_outages(grid, plan)
+    result = run_durable_campaign(grid, pool, registry, queue, subs)
+    summary = result.summary()
+    if summary["completed"] != n or summary["outstanding"] != 0:
+        fail(f"repo outage lost work: {summary['completed']}/{n} done")
+    print(f"    {summary['completed']}/{n} completed under {len(plan)} "
+          f"repository outages (retried appends, nothing lost)")
+
+    print("[3] file journal round-trip (the CLI path)")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "queue.jsonl"
+        kernel = Kernel()
+        queue = ExperimentQueue(kernel, FileJournalStore(path),
+                                FencingAuthority(kernel))
+
+        def writer():
+            for submission in subs:
+                yield from queue.submit(submission)
+            resubmit = yield from queue.submit(subs[0])
+            return resubmit
+
+        kernel.run(until=kernel.process(writer(), name="smoke.writer"))
+        if queue.stats()["submitted"] != n:
+            fail("file journal dedupe failed on resubmission")
+
+        grid, pool, registry, queue = build_queue(durable=False)
+        queue.store = FileJournalStore(path)
+        result = run_durable_campaign(grid, pool, registry, queue, [])
+        if result.summary()["outstanding"] != 0:
+            fail("file-journal drain left submissions outstanding")
+        replayed = FileJournalStore(path)
+        kernel = Kernel()
+        check = ExperimentQueue(kernel, replayed, FencingAuthority(kernel))
+        kernel.run(until=kernel.process(check.recover(),
+                                        name="smoke.recheck"))
+        if check.stats()["completed"] != n:
+            fail("replayed journal does not show every run completed")
+    print(f"    {n} submissions journaled, deduped, drained, and "
+          "re-replayed from disk")
+
+    print("queue smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,13 @@ exists to witness:
   time within its bound of the unobserved run, every checked rollup
   bucket consistent with its raw points, query + postmortem documents
   identical across repeated campaigns, and the seeded abort's flight
-  snapshot naming the faulted site and step.
+  snapshot naming the faulted site and step;
+* durable-queue documents (``BENCH_tqueue.json``) — every submission
+  completed despite the scheduler crashes, zero duplicate executes and
+  zero stale-epoch accepts, at least one fencing refusal per crash
+  epoch, the resubmitted id deduped, histories bit-exact against the
+  uncrashed campaign, and (for the committed document) >= 60
+  submissions surviving >= 3 crashes.
 
 Run:  python scripts/validate_bench.py   (or ``make validate-bench``)
 """
@@ -103,6 +109,42 @@ def check_obs(path: pathlib.Path, payload: dict, *,
           f"on {flight['faulted_site']})")
 
 
+def check_tqueue(path: pathlib.Path, payload: dict, *,
+                 committed: bool) -> None:
+    config = payload["config"]
+    campaign = payload["campaign"]
+    fencing = payload["fencing"]
+    exact = payload["exactness"]
+    assert campaign["completed"] == config["n_submissions"], \
+        f"{path}: not every submission completed"
+    assert campaign["outstanding"] == 0, \
+        f"{path}: submissions left outstanding after the campaign"
+    assert exact["duplicate_executes"] == 0, \
+        f"{path}: duplicate executes under redelivery"
+    assert fencing["stale_accepts"] == 0, \
+        f"{path}: a stale-epoch write was accepted"
+    assert fencing["every_crash_epoch_refused"], \
+        f"{path}: a crash epoch produced no fencing refusal"
+    for epoch in range(1, len(config["crash_times"]) + 1):
+        assert fencing["refusals_by_epoch"].get(str(epoch), 0) >= 1, \
+            f"{path}: crash epoch {epoch} has no recorded refusal"
+    assert exact["resubmit_deduped"], \
+        f"{path}: resubmitted id was not deduped"
+    assert exact["bit_exact_vs_uncrashed"], \
+        f"{path}: recovered histories differ from the uncrashed run"
+    if committed:
+        assert config["n_submissions"] >= 60, \
+            f"{path}: committed queue document needs >= 60 submissions"
+        assert len(config["crash_times"]) >= 3, \
+            f"{path}: committed queue document needs >= 3 crashes"
+    print(f"  {path.relative_to(ROOT)}: OK "
+          f"({config['n_submissions']} submissions / "
+          f"{len(config['crash_times'])} crashes, "
+          f"{campaign['redeliveries']} redeliveries, "
+          f"{fencing['refusals']} refusals, "
+          f"{exact['duplicate_executes']} duplicate executes)")
+
+
 def check(path: pathlib.Path, *, committed: bool) -> None:
     payload = json.loads(path.read_text())
     validate_bench_payload(payload)
@@ -110,6 +152,8 @@ def check(path: pathlib.Path, *, committed: bool) -> None:
         check_fleet(path, payload, committed=committed)
     elif payload["experiment"] == "tobs":
         check_obs(path, payload, committed=committed)
+    elif payload["experiment"] == "tqueue":
+        check_tqueue(path, payload, committed=committed)
     else:
         check_stepping(path, payload, committed=committed)
 
@@ -123,7 +167,7 @@ def main() -> int:
     for path in committed:
         check(path, committed=True)
     for name in ("BENCH_tperf_ntcp.smoke.json", "BENCH_tfleet.smoke.json",
-                  "BENCH_tobs.smoke.json"):
+                  "BENCH_tobs.smoke.json", "BENCH_tqueue.smoke.json"):
         smoke = ROOT / "benchmarks" / "out" / name
         if smoke.exists():
             check(smoke, committed=False)

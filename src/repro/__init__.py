@@ -11,9 +11,11 @@ layer (:mod:`repro.telepresence`, :mod:`repro.chef`), the MS-PSDS
 coordinator (:mod:`repro.coordinator`), the run-wide telemetry plane
 (:mod:`repro.telemetry`), the assembled experiments
 (:mod:`repro.most`, :mod:`repro.mini_most`), the multi-tenant
-experiment fleet (:mod:`repro.fleet`), and the grid observatory —
+experiment fleet (:mod:`repro.fleet`), the grid observatory —
 durable time-series history, SLO burn-rate alerting, and the black-box
-flight recorder (:mod:`repro.observatory`).
+flight recorder (:mod:`repro.observatory`) — and the durable experiment
+queue: write-ahead-journaled ingress, fencing epochs, and
+crash-recoverable scheduler incarnations (:mod:`repro.queue`).
 
 The names re-exported here are the curated public API — the set a typical
 experiment script needs, importable from the top level::
@@ -114,6 +116,15 @@ from repro.fleet import (
     build_fleet_grid,
 )
 
+# -- durable experiment queue ------------------------------------------------
+from repro.queue import (
+    DurableFleetScheduler,
+    ExperimentQueue,
+    FencingAuthority,
+    QueueSubmission,
+    run_durable_campaign,
+)
+
 __all__ = [
     # simulation substrate
     "Kernel",
@@ -183,4 +194,10 @@ __all__ = [
     "TimeSeriesStore",
     "attach_observatory",
     "postmortem_timeline",
+    # durable experiment queue
+    "DurableFleetScheduler",
+    "ExperimentQueue",
+    "FencingAuthority",
+    "QueueSubmission",
+    "run_durable_campaign",
 ]

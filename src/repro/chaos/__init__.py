@@ -15,11 +15,21 @@ The multi-tenant extension applies the same discipline to fleet runs:
 sites, :func:`arm_fleet_outages` installs them on a fleet grid, and
 :func:`check_fleet_invariants` re-judges every invariant per tenant —
 including bit-exactness against each tenant's solo run.
+
+The durable-queue extension targets the scheduler itself:
+``make_plan(scheduler_crashes=N)`` adds coordinator-host crash windows,
+:func:`make_scheduler_crash_plan` draws deterministic mid-flight kill
+times for :func:`~repro.queue.scheduler.run_durable_campaign`,
+:func:`make_repo_outage_plan` cuts the coord—repo link under the
+journal's claim/terminal appends, and ``check_fleet_invariants``'s
+``fencing=`` sweep asserts no post-crash write from a stale epoch was
+ever accepted.
 """
 
 from repro.chaos.campaign import (
     CHAOS_KINDS,
     CHAOS_SITES,
+    SCHEDULER_CRASH,
     ChaosCampaign,
     ChaosEvent,
     ChaosPlan,
@@ -31,6 +41,8 @@ from repro.chaos.campaign import (
     check_invariants,
     make_fleet_outage_plan,
     make_plan,
+    make_repo_outage_plan,
+    make_scheduler_crash_plan,
 )
 
 __all__ = [
@@ -40,6 +52,7 @@ __all__ = [
     "ChaosRunReport",
     "CHAOS_KINDS",
     "CHAOS_SITES",
+    "SCHEDULER_CRASH",
     "FleetOutage",
     "arm_fleet_outages",
     "arm_plan",
@@ -47,4 +60,6 @@ __all__ = [
     "check_invariants",
     "make_fleet_outage_plan",
     "make_plan",
+    "make_repo_outage_plan",
+    "make_scheduler_crash_plan",
 ]

@@ -42,9 +42,16 @@ from repro.most.config import MOSTConfig
 from repro.net.rpc import RpcRequest
 from repro.util.errors import ConfigurationError
 
-#: fault vocabulary a plan draws from (site-targeted unless noted)
+#: fault vocabulary a plan draws from (site-targeted unless noted).
+#: ``scheduler_crash`` is deliberately NOT in this tuple: the per-event
+#: kind draw indexes ``rng.integers(len(CHAOS_KINDS))``, so growing the
+#: tuple would silently reshuffle every existing seed's schedule.
+#: Scheduler crashes are opted into via ``make_plan(scheduler_crashes=N)``
+#: and drawn *after* the base events, leaving old seeds bit-identical.
 CHAOS_KINDS = ("transient_drop", "duplicate", "reorder", "corrupt",
                "jitter", "crash", "outage")
+#: the opt-in coordinator-host fault kind (see CHAOS_KINDS note)
+SCHEDULER_CRASH = "scheduler_crash"
 #: sites a plan may target
 CHAOS_SITES = ("uiuc", "cu", "ncsa")
 
@@ -87,7 +94,8 @@ class ChaosPlan:
 
 
 def make_plan(seed: int, config: MOSTConfig, *, n_events: int = 5,
-              force_failover: bool = False) -> ChaosPlan:
+              force_failover: bool = False,
+              scheduler_crashes: int = 0) -> ChaosPlan:
     """Draw a deterministic fault schedule from ``seed``.
 
     Faults land on steps in the middle 80% of the run (step 0 and the
@@ -96,10 +104,15 @@ def make_plan(seed: int, config: MOSTConfig, *, n_events: int = 5,
     one out — the point of a recoverable campaign is that it recovers.
     With ``force_failover`` the plan ends in a permanent outage at the
     paper's fatal fraction of the run, so only surrogate failover can
-    finish the experiment.
+    finish the experiment.  ``scheduler_crashes`` adds that many
+    coordinator-host crash windows (kind ``scheduler_crash``, target
+    ``coord``) — drawn after the base events so existing seeds keep
+    their schedules bit-identical.
     """
     if n_events < 0:
         raise ConfigurationError("n_events must be >= 0")
+    if scheduler_crashes < 0:
+        raise ConfigurationError("scheduler_crashes must be >= 0")
     rng = np.random.default_rng(seed)
     n_steps = config.n_steps
     lo = max(1, round(n_steps * 0.1))
@@ -124,6 +137,10 @@ def make_plan(seed: int, config: MOSTConfig, *, n_events: int = 5,
         events.append(ChaosEvent(kind=kind, step=step, site=site,
                                  duration=duration, count=count,
                                  magnitude=magnitude))
+    for _ in range(scheduler_crashes):
+        events.append(ChaosEvent(
+            kind=SCHEDULER_CRASH, step=int(rng.integers(lo, hi)),
+            site="coord", duration=float(rng.uniform(20.0, 90.0))))
     events.sort(key=lambda e: (e.step, e.site, e.kind))
     fatal_site = ""
     fatal_step = 0
@@ -162,7 +179,7 @@ def _arm_event(dep: MOSTDeployment, event: ChaosEvent) -> None:
         elif event.kind == "jitter":
             faults.jitter_burst("coord", site, jitter=event.magnitude,
                                 start=now, duration=event.duration)
-        elif event.kind == "crash":
+        elif event.kind in ("crash", SCHEDULER_CRASH):
             faults.crash_host(site, start=now, duration=event.duration)
         elif event.kind == "outage":
             faults.schedule_outage("coord", site, start=now,
@@ -170,8 +187,16 @@ def _arm_event(dep: MOSTDeployment, event: ChaosEvent) -> None:
         else:
             raise ConfigurationError(f"unknown chaos kind {event.kind!r}")
 
+    # Site faults trigger on the marked step's request *arriving* at the
+    # site; a scheduler crash triggers on the coordinator *sending* it —
+    # the marker-bearing requests originate at coord, replies carry none.
     def watch(msg) -> bool:
-        if armed[0] or msg.dst != site:
+        if armed[0]:
+            return False
+        if event.kind == SCHEDULER_CRASH:
+            if msg.src != site:
+                return False
+        elif msg.dst != site:
             return False
         payload = msg.payload
         if isinstance(payload, RpcRequest) and marker in str(payload.params):
@@ -442,12 +467,14 @@ def arm_fleet_outages(grid, plan) -> None:
 
 
 def check_fleet_invariants(outcomes, *, baselines=None,
-                           expect_completion: bool = True) -> dict[str, Any]:
+                           expect_completion: bool = True,
+                           fencing=None) -> dict[str, Any]:
     """The invariant sweep, per tenant, over a fleet run's outcomes.
 
     ``outcomes`` is an iterable of
-    :class:`~repro.fleet.scheduler.TenantOutcome`; ``baselines`` maps
-    ``run_id`` to a solo displacement history
+    :class:`~repro.fleet.scheduler.TenantOutcome` (or
+    :class:`~repro.queue.scheduler.QueueOutcome` — same duck type);
+    ``baselines`` maps ``run_id`` to a solo displacement history
     (:func:`~repro.fleet.scheduler.solo_displacement_history`).  Checked
     per outcome:
 
@@ -456,10 +483,19 @@ def check_fleet_invariants(outcomes, *, baselines=None,
     * per-lease at-most-once: for a completed, undegraded run, each
       leased site's ``executed`` delta is exactly committed steps + 1
       (the step-0 rest measurement) — duplicate execute *requests* are
-      legal, double *execution* is not;
+      legal, double *execution* is not.  Skipped for a redelivered
+      queue outcome resumed mid-run (``resumed_from_step > 0``): its
+      lease only ever saw the post-resume tail;
     * bit-exactness against the solo baseline when undegraded.
 
-    Returns ``{"ok", "violations", "by_run", "duplicate_executes"}``.
+    ``fencing`` (a :class:`~repro.queue.fencing.FencingAuthority` or its
+    ``report()`` dict) adds the zombie sweep: **no write from a stale
+    epoch was ever accepted** (``stale_accepts`` must be empty), and
+    every superseded epoch that tried to write was refused at least
+    once.
+
+    Returns ``{"ok", "violations", "by_run", "duplicate_executes"}``
+    plus a ``"fencing"`` summary when a fencing authority was passed.
     """
     violations: list[str] = []
     by_run: dict[str, dict[str, bool]] = {}
@@ -485,7 +521,8 @@ def check_fleet_invariants(outcomes, *, baselines=None,
 
         total_duplicates += outcome.duplicate_executes()
         no_double = True
-        if result.completed and result.degraded_steps == 0:
+        if (result.completed and result.degraded_steps == 0
+                and getattr(outcome, "resumed_from_step", 0) == 0):
             expected = len(result.steps) + 1
             for site, delta in outcome.usage.items():
                 if delta["executed"] != expected:
@@ -505,5 +542,58 @@ def check_fleet_invariants(outcomes, *, baselines=None,
                     f"{run}: history differs from the solo baseline "
                     f"despite zero degraded steps")
         by_run[run] = checks
-    return {"ok": not violations, "violations": violations,
-            "by_run": by_run, "duplicate_executes": total_duplicates}
+    verdict: dict[str, Any] = {
+        "ok": not violations, "violations": violations,
+        "by_run": by_run, "duplicate_executes": total_duplicates}
+    if fencing is not None:
+        report = fencing.report() if hasattr(fencing, "report") else fencing
+        stale_accepts = report["stale_accepts"]
+        if stale_accepts:
+            violations.append(
+                f"fencing: {len(stale_accepts)} stale-epoch writes were "
+                f"ACCEPTED: {stale_accepts[:3]}…")
+        current = report["current_epoch"]
+        refused = report["refusals_by_epoch"]
+        silent = [e["epoch"] for e in report.get("epochs", [])
+                  if e["epoch"] < current and e["epoch"] not in refused]
+        verdict["fencing"] = {
+            "current_epoch": current,
+            "refusals": len(report["refusals"]),
+            "refusals_by_epoch": dict(refused),
+            "stale_accepts": len(stale_accepts),
+            "superseded_epochs_never_refused": silent,
+        }
+        verdict["ok"] = not violations
+    return verdict
+
+
+def make_scheduler_crash_plan(seed: int, *, n_crashes: int = 3,
+                              window: tuple[float, float] = (10.0, 90.0)
+                              ) -> tuple[float, ...]:
+    """Draw deterministic scheduler-crash delays for a durable campaign.
+
+    Returns the ``crash_after`` tuple for
+    :func:`~repro.queue.scheduler.run_durable_campaign`: each entry is
+    how long the corresponding incarnation lives before it is killed
+    mid-flight.
+    """
+    if n_crashes < 0:
+        raise ConfigurationError("n_crashes must be >= 0")
+    rng = np.random.default_rng(seed)
+    return tuple(float(rng.uniform(*window)) for _ in range(n_crashes))
+
+
+def make_repo_outage_plan(seed: int, *, n_events: int = 2,
+                          window: tuple[float, float] = (10.0, 120.0),
+                          duration: tuple[float, float] = (5.0, 20.0)
+                          ) -> list[FleetOutage]:
+    """Repository outages for a durable campaign (coord—repo link).
+
+    The queue's claim and terminal appends cross this link; the
+    :class:`~repro.net.retry.RetryPolicy` on the journal store must ride
+    each outage out, delaying the append instead of losing it.  Arm with
+    :func:`arm_fleet_outages` — on a fleet grid the repository's host
+    name is ``repo``.
+    """
+    return make_fleet_outage_plan(seed, ["repo"], n_events=n_events,
+                                  window=window, duration=duration)

@@ -15,6 +15,11 @@ Subcommands map to the experiments a user most often wants to replay:
   fair-share leases, per-tenant GSI identity, optional seeded outages;
 * ``observatory`` — run MOST with the grid observatory attached and dump
   the time-series store, then ``query``/``postmortem`` the dump offline;
+* ``queue`` — the durable experiment queue: ``submit`` appends to a
+  write-ahead journal file, ``status`` replays it, ``drain`` runs every
+  outstanding submission through the crash-recoverable fleet scheduler
+  (optionally killing incarnations mid-flight to demonstrate fenced
+  recovery);
 * ``mini-most`` — run the tabletop rig (optionally on the kinetic
   simulator);
 * ``followon`` — run one of the §5 experiments;
@@ -255,6 +260,139 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                "invariants": verdict}
         print(json.dumps(doc, indent=2, sort_keys=True, default=str))
     return 0 if verdict["ok"] else 1
+
+
+def _open_file_queue(path: str):
+    """A file-journal-backed queue on a fresh kernel (the CLI's view)."""
+    from repro.queue import ExperimentQueue, FencingAuthority, \
+        FileJournalStore
+    from repro.sim import Kernel
+
+    kernel = Kernel()
+    authority = FencingAuthority(kernel)
+    queue = ExperimentQueue(kernel, FileJournalStore(path), authority)
+    return kernel, queue
+
+
+def _cmd_queue_submit(args: argparse.Namespace) -> int:
+    from repro.queue import QueueSubmission
+
+    kernel, queue = _open_file_queue(args.journal)
+    submission = QueueSubmission(
+        submission_id=args.submission_id, tenant=args.tenant,
+        run_id=args.run_id or "", n_steps=args.steps,
+        n_sites=args.sites_per_lease, motion_scale=args.motion_scale,
+        checkpoint_every=args.checkpoint_every)
+
+    def driver():
+        yield from queue.recover()
+        known = queue.stats()["submitted"]
+        body = yield from queue.submit(submission)
+        return body, queue.stats()["submitted"] == known
+
+    body, deduped = kernel.run(
+        until=kernel.process(driver(), name="queue.cli.submit"))
+    if deduped:
+        print(f"deduped: {body['submission_id']} already journaled "
+              f"(tenant {body['tenant']}, run {body['run_id']})")
+    else:
+        print(f"queued {body['submission_id']}: tenant {body['tenant']}, "
+              f"run {body['run_id']}, {body['n_steps']} steps x "
+              f"{body['n_sites']} site(s), "
+              f"checkpoint every {body['checkpoint_every'] or '-'}")
+    print(f"  journal: {args.journal} "
+          f"({queue.stats()['outstanding']} outstanding)")
+    return 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    import json
+
+    kernel, queue = _open_file_queue(args.journal)
+    kernel.run(until=kernel.process(queue.recover(),
+                                    name="queue.cli.status"))
+    stats = queue.stats()
+    if args.json:
+        doc = dict(stats)
+        doc["outstanding_submissions"] = [
+            {"submission_id": s.submission_id, "tenant": s.tenant,
+             "run_id": s.run_id or s.submission_id,
+             "attempts": queue.attempts(s.submission_id)}
+            for s in queue.outstanding()]
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(f"queue journal {args.journal}:")
+    print(f"  submitted           : {stats['submitted']}")
+    print(f"  outstanding         : {stats['outstanding']}")
+    print(f"  completed / failed  : {stats['completed']} / "
+          f"{stats['failed']}")
+    print(f"  claims              : {stats['claims']} "
+          f"({stats['redeliveries']} redeliveries)")
+    print(f"  fencing epoch       : {stats['epoch']} "
+          f"({stats['voided']} zombie entries voided)")
+    for submission in queue.outstanding():
+        attempts = queue.attempts(submission.submission_id)
+        state = (f"claimed x{attempts}" if attempts else "unclaimed")
+        print(f"    {submission.submission_id:<20} "
+              f"tenant {submission.tenant:<8} "
+              f"{submission.n_steps:>5} steps  {state}")
+    return 0
+
+
+def _cmd_queue_drain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import SitePool, TenantRegistry, build_fleet_grid
+    from repro.queue import (
+        ExperimentQueue,
+        FencingAuthority,
+        FileJournalStore,
+        run_durable_campaign,
+    )
+
+    grid = build_fleet_grid(args.sites)
+    pool = SitePool(grid.kernel, grid.sites.values())
+    registry = TenantRegistry(grid)
+    authority = FencingAuthority(grid.kernel)
+    queue = ExperimentQueue(grid.kernel, FileJournalStore(args.journal),
+                            authority)
+    # Pre-replay so the authority observes epochs a *previous* drain
+    # journaled: the first incarnation below must register a fresh epoch
+    # above every epoch already in the log, or its own writes would be
+    # voided as stale on the next replay.
+    grid.kernel.run(until=grid.kernel.process(queue.recover(),
+                                              name="queue.cli.bootstrap"))
+    outstanding = queue.depth()
+    crashes = tuple(args.crash_after or ())
+    print(f"draining {args.journal}: {outstanding} outstanding over "
+          f"{args.sites} sites, {len(crashes)} scheduled scheduler "
+          f"crash(es)")
+    result = run_durable_campaign(
+        grid, pool, registry, queue, [], crash_after=crashes,
+        takeover_delay=args.takeover_delay)
+    summary = result.summary()
+    print(f"  completed           : {summary['completed']}"
+          f"/{summary['submissions']}"
+          f" ({summary['failed']} failed, "
+          f"{summary['outstanding']} still outstanding)")
+    print(f"  incarnations        : {summary['incarnations']} "
+          f"(final epoch {summary['final_epoch']})")
+    print(f"  redeliveries        : {summary['redeliveries']}; "
+          f"zombie writes refused: {summary['refusals']}, "
+          f"voided in journal: {summary['voided']}")
+    print(f"  duplicate executes  : {summary['duplicate_executes']} "
+          f"(stale accepts: {summary['stale_accepts']})")
+    print(f"  campaign duration   : {summary['duration']:.1f} s "
+          "(simulated)")
+    if args.json:
+        print(json.dumps({"summary": summary,
+                          "incarnations": result.incarnations,
+                          "queue": result.queue_stats},
+                         indent=2, sort_keys=True, default=str))
+    ok = (summary["outstanding"] == 0
+          and summary["duplicate_executes"] == 0
+          and summary["stale_accepts"] == 0)
+    return 0 if ok else 1
 
 
 def _load_dump(path: str):
@@ -595,6 +733,59 @@ def build_parser() -> argparse.ArgumentParser:
                           help="steps of history before the incident "
                                "(default: 5)")
     p_obs_pm.set_defaults(fn=_cmd_observatory_postmortem)
+
+    p_queue = sub.add_parser(
+        "queue",
+        help="durable experiment queue: submit, status, drain")
+    queue_sub = p_queue.add_subparsers(dest="queue_command", required=True)
+
+    p_q_submit = queue_sub.add_parser(
+        "submit", help="append one submission to the write-ahead journal")
+    p_q_submit.add_argument("submission_id",
+                            help="caller-chosen idempotency key")
+    p_q_submit.add_argument("--journal", default="queue.jsonl",
+                            help="journal file (default: queue.jsonl)")
+    p_q_submit.add_argument("--tenant", default="cli",
+                            help="owning tenant id (default: cli)")
+    p_q_submit.add_argument("--run-id", default="",
+                            help="run id (default: the submission id)")
+    p_q_submit.add_argument("--steps", type=int, default=25,
+                            help="steps per experiment (default: 25)")
+    p_q_submit.add_argument("--sites-per-lease", type=int, default=1,
+                            help="sites the run leases (default: 1)")
+    p_q_submit.add_argument("--motion-scale", type=float, default=1.0,
+                            help="ground-motion PGA scale (default: 1.0)")
+    p_q_submit.add_argument("--checkpoint-every", type=int, default=5,
+                            help="checkpoint period in steps, 0 to "
+                                 "disable (default: 5)")
+    p_q_submit.set_defaults(fn=_cmd_queue_submit)
+
+    p_q_status = queue_sub.add_parser(
+        "status", help="replay the journal and print queue state")
+    p_q_status.add_argument("--journal", default="queue.jsonl",
+                            help="journal file (default: queue.jsonl)")
+    p_q_status.add_argument("--json", action="store_true",
+                            help="print the stats document as JSON")
+    p_q_status.set_defaults(fn=_cmd_queue_status)
+
+    p_q_drain = queue_sub.add_parser(
+        "drain", help="run every outstanding submission through the "
+                      "crash-recoverable fleet scheduler")
+    p_q_drain.add_argument("--journal", default="queue.jsonl",
+                           help="journal file (default: queue.jsonl)")
+    p_q_drain.add_argument("--sites", type=int, default=4,
+                           help="shared pool size (default: 4)")
+    p_q_drain.add_argument("--crash-after", type=float, action="append",
+                           metavar="SECONDS",
+                           help="kill the live scheduler incarnation after "
+                                "this many simulated seconds (repeatable; "
+                                "each crash adds a takeover)")
+    p_q_drain.add_argument("--takeover-delay", type=float, default=30.0,
+                           help="seconds before the successor incarnation "
+                                "starts (default: 30)")
+    p_q_drain.add_argument("--json", action="store_true",
+                           help="dump the campaign report as JSON")
+    p_q_drain.set_defaults(fn=_cmd_queue_drain)
 
     p_mini = sub.add_parser("mini-most", help="run Mini-MOST (§3.5)")
     p_mini.add_argument("--steps", type=int, default=200)

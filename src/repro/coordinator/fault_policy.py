@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.net.retry import RetryPolicy
+from repro.util.errors import FencingError
+
 
 @dataclass(frozen=True)
 class FaultDecision:
@@ -50,6 +53,16 @@ class FaultTolerantFaultPolicy(FaultPolicy):
 
     Retrying is safe because transaction names are reused: NTCP's
     at-most-once semantics make a re-proposed/re-executed step idempotent.
+    The schedule itself is a jitterless :class:`~repro.net.retry.RetryPolicy`
+    — the same shape the RPC client and the durable queue retry under —
+    so ``backoff * backoff_factor ** (attempt - 1)`` capped at
+    ``max_backoff`` is computed in exactly one place.
+
+    One error is never retried: a :class:`~repro.util.errors.FencingError`
+    means this coordinator's fencing epoch has been superseded — a zombie
+    incarnation whose successor already owns the run.  Waiting cannot make
+    a stale epoch current again, so the only correct decision is an
+    immediate abort.
     """
 
     name = "fault-tolerant"
@@ -60,10 +73,14 @@ class FaultTolerantFaultPolicy(FaultPolicy):
         self.backoff = backoff
         self.backoff_factor = backoff_factor
         self.max_backoff = max_backoff
+        self._schedule = RetryPolicy(
+            max_attempts=max(max_attempts, 1), base_delay=backoff,
+            factor=backoff_factor, max_delay=max_backoff, jitter=0.0)
 
     def decide(self, *, step, attempt, site, error) -> FaultDecision:
+        if isinstance(error, FencingError):
+            return FaultDecision(action="abort")
         if attempt >= self.max_attempts:
             return FaultDecision(action="abort")
-        delay = min(self.backoff * self.backoff_factor ** (attempt - 1),
-                    self.max_backoff)
-        return FaultDecision(action="retry", delay=delay)
+        return FaultDecision(action="retry",
+                             delay=self._schedule.delay_for(attempt))

@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.core.server import STAT_KEYS
-from repro.util.errors import ConfigurationError, ProtocolError, ReproError
+from repro.util.errors import (
+    ConfigurationError,
+    FencingError,
+    ProtocolError,
+    ReproError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.most.assembly import SiteDeployment
@@ -56,6 +61,11 @@ class SiteLease:
                                                 repr=False)
     #: per-site counter deltas, frozen by :meth:`SitePool.release`
     usage: dict[str, dict[str, int]] | None = field(default=None, repr=False)
+    #: fencing epoch the lease was granted under (``None``: unfenced)
+    epoch: int | None = None
+    #: set by :meth:`SitePool.fence_epoch` when a newer epoch superseded
+    #: this lease; the holder's eventual ``release`` is refused
+    revoked: bool = False
 
     @property
     def site_names(self) -> tuple[str, ...]:
@@ -103,6 +113,8 @@ class _Pending:
     seq: int
     requested_at: float
     event: "Event"
+    epoch: int | None = None
+    avoid: frozenset = frozenset()
 
 
 class SitePool:
@@ -135,6 +147,8 @@ class SitePool:
         self._seq = 0
         self._lease_seq = 0
         self._grant_scheduled = False
+        self._fencing = None
+        self._fenced_epoch = 0
         self.active: dict[str, SiteLease] = {}
         self.completed_leases: dict[str, int] = {}
         self.peak_queue_depth = 0
@@ -178,15 +192,89 @@ class SitePool:
                 f"requested {n_sites} sites; per-lease cap is "
                 f"{self.max_sites_per_lease}")
 
+    # -- fencing -------------------------------------------------------------
+    def attach_fencing(self, authority) -> None:
+        """Record fencing refusals through ``authority``.
+
+        ``authority`` is duck-typed (needs ``note_refusal(epoch=, path=)``);
+        in practice a :class:`repro.queue.fencing.FencingAuthority`.
+        """
+        self._fencing = authority
+
+    def _note_refusal(self, epoch: int | None, path: str) -> None:
+        if self._fencing is not None:
+            self._fencing.note_refusal(epoch=epoch, path=path)
+
+    def fence_epoch(self, epoch: int) -> int:
+        """Supersede every lease and queued acquire older than ``epoch``.
+
+        The successor-scheduler move: active leases granted under an older
+        epoch are revoked (their sites return to the pool immediately —
+        the dead incarnation will never release them) and stale queued
+        acquires fail with :class:`~repro.util.errors.FencingError`.
+        Unfenced leases (``epoch=None``) are untouched: fencing only
+        governs holders that opted into epochs.  Returns the number of
+        leases revoked.
+        """
+        self._fenced_epoch = max(self._fenced_epoch, epoch)
+        revoked = 0
+        for lease_id in [lid for lid, lease in self.active.items()
+                         if lease.epoch is not None and lease.epoch < epoch]:
+            lease = self.active.pop(lease_id)
+            lease.usage = lease.metrics_delta()
+            lease.released_at = self.kernel.now
+            lease.revoked = True
+            self._free.extend(lease.site_names)
+            self._free.sort()
+            revoked += 1
+            self.kernel.emit("fleet.pool", "lease.revoked",
+                             lease_id=lease.lease_id, tenant=lease.tenant,
+                             epoch=lease.epoch, fenced_by=epoch)
+        for pending in [p for p in self._waiting
+                        if p.epoch is not None and p.epoch < epoch]:
+            self._waiting.remove(pending)
+            self._note_refusal(pending.epoch, "pool.acquire")
+            pending.event.fail(FencingError(
+                f"lease request from epoch {pending.epoch} refused: "
+                f"epoch {epoch} is current",
+                epoch=pending.epoch, current_epoch=epoch,
+                path="pool.acquire"))
+        if revoked or epoch:
+            self._schedule_grant()
+            self._update_gauges()
+        return revoked
+
     # -- lease lifecycle -----------------------------------------------------
-    def acquire(self, tenant: str, n_sites: int = 1) -> "Event":
+    def acquire(self, tenant: str, n_sites: int = 1, *,
+                epoch: int | None = None,
+                avoid: Iterable[str] = ()) -> "Event":
         """Queue a lease request; the returned event fires with the lease.
 
         Raises :class:`AdmissionError` immediately (before queueing) if
         the request is unsatisfiable or the queue is full.  Use from a
         kernel process as ``lease = yield pool.acquire(tenant, n)``.
+
+        ``epoch`` stamps the lease with the caller's fencing epoch — a
+        later :meth:`fence_epoch` revokes it and refuses its release.  A
+        request whose epoch is already superseded is refused outright.
+        ``avoid`` names sites the grant must not include: a recovering
+        scheduler re-driving a crashed run leases *disjoint* sites, so
+        transaction names the dead incarnation already executed can never
+        collide (which would show up as duplicate executes).
         """
         self.validate_request(n_sites)
+        avoid = frozenset(avoid)
+        if len(self.sites) - len(avoid & set(self.sites)) < n_sites:
+            self._c_rejected.inc()
+            raise AdmissionError(
+                f"requested {n_sites} sites avoiding {sorted(avoid)}; "
+                f"the pool cannot ever satisfy that")
+        if epoch is not None and epoch < self._fenced_epoch:
+            self._note_refusal(epoch, "pool.acquire")
+            raise FencingError(
+                f"lease request from epoch {epoch} refused: epoch "
+                f"{self._fenced_epoch} is current", epoch=epoch,
+                current_epoch=self._fenced_epoch, path="pool.acquire")
         if (self.max_queue_depth is not None
                 and len(self._waiting) >= self.max_queue_depth):
             self._c_rejected.inc()
@@ -196,7 +284,8 @@ class SitePool:
         self._seq += 1
         self._waiting.append(_Pending(
             tenant=tenant, n_sites=n_sites, seq=self._seq,
-            requested_at=self.kernel.now, event=evt))
+            requested_at=self.kernel.now, event=evt, epoch=epoch,
+            avoid=avoid))
         self.peak_queue_depth = max(self.peak_queue_depth,
                                     len(self._waiting))
         self.kernel.emit("fleet.pool", "lease.requested", tenant=tenant,
@@ -206,7 +295,19 @@ class SitePool:
         return evt
 
     def release(self, lease: SiteLease) -> None:
-        """Return a lease's sites to the pool and wake the queue."""
+        """Return a lease's sites to the pool and wake the queue.
+
+        Releasing a lease revoked by :meth:`fence_epoch` raises
+        :class:`~repro.util.errors.FencingError` — that is the zombie
+        holder discovering it was superseded.
+        """
+        if lease.revoked:
+            self._note_refusal(lease.epoch, "pool.release")
+            raise FencingError(
+                f"lease {lease.lease_id!r} from epoch {lease.epoch} was "
+                f"revoked: epoch {self._fenced_epoch} is current",
+                epoch=lease.epoch, current_epoch=self._fenced_epoch,
+                path="pool.release")
         if lease.released:
             raise ProtocolError(f"lease {lease.lease_id!r} already released")
         if self.active.pop(lease.lease_id, None) is None:
@@ -257,13 +358,17 @@ class SitePool:
         while self._waiting:
             self._waiting.sort(key=lambda p: (self._share(p.tenant), p.seq))
             head = self._waiting[0]
-            if head.n_sites > len(self._free):
+            eligible = [name for name in self._free
+                        if name not in head.avoid]
+            if head.n_sites > len(eligible):
                 # Head-of-line blocking is deliberate: skipping a large
-                # request to serve small ones behind it would starve it.
+                # (or avoid-constrained) request to serve small ones
+                # behind it would starve it.
                 break
             self._waiting.pop(0)
-            names = self._free[:head.n_sites]
-            del self._free[:head.n_sites]
+            names = eligible[:head.n_sites]
+            for name in names:
+                self._free.remove(name)
             self._lease_seq += 1
             lease = SiteLease(
                 lease_id=f"lease-{self._lease_seq:04d}",
@@ -272,7 +377,8 @@ class SitePool:
                 requested_at=head.requested_at,
                 granted_at=self.kernel.now,
                 baseline={name: dict(self.sites[name].server.metrics())
-                          for name in names})
+                          for name in names},
+                epoch=head.epoch)
             self.active[lease.lease_id] = lease
             self._c_granted.inc()
             self._h_wait.observe(lease.wait)

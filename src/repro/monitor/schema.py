@@ -29,7 +29,7 @@ SCHEMA_ID = "repro.monitor/v1"
 
 HEALTH_STATUSES = ("starting", "running", "degraded", "stopped")
 ALERT_KINDS = ("stall", "slow_site", "stream_health", "breaker_open",
-               "slo_burn")
+               "slo_burn", "queue_redelivery")
 ALERT_SEVERITIES = ("info", "warning", "critical")
 
 _METRIC_TYPES = ("counter", "gauge", "histogram")

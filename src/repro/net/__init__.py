@@ -20,6 +20,7 @@ from repro.net.breaker import (
     CircuitBreaker,
 )
 from repro.net.faults import ChaosRecord, FaultInjector
+from repro.net.retry import RetryPolicy
 from repro.net.rpc import (
     RemoteException,
     RpcClient,
@@ -40,6 +41,7 @@ __all__ = [
     "BreakerConfig",
     "BreakerOpen",
     "BREAKER_STATES",
+    "RetryPolicy",
     "RpcClient",
     "RpcService",
     "RpcRequest",

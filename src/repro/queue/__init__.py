@@ -1,0 +1,75 @@
+"""Durable experiment ingress: journaled queue, fencing, crash recovery.
+
+The robustness layer the MOST-era grid never had: experiment submissions
+are write-ahead journaled through the data repository
+(``repro.queue/v1``), scheduler incarnations own the fleet through
+monotone fencing epochs, and a fleet-scheduler crash is survived by
+replaying the journal and redelivering claimed-but-unterminated work
+through the §7 checkpoint/resume machinery — at-least-once delivery,
+exactly-once execution, bit-exact histories.
+
+Entry points:
+
+* :class:`ExperimentQueue` + a journal store — submit / claim / terminal
+  over the write-ahead log;
+* :class:`DurableFleetScheduler` — one crash-recoverable scheduler
+  incarnation over a fleet grid;
+* :func:`run_durable_campaign` — submissions in, crashes on cue,
+  :class:`CampaignResult` out;
+* :class:`FencingAuthority` and the fenced wrappers — the zombie-write
+  refusal fabric shared with :mod:`repro.fleet.pool`.
+"""
+
+from repro.queue.fencing import (
+    FencedCheckpointStore,
+    FencedNTCPClient,
+    FencingAuthority,
+    FencingError,
+)
+from repro.queue.ingress import ExperimentQueue, QueueSubmission
+from repro.queue.journal import (
+    ENTRY_KINDS,
+    QUEUE_SCHEMA_ID,
+    TERMINAL_STATUSES,
+    FileJournalStore,
+    InMemoryJournalStore,
+    JournalStoreBase,
+    QueueSchemaError,
+    RepositoryJournalStore,
+    build_entry,
+    validate_queue_entry,
+)
+from repro.queue.observe import QUEUE_SDE, QueueStatusService
+from repro.queue.scheduler import (
+    CampaignResult,
+    DurableFleetScheduler,
+    QueueOutcome,
+    attach_durable_repository,
+    run_durable_campaign,
+)
+
+__all__ = [
+    "QUEUE_SCHEMA_ID",
+    "ENTRY_KINDS",
+    "TERMINAL_STATUSES",
+    "QueueSchemaError",
+    "validate_queue_entry",
+    "build_entry",
+    "JournalStoreBase",
+    "InMemoryJournalStore",
+    "FileJournalStore",
+    "RepositoryJournalStore",
+    "FencingAuthority",
+    "FencingError",
+    "FencedCheckpointStore",
+    "FencedNTCPClient",
+    "ExperimentQueue",
+    "QueueSubmission",
+    "QUEUE_SDE",
+    "QueueStatusService",
+    "DurableFleetScheduler",
+    "QueueOutcome",
+    "CampaignResult",
+    "attach_durable_repository",
+    "run_durable_campaign",
+]

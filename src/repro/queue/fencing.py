@@ -1,0 +1,207 @@
+"""Fencing epochs: monotone scheduler ownership, refused zombies.
+
+A fleet-scheduler crash leaves two dangers behind: queued work nobody
+owns (solved by journal replay) and *still-running* work that does not
+know its owner died — the coordinator processes, checkpoint writes, and
+lease releases of the dead incarnation, which may wake at any time and
+write stale state over the successor's.  The classic defence is a
+fencing token: every scheduler incarnation registers a strictly
+increasing **epoch**, every durable write path carries the writer's
+epoch, and every validator refuses any epoch older than the current one.
+
+:class:`FencingAuthority` is the single source of epoch truth inside one
+simulated grid.  The write paths that consult it:
+
+* the queue journal (claim and terminal appends,
+  :class:`repro.queue.ingress.ExperimentQueue`);
+* the site pool (lease grant and release,
+  :meth:`repro.fleet.pool.SitePool.fence_epoch`);
+* the checkpoint store (:class:`FencedCheckpointStore`);
+* the NTCP write verbs (:class:`FencedNTCPClient`).
+
+Refusals are *recorded*, not just raised — the chaos invariant sweep and
+the T-QUEUE bench assert that every crash epoch produced at least one
+refusal (the zombie really did try) and that no stale write was accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.repository.checkpoint import CheckpointStoreBase
+from repro.util.errors import FencingError
+
+__all__ = ["FencingAuthority", "FencedCheckpointStore", "FencedNTCPClient",
+           "FencingError"]
+
+
+class FencingAuthority:
+    """Issues monotone fencing epochs and validates writes against them.
+
+    One authority per grid.  ``register`` hands the next epoch to a
+    scheduler incarnation; ``validate`` is called by every fenced write
+    path and raises :class:`~repro.util.errors.FencingError` for a stale
+    epoch, recording the refusal.  ``observe`` fast-forwards the current
+    epoch from a replayed journal (a fresh front-end over an existing
+    journal must not re-issue epochs the log already granted).
+    """
+
+    def __init__(self, kernel: Any):
+        self.kernel = kernel
+        self.current_epoch = 0
+        #: every epoch ever granted: (epoch, scheduler_id, sim time)
+        self.epochs: list[tuple[int, str, float]] = []
+        #: every refusal: {"epoch", "current_epoch", "path", "time"}
+        self.refusals: list[dict[str, Any]] = []
+        #: every validation outcome (accepted and refused), for sweeps
+        self.validations: list[dict[str, Any]] = []
+
+    def register(self, scheduler_id: str) -> int:
+        """Grant the next epoch to ``scheduler_id``; supersedes all others."""
+        self.current_epoch += 1
+        self.epochs.append((self.current_epoch, scheduler_id,
+                            self.kernel.now))
+        self.kernel.emit("queue.fencing", "epoch.registered",
+                         epoch=self.current_epoch,
+                         scheduler_id=scheduler_id)
+        return self.current_epoch
+
+    def observe(self, epoch: int, scheduler_id: str = "") -> None:
+        """Fast-forward to an epoch learned from journal replay."""
+        if epoch > self.current_epoch:
+            self.current_epoch = epoch
+            self.epochs.append((epoch, scheduler_id, self.kernel.now))
+
+    def note_refusal(self, *, epoch: int | None, path: str) -> None:
+        """Record one refused stale-epoch write (raised by a validator)."""
+        refusal = {"epoch": epoch, "current_epoch": self.current_epoch,
+                   "path": path, "time": self.kernel.now}
+        self.refusals.append(refusal)
+        self.validations.append(dict(refusal, accepted=False))
+        self.kernel.emit("queue.fencing", "write.refused", epoch=epoch,
+                         current_epoch=self.current_epoch, path=path)
+
+    def validate(self, epoch: int, path: str) -> None:
+        """Refuse ``epoch`` unless it is the current one.
+
+        Raises :class:`~repro.util.errors.FencingError` (and records the
+        refusal) for a superseded epoch; records an accepted validation
+        otherwise.
+        """
+        if epoch != self.current_epoch:
+            self.note_refusal(epoch=epoch, path=path)
+            raise FencingError(
+                f"{path}: write from epoch {epoch} refused, epoch "
+                f"{self.current_epoch} is current", epoch=epoch,
+                current_epoch=self.current_epoch, path=path)
+        self.validations.append({
+            "epoch": epoch, "current_epoch": self.current_epoch,
+            "path": path, "time": self.kernel.now, "accepted": True})
+
+    def refusals_by_epoch(self) -> dict[int, int]:
+        """Refusal counts keyed by the *stale* epoch that was refused."""
+        counts: dict[int, int] = {}
+        for refusal in self.refusals:
+            epoch = refusal["epoch"]
+            if epoch is not None:
+                counts[epoch] = counts.get(epoch, 0) + 1
+        return counts
+
+    def stale_accepts(self) -> list[dict[str, Any]]:
+        """Validations that accepted a stale epoch — must always be empty."""
+        return [v for v in self.validations
+                if v["accepted"] and v["epoch"] < v["current_epoch"]]
+
+    def report(self) -> dict[str, Any]:
+        """JSON-friendly summary for invariant sweeps and bench documents."""
+        return {"current_epoch": self.current_epoch,
+                "epochs": [{"epoch": e, "scheduler_id": s, "time": t}
+                           for e, s, t in self.epochs],
+                "refusals": [dict(r) for r in self.refusals],
+                "refusals_by_epoch": self.refusals_by_epoch(),
+                "stale_accepts": self.stale_accepts()}
+
+
+class FencedCheckpointStore(CheckpointStoreBase):
+    """A checkpoint store whose *writes* validate a fencing epoch.
+
+    Wraps any :class:`~repro.repository.checkpoint.CheckpointStoreBase`
+    (in-memory or repository-backed).  ``save`` validates the wrapping
+    incarnation's epoch first, so a zombie coordinator's periodic or
+    abort-time checkpoint is refused before it can clobber the
+    successor's history.  Reads pass through — a zombie reading stale
+    state is harmless; only writes fence.
+    """
+
+    def __init__(self, inner: CheckpointStoreBase,
+                 authority: FencingAuthority, epoch: int):
+        self.inner = inner
+        self.authority = authority
+        self.epoch = epoch
+
+    def save(self, doc: dict):
+        self.authority.validate(self.epoch, "checkpoint.save")
+        seq = yield from self.inner.save(doc)
+        return seq
+
+    def list_seqs(self, run_id: str):
+        seqs = yield from self.inner.list_seqs(run_id)
+        return seqs
+
+    def load(self, run_id: str, seq: int):
+        doc = yield from self.inner.load(run_id, seq)
+        return doc
+
+    def load_history(self, run_id: str):
+        result = yield from self.inner.load_history(run_id)
+        return result
+
+
+class FencedNTCPClient:
+    """An NTCP client whose *write verbs* validate a fencing epoch.
+
+    Wraps a :class:`~repro.core.client.NTCPClient`.  ``propose``,
+    ``execute``, ``cancel``, and ``propose_and_execute`` (the verbs that
+    change site state or move hardware) validate before going on the
+    wire; the read verbs pass through.  This is what actually stops a
+    zombie coordinator: its next step attempt raises
+    :class:`~repro.util.errors.FencingError` client-side, the fault
+    policy refuses to retry it, and the incarnation aborts without having
+    touched a site the successor now owns.
+    """
+
+    def __init__(self, inner: Any, authority: FencingAuthority, epoch: int):
+        self.inner = inner
+        self.authority = authority
+        self.epoch = epoch
+
+    @property
+    def rpc(self):
+        """The wrapped client's RPC layer (coordinators read its kernel)."""
+        return self.inner.rpc
+
+    def propose(self, handle, transaction, *args, **kwargs):
+        self.authority.validate(self.epoch, "ntcp.propose")
+        return self.inner.propose(handle, transaction, *args, **kwargs)
+
+    def execute(self, handle, transaction, *args, **kwargs):
+        self.authority.validate(self.epoch, "ntcp.execute")
+        return self.inner.execute(handle, transaction, *args, **kwargs)
+
+    def cancel(self, handle, transaction, *args, **kwargs):
+        self.authority.validate(self.epoch, "ntcp.cancel")
+        return self.inner.cancel(handle, transaction, *args, **kwargs)
+
+    def propose_and_execute(self, handle, transaction, *args, **kwargs):
+        self.authority.validate(self.epoch, "ntcp.propose")
+        return self.inner.propose_and_execute(handle, transaction,
+                                              *args, **kwargs)
+
+    def get_transaction(self, *args, **kwargs):
+        return self.inner.get_transaction(*args, **kwargs)
+
+    def get_results(self, *args, **kwargs):
+        return self.inner.get_results(*args, **kwargs)
+
+    def list_transactions(self, *args, **kwargs):
+        return self.inner.list_transactions(*args, **kwargs)

@@ -1,0 +1,45 @@
+"""Queue observability: the ingress-status SDE and its grid service.
+
+Each durable-scheduler incarnation periodically publishes the queue's
+headline numbers — depth, redeliveries, fencing epoch, refused writes —
+through a :class:`QueueStatusService` hosted in the coordinator
+container, so monitors watch ingress health the same way they watch a
+fleet roll-up or a single experiment's SDEs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ogsi import GridService
+
+#: name of the queue-status service data element
+QUEUE_SDE = "queue.status"
+
+
+class QueueStatusService(GridService):
+    """Publishes the experiment queue's status as service data.
+
+    SDE ``queue.status`` holds the latest status document (see
+    :meth:`repro.queue.ingress.ExperimentQueue.stats` for the shape);
+    operation ``getQueueStatus`` returns it on demand.
+    """
+
+    def __init__(self, service_id: str = "queue-status"):
+        super().__init__(service_id)
+
+    def on_attach(self) -> None:
+        """Expose the queue-status SDE and its query operation."""
+        self.service_data.set(QUEUE_SDE, None)
+        self.expose("getQueueStatus", self._op_getQueueStatus)
+
+    def _op_getQueueStatus(self, caller: Any) -> Any:
+        return self.service_data.value(QUEUE_SDE)
+
+    def publish(self, status: dict[str, Any]) -> None:
+        """Install a new status document (notifies SDE subscribers)."""
+        self.service_data.set(QUEUE_SDE, status)
+        self.emit("queue.status_published",
+                  outstanding=status.get("outstanding"),
+                  redeliveries=status.get("redeliveries"),
+                  epoch=status.get("epoch"))

@@ -1,0 +1,443 @@
+"""The crash-recoverable fleet scheduler over the durable ingress queue.
+
+:class:`DurableFleetScheduler` is one scheduler *incarnation*: it
+registers a fresh fencing epoch, fences the site pool (revoking every
+lease a dead predecessor still holds), replays the journal, and drives
+every outstanding submission — first deliveries and redeliveries alike —
+as its own kernel process.  A redelivered submission resumes from the
+run's newest checkpoint through the §7 reconciliation machinery, on
+sites *disjoint* from every site a prior claim ever held, so the
+successor never re-executes an NTCP transaction a dead incarnation's
+orphan might have landed.
+
+The zombie model: :meth:`crash` marks the incarnation dead but interrupts
+nothing — its coordinator processes, checkpoint writers, and lease
+bookkeeping keep running, exactly like a host whose scheduler process
+died while its in-flight RPCs did not.  Every one of those orphans is
+stopped at its next durable write: the fenced NTCP client, checkpoint
+store, queue journal, and site pool all validate the orphan's stale
+epoch and refuse it with :class:`~repro.util.errors.FencingError`.
+
+:func:`run_durable_campaign` strings incarnations together — submit,
+run, crash on cue, take over — and is what the T-QUEUE bench and the
+chaos suite drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.coordinator import (
+    ExperimentResult,
+    SimulationCoordinator,
+    SiteBinding,
+    records_from_payloads,
+    resume_state_from_checkpoint,
+)
+from repro.fleet.pool import SiteLease, SitePool
+from repro.fleet.scheduler import default_fleet_fault_policy
+from repro.most.assembly import provision_simulation_site
+from repro.net import RpcClient
+from repro.ogsi import ServiceContainer
+from repro.queue.fencing import FencedCheckpointStore, FencedNTCPClient
+from repro.queue.ingress import ExperimentQueue, QueueSubmission
+from repro.queue.journal import RepositoryJournalStore
+from repro.queue.observe import QueueStatusService
+from repro.repository import (
+    CheckpointPolicy,
+    GridFTPTransport,
+    InMemoryCheckpointStore,
+    NFMSService,
+)
+from repro.structural import (
+    LinearSubstructure,
+    StructuralModel,
+    kanai_tajimi_record,
+)
+from repro.util.errors import FencingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.grid import FleetGrid
+    from repro.fleet.tenants import TenantRegistry
+    from repro.monitor import ExperimentMonitor
+
+
+def attach_durable_repository(grid: "FleetGrid", *,
+                              name: str = "campaign"
+                              ) -> RepositoryJournalStore:
+    """Wire a repository-backed queue journal onto a fleet grid.
+
+    Deploys an NFMS instance in its own container on the ``repo`` host
+    (port ``ogsi-queue`` — the journal is the scheduler's internal
+    coordination state, not tenant data, so it bypasses the tenant GSI
+    fabric the way the fleet's own status services do), installs the
+    GridFTP transport, and returns a ready
+    :class:`~repro.queue.journal.RepositoryJournalStore`.
+    """
+    from repro.daq.filestore import RepositoryFileStore
+
+    container = ServiceContainer(grid.network, "repo", port="ogsi-queue")
+    nfms = NFMSService()
+    handle = container.deploy(nfms)
+    nfms.install_transport("gridftp")
+    repo_store = RepositoryFileStore()
+    rpc = RpcClient(grid.network, "coord",
+                    default_timeout=grid.config.rpc_timeout,
+                    default_retries=grid.config.rpc_retries,
+                    labels={"role": "queue"})
+    grid.extras["queue_nfms"] = nfms
+    return RepositoryJournalStore(
+        name=name, host="coord", repo_host="repo", repo_store=repo_store,
+        transport=GridFTPTransport(grid.network), rpc=rpc, nfms=handle)
+
+
+@dataclass
+class QueueOutcome:
+    """What one driven submission produced under one incarnation."""
+
+    submission: QueueSubmission
+    result: ExperimentResult
+    epoch: int
+    attempt: int
+    lease_id: str
+    site_names: tuple[str, ...]
+    claimed_at: float
+    finished_at: float
+    status: str
+    #: committed steps carried in from the resumed checkpoint (0 = cold)
+    resumed_from_step: int
+    #: per-site NTCP counter deltas for the lease (at-most-once evidence)
+    usage: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def tenant(self) -> str:
+        """The owning tenant id."""
+        return self.submission.tenant
+
+    @property
+    def run_id(self) -> str:
+        """The experiment's run id."""
+        return self.submission.run_id or self.submission.submission_id
+
+    @property
+    def completed(self) -> bool:
+        """Whether this delivery completed every step."""
+        return self.result.completed
+
+    def duplicate_executes(self) -> int:
+        """Duplicate execute requests absorbed across the lease's sites."""
+        return sum(delta["duplicate_executes"]
+                   for delta in self.usage.values())
+
+
+class DurableFleetScheduler:
+    """One scheduler incarnation over the shared grid, pool, and queue.
+
+    Run :meth:`main` as a kernel process.  It claims ownership (fencing
+    epoch + pool fence), recovers queue state from the journal, then
+    drives every outstanding submission to a journaled terminal state.
+    A predecessor's orphans die at their next fenced write; this
+    incarnation's own writes carry ``self.epoch`` everywhere.
+    """
+
+    def __init__(self, grid: "FleetGrid", pool: SitePool,
+                 registry: "TenantRegistry", queue: ExperimentQueue, *,
+                 scheduler_id: str,
+                 checkpoint_stores: dict[str, InMemoryCheckpointStore]
+                 | None = None,
+                 settle_delay: float = 5.0,
+                 rollup_interval: float = 60.0,
+                 monitor: "ExperimentMonitor | None" = None,
+                 status: QueueStatusService | None = None):
+        self.grid = grid
+        self.pool = pool
+        self.registry = registry
+        self.queue = queue
+        self.kernel = grid.kernel
+        self.scheduler_id = scheduler_id
+        #: run_id -> checkpoint store, shared ACROSS incarnations (it
+        #: stands in for the durable repository checkpoint namespace)
+        self.checkpoint_stores = (checkpoint_stores
+                                  if checkpoint_stores is not None else {})
+        self.settle_delay = settle_delay
+        self.rollup_interval = rollup_interval
+        self.monitor = monitor
+        self.status = status
+        self.epoch = 0
+        self.dead = False
+        self.outcomes: list[QueueOutcome] = []
+        self.fenced_drives = 0
+        self.report: dict[str, Any] | None = None
+        self._driving = False
+        #: fires (with the outstanding count) once recovery is done and
+        #: the drive processes are spawned — the crash-scheduling anchor
+        self.draining = self.kernel.event(
+            name=f"queue.{scheduler_id}.draining")
+
+    # -- lifecycle -----------------------------------------------------------
+    def main(self) -> Generator[Any, Any, dict[str, Any]]:
+        """Kernel process: take over the queue and drain it.
+
+        Order matters: the epoch is registered (journaled) *first*, so
+        every predecessor write from then on is refused in memory and can
+        never reach the journal; the pool is fenced next, revoking orphan
+        leases; the settle delay then lets predecessor appends already in
+        flight land; only then is the journal replayed — any zombie entry
+        that slipped in behind the epoch entry is voided by sequence
+        order during replay.
+        """
+        self.epoch = yield from self.queue.register_scheduler(
+            self.scheduler_id)
+        revoked = self.pool.fence_epoch(self.epoch)
+        self.kernel.emit("queue.scheduler", "takeover",
+                         scheduler_id=self.scheduler_id, epoch=self.epoch,
+                         leases_revoked=revoked)
+        if self.settle_delay > 0:
+            yield self.kernel.timeout(self.settle_delay)
+        recovery = yield from self.queue.recover()
+        outstanding = self.queue.outstanding()
+        self.kernel.emit("queue.scheduler", "drain.start",
+                         scheduler_id=self.scheduler_id, epoch=self.epoch,
+                         outstanding=len(outstanding))
+        processes = [
+            self.kernel.process(
+                self._drive_guard(submission),
+                name=f"queue.{self.scheduler_id}.{submission.submission_id}")
+            for submission in outstanding]
+        self._driving = True
+        self.draining.succeed(len(processes))
+        if self.status is not None:
+            self.kernel.process(self._publish_loop(),
+                                name=f"queue.{self.scheduler_id}.rollup")
+        if processes:
+            yield self.kernel.all_of(processes)
+        self._driving = False
+        if self.status is not None and not self.dead:
+            self.status.publish(self.queue.stats())
+        self.report = {
+            "scheduler_id": self.scheduler_id, "epoch": self.epoch,
+            "leases_revoked": revoked, "replayed": recovery["entries"],
+            "voided": recovery["voided"], "driven": len(processes),
+            "completed": sum(1 for o in self.outcomes if o.completed),
+            "fenced_drives": self.fenced_drives,
+            "finished_at": self.kernel.now}
+        return self.report
+
+    def crash(self) -> None:
+        """Declare this incarnation dead — and clean up *nothing*.
+
+        The zombie model: every in-flight coordinator, checkpoint write,
+        and lease this incarnation owns keeps running, exactly like a
+        crashed host's outstanding RPCs.  They are stopped by fencing at
+        their next durable write, not by this call.
+        """
+        self.dead = True
+        self.kernel.emit("queue.scheduler", "scheduler.crashed",
+                         scheduler_id=self.scheduler_id, epoch=self.epoch)
+
+    # -- per-submission drive ------------------------------------------------
+    def _drive_guard(self, submission: QueueSubmission
+                     ) -> Generator[Any, Any, None]:
+        """Run one drive; absorb the fencing refusal that ends a zombie."""
+        try:
+            yield from self._drive(submission)
+        except FencingError as exc:
+            self.fenced_drives += 1
+            self.kernel.emit("queue.scheduler", "drive.fenced",
+                             scheduler_id=self.scheduler_id,
+                             submission_id=submission.submission_id,
+                             epoch=exc.epoch,
+                             current_epoch=exc.current_epoch,
+                             path=exc.path)
+
+    def _drive(self, submission: QueueSubmission
+               ) -> Generator[Any, Any, None]:
+        config = self.grid.config
+        tenant = self.registry.register(submission.tenant)
+        run_id = submission.run_id or submission.submission_id
+        # Disjoint-site redelivery: never lease a site a prior claim of
+        # this submission held — a dead incarnation's orphan may have
+        # executed this run's transaction names there.
+        avoid = self.queue.claimed_sites(submission.submission_id)
+        lease: SiteLease = yield self.pool.acquire(
+            submission.tenant, submission.n_sites, epoch=self.epoch,
+            avoid=avoid)
+        attempt = yield from self.queue.claim(
+            submission.submission_id, self.epoch, lease.site_names)
+        if attempt > 1:
+            self.kernel.emit("queue.scheduler", "redelivery",
+                             submission_id=submission.submission_id,
+                             attempt=attempt, epoch=self.epoch,
+                             sites=list(lease.site_names))
+            if self.monitor is not None:
+                self.monitor.raise_alert(
+                    "queue_redelivery", "warning",
+                    f"submission {submission.submission_id} redelivered "
+                    f"(attempt {attempt}) on epoch {self.epoch}",
+                    detail={"submission_id": submission.submission_id,
+                            "attempt": attempt, "epoch": self.epoch,
+                            "sites": list(lease.site_names)})
+        k_each = config.k_total / len(lease.sites)
+        for site in lease.sites:
+            provision_simulation_site(
+                site, self.kernel,
+                LinearSubstructure(f"{site.name}-{run_id}", [[k_each]], [0]),
+                compute_time=config.ncsa_compute)
+        motion = kanai_tajimi_record(
+            duration=submission.n_steps * config.dt, dt=config.dt,
+            pga=config.pga * submission.motion_scale,
+            seed=config.motion_seed)
+        model = StructuralModel(
+            mass=[[config.mass]], stiffness=[[config.k_total]]
+        ).with_rayleigh_damping(config.damping_ratio)
+        bindings = [SiteBinding(site.name, site.handle, dof_indices=[0])
+                    for site in lease.sites]
+        client = FencedNTCPClient(tenant.ntcp, self.queue.authority,
+                                  self.epoch)
+        store = None
+        checkpoint_policy = None
+        if submission.checkpoint_every > 0:
+            inner = self.checkpoint_stores.setdefault(
+                run_id, InMemoryCheckpointStore())
+            store = FencedCheckpointStore(inner, self.queue.authority,
+                                          self.epoch)
+            checkpoint_policy = CheckpointPolicy(
+                every_n_steps=submission.checkpoint_every, on_abort=True)
+        state = None
+        prior_records: Any = ()
+        resumed_from = 0
+        if attempt > 1 and store is not None:
+            doc, payloads = yield from store.load_history(run_id)
+            if doc is not None:
+                state = resume_state_from_checkpoint(doc)
+                prior_records = records_from_payloads(payloads)
+                resumed_from = len(prior_records)
+        coordinator = SimulationCoordinator(
+            run_id=run_id, client=client, model=model, motion=motion,
+            sites=bindings, fault_policy=default_fleet_fault_policy(),
+            execution_timeout=config.execution_timeout,
+            checkpoint_store=store, checkpoint_policy=checkpoint_policy,
+            state=state, prior_records=prior_records)
+        result: ExperimentResult = yield self.kernel.process(
+            coordinator.run(),
+            name=f"queue.{run_id}.attempt{attempt}")
+        status = "completed" if result.completed else "failed"
+        yield from self.queue.mark_terminal(
+            submission.submission_id, self.epoch, status=status,
+            steps=result.steps_completed)
+        self.pool.release(lease)
+        self.outcomes.append(QueueOutcome(
+            submission=submission, result=result, epoch=self.epoch,
+            attempt=attempt, lease_id=lease.lease_id,
+            site_names=lease.site_names, claimed_at=lease.granted_at,
+            finished_at=self.kernel.now, status=status,
+            resumed_from_step=resumed_from, usage=lease.metrics_delta()))
+
+    def _publish_loop(self) -> Generator[Any, Any, None]:
+        while self._driving and not self.dead:
+            self.status.publish(self.queue.stats())
+            yield self.kernel.timeout(self.rollup_interval)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a durable campaign produced, across all incarnations."""
+
+    outcomes: list[QueueOutcome]
+    incarnations: list[dict[str, Any]]
+    queue_stats: dict[str, Any]
+    fencing: dict[str, Any]
+    started_at: float
+    finished_at: float
+
+    def histories(self) -> dict[str, Any]:
+        """Final displacement history per completed run id."""
+        return {outcome.run_id: outcome.result.displacement_history()
+                for outcome in self.outcomes if outcome.completed}
+
+    def duplicate_executes(self) -> int:
+        """Duplicate executes across every outcome's leased sites."""
+        return sum(outcome.duplicate_executes()
+                   for outcome in self.outcomes)
+
+    def summary(self) -> dict[str, Any]:
+        """The campaign's headline numbers in one dict."""
+        return {
+            "submissions": self.queue_stats["submitted"],
+            "completed": self.queue_stats["completed"],
+            "failed": self.queue_stats["failed"],
+            "outstanding": self.queue_stats["outstanding"],
+            "redeliveries": self.queue_stats["redeliveries"],
+            "voided": self.queue_stats["voided"],
+            "incarnations": len(self.incarnations),
+            "final_epoch": self.fencing["current_epoch"],
+            "refusals": len(self.fencing["refusals"]),
+            "stale_accepts": len(self.fencing["stale_accepts"]),
+            "duplicate_executes": self.duplicate_executes(),
+            "duration": self.finished_at - self.started_at,
+        }
+
+
+def run_durable_campaign(grid: "FleetGrid", pool: SitePool,
+                         registry: "TenantRegistry",
+                         queue: ExperimentQueue,
+                         submissions: list[QueueSubmission], *,
+                         crash_after: tuple[float, ...] = (),
+                         takeover_delay: float = 30.0,
+                         settle_delay: float = 5.0,
+                         monitor: "ExperimentMonitor | None" = None,
+                         status: QueueStatusService | None = None
+                         ) -> CampaignResult:
+    """Run a campaign through ``len(crash_after) + 1`` incarnations.
+
+    Submits every submission, starts incarnation 1, and for each entry in
+    ``crash_after`` waits that many simulated seconds *after the
+    incarnation begins draining* (recovery replayed, drive processes
+    spawned — so a crash always lands on an incarnation with real work
+    in flight), crashes it (zombie model — nothing is interrupted),
+    waits ``takeover_delay``, and starts the successor.  The final
+    incarnation runs to a drained queue.  Checkpoint stores are shared
+    across incarnations, standing in for the durable repository
+    namespace.
+    """
+    kernel = grid.kernel
+    pool.attach_fencing(queue.authority)
+    checkpoint_stores: dict[str, InMemoryCheckpointStore] = {}
+    schedulers: list[DurableFleetScheduler] = []
+    started_at = kernel.now
+
+    def controller() -> Generator[Any, Any, None]:
+        for submission in submissions:
+            yield from queue.submit(submission)
+        crashes = tuple(crash_after)
+        for index in range(len(crashes) + 1):
+            scheduler = DurableFleetScheduler(
+                grid, pool, registry, queue,
+                scheduler_id=f"sched-{index + 1}",
+                checkpoint_stores=checkpoint_stores,
+                settle_delay=settle_delay, monitor=monitor, status=status)
+            schedulers.append(scheduler)
+            process = kernel.process(
+                scheduler.main(), name=f"queue.incarnation{index + 1}")
+            if index < len(crashes):
+                yield scheduler.draining
+                yield kernel.timeout(crashes[index])
+                scheduler.crash()
+                yield kernel.timeout(takeover_delay)
+            else:
+                yield process
+
+    kernel.run(until=kernel.process(controller(), name="queue.campaign"))
+    return CampaignResult(
+        outcomes=[outcome for scheduler in schedulers
+                  for outcome in scheduler.outcomes],
+        incarnations=[scheduler.report or
+                      {"scheduler_id": scheduler.scheduler_id,
+                       "epoch": scheduler.epoch, "crashed": scheduler.dead,
+                       "fenced_drives": scheduler.fenced_drives,
+                       "completed": sum(1 for o in scheduler.outcomes
+                                        if o.completed)}
+                      for scheduler in schedulers],
+        queue_stats=queue.stats(), fencing=queue.authority.report(),
+        started_at=started_at, finished_at=kernel.now)

@@ -33,6 +33,7 @@ from repro.repository.transport import (
 from repro.repository.ingest import IngestionTool
 from repro.repository.facade import RepositoryFacade
 from repro.repository.checkpoint import (
+    CheckpointCorrupt,
     CheckpointPolicy,
     CheckpointSchemaError,
     InMemoryCheckpointStore,
@@ -53,6 +54,7 @@ __all__ = [
     "TransferFailed",
     "IngestionTool",
     "RepositoryFacade",
+    "CheckpointCorrupt",
     "CheckpointPolicy",
     "CheckpointSchemaError",
     "InMemoryCheckpointStore",

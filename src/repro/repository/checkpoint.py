@@ -56,6 +56,40 @@ class CheckpointSchemaError(ReproError):
     """A checkpoint document does not match ``repro.checkpoint/v1``."""
 
 
+class CheckpointCorrupt(CheckpointSchemaError):
+    """A *persisted* checkpoint artifact failed to parse or validate.
+
+    Raised by the stores' load paths when a fetched document is truncated,
+    non-JSON, or schema-invalid — a typed error callers can catch, instead
+    of a raw ``json.JSONDecodeError`` traceback surfacing mid-resume.
+    ``run_id``/``seq`` identify the bad artifact.
+    """
+
+    def __init__(self, message: str, *, run_id: str | None = None,
+                 seq: int | None = None):
+        super().__init__(message)
+        self.run_id = run_id
+        self.seq = seq
+
+
+def _parse_checkpoint(text: str, *, run_id: str, seq: int,
+                      origin: str) -> dict:
+    """Parse + validate one persisted document, or raise CheckpointCorrupt."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorrupt(
+            f"{origin}: truncated or non-JSON checkpoint: {exc}",
+            run_id=run_id, seq=seq) from exc
+    try:
+        validate_checkpoint_payload(doc)
+    except CheckpointSchemaError as exc:
+        raise CheckpointCorrupt(
+            f"{origin}: schema-invalid checkpoint: {exc}",
+            run_id=run_id, seq=seq) from exc
+    return doc
+
+
 def _fail(path: str, message: str) -> None:
     raise CheckpointSchemaError(f"{path}: {message}")
 
@@ -316,12 +350,21 @@ class CheckpointStoreBase:
         raise NotImplementedError
 
     def load_latest(self, run_id: str):
-        """Kernel process: the highest-seq document, or ``None``."""
+        """Kernel process: the newest *loadable* document, or ``None``.
+
+        A corrupt highest-seq document (truncated write from a crashed
+        incarnation) is skipped in favour of the next-newest valid one —
+        resume degrades to an older checkpoint instead of dying on a
+        parse error.
+        """
         seqs = yield from self.list_seqs(run_id)
-        if not seqs:
-            return None
-        doc = yield from self.load(run_id, max(seqs))
-        return doc
+        for seq in sorted(seqs, reverse=True):
+            try:
+                doc = yield from self.load(run_id, seq)
+            except CheckpointCorrupt:
+                continue
+            return doc
+        return None
 
     def load_history(self, run_id: str):
         """Kernel process: ``(latest_doc, merged_record_payloads)``.
@@ -337,10 +380,17 @@ class CheckpointStoreBase:
         merged: dict[int, dict] = {}
         latest = None
         for seq in sorted(seqs):
-            doc = yield from self.load(run_id, seq)
+            try:
+                doc = yield from self.load(run_id, seq)
+            except CheckpointCorrupt:
+                # A truncated artifact must not kill the resume; the
+                # merge continues from the remaining valid documents.
+                continue
             for record in doc["records"]:
                 merged[int(record["step"])] = record
             latest = doc
+        if latest is None:
+            return None, []
         resume_step = int(latest["state"]["step"])
         records = [merged[s] for s in sorted(merged) if s < resume_step]
         return latest, records
@@ -377,9 +427,8 @@ class InMemoryCheckpointStore(CheckpointStoreBase):
         if seq not in run:
             raise ConfigurationError(
                 f"no checkpoint seq {seq} for run {run_id!r}")
-        doc = json.loads(run[seq])
-        validate_checkpoint_payload(doc)
-        return doc
+        return _parse_checkpoint(run[seq], run_id=run_id, seq=seq,
+                                 origin=f"memory:{run_id}/{seq}")
         yield  # pragma: no cover - generator shape, parity with repo store
 
 
@@ -558,7 +607,13 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
         return True
 
     def _load_latest_manifest(self, run_id: str):
-        """Kernel process: highest-seq manifest document, or ``None``."""
+        """Kernel process: the newest *valid* manifest document, or ``None``.
+
+        Walks manifests newest-first and skips any that fetch back
+        truncated or schema-invalid (a crash mid-write leaves exactly
+        this) — resume falls back to the newest manifest that still
+        parses instead of surfacing a JSON traceback.
+        """
         prefix = self._manifest_prefix(run_id)
         names = yield from self._nfms_call("listFiles", {"prefix": prefix})
         seqs = []
@@ -569,21 +624,27 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
                     seqs.append(int(stem[:-len(".json")]))
                 except ValueError:
                     continue
-        if not seqs:
-            return None
-        name = self._manifest_logical(run_id, max(seqs))
-        negotiated = yield from self._nfms_call("negotiateTransfer", {
-            "logical_name": name,
-            "client_protocols": [self.transport.protocol]})
-        replica = negotiated["replica"]
-        self.manifest_fetches += 1
-        local_name = f"{name}#fetch{self.manifest_fetches}"
-        yield from self.transport.transfer(
-            replica["host"], self.host, self.repo_store.get(name),
-            self.staging, dst_name=local_name)
-        manifest = json.loads(self.staging.get(local_name).rows[0][1])
-        validate_manifest_payload(manifest)
-        return manifest
+        for seq in sorted(seqs, reverse=True):
+            name = self._manifest_logical(run_id, seq)
+            negotiated = yield from self._nfms_call("negotiateTransfer", {
+                "logical_name": name,
+                "client_protocols": [self.transport.protocol]})
+            replica = negotiated["replica"]
+            self.manifest_fetches += 1
+            local_name = f"{name}#fetch{self.manifest_fetches}"
+            yield from self.transport.transfer(
+                replica["host"], self.host, self.repo_store.get(name),
+                self.staging, dst_name=local_name)
+            rows = self.staging.get(local_name).rows
+            try:
+                manifest = json.loads(rows[0][1] if rows else "")
+                validate_manifest_payload(manifest)
+            except (json.JSONDecodeError, CheckpointSchemaError) as exc:
+                self.kernel.emit("repository.checkpoint", "manifest.corrupt",
+                                 run_id=run_id, seq=seq, error=str(exc))
+                continue
+            return manifest
+        return None
 
     def load_history(self, run_id: str):
         """Kernel process: one manifest fetch instead of a sequence walk.
@@ -609,7 +670,13 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
         latest = manifest["latest"]
         known = [int(s) for s in manifest["seqs"]]
         for seq in [s for s in seqs if s > int(manifest["seq"])]:
-            doc = yield from self.load(run_id, seq)
+            try:
+                doc = yield from self.load(run_id, seq)
+            except CheckpointCorrupt as exc:
+                self.kernel.emit("repository.checkpoint",
+                                 "checkpoint.corrupt", run_id=run_id,
+                                 seq=seq, error=str(exc))
+                continue
             for record in doc["records"]:
                 merged[int(record["step"])] = record
             latest = doc
@@ -646,7 +713,8 @@ class RepositoryCheckpointStore(CheckpointStoreBase):
         yield from self.transport.transfer(
             replica["host"], self.host, self.repo_store.get(name),
             self.staging, dst_name=local_name)
-        doc = json.loads(self.staging.get(local_name).rows[0][1])
-        validate_checkpoint_payload(doc)
+        rows = self.staging.get(local_name).rows
+        doc = _parse_checkpoint(rows[0][1] if rows else "", run_id=run_id,
+                                seq=seq, origin=name)
         self.loaded += 1
         return doc

@@ -36,6 +36,7 @@ from repro.telemetry.schema import (
     validate_jsonl_export,
     validate_metric_name,
     validate_metrics_payload,
+    validate_queue_bench_payload,
     validate_stepping_bench_payload,
 )
 from repro.telemetry.spans import Span, TraceContext, Tracer
@@ -60,6 +61,7 @@ __all__ = [
     "validate_metrics_payload",
     "validate_bench_payload",
     "validate_fleet_bench_payload",
+    "validate_queue_bench_payload",
     "validate_stepping_bench_payload",
     "validate_jsonl_export",
 ]

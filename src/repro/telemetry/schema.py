@@ -210,8 +210,10 @@ def validate_bench_payload(payload: Any) -> None:
 
     Dispatches on ``$.experiment``: ``"tfleet"`` documents follow the
     fleet shape (:func:`validate_fleet_bench_payload`), ``"tobs"``
-    documents the observatory shape (:func:`validate_obs_bench_payload`);
-    everything else follows the stepping-mode comparison shape
+    documents the observatory shape (:func:`validate_obs_bench_payload`),
+    ``"tqueue"`` documents the durable-queue shape
+    (:func:`validate_queue_bench_payload`); everything else follows the
+    stepping-mode comparison shape
     (:func:`validate_stepping_bench_payload`).
     """
     _require(isinstance(payload, dict), "$", "payload must be an object")
@@ -224,6 +226,8 @@ def validate_bench_payload(payload: Any) -> None:
         validate_fleet_bench_payload(payload)
     elif experiment == "tobs":
         validate_obs_bench_payload(payload)
+    elif experiment == "tqueue":
+        validate_queue_bench_payload(payload)
     else:
         validate_stepping_bench_payload(payload)
 
@@ -431,3 +435,103 @@ def validate_fleet_bench_payload(payload: Any) -> None:
              "security must be an object")
     _require(isinstance(security.get("unauthorized_rejected"), bool),
              "$.security.unauthorized_rejected", "must be a boolean")
+
+
+def validate_queue_bench_payload(payload: Any) -> None:
+    """A durable-queue crash-recovery document (``BENCH_tqueue.json``).
+
+    Shape::
+
+        {"schema": "repro.bench/v1", "experiment": "tqueue",
+         "config": {"n_sites": int, "n_tenants": int,
+                    "runs_per_tenant": int, "n_submissions": int,
+                    "n_steps": int, "checkpoint_every": int, "seed": int,
+                    "crash_times": [float, ...], "takeover_delay": float},
+         "campaign": {"completed": int, "failed": int, "outstanding": int,
+                      "redeliveries": int, "voided": int,
+                      "incarnations": int, "final_epoch": int,
+                      "journal_entries": int, "duration": float},
+         "fencing": {"refusals": int, "stale_accepts": int,
+                     "refusals_by_epoch": {"<epoch>": int, ...},
+                     "refusal_paths": [str, ...],
+                     "every_crash_epoch_refused": bool},
+         "exactness": {"duplicate_executes": int, "runs_checked": int,
+                       "resubmit_deduped": bool,
+                       "bit_exact_vs_uncrashed": bool}}
+    """
+    _require(isinstance(payload, dict), "$", "payload must be an object")
+    _require(payload.get("schema") == BENCH_SCHEMA_ID, "$.schema",
+             f"expected {BENCH_SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    _require(payload.get("experiment") == "tqueue", "$.experiment",
+             "durable-queue bench documents use experiment 'tqueue'")
+    config = payload.get("config")
+    _require(isinstance(config, dict), "$.config", "config must be an object")
+    for key in ("n_sites", "n_tenants", "runs_per_tenant", "n_submissions",
+                "n_steps", "checkpoint_every"):
+        _require(isinstance(config.get(key), int) and config[key] >= 1,
+                 f"$.config.{key}", "must be a positive integer")
+    _require(config["n_submissions"]
+             == config["n_tenants"] * config["runs_per_tenant"],
+             "$.config.n_submissions",
+             "must equal n_tenants * runs_per_tenant")
+    _require(isinstance(config.get("seed"), int), "$.config.seed",
+             "must be an integer")
+    crash_times = config.get("crash_times")
+    _require(isinstance(crash_times, list) and crash_times,
+             "$.config.crash_times", "must be a non-empty list")
+    for i, value in enumerate(crash_times):
+        _check_number(value, f"$.config.crash_times[{i}]")
+        _require(value > 0, f"$.config.crash_times[{i}]",
+                 "must be positive")
+    _check_number(config.get("takeover_delay"), "$.config.takeover_delay")
+    campaign = payload.get("campaign")
+    _require(isinstance(campaign, dict), "$.campaign",
+             "campaign must be an object")
+    for key in ("completed", "failed", "outstanding", "redeliveries",
+                "voided", "journal_entries"):
+        _require(isinstance(campaign.get(key), int) and campaign[key] >= 0,
+                 f"$.campaign.{key}", "must be a non-negative integer")
+    for key in ("incarnations", "final_epoch"):
+        _require(isinstance(campaign.get(key), int) and campaign[key] >= 1,
+                 f"$.campaign.{key}", "must be a positive integer")
+    _require(campaign["incarnations"] == len(crash_times) + 1,
+             "$.campaign.incarnations",
+             "must equal len(crash_times) + 1")
+    _check_number(campaign.get("duration"), "$.campaign.duration")
+    fencing = payload.get("fencing")
+    _require(isinstance(fencing, dict), "$.fencing",
+             "fencing must be an object")
+    for key in ("refusals", "stale_accepts"):
+        _require(isinstance(fencing.get(key), int) and fencing[key] >= 0,
+                 f"$.fencing.{key}", "must be a non-negative integer")
+    by_epoch = fencing.get("refusals_by_epoch")
+    _require(isinstance(by_epoch, dict), "$.fencing.refusals_by_epoch",
+             "must be an object keyed by refused epoch")
+    for epoch, count in by_epoch.items():
+        path = f"$.fencing.refusals_by_epoch.{epoch}"
+        _require(isinstance(epoch, str) and epoch.isdigit(), path,
+                 "epoch keys must be decimal strings (JSON object keys)")
+        _require(isinstance(count, int) and count >= 1, path,
+                 "refusal counts must be positive integers")
+    paths = fencing.get("refusal_paths")
+    _require(isinstance(paths, list), "$.fencing.refusal_paths",
+             "must be a list of write-path names")
+    for i, name in enumerate(paths):
+        _require(isinstance(name, str) and bool(name),
+                 f"$.fencing.refusal_paths[{i}]",
+                 "must be a non-empty string")
+    _require(isinstance(fencing.get("every_crash_epoch_refused"), bool),
+             "$.fencing.every_crash_epoch_refused", "must be a boolean")
+    exactness = payload.get("exactness")
+    _require(isinstance(exactness, dict), "$.exactness",
+             "exactness must be an object")
+    _require(isinstance(exactness.get("duplicate_executes"), int)
+             and exactness["duplicate_executes"] >= 0,
+             "$.exactness.duplicate_executes",
+             "must be a non-negative integer")
+    _require(isinstance(exactness.get("runs_checked"), int)
+             and exactness["runs_checked"] >= 1,
+             "$.exactness.runs_checked", "must be a positive integer")
+    for key in ("resubmit_deduped", "bit_exact_vs_uncrashed"):
+        _require(isinstance(exactness.get(key), bool),
+                 f"$.exactness.{key}", "must be a boolean")

@@ -42,6 +42,24 @@ class PolicyViolation(ReproError):
         self.requested = requested
 
 
+class FencingError(ReproError):
+    """A write carried a fencing epoch that has been superseded.
+
+    Raised on every durable write path (queue journal appends, checkpoint
+    saves, NTCP write verbs, site-pool lease operations) when the caller's
+    fencing epoch is older than the current one — the "zombie scheduler"
+    defence: a scheduler revived after a crash must be refused, not
+    merged, because a successor already owns its work.
+    """
+
+    def __init__(self, message: str, *, epoch: int | None = None,
+                 current_epoch: int | None = None, path: str | None = None):
+        super().__init__(message)
+        self.epoch = epoch
+        self.current_epoch = current_epoch
+        self.path = path
+
+
 class FaultInjected(ReproError):
     """A simulated infrastructure fault (dropped link, partition, crash)."""
 

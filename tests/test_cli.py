@@ -130,3 +130,58 @@ class TestObservatoryCommands:
         assert main(["observatory", "query", "a.b.c", "--store", str(store),
                      "--label", "nonsense"]) == 2
         assert "key=value" in capsys.readouterr().err
+
+
+class TestQueueCommands:
+    def test_queue_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["queue"])
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["queue", "submit", "exp-1"])
+        assert args.submission_id == "exp-1"
+        assert args.journal == "queue.jsonl" and args.tenant == "cli"
+        assert args.steps == 25 and args.checkpoint_every == 5
+
+    def test_drain_defaults(self):
+        args = build_parser().parse_args(["queue", "drain"])
+        assert args.sites == 4 and args.takeover_delay == 30.0
+        assert args.crash_after is None
+
+    def test_submit_status_drain_round_trip(self, tmp_path, capsys):
+        journal = str(tmp_path / "q.jsonl")
+        assert main(["queue", "submit", "exp-1", "--journal", journal,
+                     "--steps", "10", "--checkpoint-every", "4"]) == 0
+        assert "queued exp-1" in capsys.readouterr().out
+        # resubmission of the same id is absorbed, not re-journaled
+        assert main(["queue", "submit", "exp-1", "--journal", journal]) == 0
+        assert "deduped: exp-1 already journaled" in capsys.readouterr().out
+        assert main(["queue", "status", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "submitted           : 1" in out and "unclaimed" in out
+        assert main(["queue", "drain", "--journal", journal,
+                     "--sites", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "completed           : 1/1" in out
+        # a fresh CLI process replaying the journal sees the terminal
+        assert main(["queue", "status", "--journal", journal,
+                     "--json"]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["completed"] == 1 and doc["outstanding"] == 0
+        assert doc["outstanding_submissions"] == []
+
+    def test_drain_with_a_crash_recovers_across_epochs(self, tmp_path,
+                                                       capsys):
+        journal = str(tmp_path / "q.jsonl")
+        for i in range(4):
+            main(["queue", "submit", f"exp-{i}", "--journal", journal,
+                  "--steps", "10", "--checkpoint-every", "4"])
+        capsys.readouterr()
+        assert main(["queue", "drain", "--journal", journal, "--sites", "2",
+                     "--crash-after", "2.0", "--takeover-delay", "8.0"]) == 0
+        out = capsys.readouterr().out
+        assert "completed           : 4/4" in out
+        assert "incarnations        : 2 (final epoch 2)" in out
+        assert "duplicate executes  : 0" in out
